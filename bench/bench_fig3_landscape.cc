@@ -1,0 +1,40 @@
+// Reproduces Figure 3 of §3: the competitive-landscape matrix ("ML Systems
+// in the public cloud and major companies") and the two trends the paper
+// reads off it.
+
+#include <cstdio>
+
+#include "workload/landscape.h"
+
+int main() {
+  flock::workload::Landscape landscape;
+  std::printf("Figure 3: ML systems landscape "
+              "(Good / OK / No / ? = unknown)\n\n");
+  std::printf("%s\n", landscape.Render().c_str());
+
+  std::printf("per-system category scores (0=No .. 2=Good):\n");
+  std::printf("%-18s %10s %10s %10s\n", "system", "training", "serving",
+              "data-mgmt");
+  for (const auto& system : landscape.systems()) {
+    std::printf("%-18s %10.2f %10.2f %10.2f %s\n",
+                system.name.substr(0, 18).c_str(),
+                landscape.CategoryScore(
+                    system, flock::workload::FeatureCategory::kTraining),
+                landscape.CategoryScore(
+                    system, flock::workload::FeatureCategory::kServing),
+                landscape.CategoryScore(
+                    system,
+                    flock::workload::FeatureCategory::kDataManagement),
+                system.proprietary ? "(proprietary)" : "");
+  }
+
+  std::printf("\npaper trend checks:\n");
+  std::printf("  1) 'mature proprietary solutions have stronger support "
+              "for data management': gap = %+.2f (positive reproduces the "
+              "trend)\n",
+              landscape.ProprietaryDataManagementGap());
+  std::printf("  2) 'providing complete and usable third-party solutions "
+              "is non-trivial': only %.0f%% of cells are Good\n",
+              100.0 * landscape.OverallGoodFraction());
+  return 0;
+}

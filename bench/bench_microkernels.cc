@@ -1,0 +1,190 @@
+// Google-benchmark microkernel suite: throughput of the building blocks
+// behind the Figure-4 macro numbers — interpreted vs vectorized scoring,
+// tree traversal with and without threshold short-circuiting, table scan,
+// predicate evaluation, and provenance capture per statement.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "flock/model_registry.h"
+#include "flock/scoring.h"
+#include "ml/pipeline.h"
+#include "ml/row_scorer.h"
+#include "ml/runtime.h"
+#include "ml/tree.h"
+#include "prov/catalog.h"
+#include "prov/sql_capture.h"
+#include "sql/engine.h"
+#include "storage/database.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using flock::Random;
+
+/// Shared fixture data: a trained GBDT pipeline over 12 numeric inputs.
+struct Fixture {
+  flock::ml::Pipeline pipeline;
+  flock::ml::ModelGraph graph;
+  flock::ml::Matrix raw;
+  flock::flock::ModelEntry entry;
+
+  Fixture() {
+    const size_t features = 12;
+    const size_t rows = 4096;
+    Random rng(7);
+    flock::ml::Dataset data;
+    data.x = flock::ml::Matrix(rows, features);
+    data.y.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < features; ++c) {
+        data.x.at(r, c) = rng.NextGaussian();
+      }
+      data.y[r] = data.x.at(r, 0) - data.x.at(r, 1) > 0 ? 1.0 : 0.0;
+    }
+    std::vector<flock::ml::FeatureSpec> specs;
+    for (size_t c = 0; c < features; ++c) {
+      specs.push_back(flock::ml::FeatureSpec{
+          "f" + std::to_string(c), flock::ml::FeatureKind::kNumeric, {}});
+    }
+    pipeline.SetInputs(std::move(specs));
+    pipeline.FitFeaturizers(data.x, true, true);
+    flock::ml::Dataset transformed;
+    transformed.x = pipeline.Transform(data.x);
+    transformed.y = data.y;
+    flock::ml::GbtOptions gbt;
+    gbt.num_trees = 30;
+    gbt.max_depth = 5;
+    pipeline.SetTreeModel(
+        flock::ml::TrainGradientBoosting(transformed, gbt));
+    graph = *pipeline.Compile();
+    raw = data.x;
+
+    entry.name = "bench";
+    entry.pipeline = pipeline;
+    entry.graph = graph;
+    flock::flock::ModelRegistry::AnalyzeEntry(&entry);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_RowScorerInterpreted(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  flock::ml::RowScorer scorer(f.pipeline);
+  std::vector<double> row(f.raw.cols());
+  size_t i = 0;
+  for (auto _ : state) {
+    const double* src = f.raw.row(i % f.raw.rows());
+    row.assign(src, src + f.raw.cols());
+    benchmark::DoNotOptimize(scorer.Score(row));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RowScorerInterpreted);
+
+void BM_GraphRuntimeVectorized(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  flock::ml::GraphRuntime runtime(&f.graph);
+  for (auto _ : state) {
+    auto scores = runtime.RunToScores(f.raw);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.raw.rows()));
+}
+BENCHMARK(BM_GraphRuntimeVectorized);
+
+void BM_ThresholdShortCircuit(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  double threshold = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto verdicts = flock::flock::ScoreThresholdBatch(
+        f.entry, f.raw, threshold, flock::flock::ThresholdOp::kGt);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.raw.rows()));
+}
+BENCHMARK(BM_ThresholdShortCircuit)->Arg(50)->Arg(80)->Arg(95);
+
+void BM_TableScan(benchmark::State& state) {
+  flock::storage::Schema schema(
+      {flock::storage::ColumnDef{"a", flock::storage::DataType::kDouble,
+                                 false},
+       flock::storage::ColumnDef{"b", flock::storage::DataType::kDouble,
+                                 false}});
+  flock::storage::Table table("t", schema);
+  flock::storage::RecordBatch staging(schema);
+  Random rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    (void)staging.AppendRow({flock::storage::Value::Double(rng.NextDouble()),
+                             flock::storage::Value::Double(rng.NextDouble())});
+  }
+  (void)table.AppendBatch(staging);
+  for (auto _ : state) {
+    for (size_t begin = 0; begin < table.num_rows(); begin += 2048) {
+      auto batch = table.ScanRange(begin, begin + 2048);
+      benchmark::DoNotOptimize(batch);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_TableScan);
+
+void BM_SqlFilterQuery(benchmark::State& state) {
+  static flock::storage::Database* db = [] {
+    auto* database = new flock::storage::Database();
+    flock::sql::EngineOptions options;
+    options.num_threads = 1;
+    flock::sql::SqlEngine setup(database, options);
+    (void)setup.Execute("CREATE TABLE t (a DOUBLE, b DOUBLE)");
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 2000; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i % 97) + ".5, " +
+                std::to_string(i % 31) + ".25)";
+    }
+    (void)setup.Execute(insert);
+    return database;
+  }();
+  flock::sql::EngineOptions options;
+  options.num_threads = 1;
+  options.keep_query_log = false;
+  flock::sql::SqlEngine engine(db, options);
+  for (auto _ : state) {
+    auto result =
+        engine.Execute("SELECT COUNT(*) FROM t WHERE a > 50 AND b < 20");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SqlFilterQuery);
+
+void BM_ProvenanceCapturePerQuery(benchmark::State& state) {
+  static flock::storage::Database* db = [] {
+    auto* database = new flock::storage::Database();
+    flock::workload::TpchWorkload tpch;
+    (void)tpch.CreateSchema(database);
+    return database;
+  }();
+  flock::workload::TpchWorkload tpch(11);
+  auto queries = tpch.GenerateQueryStream(22);
+  flock::prov::Catalog catalog;
+  flock::prov::SqlCaptureModule capture(&catalog, db);
+  size_t i = 0;
+  for (auto _ : state) {
+    (void)capture.CaptureStatement(queries[i % queries.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProvenanceCapturePerQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Reproduces Table 1 of §4.2 ("provenance capture performance"):
+//
+//   Dataset  #Queries  Latency  Size(nodes+edges)
+//   TPC-H    2,208     110s     22,330
+//   TPC-C    2,200     124s     34,785
+//
+// We generate the same query volumes from all TPC-H templates and the
+// TPC-C transaction mix, run the eager SQL provenance capture over them,
+// and report capture latency and provenance-graph size. Absolute latency
+// differs from the paper (their capture stack round-trips through Apache
+// Atlas); the shape to check is: thousands of queries produce graphs of
+// tens of thousands of nodes+edges, and update-heavy TPC-C yields a
+// *larger* graph than TPC-H at similar query count because every mutation
+// creates a new table-version entity. Lazy capture over the same log is
+// reported for comparison.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "prov/catalog.h"
+#include "prov/sql_capture.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using flock::FormatWithCommas;
+using flock::Stopwatch;
+
+struct Row {
+  std::string dataset;
+  size_t queries = 0;
+  double latency_s = 0.0;
+  size_t entities = 0;
+  size_t edges = 0;
+  size_t failures = 0;
+};
+
+Row Capture(const std::string& name,
+            const std::vector<std::string>& queries,
+            const flock::storage::Database& db) {
+  flock::prov::Catalog catalog;
+  flock::prov::SqlCaptureModule capture(&catalog, &db);
+  Stopwatch timer;
+  for (const std::string& q : queries) {
+    (void)capture.CaptureStatement(q);
+  }
+  Row row;
+  row.dataset = name;
+  row.queries = queries.size();
+  row.latency_s = timer.ElapsedSeconds();
+  row.entities = catalog.num_entities();
+  row.edges = catalog.num_edges();
+  row.failures = capture.stats().parse_failures;
+  return row;
+}
+
+void Print(const Row& row) {
+  std::printf("%-8s %10s %11.2fs %12s  (%s nodes + %s edges, %zu parse "
+              "failures)\n",
+              row.dataset.c_str(),
+              FormatWithCommas(static_cast<long long>(row.queries)).c_str(),
+              row.latency_s,
+              FormatWithCommas(
+                  static_cast<long long>(row.entities + row.edges))
+                  .c_str(),
+              FormatWithCommas(static_cast<long long>(row.entities)).c_str(),
+              FormatWithCommas(static_cast<long long>(row.edges)).c_str(),
+              row.failures);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: provenance capture performance (eager mode)\n");
+  std::printf("%-8s %10s %12s %12s\n", "Dataset", "#Queries", "Latency",
+              "Size(n+e)");
+
+  // TPC-H: 2,208 queries from all 22 templates (as in the paper).
+  flock::storage::Database tpch_db;
+  flock::workload::TpchWorkload tpch(42);
+  if (!tpch.CreateSchema(&tpch_db).ok()) return 1;
+  Row tpch_row =
+      Capture("TPC-H", tpch.GenerateQueryStream(2208), tpch_db);
+  Print(tpch_row);
+
+  // TPC-C: 2,200 statements from the standard transaction mix.
+  flock::storage::Database tpcc_db;
+  flock::workload::TpccWorkload tpcc(42);
+  if (!tpcc.CreateSchema(&tpcc_db).ok()) return 1;
+  Row tpcc_row =
+      Capture("TPC-C", tpcc.GenerateQueryStream(2200), tpcc_db);
+  Print(tpcc_row);
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  graph sizes in the tens of thousands: TPC-H=%zu, "
+              "TPC-C=%zu  (paper: 22,330 / 34,785)\n",
+              tpch_row.entities + tpch_row.edges,
+              tpcc_row.entities + tpcc_row.edges);
+  std::printf("  update-heavy TPC-C produces the larger graph: %s\n",
+              (tpcc_row.entities + tpcc_row.edges >
+               tpch_row.entities + tpch_row.edges)
+                  ? "yes"
+                  : "NO (unexpected)");
+  std::printf("  per-query capture latency: TPC-H %.3f ms, TPC-C %.3f ms "
+              "(paper: ~50ms/query through Apache Atlas; ours is an "
+              "embedded catalog)\n",
+              1000.0 * tpch_row.latency_s /
+                  static_cast<double>(tpch_row.queries),
+              1000.0 * tpcc_row.latency_s /
+                  static_cast<double>(tpcc_row.queries));
+
+  // Lazy capture over an engine query log, for completeness.
+  flock::storage::Database lazy_db;
+  flock::workload::TpchWorkload tpch2(7);
+  if (!tpch2.CreateSchema(&lazy_db).ok()) return 1;
+  auto log = tpch2.GenerateQueryStream(500);
+  flock::prov::Catalog lazy_catalog;
+  flock::prov::SqlCaptureModule lazy(&lazy_catalog, &lazy_db);
+  Stopwatch lazy_timer;
+  (void)lazy.CaptureLog(log);
+  std::printf("\nlazy capture over a 500-query log: %.2f ms, graph size "
+              "%zu\n",
+              lazy_timer.ElapsedMillis(), lazy_catalog.GraphSize());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Table 2 of §4.2 (Python provenance coverage):
+//
+//   Dataset    #Scripts  %Models Covered  %Training Datasets Covered
+//   Kaggle     49        95%              61%
+//   Microsoft  37        100%             100%
+//
+// Two synthetic corpora with generator-known ground truth stand in for the
+// paper's Kaggle and Microsoft-internal script sets: the "Kaggle" corpus
+// mixes in helper-function model construction and loaders outside the ML
+// API knowledge base (the real coverage limits of static analysis), while
+// the "internal" corpus uses only KB-known APIs.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "pyprov/analyzer.h"
+#include "pyprov/py_parser.h"
+#include "workload/scripts.h"
+
+namespace {
+
+using flock::pyprov::AnalysisResult;
+using flock::pyprov::KnowledgeBase;
+using flock::workload::GeneratedScript;
+
+struct CoverageRow {
+  std::string dataset;
+  size_t scripts = 0;
+  double models_pct = 0.0;
+  double datasets_pct = 0.0;
+  double analyze_ms = 0.0;
+};
+
+CoverageRow Measure(const std::string& name,
+                    const std::vector<GeneratedScript>& corpus,
+                    const KnowledgeBase& kb) {
+  size_t true_models = 0, found_models = 0;
+  size_t true_links = 0, found_links = 0;
+  flock::Stopwatch timer;
+  for (const GeneratedScript& generated : corpus) {
+    auto script =
+        flock::pyprov::ParseScript(generated.name, generated.source);
+    if (!script.ok()) {
+      std::fprintf(stderr, "parse failure in %s: %s\n",
+                   generated.name.c_str(),
+                   script.status().ToString().c_str());
+      continue;
+    }
+    AnalysisResult result = flock::pyprov::Analyze(*script, kb);
+    true_models += generated.true_models;
+    found_models += std::min(result.models.size(), generated.true_models);
+    true_links += generated.true_training_links;
+    size_t links = 0;
+    for (const auto& model : result.models) {
+      if (!model.training_sources.empty()) ++links;
+    }
+    found_links += std::min(links, generated.true_training_links);
+  }
+  CoverageRow row;
+  row.dataset = name;
+  row.scripts = corpus.size();
+  row.analyze_ms = timer.ElapsedMillis();
+  row.models_pct = 100.0 * static_cast<double>(found_models) /
+                   static_cast<double>(true_models);
+  row.datasets_pct = 100.0 * static_cast<double>(found_links) /
+                     static_cast<double>(true_links);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  KnowledgeBase kb = KnowledgeBase::Default();
+  std::printf("Table 2: Python provenance module coverage\n");
+  std::printf("%-10s %9s %16s %27s\n", "Dataset", "#Scripts",
+              "%Models Covered", "%Training Datasets Covered");
+
+  CoverageRow kaggle =
+      Measure("Kaggle", flock::workload::GenerateKaggleCorpus(42), kb);
+  std::printf("%-10s %9zu %15.0f%% %26.0f%%   (paper: 95%% / 61%%)\n",
+              kaggle.dataset.c_str(), kaggle.scripts, kaggle.models_pct,
+              kaggle.datasets_pct);
+
+  CoverageRow internal =
+      Measure("Microsoft", flock::workload::GenerateInternalCorpus(42),
+              kb);
+  std::printf("%-10s %9zu %15.0f%% %26.0f%%   (paper: 100%% / 100%%)\n",
+              internal.dataset.c_str(), internal.scripts,
+              internal.models_pct, internal.datasets_pct);
+
+  std::printf("\nanalysis latency: Kaggle %.2f ms total, internal %.2f ms "
+              "total (knowledge base: %zu API entries)\n",
+              kaggle.analyze_ms, internal.analyze_ms, kb.size());
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  disciplined corpus at 100/100: %s\n",
+              (internal.models_pct == 100.0 &&
+               internal.datasets_pct == 100.0)
+                  ? "yes"
+                  : "NO (unexpected)");
+  std::printf("  messy corpus loses more dataset coverage than model "
+              "coverage: %s\n",
+              kaggle.datasets_pct < kaggle.models_pct ? "yes"
+                                                      : "NO (unexpected)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the Flock loop in one file.
+//
+//   1. create a table and load data (SQL);
+//   2. train an inference pipeline (featurizers + GBDT) in the "cloud";
+//   3. deploy it as a first-class database object;
+//   4. score it *inside* SQL queries with PREDICT(...);
+//   5. look at what the SQLxML cross-optimizer did to the plan.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "flock/flock_engine.h"
+#include "ml/tree.h"
+#include "workload/synthetic.h"
+
+using flock::flock::FlockEngine;
+using flock::flock::FlockEngineOptions;
+
+int main() {
+  // --- 1-3: table + data + trained/deployed model -----------------------
+  // BuildInferenceWorkload stands in for "train in the cloud": it creates
+  // table `clickstream`, trains a GBDT pipeline on a sample, and deploys
+  // it as model `ctr`.
+  FlockEngineOptions options;
+  FlockEngine engine(options);
+  flock::workload::InferenceWorkloadOptions workload_options;
+  workload_options.num_rows = 20000;
+  auto workload =
+      flock::workload::BuildInferenceWorkload(&engine, workload_options);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deployed model 'ctr': %s\n",
+              workload->pipeline.Summary().c_str());
+
+  // --- 4: in-DBMS inference ---------------------------------------------
+  auto top = engine.Execute(
+      "SELECT id, PREDICT(ctr, f0, f1, f2, f3, f4, f5, f6, f7, f8, f9, "
+      "f10, f11, f12, f13, f14, f15, f16, f17, f18, f19, f20, f21, f22, "
+      "f23, f24, f25, f26, segment) AS score "
+      "FROM clickstream WHERE segment = 'web' "
+      "ORDER BY score DESC LIMIT 5");
+  if (!top.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 top.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop-5 'web' rows by predicted click-through:\n%s\n",
+              top->batch.ToString().c_str());
+
+  // --- 5: what the cross-optimizer did ------------------------------------
+  auto explain = engine.Execute(
+      "EXPLAIN SELECT id FROM clickstream WHERE segment = 'web' AND "
+      "PREDICT(ctr, f0, f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11, "
+      "f12, f13, f14, f15, f16, f17, f18, f19, f20, f21, f22, f23, f24, "
+      "f25, f26, segment) > 0.8");
+  std::printf("optimized plan (note the split filters, the PREDICT_GT "
+              "threshold intrinsic, the pruned model '#p...' and the "
+              "narrowed scan):\n%s\n",
+              explain->plan_text.c_str());
+
+  const auto& stats = engine.cross_optimizer()->stats();
+  std::printf("cross-optimizer: %zu filter split(s), %zu predicate(s) "
+              "pushed into the model, %zu unused feature(s) pruned, %zu "
+              "tree node(s) removed via data statistics\n",
+              stats.filters_split, stats.predicates_pushed_up,
+              stats.features_pruned, stats.tree_nodes_compressed);
+
+  // Models are governed objects: audit trail comes for free.
+  std::printf("\naudit log has %zu event(s); last: model scored by "
+              "'%s'\n",
+              engine.models()->audit_log().size(),
+              engine.models()->audit_log().back().principal.c_str());
+  return 0;
+}

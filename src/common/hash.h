@@ -1,0 +1,45 @@
+#ifndef FLOCK_COMMON_HASH_H_
+#define FLOCK_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace flock {
+
+/// FNV-1a 64-bit over raw bytes; used for hash-join/aggregate buckets and
+/// provenance-node identity fingerprints.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t seed = 14695981039346656037ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed =
+                               14695981039346656037ULL) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Boost-style mix adapted to 64 bits.
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+inline uint64_t HashInt64(int64_t v, uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+  uint64_t x = static_cast<uint64_t>(v) + seed;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef FLOCK_COMMON_LOGGING_H_
+#define FLOCK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace flock {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after logging.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FLOCK_LOG(level)                                              \
+  ::flock::internal::LogMessage(::flock::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programmer errors only; recoverable conditions return Status instead.
+#define FLOCK_CHECK(cond)                                       \
+  if (!(cond))                                                  \
+  ::flock::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define FLOCK_DCHECK(cond) FLOCK_CHECK(cond)
+#else
+#define FLOCK_DCHECK(cond) \
+  if (false)               \
+  ::flock::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#endif
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_LOGGING_H_

@@ -1,0 +1,106 @@
+#ifndef FLOCK_COMMON_RANDOM_H_
+#define FLOCK_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace flock {
+
+/// Deterministic xorshift64* PRNG. Every workload generator in Flock takes an
+/// explicit seed so experiments are reproducible run-to-run.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 88172645463325252ULL)
+      : state_(seed == 0 ? 0x9E3779B97F4A7C15ULL : seed) {}
+
+  uint64_t NextUint64() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : NextUint64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed sampler over ranks 1..n with skew `s`.
+///
+/// Used by the notebook-corpus generator (Figure 2): package popularity in
+/// public notebooks is heavy-tailed, and coverage-vs-top-K curves are a
+/// direct function of this distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed);
+
+  /// Returns a rank in [0, n).
+  size_t Next();
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  Random rng_;
+};
+
+inline ZipfSampler::ZipfSampler(size_t n, double s, uint64_t seed)
+    : rng_(seed) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+inline size_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  // Binary search the CDF.
+  size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_RANDOM_H_

@@ -1,0 +1,106 @@
+#ifndef FLOCK_COMMON_STATUS_H_
+#define FLOCK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace flock {
+
+/// Error taxonomy shared across all Flock subsystems. Follows the
+/// RocksDB/Arrow convention of returning rich status objects instead of
+/// throwing exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kInternal,
+  kAborted,
+  kOutOfRange,
+  kPermissionDenied,
+  kParseError,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Operation outcome: either OK or an error code with a message.
+///
+/// Cheap to copy in the OK case (empty message). All Flock APIs that can
+/// fail return `Status` or `StatusOr<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller. Standard early-return macro.
+#define FLOCK_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::flock::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value on success and
+/// returning the error on failure. `lhs` must be a declaration.
+#define FLOCK_ASSIGN_OR_RETURN(lhs, expr)                    \
+  FLOCK_ASSIGN_OR_RETURN_IMPL(                               \
+      FLOCK_STATUS_CONCAT(_status_or, __LINE__), lhs, expr)
+
+#define FLOCK_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value();
+
+#define FLOCK_STATUS_CONCAT_IMPL(x, y) x##y
+#define FLOCK_STATUS_CONCAT(x, y) FLOCK_STATUS_CONCAT_IMPL(x, y)
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_STATUS_H_

@@ -1,0 +1,62 @@
+#ifndef FLOCK_COMMON_STATUS_OR_H_
+#define FLOCK_COMMON_STATUS_OR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace flock {
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Mirrors absl::StatusOr / arrow::Result. Construction from a value is
+/// implicit so functions can `return value;` directly; construction from a
+/// non-OK Status is implicit so `return Status::NotFound(...)` works too.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a success value.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error; `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_STATUS_OR_H_

@@ -1,0 +1,58 @@
+#ifndef FLOCK_FLOCK_DEPLOYMENT_H_
+#define FLOCK_FLOCK_DEPLOYMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flock/model_registry.h"
+
+namespace flock::flock {
+
+/// Atomic multi-model deployment (paper §4.1: "assemblies of models and
+/// preprocessing steps should be updated atomically", enabled by treating
+/// models as first-class data that database transactions can cover).
+///
+/// Stage any number of registrations/drops, then Commit: either every
+/// operation applies, or — on the first failure — all already-applied
+/// operations are rolled back (re-registering the prior version or
+/// dropping the newly created model) and the registry is left unchanged.
+class DeployTransaction {
+ public:
+  explicit DeployTransaction(ModelRegistry* registry)
+      : registry_(registry) {}
+
+  /// Stages a model (re)deployment.
+  void StageRegister(std::string name, ml::Pipeline pipeline,
+                     std::string created_by = "system",
+                     std::string lineage = "");
+
+  /// Stages a model removal.
+  void StageDrop(std::string name);
+
+  /// Applies all staged operations atomically. On failure returns the
+  /// first error and restores the registry to its pre-transaction state.
+  Status Commit();
+
+  /// Discards staged operations.
+  void Abort() { operations_.clear(); }
+
+  size_t staged() const { return operations_.size(); }
+
+ private:
+  struct Operation {
+    enum class Kind { kRegister, kDrop };
+    Kind kind;
+    std::string name;
+    ml::Pipeline pipeline;
+    std::string created_by;
+    std::string lineage;
+  };
+
+  ModelRegistry* registry_;
+  std::vector<Operation> operations_;
+};
+
+}  // namespace flock::flock
+
+#endif  // FLOCK_FLOCK_DEPLOYMENT_H_

@@ -1,0 +1,155 @@
+#include "flock/flock_engine.h"
+
+#include "common/string_util.h"
+
+namespace flock::flock {
+
+namespace {
+
+const char* ModelTypeName(ml::Pipeline::ModelType type) {
+  switch (type) {
+    case ml::Pipeline::ModelType::kLinear:
+      return "linear";
+    case ml::Pipeline::ModelType::kTrees:
+      return "trees";
+    case ml::Pipeline::ModelType::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+const char* AuditKindName(AuditEvent::Kind kind) {
+  switch (kind) {
+    case AuditEvent::Kind::kRegister:
+      return "REGISTER";
+    case AuditEvent::Kind::kDrop:
+      return "DROP";
+    case AuditEvent::Kind::kScore:
+      return "SCORE";
+    case AuditEvent::Kind::kDenied:
+      return "DENIED";
+    case AuditEvent::Kind::kSpecialize:
+      return "SPECIALIZE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlockEngine::FlockEngine(FlockEngineOptions options)
+    : sql_engine_(&db_, options.sql),
+      cross_optimizer_(&models_, options.cross),
+      context_(std::make_shared<ScoringContext>()),
+      enable_cross_optimizer_(options.enable_cross_optimizer) {
+  context_->runtime = options.runtime;
+
+  RegisterPredictFunctions(sql_engine_.functions(), &models_, context_);
+
+  sql_engine_.set_plan_rewriter([this](sql::PlanPtr* plan) -> Status {
+    if (!enable_cross_optimizer_) return Status::OK();
+    return cross_optimizer_.Rewrite(plan);
+  });
+
+  sql_engine_.set_model_ddl_handler(
+      [this](const sql::CreateModelStatement& stmt) -> Status {
+        FLOCK_ASSIGN_OR_RETURN(ml::Pipeline pipeline,
+                               ml::Pipeline::Deserialize(stmt.definition));
+        return models_.Register(stmt.model_name, std::move(pipeline),
+                                context_->principal, "sql:CREATE MODEL");
+      },
+      [this](const sql::DropModelStatement& stmt) -> Status {
+        return models_.Drop(stmt.model_name, context_->principal);
+      });
+}
+
+StatusOr<sql::QueryResult> FlockEngine::Execute(const std::string& sql) {
+  std::string lowered = ToLower(sql);
+  if (lowered.find("flock_models") != std::string::npos ||
+      lowered.find("flock_audit") != std::string::npos) {
+    FLOCK_RETURN_NOT_OK(RefreshCatalogTables());
+  }
+  return sql_engine_.Execute(sql);
+}
+
+Status FlockEngine::RefreshCatalogTables() {
+  using storage::ColumnDef;
+  using storage::DataType;
+  using storage::Schema;
+  using storage::Value;
+
+  // flock_models: one row per user-visible model (latest version).
+  if (db_.HasTable("flock_models")) {
+    FLOCK_RETURN_NOT_OK(db_.DropTable("flock_models"));
+  }
+  Schema models_schema({ColumnDef{"name", DataType::kString, false},
+                        ColumnDef{"version", DataType::kInt64, false},
+                        ColumnDef{"created_by", DataType::kString, false},
+                        ColumnDef{"lineage", DataType::kString, true},
+                        ColumnDef{"model_type", DataType::kString, false},
+                        ColumnDef{"num_inputs", DataType::kInt64, false},
+                        ColumnDef{"tree_nodes", DataType::kInt64, false},
+                        ColumnDef{"restricted", DataType::kBool, false}});
+  FLOCK_RETURN_NOT_OK(db_.CreateTable("flock_models", models_schema));
+  {
+    FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table,
+                           db_.GetTable("flock_models"));
+    storage::RecordBatch rows(models_schema);
+    for (const std::string& name : models_.ListModels()) {
+      FLOCK_ASSIGN_OR_RETURN(const ModelEntry* entry, models_.Get(name));
+      FLOCK_RETURN_NOT_OK(rows.AppendRow(
+          {Value::String(entry->name),
+           Value::Int(static_cast<int64_t>(entry->version)),
+           Value::String(entry->created_by), Value::String(entry->lineage),
+           Value::String(ModelTypeName(entry->pipeline.model_type())),
+           Value::Int(static_cast<int64_t>(entry->pipeline.num_inputs())),
+           Value::Int(static_cast<int64_t>(entry->graph.TotalTreeNodes())),
+           Value::Bool(!entry->allowed_principals.empty())}));
+    }
+    FLOCK_RETURN_NOT_OK(table->AppendBatch(rows));
+  }
+
+  // flock_audit: the registry's audit trail.
+  if (db_.HasTable("flock_audit")) {
+    FLOCK_RETURN_NOT_OK(db_.DropTable("flock_audit"));
+  }
+  Schema audit_schema({ColumnDef{"seq", DataType::kInt64, false},
+                       ColumnDef{"kind", DataType::kString, false},
+                       ColumnDef{"model", DataType::kString, false},
+                       ColumnDef{"principal", DataType::kString, false},
+                       ColumnDef{"version", DataType::kInt64, false},
+                       ColumnDef{"rows_scored", DataType::kInt64, false}});
+  FLOCK_RETURN_NOT_OK(db_.CreateTable("flock_audit", audit_schema));
+  {
+    FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table,
+                           db_.GetTable("flock_audit"));
+    storage::RecordBatch rows(audit_schema);
+    int64_t seq = 0;
+    for (const AuditEvent& event : models_.audit_log()) {
+      FLOCK_RETURN_NOT_OK(rows.AppendRow(
+          {Value::Int(seq++), Value::String(AuditKindName(event.kind)),
+           Value::String(event.model), Value::String(event.principal),
+           Value::Int(static_cast<int64_t>(event.version)),
+           Value::Int(static_cast<int64_t>(event.rows))}));
+    }
+    FLOCK_RETURN_NOT_OK(table->AppendBatch(rows));
+  }
+  return Status::OK();
+}
+
+StatusOr<sql::QueryResult> FlockEngine::ExecuteScript(
+    const std::string& sql) {
+  return sql_engine_.ExecuteScript(sql);
+}
+
+Status FlockEngine::DeployModel(const std::string& name,
+                                ml::Pipeline pipeline,
+                                const std::string& created_by,
+                                const std::string& lineage) {
+  return models_.Register(name, std::move(pipeline), created_by, lineage);
+}
+
+void FlockEngine::SetPrincipal(const std::string& principal) {
+  context_->principal = principal;
+}
+
+}  // namespace flock::flock

@@ -1,0 +1,97 @@
+#ifndef FLOCK_FLOCK_FLOCK_ENGINE_H_
+#define FLOCK_FLOCK_FLOCK_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "flock/cross_optimizer.h"
+#include "flock/deployment.h"
+#include "flock/model_registry.h"
+#include "flock/predict_functions.h"
+#include "sql/engine.h"
+#include "storage/database.h"
+
+namespace flock::flock {
+
+struct FlockEngineOptions {
+  sql::EngineOptions sql;
+  CrossOptimizer::Options cross;
+  RuntimeSelectionOptions runtime;
+  /// Master switch for the SQLxML cross-optimizer. Off = "SONNX" config
+  /// (in-DB inference, relational optimizations only); on = "SONNX-ext".
+  bool enable_cross_optimizer = true;
+};
+
+/// The Flock engine: a SQL engine with models as first-class objects and
+/// in-DBMS inference (paper §2 & §4.1).
+///
+/// Composition: storage::Database (tables) + sql::SqlEngine (parse / plan /
+/// optimize / execute) + ModelRegistry (deployed pipelines, versioned and
+/// access-controlled) + CrossOptimizer (hybrid SQLxML rewrites installed as
+/// the engine's plan-rewriter hook) + PREDICT kernels in the function
+/// registry. SQL gains:
+///
+///   CREATE MODEL churn FROM '<serialized pipeline>';
+///   SELECT id, PREDICT(churn, age, plan, spend) FROM users
+///   WHERE region = 'US' AND PREDICT(churn, age, plan, spend) > 0.8;
+///   DROP MODEL churn;
+class FlockEngine {
+ public:
+  explicit FlockEngine(FlockEngineOptions options = {});
+
+  FlockEngine(const FlockEngine&) = delete;
+  FlockEngine& operator=(const FlockEngine&) = delete;
+
+  /// Executes one SQL statement (including CREATE/DROP MODEL). Queries
+  /// touching the model catalog views (`flock_models`, `flock_audit`)
+  /// see a snapshot refreshed at statement start — models are data, so
+  /// they are queryable like any other table:
+  ///
+  ///   SELECT name, version, created_by FROM flock_models;
+  ///   SELECT principal, COUNT(*) FROM flock_audit GROUP BY principal;
+  StatusOr<sql::QueryResult> Execute(const std::string& sql);
+
+  /// Rebuilds the `flock_models` / `flock_audit` catalog tables from the
+  /// registry (Execute calls this lazily; exposed for tests).
+  Status RefreshCatalogTables();
+
+  /// Executes a ';'-separated script, returning the last result.
+  StatusOr<sql::QueryResult> ExecuteScript(const std::string& sql);
+
+  /// Registers a trained pipeline under `name` (API-level deployment).
+  Status DeployModel(const std::string& name, ml::Pipeline pipeline,
+                     const std::string& created_by = "system",
+                     const std::string& lineage = "");
+
+  /// Begins an atomic multi-model deployment.
+  DeployTransaction BeginDeployment() {
+    return DeployTransaction(&models_);
+  }
+
+  /// Sets the principal attached to subsequent scoring calls (access
+  /// control + audit).
+  void SetPrincipal(const std::string& principal);
+  const std::string& principal() const { return context_->principal; }
+
+  storage::Database* database() { return &db_; }
+  sql::SqlEngine* sql() { return &sql_engine_; }
+  ModelRegistry* models() { return &models_; }
+  CrossOptimizer* cross_optimizer() { return &cross_optimizer_; }
+
+  void set_enable_cross_optimizer(bool on) {
+    enable_cross_optimizer_ = on;
+  }
+  bool enable_cross_optimizer() const { return enable_cross_optimizer_; }
+
+ private:
+  storage::Database db_;
+  ModelRegistry models_;
+  sql::SqlEngine sql_engine_;
+  CrossOptimizer cross_optimizer_;
+  std::shared_ptr<ScoringContext> context_;
+  bool enable_cross_optimizer_ = true;
+};
+
+}  // namespace flock::flock
+
+#endif  // FLOCK_FLOCK_FLOCK_ENGINE_H_

@@ -1,0 +1,240 @@
+#include "flock/model_registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace flock::flock {
+
+namespace {
+std::string Key(const std::string& name) { return ToLower(name); }
+}  // namespace
+
+void ModelRegistry::AnalyzeEntry(ModelEntry* entry) {
+  entry->ends_with_sigmoid = false;
+  entry->tree_node_id = -1;
+  const auto& nodes = entry->graph.nodes();
+  int out = entry->graph.output_id();
+  if (out >= 0 && nodes[static_cast<size_t>(out)].op ==
+                      ml::OpType::kSigmoid) {
+    entry->ends_with_sigmoid = true;
+  }
+  for (const ml::GraphNode& node : nodes) {
+    if (node.op == ml::OpType::kTreeEnsemble) {
+      entry->tree_node_id = node.id;
+      // Suffix bounds over tree leaf values (boosted-sum semantics).
+      const auto& trees = node.trees;
+      entry->bounds.suffix_min.assign(trees.size() + 1, 0.0);
+      entry->bounds.suffix_max.assign(trees.size() + 1, 0.0);
+      for (size_t i = trees.size(); i-- > 0;) {
+        double tree_min = 0.0, tree_max = 0.0;
+        bool first = true;
+        for (const ml::TreeNode& tn : trees[i].nodes) {
+          if (tn.is_leaf()) {
+            if (first) {
+              tree_min = tree_max = tn.value;
+              first = false;
+            } else {
+              tree_min = std::min(tree_min, tn.value);
+              tree_max = std::max(tree_max, tn.value);
+            }
+          }
+        }
+        entry->bounds.suffix_min[i] =
+            entry->bounds.suffix_min[i + 1] + tree_min;
+        entry->bounds.suffix_max[i] =
+            entry->bounds.suffix_max[i + 1] + tree_max;
+      }
+    }
+  }
+}
+
+Status ModelRegistry::Register(const std::string& name,
+                               ml::Pipeline pipeline,
+                               const std::string& created_by,
+                               const std::string& lineage) {
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->created_by = created_by;
+  entry->lineage = lineage;
+  FLOCK_ASSIGN_OR_RETURN(entry->graph, pipeline.Compile());
+  entry->pipeline = std::move(pipeline);
+  AnalyzeEntry(entry.get());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& history = models_[Key(name)];
+  entry->version = history.empty() ? 1 : history.back()->version + 1;
+  if (!history.empty()) {
+    // New versions inherit the access policy.
+    entry->allowed_principals = history.back()->allowed_principals;
+  }
+  history.push_back(entry);
+  // Invalidate cached specializations of this model.
+  for (auto it = specializations_.begin(); it != specializations_.end();) {
+    if (StartsWith(it->first, Key(name) + "#")) {
+      it = specializations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  audit_log_.push_back(AuditEvent{AuditEvent::Kind::kRegister, name,
+                                  created_by, entry->version, 0});
+  return Status::OK();
+}
+
+Status ModelRegistry::Drop(const std::string& name,
+                           const std::string& principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  models_.erase(it);
+  for (auto sit = specializations_.begin();
+       sit != specializations_.end();) {
+    if (StartsWith(sit->first, Key(name) + "#")) {
+      sit = specializations_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  audit_log_.push_back(
+      AuditEvent{AuditEvent::Kind::kDrop, name, principal, 0, 0});
+  return Status::OK();
+}
+
+StatusOr<const ModelEntry*> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  return it->second.back().get();
+}
+
+StatusOr<const ModelEntry*> ModelRegistry::GetVersion(
+    const std::string& name, uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  for (const auto& entry : it->second) {
+    if (entry->version == version) return entry.get();
+  }
+  return Status::NotFound("model " + name + " has no version " +
+                          std::to_string(version));
+}
+
+StatusOr<const ModelEntry*> ModelRegistry::GetForScoring(
+    const std::string& name, const std::string& principal,
+    size_t rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  const auto& entry = it->second.back();
+  if (!entry->allowed_principals.empty() &&
+      entry->allowed_principals.count(principal) == 0) {
+    audit_log_.push_back(AuditEvent{AuditEvent::Kind::kDenied, name,
+                                    principal, entry->version, rows});
+    return Status::PermissionDenied("principal '" + principal +
+                                    "' may not score model " + name);
+  }
+  audit_log_.push_back(AuditEvent{AuditEvent::Kind::kScore, name,
+                                  principal, entry->version, rows});
+  return entry.get();
+}
+
+Status ModelRegistry::CheckAccess(const std::string& name,
+                                  const std::string& principal,
+                                  size_t rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  const auto& entry = it->second.back();
+  if (!entry->allowed_principals.empty() &&
+      entry->allowed_principals.count(principal) == 0) {
+    audit_log_.push_back(AuditEvent{AuditEvent::Kind::kDenied, name,
+                                    principal, entry->version, rows});
+    return Status::PermissionDenied("principal '" + principal +
+                                    "' may not score model " + name);
+  }
+  audit_log_.push_back(AuditEvent{AuditEvent::Kind::kScore, name,
+                                  principal, entry->version, rows});
+  return Status::OK();
+}
+
+Status ModelRegistry::SetAccessControl(const std::string& name,
+                                       std::set<std::string> principals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("model not found: " + name);
+  }
+  it->second.back()->allowed_principals = std::move(principals);
+  return Status::OK();
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> ModelRegistry::ListModels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, history] : models_) {
+    if (!history.empty()) out.push_back(history.back()->name);
+  }
+  return out;
+}
+
+uint64_t ModelRegistry::CurrentVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(Key(name));
+  if (it == models_.end() || it->second.empty()) return 0;
+  return it->second.back()->version;
+}
+
+Status ModelRegistry::RegisterSpecialization(const std::string& key,
+                                             ModelEntry entry) {
+  auto shared = std::make_shared<ModelEntry>(std::move(entry));
+  AnalyzeEntry(shared.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  specializations_[Key(key)] = std::move(shared);
+  audit_log_.push_back(AuditEvent{AuditEvent::Kind::kSpecialize, key,
+                                  "optimizer", 0, 0});
+  return Status::OK();
+}
+
+StatusOr<const ModelEntry*> ModelRegistry::GetSpecialization(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = specializations_.find(Key(key));
+  if (it == specializations_.end()) {
+    return Status::NotFound("specialization not found: " + key);
+  }
+  return it->second.get();
+}
+
+bool ModelRegistry::HasSpecialization(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return specializations_.count(Key(key)) > 0;
+}
+
+void ModelRegistry::ClearSpecializations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specializations_.clear();
+}
+
+size_t ModelRegistry::num_specializations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return specializations_.size();
+}
+
+}  // namespace flock::flock

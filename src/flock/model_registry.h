@@ -1,0 +1,141 @@
+#ifndef FLOCK_FLOCK_MODEL_REGISTRY_H_
+#define FLOCK_FLOCK_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "ml/graph.h"
+#include "ml/pipeline.h"
+
+namespace flock::flock {
+
+/// Bound limits for threshold short-circuiting: suffix min/max of remaining
+/// tree contributions, precomputed per model.
+struct TreeSuffixBounds {
+  std::vector<double> suffix_min;  // [i] = min of trees[i..]
+  std::vector<double> suffix_max;
+};
+
+/// A deployed model: the paper's "models as first-class data types in a
+/// DBMS" (§4.1). Carries the inference pipeline, its compiled graph, and
+/// the enterprise metadata (version, lineage pointer, access control) that
+/// §4.2 argues models must have "on par with other high-value data".
+struct ModelEntry {
+  std::string name;
+  uint64_t version = 1;
+  ml::Pipeline pipeline;
+  ml::ModelGraph graph;  // compiled & finalized
+
+  // --- governance ---
+  std::string created_by;
+  /// Free-form lineage pointer (provenance catalog entity id, training
+  /// data snapshot, script hash, ...).
+  std::string lineage;
+  /// Principals allowed to score; empty = public.
+  std::set<std::string> allowed_principals;
+
+  /// For optimizer specializations: the user-visible model this variant was
+  /// derived from. Access control and audit are enforced against it.
+  std::string base_name;
+
+  /// For optimizer specializations: maps graph input column -> index of the
+  /// original pipeline input it came from (empty = identity). Feature
+  /// assembly uses this to pick the right encoding per argument.
+  std::vector<size_t> input_mapping;
+
+  // --- precomputed scoring metadata ---
+  /// True when the graph ends in Sigmoid (strippable for predicate
+  /// push-up).
+  bool ends_with_sigmoid = false;
+  /// Index of the TreeEnsemble node, or -1.
+  int tree_node_id = -1;
+  TreeSuffixBounds bounds;
+};
+
+/// One entry in the registry's audit trail.
+struct AuditEvent {
+  enum class Kind { kRegister, kDrop, kScore, kDenied, kSpecialize };
+  Kind kind;
+  std::string model;
+  std::string principal;
+  uint64_t version = 0;
+  size_t rows = 0;
+};
+
+/// Thread-safe model catalog with versioning, access control, and an audit
+/// log. Also stores the cross-optimizer's internal model specializations
+/// (pruned/compressed variants), which are keyed by derived names and are
+/// not user-visible.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers (or re-versions) `name`. The pipeline is compiled and
+  /// validated here; an invalid pipeline never enters the catalog.
+  Status Register(const std::string& name, ml::Pipeline pipeline,
+                  const std::string& created_by = "system",
+                  const std::string& lineage = "");
+
+  Status Drop(const std::string& name,
+              const std::string& principal = "system");
+
+  /// Latest version. NotFound if absent.
+  StatusOr<const ModelEntry*> Get(const std::string& name) const;
+
+  /// Specific version (versions are 1-based and monotonic).
+  StatusOr<const ModelEntry*> GetVersion(const std::string& name,
+                                         uint64_t version) const;
+
+  /// Get + ACL check + audit. PermissionDenied when `principal` lacks
+  /// access.
+  StatusOr<const ModelEntry*> GetForScoring(const std::string& name,
+                                            const std::string& principal,
+                                            size_t rows) const;
+
+  /// ACL check + audit without returning the entry (used when scoring goes
+  /// through a specialization derived from `name`).
+  Status CheckAccess(const std::string& name, const std::string& principal,
+                     size_t rows) const;
+
+  /// Restricts scoring on `name` to `principals`.
+  Status SetAccessControl(const std::string& name,
+                          std::set<std::string> principals);
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListModels() const;
+  uint64_t CurrentVersion(const std::string& name) const;
+
+  /// Registers an optimizer-internal specialization under a derived key.
+  Status RegisterSpecialization(const std::string& key, ModelEntry entry);
+  StatusOr<const ModelEntry*> GetSpecialization(
+      const std::string& key) const;
+  bool HasSpecialization(const std::string& key) const;
+  void ClearSpecializations();
+  size_t num_specializations() const;
+
+  const std::vector<AuditEvent>& audit_log() const { return audit_log_; }
+
+  /// Fills `entry`'s precomputed scoring metadata (sigmoid detection, tree
+  /// node index, suffix bounds). Exposed for the optimizer, which builds
+  /// specialized entries by hand.
+  static void AnalyzeEntry(ModelEntry* entry);
+
+ private:
+  mutable std::mutex mu_;
+  // name -> version history (back() is latest).
+  std::map<std::string, std::vector<std::shared_ptr<ModelEntry>>> models_;
+  std::map<std::string, std::shared_ptr<ModelEntry>> specializations_;
+  mutable std::vector<AuditEvent> audit_log_;
+};
+
+}  // namespace flock::flock
+
+#endif  // FLOCK_FLOCK_MODEL_REGISTRY_H_

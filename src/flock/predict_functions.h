@@ -1,0 +1,38 @@
+#ifndef FLOCK_FLOCK_PREDICT_FUNCTIONS_H_
+#define FLOCK_FLOCK_PREDICT_FUNCTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "flock/model_registry.h"
+#include "sql/function_registry.h"
+
+namespace flock::flock {
+
+/// Runtime-selection knobs (paper §4.1: "physical operator selection based
+/// on statistics [and] available runtime").
+struct RuntimeSelectionOptions {
+  /// Batches smaller than this score through the interpreted per-row path
+  /// (no kernel setup cost); larger batches use the vectorized graph.
+  size_t small_batch_threshold = 0;  // 0 = always vectorized
+};
+
+/// Shared mutable scoring context (current principal, runtime options).
+struct ScoringContext {
+  std::string principal = "system";
+  RuntimeSelectionOptions runtime;
+};
+
+/// Registers the in-DBMS inference intrinsics into `functions`:
+///   PREDICT(model, f1, ..., fn)            -> DOUBLE score
+///   PREDICT_GT/GE/LT/LE(model, t, f1, ...) -> BOOL  (threshold push-up)
+///
+/// Model names containing '#' resolve to optimizer specializations
+/// (pruned/compressed variants); plain names go through access control.
+void RegisterPredictFunctions(sql::FunctionRegistry* functions,
+                              ModelRegistry* models,
+                              std::shared_ptr<ScoringContext> context);
+
+}  // namespace flock::flock
+
+#endif  // FLOCK_FLOCK_PREDICT_FUNCTIONS_H_

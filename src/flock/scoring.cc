@@ -1,0 +1,162 @@
+#include "flock/scoring.h"
+
+#include <cmath>
+#include <limits>
+
+#include "ml/runtime.h"
+
+namespace flock::flock {
+
+using storage::ColumnVectorPtr;
+using storage::DataType;
+
+StatusOr<ml::Matrix> AssembleFeatures(
+    const ModelEntry& entry, const std::vector<ColumnVectorPtr>& args,
+    size_t num_rows) {
+  const size_t width = entry.graph.input_cols();
+  if (args.size() != width) {
+    return Status::InvalidArgument(
+        "model " + entry.name + " expects " + std::to_string(width) +
+        " feature arguments, got " + std::to_string(args.size()));
+  }
+  ml::Matrix raw(num_rows, width);
+  for (size_t c = 0; c < width; ++c) {
+    size_t pipeline_input =
+        entry.input_mapping.empty() ? c : entry.input_mapping[c];
+    const ml::FeatureSpec& spec =
+        entry.pipeline.inputs()[pipeline_input];
+    const storage::ColumnVector& col = *args[c];
+    if (spec.kind == ml::FeatureKind::kCategorical) {
+      if (col.type() == DataType::kString) {
+        for (size_t r = 0; r < num_rows; ++r) {
+          raw.at(r, c) =
+              col.IsNull(r)
+                  ? std::nan("")
+                  : entry.pipeline.EncodeCategorical(pipeline_input,
+                                                     col.string_at(r));
+        }
+      } else {
+        // Already index-encoded.
+        for (size_t r = 0; r < num_rows; ++r) {
+          raw.at(r, c) =
+              col.IsNull(r) ? std::nan("") : col.AsDouble(r);
+        }
+      }
+    } else {
+      if (col.type() == DataType::kString) {
+        return Status::InvalidArgument(
+            "numeric feature '" + spec.name + "' of model " + entry.name +
+            " received a string column");
+      }
+      for (size_t r = 0; r < num_rows; ++r) {
+        raw.at(r, c) = col.IsNull(r) ? std::nan("") : col.AsDouble(r);
+      }
+    }
+  }
+  return raw;
+}
+
+StatusOr<std::vector<double>> ScoreBatch(const ModelEntry& entry,
+                                         const ml::Matrix& raw) {
+  ml::GraphRuntime runtime(&entry.graph);
+  return runtime.RunToScores(raw);
+}
+
+StatusOr<std::vector<bool>> ScoreThresholdBatch(const ModelEntry& entry,
+                                                const ml::Matrix& raw,
+                                                double threshold,
+                                                ThresholdOp op) {
+  const size_t n = raw.rows();
+  // Fold a trailing Sigmoid into the threshold: sigmoid is monotone, so
+  // sigmoid(z) OP t  <=>  z OP logit(t) for t in (0, 1).
+  double raw_threshold = threshold;
+  if (entry.ends_with_sigmoid) {
+    // sigmoid(z) lies strictly inside (0, 1): thresholds at or beyond the
+    // ends resolve statically.
+    if (threshold <= 0.0) {
+      bool verdict = op == ThresholdOp::kGt || op == ThresholdOp::kGe;
+      return std::vector<bool>(n, verdict);
+    }
+    if (threshold >= 1.0) {
+      bool verdict = op == ThresholdOp::kLt || op == ThresholdOp::kLe;
+      return std::vector<bool>(n, verdict);
+    }
+    raw_threshold = std::log(threshold / (1.0 - threshold));
+  }
+
+  auto compare = [op](double score, double thr) {
+    switch (op) {
+      case ThresholdOp::kGt:
+        return score > thr;
+      case ThresholdOp::kGe:
+        return score >= thr;
+      case ThresholdOp::kLt:
+        return score < thr;
+      case ThresholdOp::kLe:
+        return score <= thr;
+    }
+    return false;
+  };
+
+  // Short-circuit path: boosted tree ensembles (sum semantics) with bounds.
+  const ml::GraphNode* tree_node = nullptr;
+  if (entry.tree_node_id >= 0) {
+    const ml::GraphNode& node =
+        entry.graph.nodes()[static_cast<size_t>(entry.tree_node_id)];
+    if (!node.tree_average && !node.trees.empty()) tree_node = &node;
+  }
+  if (tree_node != nullptr) {
+    ml::GraphRuntime runtime(&entry.graph);
+    FLOCK_ASSIGN_OR_RETURN(
+        ml::Matrix features,
+        runtime.RunToNode(raw, tree_node->inputs[0]));
+    const auto& trees = tree_node->trees;
+    const auto& smin = entry.bounds.suffix_min;
+    const auto& smax = entry.bounds.suffix_max;
+    std::vector<bool> out(n, false);
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = features.row(r);
+      double acc = tree_node->tree_base;
+      bool decided = false;
+      for (size_t t = 0; t < trees.size(); ++t) {
+        acc += trees[t].Predict(row);
+        // Bounds of the final score given remaining trees.
+        double lo = acc + smin[t + 1];
+        double hi = acc + smax[t + 1];
+        // If even the extremes agree with one verdict, stop traversing.
+        if (compare(lo, raw_threshold) == compare(hi, raw_threshold) &&
+            lo <= hi) {
+          out[r] = compare(lo, raw_threshold);
+          decided = true;
+          break;
+        }
+      }
+      if (!decided) out[r] = compare(acc, raw_threshold);
+    }
+    return out;
+  }
+
+  // Fallback: full scoring, compare at the (possibly raw) output.
+  ml::GraphRuntime runtime(&entry.graph);
+  if (entry.ends_with_sigmoid) {
+    // Score up to the sigmoid's input.
+    const ml::GraphNode& sig =
+        entry.graph.nodes()[static_cast<size_t>(entry.graph.output_id())];
+    FLOCK_ASSIGN_OR_RETURN(ml::Matrix z,
+                           runtime.RunToNode(raw, sig.inputs[0]));
+    std::vector<bool> out(n);
+    for (size_t r = 0; r < n; ++r) {
+      out[r] = compare(z.at(r, 0), raw_threshold);
+    }
+    return out;
+  }
+  FLOCK_ASSIGN_OR_RETURN(std::vector<double> scores,
+                         runtime.RunToScores(raw));
+  std::vector<bool> out(n);
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = compare(scores[r], raw_threshold);
+  }
+  return out;
+}
+
+}  // namespace flock::flock

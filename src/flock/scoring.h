@@ -1,0 +1,40 @@
+#ifndef FLOCK_FLOCK_SCORING_H_
+#define FLOCK_FLOCK_SCORING_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "flock/model_registry.h"
+#include "ml/matrix.h"
+#include "storage/column_vector.h"
+
+namespace flock::flock {
+
+/// Comparison direction for threshold-pushed predicates.
+enum class ThresholdOp { kGt, kGe, kLt, kLe };
+
+/// Builds the raw feature matrix for `entry` from SQL argument columns
+/// (one column per graph input, in graph-input order). NULLs become NaN
+/// (handled by the pipeline's imputer); string columns are encoded through
+/// the pipeline's categorical vocabularies.
+StatusOr<ml::Matrix> AssembleFeatures(
+    const ModelEntry& entry,
+    const std::vector<storage::ColumnVectorPtr>& args, size_t num_rows);
+
+/// Scores a raw feature matrix through the entry's compiled graph.
+StatusOr<std::vector<double>> ScoreBatch(const ModelEntry& entry,
+                                         const ml::Matrix& raw);
+
+/// Evaluates `score OP threshold` without materializing full scores when
+/// possible. For boosted tree ensembles this short-circuits tree traversal
+/// using precomputed suffix bounds, and a trailing Sigmoid is folded into
+/// the threshold (logit transform) — the paper's "predicate push-up between
+/// SQL queries and ML models" (§4.1).
+StatusOr<std::vector<bool>> ScoreThresholdBatch(const ModelEntry& entry,
+                                                const ml::Matrix& raw,
+                                                double threshold,
+                                                ThresholdOp op);
+
+}  // namespace flock::flock
+
+#endif  // FLOCK_FLOCK_SCORING_H_

@@ -1,0 +1,80 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flock::ml {
+
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction,
+                                           uint64_t seed) {
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  Random rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  size_t test_count = static_cast<size_t>(
+      static_cast<double>(data.size()) * test_fraction);
+  std::vector<size_t> test_idx(order.begin(), order.begin() + test_count);
+  std::vector<size_t> train_idx(order.begin() + test_count, order.end());
+
+  auto build = [&](const std::vector<size_t>& idx) {
+    Dataset out;
+    out.x = data.x.SelectRows(idx);
+    out.y.reserve(idx.size());
+    for (size_t i : idx) out.y.push_back(data.y[i]);
+    return out;
+  };
+  return {build(train_idx), build(test_idx)};
+}
+
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<double>& labels) {
+  if (scores.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool predicted = scores[i] >= 0.5;
+    bool actual = labels[i] >= 0.5;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<double>& labels) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Rank-sum (Mann-Whitney U) estimate; ties get average rank implicitly
+  // via stable ordering, adequate for benchmark reporting.
+  double rank_sum = 0.0;
+  size_t positives = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] >= 0.5) {
+      rank_sum += static_cast<double>(i + 1);
+      ++positives;
+    }
+  }
+  size_t negatives = order.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  double u = rank_sum - static_cast<double>(positives) *
+                            (static_cast<double>(positives) + 1) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  if (predictions.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predictions.size()));
+}
+
+}  // namespace flock::ml

@@ -1,0 +1,42 @@
+#ifndef FLOCK_ML_DATASET_H_
+#define FLOCK_ML_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/matrix.h"
+
+namespace flock::ml {
+
+/// Supervised-learning dataset: features X, targets y (class labels as 0/1
+/// doubles for binary classification, arbitrary reals for regression).
+struct Dataset {
+  Matrix x;
+  std::vector<double> y;
+
+  size_t size() const { return x.rows(); }
+  size_t num_features() const { return x.cols(); }
+};
+
+/// Splits `data` into train/test with `test_fraction` held out (shuffled
+/// deterministically by `seed`).
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction,
+                                           uint64_t seed);
+
+/// Fraction of predictions on the correct side of 0.5.
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<double>& labels);
+
+/// Area under the ROC curve via rank statistic.
+double Auc(const std::vector<double>& scores,
+           const std::vector<double>& labels);
+
+/// Root mean squared error.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_DATASET_H_

@@ -1,0 +1,129 @@
+#ifndef FLOCK_ML_GRAPH_H_
+#define FLOCK_ML_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "ml/matrix.h"
+
+namespace flock::ml {
+
+/// Operator vocabulary, modeled after the ONNX / ONNX-ML operator set that
+/// the paper integrates into SQL Server ("SONNX"). Featurizers (Imputer,
+/// Scaler, OneHotEncoder) and models (Gemm for linear models, TreeEnsemble
+/// for forests/GBDTs) compose into inference pipelines.
+enum class OpType {
+  kInput,
+  kImputer,       // missing (NaN) -> fill value, per column
+  kScaler,        // (x - offset) * scale, per column
+  kOneHot,        // integer category -> indicator columns
+  kConcat,        // horizontal concatenation of inputs
+  kGemm,          // X * W^T + b
+  kSigmoid,       // elementwise logistic
+  kRelu,          // elementwise max(0, x)
+  kTreeEnsemble,  // sum/average of decision trees (+ base score)
+  kBinarizer,     // x > threshold ? 1 : 0
+  kIdentity,
+};
+
+const char* OpTypeName(OpType op);
+StatusOr<OpType> OpTypeFromName(const std::string& name);
+
+/// One node of a decision tree. Internal nodes route `x[feature] <
+/// threshold` to `left` else `right`; leaves (feature < 0) carry `value`.
+struct TreeNode {
+  int32_t feature = -1;
+  double threshold = 0.0;
+  int32_t left = -1;
+  int32_t right = -1;
+  double value = 0.0;
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;  // nodes[0] is the root
+
+  /// Number of internal + leaf nodes.
+  size_t size() const { return nodes.size(); }
+
+  /// Evaluates the tree on a feature row.
+  double Predict(const double* features) const {
+    int32_t idx = 0;
+    while (!nodes[static_cast<size_t>(idx)].is_leaf()) {
+      const TreeNode& n = nodes[static_cast<size_t>(idx)];
+      idx = features[n.feature] < n.threshold ? n.left : n.right;
+    }
+    return nodes[static_cast<size_t>(idx)].value;
+  }
+};
+
+/// One operator instance in a model graph.
+struct GraphNode {
+  int id = -1;
+  OpType op = OpType::kIdentity;
+  std::vector<int> inputs;  // ids of producer nodes
+
+  // --- per-op attributes ---
+  std::vector<double> imputer_values;
+  std::vector<double> scale, offset;
+  std::vector<int> onehot_sizes;  // 0 = pass through, k = expand to k cols
+  Matrix gemm_weights;            // [out_cols x in_cols]
+  std::vector<double> gemm_bias;  // [out_cols]
+  std::vector<Tree> trees;
+  double tree_base = 0.0;
+  bool tree_average = false;  // true = forest average, false = boosted sum
+  double binarizer_threshold = 0.5;
+
+  size_t output_cols = 0;  // filled in by ModelGraph::Finalize
+};
+
+/// An ONNX-style dataflow graph over row-major matrices. Node 0 is always
+/// the single input; nodes are stored in topological order.
+class ModelGraph {
+ public:
+  ModelGraph() = default;
+
+  /// Declares the input width; must be called first. Returns node id 0.
+  int SetInput(size_t num_cols);
+
+  /// Appends a node (inputs must refer to earlier nodes). Returns its id.
+  int AddNode(GraphNode node);
+
+  void SetOutput(int node_id) { output_id_ = node_id; }
+
+  /// Validates wiring and computes every node's output width.
+  Status Finalize();
+
+  size_t input_cols() const { return input_cols_; }
+  size_t output_cols() const;
+  int output_id() const { return output_id_; }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  std::vector<GraphNode>& mutable_nodes() { return nodes_; }
+
+  /// Which input columns can influence the output (model sparsity). This is
+  /// what Flock's FeaturePruning rule consumes: unused inputs need not be
+  /// read from storage at all (paper §4.1, "automatic pruning of unused
+  /// input feature-columns exploiting model-sparsity").
+  std::vector<bool> UsedInputColumns() const;
+
+  /// Drops input columns where keep[c] == false, rewriting every node's
+  /// attributes and feature indexes. All dropped columns must be unused.
+  Status CompactInputs(const std::vector<bool>& keep);
+
+  /// Total decision-tree nodes across the graph (compression metric).
+  size_t TotalTreeNodes() const;
+
+ private:
+  size_t NodeOutputCols(const GraphNode& node) const;
+
+  size_t input_cols_ = 0;
+  int output_id_ = 0;
+  std::vector<GraphNode> nodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_GRAPH_H_

@@ -1,0 +1,71 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace flock::ml {
+
+double LinearModel::Score(const double* features) const {
+  double z = bias;
+  for (size_t i = 0; i < weights.size(); ++i) z += weights[i] * features[i];
+  return logistic ? 1.0 / (1.0 + std::exp(-z)) : z;
+}
+
+LinearModel TrainLinear(const Dataset& data,
+                        const LinearTrainerOptions& options) {
+  const size_t n = data.size();
+  const size_t f = data.num_features();
+  LinearModel model;
+  model.weights.assign(f, 0.0);
+  model.logistic = options.logistic;
+  if (n == 0) return model;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Random rng(options.seed);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates reshuffle each epoch.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    double lr = options.learning_rate /
+                (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const double* x = data.x.row(idx);
+      double z = model.bias;
+      for (size_t c = 0; c < f; ++c) z += model.weights[c] * x[c];
+      double prediction =
+          options.logistic ? 1.0 / (1.0 + std::exp(-z)) : z;
+      double gradient = prediction - data.y[idx];
+      model.bias -= lr * gradient;
+      for (size_t c = 0; c < f; ++c) {
+        double g = gradient * x[c] + options.l2 * model.weights[c];
+        model.weights[c] -= lr * g;
+      }
+      if (options.l1 > 0.0) {
+        for (size_t c = 0; c < f; ++c) {
+          double shrink = lr * options.l1;
+          if (model.weights[c] > shrink) {
+            model.weights[c] -= shrink;
+          } else if (model.weights[c] < -shrink) {
+            model.weights[c] += shrink;
+          } else {
+            model.weights[c] = 0.0;
+          }
+        }
+      }
+    }
+  }
+  if (options.l1 > 0.0) {
+    // Final hard-thresholding: SGD soft-thresholding leaves noise weights
+    // tiny but rarely exactly zero; snap them so downstream sparsity
+    // analysis (FeaturePruning) sees true zeros.
+    for (double& w : model.weights) {
+      if (std::fabs(w) < options.l1) w = 0.0;
+    }
+  }
+  return model;
+}
+
+}  // namespace flock::ml

@@ -1,0 +1,38 @@
+#ifndef FLOCK_ML_LINEAR_H_
+#define FLOCK_ML_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace flock::ml {
+
+/// A trained (generalized) linear model: score = w.x + b, optionally passed
+/// through a logistic link.
+struct LinearModel {
+  std::vector<double> weights;
+  double bias = 0.0;
+  bool logistic = true;
+
+  double Score(const double* features) const;
+};
+
+struct LinearTrainerOptions {
+  size_t epochs = 60;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  /// L1 strength; > 0 yields sparse weights (soft thresholding), which is
+  /// what makes FeaturePruning effective on linear pipelines.
+  double l1 = 0.0;
+  uint64_t seed = 42;
+  bool logistic = true;  // false = squared-loss regression
+};
+
+/// Mini-batch SGD trainer for linear / logistic regression.
+LinearModel TrainLinear(const Dataset& data,
+                        const LinearTrainerOptions& options);
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_LINEAR_H_

@@ -1,0 +1,51 @@
+#ifndef FLOCK_ML_MATRIX_H_
+#define FLOCK_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flock::ml {
+
+/// Dense row-major double matrix — the tensor type flowing through model
+/// graphs. Rows are examples, columns are features.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r`.
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Returns the subset of rows given by `indexes`.
+  Matrix SelectRows(const std::vector<size_t>& indexes) const {
+    Matrix out(indexes.size(), cols_);
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      const double* src = row(indexes[i]);
+      double* dst = out.row(i);
+      for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_MATRIX_H_

@@ -1,0 +1,53 @@
+#ifndef FLOCK_ML_ROW_SCORER_H_
+#define FLOCK_ML_ROW_SCORER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/pipeline.h"
+
+namespace flock::ml {
+
+/// Row-at-a-time interpreted scorer — the "scikit-learn" baseline of
+/// Figure 4.
+///
+/// Deliberately mirrors how an interpreted Python pipeline scores a
+/// record: the row travels between steps as a *named-feature* mapping (a
+/// pandas-Series-like dict), each step is a dynamically-dispatched object
+/// that looks features up by name and produces a freshly allocated row,
+/// and the dense vector for the model is assembled per record. No
+/// vectorization, no batch reuse. Numerically identical to the compiled
+/// graph (tests assert this); architecturally it pays the per-record
+/// boxing and name-resolution costs that interpreted pipelines pay.
+class RowScorer {
+ public:
+  /// A named-feature row, as an interpreted pipeline would pass around.
+  using Row = std::map<std::string, double>;
+
+  /// A single interpreted step.
+  class Step {
+   public:
+    virtual ~Step() = default;
+    virtual Row Apply(Row row) const = 0;
+  };
+
+  explicit RowScorer(const Pipeline& pipeline);
+
+  /// Scores one raw row (dense input, boxed internally per record).
+  double Score(const std::vector<double>& raw) const;
+
+  /// Scores a raw matrix row by row.
+  std::vector<double> ScoreAll(const Matrix& raw) const;
+
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  std::vector<std::string> input_names_;
+  std::vector<std::unique_ptr<Step>> steps_;
+};
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_ROW_SCORER_H_

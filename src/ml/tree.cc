@@ -1,0 +1,290 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flock::ml {
+
+namespace {
+
+struct SplitCandidate {
+  size_t feature = 0;
+  double threshold = 0.0;
+  double gain = 0.0;
+  bool valid = false;
+};
+
+/// Impurity of a (count, sum, sum_sq) triple: gini for classification
+/// (sum = positives), variance * count for regression.
+double Impurity(double count, double sum, double sum_sq, bool regression) {
+  if (count <= 0) return 0.0;
+  if (regression) {
+    double mean = sum / count;
+    return sum_sq - count * mean * mean;  // SSE
+  }
+  double p = sum / count;
+  return count * 2.0 * p * (1.0 - p);  // scaled gini
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Dataset& data, const TreeTrainerOptions& options,
+              const std::vector<double>* targets)
+      : data_(data),
+        options_(options),
+        targets_(targets != nullptr ? *targets : data.y),
+        rng_(options.seed) {}
+
+  Tree Build(std::vector<size_t> rows) {
+    Tree tree;
+    BuildNode(std::move(rows), 0, &tree);
+    return tree;
+  }
+
+ private:
+  double Target(size_t row) const { return targets_[row]; }
+
+  SplitCandidate FindBestSplit(const std::vector<size_t>& rows) {
+    SplitCandidate best;
+    const size_t f = data_.num_features();
+
+    // Feature subset (for random forests).
+    std::vector<size_t> features(f);
+    std::iota(features.begin(), features.end(), 0);
+    size_t feature_count = f;
+    if (options_.max_features > 0 && options_.max_features < f) {
+      for (size_t i = 0; i < options_.max_features; ++i) {
+        std::swap(features[i],
+                  features[i + rng_.Uniform(f - i)]);
+      }
+      feature_count = options_.max_features;
+    }
+
+    double total_count = static_cast<double>(rows.size());
+    double total_sum = 0.0, total_sq = 0.0;
+    for (size_t r : rows) {
+      double y = Target(r);
+      total_sum += y;
+      total_sq += y * y;
+    }
+    double parent = Impurity(total_count, total_sum, total_sq,
+                             options_.regression);
+
+    std::vector<double> candidates;
+    for (size_t fi = 0; fi < feature_count; ++fi) {
+      size_t feature = features[fi];
+      // Quantile-sketch candidate thresholds from a row sample.
+      candidates.clear();
+      size_t sample = std::min<size_t>(rows.size(), 256);
+      for (size_t i = 0; i < sample; ++i) {
+        size_t r = rows[rows.size() <= 256 ? i : rng_.Uniform(rows.size())];
+        candidates.push_back(data_.x.at(r, feature));
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      if (candidates.size() < 2) continue;
+      size_t step = std::max<size_t>(
+          1, candidates.size() / options_.max_candidates);
+
+      for (size_t ci = step; ci < candidates.size(); ci += step) {
+        double threshold =
+            (candidates[ci - 1] + candidates[ci]) / 2.0;
+        double lc = 0, ls = 0, lq = 0;
+        for (size_t r : rows) {
+          if (data_.x.at(r, feature) < threshold) {
+            double y = Target(r);
+            lc += 1;
+            ls += y;
+            lq += y * y;
+          }
+        }
+        double rc = total_count - lc;
+        if (lc < static_cast<double>(options_.min_samples_leaf) ||
+            rc < static_cast<double>(options_.min_samples_leaf)) {
+          continue;
+        }
+        double child = Impurity(lc, ls, lq, options_.regression) +
+                       Impurity(rc, total_sum - ls, total_sq - lq,
+                                options_.regression);
+        double gain = parent - child;
+        if (!best.valid || gain > best.gain) {
+          best.valid = true;
+          best.gain = gain;
+          best.feature = feature;
+          best.threshold = threshold;
+        }
+      }
+    }
+    if (best.valid && best.gain <= options_.min_split_gain) {
+      best.valid = false;
+    }
+    return best;
+  }
+
+  int32_t BuildNode(std::vector<size_t> rows, size_t depth, Tree* tree) {
+    double sum = 0.0;
+    for (size_t r : rows) sum += Target(r);
+    double mean = rows.empty()
+                      ? 0.0
+                      : sum / static_cast<double>(rows.size());
+
+    auto make_leaf = [&]() {
+      TreeNode leaf;
+      leaf.feature = -1;
+      leaf.value = mean;
+      tree->nodes.push_back(leaf);
+      return static_cast<int32_t>(tree->nodes.size() - 1);
+    };
+
+    if (depth >= options_.max_depth ||
+        rows.size() < 2 * options_.min_samples_leaf) {
+      return make_leaf();
+    }
+    SplitCandidate split = FindBestSplit(rows);
+    if (!split.valid) return make_leaf();
+
+    std::vector<size_t> left_rows, right_rows;
+    for (size_t r : rows) {
+      if (data_.x.at(r, split.feature) < split.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+
+    TreeNode node;
+    node.feature = static_cast<int32_t>(split.feature);
+    node.threshold = split.threshold;
+    tree->nodes.push_back(node);
+    size_t slot = tree->nodes.size() - 1;
+    int32_t left = BuildNode(std::move(left_rows), depth + 1, tree);
+    int32_t right = BuildNode(std::move(right_rows), depth + 1, tree);
+    tree->nodes[slot].left = left;
+    tree->nodes[slot].right = right;
+    return static_cast<int32_t>(slot);
+  }
+
+  const Dataset& data_;
+  const TreeTrainerOptions& options_;
+  const std::vector<double>& targets_;
+  Random rng_;
+};
+
+}  // namespace
+
+Tree TrainDecisionTree(const Dataset& data, const TreeTrainerOptions& options,
+                       const std::vector<size_t>& rows,
+                       const std::vector<double>* targets) {
+  std::vector<size_t> all;
+  if (rows.empty()) {
+    all.resize(data.size());
+    std::iota(all.begin(), all.end(), 0);
+  } else {
+    all = rows;
+  }
+  TreeBuilder builder(data, options, targets);
+  return builder.Build(std::move(all));
+}
+
+double TreeEnsembleModel::Score(const double* features) const {
+  double acc = base;
+  for (const Tree& tree : trees) acc += tree.Predict(features);
+  if (average && !trees.empty()) {
+    acc = base + (acc - base) / static_cast<double>(trees.size());
+  }
+  return logistic ? 1.0 / (1.0 + std::exp(-acc)) : acc;
+}
+
+size_t TreeEnsembleModel::TotalNodes() const {
+  size_t total = 0;
+  for (const Tree& tree : trees) total += tree.size();
+  return total;
+}
+
+TreeEnsembleModel TrainRandomForest(const Dataset& data,
+                                    const ForestOptions& options) {
+  TreeEnsembleModel model;
+  model.average = true;
+  model.logistic = false;
+  Random rng(options.tree.seed);
+  size_t bag = static_cast<size_t>(
+      static_cast<double>(data.size()) * options.row_subsample);
+  bag = std::max<size_t>(bag, 1);
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    std::vector<size_t> rows;
+    rows.reserve(bag);
+    for (size_t i = 0; i < bag; ++i) {
+      rows.push_back(rng.Uniform(data.size()));
+    }
+    TreeTrainerOptions tree_options = options.tree;
+    tree_options.seed = rng.NextUint64();
+    model.trees.push_back(TrainDecisionTree(data, tree_options, rows));
+  }
+  return model;
+}
+
+TreeEnsembleModel TrainGradientBoosting(const Dataset& data,
+                                        const GbtOptions& options) {
+  TreeEnsembleModel model;
+  model.average = false;
+  model.logistic = options.classification;
+
+  const size_t n = data.size();
+  if (n == 0) return model;
+
+  // Initial score: log-odds for classification, mean for regression.
+  double mean =
+      std::accumulate(data.y.begin(), data.y.end(), 0.0) /
+      static_cast<double>(n);
+  if (options.classification) {
+    double p = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    model.base = std::log(p / (1.0 - p));
+  } else {
+    model.base = mean;
+  }
+
+  std::vector<double> raw(n, model.base);
+  std::vector<double> residuals(n);
+  Random rng(options.seed);
+  size_t bag = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n) *
+                             options.row_subsample));
+
+  TreeTrainerOptions tree_options;
+  tree_options.max_depth = options.max_depth;
+  tree_options.min_samples_leaf = options.min_samples_leaf;
+  tree_options.max_candidates = options.max_candidates;
+  tree_options.min_split_gain = options.min_split_gain;
+  tree_options.regression = true;  // trees fit residuals
+
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      double prediction =
+          options.classification
+              ? 1.0 / (1.0 + std::exp(-raw[i]))
+              : raw[i];
+      residuals[i] = data.y[i] - prediction;
+    }
+    std::vector<size_t> rows;
+    rows.reserve(bag);
+    for (size_t i = 0; i < bag; ++i) rows.push_back(rng.Uniform(n));
+    tree_options.seed = rng.NextUint64();
+    Tree tree =
+        TrainDecisionTree(data, tree_options, rows, &residuals);
+    // Shrink leaf values by the learning rate.
+    for (TreeNode& node : tree.nodes) {
+      if (node.is_leaf()) node.value *= options.learning_rate;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      raw[i] += tree.Predict(data.x.row(i));
+    }
+    model.trees.push_back(std::move(tree));
+  }
+  return model;
+}
+
+}  // namespace flock::ml

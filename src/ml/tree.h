@@ -1,0 +1,78 @@
+#ifndef FLOCK_ML_TREE_H_
+#define FLOCK_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/graph.h"
+
+namespace flock::ml {
+
+struct TreeTrainerOptions {
+  size_t max_depth = 6;
+  size_t min_samples_leaf = 5;
+  /// Candidate thresholds evaluated per feature (quantile sketch).
+  size_t max_candidates = 32;
+  /// Features considered per split; 0 = all (set for random forests).
+  size_t max_features = 0;
+  /// Minimum impurity reduction a split must achieve (xgboost's "gamma").
+  /// Regularizes weak/noise splits away, which also yields the model
+  /// sparsity that FeaturePruning exploits.
+  double min_split_gain = 1e-12;
+  /// false: classification (gini impurity, leaf = positive fraction);
+  /// true: regression (variance reduction, leaf = mean target).
+  bool regression = false;
+  uint64_t seed = 42;
+};
+
+/// CART trainer. `rows` restricts training to a row subset (bagging /
+/// boosting); empty = all rows. `targets` overrides data.y (used by
+/// gradient boosting to fit pseudo-residuals).
+Tree TrainDecisionTree(const Dataset& data, const TreeTrainerOptions& options,
+                       const std::vector<size_t>& rows = {},
+                       const std::vector<double>* targets = nullptr);
+
+struct ForestOptions {
+  size_t num_trees = 20;
+  double row_subsample = 0.7;
+  TreeTrainerOptions tree;
+};
+
+/// A trained tree ensemble ready to become a TreeEnsemble graph node.
+struct TreeEnsembleModel {
+  std::vector<Tree> trees;
+  double base = 0.0;
+  bool average = false;
+  /// Apply a logistic link to the raw ensemble output (GBDT classifiers).
+  bool logistic = false;
+
+  double Score(const double* features) const;
+  size_t TotalNodes() const;
+};
+
+/// Bagged random forest; classification leaves hold P(y=1), so the averaged
+/// output is already a probability (no link function).
+TreeEnsembleModel TrainRandomForest(const Dataset& data,
+                                    const ForestOptions& options);
+
+struct GbtOptions {
+  size_t num_trees = 30;
+  size_t max_depth = 4;
+  double learning_rate = 0.2;
+  double row_subsample = 0.8;
+  size_t min_samples_leaf = 10;
+  size_t max_candidates = 32;
+  double min_split_gain = 1e-12;  // see TreeTrainerOptions::min_split_gain
+  uint64_t seed = 42;
+  /// true: binary log-loss (output through sigmoid); false: squared loss.
+  bool classification = true;
+};
+
+/// Gradient-boosted decision trees.
+TreeEnsembleModel TrainGradientBoosting(const Dataset& data,
+                                        const GbtOptions& options);
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_TREE_H_

@@ -1,0 +1,93 @@
+#include "policy/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flock::policy {
+
+ModelMonitor::ModelMonitor(MonitorOptions options)
+    : options_(options) {
+  if (options_.num_bins == 0) options_.num_bins = 1;
+  if (options_.window_size == 0) options_.window_size = 1;
+  current_.histogram.assign(options_.num_bins, 0);
+}
+
+void ModelMonitor::Observe(double score) {
+  ++observations_;
+  double span = options_.max_score - options_.min_score;
+  double normalized =
+      span > 0 ? (score - options_.min_score) / span : 0.0;
+  normalized = std::clamp(normalized, 0.0, 1.0);
+  size_t bin = std::min(
+      options_.num_bins - 1,
+      static_cast<size_t>(normalized *
+                          static_cast<double>(options_.num_bins)));
+  ++current_.histogram[bin];
+  current_.sum += score;
+  ++current_.count;
+  if (current_.count >= options_.window_size) {
+    windows_.push_back(std::move(current_));
+    current_ = Window{};
+    current_.histogram.assign(options_.num_bins, 0);
+  }
+}
+
+double ModelMonitor::Psi(const Window& baseline,
+                         const Window& window) const {
+  if (baseline.count == 0 || window.count == 0) return 0.0;
+  double psi = 0.0;
+  const double epsilon = 1e-4;  // smoothing for empty bins
+  for (size_t b = 0; b < options_.num_bins; ++b) {
+    double p = std::max(
+        epsilon, static_cast<double>(baseline.histogram[b]) /
+                     static_cast<double>(baseline.count));
+    double q = std::max(
+        epsilon, static_cast<double>(window.histogram[b]) /
+                     static_cast<double>(window.count));
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+double ModelMonitor::LatestPsi() const {
+  if (windows_.size() < 2 || baseline_index_ >= windows_.size()) {
+    return 0.0;
+  }
+  return Psi(windows_[baseline_index_], windows_.back());
+}
+
+double ModelMonitor::WindowPsi(size_t window) const {
+  if (window >= windows_.size() || baseline_index_ >= windows_.size()) {
+    return 0.0;
+  }
+  return Psi(windows_[baseline_index_], windows_[window]);
+}
+
+bool ModelMonitor::DriftDetected() const {
+  return LatestPsi() > options_.psi_threshold;
+}
+
+void ModelMonitor::Rebaseline() {
+  if (!windows_.empty()) baseline_index_ = windows_.size() - 1;
+}
+
+double ModelMonitor::WindowMean(size_t window) const {
+  if (window >= windows_.size() || windows_[window].count == 0) {
+    return 0.0;
+  }
+  return windows_[window].sum /
+         static_cast<double>(windows_[window].count);
+}
+
+std::string ModelMonitor::Summary() const {
+  std::ostringstream out;
+  out << "windows=" << windows_.size() << " psi=";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", LatestPsi());
+  out << buf;
+  if (DriftDetected()) out << " DRIFT";
+  return out.str();
+}
+
+}  // namespace flock::policy

@@ -1,0 +1,81 @@
+#ifndef FLOCK_POLICY_MONITOR_H_
+#define FLOCK_POLICY_MONITOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flock::policy {
+
+struct MonitorOptions {
+  /// Histogram bins over [min_score, max_score].
+  size_t num_bins = 10;
+  double min_score = 0.0;
+  double max_score = 1.0;
+  /// Observations per window; the first completed window becomes the
+  /// baseline.
+  size_t window_size = 1000;
+  /// PSI above this flags drift (0.1 = moderate, 0.25 = major, by the
+  /// usual credit-scoring convention).
+  double psi_threshold = 0.25;
+};
+
+/// Prediction-distribution monitor — the "model monitoring" capability of
+/// the paper's landscape (Figure 3) and the feedback loop its §4.1 policy
+/// module "continuously monitors the output of the ML models" with.
+///
+/// Scores stream in; fixed-size windows are summarized as histograms; the
+/// Population Stability Index of the latest completed window against the
+/// baseline window quantifies drift. When the underlying data shifts, the
+/// paper prescribes invalidating/retraining (see prov::FindImpactedModels
+/// for the lineage side); this class supplies the trigger.
+class ModelMonitor {
+ public:
+  explicit ModelMonitor(MonitorOptions options = {});
+
+  /// Records one model score.
+  void Observe(double score);
+
+  size_t observations() const { return observations_; }
+  size_t completed_windows() const { return windows_.size(); }
+  bool has_baseline() const { return !windows_.empty(); }
+
+  /// PSI of the latest completed window vs the baseline (0 when fewer
+  /// than two windows have completed).
+  double LatestPsi() const;
+
+  /// PSI of an arbitrary completed window (0-based) vs the baseline.
+  double WindowPsi(size_t window) const;
+
+  /// True when the latest completed window drifted past the threshold.
+  bool DriftDetected() const;
+
+  /// Declares the latest completed window the new baseline (call after
+  /// retraining/redeploying the model).
+  void Rebaseline();
+
+  /// Mean score of a completed window (diagnostics).
+  double WindowMean(size_t window) const;
+
+  /// One-line status, e.g. "windows=4 psi=0.31 DRIFT".
+  std::string Summary() const;
+
+ private:
+  struct Window {
+    std::vector<size_t> histogram;
+    double sum = 0.0;
+    size_t count = 0;
+  };
+
+  double Psi(const Window& baseline, const Window& window) const;
+
+  MonitorOptions options_;
+  size_t observations_ = 0;
+  size_t baseline_index_ = 0;
+  Window current_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace flock::policy
+
+#endif  // FLOCK_POLICY_MONITOR_H_

@@ -1,0 +1,38 @@
+#include "policy/policy.h"
+
+#include "sql/parser.h"
+
+namespace flock::policy {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAllow:
+      return "ALLOW";
+    case ActionKind::kOverride:
+      return "OVERRIDE";
+    case ActionKind::kClamp:
+      return "CLAMP";
+    case ActionKind::kReject:
+      return "REJECT";
+    case ActionKind::kAlert:
+      return "ALERT";
+  }
+  return "?";
+}
+
+StatusOr<Policy> Policy::Create(std::string name, ActionKind action,
+                                const std::string& condition_sql) {
+  FLOCK_ASSIGN_OR_RETURN(sql::ExprPtr condition,
+                         sql::Parser::ParseExpression(condition_sql));
+  if (sql::ContainsAggregate(*condition)) {
+    return Status::InvalidArgument(
+        "policy conditions must be row-level (no aggregates)");
+  }
+  Policy policy;
+  policy.name_ = std::move(name);
+  policy.action_ = action;
+  policy.condition_ = std::move(condition);
+  return policy;
+}
+
+}  // namespace flock::policy

@@ -1,0 +1,89 @@
+#ifndef FLOCK_POLICY_POLICY_H_
+#define FLOCK_POLICY_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "sql/ast.h"
+#include "storage/record_batch.h"
+
+namespace flock::policy {
+
+/// What a matched policy does to the model's prediction.
+enum class ActionKind {
+  kAllow,     // pass the prediction through (but log the match)
+  kOverride,  // replace the prediction with a fixed value
+  kClamp,     // clamp the prediction into [clamp_min, clamp_max]
+  kReject,    // block the action entirely (the decision is vetoed)
+  kAlert,     // pass through, but flag for human review
+};
+
+const char* ActionKindName(ActionKind kind);
+
+/// A business rule layered on top of model output (paper §4.1, "Bridging
+/// the model-application divide"): *"business rules expressed as policies
+/// then override the model"*.
+///
+/// The condition is a SQL boolean expression over the field `prediction`
+/// plus any context columns of the row being decided, e.g.
+/// `prediction > 0.9 AND requested_amount > 500000`.
+class Policy {
+ public:
+  /// Parses and validates the condition. Conditions are bound lazily
+  /// against the context schema at evaluation time.
+  static StatusOr<Policy> Create(std::string name, ActionKind action,
+                                 const std::string& condition_sql);
+
+  const std::string& name() const { return name_; }
+  ActionKind action() const { return action_; }
+  const sql::Expr& condition() const { return *condition_; }
+  std::string condition_text() const { return condition_->ToString(); }
+
+  // Action parameters.
+  Policy& set_override_value(double v) {
+    override_value_ = v;
+    return *this;
+  }
+  Policy& set_clamp(double lo, double hi) {
+    clamp_min_ = lo;
+    clamp_max_ = hi;
+    return *this;
+  }
+  Policy& set_reason(std::string reason) {
+    reason_ = std::move(reason);
+    return *this;
+  }
+
+  double override_value() const { return override_value_; }
+  double clamp_min() const { return clamp_min_; }
+  double clamp_max() const { return clamp_max_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  Policy() = default;
+
+  std::string name_;
+  ActionKind action_ = ActionKind::kAllow;
+  sql::ExprPtr condition_;
+  double override_value_ = 0.0;
+  double clamp_min_ = 0.0;
+  double clamp_max_ = 1.0;
+  std::string reason_;
+};
+
+/// Outcome of policy evaluation for one row.
+struct Decision {
+  double model_prediction = 0.0;
+  double final_value = 0.0;
+  bool rejected = false;
+  bool alerted = false;
+  bool overridden = false;
+  std::string policy;  // empty = no policy matched
+  std::string reason;
+};
+
+}  // namespace flock::policy
+
+#endif  // FLOCK_POLICY_POLICY_H_

@@ -1,0 +1,173 @@
+#include "policy/policy_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sql/evaluator.h"
+
+namespace flock::policy {
+
+using storage::ColumnDef;
+using storage::ColumnVectorPtr;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::Value;
+
+PolicyEngine::PolicyEngine() {
+  sql::FunctionRegistry::RegisterBuiltins(&functions_);
+}
+
+Status PolicyEngine::AddPolicy(Policy policy) {
+  for (const Policy& existing : policies_) {
+    if (EqualsIgnoreCase(existing.name(), policy.name())) {
+      return Status::AlreadyExists("policy already exists: " +
+                                   policy.name());
+    }
+  }
+  policies_.push_back(std::move(policy));
+  return Status::OK();
+}
+
+namespace {
+
+/// Binds bare column refs in a cloned condition against `schema`.
+Status BindCondition(sql::Expr* e, const Schema& schema) {
+  Status bad = Status::OK();
+  sql::VisitExprMutable(e, [&](sql::Expr* node) {
+    if (node->kind == sql::ExprKind::kColumnRef &&
+        node->column_index < 0) {
+      auto idx = schema.FindColumn(node->column_name);
+      if (!idx.has_value()) {
+        bad = Status::NotFound("policy condition references unknown field: " +
+                               node->column_name);
+        return;
+      }
+      node->column_index = static_cast<int>(*idx);
+      node->resolved_type = schema.column(*idx).type;
+    }
+  });
+  return bad;
+}
+
+std::string RenderContext(const Schema& schema,
+                          const std::vector<Value>& row) {
+  std::ostringstream out;
+  for (size_t i = 0; i < row.size() && i < schema.num_columns(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.column(i).name << "=" << row[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+StatusOr<Decision> PolicyEngine::Decide(
+    double prediction, const Schema& context_schema,
+    const std::vector<Value>& context_row) {
+  RecordBatch batch(context_schema);
+  FLOCK_RETURN_NOT_OK(batch.AppendRow(context_row));
+  std::vector<double> predictions = {prediction};
+  FLOCK_ASSIGN_OR_RETURN(std::vector<Decision> decisions,
+                         DecideBatch(predictions, batch));
+  return decisions[0];
+}
+
+StatusOr<std::vector<Decision>> PolicyEngine::DecideBatch(
+    const std::vector<double>& predictions, const RecordBatch& batch) {
+  if (predictions.size() != batch.num_rows()) {
+    return Status::InvalidArgument(
+        "predictions and context batch differ in row count");
+  }
+  // Evaluation schema: prediction first, context after.
+  Schema schema;
+  schema.AddColumn(ColumnDef{"prediction", DataType::kDouble, false});
+  for (const auto& col : batch.schema().columns()) schema.AddColumn(col);
+
+  RecordBatch eval(schema);
+  auto pred_col =
+      std::make_shared<storage::ColumnVector>(DataType::kDouble);
+  pred_col->Reserve(predictions.size());
+  for (double p : predictions) pred_col->AppendDouble(p);
+  eval.SetColumn(0, std::move(pred_col));
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    eval.SetColumn(c + 1, batch.column(c));
+  }
+
+  const size_t n = predictions.size();
+  std::vector<Decision> decisions(n);
+  std::vector<bool> decided(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    decisions[i].model_prediction = predictions[i];
+    decisions[i].final_value = predictions[i];
+  }
+
+  for (const Policy& policy : policies_) {
+    sql::ExprPtr condition = policy.condition().Clone();
+    FLOCK_RETURN_NOT_OK(BindCondition(condition.get(), schema));
+    FLOCK_ASSIGN_OR_RETURN(
+        ColumnVectorPtr mask,
+        sql::EvaluateExpr(*condition, eval, &functions_));
+    for (size_t i = 0; i < n; ++i) {
+      if (decided[i]) continue;
+      if (mask->IsNull(i) || mask->AsDouble(i) == 0.0) continue;
+      Decision& d = decisions[i];
+      d.policy = policy.name();
+      d.reason = policy.reason();
+      switch (policy.action()) {
+        case ActionKind::kAllow:
+          break;
+        case ActionKind::kOverride:
+          d.final_value = policy.override_value();
+          d.overridden = true;
+          break;
+        case ActionKind::kClamp: {
+          double clamped = std::min(std::max(d.model_prediction,
+                                             policy.clamp_min()),
+                                    policy.clamp_max());
+          d.overridden = clamped != d.model_prediction;
+          d.final_value = clamped;
+          break;
+        }
+        case ActionKind::kReject:
+          d.rejected = true;
+          break;
+        case ActionKind::kAlert:
+          d.alerted = true;
+          break;
+      }
+      decided[i] = true;
+      TimelineEntry entry;
+      entry.seq = next_seq_++;
+      entry.policy = policy.name();
+      entry.action = policy.action();
+      entry.before = d.model_prediction;
+      entry.after = d.final_value;
+      entry.rejected = d.rejected;
+      entry.context = RenderContext(batch.schema(), batch.GetRow(i));
+      timeline_.push_back(std::move(entry));
+    }
+  }
+  return decisions;
+}
+
+Status PolicyEngine::ApplyTransactionally(
+    const std::vector<Decision>& decisions, ActionSink* sink) {
+  std::vector<const Decision*> applied;
+  for (const Decision& decision : decisions) {
+    if (decision.rejected) continue;  // vetoed: never reaches the sink
+    Status st = sink->Apply(decision);
+    if (!st.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        sink->Rollback(**it);
+      }
+      return Status::Aborted("policy action batch rolled back: " +
+                             st.ToString());
+    }
+    applied.push_back(&decision);
+  }
+  return Status::OK();
+}
+
+}  // namespace flock::policy

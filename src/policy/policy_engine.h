@@ -1,0 +1,80 @@
+#ifndef FLOCK_POLICY_POLICY_ENGINE_H_
+#define FLOCK_POLICY_POLICY_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/policy.h"
+#include "sql/function_registry.h"
+
+namespace flock::policy {
+
+/// One entry in the engine's decision timeline — the paper's "maintains
+/// the system state and actions taken over time allowing to easily debug
+/// and explain the system's actions".
+struct TimelineEntry {
+  uint64_t seq = 0;
+  std::string policy;
+  ActionKind action = ActionKind::kAllow;
+  double before = 0.0;
+  double after = 0.0;
+  bool rejected = false;
+  std::string context;  // rendered context row
+};
+
+/// Receives committed decisions; used for transactional application. Apply
+/// may fail (e.g. downstream system unavailable); Rollback undoes an
+/// already-applied decision.
+class ActionSink {
+ public:
+  virtual ~ActionSink() = default;
+  virtual Status Apply(const Decision& decision) = 0;
+  virtual void Rollback(const Decision& decision) = 0;
+};
+
+/// Evaluates an ordered policy list over model predictions (first matching
+/// policy wins), maintains the decision timeline, and can apply decision
+/// batches transactionally with rollback — the generic, extensible module
+/// of paper §4.1 (modeled after Dhalion's self-regulation loop).
+class PolicyEngine {
+ public:
+  PolicyEngine();
+
+  Status AddPolicy(Policy policy);
+  size_t num_policies() const { return policies_.size(); }
+  const std::vector<Policy>& policies() const { return policies_; }
+
+  /// Decides one prediction given its context row. `context` must carry a
+  /// schema; the engine prepends a `prediction` column before evaluating
+  /// conditions.
+  StatusOr<Decision> Decide(double prediction,
+                            const storage::Schema& context_schema,
+                            const std::vector<storage::Value>& context_row);
+
+  /// Vectorized form: `predictions` paired with context rows in `batch`.
+  StatusOr<std::vector<Decision>> DecideBatch(
+      const std::vector<double>& predictions,
+      const storage::RecordBatch& batch);
+
+  /// Applies `decisions` through `sink` atomically: on the first failure,
+  /// every already-applied decision is rolled back (reverse order) and
+  /// Aborted is returned. Rejected decisions are skipped (vetoed actions
+  /// must not reach the sink).
+  Status ApplyTransactionally(const std::vector<Decision>& decisions,
+                              ActionSink* sink);
+
+  const std::vector<TimelineEntry>& timeline() const { return timeline_; }
+  void ClearTimeline() { timeline_.clear(); }
+
+ private:
+  std::vector<Policy> policies_;
+  sql::FunctionRegistry functions_;
+  std::vector<TimelineEntry> timeline_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace flock::policy
+
+#endif  // FLOCK_POLICY_POLICY_ENGINE_H_

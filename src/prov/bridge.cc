@@ -1,0 +1,61 @@
+#include "prov/bridge.h"
+
+#include "common/string_util.h"
+
+namespace flock::prov {
+
+Status LinkDatasetToTable(Catalog* catalog, const std::string& dataset,
+                          const std::string& table) {
+  uint64_t dataset_id =
+      catalog->GetOrCreate(EntityType::kDataset, dataset);
+  uint64_t table_id =
+      catalog->GetOrCreate(EntityType::kTable, ToLower(table));
+  catalog->AddEdge(dataset_id, table_id, EdgeType::kDerivesFrom);
+  return Status::OK();
+}
+
+Status LinkDatasetToColumn(Catalog* catalog, const std::string& dataset,
+                           const std::string& table,
+                           const std::string& column) {
+  uint64_t dataset_id =
+      catalog->GetOrCreate(EntityType::kDataset, dataset);
+  uint64_t table_id =
+      catalog->GetOrCreate(EntityType::kTable, ToLower(table));
+  uint64_t column_id = catalog->GetOrCreate(
+      EntityType::kColumn, ToLower(table) + "." + ToLower(column));
+  catalog->AddEdge(table_id, column_id, EdgeType::kContains);
+  catalog->AddEdge(dataset_id, column_id, EdgeType::kDerivesFrom);
+  return Status::OK();
+}
+
+std::vector<const Entity*> FindImpactedModels(const Catalog& catalog,
+                                              const std::string& table,
+                                              const std::string& column) {
+  std::vector<const Entity*> out;
+  auto column_id = catalog.Find(EntityType::kColumn,
+                                ToLower(table) + "." + ToLower(column));
+  if (!column_id.ok()) return out;
+  for (const Entity* entity :
+       catalog.Lineage(*column_id, /*downstream=*/true)) {
+    if (entity->type == EntityType::kModel) out.push_back(entity);
+  }
+  return out;
+}
+
+std::vector<const Entity*> ModelTrainingSources(const Catalog& catalog,
+                                                const std::string& model) {
+  std::vector<const Entity*> out;
+  auto model_id = catalog.Find(EntityType::kModel, ToLower(model));
+  if (!model_id.ok()) return out;
+  for (const Entity* entity :
+       catalog.Lineage(*model_id, /*downstream=*/false)) {
+    if (entity->type == EntityType::kTable ||
+        entity->type == EntityType::kColumn ||
+        entity->type == EntityType::kDataset) {
+      out.push_back(entity);
+    }
+  }
+  return out;
+}
+
+}  // namespace flock::prov

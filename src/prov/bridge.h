@@ -1,0 +1,41 @@
+#ifndef FLOCK_PROV_BRIDGE_H_
+#define FLOCK_PROV_BRIDGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "prov/catalog.h"
+
+namespace flock::prov {
+
+/// Cross-system provenance consolidation (paper §4.2, challenge C3): the
+/// catalog bridges the SQL module and the Python/pipeline module so that
+/// "if we change a column in a database, models trained in Python that
+/// depend on this column may need to be invalidated and retrained".
+
+/// Declares that a pipeline-level dataset (e.g. the result of
+/// `db.query('SELECT ...')` in a training script) derives from a database
+/// table; the link makes table/column changes flow into script lineage.
+Status LinkDatasetToTable(Catalog* catalog, const std::string& dataset,
+                          const std::string& table);
+
+/// Declares that a dataset derives from a specific column.
+Status LinkDatasetToColumn(Catalog* catalog, const std::string& dataset,
+                           const std::string& table,
+                           const std::string& column);
+
+/// Models transitively derived from `table.column` — the invalidation set
+/// to retrain when that column changes.
+std::vector<const Entity*> FindImpactedModels(const Catalog& catalog,
+                                              const std::string& table,
+                                              const std::string& column);
+
+/// Upstream audit: every table/column/dataset entity a model's lineage
+/// reaches (answers "how was this model derived, and from which data?").
+std::vector<const Entity*> ModelTrainingSources(const Catalog& catalog,
+                                                const std::string& model);
+
+}  // namespace flock::prov
+
+#endif  // FLOCK_PROV_BRIDGE_H_

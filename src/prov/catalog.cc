@@ -1,0 +1,179 @@
+#include "prov/catalog.h"
+
+#include <set>
+
+namespace flock::prov {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kTable:
+      return "Table";
+    case EntityType::kColumn:
+      return "Column";
+    case EntityType::kQuery:
+      return "Query";
+    case EntityType::kQueryTemplate:
+      return "QueryTemplate";
+    case EntityType::kScript:
+      return "Script";
+    case EntityType::kModel:
+      return "Model";
+    case EntityType::kHyperparameter:
+      return "Hyperparameter";
+    case EntityType::kMetric:
+      return "Metric";
+    case EntityType::kDataset:
+      return "Dataset";
+    case EntityType::kFeature:
+      return "Feature";
+    case EntityType::kVersionRun:
+      return "VersionRun";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kReads:
+      return "READS";
+    case EdgeType::kWrites:
+      return "WRITES";
+    case EdgeType::kContains:
+      return "CONTAINS";
+    case EdgeType::kDerivesFrom:
+      return "DERIVES_FROM";
+    case EdgeType::kTrains:
+      return "TRAINS";
+    case EdgeType::kUsesFeature:
+      return "USES_FEATURE";
+    case EdgeType::kEvaluates:
+      return "EVALUATES";
+    case EdgeType::kVersionOf:
+      return "VERSION_OF";
+    case EdgeType::kHasParam:
+      return "HAS_PARAM";
+  }
+  return "?";
+}
+
+uint64_t Catalog::CreateEntity(EntityType type, const std::string& name,
+                               uint64_t version) {
+  Entity entity;
+  entity.id = entities_.size() + 1;
+  entity.type = type;
+  entity.name = name;
+  entity.version = version;
+  entities_.push_back(std::move(entity));
+  index_[{static_cast<int>(type), name}].push_back(entities_.back().id);
+  return entities_.back().id;
+}
+
+uint64_t Catalog::GetOrCreate(EntityType type, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({static_cast<int>(type), name});
+  if (it != index_.end() && !it->second.empty()) {
+    return it->second.back();
+  }
+  return CreateEntity(type, name, 1);
+}
+
+uint64_t Catalog::NewVersion(EntityType type, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({static_cast<int>(type), name});
+  if (it == index_.end() || it->second.empty()) {
+    return CreateEntity(type, name, 1);
+  }
+  uint64_t prev = it->second.back();
+  uint64_t version = entities_[prev - 1].version + 1;
+  uint64_t id = CreateEntity(type, name, version);
+  edges_.push_back(Edge{id, prev, EdgeType::kVersionOf});
+  return id;
+}
+
+StatusOr<uint64_t> Catalog::Find(EntityType type, const std::string& name,
+                                 uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({static_cast<int>(type), name});
+  if (it == index_.end() || it->second.empty()) {
+    return Status::NotFound(std::string(EntityTypeName(type)) + " '" +
+                            name + "' not in catalog");
+  }
+  if (version == 0) return it->second.back();
+  for (uint64_t id : it->second) {
+    if (entities_[id - 1].version == version) return id;
+  }
+  return Status::NotFound("version " + std::to_string(version) +
+                          " of " + name + " not in catalog");
+}
+
+void Catalog::AddEdge(uint64_t src, uint64_t dst, EdgeType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  edges_.push_back(Edge{src, dst, type});
+}
+
+Status Catalog::SetProperty(uint64_t id, const std::string& key,
+                            const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > entities_.size()) {
+    return Status::NotFound("no entity with id " + std::to_string(id));
+  }
+  entities_[id - 1].properties[key] = value;
+  return Status::OK();
+}
+
+StatusOr<const Entity*> Catalog::GetEntity(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > entities_.size()) {
+    return Status::NotFound("no entity with id " + std::to_string(id));
+  }
+  return &entities_[id - 1];
+}
+
+std::vector<const Entity*> Catalog::Versions(
+    EntityType type, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entity*> out;
+  auto it = index_.find({static_cast<int>(type), name});
+  if (it == index_.end()) return out;
+  for (uint64_t id : it->second) out.push_back(&entities_[id - 1]);
+  return out;
+}
+
+std::vector<const Entity*> Catalog::Lineage(uint64_t id, bool downstream,
+                                            size_t max_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entity*> out;
+  if (id == 0 || id > entities_.size()) return out;
+  std::set<uint64_t> visited = {id};
+  std::vector<std::pair<uint64_t, size_t>> frontier = {{id, 0}};
+  while (!frontier.empty()) {
+    auto [current, depth] = frontier.back();
+    frontier.pop_back();
+    if (depth >= max_depth) continue;
+    for (const Edge& edge : edges_) {
+      // Upstream: follow edges from current to what it depends on
+      // (src == current). Downstream: who depends on current (dst ==
+      // current).
+      uint64_t next = 0;
+      if (!downstream && edge.src == current) next = edge.dst;
+      if (downstream && edge.dst == current) next = edge.src;
+      if (next == 0 || visited.count(next) > 0) continue;
+      visited.insert(next);
+      out.push_back(&entities_[next - 1]);
+      frontier.push_back({next, depth + 1});
+    }
+  }
+  return out;
+}
+
+size_t Catalog::num_entities() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entities_.size();
+}
+
+size_t Catalog::num_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.size();
+}
+
+}  // namespace flock::prov

@@ -1,0 +1,79 @@
+#ifndef FLOCK_PROV_CATALOG_H_
+#define FLOCK_PROV_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "prov/entity.h"
+
+namespace flock::prov {
+
+/// The provenance catalog — Flock's stand-in for Apache Atlas (paper §4.2:
+/// "the Catalog stores all the provenance information and acts as the
+/// bridge between the SQL and the Python provenance modules").
+///
+/// Entities are identified by (type, name, version); `GetOrCreate` returns
+/// the latest version, `NewVersion` appends the next one. All data stored
+/// here is versioned, addressing the temporal half of challenge C1.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Returns the latest version of (type, name), creating version 1 if the
+  /// entity does not exist.
+  uint64_t GetOrCreate(EntityType type, const std::string& name);
+
+  /// Creates version latest+1 of (type, name) and links it to the previous
+  /// version with a kVersionOf edge. Creates version 1 if absent.
+  uint64_t NewVersion(EntityType type, const std::string& name);
+
+  /// Looks up a specific version (0 = latest).
+  StatusOr<uint64_t> Find(EntityType type, const std::string& name,
+                          uint64_t version = 0) const;
+
+  void AddEdge(uint64_t src, uint64_t dst, EdgeType type);
+
+  Status SetProperty(uint64_t id, const std::string& key,
+                     const std::string& value);
+
+  StatusOr<const Entity*> GetEntity(uint64_t id) const;
+
+  /// All versions of (type, name), oldest first.
+  std::vector<const Entity*> Versions(EntityType type,
+                                      const std::string& name) const;
+
+  /// Entities reachable from `id` following edges upstream (dst -> src over
+  /// kReads/kDerivesFrom/... reversed) or downstream. Used for audits
+  /// ("which data trained this model?") and invalidation ("which models
+  /// depend on this column?").
+  std::vector<const Entity*> Lineage(uint64_t id, bool downstream,
+                                     size_t max_depth = 64) const;
+
+  size_t num_entities() const;
+  size_t num_edges() const;
+  /// Provenance graph size as the paper reports it: nodes + edges.
+  size_t GraphSize() const { return num_entities() + num_edges(); }
+
+  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  uint64_t CreateEntity(EntityType type, const std::string& name,
+                        uint64_t version);
+
+  mutable std::mutex mu_;
+  std::vector<Entity> entities_;  // id = index + 1
+  std::vector<Edge> edges_;
+  // (type, name) -> entity ids of all versions (ascending).
+  std::map<std::pair<int, std::string>, std::vector<uint64_t>> index_;
+};
+
+}  // namespace flock::prov
+
+#endif  // FLOCK_PROV_CATALOG_H_

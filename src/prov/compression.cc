@@ -1,0 +1,132 @@
+#include "prov/compression.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+
+namespace flock::prov {
+
+std::string NormalizeQuery(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  bool last_space = false;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (c == '\'') {
+      // String literal -> ?
+      ++i;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      if (i < sql.size()) ++i;  // closing quote
+      out.push_back('?');
+      last_space = false;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (out.empty() ||
+         !(std::isalnum(static_cast<unsigned char>(out.back())) ||
+           out.back() == '_'))) {
+      // Numeric literal (not part of an identifier) -> ?
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > 0 &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      out.push_back('?');
+      last_space = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space && !out.empty()) out.push_back(' ');
+      last_space = true;
+      ++i;
+      continue;
+    }
+    out.push_back(std::toupper(static_cast<unsigned char>(c)));
+    last_space = false;
+    ++i;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+Status CompressCatalog(const Catalog& in, Catalog* out,
+                       CompressionStats* stats) {
+  if (out->num_entities() != 0) {
+    return Status::InvalidArgument("output catalog must be empty");
+  }
+  stats->entities_before = in.num_entities();
+  stats->edges_before = in.num_edges();
+
+  // Pass 1: map every input entity to an output entity.
+  std::map<uint64_t, uint64_t> remap;
+  std::map<std::string, uint64_t> template_counts;  // out-id keyed by name
+  for (const Entity& entity : in.entities()) {
+    uint64_t mapped = 0;
+    switch (entity.type) {
+      case EntityType::kQuery: {
+        auto sql_it = entity.properties.find("sql");
+        std::string normalized =
+            sql_it != entity.properties.end()
+                ? NormalizeQuery(sql_it->second)
+                : entity.name;
+        std::string key =
+            "tpl_" + std::to_string(HashString(normalized) & 0xFFFFFFFF);
+        mapped = out->GetOrCreate(EntityType::kQueryTemplate, key);
+        FLOCK_RETURN_NOT_OK(out->SetProperty(mapped, "template",
+                                             normalized));
+        uint64_t count = ++template_counts[key];
+        FLOCK_RETURN_NOT_OK(out->SetProperty(
+            mapped, "instance_count", std::to_string(count)));
+        break;
+      }
+      default: {
+        if (entity.version > 1) {
+          // Version-run summarization: all versions >= 2 of an entity fold
+          // into a single run node; version 1 is the base entity.
+          mapped = out->GetOrCreate(
+              EntityType::kVersionRun,
+              std::string(EntityTypeName(entity.type)) + ":" +
+                  entity.name + "@run");
+          // The run remembers how far it extends.
+          FLOCK_RETURN_NOT_OK(out->SetProperty(
+              mapped, "max_version", std::to_string(entity.version)));
+        } else {
+          mapped = out->GetOrCreate(entity.type, entity.name);
+        }
+        break;
+      }
+    }
+    remap[entity.id] = mapped;
+  }
+
+  // Pass 2: re-point edges, deduplicating and dropping self-loops.
+  std::set<std::tuple<uint64_t, uint64_t, int>> seen;
+  for (const Edge& edge : in.edges()) {
+    uint64_t src = remap[edge.src];
+    uint64_t dst = remap[edge.dst];
+    if (src == dst) continue;  // collapsed (e.g. version chains)
+    auto key = std::make_tuple(src, dst, static_cast<int>(edge.type));
+    if (!seen.insert(key).second) continue;
+    out->AddEdge(src, dst, edge.type);
+  }
+
+  stats->entities_after = out->num_entities();
+  stats->edges_after = out->num_edges();
+  return Status::OK();
+}
+
+}  // namespace flock::prov

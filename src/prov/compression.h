@@ -1,0 +1,47 @@
+#ifndef FLOCK_PROV_COMPRESSION_H_
+#define FLOCK_PROV_COMPRESSION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "prov/catalog.h"
+
+namespace flock::prov {
+
+struct CompressionStats {
+  size_t entities_before = 0;
+  size_t edges_before = 0;
+  size_t entities_after = 0;
+  size_t edges_after = 0;
+
+  size_t SizeBefore() const { return entities_before + edges_before; }
+  size_t SizeAfter() const { return entities_after + edges_after; }
+  double Ratio() const {
+    return SizeBefore() == 0
+               ? 1.0
+               : static_cast<double>(SizeAfter()) /
+                     static_cast<double>(SizeBefore());
+  }
+};
+
+/// Normalizes a SQL string into its template: literals become '?', and
+/// whitespace collapses. Queries instantiated from the same template
+/// normalize identically.
+std::string NormalizeQuery(const std::string& sql);
+
+/// The capture-optimization pass the paper calls out under C1 ("we develop
+/// optimized capture techniques, through compression and summarization"):
+///
+///  * **template deduplication** — the many queries sharing a normalized
+///    template collapse into one QueryTemplate entity carrying a count;
+///  * **version-run summarization** — long chains of table versions (one
+///    per INSERT) collapse into a single VersionRun entity per table.
+///
+/// Builds the compressed graph into `out` (must be empty) and fills
+/// `stats`.
+Status CompressCatalog(const Catalog& in, Catalog* out,
+                       CompressionStats* stats);
+
+}  // namespace flock::prov
+
+#endif  // FLOCK_PROV_COMPRESSION_H_

@@ -1,0 +1,63 @@
+#ifndef FLOCK_PROV_ENTITY_H_
+#define FLOCK_PROV_ENTITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flock::prov {
+
+/// Polymorphic entity kinds (paper §4.2, C1: "data elements in EGML
+/// workloads are polymorphic — tables, columns, rows, ML models,
+/// hyperparameters — with inherent temporal dimensions").
+enum class EntityType {
+  kTable,
+  kColumn,
+  kQuery,
+  kQueryTemplate,  // compression: many queries sharing a normalized text
+  kScript,
+  kModel,
+  kHyperparameter,
+  kMetric,
+  kDataset,
+  kFeature,
+  kVersionRun,  // compression: a collapsed run of consecutive versions
+};
+
+const char* EntityTypeName(EntityType type);
+
+/// Typed, versioned lineage edges.
+enum class EdgeType {
+  kReads,        // query/script -> table/column/dataset
+  kWrites,       // query -> table version
+  kContains,     // table -> column, script -> model
+  kDerivesFrom,  // model/dataset -> upstream data
+  kTrains,       // dataset -> model
+  kUsesFeature,  // model -> feature
+  kEvaluates,    // metric -> model
+  kVersionOf,    // version entity -> base entity
+  kHasParam,     // model -> hyperparameter
+};
+
+const char* EdgeTypeName(EdgeType type);
+
+/// One node in the provenance graph. Identity is (type, name, version);
+/// versions make the data model temporal (an INSERT to a table creates a
+/// new version of the table entity, exactly as the paper describes).
+struct Entity {
+  uint64_t id = 0;
+  EntityType type = EntityType::kTable;
+  std::string name;
+  uint64_t version = 1;
+  std::map<std::string, std::string> properties;
+};
+
+struct Edge {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  EdgeType type = EdgeType::kReads;
+};
+
+}  // namespace flock::prov
+
+#endif  // FLOCK_PROV_ENTITY_H_

@@ -1,0 +1,75 @@
+#ifndef FLOCK_PROV_SQL_CAPTURE_H_
+#define FLOCK_PROV_SQL_CAPTURE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status_or.h"
+#include "prov/catalog.h"
+#include "storage/database.h"
+
+namespace flock::prov {
+
+/// Coarse-grained provenance extracted from one SQL statement: input
+/// tables/columns and the written table (the paper's eager capture
+/// "parses [the query] to extract coarse-grained provenance information —
+/// input tables and columns that affected the output, with connections
+/// modelled as a graph").
+struct CapturedStatement {
+  std::string kind;  // "SELECT", "INSERT", ...
+  std::vector<std::string> input_tables;
+  std::vector<std::pair<std::string, std::string>> input_columns;
+  std::string output_table;     // DML target / created table
+  bool creates_version = false;  // mutation -> new table version
+  /// Columns written by DML (UPDATE SET targets; INSERT target list, or
+  /// every table column when unspecified). Each gets a new version entity.
+  std::vector<std::string> written_columns;
+  std::vector<std::string> created_columns;  // CREATE TABLE columns
+  std::string model_name;                    // CREATE/DROP MODEL
+};
+
+/// Parses `sql` (one statement) and extracts its provenance summary. When
+/// `db` is provided, unqualified columns are resolved against table
+/// schemas; otherwise only qualified references resolve.
+StatusOr<CapturedStatement> AnalyzeStatement(const std::string& sql,
+                                             const storage::Database* db);
+
+struct CaptureStats {
+  size_t statements = 0;
+  size_t parse_failures = 0;
+  double total_latency_ms = 0.0;
+};
+
+/// The SQL provenance module. Two capture modes (paper §4.2):
+///  * **eager** — `CaptureStatement` is invoked per executed statement
+///    (wire it to SqlEngine::set_statement_observer);
+///  * **lazy** — `CaptureLog` replays a query log after the fact.
+/// Both funnel into the same Catalog.
+class SqlCaptureModule {
+ public:
+  SqlCaptureModule(Catalog* catalog, const storage::Database* db)
+      : catalog_(catalog), db_(db) {}
+
+  /// Captures one statement (eager mode). Parse failures are recorded in
+  /// stats and reported, but leave the catalog consistent.
+  Status CaptureStatement(const std::string& sql);
+
+  /// Captures a whole query log (lazy mode); parse failures are skipped.
+  Status CaptureLog(const std::vector<std::string>& log);
+
+  const CaptureStats& stats() const { return stats_; }
+  Catalog* catalog() { return catalog_; }
+
+ private:
+  Status Ingest(const std::string& sql, const CapturedStatement& info);
+
+  Catalog* catalog_;
+  const storage::Database* db_;
+  CaptureStats stats_;
+  size_t query_counter_ = 0;
+};
+
+}  // namespace flock::prov
+
+#endif  // FLOCK_PROV_SQL_CAPTURE_H_

@@ -1,0 +1,399 @@
+#include "pyprov/analyzer.h"
+
+#include "common/string_util.h"
+
+namespace flock::pyprov {
+
+namespace {
+
+struct VarInfo {
+  enum class Kind {
+    kUnknown,
+    kDataset,
+    kView,  // projection / split / transformed slice of datasets
+    kModel,
+    kFeaturizer,
+    kPrediction,
+    kMetric,
+  };
+  Kind kind = Kind::kUnknown;
+  std::set<std::string> sources;  // reachable dataset source ids
+  int model_index = -1;           // into AnalysisResult::models
+  std::string model_variable;     // for predictions
+};
+
+class AnalyzerImpl {
+ public:
+  AnalyzerImpl(const Script& script, const KnowledgeBase& kb)
+      : script_(script), kb_(kb) {}
+
+  AnalysisResult Run() {
+    for (const PyStatement& stmt : script_.statements) {
+      ProcessStatement(stmt);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void ProcessStatement(const PyStatement& stmt) {
+    switch (stmt.kind) {
+      case PyStatement::Kind::kImport:
+      case PyStatement::Kind::kFromImport:
+        for (const auto& [name, alias] : stmt.imports) {
+          imported_symbols_[alias] = name;
+        }
+        break;
+      case PyStatement::Kind::kFunctionDef:
+        user_functions_.insert(stmt.func_name);
+        break;
+      case PyStatement::Kind::kAssign: {
+        VarInfo info = Eval(*stmt.value);
+        if (stmt.targets.size() == 1) {
+          Bind(stmt.targets[0], info);
+        } else {
+          // Tuple unpacking (train_test_split and friends): every target
+          // inherits the value's lineage.
+          for (const std::string& target : stmt.targets) {
+            VarInfo piece = info;
+            if (piece.kind == VarInfo::Kind::kDataset) {
+              piece.kind = VarInfo::Kind::kView;
+            }
+            Bind(target, piece);
+          }
+        }
+        break;
+      }
+      case PyStatement::Kind::kExpr:
+        if (stmt.value) Eval(*stmt.value);
+        break;
+    }
+  }
+
+  void Bind(const std::string& target, const VarInfo& info) {
+    // Attribute/subscript targets (df['x'] = ...) do not rebind names.
+    if (target.find('.') != std::string::npos ||
+        target.find('[') != std::string::npos) {
+      return;
+    }
+    vars_[target] = info;
+    if (info.kind == VarInfo::Kind::kModel && info.model_index >= 0) {
+      result_.models[static_cast<size_t>(info.model_index)].variable =
+          target;
+    }
+  }
+
+  VarInfo Eval(const PyExpr& e) {
+    switch (e.kind) {
+      case PyExpr::Kind::kName: {
+        const VarInfo* info = Lookup(e.name);
+        return info != nullptr ? *info : VarInfo{};
+      }
+      case PyExpr::Kind::kString:
+      case PyExpr::Kind::kNumber:
+        return VarInfo{};
+      case PyExpr::Kind::kList:
+      case PyExpr::Kind::kTuple:
+      case PyExpr::Kind::kBinOp: {
+        VarInfo out;
+        for (const auto& item : e.items) {
+          VarInfo piece = Eval(*item);
+          out.sources.insert(piece.sources.begin(), piece.sources.end());
+          if (piece.kind != VarInfo::Kind::kUnknown) {
+            out.kind = VarInfo::Kind::kView;
+          }
+        }
+        return out;
+      }
+      case PyExpr::Kind::kAttribute: {
+        // Attribute reads (df.values, model.coef_) keep the base lineage.
+        VarInfo base = Eval(*e.base);
+        if (base.kind == VarInfo::Kind::kDataset ||
+            base.kind == VarInfo::Kind::kView) {
+          base.kind = VarInfo::Kind::kView;
+          return base;
+        }
+        return VarInfo{};
+      }
+      case PyExpr::Kind::kSubscript: {
+        VarInfo base = Eval(*e.base);
+        if (base.kind == VarInfo::Kind::kDataset ||
+            base.kind == VarInfo::Kind::kView) {
+          base.kind = VarInfo::Kind::kView;
+          return base;
+        }
+        return VarInfo{};
+      }
+      case PyExpr::Kind::kCall:
+        return EvalCall(e);
+    }
+    return VarInfo{};
+  }
+
+  const VarInfo* Lookup(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
+
+  /// Resolves a callee's terminal symbol name through imports:
+  /// `LogisticRegression` imported from sklearn stays itself; `pd.read_csv`
+  /// yields "read_csv".
+  std::string CalleeSymbol(const PyExpr& callee) const {
+    if (callee.kind == PyExpr::Kind::kName) {
+      auto it = imported_symbols_.find(callee.name);
+      return it != imported_symbols_.end() ? it->second : callee.name;
+    }
+    if (callee.kind == PyExpr::Kind::kAttribute) return callee.name;
+    return "";
+  }
+
+  std::set<std::string> UnionArgSources(const PyExpr& call) {
+    std::set<std::string> sources;
+    for (const auto& arg : call.items) {
+      VarInfo info = Eval(*arg);
+      sources.insert(info.sources.begin(), info.sources.end());
+    }
+    for (const auto& [kw, arg] : call.kwargs) {
+      VarInfo info = Eval(*arg);
+      sources.insert(info.sources.begin(), info.sources.end());
+    }
+    return sources;
+  }
+
+  VarInfo EvalCall(const PyExpr& call) {
+    const PyExpr& callee = *call.base;
+    std::string symbol = CalleeSymbol(callee);
+
+    // Method call on a tracked or inline-constructed object? Evaluating
+    // the receiver generally also supports chained construction:
+    // `model = Ridge(alpha=0.1).fit(X, y)`.
+    VarInfo receiver_info;
+    bool has_receiver = false;
+    std::string receiver_name;
+    if (callee.kind == PyExpr::Kind::kAttribute) {
+      if (callee.base->kind == PyExpr::Kind::kName) {
+        receiver_name = callee.base->name;
+        const VarInfo* named = Lookup(receiver_name);
+        if (named != nullptr) {
+          receiver_info = *named;
+          has_receiver = true;
+        }
+      } else {
+        receiver_info = Eval(*callee.base);
+        has_receiver = receiver_info.kind != VarInfo::Kind::kUnknown;
+      }
+    }
+    const VarInfo* receiver = has_receiver ? &receiver_info : nullptr;
+
+    if (receiver != nullptr) {
+      if (receiver->kind == VarInfo::Kind::kModel &&
+          kb_.IsFitMethod(symbol)) {
+        std::set<std::string> sources = UnionArgSources(call);
+        if (receiver->model_index >= 0) {
+          ModelFinding& model =
+              result_.models[static_cast<size_t>(receiver->model_index)];
+          model.trained = true;
+          model.training_sources.insert(sources.begin(), sources.end());
+        }
+        return *receiver;  // fit() returns self (chaining)
+      }
+      if (receiver->kind == VarInfo::Kind::kModel &&
+          kb_.IsPredictMethod(symbol)) {
+        VarInfo out;
+        out.kind = VarInfo::Kind::kPrediction;
+        out.model_variable = receiver_name;
+        out.sources = UnionArgSources(call);
+        return out;
+      }
+      if (receiver->kind == VarInfo::Kind::kFeaturizer &&
+          (kb_.IsFitMethod(symbol) || kb_.IsPredictMethod(symbol))) {
+        // Featurizer transform keeps data lineage flowing.
+        VarInfo out;
+        out.kind = VarInfo::Kind::kView;
+        out.sources = UnionArgSources(call);
+        return out;
+      }
+      if ((receiver->kind == VarInfo::Kind::kDataset ||
+           receiver->kind == VarInfo::Kind::kView) &&
+          kb_.IsCombiner(symbol)) {
+        VarInfo out;
+        out.kind = VarInfo::Kind::kView;
+        out.sources = receiver->sources;
+        std::set<std::string> extra = UnionArgSources(call);
+        out.sources.insert(extra.begin(), extra.end());
+        return out;
+      }
+      if (kb_.IsReader(symbol)) {
+        // db.query('SELECT ...') — reader method on an untyped handle.
+        return MakeDataset(call, symbol);
+      }
+      // Unknown method on a tracked value: lineage passes through for
+      // data-like receivers (pessimistic for models).
+      if (receiver->kind == VarInfo::Kind::kDataset ||
+          receiver->kind == VarInfo::Kind::kView) {
+        VarInfo out;
+        out.kind = VarInfo::Kind::kView;
+        out.sources = receiver->sources;
+        return out;
+      }
+      return VarInfo{};
+    }
+
+    // Free / module-level calls.
+    if (user_functions_.count(symbol) > 0 ||
+        (callee.kind == PyExpr::Kind::kName &&
+         user_functions_.count(callee.name) > 0)) {
+      // Opaque user helper: lineage does not survive. (Coverage loss.)
+      return VarInfo{};
+    }
+    if (kb_.IsModelConstructor(symbol)) {
+      VarInfo out;
+      out.kind = VarInfo::Kind::kModel;
+      ModelFinding model;
+      model.type = symbol;
+      for (const auto& [kw, arg] : call.kwargs) {
+        std::string value;
+        if (arg->kind == PyExpr::Kind::kNumber) {
+          double rounded = static_cast<double>(
+              static_cast<long long>(arg->num));
+          value = rounded == arg->num
+                      ? std::to_string(static_cast<long long>(arg->num))
+                      : FormatDouble(arg->num, 6);
+        } else if (arg->kind == PyExpr::Kind::kString) {
+          value = arg->str;
+        } else {
+          value = "<expr>";
+        }
+        model.hyperparameters[kw] = value;
+      }
+      out.model_index = static_cast<int>(result_.models.size());
+      result_.models.push_back(std::move(model));
+      return out;
+    }
+    if (kb_.IsFeaturizerConstructor(symbol)) {
+      VarInfo out;
+      out.kind = VarInfo::Kind::kFeaturizer;
+      return out;
+    }
+    if (kb_.IsReader(symbol)) {
+      return MakeDataset(call, symbol);
+    }
+    if (kb_.IsSplitter(symbol)) {
+      VarInfo out;
+      out.kind = VarInfo::Kind::kView;
+      out.sources = UnionArgSources(call);
+      return out;
+    }
+    if (kb_.IsCombiner(symbol)) {
+      VarInfo out;
+      out.kind = VarInfo::Kind::kView;
+      out.sources = UnionArgSources(call);
+      return out;
+    }
+    if (kb_.IsMetric(symbol)) {
+      MetricFinding metric;
+      metric.name = symbol;
+      for (const auto& arg : call.items) {
+        if (arg->kind == PyExpr::Kind::kName) {
+          const VarInfo* info = Lookup(arg->name);
+          if (info != nullptr &&
+              info->kind == VarInfo::Kind::kPrediction) {
+            metric.model_variable = info->model_variable;
+          }
+          if (info != nullptr && info->kind == VarInfo::Kind::kModel) {
+            metric.model_variable = arg->name;
+          }
+        }
+      }
+      result_.metrics.push_back(std::move(metric));
+      VarInfo out;
+      out.kind = VarInfo::Kind::kMetric;
+      return out;
+    }
+    // Unknown API entirely: opaque.
+    return VarInfo{};
+  }
+
+  VarInfo MakeDataset(const PyExpr& call, const std::string& symbol) {
+    VarInfo out;
+    out.kind = VarInfo::Kind::kDataset;
+    DatasetFinding dataset;
+    if (!call.items.empty() &&
+        call.items[0]->kind == PyExpr::Kind::kString) {
+      const std::string& arg = call.items[0]->str;
+      bool is_sql = symbol == "read_sql" || symbol == "query" ||
+                    ToUpper(arg).find("SELECT") == 0;
+      dataset.is_sql = is_sql;
+      dataset.source = (is_sql ? "sql:" : "file:") + arg;
+    } else {
+      dataset.source = "<dynamic>";
+    }
+    out.sources.insert(dataset.source);
+    dataset.variable = "";  // filled by Bind via result indexing? kept simple
+    result_.datasets.push_back(dataset);
+    return out;
+  }
+
+  const Script& script_;
+  const KnowledgeBase& kb_;
+  std::map<std::string, std::string> imported_symbols_;
+  std::set<std::string> user_functions_;
+  std::map<std::string, VarInfo> vars_;
+  AnalysisResult result_;
+};
+
+}  // namespace
+
+AnalysisResult Analyze(const Script& script, const KnowledgeBase& kb) {
+  AnalyzerImpl impl(script, kb);
+  return impl.Run();
+}
+
+Status ExportToCatalog(const AnalysisResult& result,
+                       const std::string& script_name,
+                       prov::Catalog* catalog) {
+  using prov::EdgeType;
+  using prov::EntityType;
+  uint64_t script_id =
+      catalog->GetOrCreate(EntityType::kScript, script_name);
+  for (const DatasetFinding& dataset : result.datasets) {
+    uint64_t dataset_id =
+        catalog->GetOrCreate(EntityType::kDataset, dataset.source);
+    catalog->AddEdge(script_id, dataset_id, EdgeType::kReads);
+  }
+  for (const ModelFinding& model : result.models) {
+    std::string model_name = script_name + ":" +
+                             (model.variable.empty() ? model.type
+                                                     : model.variable);
+    uint64_t model_id =
+        catalog->GetOrCreate(EntityType::kModel, model_name);
+    FLOCK_RETURN_NOT_OK(
+        catalog->SetProperty(model_id, "type", model.type));
+    catalog->AddEdge(script_id, model_id, EdgeType::kContains);
+    for (const auto& [param, value] : model.hyperparameters) {
+      uint64_t param_id = catalog->GetOrCreate(
+          EntityType::kHyperparameter, model_name + "." + param);
+      FLOCK_RETURN_NOT_OK(catalog->SetProperty(param_id, "value", value));
+      catalog->AddEdge(model_id, param_id, EdgeType::kHasParam);
+    }
+    for (const std::string& source : model.training_sources) {
+      uint64_t dataset_id =
+          catalog->GetOrCreate(EntityType::kDataset, source);
+      catalog->AddEdge(dataset_id, model_id, EdgeType::kTrains);
+      catalog->AddEdge(model_id, dataset_id, EdgeType::kDerivesFrom);
+    }
+  }
+  for (const MetricFinding& metric : result.metrics) {
+    uint64_t metric_id = catalog->GetOrCreate(
+        EntityType::kMetric, script_name + ":" + metric.name);
+    if (!metric.model_variable.empty()) {
+      auto model_id = catalog->Find(
+          EntityType::kModel, script_name + ":" + metric.model_variable);
+      if (model_id.ok()) {
+        catalog->AddEdge(metric_id, *model_id, EdgeType::kEvaluates);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace flock::pyprov

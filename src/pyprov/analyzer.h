@@ -1,0 +1,73 @@
+#ifndef FLOCK_PYPROV_ANALYZER_H_
+#define FLOCK_PYPROV_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "prov/catalog.h"
+#include "pyprov/knowledge_base.h"
+#include "pyprov/py_ast.h"
+
+namespace flock::pyprov {
+
+/// A model identified in a script.
+struct ModelFinding {
+  std::string variable;
+  std::string type;  // constructor name, e.g. "LogisticRegression"
+  std::map<std::string, std::string> hyperparameters;
+  bool trained = false;
+  /// Source identifiers ("file:loans.csv", "sql:SELECT ...") of the data
+  /// that flowed into fit().
+  std::set<std::string> training_sources;
+};
+
+struct DatasetFinding {
+  std::string variable;
+  std::string source;  // "file:..." or "sql:..." or "<dynamic>"
+  bool is_sql = false;
+};
+
+struct MetricFinding {
+  std::string name;            // e.g. "accuracy_score"
+  std::string model_variable;  // evaluated model, when identified
+};
+
+/// Output of static analysis over one script — the paper's Python
+/// provenance module "identif[ies] which Python variables correspond to
+/// models, hyperparameters, model features and metrics ... and eventually
+/// connect[s] them with the datasets used to generate training data".
+struct AnalysisResult {
+  std::vector<ModelFinding> models;
+  std::vector<DatasetFinding> datasets;
+  std::vector<MetricFinding> metrics;
+
+  size_t models_with_training_data() const {
+    size_t n = 0;
+    for (const auto& m : models) {
+      if (!m.training_sources.empty()) ++n;
+    }
+    return n;
+  }
+};
+
+/// Flow-insensitive forward dataflow over the script using `kb`. Calls to
+/// user-defined functions and unknown APIs are opaque — lineage flowing
+/// through them is lost, which is the realistic coverage boundary that
+/// Table 2 measures.
+AnalysisResult Analyze(const Script& script, const KnowledgeBase& kb);
+
+/// Publishes an analysis into the provenance catalog: the script, its
+/// models (+hyperparameters), datasets, metrics, and the connecting edges.
+/// SQL-backed datasets are named `sql:<normalized query>` so the bridge
+/// (prov/bridge.h) can link them to table entities captured by the SQL
+/// module — addressing cross-system challenge C3.
+Status ExportToCatalog(const AnalysisResult& result,
+                       const std::string& script_name,
+                       prov::Catalog* catalog);
+
+}  // namespace flock::pyprov
+
+#endif  // FLOCK_PYPROV_ANALYZER_H_

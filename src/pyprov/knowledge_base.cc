@@ -1,0 +1,44 @@
+#include "pyprov/knowledge_base.h"
+
+namespace flock::pyprov {
+
+KnowledgeBase KnowledgeBase::Default() {
+  KnowledgeBase kb;
+  kb.model_ctors_ = {
+      "LogisticRegression",     "LinearRegression",
+      "Ridge",                  "Lasso",
+      "DecisionTreeClassifier", "DecisionTreeRegressor",
+      "RandomForestClassifier", "RandomForestRegressor",
+      "GradientBoostingClassifier", "GradientBoostingRegressor",
+      "XGBClassifier",          "XGBRegressor",
+      "LGBMClassifier",         "LGBMRegressor",
+      "SVC",                    "SVR",
+      "KNeighborsClassifier",   "KMeans",
+      "MLPClassifier",          "GaussianNB",
+  };
+  kb.featurizer_ctors_ = {
+      "StandardScaler", "MinMaxScaler",   "OneHotEncoder",
+      "LabelEncoder",   "SimpleImputer",  "CountVectorizer",
+      "TfidfVectorizer", "PCA",           "PolynomialFeatures",
+  };
+  kb.readers_ = {
+      "read_csv",     "read_parquet", "read_json", "read_table",
+      "read_sql",     "read_excel",   "read_feather",
+      "query",  // db.query('SELECT ...')
+  };
+  kb.metrics_ = {
+      "accuracy_score",     "roc_auc_score",      "f1_score",
+      "precision_score",    "recall_score",       "mean_squared_error",
+      "mean_absolute_error", "r2_score",          "log_loss",
+  };
+  kb.fit_methods_ = {"fit", "fit_transform", "fit_predict"};
+  kb.predict_methods_ = {"predict", "predict_proba", "transform",
+                         "decision_function", "score"};
+  kb.splitters_ = {"train_test_split", "KFold", "cross_val_score"};
+  kb.combiners_ = {"concat", "merge", "join", "append", "dropna",
+                   "fillna", "groupby", "sample", "copy", "head",
+                   "reset_index", "drop", "get_dummies"};
+  return kb;
+}
+
+}  // namespace flock::pyprov

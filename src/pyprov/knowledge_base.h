@@ -1,0 +1,71 @@
+#ifndef FLOCK_PYPROV_KNOWLEDGE_BASE_H_
+#define FLOCK_PYPROV_KNOWLEDGE_BASE_H_
+
+#include <set>
+#include <string>
+
+namespace flock::pyprov {
+
+/// The "knowledge base of ML APIs that we maintain" (paper §4.2): which
+/// callables construct models, read data, compute metrics, and which
+/// methods train or score. Static analysis is exactly as good as this KB —
+/// scripts using APIs outside it lose coverage, which is what Table 2's
+/// Kaggle-vs-internal gap measures.
+class KnowledgeBase {
+ public:
+  /// The default KB: pandas/sklearn-style API surface.
+  static KnowledgeBase Default();
+
+  bool IsModelConstructor(const std::string& name) const {
+    return model_ctors_.count(name) > 0;
+  }
+  bool IsFeaturizerConstructor(const std::string& name) const {
+    return featurizer_ctors_.count(name) > 0;
+  }
+  /// Matches the final path segment of reader calls ("read_csv" matches
+  /// pd.read_csv and pandas.read_csv).
+  bool IsReader(const std::string& name) const {
+    return readers_.count(name) > 0;
+  }
+  bool IsMetric(const std::string& name) const {
+    return metrics_.count(name) > 0;
+  }
+  bool IsFitMethod(const std::string& name) const {
+    return fit_methods_.count(name) > 0;
+  }
+  bool IsPredictMethod(const std::string& name) const {
+    return predict_methods_.count(name) > 0;
+  }
+  bool IsSplitter(const std::string& name) const {
+    return splitters_.count(name) > 0;
+  }
+  bool IsCombiner(const std::string& name) const {
+    return combiners_.count(name) > 0;
+  }
+
+  void AddModelConstructor(const std::string& name) {
+    model_ctors_.insert(name);
+  }
+  void AddReader(const std::string& name) { readers_.insert(name); }
+  void AddMetric(const std::string& name) { metrics_.insert(name); }
+
+  size_t size() const {
+    return model_ctors_.size() + featurizer_ctors_.size() +
+           readers_.size() + metrics_.size() + fit_methods_.size() +
+           predict_methods_.size() + splitters_.size() + combiners_.size();
+  }
+
+ private:
+  std::set<std::string> model_ctors_;
+  std::set<std::string> featurizer_ctors_;
+  std::set<std::string> readers_;
+  std::set<std::string> metrics_;
+  std::set<std::string> fit_methods_;
+  std::set<std::string> predict_methods_;
+  std::set<std::string> splitters_;
+  std::set<std::string> combiners_;
+};
+
+}  // namespace flock::pyprov
+
+#endif  // FLOCK_PYPROV_KNOWLEDGE_BASE_H_

@@ -1,0 +1,73 @@
+#ifndef FLOCK_PYPROV_PY_AST_H_
+#define FLOCK_PYPROV_PY_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flock::pyprov {
+
+/// Expression node of the pipeline-script language — a small imperative
+/// Python subset sufficient for the data-science scripts the paper's
+/// Python provenance module analyzes (pandas reads, sklearn fit/predict,
+/// metric calls).
+struct PyExpr {
+  enum class Kind {
+    kName,
+    kString,
+    kNumber,
+    kList,
+    kTuple,
+    kCall,
+    kAttribute,
+    kSubscript,
+    kBinOp,
+  };
+
+  Kind kind = Kind::kName;
+  std::string name;   // kName identifier / kAttribute attribute name
+  std::string str;    // kString value
+  double num = 0.0;   // kNumber value
+  std::string op;     // kBinOp operator text
+
+  std::unique_ptr<PyExpr> base;  // kCall callee / kAttribute / kSubscript
+  std::vector<std::unique_ptr<PyExpr>> items;  // args / elements / operands
+  std::vector<std::pair<std::string, std::unique_ptr<PyExpr>>> kwargs;
+
+  /// Dotted rendering of a name/attribute chain ("pd.read_csv"); empty if
+  /// the expression is not a pure chain.
+  std::string DottedPath() const;
+};
+
+using PyExprPtr = std::unique_ptr<PyExpr>;
+
+struct PyStatement {
+  enum class Kind { kImport, kFromImport, kAssign, kExpr, kFunctionDef };
+
+  Kind kind = Kind::kExpr;
+
+  // kImport / kFromImport
+  std::string module;
+  std::vector<std::pair<std::string, std::string>> imports;  // (name, alias)
+
+  // kAssign
+  std::vector<std::string> targets;  // simple-name targets only
+
+  // kAssign / kExpr
+  PyExprPtr value;
+
+  // kFunctionDef (bodies are opaque to the analyzer — a deliberate
+  // coverage boundary matching real static-analysis limitations)
+  std::string func_name;
+  std::vector<PyStatement> body;
+};
+
+struct Script {
+  std::string name;
+  std::vector<PyStatement> statements;
+};
+
+}  // namespace flock::pyprov
+
+#endif  // FLOCK_PYPROV_PY_AST_H_

@@ -1,0 +1,531 @@
+#include "pyprov/py_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace flock::pyprov {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression tokenizer + parser (within one logical line)
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum class Type {
+    kName,
+    kString,
+    kNumber,
+    kOp,      // + - * / % == != < > <= >= etc.
+    kLParen,
+    kRParen,
+    kLBracket,
+    kRBracket,
+    kComma,
+    kDot,
+    kAssignEq,  // single '=' (kwargs)
+    kColon,
+    kEnd,
+  };
+  Type type = Type::kEnd;
+  std::string text;
+  double num = 0.0;
+};
+
+class ExprLexer {
+ public:
+  explicit ExprLexer(const std::string& s) : s_(s) {}
+
+  StatusOr<std::vector<Tok>> Run() {
+    std::vector<Tok> out;
+    size_t i = 0;
+    while (i < s_.size()) {
+      char c = s_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Tok tok;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[i])) ||
+                s_[i] == '_')) {
+          ++i;
+        }
+        tok.type = Tok::Type::kName;
+        tok.text = s_.substr(start, i - start);
+        out.push_back(tok);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        while (i < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[i])) ||
+                s_[i] == '.' || s_[i] == 'e' || s_[i] == 'E' ||
+                ((s_[i] == '+' || s_[i] == '-') && i > start &&
+                 (s_[i - 1] == 'e' || s_[i - 1] == 'E')))) {
+          ++i;
+        }
+        tok.type = Tok::Type::kNumber;
+        tok.text = s_.substr(start, i - start);
+        try {
+          tok.num = std::stod(tok.text);
+        } catch (...) {
+          return Status::ParseError("bad number: " + tok.text);
+        }
+        out.push_back(tok);
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        char quote = c;
+        ++i;
+        std::string text;
+        while (i < s_.size() && s_[i] != quote) {
+          text.push_back(s_[i]);
+          ++i;
+        }
+        if (i >= s_.size()) {
+          return Status::ParseError("unterminated string");
+        }
+        ++i;
+        tok.type = Tok::Type::kString;
+        tok.text = std::move(text);
+        out.push_back(tok);
+        continue;
+      }
+      auto push = [&](Tok::Type t, size_t len) {
+        tok.type = t;
+        tok.text = s_.substr(i, len);
+        i += len;
+        out.push_back(tok);
+      };
+      switch (c) {
+        case '(':
+          push(Tok::Type::kLParen, 1);
+          break;
+        case ')':
+          push(Tok::Type::kRParen, 1);
+          break;
+        case '[':
+          push(Tok::Type::kLBracket, 1);
+          break;
+        case ']':
+          push(Tok::Type::kRBracket, 1);
+          break;
+        case ',':
+          push(Tok::Type::kComma, 1);
+          break;
+        case '.':
+          push(Tok::Type::kDot, 1);
+          break;
+        case ':':
+          push(Tok::Type::kColon, 1);
+          break;
+        case '=':
+          if (i + 1 < s_.size() && s_[i + 1] == '=') {
+            push(Tok::Type::kOp, 2);
+          } else {
+            push(Tok::Type::kAssignEq, 1);
+          }
+          break;
+        case '+':
+        case '-':
+        case '*':
+        case '/':
+        case '%':
+          push(Tok::Type::kOp, 1);
+          break;
+        case '<':
+        case '>':
+        case '!':
+          if (i + 1 < s_.size() && s_[i + 1] == '=') {
+            push(Tok::Type::kOp, 2);
+          } else {
+            push(Tok::Type::kOp, 1);
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' in expression");
+      }
+    }
+    Tok end;
+    end.type = Tok::Type::kEnd;
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  StatusOr<PyExprPtr> Parse() {
+    FLOCK_ASSIGN_OR_RETURN(PyExprPtr e, ParseBinOp());
+    return e;
+  }
+
+  bool AtEnd() const { return toks_[pos_].type == Tok::Type::kEnd; }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  const Tok& Advance() { return toks_[pos_++]; }
+  bool Match(Tok::Type t) {
+    if (Peek().type == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<PyExprPtr> ParseBinOp() {
+    FLOCK_ASSIGN_OR_RETURN(PyExprPtr lhs, ParsePostfix());
+    while (Peek().type == Tok::Type::kOp) {
+      std::string op = Advance().text;
+      FLOCK_ASSIGN_OR_RETURN(PyExprPtr rhs, ParsePostfix());
+      auto node = std::make_unique<PyExpr>();
+      node->kind = PyExpr::Kind::kBinOp;
+      node->op = op;
+      node->items.push_back(std::move(lhs));
+      node->items.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<PyExprPtr> ParsePostfix() {
+    FLOCK_ASSIGN_OR_RETURN(PyExprPtr e, ParsePrimary());
+    while (true) {
+      if (Match(Tok::Type::kDot)) {
+        if (Peek().type != Tok::Type::kName) {
+          return Status::ParseError("expected attribute name after '.'");
+        }
+        auto node = std::make_unique<PyExpr>();
+        node->kind = PyExpr::Kind::kAttribute;
+        node->name = Advance().text;
+        node->base = std::move(e);
+        e = std::move(node);
+        continue;
+      }
+      if (Match(Tok::Type::kLParen)) {
+        auto node = std::make_unique<PyExpr>();
+        node->kind = PyExpr::Kind::kCall;
+        node->base = std::move(e);
+        while (Peek().type != Tok::Type::kRParen &&
+               Peek().type != Tok::Type::kEnd) {
+          // Keyword argument?
+          if (Peek().type == Tok::Type::kName &&
+              toks_[pos_ + 1].type == Tok::Type::kAssignEq) {
+            std::string kw = Advance().text;
+            Advance();  // '='
+            FLOCK_ASSIGN_OR_RETURN(PyExprPtr v, ParseBinOp());
+            node->kwargs.emplace_back(kw, std::move(v));
+          } else {
+            FLOCK_ASSIGN_OR_RETURN(PyExprPtr arg, ParseBinOp());
+            node->items.push_back(std::move(arg));
+          }
+          if (!Match(Tok::Type::kComma)) break;
+        }
+        if (!Match(Tok::Type::kRParen)) {
+          return Status::ParseError("expected ')' in call");
+        }
+        e = std::move(node);
+        continue;
+      }
+      if (Match(Tok::Type::kLBracket)) {
+        auto node = std::make_unique<PyExpr>();
+        node->kind = PyExpr::Kind::kSubscript;
+        node->base = std::move(e);
+        while (Peek().type != Tok::Type::kRBracket &&
+               Peek().type != Tok::Type::kEnd) {
+          FLOCK_ASSIGN_OR_RETURN(PyExprPtr idx, ParseBinOp());
+          node->items.push_back(std::move(idx));
+          if (!Match(Tok::Type::kComma)) break;
+        }
+        if (!Match(Tok::Type::kRBracket)) {
+          return Status::ParseError("expected ']' in subscript");
+        }
+        e = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  StatusOr<PyExprPtr> ParsePrimary() {
+    const Tok& tok = Peek();
+    switch (tok.type) {
+      case Tok::Type::kName: {
+        auto e = std::make_unique<PyExpr>();
+        e->kind = PyExpr::Kind::kName;
+        e->name = Advance().text;
+        return StatusOr<PyExprPtr>(std::move(e));
+      }
+      case Tok::Type::kString: {
+        auto e = std::make_unique<PyExpr>();
+        e->kind = PyExpr::Kind::kString;
+        e->str = Advance().text;
+        return StatusOr<PyExprPtr>(std::move(e));
+      }
+      case Tok::Type::kNumber: {
+        auto e = std::make_unique<PyExpr>();
+        e->kind = PyExpr::Kind::kNumber;
+        e->num = Advance().num;
+        return StatusOr<PyExprPtr>(std::move(e));
+      }
+      case Tok::Type::kOp:
+        if (tok.text == "-" || tok.text == "+") {
+          Advance();
+          return ParsePrimary();  // unary sign folded away
+        }
+        return Status::ParseError("unexpected operator '" + tok.text + "'");
+      case Tok::Type::kLBracket: {
+        Advance();
+        auto e = std::make_unique<PyExpr>();
+        e->kind = PyExpr::Kind::kList;
+        while (Peek().type != Tok::Type::kRBracket &&
+               Peek().type != Tok::Type::kEnd) {
+          FLOCK_ASSIGN_OR_RETURN(PyExprPtr item, ParseBinOp());
+          e->items.push_back(std::move(item));
+          if (!Match(Tok::Type::kComma)) break;
+        }
+        if (!Match(Tok::Type::kRBracket)) {
+          return Status::ParseError("expected ']' closing list");
+        }
+        return StatusOr<PyExprPtr>(std::move(e));
+      }
+      case Tok::Type::kLParen: {
+        Advance();
+        auto e = std::make_unique<PyExpr>();
+        e->kind = PyExpr::Kind::kTuple;
+        while (Peek().type != Tok::Type::kRParen &&
+               Peek().type != Tok::Type::kEnd) {
+          FLOCK_ASSIGN_OR_RETURN(PyExprPtr item, ParseBinOp());
+          e->items.push_back(std::move(item));
+          if (!Match(Tok::Type::kComma)) break;
+        }
+        if (!Match(Tok::Type::kRParen)) {
+          return Status::ParseError("expected ')' closing tuple");
+        }
+        if (e->items.size() == 1) {
+          // Parenthesized expression, not a tuple.
+          return StatusOr<PyExprPtr>(std::move(e->items[0]));
+        }
+        return StatusOr<PyExprPtr>(std::move(e));
+      }
+      default:
+        return Status::ParseError("unexpected token in expression");
+    }
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+StatusOr<PyExprPtr> ParseExprText(const std::string& text) {
+  ExprLexer lexer(text);
+  FLOCK_ASSIGN_OR_RETURN(std::vector<Tok> toks, lexer.Run());
+  ExprParser parser(std::move(toks));
+  FLOCK_ASSIGN_OR_RETURN(PyExprPtr e, parser.Parse());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing tokens in expression: " + text);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Line structuring
+// ---------------------------------------------------------------------------
+
+std::string StripComment(const std::string& line) {
+  bool in_single = false, in_double = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == '#' && !in_single && !in_double) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+size_t IndentOf(const std::string& line) {
+  size_t indent = 0;
+  for (char c : line) {
+    if (c == ' ') {
+      ++indent;
+    } else if (c == '\t') {
+      indent += 4;
+    } else {
+      break;
+    }
+  }
+  return indent;
+}
+
+/// Finds a top-level '=' (assignment) outside parens/brackets/strings.
+/// Returns npos if none.
+size_t FindAssign(const std::string& line) {
+  int depth = 0;
+  bool in_single = false, in_double = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (in_single || in_double) continue;
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == '=' && depth == 0) {
+      bool eq_before = i > 0 && (line[i - 1] == '=' || line[i - 1] == '!' ||
+                                 line[i - 1] == '<' || line[i - 1] == '>');
+      bool eq_after = i + 1 < line.size() && line[i + 1] == '=';
+      if (!eq_before && !eq_after) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+StatusOr<PyStatement> ParseLine(const std::string& raw);
+
+StatusOr<PyStatement> ParseImport(const std::string& line) {
+  PyStatement stmt;
+  if (StartsWith(line, "from ")) {
+    stmt.kind = PyStatement::Kind::kFromImport;
+    size_t import_pos = line.find(" import ");
+    if (import_pos == std::string::npos) {
+      return Status::ParseError("malformed from-import: " + line);
+    }
+    stmt.module = Trim(line.substr(5, import_pos - 5));
+    std::string rest = line.substr(import_pos + 8);
+    for (const std::string& piece : Split(rest, ',')) {
+      std::vector<std::string> words = SplitWhitespace(piece);
+      if (words.empty()) continue;
+      std::string name = words[0];
+      std::string alias =
+          (words.size() == 3 && words[1] == "as") ? words[2] : name;
+      stmt.imports.emplace_back(name, alias);
+    }
+    return stmt;
+  }
+  stmt.kind = PyStatement::Kind::kImport;
+  std::string rest = line.substr(7);
+  for (const std::string& piece : Split(rest, ',')) {
+    std::vector<std::string> words = SplitWhitespace(piece);
+    if (words.empty()) continue;
+    std::string name = words[0];
+    std::string alias =
+        (words.size() == 3 && words[1] == "as") ? words[2] : name;
+    stmt.imports.emplace_back(name, alias);
+    stmt.module = name;
+  }
+  return stmt;
+}
+
+StatusOr<PyStatement> ParseLine(const std::string& raw) {
+  std::string line = Trim(raw);
+  if (StartsWith(line, "import ") || StartsWith(line, "from ")) {
+    return ParseImport(line);
+  }
+  size_t eq = FindAssign(line);
+  if (eq != std::string::npos) {
+    PyStatement stmt;
+    stmt.kind = PyStatement::Kind::kAssign;
+    std::string lhs = Trim(line.substr(0, eq));
+    for (const std::string& target : Split(lhs, ',')) {
+      std::string t = Trim(target);
+      // Only simple-name targets participate in dataflow; attribute or
+      // subscript targets are recorded as opaque.
+      stmt.targets.push_back(t);
+    }
+    FLOCK_ASSIGN_OR_RETURN(stmt.value,
+                           ParseExprText(Trim(line.substr(eq + 1))));
+    return stmt;
+  }
+  PyStatement stmt;
+  stmt.kind = PyStatement::Kind::kExpr;
+  FLOCK_ASSIGN_OR_RETURN(stmt.value, ParseExprText(line));
+  return stmt;
+}
+
+}  // namespace
+
+std::string PyExpr::DottedPath() const {
+  if (kind == Kind::kName) return name;
+  if (kind == Kind::kAttribute && base != nullptr) {
+    std::string prefix = base->DottedPath();
+    if (prefix.empty()) return "";
+    return prefix + "." + name;
+  }
+  return "";
+}
+
+StatusOr<PyExprPtr> ParsePyExpression(const std::string& text) {
+  return ParseExprText(text);
+}
+
+StatusOr<Script> ParseScript(const std::string& name,
+                             const std::string& source) {
+  Script script;
+  script.name = name;
+  std::vector<std::string> lines = Split(source, '\n');
+  size_t i = 0;
+  while (i < lines.size()) {
+    std::string line = StripComment(lines[i]);
+    if (Trim(line).empty()) {
+      ++i;
+      continue;
+    }
+    std::string trimmed = Trim(line);
+    if (StartsWith(trimmed, "def ")) {
+      PyStatement def;
+      def.kind = PyStatement::Kind::kFunctionDef;
+      size_t paren = trimmed.find('(');
+      def.func_name = Trim(trimmed.substr(4, paren == std::string::npos
+                                                 ? std::string::npos
+                                                 : paren - 4));
+      size_t def_indent = IndentOf(line);
+      ++i;
+      // Collect the indented body (parsed leniently; failures become
+      // opaque statements — mirroring real-world analyzer limits).
+      while (i < lines.size()) {
+        std::string body_line = StripComment(lines[i]);
+        if (Trim(body_line).empty()) {
+          ++i;
+          continue;
+        }
+        if (IndentOf(body_line) <= def_indent) break;
+        auto parsed = ParseLine(body_line);
+        if (parsed.ok()) def.body.push_back(std::move(parsed).value());
+        ++i;
+      }
+      script.statements.push_back(std::move(def));
+      continue;
+    }
+    if (StartsWith(trimmed, "if ") || StartsWith(trimmed, "for ") ||
+        StartsWith(trimmed, "while ") || StartsWith(trimmed, "return") ||
+        StartsWith(trimmed, "print(") || trimmed == "else:" ||
+        StartsWith(trimmed, "elif ")) {
+      // Control flow is opaque to the analyzer; nested simple statements
+      // still parse on their own lines (flow-insensitive analysis).
+      ++i;
+      continue;
+    }
+    auto parsed = ParseLine(line);
+    if (!parsed.ok()) {
+      return Status::ParseError("line " + std::to_string(i + 1) + " of " +
+                                name + ": " + parsed.status().message());
+    }
+    script.statements.push_back(std::move(parsed).value());
+    ++i;
+  }
+  return script;
+}
+
+}  // namespace flock::pyprov

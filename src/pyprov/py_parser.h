@@ -1,0 +1,25 @@
+#ifndef FLOCK_PYPROV_PY_PARSER_H_
+#define FLOCK_PYPROV_PY_PARSER_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "pyprov/py_ast.h"
+
+namespace flock::pyprov {
+
+/// Parses a pipeline script (the mini-Python subset). Supports: `import m
+/// [as a]`, `from m import a [as b], ...`, assignments (single and tuple
+/// targets), expression statements, `def f(...):` with an indented body,
+/// `#` comments, and expressions built from names, attribute access,
+/// calls with keyword arguments, subscripts, lists, tuples, string/number
+/// literals and binary operators.
+StatusOr<Script> ParseScript(const std::string& name,
+                             const std::string& source);
+
+/// Parses a single expression (for tests).
+StatusOr<PyExprPtr> ParsePyExpression(const std::string& text);
+
+}  // namespace flock::pyprov
+
+#endif  // FLOCK_PYPROV_PY_PARSER_H_

@@ -1,0 +1,307 @@
+#include "sql/engine.h"
+
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "sql/evaluator.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace flock::sql {
+
+namespace {
+
+/// Binds column refs in a DML predicate/assignment against a single table
+/// schema, with the same PREDICT(model, ...) first-argument handling as
+/// the SELECT planner — so `UPDATE t SET flagged = 1 WHERE PREDICT(m,
+/// a, b) > 0.9` works.
+Status BindDmlExpr(Expr* e, const storage::Schema& schema) {
+  if (e->kind == ExprKind::kFunction && e->function_name == "PREDICT") {
+    if (e->children.empty()) {
+      return Status::InvalidArgument("PREDICT requires a model argument");
+    }
+    if (e->children[0]->kind == ExprKind::kColumnRef) {
+      e->children[0] = Expr::MakeLiteral(
+          storage::Value::String(e->children[0]->column_name));
+    }
+    for (size_t i = 1; i < e->children.size(); ++i) {
+      FLOCK_RETURN_NOT_OK(BindDmlExpr(e->children[i].get(), schema));
+    }
+    return Status::OK();
+  }
+  if (e->kind == ExprKind::kColumnRef) {
+    if (e->column_index >= 0) return Status::OK();
+    auto idx = schema.FindColumn(e->column_name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column not found: " + e->column_name);
+    }
+    e->column_index = static_cast<int>(*idx);
+    e->resolved_type = schema.column(*idx).type;
+    return Status::OK();
+  }
+  for (auto& c : e->children) {
+    if (c) FLOCK_RETURN_NOT_OK(BindDmlExpr(c.get(), schema));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::TablePtr;
+using storage::Value;
+
+SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
+    : db_(db), options_(options) {
+  if (options_.num_threads == 0) {
+    options_.num_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  FunctionRegistry::RegisterBuiltins(&registry_);
+}
+
+StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql) {
+  Stopwatch timer;
+  FLOCK_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::Parse(sql));
+  FLOCK_ASSIGN_OR_RETURN(QueryResult result, ExecuteStatement(sql, *stmt));
+  result.elapsed_ms = timer.ElapsedMillis();
+  if (options_.keep_query_log) query_log_.push_back(sql);
+  if (statement_observer_) statement_observer_(sql, *stmt);
+  return result;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteScript(const std::string& sql) {
+  FLOCK_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts,
+                         Parser::ParseScript(sql));
+  QueryResult last;
+  for (const auto& stmt : stmts) {
+    FLOCK_ASSIGN_OR_RETURN(last, ExecuteStatement(sql, *stmt));
+  }
+  return last;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
+                                                  const Statement& stmt) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const InsertStatement&>(stmt));
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const UpdateStatement&>(stmt));
+    case StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const DeleteStatement&>(stmt));
+    case StatementKind::kCreateTable: {
+      const auto& create = static_cast<const CreateTableStatement&>(stmt);
+      FLOCK_RETURN_NOT_OK(db_->CreateTable(create.table_name,
+                                           create.schema));
+      return QueryResult{};
+    }
+    case StatementKind::kDropTable: {
+      const auto& drop = static_cast<const DropTableStatement&>(stmt);
+      FLOCK_RETURN_NOT_OK(db_->DropTable(drop.table_name));
+      return QueryResult{};
+    }
+    case StatementKind::kCreateModel: {
+      if (!create_model_handler_) {
+        return Status::NotSupported(
+            "CREATE MODEL requires the Flock layer (use flock::FlockEngine)");
+      }
+      FLOCK_RETURN_NOT_OK(create_model_handler_(
+          static_cast<const CreateModelStatement&>(stmt)));
+      return QueryResult{};
+    }
+    case StatementKind::kDropModel: {
+      if (!drop_model_handler_) {
+        return Status::NotSupported(
+            "DROP MODEL requires the Flock layer (use flock::FlockEngine)");
+      }
+      FLOCK_RETURN_NOT_OK(drop_model_handler_(
+          static_cast<const DropModelStatement&>(stmt)));
+      return QueryResult{};
+    }
+    case StatementKind::kExplain: {
+      const auto& explain = static_cast<const ExplainStatement&>(stmt);
+      if (explain.inner->kind() != StatementKind::kSelect) {
+        return Status::NotSupported("EXPLAIN supports SELECT only");
+      }
+      const auto& select =
+          static_cast<const SelectStatement&>(*explain.inner);
+      FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(select));
+      FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
+      QueryResult result;
+      result.plan_text = plan->ToString();
+      Schema schema({storage::ColumnDef{"plan", DataType::kString, false}});
+      result.batch = RecordBatch(schema);
+      FLOCK_RETURN_NOT_OK(
+          result.batch.AppendRow({Value::String(result.plan_text)}));
+      return result;
+    }
+  }
+  (void)sql;
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<PlanPtr> SqlEngine::PlanQuery(const SelectStatement& stmt) {
+  Planner planner(db_, &registry_);
+  return planner.PlanSelect(stmt);
+}
+
+Status SqlEngine::OptimizePlan(PlanPtr* plan) {
+  if (options_.enable_optimizer) {
+    FLOCK_RETURN_NOT_OK(Optimize(plan, &registry_));
+  }
+  if (plan_rewriter_) {
+    FLOCK_RETURN_NOT_OK(plan_rewriter_(plan));
+    // The rewriter may have changed column usage (e.g. pruned PREDICT
+    // arguments); re-run pruning so scans narrow accordingly.
+    if (options_.enable_optimizer) {
+      OptimizerOptions prune_only;
+      prune_only.constant_folding = false;
+      prune_only.predicate_pushdown = false;
+      FLOCK_RETURN_NOT_OK(Optimize(plan, &registry_, prune_only));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<RecordBatch> SqlEngine::ExecutePlan(const LogicalPlan& plan) {
+  ExecutorOptions exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.morsel_size = options_.morsel_size;
+  Executor executor(&registry_, pool_.get(), exec_options);
+  return executor.Execute(plan);
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteSelect(const SelectStatement& stmt) {
+  FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
+  FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
+  QueryResult result;
+  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePlan(*plan));
+  return result;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteInsert(const InsertStatement& stmt) {
+  FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+
+  // Resolve the target column order.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const auto& name : stmt.columns) {
+      auto idx = schema.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("column not found: " + name + " in " +
+                                stmt.table_name);
+      }
+      targets.push_back(*idx);
+    }
+  }
+
+  RecordBatch staged(schema);
+  if (stmt.select != nullptr) {
+    FLOCK_ASSIGN_OR_RETURN(QueryResult sub, ExecuteSelect(*stmt.select));
+    if (sub.batch.num_columns() != targets.size()) {
+      return Status::InvalidArgument(
+          "INSERT SELECT column count mismatch");
+    }
+    for (size_t r = 0; r < sub.batch.num_rows(); ++r) {
+      std::vector<Value> row(schema.num_columns(), Value::Null());
+      std::vector<Value> src = sub.batch.GetRow(r);
+      for (size_t c = 0; c < targets.size(); ++c) {
+        row[targets[c]] = src[c];
+      }
+      FLOCK_RETURN_NOT_OK(staged.AppendRow(row));
+    }
+  } else {
+    for (const auto& value_row : stmt.rows) {
+      if (value_row.size() != targets.size()) {
+        return Status::InvalidArgument("INSERT VALUES arity mismatch");
+      }
+      std::vector<Value> row(schema.num_columns(), Value::Null());
+      for (size_t c = 0; c < targets.size(); ++c) {
+        FLOCK_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*value_row[c],
+                                                         &registry_));
+        row[targets[c]] = std::move(v);
+      }
+      FLOCK_RETURN_NOT_OK(staged.AppendRow(row));
+    }
+  }
+  FLOCK_RETURN_NOT_OK(table->AppendBatch(staged));
+  QueryResult result;
+  result.rows_affected = staged.num_rows();
+  return result;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteUpdate(const UpdateStatement& stmt) {
+  FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+  RecordBatch snapshot = table->ScanAll();
+
+  // Select target rows.
+  std::vector<uint32_t> rows;
+  if (stmt.where != nullptr) {
+    ExprPtr predicate = stmt.where->Clone();
+    FLOCK_RETURN_NOT_OK(BindDmlExpr(predicate.get(), schema));
+    FLOCK_ASSIGN_OR_RETURN(rows, EvaluatePredicate(*predicate, snapshot,
+                                                   &registry_));
+  } else {
+    rows.resize(snapshot.num_rows());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Evaluate assignments over the selected rows.
+  RecordBatch selected = snapshot.Select(rows);
+  size_t affected = rows.size();
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    auto idx = schema.FindColumn(col_name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column not found: " + col_name);
+    }
+    ExprPtr bound = expr->Clone();
+    FLOCK_RETURN_NOT_OK(BindDmlExpr(bound.get(), schema));
+    FLOCK_ASSIGN_OR_RETURN(storage::ColumnVectorPtr values,
+                           EvaluateExpr(*bound, selected, &registry_));
+    std::vector<Value> boxed;
+    boxed.reserve(values->size());
+    for (size_t i = 0; i < values->size(); ++i) {
+      boxed.push_back(values->GetValue(i));
+    }
+    FLOCK_RETURN_NOT_OK(table->UpdateColumn(*idx, rows, boxed));
+  }
+  QueryResult result;
+  result.rows_affected = affected;
+  return result;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteDelete(const DeleteStatement& stmt) {
+  FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+  std::vector<bool> keep(table->num_rows(), true);
+  if (stmt.where != nullptr) {
+    RecordBatch snapshot = table->ScanAll();
+    ExprPtr predicate = stmt.where->Clone();
+    FLOCK_RETURN_NOT_OK(BindDmlExpr(predicate.get(), schema));
+    FLOCK_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> doomed,
+        EvaluatePredicate(*predicate, snapshot, &registry_));
+    for (uint32_t r : doomed) keep[r] = false;
+  } else {
+    std::fill(keep.begin(), keep.end(), false);
+  }
+  size_t removed = table->FilterInPlace(keep);
+  QueryResult result;
+  result.rows_affected = removed;
+  return result;
+}
+
+}  // namespace flock::sql

@@ -1,0 +1,121 @@
+#ifndef FLOCK_SQL_ENGINE_H_
+#define FLOCK_SQL_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "common/thread_pool.h"
+#include "sql/ast.h"
+#include "sql/executor.h"
+#include "sql/function_registry.h"
+#include "sql/logical_plan.h"
+#include "sql/optimizer.h"
+#include "storage/database.h"
+
+namespace flock::sql {
+
+/// Result of one statement.
+struct QueryResult {
+  storage::RecordBatch batch;   // rows for SELECT / EXPLAIN text rendered
+  size_t rows_affected = 0;     // for DML
+  std::string plan_text;        // filled for EXPLAIN
+  double elapsed_ms = 0.0;
+};
+
+struct EngineOptions {
+  /// Intra-query parallelism. 0 = hardware concurrency.
+  size_t num_threads = 0;
+  size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
+  /// Built-in relational optimizations (folding, pushdown, pruning).
+  bool enable_optimizer = true;
+  /// Record every executed statement for lazy provenance capture.
+  bool keep_query_log = true;
+};
+
+/// The SQL engine facade: parse -> plan -> optimize -> execute.
+///
+/// Extension points used by the Flock layer (all optional):
+///  * `functions()` — register PREDICT and other ML UDFs;
+///  * `set_plan_rewriter` — the SQLxML cross-optimizer hook, invoked after
+///    built-in optimization and before execution;
+///  * `set_model_ddl_handler` — CREATE/DROP MODEL delegation;
+///  * `set_statement_observer` — eager provenance capture taps each
+///    successfully executed statement.
+class SqlEngine {
+ public:
+  using PlanRewriter = std::function<Status(PlanPtr*)>;
+  using CreateModelHandler =
+      std::function<Status(const CreateModelStatement&)>;
+  using DropModelHandler = std::function<Status(const DropModelStatement&)>;
+  using StatementObserver =
+      std::function<void(const std::string& sql, const Statement& stmt)>;
+
+  explicit SqlEngine(storage::Database* db, EngineOptions options = {});
+
+  SqlEngine(const SqlEngine&) = delete;
+  SqlEngine& operator=(const SqlEngine&) = delete;
+
+  /// Parses and executes one statement.
+  StatusOr<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  StatusOr<QueryResult> ExecuteScript(const std::string& sql);
+
+  /// Plans (and binds) a SELECT without executing it.
+  StatusOr<PlanPtr> PlanQuery(const SelectStatement& stmt);
+
+  /// Runs the built-in optimizer, then the plan rewriter if set.
+  Status OptimizePlan(PlanPtr* plan);
+
+  /// Executes a bound plan.
+  StatusOr<storage::RecordBatch> ExecutePlan(const LogicalPlan& plan);
+
+  storage::Database* database() { return db_; }
+  FunctionRegistry* functions() { return &registry_; }
+  const FunctionRegistry* functions() const { return &registry_; }
+  ThreadPool* thread_pool() { return pool_.get(); }
+  const EngineOptions& options() const { return options_; }
+  void set_num_threads(size_t n) { options_.num_threads = n; }
+  void set_enable_optimizer(bool on) { options_.enable_optimizer = on; }
+
+  void set_plan_rewriter(PlanRewriter rewriter) {
+    plan_rewriter_ = std::move(rewriter);
+  }
+  void set_model_ddl_handler(CreateModelHandler create,
+                             DropModelHandler drop) {
+    create_model_handler_ = std::move(create);
+    drop_model_handler_ = std::move(drop);
+  }
+  void set_statement_observer(StatementObserver observer) {
+    statement_observer_ = std::move(observer);
+  }
+
+  const std::vector<std::string>& query_log() const { return query_log_; }
+  void ClearQueryLog() { query_log_.clear(); }
+
+ private:
+  StatusOr<QueryResult> ExecuteStatement(const std::string& sql,
+                                         const Statement& stmt);
+  StatusOr<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  StatusOr<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  StatusOr<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+  StatusOr<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  storage::Database* db_;
+  EngineOptions options_;
+  FunctionRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::string> query_log_;
+
+  PlanRewriter plan_rewriter_;
+  CreateModelHandler create_model_handler_;
+  DropModelHandler drop_model_handler_;
+  StatementObserver statement_observer_;
+};
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_ENGINE_H_

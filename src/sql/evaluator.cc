@@ -1,0 +1,616 @@
+#include "sql/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flock::sql {
+
+using storage::ColumnVector;
+using storage::ColumnVectorPtr;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Value;
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kBool;
+}
+
+/// Output type of an arithmetic binary op.
+DataType ArithmeticResultType(BinaryOp op, DataType lhs, DataType rhs) {
+  if (op == BinaryOp::kDiv) return DataType::kDouble;
+  if (lhs == DataType::kInt64 && rhs == DataType::kInt64) {
+    return DataType::kInt64;
+  }
+  return DataType::kDouble;
+}
+
+StatusOr<ColumnVectorPtr> EvaluateArithmetic(BinaryOp op,
+                                             const ColumnVector& lhs,
+                                             const ColumnVector& rhs,
+                                             size_t n) {
+  DataType out_type = ArithmeticResultType(op, lhs.type(), rhs.type());
+  auto out = std::make_shared<ColumnVector>(out_type);
+  out->Reserve(n);
+  if (out_type == DataType::kInt64) {
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      int64_t a = lhs.int_at(i);
+      int64_t b = rhs.int_at(i);
+      int64_t r = 0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          r = a + b;
+          break;
+        case BinaryOp::kSub:
+          r = a - b;
+          break;
+        case BinaryOp::kMul:
+          r = a * b;
+          break;
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out->AppendNull();
+            continue;
+          }
+          r = a % b;
+          break;
+        default:
+          return Status::Internal("bad arithmetic op");
+      }
+      out->AppendInt(r);
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    double a = lhs.AsDouble(i);
+    double b = rhs.AsDouble(i);
+    double r = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        r = a + b;
+        break;
+      case BinaryOp::kSub:
+        r = a - b;
+        break;
+      case BinaryOp::kMul:
+        r = a * b;
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0.0) {
+          out->AppendNull();
+          continue;
+        }
+        r = a / b;
+        break;
+      case BinaryOp::kMod:
+        if (b == 0.0) {
+          out->AppendNull();
+          continue;
+        }
+        r = std::fmod(a, b);
+        break;
+      default:
+        return Status::Internal("bad arithmetic op");
+    }
+    out->AppendDouble(r);
+  }
+  return out;
+}
+
+StatusOr<ColumnVectorPtr> EvaluateComparison(BinaryOp op,
+                                             const ColumnVector& lhs,
+                                             const ColumnVector& rhs,
+                                             size_t n) {
+  auto out = std::make_shared<ColumnVector>(DataType::kBool);
+  out->Reserve(n);
+  bool string_cmp =
+      lhs.type() == DataType::kString && rhs.type() == DataType::kString;
+  bool numeric_cmp = IsNumeric(lhs.type()) && IsNumeric(rhs.type());
+  if (!string_cmp && !numeric_cmp) {
+    // Mixed string/number comparison: compare via string rendering for
+    // equality, otherwise fail loudly.
+    if (op != BinaryOp::kEq && op != BinaryOp::kNotEq) {
+      return Status::InvalidArgument(
+          "cannot order-compare string against numeric");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    int cmp;
+    if (string_cmp) {
+      cmp = lhs.string_at(i).compare(rhs.string_at(i));
+    } else if (numeric_cmp) {
+      double a = lhs.AsDouble(i);
+      double b = rhs.AsDouble(i);
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      cmp = lhs.GetValue(i).ToString().compare(rhs.GetValue(i).ToString());
+    }
+    bool r = false;
+    switch (op) {
+      case BinaryOp::kEq:
+        r = cmp == 0;
+        break;
+      case BinaryOp::kNotEq:
+        r = cmp != 0;
+        break;
+      case BinaryOp::kLt:
+        r = cmp < 0;
+        break;
+      case BinaryOp::kLtEq:
+        r = cmp <= 0;
+        break;
+      case BinaryOp::kGt:
+        r = cmp > 0;
+        break;
+      case BinaryOp::kGtEq:
+        r = cmp >= 0;
+        break;
+      default:
+        return Status::Internal("bad comparison op");
+    }
+    out->AppendBool(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer wildcard match: % = any run, _ = any one char.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+StatusOr<ColumnVectorPtr> EvaluateExpr(const Expr& expr,
+                                       const RecordBatch& input,
+                                       const FunctionRegistry* registry) {
+  const size_t n = input.num_rows();
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      DataType t = expr.literal.is_null() ? DataType::kInt64
+                                          : expr.literal.type();
+      auto out = std::make_shared<ColumnVector>(t);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        FLOCK_RETURN_NOT_OK(out->AppendValue(expr.literal));
+      }
+      return out;
+    }
+    case ExprKind::kColumnRef: {
+      if (expr.column_index < 0 ||
+          static_cast<size_t>(expr.column_index) >= input.num_columns()) {
+        return Status::Internal("unbound column reference: " +
+                                expr.ToString());
+      }
+      return input.column(static_cast<size_t>(expr.column_index));
+    }
+    case ExprKind::kStar:
+      return Status::Internal("'*' cannot be evaluated as a scalar");
+    case ExprKind::kBinary: {
+      if (expr.bin_op == BinaryOp::kAnd || expr.bin_op == BinaryOp::kOr) {
+        FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr lhs,
+                               EvaluateExpr(*expr.children[0], input,
+                                            registry));
+        FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr rhs,
+                               EvaluateExpr(*expr.children[1], input,
+                                            registry));
+        auto out = std::make_shared<ColumnVector>(DataType::kBool);
+        out->Reserve(n);
+        bool is_and = expr.bin_op == BinaryOp::kAnd;
+        for (size_t i = 0; i < n; ++i) {
+          bool lnull = lhs->IsNull(i), rnull = rhs->IsNull(i);
+          bool lv = !lnull && lhs->AsDouble(i) != 0.0;
+          bool rv = !rnull && rhs->AsDouble(i) != 0.0;
+          if (is_and) {
+            // Kleene AND: false dominates, then null.
+            if ((!lnull && !lv) || (!rnull && !rv)) {
+              out->AppendBool(false);
+            } else if (lnull || rnull) {
+              out->AppendNull();
+            } else {
+              out->AppendBool(true);
+            }
+          } else {
+            if ((!lnull && lv) || (!rnull && rv)) {
+              out->AppendBool(true);
+            } else if (lnull || rnull) {
+              out->AppendNull();
+            } else {
+              out->AppendBool(false);
+            }
+          }
+        }
+        return out;
+      }
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr lhs,
+          EvaluateExpr(*expr.children[0], input, registry));
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr rhs,
+          EvaluateExpr(*expr.children[1], input, registry));
+      switch (expr.bin_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvaluateArithmetic(expr.bin_op, *lhs, *rhs, n);
+        case BinaryOp::kEq:
+        case BinaryOp::kNotEq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLtEq:
+        case BinaryOp::kGt:
+        case BinaryOp::kGtEq:
+          return EvaluateComparison(expr.bin_op, *lhs, *rhs, n);
+        case BinaryOp::kLike: {
+          auto out = std::make_shared<ColumnVector>(DataType::kBool);
+          out->Reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            if (lhs->IsNull(i) || rhs->IsNull(i)) {
+              out->AppendNull();
+              continue;
+            }
+            out->AppendBool(LikeMatch(lhs->GetValue(i).ToString(),
+                                      rhs->GetValue(i).ToString()));
+          }
+          return out;
+        }
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+    }
+    case ExprKind::kUnary: {
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr operand,
+          EvaluateExpr(*expr.children[0], input, registry));
+      if (expr.un_op == UnaryOp::kNot) {
+        auto out = std::make_shared<ColumnVector>(DataType::kBool);
+        out->Reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          if (operand->IsNull(i)) {
+            out->AppendNull();
+          } else {
+            out->AppendBool(operand->AsDouble(i) == 0.0);
+          }
+        }
+        return out;
+      }
+      // Negation keeps the numeric type.
+      DataType t = operand->type() == DataType::kInt64 ? DataType::kInt64
+                                                       : DataType::kDouble;
+      auto out = std::make_shared<ColumnVector>(t);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (operand->IsNull(i)) {
+          out->AppendNull();
+        } else if (t == DataType::kInt64) {
+          out->AppendInt(-operand->int_at(i));
+        } else {
+          out->AppendDouble(-operand->AsDouble(i));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateFunction(expr.function_name)) {
+        return Status::Internal(
+            "aggregate function reached scalar evaluator: " +
+            expr.function_name);
+      }
+      if (registry == nullptr) {
+        return Status::Internal("no function registry available");
+      }
+      FLOCK_ASSIGN_OR_RETURN(const ScalarFunction* fn,
+                             registry->Lookup(expr.function_name));
+      if (expr.children.size() < fn->min_args ||
+          expr.children.size() > fn->max_args) {
+        return Status::InvalidArgument("wrong argument count for " +
+                                       expr.function_name);
+      }
+      std::vector<ColumnVectorPtr> args;
+      args.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr arg,
+                               EvaluateExpr(*child, input, registry));
+        args.push_back(std::move(arg));
+      }
+      return fn->kernel(args, n);
+    }
+    case ExprKind::kCase: {
+      size_t num_pairs = (expr.children.size() - (expr.has_else ? 1 : 0)) / 2;
+      std::vector<ColumnVectorPtr> whens(num_pairs), thens(num_pairs);
+      for (size_t p = 0; p < num_pairs; ++p) {
+        FLOCK_ASSIGN_OR_RETURN(
+            whens[p], EvaluateExpr(*expr.children[2 * p], input, registry));
+        FLOCK_ASSIGN_OR_RETURN(
+            thens[p],
+            EvaluateExpr(*expr.children[2 * p + 1], input, registry));
+      }
+      ColumnVectorPtr else_col;
+      if (expr.has_else) {
+        FLOCK_ASSIGN_OR_RETURN(
+            else_col, EvaluateExpr(*expr.children.back(), input, registry));
+      }
+      // Output type: first THEN branch's type.
+      DataType t = num_pairs > 0 ? thens[0]->type() : DataType::kInt64;
+      auto out = std::make_shared<ColumnVector>(t);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool matched = false;
+        for (size_t p = 0; p < num_pairs; ++p) {
+          if (!whens[p]->IsNull(i) && whens[p]->AsDouble(i) != 0.0) {
+            FLOCK_RETURN_NOT_OK(out->AppendValue(thens[p]->GetValue(i)));
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          if (else_col) {
+            FLOCK_RETURN_NOT_OK(out->AppendValue(else_col->GetValue(i)));
+          } else {
+            out->AppendNull();
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kIn: {
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr needle,
+          EvaluateExpr(*expr.children[0], input, registry));
+      std::vector<ColumnVectorPtr> options;
+      for (size_t c = 1; c < expr.children.size(); ++c) {
+        FLOCK_ASSIGN_OR_RETURN(
+            ColumnVectorPtr option,
+            EvaluateExpr(*expr.children[c], input, registry));
+        options.push_back(std::move(option));
+      }
+      auto out = std::make_shared<ColumnVector>(DataType::kBool);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (needle->IsNull(i)) {
+          out->AppendNull();
+          continue;
+        }
+        Value v = needle->GetValue(i);
+        bool found = false;
+        for (const auto& option : options) {
+          if (!option->IsNull(i) && v == option->GetValue(i)) {
+            found = true;
+            break;
+          }
+        }
+        out->AppendBool(expr.negated ? !found : found);
+      }
+      return out;
+    }
+    case ExprKind::kBetween: {
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr v, EvaluateExpr(*expr.children[0], input,
+                                          registry));
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr lo, EvaluateExpr(*expr.children[1], input,
+                                           registry));
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr hi, EvaluateExpr(*expr.children[2], input,
+                                           registry));
+      auto out = std::make_shared<ColumnVector>(DataType::kBool);
+      out->Reserve(n);
+      bool strings = v->type() == DataType::kString;
+      for (size_t i = 0; i < n; ++i) {
+        if (v->IsNull(i) || lo->IsNull(i) || hi->IsNull(i)) {
+          out->AppendNull();
+          continue;
+        }
+        bool in_range;
+        if (strings) {
+          const std::string& s = v->string_at(i);
+          in_range = s >= lo->GetValue(i).ToString() &&
+                     s <= hi->GetValue(i).ToString();
+        } else {
+          double d = v->AsDouble(i);
+          in_range = d >= lo->AsDouble(i) && d <= hi->AsDouble(i);
+        }
+        out->AppendBool(expr.negated ? !in_range : in_range);
+      }
+      return out;
+    }
+    case ExprKind::kCast: {
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr operand,
+          EvaluateExpr(*expr.children[0], input, registry));
+      auto out = std::make_shared<ColumnVector>(expr.cast_type);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (operand->IsNull(i)) {
+          out->AppendNull();
+          continue;
+        }
+        FLOCK_ASSIGN_OR_RETURN(Value cast,
+                               operand->GetValue(i).CastTo(expr.cast_type));
+        FLOCK_RETURN_NOT_OK(out->AppendValue(cast));
+      }
+      return out;
+    }
+    case ExprKind::kIsNull: {
+      FLOCK_ASSIGN_OR_RETURN(
+          ColumnVectorPtr operand,
+          EvaluateExpr(*expr.children[0], input, registry));
+      auto out = std::make_shared<ColumnVector>(DataType::kBool);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool is_null = operand->IsNull(i);
+        out->AppendBool(expr.negated ? !is_null : is_null);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+StatusOr<std::vector<uint32_t>> EvaluatePredicate(
+    const Expr& expr, const RecordBatch& input,
+    const FunctionRegistry* registry) {
+  FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                         EvaluateExpr(expr, input, registry));
+  std::vector<uint32_t> sel;
+  const size_t n = input.num_rows();
+  sel.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask->IsNull(i) && mask->AsDouble(i) != 0.0) {
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return sel;
+}
+
+StatusOr<DataType> InferExprType(const Expr& expr,
+                                 const storage::Schema& schema,
+                                 const FunctionRegistry* registry) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal.is_null() ? DataType::kInt64 : expr.literal.type();
+    case ExprKind::kColumnRef:
+      if (expr.column_index >= 0 &&
+          static_cast<size_t>(expr.column_index) < schema.num_columns()) {
+        return schema.column(static_cast<size_t>(expr.column_index)).type;
+      }
+      return Status::Internal("unbound column in type inference: " +
+                              expr.ToString());
+    case ExprKind::kStar:
+      return Status::Internal("cannot type '*'");
+    case ExprKind::kBinary: {
+      switch (expr.bin_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNotEq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLtEq:
+        case BinaryOp::kGt:
+        case BinaryOp::kGtEq:
+        case BinaryOp::kLike:
+          return DataType::kBool;
+        default: {
+          FLOCK_ASSIGN_OR_RETURN(
+              DataType lhs,
+              InferExprType(*expr.children[0], schema, registry));
+          FLOCK_ASSIGN_OR_RETURN(
+              DataType rhs,
+              InferExprType(*expr.children[1], schema, registry));
+          return ArithmeticResultType(expr.bin_op, lhs, rhs);
+        }
+      }
+    }
+    case ExprKind::kUnary:
+      if (expr.un_op == UnaryOp::kNot) return DataType::kBool;
+      return InferExprType(*expr.children[0], schema, registry);
+    case ExprKind::kFunction: {
+      const std::string& fn = expr.function_name;
+      if (fn == "COUNT") return DataType::kInt64;
+      if (fn == "SUM" || fn == "AVG") return DataType::kDouble;
+      if (fn == "MIN" || fn == "MAX") {
+        if (expr.children.empty() ||
+            expr.children[0]->kind == ExprKind::kStar) {
+          return DataType::kDouble;
+        }
+        return InferExprType(*expr.children[0], schema, registry);
+      }
+      if (registry != nullptr && registry->Contains(fn)) {
+        FLOCK_ASSIGN_OR_RETURN(const ScalarFunction* entry,
+                               registry->Lookup(fn));
+        // COALESCE's type follows its first argument.
+        if (fn == "COALESCE" && !expr.children.empty()) {
+          return InferExprType(*expr.children[0], schema, registry);
+        }
+        return entry->return_type;
+      }
+      return Status::NotFound("unknown function: " + fn);
+    }
+    case ExprKind::kCase:
+      if (expr.children.size() >= 2) {
+        return InferExprType(*expr.children[1], schema, registry);
+      }
+      return DataType::kInt64;
+    case ExprKind::kIn:
+    case ExprKind::kBetween:
+    case ExprKind::kIsNull:
+      return DataType::kBool;
+    case ExprKind::kCast:
+      return expr.cast_type;
+  }
+  return Status::Internal("unhandled kind in type inference");
+}
+
+bool IsConstantExpr(const Expr& expr) {
+  if (expr.kind == ExprKind::kColumnRef || expr.kind == ExprKind::kStar) {
+    return false;
+  }
+  if (expr.kind == ExprKind::kFunction &&
+      IsAggregateFunction(expr.function_name)) {
+    return false;
+  }
+  for (const auto& c : expr.children) {
+    if (c && !IsConstantExpr(*c)) return false;
+  }
+  return true;
+}
+
+StatusOr<Value> EvaluateConstant(const Expr& expr,
+                                 const FunctionRegistry* registry) {
+  if (!IsConstantExpr(expr)) {
+    return Status::InvalidArgument("expression is not constant: " +
+                                   expr.ToString());
+  }
+  // A batch with zero columns has zero rows; evaluate via a dummy column.
+  storage::Schema schema(
+      {storage::ColumnDef{"__dummy", DataType::kInt64, false}});
+  RecordBatch batch(schema);
+  FLOCK_RETURN_NOT_OK(batch.AppendRow({Value::Int(0)}));
+  FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                         EvaluateExpr(expr, batch, registry));
+  if (col->size() != 1) return Status::Internal("constant eval row count");
+  return col->GetValue(0);
+}
+
+void CollectColumnIndexes(const Expr& expr, std::vector<int>* indexes) {
+  VisitExpr(expr, [indexes](const Expr& e) {
+    if (e.kind == ExprKind::kColumnRef && e.column_index >= 0) {
+      indexes->push_back(e.column_index);
+    }
+  });
+}
+
+}  // namespace flock::sql

@@ -1,0 +1,47 @@
+#ifndef FLOCK_SQL_EVALUATOR_H_
+#define FLOCK_SQL_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "sql/ast.h"
+#include "sql/function_registry.h"
+#include "storage/record_batch.h"
+
+namespace flock::sql {
+
+/// Evaluates a bound expression (all column refs resolved to indexes in
+/// `input`'s schema) over a batch, producing one column of
+/// `input.num_rows()` entries. Vectorized: kernels loop over dense arrays.
+StatusOr<storage::ColumnVectorPtr> EvaluateExpr(
+    const Expr& expr, const storage::RecordBatch& input,
+    const FunctionRegistry* registry);
+
+/// Evaluates a predicate and returns the selected row indexes (rows where the
+/// predicate is non-null true).
+StatusOr<std::vector<uint32_t>> EvaluatePredicate(
+    const Expr& expr, const storage::RecordBatch& input,
+    const FunctionRegistry* registry);
+
+/// Computes the static result type of `expr` against `schema`.
+StatusOr<storage::DataType> InferExprType(const Expr& expr,
+                                          const storage::Schema& schema,
+                                          const FunctionRegistry* registry);
+
+/// Evaluates an expression with no column references to a single Value
+/// (constant folding, literal INSERT rows, policy thresholds).
+StatusOr<storage::Value> EvaluateConstant(const Expr& expr,
+                                          const FunctionRegistry* registry);
+
+/// True when the tree has no column references, stars, or aggregates.
+bool IsConstantExpr(const Expr& expr);
+
+/// Appends the indexes of every resolved column reference in `expr`.
+void CollectColumnIndexes(const Expr& expr, std::vector<int>* indexes);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_EVALUATOR_H_

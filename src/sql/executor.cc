@@ -1,0 +1,597 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "sql/evaluator.h"
+#include "sql/optimizer.h"
+
+namespace flock::sql {
+
+using storage::ColumnVector;
+using storage::ColumnVectorPtr;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::Value;
+
+namespace {
+
+/// Serializes row `r`'s values from `cols` into a byte-key for hashing.
+void AppendRowKey(const std::vector<ColumnVectorPtr>& cols, size_t r,
+                  std::string* key) {
+  for (const auto& col : cols) {
+    if (col->IsNull(r)) {
+      key->push_back('\0');
+      continue;
+    }
+    key->push_back('\1');
+    switch (col->type()) {
+      case DataType::kBool:
+        key->push_back(col->bool_at(r) ? '1' : '0');
+        break;
+      case DataType::kInt64: {
+        int64_t v = col->int_at(r);
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        double v = col->double_at(r);
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = col->string_at(r);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        key->append(s);
+        break;
+      }
+    }
+  }
+}
+
+/// Extracted equi-join keys: pairs of (left column expr, right column expr),
+/// with right-side indexes rebased to the right child's schema.
+struct JoinKeys {
+  std::vector<ExprPtr> left;
+  std::vector<ExprPtr> right;
+  std::vector<ExprPtr> residual;  // bound against joined row (left++right)
+};
+
+JoinKeys ExtractJoinKeys(const Expr* condition, size_t left_width) {
+  JoinKeys keys;
+  if (condition == nullptr) return keys;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(condition->Clone());
+  for (auto& conjunct : conjuncts) {
+    if (conjunct->kind == ExprKind::kBinary &&
+        conjunct->bin_op == BinaryOp::kEq) {
+      Expr* a = conjunct->children[0].get();
+      Expr* b = conjunct->children[1].get();
+      auto side = [&](const Expr& e) -> int {
+        // 0 = left-only, 1 = right-only, -1 = mixed/none.
+        bool has_left = false, has_right = false;
+        VisitExpr(e, [&](const Expr& node) {
+          if (node.kind == ExprKind::kColumnRef) {
+            if (node.column_index < static_cast<int>(left_width)) {
+              has_left = true;
+            } else {
+              has_right = true;
+            }
+          }
+        });
+        if (has_left && !has_right) return 0;
+        if (has_right && !has_left) return 1;
+        return -1;
+      };
+      int sa = side(*a);
+      int sb = side(*b);
+      if (sa == 0 && sb == 1) {
+        keys.left.push_back(std::move(conjunct->children[0]));
+        keys.right.push_back(std::move(conjunct->children[1]));
+        VisitExprMutable(keys.right.back().get(), [&](Expr* node) {
+          if (node->kind == ExprKind::kColumnRef) {
+            node->column_index -= static_cast<int>(left_width);
+          }
+        });
+        continue;
+      }
+      if (sa == 1 && sb == 0) {
+        keys.left.push_back(std::move(conjunct->children[1]));
+        keys.right.push_back(std::move(conjunct->children[0]));
+        VisitExprMutable(keys.right.back().get(), [&](Expr* node) {
+          if (node->kind == ExprKind::kColumnRef) {
+            node->column_index -= static_cast<int>(left_width);
+          }
+        });
+        continue;
+      }
+    }
+    keys.residual.push_back(std::move(conjunct));
+  }
+  return keys;
+}
+
+}  // namespace
+
+StatusOr<RecordBatch> Executor::Execute(const LogicalPlan& plan) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+      return ExecutePipeline(plan);
+    case PlanKind::kJoin:
+      return ExecuteJoin(plan);
+    case PlanKind::kAggregate:
+      return ExecuteAggregate(plan);
+    case PlanKind::kSort:
+      return ExecuteSort(plan);
+    case PlanKind::kDistinct:
+      return ExecuteDistinct(plan);
+    case PlanKind::kLimit:
+      return ExecuteLimit(plan);
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+StatusOr<RecordBatch> Executor::ExecutePipeline(const LogicalPlan& plan) {
+  // Collect the Filter/Project chain down to the pipeline source.
+  std::vector<const LogicalPlan*> ops;  // top-down
+  const LogicalPlan* node = &plan;
+  while (node->kind == PlanKind::kFilter ||
+         node->kind == PlanKind::kProject) {
+    ops.push_back(node);
+    node = node->children[0].get();
+  }
+
+  // Applies the op chain (bottom-up) to one morsel.
+  auto apply_ops = [&](RecordBatch batch) -> StatusOr<RecordBatch> {
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      const LogicalPlan* op = *it;
+      if (op->kind == PlanKind::kFilter) {
+        FLOCK_ASSIGN_OR_RETURN(
+            std::vector<uint32_t> sel,
+            EvaluatePredicate(*op->predicate, batch, registry_));
+        if (sel.size() != batch.num_rows()) {
+          batch = batch.Select(sel);
+        }
+      } else {  // Project
+        RecordBatch out(op->output_schema);
+        if (batch.num_rows() > 0) {
+          for (size_t i = 0; i < op->exprs.size(); ++i) {
+            FLOCK_ASSIGN_OR_RETURN(
+                ColumnVectorPtr col,
+                EvaluateExpr(*op->exprs[i], batch, registry_));
+            // Column types may legitimately widen (e.g. int literal in a
+            // double column); normalize to the declared schema type.
+            if (col->type() != op->output_schema.column(i).type) {
+              auto cast = std::make_shared<ColumnVector>(
+                  op->output_schema.column(i).type);
+              cast->Reserve(col->size());
+              for (size_t r = 0; r < col->size(); ++r) {
+                FLOCK_RETURN_NOT_OK(cast->AppendValue(col->GetValue(r)));
+              }
+              col = std::move(cast);
+            }
+            out.SetColumn(i, std::move(col));
+          }
+        }
+        batch = std::move(out);
+      }
+    }
+    return batch;
+  };
+
+  if (node->kind != PlanKind::kScan) {
+    // Pipeline over a blocking source: materialize it, then stream morsels.
+    FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*node));
+    RecordBatch result(plan.output_schema);
+    size_t n = input.num_rows();
+    if (n == 0) {
+      FLOCK_ASSIGN_OR_RETURN(RecordBatch empty, apply_ops(std::move(input)));
+      return empty;
+    }
+    for (size_t begin = 0; begin < n; begin += options_.morsel_size) {
+      size_t end = std::min(n, begin + options_.morsel_size);
+      std::vector<uint32_t> sel(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        sel[i - begin] = static_cast<uint32_t>(i);
+      }
+      FLOCK_ASSIGN_OR_RETURN(RecordBatch piece, apply_ops(input.Select(sel)));
+      result.Append(piece);
+    }
+    return result;
+  }
+
+  const storage::Table& table = *node->table;
+  const std::vector<size_t>& projection = node->projection;
+  auto scan_morsel = [&](size_t begin, size_t end) -> RecordBatch {
+    RecordBatch batch = table.ScanRange(begin, end);
+    if (!projection.empty()) batch = batch.Project(projection);
+    return batch;
+  };
+
+  size_t total = table.num_rows();
+  size_t threads = std::max<size_t>(1, options_.num_threads);
+  if (pool_ == nullptr) threads = 1;
+
+  if (threads == 1 || total < options_.morsel_size * 2) {
+    RecordBatch result(plan.output_schema);
+    for (size_t begin = 0; begin < total || begin == 0;
+         begin += options_.morsel_size) {
+      size_t end = std::min(total, begin + options_.morsel_size);
+      FLOCK_ASSIGN_OR_RETURN(RecordBatch piece,
+                             apply_ops(scan_morsel(begin, end)));
+      result.Append(piece);
+      if (end >= total) break;
+    }
+    return result;
+  }
+
+  // Morsel-driven parallel scan: partition the row range, one task per
+  // chunk, deterministic merge in chunk order.
+  size_t num_tasks = threads * 4;
+  size_t chunk = (total + num_tasks - 1) / num_tasks;
+  chunk = std::max(chunk, options_.morsel_size);
+  num_tasks = (total + chunk - 1) / chunk;
+
+  std::vector<RecordBatch> partials(num_tasks);
+  std::vector<Status> statuses(num_tasks, Status::OK());
+  pool_->ParallelFor(num_tasks, [&](size_t t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(total, begin + chunk);
+    RecordBatch local(plan.output_schema);
+    for (size_t m = begin; m < end; m += options_.morsel_size) {
+      size_t mend = std::min(end, m + options_.morsel_size);
+      auto piece = apply_ops(scan_morsel(m, mend));
+      if (!piece.ok()) {
+        statuses[t] = piece.status();
+        return;
+      }
+      local.Append(*piece);
+    }
+    partials[t] = std::move(local);
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  RecordBatch result(plan.output_schema);
+  for (auto& partial : partials) result.Append(partial);
+  return result;
+}
+
+StatusOr<RecordBatch> Executor::ExecuteJoin(const LogicalPlan& plan) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch left, Execute(*plan.children[0]));
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch right, Execute(*plan.children[1]));
+  size_t left_width = left.num_columns();
+
+  JoinKeys keys = ExtractJoinKeys(plan.join_condition.get(), left_width);
+
+  // Build the joined batch from matching (l, r) index pairs.
+  auto emit = [&](const std::vector<uint32_t>& lsel,
+                  const std::vector<int64_t>& rsel) -> RecordBatch {
+    RecordBatch out(plan.output_schema);
+    for (size_t c = 0; c < left_width; ++c) {
+      out.mutable_column(c)->AppendSelected(*left.column(c), lsel);
+    }
+    for (size_t c = 0; c < right.num_columns(); ++c) {
+      ColumnVector* dst = out.mutable_column(left_width + c);
+      const ColumnVector& src = *right.column(c);
+      for (int64_t r : rsel) {
+        if (r < 0) {
+          dst->AppendNull();
+        } else {
+          dst->AppendRange(src, static_cast<size_t>(r),
+                           static_cast<size_t>(r) + 1);
+        }
+      }
+    }
+    return out;
+  };
+
+  std::vector<uint32_t> lsel;
+  std::vector<int64_t> rsel;
+
+  if (!keys.left.empty()) {
+    // Hash join: build on right.
+    std::vector<ColumnVectorPtr> right_keys;
+    for (const auto& e : keys.right) {
+      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                             EvaluateExpr(*e, right, registry_));
+      right_keys.push_back(std::move(col));
+    }
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    ht.reserve(right.num_rows());
+    std::string key;
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      key.clear();
+      bool any_null = false;
+      for (const auto& col : right_keys) {
+        if (col->IsNull(r)) any_null = true;
+      }
+      if (any_null) continue;  // nulls never join
+      AppendRowKey(right_keys, r, &key);
+      ht[key].push_back(static_cast<uint32_t>(r));
+    }
+    std::vector<ColumnVectorPtr> left_keys;
+    for (const auto& e : keys.left) {
+      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                             EvaluateExpr(*e, left, registry_));
+      left_keys.push_back(std::move(col));
+    }
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      bool any_null = false;
+      for (const auto& col : left_keys) {
+        if (col->IsNull(l)) any_null = true;
+      }
+      bool matched = false;
+      if (!any_null) {
+        key.clear();
+        AppendRowKey(left_keys, l, &key);
+        auto it = ht.find(key);
+        if (it != ht.end()) {
+          for (uint32_t r : it->second) {
+            lsel.push_back(static_cast<uint32_t>(l));
+            rsel.push_back(r);
+            matched = true;
+          }
+        }
+      }
+      if (!matched && plan.join_type == JoinType::kLeft) {
+        lsel.push_back(static_cast<uint32_t>(l));
+        rsel.push_back(-1);
+      }
+    }
+  } else {
+    // Nested-loop (cross join or non-equi condition).
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      bool matched = false;
+      for (size_t r = 0; r < right.num_rows(); ++r) {
+        lsel.push_back(static_cast<uint32_t>(l));
+        rsel.push_back(static_cast<int64_t>(r));
+        matched = true;
+      }
+      if (!matched && plan.join_type == JoinType::kLeft) {
+        lsel.push_back(static_cast<uint32_t>(l));
+        rsel.push_back(-1);
+      }
+    }
+  }
+
+  RecordBatch joined = emit(lsel, rsel);
+
+  // Residual predicate (plus full condition for nested-loop joins).
+  std::vector<ExprPtr> residuals;
+  if (!keys.left.empty()) {
+    for (auto& e : keys.residual) residuals.push_back(std::move(e));
+  } else if (plan.join_condition != nullptr) {
+    residuals.push_back(plan.join_condition->Clone());
+  }
+  if (!residuals.empty()) {
+    if (plan.join_type == JoinType::kLeft) {
+      // For left joins, the residual only filters matched rows.
+      ExprPtr residual = CombineConjuncts(std::move(residuals));
+      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                             EvaluateExpr(*residual, joined, registry_));
+      std::vector<uint32_t> sel;
+      for (size_t i = 0; i < joined.num_rows(); ++i) {
+        bool is_padded = rsel[i] < 0;
+        if (is_padded || (!mask->IsNull(i) && mask->AsDouble(i) != 0.0)) {
+          sel.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      joined = joined.Select(sel);
+    } else {
+      ExprPtr residual = CombineConjuncts(std::move(residuals));
+      FLOCK_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> sel,
+          EvaluatePredicate(*residual, joined, registry_));
+      joined = joined.Select(sel);
+    }
+  }
+  return joined;
+}
+
+StatusOr<RecordBatch> Executor::ExecuteAggregate(const LogicalPlan& plan) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+  const size_t n = input.num_rows();
+
+  // Evaluate group keys and aggregate arguments once, vectorized.
+  std::vector<ColumnVectorPtr> key_cols;
+  for (const auto& g : plan.group_by) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                           EvaluateExpr(*g, input, registry_));
+    key_cols.push_back(std::move(col));
+  }
+  struct AggSpec {
+    std::string fn;       // COUNT/SUM/AVG/MIN/MAX
+    bool star = false;    // COUNT(*)
+    bool distinct = false;
+    ColumnVectorPtr arg;  // null when star
+  };
+  std::vector<AggSpec> specs;
+  for (const auto& agg : plan.aggregates) {
+    if (agg->distinct && agg->function_name != "COUNT") {
+      return Status::NotSupported(
+          "DISTINCT is only supported for COUNT aggregates");
+    }
+    AggSpec spec;
+    spec.distinct = agg->distinct;
+    spec.fn = agg->function_name;
+    if (agg->children.empty() ||
+        agg->children[0]->kind == ExprKind::kStar) {
+      spec.star = true;
+    } else {
+      FLOCK_ASSIGN_OR_RETURN(
+          spec.arg, EvaluateExpr(*agg->children[0], input, registry_));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool has_value = false;
+    Value min, max;
+    std::set<std::string> distinct_keys;  // COUNT(DISTINCT x) only
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<Group> groups;
+
+  auto get_group = [&](size_t row) -> Group& {
+    std::string key;
+    AppendRowKey(key_cols, row, &key);
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      for (const auto& col : key_cols) g.keys.push_back(col->GetValue(row));
+      g.states.resize(specs.size());
+      groups.push_back(std::move(g));
+    }
+    return groups[it->second];
+  };
+
+  if (plan.group_by.empty()) {
+    // Global aggregate: exactly one group, even over zero rows.
+    Group g;
+    g.states.resize(specs.size());
+    groups.push_back(std::move(g));
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    Group& g = plan.group_by.empty() ? groups[0] : get_group(r);
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const AggSpec& spec = specs[a];
+      AggState& state = g.states[a];
+      if (spec.star) {
+        ++state.count;
+        continue;
+      }
+      if (spec.arg->IsNull(r)) continue;
+      if (spec.distinct) {
+        std::string key;
+        std::vector<ColumnVectorPtr> one = {spec.arg};
+        AppendRowKey(one, r, &key);
+        state.distinct_keys.insert(std::move(key));
+        continue;
+      }
+      ++state.count;
+      state.sum += spec.arg->AsDouble(r);
+      Value v = spec.arg->GetValue(r);
+      if (!state.has_value) {
+        state.min = v;
+        state.max = v;
+        state.has_value = true;
+      } else {
+        if (v.Compare(state.min) < 0) state.min = v;
+        if (v.Compare(state.max) > 0) state.max = std::move(v);
+      }
+    }
+  }
+
+  RecordBatch out(plan.output_schema);
+  for (const Group& g : groups) {
+    std::vector<Value> row;
+    row.reserve(plan.output_schema.num_columns());
+    for (const Value& key : g.keys) row.push_back(key);
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const AggState& state = g.states[a];
+      const std::string& fn = specs[a].fn;
+      if (fn == "COUNT") {
+        row.push_back(Value::Int(
+            specs[a].distinct
+                ? static_cast<int64_t>(state.distinct_keys.size())
+                : state.count));
+      } else if (fn == "SUM") {
+        row.push_back(state.count > 0 ? Value::Double(state.sum)
+                                      : Value::Null(DataType::kDouble));
+      } else if (fn == "AVG") {
+        row.push_back(state.count > 0
+                          ? Value::Double(state.sum /
+                                          static_cast<double>(state.count))
+                          : Value::Null(DataType::kDouble));
+      } else if (fn == "MIN") {
+        row.push_back(state.has_value ? state.min : Value::Null());
+      } else if (fn == "MAX") {
+        row.push_back(state.has_value ? state.max : Value::Null());
+      } else {
+        return Status::Internal("unknown aggregate: " + fn);
+      }
+    }
+    FLOCK_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+StatusOr<RecordBatch> Executor::ExecuteSort(const LogicalPlan& plan) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+  std::vector<ColumnVectorPtr> key_cols;
+  std::vector<bool> ascending;
+  for (const auto& k : plan.sort_keys) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                           EvaluateExpr(*k.expr, input, registry_));
+    key_cols.push_back(std::move(col));
+    ascending.push_back(k.ascending);
+  }
+  std::vector<uint32_t> order(input.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       Value va = key_cols[k]->GetValue(a);
+                       Value vb = key_cols[k]->GetValue(b);
+                       int cmp = va.Compare(vb);
+                       if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+                     }
+                     return false;
+                   });
+  return input.Select(order);
+}
+
+StatusOr<RecordBatch> Executor::ExecuteDistinct(const LogicalPlan& plan) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+  std::vector<ColumnVectorPtr> cols;
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    cols.push_back(input.column(c));
+  }
+  std::unordered_map<std::string, bool> seen;
+  std::vector<uint32_t> sel;
+  std::string key;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    key.clear();
+    AppendRowKey(cols, r, &key);
+    if (seen.try_emplace(key, true).second) {
+      sel.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return input.Select(sel);
+}
+
+StatusOr<RecordBatch> Executor::ExecuteLimit(const LogicalPlan& plan) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+  size_t begin = std::min<size_t>(static_cast<size_t>(plan.offset),
+                                  input.num_rows());
+  size_t end = input.num_rows();
+  if (plan.limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(plan.limit));
+  }
+  std::vector<uint32_t> sel;
+  sel.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    sel.push_back(static_cast<uint32_t>(i));
+  }
+  return input.Select(sel);
+}
+
+}  // namespace flock::sql

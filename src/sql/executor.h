@@ -1,0 +1,52 @@
+#ifndef FLOCK_SQL_EXECUTOR_H_
+#define FLOCK_SQL_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/status_or.h"
+#include "common/thread_pool.h"
+#include "sql/function_registry.h"
+#include "sql/logical_plan.h"
+#include "storage/record_batch.h"
+
+namespace flock::sql {
+
+struct ExecutorOptions {
+  /// Degree of intra-query parallelism for scan pipelines. 1 = serial.
+  size_t num_threads = 1;
+  /// Rows per morsel flowing through a pipeline.
+  size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
+};
+
+/// Interprets logical plans.
+///
+/// Scan->Filter->Project chains run as morsel-driven parallel pipelines:
+/// the scan range is partitioned across the thread pool and every worker
+/// pulls 2,048-row morsels through its copy of the pipeline. Blocking
+/// operators (join build, aggregation, sort) materialize their inputs.
+/// This morsel parallelism is what gives in-DBMS inference its "automatic
+/// parallelization" advantage over standalone scoring (paper Figure 4).
+class Executor {
+ public:
+  Executor(const FunctionRegistry* registry, ThreadPool* pool,
+           ExecutorOptions options)
+      : registry_(registry), pool_(pool), options_(options) {}
+
+  StatusOr<storage::RecordBatch> Execute(const LogicalPlan& plan);
+
+ private:
+  StatusOr<storage::RecordBatch> ExecutePipeline(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecuteJoin(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecuteAggregate(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecuteSort(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecuteDistinct(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecuteLimit(const LogicalPlan& plan);
+
+  const FunctionRegistry* registry_;
+  ThreadPool* pool_;  // may be null when num_threads == 1
+  ExecutorOptions options_;
+};
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_EXECUTOR_H_

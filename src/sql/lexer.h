@@ -1,0 +1,21 @@
+#ifndef FLOCK_SQL_LEXER_H_
+#define FLOCK_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "sql/token.h"
+
+namespace flock::sql {
+
+/// Returns true for words the parser treats as reserved.
+bool IsKeyword(const std::string& upper);
+
+/// Tokenizes a SQL string. Strings use single quotes with '' escapes;
+/// comments are `-- ...` to end of line.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_LEXER_H_

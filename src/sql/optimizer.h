@@ -1,0 +1,39 @@
+#ifndef FLOCK_SQL_OPTIMIZER_H_
+#define FLOCK_SQL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/function_registry.h"
+#include "sql/logical_plan.h"
+
+namespace flock::sql {
+
+struct OptimizerOptions {
+  bool constant_folding = true;
+  bool predicate_pushdown = true;
+  bool projection_pruning = true;
+};
+
+/// Rule-based rewrite of a bound plan. Rules:
+///  * constant folding of deterministic scalar subtrees;
+///  * filter merging and predicate pushdown through Project and Join;
+///  * projection pruning — narrows table scans to the columns actually
+///    consumed anywhere above, remapping column indexes.
+///
+/// Projection pruning is the relational half of the paper's
+/// "automatic pruning of unused input feature-columns" (§4.1): once the
+/// Flock cross-optimizer shrinks a PREDICT call's argument list using model
+/// sparsity, this pass makes the scan itself narrower.
+Status Optimize(PlanPtr* plan, const FunctionRegistry* registry,
+                const OptimizerOptions& options = {});
+
+/// Splits a predicate into top-level AND conjuncts (ownership transferred).
+std::vector<ExprPtr> SplitConjuncts(ExprPtr predicate);
+
+/// AND-combines conjuncts back into one predicate (empty -> TRUE literal).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_OPTIMIZER_H_

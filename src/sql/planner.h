@@ -1,0 +1,57 @@
+#ifndef FLOCK_SQL_PLANNER_H_
+#define FLOCK_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "sql/ast.h"
+#include "sql/function_registry.h"
+#include "sql/logical_plan.h"
+#include "storage/database.h"
+
+namespace flock::sql {
+
+/// Binds a parsed SELECT against the catalog and produces a logical plan.
+///
+/// Binding resolves every column reference to an index in its node's input
+/// schema and infers types along the way. Aggregation is planned as an
+/// Aggregate node whose output columns (group keys, then aggregate values)
+/// the SELECT/HAVING/ORDER BY expressions are rewritten to reference.
+class Planner {
+ public:
+  Planner(const storage::Database* db, const FunctionRegistry* registry)
+      : db_(db), registry_(registry) {}
+
+  StatusOr<PlanPtr> PlanSelect(const SelectStatement& stmt);
+
+ private:
+  /// Name-resolution scope for one FROM clause: each table binding maps an
+  /// alias to a contiguous column range in the concatenated schema.
+  struct Scope {
+    struct Binding {
+      std::string name;  // alias if present, else table name
+      size_t start = 0;
+      size_t count = 0;
+    };
+    std::vector<Binding> bindings;
+    storage::Schema schema;
+  };
+
+  StatusOr<Scope> BuildFromScope(const SelectStatement& stmt,
+                                 PlanPtr* plan_out);
+
+  /// Resolves column refs in `e` against `scope`; sets column_index and
+  /// resolved_type.
+  Status BindExpr(Expr* e, const Scope& scope);
+
+  /// Binds against a plain output schema (post-projection / post-aggregate).
+  Status BindExprToSchema(Expr* e, const storage::Schema& schema);
+
+  const storage::Database* db_;
+  const FunctionRegistry* registry_;
+};
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_PLANNER_H_

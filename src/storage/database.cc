@@ -1,0 +1,49 @@
+#include "storage/database.h"
+
+#include "common/string_util.h"
+
+namespace flock::storage {
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_[key] = std::make_shared<Table>(name, std::move(schema));
+  return Status::OK();
+}
+
+StatusOr<TablePtr> Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second;
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace flock::storage

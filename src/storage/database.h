@@ -1,0 +1,40 @@
+#ifndef FLOCK_STORAGE_DATABASE_H_
+#define FLOCK_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "storage/table.h"
+
+namespace flock::storage {
+
+/// The table catalog: name -> Table. Names are case-insensitive.
+///
+/// Thread-safe for catalog operations; per-table mutation is coordinated by
+/// the engine above (queries are executed one statement at a time, with
+/// intra-statement parallelism inside the executor).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status CreateTable(const std::string& name, Schema schema);
+  StatusOr<TablePtr> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;  // keys lower-cased
+};
+
+}  // namespace flock::storage
+
+#endif  // FLOCK_STORAGE_DATABASE_H_

@@ -1,0 +1,63 @@
+#ifndef FLOCK_STORAGE_RECORD_BATCH_H_
+#define FLOCK_STORAGE_RECORD_BATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column_vector.h"
+#include "storage/schema.h"
+
+namespace flock::storage {
+
+/// A horizontal slice of rows in columnar form — the unit flowing between
+/// physical operators. Default morsel size is 2,048 rows.
+class RecordBatch {
+ public:
+  static constexpr size_t kDefaultBatchSize = 2048;
+
+  RecordBatch() = default;
+  explicit RecordBatch(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  const ColumnVectorPtr& column(size_t i) const { return columns_[i]; }
+  ColumnVector* mutable_column(size_t i) { return columns_[i].get(); }
+
+  /// Replaces column `i` (same row count expected).
+  void SetColumn(size_t i, ColumnVectorPtr col) {
+    columns_[i] = std::move(col);
+  }
+
+  /// Adds a column to the right; extends the schema.
+  void AddColumn(ColumnDef def, ColumnVectorPtr col);
+
+  /// Boxes row `r` into Values (debug/result paths).
+  std::vector<Value> GetRow(size_t r) const;
+
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Returns a batch with only rows selected by `sel`.
+  RecordBatch Select(const std::vector<uint32_t>& sel) const;
+
+  /// Returns a batch with only the given columns, in the given order.
+  RecordBatch Project(const std::vector<size_t>& column_indices) const;
+
+  /// Appends all rows of `other` (schemas must be compatible).
+  void Append(const RecordBatch& other);
+
+  /// Renders rows as aligned text (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVectorPtr> columns_;
+};
+
+}  // namespace flock::storage
+
+#endif  // FLOCK_STORAGE_RECORD_BATCH_H_

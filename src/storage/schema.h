@@ -1,0 +1,46 @@
+#ifndef FLOCK_STORAGE_SCHEMA_H_
+#define FLOCK_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace flock::storage {
+
+/// One column definition: name + type (+ nullability).
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+};
+
+/// Ordered collection of column definitions. Copyable value type.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  /// Case-insensitive lookup; nullopt when absent.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// "name TYPE, name TYPE, ..." — used in error messages and EXPLAIN.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace flock::storage
+
+#endif  // FLOCK_STORAGE_SCHEMA_H_

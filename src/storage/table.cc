@@ -1,0 +1,152 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace flock::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(
+        std::make_shared<ColumnVector>(schema_.column(i).type));
+  }
+  stats_cache_.resize(schema_.num_columns());
+  versions_.push_back(VersionInfo{0, "CREATE", 0});
+}
+
+void Table::BumpVersion(const std::string& op, size_t rows) {
+  versions_.push_back(
+      VersionInfo{versions_.back().version + 1, op, rows});
+  std::fill(stats_cache_.begin(), stats_cache_.end(), std::nullopt);
+}
+
+Status Table::AppendBatch(const RecordBatch& batch) {
+  if (batch.num_columns() != columns_.size()) {
+    return Status::InvalidArgument(
+        "batch has " + std::to_string(batch.num_columns()) +
+        " columns, table '" + name_ + "' has " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (batch.column(c)->type() != columns_[c]->type()) {
+      return Status::InvalidArgument("column type mismatch at position " +
+                                     std::to_string(c));
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c]->AppendRange(*batch.column(c), 0, batch.num_rows());
+  }
+  num_rows_ += batch.num_rows();
+  BumpVersion("INSERT", batch.num_rows());
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row width mismatch for table " + name_);
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    FLOCK_RETURN_NOT_OK(columns_[c]->AppendValue(row[c]));
+  }
+  ++num_rows_;
+  BumpVersion("INSERT", 1);
+  return Status::OK();
+}
+
+RecordBatch Table::ScanRange(size_t begin, size_t end) const {
+  end = std::min(end, num_rows_);
+  begin = std::min(begin, end);
+  RecordBatch out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.mutable_column(c)->AppendRange(*columns_[c], begin, end);
+  }
+  return out;
+}
+
+size_t Table::FilterInPlace(const std::vector<bool>& keep) {
+  FLOCK_CHECK(keep.size() == num_rows_);
+  std::vector<uint32_t> sel;
+  sel.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+  }
+  size_t removed = num_rows_ - sel.size();
+  if (removed == 0) return 0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    auto fresh = std::make_shared<ColumnVector>(columns_[c]->type());
+    fresh->AppendSelected(*columns_[c], sel);
+    columns_[c] = std::move(fresh);
+  }
+  num_rows_ = sel.size();
+  BumpVersion("DELETE", removed);
+  return removed;
+}
+
+Status Table::UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
+                           const std::vector<Value>& values) {
+  if (col >= columns_.size()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (rows.size() != values.size()) {
+    return Status::InvalidArgument("rows/values length mismatch");
+  }
+  // Rebuild the column with replacements (columnar storage is immutable by
+  // position; updates are rewrite-on-change like column stores do).
+  auto fresh = std::make_shared<ColumnVector>(columns_[col]->type());
+  fresh->Reserve(num_rows_);
+  std::vector<const Value*> replacement(num_rows_, nullptr);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= num_rows_) {
+      return Status::OutOfRange("row index out of range in update");
+    }
+    replacement[rows[i]] = &values[i];
+  }
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (replacement[r] != nullptr) {
+      FLOCK_RETURN_NOT_OK(fresh->AppendValue(*replacement[r]));
+    } else {
+      FLOCK_RETURN_NOT_OK(fresh->AppendValue(columns_[col]->GetValue(r)));
+    }
+  }
+  columns_[col] = std::move(fresh);
+  BumpVersion("UPDATE", rows.size());
+  return Status::OK();
+}
+
+StatusOr<ColumnStats> Table::GetStats(size_t i) const {
+  if (i >= columns_.size()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (stats_cache_[i].has_value()) return *stats_cache_[i];
+  const ColumnVector& col = *columns_[i];
+  ColumnStats stats;
+  stats.row_count = col.size();
+  stats.numeric = col.type() == DataType::kInt64 ||
+                  col.type() == DataType::kDouble ||
+                  col.type() == DataType::kBool;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (col.IsNull(r)) {
+      ++stats.null_count;
+      continue;
+    }
+    if (stats.numeric) {
+      double v = col.AsDouble(r);
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+  }
+  if (stats.row_count == stats.null_count || !stats.numeric) {
+    stats.min = 0.0;
+    stats.max = 0.0;
+  }
+  stats_cache_[i] = stats;
+  return stats;
+}
+
+}  // namespace flock::storage

@@ -1,0 +1,87 @@
+#ifndef FLOCK_STORAGE_TABLE_H_
+#define FLOCK_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "storage/record_batch.h"
+#include "storage/schema.h"
+
+namespace flock::storage {
+
+/// Per-column summary statistics. The Flock cross-optimizer's
+/// ModelCompression rule prunes decision-tree branches whose split threshold
+/// lies outside [min, max] of the feeding column (paper §4.1: "model
+/// compression exploiting input data statistics").
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  size_t null_count = 0;
+  size_t row_count = 0;
+  bool numeric = false;
+};
+
+/// Metadata describing one table version. The paper treats every mutation as
+/// producing a new version of the table in the provenance model (§4.2 C1);
+/// Flock keeps this ledger and the provenance catalog mirrors it.
+struct VersionInfo {
+  uint64_t version = 0;
+  std::string operation;  // "CREATE", "INSERT", "UPDATE", "DELETE"
+  size_t rows_affected = 0;
+};
+
+/// An append-friendly columnar table with a version ledger.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  uint64_t current_version() const { return versions_.back().version; }
+  const std::vector<VersionInfo>& versions() const { return versions_; }
+
+  /// Appends rows; one version bump per call (a batch INSERT is one version).
+  Status AppendBatch(const RecordBatch& batch);
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Copies rows [begin, end) into a fresh RecordBatch.
+  RecordBatch ScanRange(size_t begin, size_t end) const;
+
+  /// Copies the whole table.
+  RecordBatch ScanAll() const { return ScanRange(0, num_rows_); }
+
+  /// Direct column access for zero-copy kernels (index must be valid).
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+
+  /// Deletes rows where `keep[i] == false`; returns rows removed.
+  size_t FilterInPlace(const std::vector<bool>& keep);
+
+  /// Overwrites column `col` at the given row indices; bumps version.
+  Status UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
+                      const std::vector<Value>& values);
+
+  /// Computes (and caches until next mutation) stats for column `i`.
+  StatusOr<ColumnStats> GetStats(size_t i) const;
+
+ private:
+  void BumpVersion(const std::string& op, size_t rows);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnVectorPtr> columns_;
+  size_t num_rows_ = 0;
+  std::vector<VersionInfo> versions_;
+  mutable std::vector<std::optional<ColumnStats>> stats_cache_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace flock::storage
+
+#endif  // FLOCK_STORAGE_TABLE_H_

@@ -1,0 +1,155 @@
+#include "workload/landscape.h"
+
+#include <sstream>
+
+namespace flock::workload {
+
+const char* SupportName(Support s) {
+  switch (s) {
+    case Support::kGood:
+      return "Good";
+    case Support::kOk:
+      return "OK";
+    case Support::kNo:
+      return "No";
+    case Support::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+namespace {
+constexpr Support G = Support::kGood;
+constexpr Support O = Support::kOk;
+constexpr Support N = Support::kNo;
+constexpr Support U = Support::kUnknown;
+}  // namespace
+
+Landscape::Landscape() {
+  using FC = FeatureCategory;
+  features_ = {
+      {"Experiment Tracking", FC::kTraining},
+      {"Managed Notebooks", FC::kTraining},
+      {"Pipelines / Projects", FC::kTraining},
+      {"Multi-Framework", FC::kTraining},
+      {"Proprietary Algos", FC::kTraining},
+      {"Distributed Training", FC::kTraining},
+      {"Auto ML", FC::kTraining},
+      {"Batch prediction", FC::kServing},
+      {"On-prem deployment", FC::kServing},
+      {"Model Monitoring", FC::kServing},
+      {"Model Validation", FC::kServing},
+      {"Data Provenance", FC::kDataManagement},
+      {"Data testing", FC::kDataManagement},
+      {"Feature Store", FC::kDataManagement},
+      {"Featurization DSL", FC::kDataManagement},
+      {"Labelling", FC::kDataManagement},
+      {"In-DB ML", FC::kDataManagement},
+  };
+
+  // Encoded from the paper's Figure 3 (its caption stresses this is the
+  // authors' subjective reading at time of writing, 2019).
+  systems_ = {
+      // name, proprietary, 17 feature levels in features_ order
+      {"Bing", true,
+       {G, O, G, O, G, G, O, G, N, G, G, G, G, G, G, G, N}},
+      {"Uber Michelangelo", true,
+       {G, O, G, G, N, G, O, G, N, G, G, G, O, G, G, O, N}},
+      {"LinkedIn ProML", true,
+       {G, O, G, O, G, G, O, G, N, G, O, G, O, G, G, O, N}},
+      {"Azure ML", false,
+       {G, G, G, G, O, G, G, G, O, O, O, O, N, N, N, G, O}},
+      {"AWS SageMaker", false,
+       {O, G, G, G, O, G, G, G, N, O, N, N, N, N, N, G, N}},
+      {"Google Cloud AI", false,
+       {O, G, G, O, O, G, G, G, N, O, N, N, N, N, N, G, O}},
+      {"MLflow", false,
+       {G, N, G, G, N, N, N, O, G, N, O, N, N, N, N, N, N}},
+      {"Kubeflow", false,
+       {O, G, G, G, N, G, O, O, G, N, N, N, N, N, N, N, N}},
+      {"TFX", false,
+       {N, N, G, N, N, G, N, G, G, O, G, O, G, N, G, N, N}},
+  };
+}
+
+double Landscape::CategoryScore(const LandscapeSystem& system,
+                                FeatureCategory category) const {
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t f = 0; f < features_.size(); ++f) {
+    if (features_[f].category != category) continue;
+    if (system.support[f] == Support::kUnknown) continue;
+    total += static_cast<double>(static_cast<int>(system.support[f]));
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+double Landscape::ProprietaryDataManagementGap() const {
+  double prop = 0.0, pub = 0.0;
+  size_t prop_n = 0, pub_n = 0;
+  for (const LandscapeSystem& system : systems_) {
+    double score =
+        CategoryScore(system, FeatureCategory::kDataManagement);
+    if (system.proprietary) {
+      prop += score;
+      ++prop_n;
+    } else {
+      pub += score;
+      ++pub_n;
+    }
+  }
+  if (prop_n == 0 || pub_n == 0) return 0.0;
+  return prop / static_cast<double>(prop_n) -
+         pub / static_cast<double>(pub_n);
+}
+
+double Landscape::OverallGoodFraction() const {
+  size_t good = 0, total = 0;
+  for (const LandscapeSystem& system : systems_) {
+    for (Support s : system.support) {
+      if (s == Support::kUnknown) continue;
+      ++total;
+      if (s == Support::kGood) ++good;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(good) /
+                          static_cast<double>(total);
+}
+
+std::string Landscape::Render() const {
+  std::ostringstream out;
+  out << "Feature                 ";
+  for (const LandscapeSystem& system : systems_) {
+    out << " | " << system.name.substr(0, 10);
+  }
+  out << "\n";
+  FeatureCategory last = FeatureCategory::kTraining;
+  bool first = true;
+  for (size_t f = 0; f < features_.size(); ++f) {
+    if (first || features_[f].category != last) {
+      const char* header =
+          features_[f].category == FeatureCategory::kTraining
+              ? "-- Training --"
+              : (features_[f].category == FeatureCategory::kServing
+                     ? "-- Serving --"
+                     : "-- Data Management --");
+      out << header << "\n";
+      last = features_[f].category;
+      first = false;
+    }
+    std::string name = features_[f].name;
+    name.resize(24, ' ');
+    out << name;
+    for (const LandscapeSystem& system : systems_) {
+      std::string cell = SupportName(system.support[f]);
+      cell.resize(10, ' ');
+      out << " | " << cell;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace flock::workload

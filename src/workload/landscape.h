@@ -1,0 +1,65 @@
+#ifndef FLOCK_WORKLOAD_LANDSCAPE_H_
+#define FLOCK_WORKLOAD_LANDSCAPE_H_
+
+#include <string>
+#include <vector>
+
+namespace flock::workload {
+
+/// Support levels in the paper's Figure 3 matrix.
+enum class Support { kGood = 2, kOk = 1, kNo = 0, kUnknown = -1 };
+
+const char* SupportName(Support s);
+
+enum class FeatureCategory { kTraining, kServing, kDataManagement };
+
+struct LandscapeFeature {
+  std::string name;
+  FeatureCategory category;
+};
+
+struct LandscapeSystem {
+  std::string name;
+  bool proprietary = false;  // "unicorn" in-house stack vs public offering
+  std::vector<Support> support;  // parallel to Features()
+};
+
+/// The Figure 3 dataset: 9 systems x 17 features, encoded from the paper's
+/// matrix (which the authors themselves describe as "a subjective
+/// judgement based on a few weeks of analysis"). We reproduce the figure's
+/// *data* and the two trends the paper derives from it.
+class Landscape {
+ public:
+  Landscape();
+
+  const std::vector<LandscapeFeature>& features() const {
+    return features_;
+  }
+  const std::vector<LandscapeSystem>& systems() const { return systems_; }
+
+  /// Mean support (kGood=2, kOk=1, kNo=0; kUnknown skipped) for a system
+  /// over one category.
+  double CategoryScore(const LandscapeSystem& system,
+                       FeatureCategory category) const;
+
+  /// Trend 1: proprietary stacks' mean data-management score minus public
+  /// offerings' (paper: "mature proprietary solutions have stronger
+  /// support for data management").
+  double ProprietaryDataManagementGap() const;
+
+  /// Trend 2: the overall fraction of Good cells — low values support
+  /// "providing complete and usable third-party solutions in this space
+  /// is non-trivial".
+  double OverallGoodFraction() const;
+
+  /// Renders the matrix as aligned text (the figure itself).
+  std::string Render() const;
+
+ private:
+  std::vector<LandscapeFeature> features_;
+  std::vector<LandscapeSystem> systems_;
+};
+
+}  // namespace flock::workload
+
+#endif  // FLOCK_WORKLOAD_LANDSCAPE_H_

@@ -1,0 +1,77 @@
+#include "workload/notebooks.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace flock::workload {
+
+NotebookCorpus GenerateNotebookCorpus(
+    const NotebookCorpusOptions& options) {
+  NotebookCorpus corpus;
+  corpus.num_packages = options.num_packages;
+  corpus.notebooks.reserve(options.num_notebooks);
+  ZipfSampler zipf(options.num_packages, options.zipf_skew, options.seed);
+  Random rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < options.num_notebooks; ++i) {
+    // Import count: 1 + Poisson-ish via geometric mixing.
+    size_t count = 1;
+    while (rng.NextDouble() <
+               1.0 - 1.0 / options.mean_packages_per_notebook &&
+           count < 30) {
+      ++count;
+    }
+    std::vector<uint32_t> pkgs;
+    pkgs.reserve(count);
+    for (size_t p = 0; p < count; ++p) {
+      pkgs.push_back(static_cast<uint32_t>(zipf.Next()));
+    }
+    std::sort(pkgs.begin(), pkgs.end());
+    pkgs.erase(std::unique(pkgs.begin(), pkgs.end()), pkgs.end());
+    corpus.notebooks.push_back(std::move(pkgs));
+  }
+  return corpus;
+}
+
+std::vector<double> CoverageCurve(const NotebookCorpus& corpus,
+                                  const std::vector<size_t>& top_k) {
+  // Rank packages by corpus frequency.
+  std::vector<size_t> freq(corpus.num_packages, 0);
+  for (const auto& nb : corpus.notebooks) {
+    for (uint32_t pkg : nb) ++freq[pkg];
+  }
+  std::vector<uint32_t> order(corpus.num_packages);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return freq[a] > freq[b];
+  });
+  // rank[pkg] = popularity position (0 = most popular).
+  std::vector<uint32_t> rank(corpus.num_packages, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<uint32_t>(i);
+  }
+  // Per-notebook max rank — covered by top-K iff max rank < K.
+  std::vector<uint32_t> max_rank;
+  max_rank.reserve(corpus.notebooks.size());
+  for (const auto& nb : corpus.notebooks) {
+    uint32_t m = 0;
+    for (uint32_t pkg : nb) m = std::max(m, rank[pkg]);
+    max_rank.push_back(m);
+  }
+  std::vector<double> out;
+  out.reserve(top_k.size());
+  for (size_t k : top_k) {
+    size_t covered = 0;
+    for (uint32_t m : max_rank) {
+      if (m < k) ++covered;
+    }
+    out.push_back(corpus.notebooks.empty()
+                      ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(corpus.notebooks.size()));
+  }
+  return out;
+}
+
+}  // namespace flock::workload

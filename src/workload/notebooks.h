@@ -1,0 +1,43 @@
+#ifndef FLOCK_WORKLOAD_NOTEBOOKS_H_
+#define FLOCK_WORKLOAD_NOTEBOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flock::workload {
+
+/// A synthetic stand-in for the paper's GitHub corpus (§3, Figure 2: ">4
+/// million public Python notebooks"). Each notebook imports a set of
+/// packages drawn from a Zipf-like popularity distribution; Figure 2 plots
+/// the fraction of notebooks *completely supported* when only the top-K
+/// most popular packages are covered.
+struct NotebookCorpus {
+  size_t num_packages = 0;
+  /// Per-notebook package-id sets (sorted, unique).
+  std::vector<std::vector<uint32_t>> notebooks;
+};
+
+struct NotebookCorpusOptions {
+  size_t num_notebooks = 50000;
+  /// Package-vocabulary size: the paper observed 3x growth 2017 -> 2019.
+  size_t num_packages = 400;
+  /// Zipf skew of package popularity; higher = more head-concentrated
+  /// (the paper's "initial convergence: a few packages are becoming
+  /// dominant").
+  double zipf_skew = 1.5;
+  /// Mean number of distinct imports per notebook.
+  double mean_packages_per_notebook = 5.0;
+  uint64_t seed = 42;
+};
+
+NotebookCorpus GenerateNotebookCorpus(const NotebookCorpusOptions& options);
+
+/// Fraction of notebooks whose every import falls within the top-K most
+/// popular packages (popularity measured inside the corpus), for each K.
+std::vector<double> CoverageCurve(const NotebookCorpus& corpus,
+                                  const std::vector<size_t>& top_k);
+
+}  // namespace flock::workload
+
+#endif  // FLOCK_WORKLOAD_NOTEBOOKS_H_

@@ -1,0 +1,141 @@
+#include "workload/scripts.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace flock::workload {
+
+namespace {
+
+const char* kModelCtors[] = {
+    "LogisticRegression",         "RandomForestClassifier",
+    "GradientBoostingClassifier", "DecisionTreeClassifier",
+    "LinearRegression",           "Ridge",
+    "XGBClassifier",              "SVC",
+};
+const char* kModelModules[] = {
+    "sklearn.linear_model", "sklearn.ensemble", "sklearn.ensemble",
+    "sklearn.tree",         "sklearn.linear_model", "sklearn.linear_model",
+    "xgboost",              "sklearn.svm",
+};
+const char* kMetrics[] = {"accuracy_score", "roc_auc_score", "f1_score",
+                          "mean_squared_error"};
+
+struct ScriptBuilder {
+  std::string out;
+  void Line(const std::string& line) {
+    out += line;
+    out += "\n";
+  }
+};
+
+}  // namespace
+
+std::vector<GeneratedScript> GenerateScriptCorpus(
+    const ScriptCorpusOptions& options) {
+  Random rng(options.seed);
+  std::vector<GeneratedScript> corpus;
+  corpus.reserve(options.num_scripts);
+
+  for (size_t s = 0; s < options.num_scripts; ++s) {
+    GeneratedScript script;
+    script.name = "script_" + std::to_string(s) + ".py";
+    ScriptBuilder b;
+    b.Line("import pandas as pd");
+    b.Line("import numpy as np");
+    b.Line("from sklearn.model_selection import train_test_split");
+
+    size_t num_models = 1 + rng.Uniform(2);  // 1-2 models per script
+    script.true_models = num_models;
+
+    // Decide the data-loading style for this script.
+    bool sql_read = rng.NextDouble() < options.sql_read_fraction;
+    bool opaque_data = rng.NextDouble() < options.opaque_data_probability;
+
+    std::string table = "features_" + std::to_string(rng.Uniform(20));
+    if (opaque_data) {
+      // The loader is a user helper or an API outside the KB: the model
+      // may still be found, but its training data cannot be traced.
+      if (rng.NextBool()) {
+        b.Line("def load_data():");
+        b.Line("    return pd.read_csv('" + table + ".csv')");
+        b.Line("df = load_data()");
+      } else {
+        b.Line("raw = np.loadtxt('" + table + ".txt')");
+        b.Line("df = pd.DataFrame(raw)");
+      }
+    } else if (sql_read) {
+      b.Line("df = db.query('SELECT * FROM " + table + "')");
+    } else {
+      b.Line("df = pd.read_csv('" + table + ".csv')");
+    }
+    b.Line("df = df.dropna()");
+    b.Line("X = df[['f0', 'f1', 'f2', 'f3']]");
+    b.Line("y = df['label']");
+    b.Line(
+        "X_train, X_test, y_train, y_test = train_test_split(X, y, "
+        "test_size=0.25)");
+
+    for (size_t m = 0; m < num_models; ++m) {
+      size_t which = rng.Uniform(8);
+      std::string ctor = kModelCtors[which];
+      std::string module = kModelModules[which];
+      std::string var = "model_" + std::to_string(m);
+      bool helper_model =
+          rng.NextDouble() < options.helper_model_probability;
+      if (helper_model) {
+        // Model constructed behind a helper: invisible to the analyzer.
+        b.Line("def build_" + var + "():");
+        b.Line("    return make_estimator('" + ctor + "')");
+        b.Line(var + " = build_" + var + "()");
+      } else {
+        b.Line("from " + module + " import " + ctor);
+        std::string params;
+        if (rng.NextBool(0.7)) {
+          params = "max_iter=" +
+                   std::to_string(rng.UniformInt(100, 500));
+          if (rng.NextBool(0.5)) {
+            params += ", random_state=" +
+                      std::to_string(rng.UniformInt(0, 99));
+          }
+        }
+        b.Line(var + " = " + ctor + "(" + params + ")");
+      }
+      b.Line(var + ".fit(X_train, y_train)");
+      script.true_training_links += 1;
+      if (rng.NextBool(0.8)) {
+        std::string metric = kMetrics[rng.Uniform(4)];
+        b.Line("from sklearn.metrics import " + metric);
+        b.Line("pred_" + std::to_string(m) + " = " + var +
+               ".predict(X_test)");
+        b.Line("score_" + std::to_string(m) + " = " + metric +
+               "(y_test, pred_" + std::to_string(m) + ")");
+      }
+    }
+    script.source = std::move(b.out);
+    corpus.push_back(std::move(script));
+  }
+  return corpus;
+}
+
+std::vector<GeneratedScript> GenerateKaggleCorpus(uint64_t seed) {
+  ScriptCorpusOptions options;
+  options.num_scripts = 49;
+  options.seed = seed;
+  options.helper_model_probability = 0.04;
+  options.opaque_data_probability = 0.38;
+  options.sql_read_fraction = 0.05;
+  return GenerateScriptCorpus(options);
+}
+
+std::vector<GeneratedScript> GenerateInternalCorpus(uint64_t seed) {
+  ScriptCorpusOptions options;
+  options.num_scripts = 37;
+  options.seed = seed ^ 0xABCDEF;
+  options.helper_model_probability = 0.0;
+  options.opaque_data_probability = 0.0;
+  options.sql_read_fraction = 0.6;  // production pipelines read the DBMS
+  return GenerateScriptCorpus(options);
+}
+
+}  // namespace flock::workload

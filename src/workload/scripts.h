@@ -1,0 +1,52 @@
+#ifndef FLOCK_WORKLOAD_SCRIPTS_H_
+#define FLOCK_WORKLOAD_SCRIPTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flock::workload {
+
+/// One generated data-science script plus its ground truth (known by
+/// construction), used to evaluate the Python provenance module's coverage
+/// exactly as the paper's Table 2 does ("how often the module identifies
+/// correctly ML models and training datasets").
+struct GeneratedScript {
+  std::string name;
+  std::string source;
+  size_t true_models = 0;
+  /// Model <- dataset training links that exist in the script.
+  size_t true_training_links = 0;
+};
+
+struct ScriptCorpusOptions {
+  size_t num_scripts = 49;
+  uint64_t seed = 42;
+  /// Probability that a model is constructed behind a user-defined helper
+  /// function (static analysis cannot see through it).
+  double helper_model_probability = 0.0;
+  /// Probability that a model's training data flows through an API outside
+  /// the knowledge base (custom loader, unknown library) — the dataset
+  /// link is lost even when the model is found.
+  double opaque_data_probability = 0.0;
+  /// Fraction of data reads that go through SQL (db.query) rather than
+  /// files; both are in the KB, but SQL reads can later be bridged to
+  /// table entities (C3).
+  double sql_read_fraction = 0.25;
+};
+
+/// Messy public-notebook-style corpus (the paper's Kaggle dataset: 49
+/// scripts, 95% models / 61% training datasets identified).
+std::vector<GeneratedScript> GenerateKaggleCorpus(uint64_t seed = 42);
+
+/// Disciplined production-style corpus (the paper's Microsoft-internal
+/// dataset: 37 scripts, 100% / 100%).
+std::vector<GeneratedScript> GenerateInternalCorpus(uint64_t seed = 42);
+
+/// Fully parameterized generator.
+std::vector<GeneratedScript> GenerateScriptCorpus(
+    const ScriptCorpusOptions& options);
+
+}  // namespace flock::workload
+
+#endif  // FLOCK_WORKLOAD_SCRIPTS_H_

@@ -1,0 +1,46 @@
+#ifndef FLOCK_WORKLOAD_SYNTHETIC_H_
+#define FLOCK_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "flock/flock_engine.h"
+#include "ml/matrix.h"
+#include "ml/pipeline.h"
+
+namespace flock::workload {
+
+/// The Figure-4 inference workload: a wide tabular table (default 28
+/// columns: 24 numeric + 3 noise + 1 categorical — matching the paper's
+/// "end-to-end prediction pipelines composed of featurizers and models")
+/// and a GBDT pipeline trained on a subset of the columns, so that model
+/// sparsity exists for FeaturePruning to exploit.
+struct InferenceWorkloadOptions {
+  size_t num_rows = 100000;
+  size_t num_numeric = 27;  // + 1 categorical = 28 total
+  size_t signal_features = 8;
+  size_t gbt_trees = 40;
+  size_t gbt_depth = 6;
+  size_t train_rows = 8000;
+  uint64_t seed = 42;
+  std::string table_name = "clickstream";
+  std::string model_name = "ctr";
+};
+
+struct InferenceWorkload {
+  ml::Pipeline pipeline;
+  /// Raw numeric-encoded matrix of the whole table (for standalone
+  /// baselines that score outside the DBMS).
+  ml::Matrix raw;
+};
+
+/// Creates the table in `engine`'s database, fills it, trains the
+/// pipeline, and deploys it under `options.model_name`.
+StatusOr<InferenceWorkload> BuildInferenceWorkload(
+    ::flock::flock::FlockEngine* engine,
+    const InferenceWorkloadOptions& options);
+
+}  // namespace flock::workload
+
+#endif  // FLOCK_WORKLOAD_SYNTHETIC_H_

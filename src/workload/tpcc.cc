@@ -1,0 +1,226 @@
+#include "workload/tpcc.h"
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace flock::workload {
+
+namespace {
+
+const char* kSchemas[] = {
+    "CREATE TABLE warehouse (w_id INT, w_name VARCHAR, w_street VARCHAR, "
+    "w_city VARCHAR, w_state VARCHAR, w_zip VARCHAR, w_tax DOUBLE, "
+    "w_ytd DOUBLE)",
+    "CREATE TABLE district (d_id INT, d_w_id INT, d_name VARCHAR, "
+    "d_street VARCHAR, d_city VARCHAR, d_state VARCHAR, d_zip VARCHAR, "
+    "d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id INT)",
+    "CREATE TABLE customer (c_id INT, c_d_id INT, c_w_id INT, "
+    "c_first VARCHAR, c_middle VARCHAR, c_last VARCHAR, c_street VARCHAR, "
+    "c_city VARCHAR, c_state VARCHAR, c_zip VARCHAR, c_phone VARCHAR, "
+    "c_since VARCHAR, c_credit VARCHAR, c_credit_lim DOUBLE, "
+    "c_discount DOUBLE, c_balance DOUBLE, c_ytd_payment DOUBLE, "
+    "c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR)",
+    "CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, "
+    "h_d_id INT, h_w_id INT, h_date VARCHAR, h_amount DOUBLE, "
+    "h_data VARCHAR)",
+    "CREATE TABLE new_order (no_o_id INT, no_d_id INT, no_w_id INT)",
+    "CREATE TABLE orders (o_id INT, o_d_id INT, o_w_id INT, o_c_id INT, "
+    "o_entry_d VARCHAR, o_carrier_id INT, o_ol_cnt INT, o_all_local INT)",
+    "CREATE TABLE order_line (ol_o_id INT, ol_d_id INT, ol_w_id INT, "
+    "ol_number INT, ol_i_id INT, ol_supply_w_id INT, ol_delivery_d "
+    "VARCHAR, ol_quantity INT, ol_amount DOUBLE, ol_dist_info VARCHAR)",
+    "CREATE TABLE item (i_id INT, i_im_id INT, i_name VARCHAR, "
+    "i_price DOUBLE, i_data VARCHAR)",
+    "CREATE TABLE stock (s_i_id INT, s_w_id INT, s_quantity INT, "
+    "s_dist_01 VARCHAR, s_ytd DOUBLE, s_order_cnt INT, s_remote_cnt INT, "
+    "s_data VARCHAR)",
+};
+
+}  // namespace
+
+Status TpccWorkload::CreateSchema(storage::Database* db) {
+  for (const char* ddl : kSchemas) {
+    FLOCK_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::Parser::Parse(ddl));
+    const auto& create =
+        static_cast<const sql::CreateTableStatement&>(*stmt);
+    FLOCK_RETURN_NOT_OK(db->CreateTable(create.table_name, create.schema));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TpccWorkload::NewOrder() {
+  int w = static_cast<int>(rng_.UniformInt(1, 10));
+  int d = static_cast<int>(rng_.UniformInt(1, 10));
+  int c = static_cast<int>(rng_.UniformInt(1, 3000));
+  int o = static_cast<int>(rng_.UniformInt(1, 100000));
+  std::vector<std::string> out;
+  out.push_back("SELECT c_discount, c_last, c_credit FROM customer WHERE "
+                "c_w_id = " + std::to_string(w) +
+                " AND c_d_id = " + std::to_string(d) +
+                " AND c_id = " + std::to_string(c));
+  out.push_back("SELECT w_tax FROM warehouse WHERE w_id = " +
+                std::to_string(w));
+  out.push_back("SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = " +
+                std::to_string(w) + " AND d_id = " + std::to_string(d));
+  out.push_back("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE "
+                "d_w_id = " + std::to_string(w) +
+                " AND d_id = " + std::to_string(d));
+  out.push_back("INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, "
+                "o_ol_cnt, o_all_local) VALUES (" + std::to_string(o) +
+                ", " + std::to_string(d) + ", " + std::to_string(w) +
+                ", " + std::to_string(c) + ", 5, 1)");
+  out.push_back("INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES "
+                "(" + std::to_string(o) + ", " + std::to_string(d) + ", " +
+                std::to_string(w) + ")");
+  size_t lines = static_cast<size_t>(rng_.UniformInt(2, 4));
+  for (size_t ol = 1; ol <= lines; ++ol) {
+    int item = static_cast<int>(rng_.UniformInt(1, 100000));
+    out.push_back("SELECT i_price, i_name, i_data FROM item WHERE i_id = " +
+                  std::to_string(item));
+    out.push_back("SELECT s_quantity, s_data, s_dist_01 FROM stock WHERE "
+                  "s_i_id = " + std::to_string(item) +
+                  " AND s_w_id = " + std::to_string(w));
+    out.push_back("UPDATE stock SET s_quantity = s_quantity - " +
+                  std::to_string(rng_.UniformInt(1, 10)) +
+                  ", s_ytd = s_ytd + 1, s_order_cnt = s_order_cnt + 1 "
+                  "WHERE s_i_id = " + std::to_string(item) +
+                  " AND s_w_id = " + std::to_string(w));
+    out.push_back("INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, "
+                  "ol_number, ol_i_id, ol_supply_w_id, ol_quantity, "
+                  "ol_amount) VALUES (" + std::to_string(o) + ", " +
+                  std::to_string(d) + ", " + std::to_string(w) + ", " +
+                  std::to_string(ol) + ", " + std::to_string(item) +
+                  ", " + std::to_string(w) + ", 5, " +
+                  FormatDouble(rng_.UniformDouble(1.0, 9999.0), 2) + ")");
+  }
+  return out;
+}
+
+std::vector<std::string> TpccWorkload::Payment() {
+  int w = static_cast<int>(rng_.UniformInt(1, 10));
+  int d = static_cast<int>(rng_.UniformInt(1, 10));
+  int c = static_cast<int>(rng_.UniformInt(1, 3000));
+  std::string amount = FormatDouble(rng_.UniformDouble(1.0, 5000.0), 2);
+  std::vector<std::string> out;
+  out.push_back("UPDATE warehouse SET w_ytd = w_ytd + " + amount +
+                " WHERE w_id = " + std::to_string(w));
+  out.push_back("SELECT w_street, w_city, w_state, w_zip, w_name FROM "
+                "warehouse WHERE w_id = " + std::to_string(w));
+  out.push_back("UPDATE district SET d_ytd = d_ytd + " + amount +
+                " WHERE d_w_id = " + std::to_string(w) +
+                " AND d_id = " + std::to_string(d));
+  out.push_back("SELECT d_street, d_city, d_state, d_zip, d_name FROM "
+                "district WHERE d_w_id = " + std::to_string(w) +
+                " AND d_id = " + std::to_string(d));
+  out.push_back("SELECT c_first, c_middle, c_last, c_balance, c_credit "
+                "FROM customer WHERE c_w_id = " + std::to_string(w) +
+                " AND c_d_id = " + std::to_string(d) +
+                " AND c_id = " + std::to_string(c));
+  out.push_back("UPDATE customer SET c_balance = c_balance - " + amount +
+                ", c_ytd_payment = c_ytd_payment + " + amount +
+                ", c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = " +
+                std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+                " AND c_id = " + std::to_string(c));
+  out.push_back("INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, "
+                "h_w_id, h_amount) VALUES (" + std::to_string(c) + ", " +
+                std::to_string(d) + ", " + std::to_string(w) + ", " +
+                std::to_string(d) + ", " + std::to_string(w) + ", " +
+                amount + ")");
+  return out;
+}
+
+std::vector<std::string> TpccWorkload::OrderStatus() {
+  int w = static_cast<int>(rng_.UniformInt(1, 10));
+  int d = static_cast<int>(rng_.UniformInt(1, 10));
+  int c = static_cast<int>(rng_.UniformInt(1, 3000));
+  std::vector<std::string> out;
+  out.push_back("SELECT c_balance, c_first, c_middle, c_last FROM "
+                "customer WHERE c_w_id = " + std::to_string(w) +
+                " AND c_d_id = " + std::to_string(d) +
+                " AND c_id = " + std::to_string(c));
+  out.push_back("SELECT o_id, o_carrier_id, o_entry_d FROM orders WHERE "
+                "o_w_id = " + std::to_string(w) +
+                " AND o_d_id = " + std::to_string(d) +
+                " AND o_c_id = " + std::to_string(c) +
+                " ORDER BY o_id DESC LIMIT 1");
+  out.push_back("SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, "
+                "ol_delivery_d FROM order_line WHERE ol_w_id = " +
+                std::to_string(w) + " AND ol_d_id = " + std::to_string(d) +
+                " AND ol_o_id = " +
+                std::to_string(rng_.UniformInt(1, 100000)));
+  return out;
+}
+
+std::vector<std::string> TpccWorkload::Delivery() {
+  int w = static_cast<int>(rng_.UniformInt(1, 10));
+  int o = static_cast<int>(rng_.UniformInt(1, 100000));
+  std::vector<std::string> out;
+  for (int d = 1; d <= 3; ++d) {
+    out.push_back("SELECT no_o_id FROM new_order WHERE no_d_id = " +
+                  std::to_string(d) + " AND no_w_id = " +
+                  std::to_string(w) + " ORDER BY no_o_id LIMIT 1");
+    out.push_back("DELETE FROM new_order WHERE no_o_id = " +
+                  std::to_string(o) + " AND no_d_id = " +
+                  std::to_string(d) + " AND no_w_id = " +
+                  std::to_string(w));
+    out.push_back("UPDATE orders SET o_carrier_id = " +
+                  std::to_string(rng_.UniformInt(1, 10)) +
+                  " WHERE o_id = " + std::to_string(o) +
+                  " AND o_d_id = " + std::to_string(d) +
+                  " AND o_w_id = " + std::to_string(w));
+    out.push_back("UPDATE order_line SET ol_delivery_d = '2026-07-05' "
+                  "WHERE ol_o_id = " + std::to_string(o) +
+                  " AND ol_d_id = " + std::to_string(d) +
+                  " AND ol_w_id = " + std::to_string(w));
+    out.push_back("UPDATE customer SET c_balance = c_balance + " +
+                  FormatDouble(rng_.UniformDouble(1.0, 5000.0), 2) +
+                  ", c_delivery_cnt = c_delivery_cnt + 1 WHERE c_id = " +
+                  std::to_string(rng_.UniformInt(1, 3000)) +
+                  " AND c_d_id = " + std::to_string(d) +
+                  " AND c_w_id = " + std::to_string(w));
+  }
+  return out;
+}
+
+std::vector<std::string> TpccWorkload::StockLevel() {
+  int w = static_cast<int>(rng_.UniformInt(1, 10));
+  int d = static_cast<int>(rng_.UniformInt(1, 10));
+  std::vector<std::string> out;
+  out.push_back("SELECT d_next_o_id FROM district WHERE d_w_id = " +
+                std::to_string(w) + " AND d_id = " + std::to_string(d));
+  out.push_back("SELECT COUNT(DISTINCT s.s_i_id) AS stock_count FROM "
+                "order_line ol JOIN stock s ON s.s_i_id = ol.ol_i_id "
+                "WHERE ol.ol_w_id = " + std::to_string(w) +
+                " AND ol.ol_d_id = " + std::to_string(d) +
+                " AND s.s_w_id = " + std::to_string(w) +
+                " AND s.s_quantity < " +
+                std::to_string(rng_.UniformInt(10, 20)));
+  return out;
+}
+
+std::vector<std::string> TpccWorkload::GenerateQueryStream(size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    uint64_t roll = rng_.Uniform(100);
+    std::vector<std::string> txn;
+    if (roll < 45) {
+      txn = NewOrder();
+    } else if (roll < 88) {
+      txn = Payment();
+    } else if (roll < 92) {
+      txn = OrderStatus();
+    } else if (roll < 96) {
+      txn = Delivery();
+    } else {
+      txn = StockLevel();
+    }
+    for (auto& stmt : txn) {
+      if (out.size() >= count) break;
+      out.push_back(std::move(stmt));
+    }
+  }
+  return out;
+}
+
+}  // namespace flock::workload

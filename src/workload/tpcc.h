@@ -1,0 +1,43 @@
+#ifndef FLOCK_WORKLOAD_TPCC_H_
+#define FLOCK_WORKLOAD_TPCC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace flock::workload {
+
+/// TPC-C workload generator for the provenance-capture experiment (paper
+/// §4.2, Table 1: 2,200 TPC-C queries). Emits the SQL statement streams of
+/// the five transaction profiles (New-Order, Payment, Order-Status,
+/// Delivery, Stock-Level) over the nine standard tables. Because TPC-C is
+/// update-heavy, its captured provenance graph grows faster than TPC-H's —
+/// every INSERT/UPDATE creates a new table-version entity, which is
+/// exactly the effect the paper's Table 1 numbers show.
+class TpccWorkload {
+ public:
+  explicit TpccWorkload(uint64_t seed = 42) : rng_(seed) {}
+
+  Status CreateSchema(storage::Database* db);
+
+  /// One transaction profile's statement list.
+  std::vector<std::string> NewOrder();
+  std::vector<std::string> Payment();
+  std::vector<std::string> OrderStatus();
+  std::vector<std::string> Delivery();
+  std::vector<std::string> StockLevel();
+
+  /// Generates a stream of `count` statements using the standard TPC-C
+  /// transaction mix (45/43/4/4/4).
+  std::vector<std::string> GenerateQueryStream(size_t count);
+
+ private:
+  Random rng_;
+};
+
+}  // namespace flock::workload
+
+#endif  // FLOCK_WORKLOAD_TPCC_H_

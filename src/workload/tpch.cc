@@ -1,0 +1,434 @@
+#include "workload/tpch.h"
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace flock::workload {
+
+namespace {
+
+const char* kSchemas[] = {
+    "CREATE TABLE region (r_regionkey INT, r_name VARCHAR, "
+    "r_comment VARCHAR)",
+    "CREATE TABLE nation (n_nationkey INT, n_name VARCHAR, "
+    "n_regionkey INT, n_comment VARCHAR)",
+    "CREATE TABLE supplier (s_suppkey INT, s_name VARCHAR, "
+    "s_address VARCHAR, s_nationkey INT, s_phone VARCHAR, "
+    "s_acctbal DOUBLE, s_comment VARCHAR)",
+    "CREATE TABLE customer (c_custkey INT, c_name VARCHAR, "
+    "c_address VARCHAR, c_nationkey INT, c_phone VARCHAR, "
+    "c_acctbal DOUBLE, c_mktsegment VARCHAR, c_comment VARCHAR)",
+    "CREATE TABLE part (p_partkey INT, p_name VARCHAR, p_mfgr VARCHAR, "
+    "p_brand VARCHAR, p_type VARCHAR, p_size INT, p_container VARCHAR, "
+    "p_retailprice DOUBLE, p_comment VARCHAR)",
+    "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, "
+    "ps_availqty INT, ps_supplycost DOUBLE, ps_comment VARCHAR)",
+    "CREATE TABLE orders (o_orderkey INT, o_custkey INT, "
+    "o_orderstatus VARCHAR, o_totalprice DOUBLE, o_orderdate VARCHAR, "
+    "o_orderpriority VARCHAR, o_clerk VARCHAR, o_shippriority INT, "
+    "o_comment VARCHAR)",
+    "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, "
+    "l_linenumber INT, l_quantity DOUBLE, l_extendedprice DOUBLE, "
+    "l_discount DOUBLE, l_tax DOUBLE, l_returnflag VARCHAR, "
+    "l_linestatus VARCHAR, l_shipdate VARCHAR, l_commitdate VARCHAR, "
+    "l_receiptdate VARCHAR, l_shipinstruct VARCHAR, l_shipmode VARCHAR, "
+    "l_comment VARCHAR)",
+};
+
+const char* kSegments[] = {"BUILDING", "AUTOMOBILE", "MACHINERY",
+                           "HOUSEHOLD", "FURNITURE"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kShipmodes[] = {"AIR", "MAIL", "SHIP", "TRUCK", "RAIL",
+                            "REG AIR", "FOB"};
+const char* kBrands[] = {"Brand#11", "Brand#22", "Brand#33", "Brand#44",
+                         "Brand#55"};
+const char* kTypes[] = {"ECONOMY ANODIZED STEEL", "STANDARD POLISHED TIN",
+                        "MEDIUM BRUSHED NICKEL", "SMALL PLATED COPPER",
+                        "PROMO BURNISHED BRASS"};
+const char* kContainers[] = {"SM CASE", "MED BOX", "LG JAR", "WRAP PACK"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+}  // namespace
+
+Status TpchWorkload::CreateSchema(storage::Database* db) {
+  for (const char* ddl : kSchemas) {
+    FLOCK_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::Parser::Parse(ddl));
+    const auto& create =
+        static_cast<const sql::CreateTableStatement&>(*stmt);
+    FLOCK_RETURN_NOT_OK(db->CreateTable(create.table_name, create.schema));
+  }
+  return Status::OK();
+}
+
+Status TpchWorkload::PopulateData(storage::Database* db, size_t units) {
+  using storage::RecordBatch;
+  using storage::TablePtr;
+  using storage::Value;
+
+  auto date = [&]() {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                  static_cast<int>(rng_.UniformInt(1992, 1998)),
+                  static_cast<int>(rng_.UniformInt(1, 12)),
+                  static_cast<int>(rng_.UniformInt(1, 28)));
+    return std::string(buf);
+  };
+
+  const size_t num_suppliers = units / 5 + 5;
+  const size_t num_parts = units * 2;
+  const size_t num_customers = units;
+  const size_t num_orders = units * 3;
+
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("region"));
+    RecordBatch batch(t->schema());
+    for (int r = 0; r < 5; ++r) {
+      FLOCK_RETURN_NOT_OK(batch.AppendRow({Value::Int(r),
+                                           Value::String(kRegions[r]),
+                                           Value::String("c")}));
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("nation"));
+    RecordBatch batch(t->schema());
+    for (int n = 0; n < 25; ++n) {
+      // Reuse region names for a fifth of nations so Q11-style
+      // n_name = '<REGION>' predicates match rows.
+      std::string name = n < 5 ? kRegions[n] : "NATION" + std::to_string(n);
+      FLOCK_RETURN_NOT_OK(batch.AppendRow({Value::Int(n),
+                                           Value::String(name),
+                                           Value::Int(n % 5),
+                                           Value::String("c")}));
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("supplier"));
+    RecordBatch batch(t->schema());
+    for (size_t s = 0; s < num_suppliers; ++s) {
+      FLOCK_RETURN_NOT_OK(batch.AppendRow(
+          {Value::Int(static_cast<int64_t>(s)),
+           Value::String("Supplier#" + std::to_string(s)),
+           Value::String("addr"), Value::Int(rng_.UniformInt(0, 24)),
+           Value::String(std::to_string(rng_.UniformInt(10, 34)) +
+                         "-555"),
+           Value::Double(rng_.UniformDouble(-999, 9999)),
+           Value::String("c")}));
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("customer"));
+    RecordBatch batch(t->schema());
+    for (size_t c = 0; c < num_customers; ++c) {
+      FLOCK_RETURN_NOT_OK(batch.AppendRow(
+          {Value::Int(static_cast<int64_t>(c)),
+           Value::String("Customer#" + std::to_string(c)),
+           Value::String("addr"), Value::Int(rng_.UniformInt(0, 24)),
+           Value::String(std::to_string(rng_.UniformInt(10, 34)) +
+                         "-555"),
+           Value::Double(rng_.UniformDouble(-999, 9999)),
+           Value::String(kSegments[rng_.Uniform(5)]),
+           Value::String("c")}));
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("part"));
+    RecordBatch batch(t->schema());
+    for (size_t p = 0; p < num_parts; ++p) {
+      std::string name =
+          std::string(1, static_cast<char>('a' + rng_.Uniform(26))) +
+          "part" + std::to_string(p);
+      FLOCK_RETURN_NOT_OK(batch.AppendRow(
+          {Value::Int(static_cast<int64_t>(p)), Value::String(name),
+           Value::String("MFGR#" + std::to_string(rng_.UniformInt(1, 5))),
+           Value::String(kBrands[rng_.Uniform(5)]),
+           Value::String(kTypes[rng_.Uniform(5)]),
+           Value::Int(rng_.UniformInt(1, 50)),
+           Value::String(kContainers[rng_.Uniform(4)]),
+           Value::Double(rng_.UniformDouble(900, 2000)),
+           Value::String("c")}));
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr t, db->GetTable("partsupp"));
+    RecordBatch batch(t->schema());
+    for (size_t p = 0; p < num_parts; ++p) {
+      for (int dup = 0; dup < 2; ++dup) {
+        FLOCK_RETURN_NOT_OK(batch.AppendRow(
+            {Value::Int(static_cast<int64_t>(p)),
+             Value::Int(static_cast<int64_t>(
+                 rng_.Uniform(num_suppliers))),
+             Value::Int(rng_.UniformInt(1, 9999)),
+             Value::Double(rng_.UniformDouble(1, 1000)),
+             Value::String("c")}));
+      }
+    }
+    FLOCK_RETURN_NOT_OK(t->AppendBatch(batch));
+  }
+  {
+    FLOCK_ASSIGN_OR_RETURN(TablePtr orders_t, db->GetTable("orders"));
+    FLOCK_ASSIGN_OR_RETURN(TablePtr lineitem_t, db->GetTable("lineitem"));
+    RecordBatch orders(orders_t->schema());
+    RecordBatch lineitems(lineitem_t->schema());
+    for (size_t o = 0; o < num_orders; ++o) {
+      FLOCK_RETURN_NOT_OK(orders.AppendRow(
+          {Value::Int(static_cast<int64_t>(o)),
+           Value::Int(static_cast<int64_t>(rng_.Uniform(num_customers))),
+           Value::String(rng_.NextBool() ? "O" : "F"),
+           Value::Double(rng_.UniformDouble(1000, 400000)),
+           Value::String(date()),
+           Value::String(kPriorities[rng_.Uniform(5)]),
+           Value::String("Clerk#" + std::to_string(rng_.Uniform(100))),
+           Value::Int(0), Value::String("c")}));
+      size_t lines = 1 + rng_.Uniform(5);
+      for (size_t l = 0; l < lines; ++l) {
+        std::string ship = date();
+        FLOCK_RETURN_NOT_OK(lineitems.AppendRow(
+            {Value::Int(static_cast<int64_t>(o)),
+             Value::Int(static_cast<int64_t>(rng_.Uniform(num_parts))),
+             Value::Int(static_cast<int64_t>(
+                 rng_.Uniform(num_suppliers))),
+             Value::Int(static_cast<int64_t>(l + 1)),
+             Value::Double(rng_.UniformInt(1, 50)),
+             Value::Double(rng_.UniformDouble(900, 100000)),
+             Value::Double(rng_.UniformDouble(0.0, 0.1)),
+             Value::Double(rng_.UniformDouble(0.0, 0.08)),
+             Value::String(rng_.NextBool(0.25) ? "R"
+                                               : (rng_.NextBool() ? "A"
+                                                                  : "N")),
+             Value::String(rng_.NextBool() ? "O" : "F"),
+             Value::String(ship), Value::String(date()),
+             Value::String(date()), Value::String("NONE"),
+             Value::String(kShipmodes[rng_.Uniform(7)]),
+             Value::String("c")}));
+      }
+    }
+    FLOCK_RETURN_NOT_OK(orders_t->AppendBatch(orders));
+    FLOCK_RETURN_NOT_OK(lineitem_t->AppendBatch(lineitems));
+  }
+  return Status::OK();
+}
+
+size_t TpchWorkload::NumTemplates() { return 22; }
+
+std::string TpchWorkload::Instantiate(size_t template_index) {
+  auto date = [&](int year_lo, int year_hi) {
+    int year = static_cast<int>(rng_.UniformInt(year_lo, year_hi));
+    int month = static_cast<int>(rng_.UniformInt(1, 12));
+    int day = static_cast<int>(rng_.UniformInt(1, 28));
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+    return std::string("'") + buf + "'";
+  };
+  auto pick = [&](const char* const* options, size_t n) {
+    return std::string("'") + options[rng_.Uniform(n)] + "'";
+  };
+  auto num = [&](int lo, int hi) {
+    return std::to_string(rng_.UniformInt(lo, hi));
+  };
+  auto frac = [&](double lo, double hi) {
+    return FormatDouble(rng_.UniformDouble(lo, hi), 2);
+  };
+
+  switch (template_index % 22) {
+    case 0:  // Q1 pricing summary
+      return "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS "
+             "sum_qty, SUM(l_extendedprice) AS sum_base_price, "
+             "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+             "AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS "
+             "avg_price, AVG(l_discount) AS avg_disc, COUNT(*) AS "
+             "count_order FROM lineitem WHERE l_shipdate <= " +
+             date(1998, 1998) +
+             " GROUP BY l_returnflag, l_linestatus "
+             "ORDER BY l_returnflag, l_linestatus";
+    case 1:  // Q2 minimum cost supplier (flattened)
+      return "SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, "
+             "p.p_mfgr, s.s_address, s.s_phone, s.s_comment FROM part p "
+             "JOIN partsupp ps ON p.p_partkey = ps.ps_partkey "
+             "JOIN supplier s ON s.s_suppkey = ps.ps_suppkey "
+             "JOIN nation n ON s.s_nationkey = n.n_nationkey "
+             "JOIN region r ON n.n_regionkey = r.r_regionkey "
+             "WHERE p.p_size = " +
+             num(1, 50) + " AND r.r_name = " + pick(kRegions, 5) +
+             " ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey "
+             "LIMIT 100";
+    case 2:  // Q3 shipping priority
+      return "SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - "
+             "l.l_discount)) AS revenue, o.o_orderdate, o.o_shippriority "
+             "FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+             "JOIN lineitem l ON l.l_orderkey = o.o_orderkey WHERE "
+             "c.c_mktsegment = " +
+             pick(kSegments, 5) + " AND o.o_orderdate < " +
+             date(1995, 1995) + " AND l.l_shipdate > " + date(1995, 1995) +
+             " GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority "
+             "ORDER BY revenue DESC, o.o_orderdate LIMIT 10";
+    case 3:  // Q4 order priority checking (semi-join flattened)
+      return "SELECT o.o_orderpriority, COUNT(*) AS order_count FROM "
+             "orders o JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+             "WHERE o.o_orderdate >= " +
+             date(1993, 1997) +
+             " AND l.l_commitdate < l.l_receiptdate GROUP BY "
+             "o.o_orderpriority ORDER BY o.o_orderpriority";
+    case 4:  // Q5 local supplier volume
+      return "SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount))"
+             " AS revenue FROM customer c JOIN orders o ON c.c_custkey = "
+             "o.o_custkey JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+             "JOIN supplier s ON l.l_suppkey = s.s_suppkey JOIN nation n "
+             "ON s.s_nationkey = n.n_nationkey JOIN region r ON "
+             "n.n_regionkey = r.r_regionkey WHERE r.r_name = " +
+             pick(kRegions, 5) + " AND o.o_orderdate >= " +
+             date(1993, 1997) +
+             " GROUP BY n.n_name ORDER BY revenue DESC";
+    case 5:  // Q6 forecasting revenue change
+      return "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM "
+             "lineitem WHERE l_shipdate >= " +
+             date(1993, 1997) + " AND l_discount BETWEEN " +
+             frac(0.02, 0.04) + " AND " + frac(0.05, 0.09) +
+             " AND l_quantity < " + num(24, 25);
+    case 6:  // Q7 volume shipping
+      return "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+             "SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+             "FROM supplier s JOIN lineitem l ON s.s_suppkey = "
+             "l.l_suppkey JOIN orders o ON o.o_orderkey = l.l_orderkey "
+             "JOIN customer c ON c.c_custkey = o.o_custkey JOIN nation n1 "
+             "ON s.s_nationkey = n1.n_nationkey JOIN nation n2 ON "
+             "c.c_nationkey = n2.n_nationkey WHERE l.l_shipdate BETWEEN " +
+             date(1995, 1995) + " AND " + date(1996, 1996) +
+             " GROUP BY n1.n_name, n2.n_name ORDER BY supp_nation, "
+             "cust_nation";
+    case 7:  // Q8 national market share (outer shape)
+      return "SELECT o.o_orderdate, SUM(l.l_extendedprice * (1 - "
+             "l.l_discount)) AS volume FROM part p JOIN lineitem l ON "
+             "p.p_partkey = l.l_partkey JOIN supplier s ON s.s_suppkey = "
+             "l.l_suppkey JOIN orders o ON l.l_orderkey = o.o_orderkey "
+             "JOIN customer c ON o.o_custkey = c.c_custkey JOIN nation n "
+             "ON c.c_nationkey = n.n_nationkey JOIN region r ON "
+             "n.n_regionkey = r.r_regionkey WHERE r.r_name = " +
+             pick(kRegions, 5) + " AND p.p_type = " + pick(kTypes, 5) +
+             " GROUP BY o.o_orderdate ORDER BY o.o_orderdate";
+    case 8:  // Q9 product type profit
+      return "SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)"
+             " - ps.ps_supplycost * l.l_quantity) AS sum_profit FROM part "
+             "p JOIN lineitem l ON p.p_partkey = l.l_partkey JOIN "
+             "supplier s ON s.s_suppkey = l.l_suppkey JOIN partsupp ps ON "
+             "ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey "
+             "JOIN orders o ON o.o_orderkey = l.l_orderkey JOIN nation n "
+             "ON s.s_nationkey = n.n_nationkey WHERE p.p_name LIKE '%" +
+             std::string(1, static_cast<char>('a' + rng_.Uniform(26))) +
+             "%' GROUP BY n.n_name ORDER BY sum_profit DESC";
+    case 9:  // Q10 returned item reporting
+      return "SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice * (1 - "
+             "l.l_discount)) AS revenue, c.c_acctbal, n.n_name, "
+             "c.c_address, c.c_phone, c.c_comment FROM customer c JOIN "
+             "orders o ON c.c_custkey = o.o_custkey JOIN lineitem l ON "
+             "l.l_orderkey = o.o_orderkey JOIN nation n ON c.c_nationkey "
+             "= n.n_nationkey WHERE o.o_orderdate >= " +
+             date(1993, 1994) +
+             " AND l.l_returnflag = 'R' GROUP BY c.c_custkey, c.c_name, "
+             "c.c_acctbal, c.c_phone, n.n_name, c.c_address, c.c_comment "
+             "ORDER BY revenue DESC LIMIT 20";
+    case 10:  // Q11 important stock identification
+      return "SELECT ps.ps_partkey, SUM(ps.ps_supplycost * "
+             "ps.ps_availqty) AS value FROM partsupp ps JOIN supplier s "
+             "ON ps.ps_suppkey = s.s_suppkey JOIN nation n ON "
+             "s.s_nationkey = n.n_nationkey WHERE n.n_name = " +
+             pick(kRegions, 5) +
+             " GROUP BY ps.ps_partkey ORDER BY value DESC LIMIT 100";
+    case 11:  // Q12 shipping modes
+      return "SELECT l.l_shipmode, COUNT(*) AS line_count FROM orders o "
+             "JOIN lineitem l ON o.o_orderkey = l.l_orderkey WHERE "
+             "l.l_shipmode IN (" +
+             pick(kShipmodes, 7) + ", " + pick(kShipmodes, 7) +
+             ") AND l.l_receiptdate >= " + date(1993, 1997) +
+             " AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < "
+             "l.l_commitdate GROUP BY l.l_shipmode ORDER BY l.l_shipmode";
+    case 12:  // Q13 customer distribution (outer join)
+      return "SELECT c.c_custkey, COUNT(o.o_orderkey) AS c_count FROM "
+             "customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey "
+             "GROUP BY c.c_custkey ORDER BY c_count DESC LIMIT 100";
+    case 13:  // Q14 promotion effect
+      return "SELECT SUM(CASE WHEN p.p_type LIKE 'PROMO%' THEN "
+             "l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) AS "
+             "promo_revenue, SUM(l.l_extendedprice * (1 - l.l_discount)) "
+             "AS total_revenue FROM lineitem l JOIN part p ON l.l_partkey "
+             "= p.p_partkey WHERE l.l_shipdate >= " +
+             date(1995, 1995);
+    case 14:  // Q15 top supplier (view flattened)
+      return "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) "
+             "AS total_revenue FROM lineitem WHERE l_shipdate >= " +
+             date(1996, 1996) +
+             " GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 1";
+    case 15:  // Q16 parts/supplier relationship
+      return "SELECT p.p_brand, p.p_type, p.p_size, "
+             "COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt FROM partsupp "
+             "ps JOIN part p ON p.p_partkey = ps.ps_partkey WHERE "
+             "p.p_brand <> " +
+             pick(kBrands, 5) + " AND p.p_size IN (" + num(1, 10) + ", " +
+             num(11, 20) + ", " + num(21, 30) +
+             ") GROUP BY p.p_brand, p.p_type, p.p_size ORDER BY "
+             "supplier_cnt DESC";
+    case 16:  // Q17 small-quantity-order revenue (agg-subquery flattened)
+      return "SELECT AVG(l.l_extendedprice) AS avg_yearly FROM lineitem l "
+             "JOIN part p ON p.p_partkey = l.l_partkey WHERE p.p_brand = " +
+             pick(kBrands, 5) + " AND p.p_container = " +
+             pick(kContainers, 4) + " AND l.l_quantity < " + num(2, 11);
+    case 17:  // Q18 large volume customer
+      return "SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, "
+             "o.o_totalprice, SUM(l.l_quantity) AS total_qty FROM "
+             "customer c JOIN orders o ON c.c_custkey = o.o_custkey JOIN "
+             "lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY "
+             "c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, "
+             "o.o_totalprice HAVING SUM(l.l_quantity) > " +
+             num(300, 315) + " ORDER BY o.o_totalprice DESC LIMIT 100";
+    case 18:  // Q19 discounted revenue
+      return "SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS "
+             "revenue FROM lineitem l JOIN part p ON p.p_partkey = "
+             "l.l_partkey WHERE p.p_brand = " +
+             pick(kBrands, 5) + " AND l.l_quantity BETWEEN " + num(1, 10) +
+             " AND " + num(11, 20) +
+             " AND p.p_size BETWEEN 1 AND 15 AND l.l_shipmode IN ('AIR', "
+             "'REG AIR')";
+    case 19:  // Q20 potential part promotion (flattened)
+      return "SELECT s.s_name, s.s_address FROM supplier s JOIN nation n "
+             "ON s.s_nationkey = n.n_nationkey JOIN partsupp ps ON "
+             "ps.ps_suppkey = s.s_suppkey JOIN part p ON p.p_partkey = "
+             "ps.ps_partkey WHERE n.n_name = " +
+             pick(kRegions, 5) + " AND p.p_name LIKE '" +
+             std::string(1, static_cast<char>('a' + rng_.Uniform(26))) +
+             "%' ORDER BY s.s_name";
+    case 20:  // Q21 suppliers who kept orders waiting
+      return "SELECT s.s_name, COUNT(*) AS numwait FROM supplier s JOIN "
+             "lineitem l ON s.s_suppkey = l.l_suppkey JOIN orders o ON "
+             "o.o_orderkey = l.l_orderkey JOIN nation n ON s.s_nationkey "
+             "= n.n_nationkey WHERE o.o_orderstatus = 'F' AND "
+             "l.l_receiptdate > l.l_commitdate AND n.n_name = " +
+             pick(kRegions, 5) +
+             " GROUP BY s.s_name ORDER BY numwait DESC, s.s_name "
+             "LIMIT 100";
+    case 21:  // Q22 global sales opportunity
+    default:
+      return "SELECT SUBSTR(c_phone, 1, 2) AS cntrycode, COUNT(*) AS "
+             "numcust, SUM(c_acctbal) AS totacctbal FROM customer WHERE "
+             "c_acctbal > " +
+             frac(0.0, 5000.0) + " AND SUBSTR(c_phone, 1, 2) IN ('" +
+             num(10, 35) + "', '" + num(10, 35) +
+             "') GROUP BY SUBSTR(c_phone, 1, 2) ORDER BY cntrycode";
+  }
+}
+
+std::vector<std::string> TpchWorkload::GenerateQueryStream(size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Instantiate(i % NumTemplates()));
+  }
+  return out;
+}
+
+}  // namespace flock::workload

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "flock/flock_engine.h"
+#include "flock/scoring.h"
+#include "ml/tree.h"
+
+namespace flock::flock {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+/// Trains a GBDT churn pipeline over (age, income, tenure, clicks, 4 noise
+/// columns, plan) and loads matching rows into a `users` table.
+class FlockEngineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumeric = 8;  // 4 signal + 4 noise
+  static constexpr size_t kRows = 4000;
+
+  FlockEngineTest() : engine_(MakeOptions()) {
+    BuildTableAndModel();
+  }
+
+  static FlockEngineOptions MakeOptions() {
+    FlockEngineOptions options;
+    options.sql.num_threads = 2;
+    return options;
+  }
+
+  void BuildTableAndModel() {
+    auto r = engine_.Execute(
+        "CREATE TABLE users (id INT, age DOUBLE, income DOUBLE, "
+        "tenure DOUBLE, clicks DOUBLE, n0 DOUBLE, n1 DOUBLE, n2 DOUBLE, "
+        "n3 DOUBLE, plan VARCHAR)");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    Random rng(2024);
+    const char* plans[] = {"basic", "plus", "pro"};
+    ml::Matrix raw(kRows, kNumeric + 1);
+    std::vector<double> labels(kRows);
+
+    auto table = engine_.database()->GetTable("users");
+    ASSERT_TRUE(table.ok());
+    storage::RecordBatch batch((*table)->schema());
+    for (size_t i = 0; i < kRows; ++i) {
+      double age = 20 + rng.NextDouble() * 50;
+      double income = 30 + rng.NextDouble() * 120;
+      double tenure = rng.NextDouble() * 10;
+      double clicks = rng.NextDouble() * 100;
+      size_t plan = rng.Uniform(3);
+      raw.at(i, 0) = age;
+      raw.at(i, 1) = income;
+      raw.at(i, 2) = tenure;
+      raw.at(i, 3) = clicks;
+      for (size_t c = 4; c < kNumeric; ++c) {
+        raw.at(i, c) = rng.NextGaussian();
+      }
+      raw.at(i, kNumeric) = static_cast<double>(plan);
+      double z = 0.08 * (age - 45) - 0.02 * (income - 90) -
+                 0.4 * tenure + 0.03 * clicks +
+                 (plan == 0 ? 1.0 : (plan == 1 ? 0.0 : -1.0)) +
+                 rng.NextGaussian() * 0.3;
+      labels[i] = z > 0 ? 1.0 : 0.0;
+      ASSERT_TRUE(batch
+                      .AppendRow({Value::Int(static_cast<int64_t>(i)),
+                                  Value::Double(age), Value::Double(income),
+                                  Value::Double(tenure),
+                                  Value::Double(clicks),
+                                  Value::Double(raw.at(i, 4)),
+                                  Value::Double(raw.at(i, 5)),
+                                  Value::Double(raw.at(i, 6)),
+                                  Value::Double(raw.at(i, 7)),
+                                  Value::String(plans[plan])})
+                      .ok());
+    }
+    ASSERT_TRUE((*table)->AppendBatch(batch).ok());
+
+    std::vector<ml::FeatureSpec> specs;
+    const char* names[] = {"age",    "income", "tenure", "clicks",
+                           "n0",     "n1",     "n2",     "n3"};
+    for (const char* n : names) {
+      specs.push_back(ml::FeatureSpec{n, ml::FeatureKind::kNumeric, {}});
+    }
+    specs.push_back(ml::FeatureSpec{
+        "plan", ml::FeatureKind::kCategorical, {"basic", "plus", "pro"}});
+
+    pipeline_.SetInputs(specs);
+    pipeline_.set_task(ml::ModelTask::kBinaryClassification);
+    pipeline_.FitFeaturizers(raw, true, true);
+    ml::Dataset features;
+    features.x = pipeline_.Transform(raw);
+    features.y = labels;
+    ml::GbtOptions gbt;
+    gbt.num_trees = 20;
+    gbt.max_depth = 4;
+    pipeline_.SetTreeModel(ml::TrainGradientBoosting(features, gbt));
+    ASSERT_TRUE(engine_.DeployModel("churn", pipeline_, "tester",
+                                    "train-run-1")
+                    .ok());
+  }
+
+  sql::QueryResult Exec(const std::string& sql) {
+    auto result = engine_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : sql::QueryResult{};
+  }
+
+  static std::string PredictCall() {
+    return "PREDICT(churn, age, income, tenure, clicks, n0, n1, n2, n3, "
+           "plan)";
+  }
+
+  FlockEngine engine_;
+  ml::Pipeline pipeline_;
+};
+
+TEST_F(FlockEngineTest, PredictInProjection) {
+  auto r = Exec("SELECT id, " + PredictCall() +
+                " AS score FROM users LIMIT 5");
+  ASSERT_EQ(r.batch.num_rows(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    double s = r.batch.column(1)->double_at(i);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(FlockEngineTest, PredictMatchesPipelineScoreRow) {
+  auto r = Exec("SELECT age, income, tenure, clicks, n0, n1, n2, n3, "
+                "plan, " + PredictCall() + " AS score FROM users LIMIT 64");
+  for (size_t i = 0; i < r.batch.num_rows(); ++i) {
+    std::vector<double> raw(9);
+    for (size_t c = 0; c < 8; ++c) raw[c] = r.batch.column(c)->double_at(i);
+    raw[8] = pipeline_.EncodeCategorical(8,
+                                         r.batch.column(8)->string_at(i));
+    EXPECT_NEAR(r.batch.column(9)->double_at(i),
+                pipeline_.ScoreRow(raw.data()), 1e-9);
+  }
+}
+
+TEST_F(FlockEngineTest, OptimizedEqualsUnoptimizedOnThresholdQuery) {
+  const std::string query =
+      "SELECT id FROM users WHERE income > 50 AND " + PredictCall() +
+      " > 0.7 ORDER BY id";
+  engine_.set_enable_cross_optimizer(false);
+  auto baseline = Exec(query);
+  engine_.set_enable_cross_optimizer(true);
+  auto optimized = Exec(query);
+  ASSERT_EQ(baseline.batch.num_rows(), optimized.batch.num_rows());
+  for (size_t i = 0; i < baseline.batch.num_rows(); ++i) {
+    EXPECT_EQ(baseline.batch.column(0)->int_at(i),
+              optimized.batch.column(0)->int_at(i));
+  }
+  EXPECT_GT(optimized.batch.num_rows(), 0u);
+}
+
+TEST_F(FlockEngineTest, OptimizerEquivalenceAcrossThresholdsAndOps) {
+  const char* ops[] = {">", ">=", "<", "<="};
+  const double thresholds[] = {0.2, 0.5, 0.8};
+  for (const char* op : ops) {
+    for (double t : thresholds) {
+      std::string query = "SELECT COUNT(*) FROM users WHERE " +
+                          PredictCall() + " " + op + " " +
+                          std::to_string(t);
+      engine_.set_enable_cross_optimizer(false);
+      auto baseline = Exec(query);
+      engine_.set_enable_cross_optimizer(true);
+      auto optimized = Exec(query);
+      EXPECT_EQ(baseline.batch.column(0)->int_at(0),
+                optimized.batch.column(0)->int_at(0))
+          << "op=" << op << " t=" << t;
+    }
+  }
+}
+
+TEST_F(FlockEngineTest, CrossOptimizerReportsRewrites) {
+  Exec("SELECT id FROM users WHERE income > 50 AND " + PredictCall() +
+       " > 0.7");
+  const auto& stats = engine_.cross_optimizer()->stats();
+  EXPECT_EQ(stats.filters_split, 1u);
+  EXPECT_EQ(stats.predicates_pushed_up, 1u);
+  EXPECT_GT(stats.features_pruned, 0u);  // noise features exist
+  EXPECT_GT(engine_.models()->num_specializations(), 0u);
+}
+
+TEST_F(FlockEngineTest, ExplainShowsSeparatedFilters) {
+  auto r = Exec("EXPLAIN SELECT id FROM users WHERE income > 50 AND " +
+                PredictCall() + " > 0.7");
+  // The ML predicate and the data predicate end up in separate filters,
+  // with the PREDICT_GT intrinsic in the upper one.
+  EXPECT_NE(r.plan_text.find("PREDICT_GT"), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("income"), std::string::npos);
+}
+
+TEST_F(FlockEngineTest, PruningNarrowsScanToUsedColumns) {
+  auto r = Exec("EXPLAIN SELECT " + PredictCall() + " FROM users");
+  // Noise columns that the model ignores should vanish from the scan.
+  const auto* entry = *engine_.models()->Get("churn");
+  std::vector<bool> used = entry->graph.UsedInputColumns();
+  bool any_noise_unused = !used[4] || !used[5] || !used[6] || !used[7];
+  if (any_noise_unused) {
+    // At least one of n0..n3 must not appear in the scan column list.
+    size_t missing = 0;
+    for (const char* col : {"n0", "n1", "n2", "n3"}) {
+      if (r.plan_text.find(col) == std::string::npos) ++missing;
+    }
+    EXPECT_GT(missing, 0u) << r.plan_text;
+  }
+}
+
+TEST_F(FlockEngineTest, CreateAndDropModelViaSql) {
+  std::string serialized = pipeline_.Serialize();
+  // Escape single quotes for SQL (serialized text has none, but be safe).
+  auto r = engine_.Execute("CREATE MODEL churn2 FROM '" + serialized + "'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(engine_.models()->Contains("churn2"));
+  auto score = Exec(
+      "SELECT PREDICT(churn2, age, income, tenure, clicks, n0, n1, n2, "
+      "n3, plan) FROM users LIMIT 1");
+  EXPECT_EQ(score.batch.num_rows(), 1u);
+  ASSERT_TRUE(engine_.Execute("DROP MODEL churn2").ok());
+  EXPECT_FALSE(engine_.models()->Contains("churn2"));
+}
+
+TEST_F(FlockEngineTest, ModelVersioningOnRedeploy) {
+  EXPECT_EQ(engine_.models()->CurrentVersion("churn"), 1u);
+  ASSERT_TRUE(engine_.DeployModel("churn", pipeline_, "tester", "retrain")
+                  .ok());
+  EXPECT_EQ(engine_.models()->CurrentVersion("churn"), 2u);
+  auto v1 = engine_.models()->GetVersion("churn", 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*v1)->lineage, "train-run-1");
+}
+
+TEST_F(FlockEngineTest, AccessControlDeniesAndAudits) {
+  ASSERT_TRUE(
+      engine_.models()->SetAccessControl("churn", {"alice"}).ok());
+  engine_.SetPrincipal("mallory");
+  auto denied = engine_.Execute("SELECT " + PredictCall() + " FROM users");
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  engine_.SetPrincipal("alice");
+  auto ok = engine_.Execute(
+      "SELECT " + PredictCall() + " FROM users LIMIT 1");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+
+  bool saw_denied = false, saw_score = false;
+  for (const auto& event : engine_.models()->audit_log()) {
+    if (event.kind == AuditEvent::Kind::kDenied &&
+        event.principal == "mallory") {
+      saw_denied = true;
+    }
+    if (event.kind == AuditEvent::Kind::kScore &&
+        event.principal == "alice") {
+      saw_score = true;
+    }
+  }
+  EXPECT_TRUE(saw_denied);
+  EXPECT_TRUE(saw_score);
+}
+
+TEST_F(FlockEngineTest, UnknownModelErrors) {
+  auto r = engine_.Execute("SELECT PREDICT(ghost, age) FROM users");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FlockEngineTest, WrongArityErrors) {
+  auto r = engine_.Execute("SELECT PREDICT(churn, age) FROM users");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlockEngineTest, DeployTransactionCommitsAtomically) {
+  DeployTransaction txn = engine_.BeginDeployment();
+  txn.StageRegister("m_a", pipeline_, "tester");
+  txn.StageRegister("m_b", pipeline_, "tester");
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(engine_.models()->Contains("m_a"));
+  EXPECT_TRUE(engine_.models()->Contains("m_b"));
+}
+
+TEST_F(FlockEngineTest, DeployTransactionRollsBackOnFailure) {
+  uint64_t churn_version = engine_.models()->CurrentVersion("churn");
+  DeployTransaction txn = engine_.BeginDeployment();
+  txn.StageRegister("churn", pipeline_, "tester", "v2-candidate");
+  txn.StageRegister("m_new", pipeline_, "tester");
+  txn.StageDrop("does_not_exist");  // forces failure
+  Status st = txn.Commit();
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  // Rollback: m_new gone; churn back to a working (prior) pipeline.
+  EXPECT_FALSE(engine_.models()->Contains("m_new"));
+  auto restored = engine_.models()->Get("churn");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_GE(engine_.models()->CurrentVersion("churn"), churn_version);
+  auto ok = Exec("SELECT " + PredictCall() + " FROM users LIMIT 1");
+  EXPECT_EQ(ok.batch.num_rows(), 1u);
+}
+
+TEST_F(FlockEngineTest, NullFeaturesGoThroughImputer) {
+  Exec("INSERT INTO users (id, age, plan) VALUES (99999, NULL, 'pro')");
+  auto r = Exec("SELECT " + PredictCall() +
+                " FROM users WHERE id = 99999");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  double s = r.batch.column(0)->double_at(0);
+  EXPECT_FALSE(std::isnan(s));
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST_F(FlockEngineTest, RuntimeSelectionSmallBatchMatchesVectorized) {
+  FlockEngineOptions options = MakeOptions();
+  options.runtime.small_batch_threshold = 1u << 30;  // force row path
+  FlockEngine row_engine(options);
+  // Rebuild schema/data/model in the second engine via SQL + API.
+  auto src = engine_.database()->GetTable("users");
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(row_engine.database()
+                  ->CreateTable("users", (*src)->schema())
+                  .ok());
+  auto dst = row_engine.database()->GetTable("users");
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE((*dst)->AppendBatch((*src)->ScanRange(0, 128)).ok());
+  ASSERT_TRUE(row_engine.DeployModel("churn", pipeline_).ok());
+  row_engine.set_enable_cross_optimizer(false);
+
+  auto interpreted = row_engine.Execute(
+      "SELECT " + PredictCall() + " FROM users ORDER BY id");
+  ASSERT_TRUE(interpreted.ok());
+  engine_.set_enable_cross_optimizer(false);
+  auto vectorized = Exec("SELECT " + PredictCall() +
+                         " FROM users ORDER BY id LIMIT 128");
+  ASSERT_EQ(interpreted->batch.num_rows(), 128u);
+  for (size_t i = 0; i < 128; ++i) {
+    EXPECT_NEAR(interpreted->batch.column(0)->double_at(i),
+                vectorized.batch.column(0)->double_at(i), 1e-9);
+  }
+}
+
+// --- scoring unit checks ---------------------------------------------------
+
+TEST(ScoringTest, ThresholdBatchMatchesFullScoring) {
+  // Small hand-rolled boosted ensemble.
+  ml::Pipeline pipeline;
+  pipeline.SetInputs({ml::FeatureSpec{"x", ml::FeatureKind::kNumeric, {}},
+                      ml::FeatureSpec{"y", ml::FeatureKind::kNumeric, {}}});
+  ml::TreeEnsembleModel model;
+  model.logistic = true;
+  for (int t = 0; t < 5; ++t) {
+    ml::Tree tree;
+    ml::TreeNode root;
+    root.feature = t % 2;
+    root.threshold = 0.3 * t - 0.5;
+    root.left = 1;
+    root.right = 2;
+    ml::TreeNode l, r;
+    l.feature = -1;
+    l.value = -0.4 + 0.1 * t;
+    r.feature = -1;
+    r.value = 0.5 - 0.05 * t;
+    tree.nodes = {root, l, r};
+    model.trees.push_back(tree);
+  }
+  pipeline.SetTreeModel(model);
+
+  ModelEntry entry;
+  entry.name = "toy";
+  entry.pipeline = pipeline;
+  auto graph = pipeline.Compile();
+  ASSERT_TRUE(graph.ok());
+  entry.graph = std::move(graph).value();
+  ModelRegistry::AnalyzeEntry(&entry);
+  ASSERT_TRUE(entry.ends_with_sigmoid);
+  ASSERT_GE(entry.tree_node_id, 0);
+
+  Random rng(5);
+  ml::Matrix raw(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    raw.at(i, 0) = rng.NextGaussian();
+    raw.at(i, 1) = rng.NextGaussian();
+  }
+  auto scores = ScoreBatch(entry, raw);
+  ASSERT_TRUE(scores.ok());
+  for (double t : {0.3, 0.5, 0.62}) {
+    for (ThresholdOp op : {ThresholdOp::kGt, ThresholdOp::kGe,
+                           ThresholdOp::kLt, ThresholdOp::kLe}) {
+      auto verdicts = ScoreThresholdBatch(entry, raw, t, op);
+      ASSERT_TRUE(verdicts.ok());
+      for (size_t i = 0; i < 500; ++i) {
+        double s = (*scores)[i];
+        bool expected = op == ThresholdOp::kGt   ? s > t
+                        : op == ThresholdOp::kGe ? s >= t
+                        : op == ThresholdOp::kLt ? s < t
+                                                 : s <= t;
+        EXPECT_EQ((*verdicts)[i], expected) << "row " << i << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ScoringTest, DegenerateThresholdsResolveStatically) {
+  ml::Pipeline pipeline;
+  pipeline.SetInputs({ml::FeatureSpec{"x", ml::FeatureKind::kNumeric, {}}});
+  ml::LinearModel lm;
+  lm.weights = {1.0};
+  lm.bias = 0.0;
+  lm.logistic = true;
+  pipeline.SetLinearModel(lm);
+  ModelEntry entry;
+  entry.pipeline = pipeline;
+  entry.graph = *pipeline.Compile();
+  ModelRegistry::AnalyzeEntry(&entry);
+  ml::Matrix raw(3, 1, 0.0);
+  auto all_true = ScoreThresholdBatch(entry, raw, -0.5, ThresholdOp::kGt);
+  ASSERT_TRUE(all_true.ok());
+  EXPECT_TRUE((*all_true)[0]);
+  auto all_false = ScoreThresholdBatch(entry, raw, 1.5, ThresholdOp::kGt);
+  ASSERT_TRUE(all_false.ok());
+  EXPECT_FALSE((*all_false)[0]);
+}
+
+}  // namespace
+}  // namespace flock::flock

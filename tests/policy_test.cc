@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy_engine.h"
+
+namespace flock::policy {
+namespace {
+
+using storage::ColumnDef;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::Value;
+
+Schema LoanSchema() {
+  return Schema({ColumnDef{"amount", DataType::kDouble, false},
+                 ColumnDef{"region", DataType::kString, false},
+                 ColumnDef{"age", DataType::kInt64, false}});
+}
+
+TEST(PolicyTest, CreateParsesCondition) {
+  auto policy = Policy::Create("cap", ActionKind::kOverride,
+                               "prediction > 0.9 AND amount > 100000");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->name(), "cap");
+  EXPECT_EQ(policy->action(), ActionKind::kOverride);
+}
+
+TEST(PolicyTest, CreateRejectsAggregates) {
+  auto policy =
+      Policy::Create("bad", ActionKind::kAllow, "SUM(prediction) > 1");
+  EXPECT_FALSE(policy.ok());
+}
+
+TEST(PolicyTest, CreateRejectsGarbage) {
+  EXPECT_FALSE(Policy::Create("bad", ActionKind::kAllow, "><").ok());
+}
+
+class PolicyEngineTest : public ::testing::Test {
+ protected:
+  StatusOr<Decision> Decide(double prediction, double amount,
+                            const std::string& region, int64_t age) {
+    return engine_.Decide(prediction, LoanSchema(),
+                          {Value::Double(amount), Value::String(region),
+                           Value::Int(age)});
+  }
+
+  PolicyEngine engine_;
+};
+
+TEST_F(PolicyEngineTest, NoPoliciesPassesThrough) {
+  auto d = Decide(0.75, 1000, "US", 30);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->final_value, 0.75);
+  EXPECT_FALSE(d->rejected);
+  EXPECT_TRUE(d->policy.empty());
+}
+
+TEST_F(PolicyEngineTest, OverrideReplacesPrediction) {
+  auto policy = Policy::Create("cap_large", ActionKind::kOverride,
+                               "amount > 500000");
+  ASSERT_TRUE(policy.ok());
+  policy->set_override_value(0.0).set_reason("manual review required");
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+
+  auto hit = Decide(0.95, 600000, "US", 40);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->overridden);
+  EXPECT_DOUBLE_EQ(hit->final_value, 0.0);
+  EXPECT_EQ(hit->policy, "cap_large");
+  EXPECT_EQ(hit->reason, "manual review required");
+
+  auto miss = Decide(0.95, 1000, "US", 40);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->overridden);
+  EXPECT_DOUBLE_EQ(miss->final_value, 0.95);
+}
+
+TEST_F(PolicyEngineTest, ClampBoundsPrediction) {
+  auto policy =
+      Policy::Create("bound", ActionKind::kClamp, "region = 'EU'");
+  ASSERT_TRUE(policy.ok());
+  policy->set_clamp(0.2, 0.8);
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+  auto high = Decide(0.99, 100, "EU", 30);
+  EXPECT_DOUBLE_EQ(high->final_value, 0.8);
+  auto low = Decide(0.05, 100, "EU", 30);
+  EXPECT_DOUBLE_EQ(low->final_value, 0.2);
+  auto mid = Decide(0.5, 100, "EU", 30);
+  EXPECT_DOUBLE_EQ(mid->final_value, 0.5);
+  EXPECT_FALSE(mid->overridden);
+}
+
+TEST_F(PolicyEngineTest, RejectVetoes) {
+  auto policy =
+      Policy::Create("minors", ActionKind::kReject, "age < 18");
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+  auto d = Decide(0.9, 100, "US", 16);
+  EXPECT_TRUE(d->rejected);
+}
+
+TEST_F(PolicyEngineTest, FirstMatchingPolicyWins) {
+  auto first =
+      Policy::Create("first", ActionKind::kOverride, "prediction > 0.5");
+  first->set_override_value(0.11);
+  auto second =
+      Policy::Create("second", ActionKind::kOverride, "prediction > 0.5");
+  second->set_override_value(0.99);
+  ASSERT_TRUE(engine_.AddPolicy(std::move(first).value()).ok());
+  ASSERT_TRUE(engine_.AddPolicy(std::move(second).value()).ok());
+  auto d = Decide(0.8, 100, "US", 30);
+  EXPECT_EQ(d->policy, "first");
+  EXPECT_DOUBLE_EQ(d->final_value, 0.11);
+}
+
+TEST_F(PolicyEngineTest, DuplicateNameRejected) {
+  auto a = Policy::Create("p", ActionKind::kAllow, "prediction > 0");
+  auto b = Policy::Create("P", ActionKind::kAllow, "prediction > 0");
+  ASSERT_TRUE(engine_.AddPolicy(std::move(a).value()).ok());
+  EXPECT_EQ(engine_.AddPolicy(std::move(b).value()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PolicyEngineTest, UnknownFieldSurfacesError) {
+  auto policy =
+      Policy::Create("typo", ActionKind::kAllow, "amnt > 5");
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+  auto d = Decide(0.5, 100, "US", 30);
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PolicyEngineTest, TimelineRecordsActions) {
+  auto policy = Policy::Create("alerts", ActionKind::kAlert,
+                               "prediction > 0.9");
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+  ASSERT_TRUE(Decide(0.95, 100, "US", 30).ok());
+  ASSERT_TRUE(Decide(0.10, 100, "US", 30).ok());  // no match
+  ASSERT_TRUE(Decide(0.99, 200, "EU", 50).ok());
+  ASSERT_EQ(engine_.timeline().size(), 2u);
+  EXPECT_EQ(engine_.timeline()[0].policy, "alerts");
+  EXPECT_LT(engine_.timeline()[0].seq, engine_.timeline()[1].seq);
+  EXPECT_NE(engine_.timeline()[1].context.find("region=EU"),
+            std::string::npos);
+}
+
+TEST_F(PolicyEngineTest, DecideBatchMatchesRowwise) {
+  auto policy = Policy::Create("cap", ActionKind::kOverride,
+                               "prediction > 0.5 AND amount > 100");
+  policy->set_override_value(0.5);
+  ASSERT_TRUE(engine_.AddPolicy(std::move(policy).value()).ok());
+
+  RecordBatch batch(LoanSchema());
+  std::vector<double> predictions;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(batch
+                    .AppendRow({Value::Double(i * 20.0),
+                                Value::String(i % 2 == 0 ? "US" : "EU"),
+                                Value::Int(20 + i)})
+                    .ok());
+    predictions.push_back(i / 20.0);
+  }
+  auto batch_decisions = engine_.DecideBatch(predictions, batch);
+  ASSERT_TRUE(batch_decisions.ok());
+  for (int i = 0; i < 20; ++i) {
+    auto single = engine_.Decide(predictions[static_cast<size_t>(i)],
+                                 LoanSchema(), batch.GetRow(i));
+    ASSERT_TRUE(single.ok());
+    EXPECT_DOUBLE_EQ((*batch_decisions)[static_cast<size_t>(i)].final_value,
+                     single->final_value)
+        << "row " << i;
+  }
+}
+
+/// Sink that fails on the N-th apply; tracks applied/rolled-back sets.
+class FlakySink : public ActionSink {
+ public:
+  explicit FlakySink(int fail_at) : fail_at_(fail_at) {}
+  Status Apply(const Decision& d) override {
+    if (applied_ == fail_at_) {
+      return Status::Internal("downstream unavailable");
+    }
+    ++applied_;
+    log_.push_back(d.final_value);
+    return Status::OK();
+  }
+  void Rollback(const Decision& d) override {
+    ++rolled_back_;
+    (void)d;
+  }
+  int applied() const { return applied_; }
+  int rolled_back() const { return rolled_back_; }
+  const std::vector<double>& log() const { return log_; }
+
+ private:
+  int fail_at_;
+  int applied_ = 0;
+  int rolled_back_ = 0;
+  std::vector<double> log_;
+};
+
+TEST_F(PolicyEngineTest, TransactionalApplyCommits) {
+  std::vector<Decision> decisions(5);
+  FlakySink sink(/*fail_at=*/100);
+  ASSERT_TRUE(engine_.ApplyTransactionally(decisions, &sink).ok());
+  EXPECT_EQ(sink.applied(), 5);
+  EXPECT_EQ(sink.rolled_back(), 0);
+}
+
+TEST_F(PolicyEngineTest, TransactionalApplyRollsBack) {
+  std::vector<Decision> decisions(5);
+  FlakySink sink(/*fail_at=*/3);
+  Status st = engine_.ApplyTransactionally(decisions, &sink);
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(sink.applied(), 3);
+  EXPECT_EQ(sink.rolled_back(), 3);
+}
+
+TEST_F(PolicyEngineTest, RejectedDecisionsSkipSink) {
+  std::vector<Decision> decisions(3);
+  decisions[1].rejected = true;
+  FlakySink sink(/*fail_at=*/100);
+  ASSERT_TRUE(engine_.ApplyTransactionally(decisions, &sink).ok());
+  EXPECT_EQ(sink.applied(), 2);
+}
+
+}  // namespace
+}  // namespace flock::policy

@@ -1,0 +1,121 @@
+// Property-based provenance tests (TEST_P over workload seeds):
+// capture determinism, lineage duality, compression idempotence and
+// soundness (no referenced entity disappears).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prov/catalog.h"
+#include "prov/compression.h"
+#include "prov/sql_capture.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace flock::prov {
+namespace {
+
+class ProvPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Captures a deterministic mixed workload into `catalog`.
+  void CaptureWorkload(Catalog* catalog, storage::Database* db) {
+    workload::TpchWorkload tpch(GetParam());
+    ASSERT_TRUE(tpch.CreateSchema(db).ok());
+    SqlCaptureModule capture(catalog, db);
+    for (const std::string& q : tpch.GenerateQueryStream(120)) {
+      ASSERT_TRUE(capture.CaptureStatement(q).ok()) << q;
+    }
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          capture
+              .CaptureStatement("INSERT INTO region VALUES (" +
+                                std::to_string(i) + ", 'R', 'c')")
+              .ok());
+    }
+  }
+};
+
+TEST_P(ProvPropertyTest, CaptureIsDeterministic) {
+  Catalog a, b;
+  storage::Database db_a, db_b;
+  CaptureWorkload(&a, &db_a);
+  CaptureWorkload(&b, &db_b);
+  EXPECT_EQ(a.num_entities(), b.num_entities());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST_P(ProvPropertyTest, LineageDuality) {
+  Catalog catalog;
+  storage::Database db;
+  CaptureWorkload(&catalog, &db);
+  // For a sample of entities: A in upstream(B) <=> B in downstream(A).
+  size_t checked = 0;
+  for (uint64_t id = 1; id <= catalog.num_entities() && checked < 12;
+       id += 17, ++checked) {
+    auto upstream = catalog.Lineage(id, /*downstream=*/false, 3);
+    for (const Entity* up : upstream) {
+      auto downstream = catalog.Lineage(up->id, /*downstream=*/true, 3);
+      bool found = false;
+      for (const Entity* down : downstream) {
+        if (down->id == id) found = true;
+      }
+      EXPECT_TRUE(found) << "duality violated between " << id << " and "
+                         << up->id;
+    }
+  }
+}
+
+TEST_P(ProvPropertyTest, CompressionIsIdempotent) {
+  Catalog raw;
+  storage::Database db;
+  CaptureWorkload(&raw, &db);
+  Catalog once;
+  CompressionStats first;
+  ASSERT_TRUE(CompressCatalog(raw, &once, &first).ok());
+  Catalog twice;
+  CompressionStats second;
+  ASSERT_TRUE(CompressCatalog(once, &twice, &second).ok());
+  // Compressing an already-compressed graph must not lose more than the
+  // version-run relabeling (idempotence up to a tiny epsilon).
+  EXPECT_GE(second.SizeAfter() + 4, second.SizeBefore());
+}
+
+TEST_P(ProvPropertyTest, CompressionKeepsEveryTableAndColumn) {
+  Catalog raw;
+  storage::Database db;
+  CaptureWorkload(&raw, &db);
+  Catalog compressed;
+  CompressionStats stats;
+  ASSERT_TRUE(CompressCatalog(raw, &compressed, &stats).ok());
+  // Every base table/column (version 1) must survive compression.
+  for (const Entity& entity : raw.entities()) {
+    if ((entity.type == EntityType::kTable ||
+         entity.type == EntityType::kColumn) &&
+        entity.version == 1) {
+      EXPECT_TRUE(compressed.Find(entity.type, entity.name).ok())
+          << EntityTypeName(entity.type) << " " << entity.name;
+    }
+  }
+  // And edges never dangle.
+  for (const Edge& edge : compressed.edges()) {
+    EXPECT_TRUE(compressed.GetEntity(edge.src).ok());
+    EXPECT_TRUE(compressed.GetEntity(edge.dst).ok());
+  }
+}
+
+TEST_P(ProvPropertyTest, VersionsAreMonotone) {
+  Catalog catalog;
+  storage::Database db;
+  CaptureWorkload(&catalog, &db);
+  auto versions = catalog.Versions(EntityType::kTable, "region");
+  ASSERT_GE(versions.size(), 20u);
+  for (size_t i = 1; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i]->version, versions[i - 1]->version + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProvPropertyTest,
+                         ::testing::Values(3, 7, 11, 19));
+
+}  // namespace
+}  // namespace flock::prov

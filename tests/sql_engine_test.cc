@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace flock::sql {
+namespace {
+
+using storage::DataType;
+using storage::Database;
+using storage::Value;
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  SqlEngineTest() : engine_(&db_, MakeOptions()) {
+    Exec("CREATE TABLE emp (id INT, name VARCHAR, dept VARCHAR, "
+         "salary DOUBLE, age INT)");
+    Exec("INSERT INTO emp VALUES "
+         "(1, 'alice', 'eng', 120.0, 34), "
+         "(2, 'bob', 'eng', 95.5, 28), "
+         "(3, 'carol', 'sales', 80.0, 45), "
+         "(4, 'dave', 'sales', 85.0, 31), "
+         "(5, 'erin', 'hr', 60.0, 52), "
+         "(6, 'frank', 'eng', NULL, 23)");
+  }
+
+  static EngineOptions MakeOptions() {
+    EngineOptions options;
+    options.num_threads = 2;
+    return options;
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = engine_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+  SqlEngine engine_;
+};
+
+TEST_F(SqlEngineTest, SelectStar) {
+  auto r = Exec("SELECT * FROM emp");
+  EXPECT_EQ(r.batch.num_rows(), 6u);
+  EXPECT_EQ(r.batch.num_columns(), 5u);
+}
+
+TEST_F(SqlEngineTest, SelectWithWhere) {
+  auto r = Exec("SELECT name FROM emp WHERE dept = 'eng' AND salary > 100");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "alice");
+}
+
+TEST_F(SqlEngineTest, NullComparisonRejectsRow) {
+  // frank has NULL salary; NULL > 10 is unknown, row filtered out.
+  auto r = Exec("SELECT name FROM emp WHERE salary > 10");
+  EXPECT_EQ(r.batch.num_rows(), 5u);
+}
+
+TEST_F(SqlEngineTest, IsNullPredicate) {
+  auto r = Exec("SELECT name FROM emp WHERE salary IS NULL");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "frank");
+  auto r2 = Exec("SELECT COUNT(*) FROM emp WHERE salary IS NOT NULL");
+  EXPECT_EQ(r2.batch.column(0)->int_at(0), 5);
+}
+
+TEST_F(SqlEngineTest, ArithmeticProjection) {
+  auto r = Exec("SELECT salary * 2 + 1 AS s2 FROM emp WHERE id = 1");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(r.batch.column(0)->double_at(0), 241.0);
+  EXPECT_EQ(r.batch.schema().column(0).name, "s2");
+}
+
+TEST_F(SqlEngineTest, IntegerDivisionIsDouble) {
+  auto r = Exec("SELECT 7 / 2");
+  EXPECT_DOUBLE_EQ(r.batch.column(0)->double_at(0), 3.5);
+}
+
+TEST_F(SqlEngineTest, OrderByDesc) {
+  auto r = Exec("SELECT name FROM emp WHERE salary IS NOT NULL "
+                "ORDER BY salary DESC");
+  ASSERT_EQ(r.batch.num_rows(), 5u);
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "alice");
+  EXPECT_EQ(r.batch.column(0)->string_at(4), "erin");
+}
+
+TEST_F(SqlEngineTest, OrderByMultipleKeys) {
+  auto r = Exec("SELECT name, dept FROM emp ORDER BY dept ASC, name DESC");
+  ASSERT_EQ(r.batch.num_rows(), 6u);
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "frank");  // eng, desc name
+}
+
+TEST_F(SqlEngineTest, LimitOffset) {
+  auto r = Exec("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 3");
+  ASSERT_EQ(r.batch.num_rows(), 2u);
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 4);
+  EXPECT_EQ(r.batch.column(0)->int_at(1), 5);
+}
+
+TEST_F(SqlEngineTest, GroupByWithAggregates) {
+  auto r = Exec("SELECT dept, COUNT(*) AS n, AVG(salary) AS avg_sal "
+                "FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.batch.num_rows(), 3u);
+  // eng: alice, bob, frank (frank's NULL salary excluded from AVG).
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "eng");
+  EXPECT_EQ(r.batch.column(1)->int_at(0), 3);
+  EXPECT_NEAR(r.batch.column(2)->double_at(0), (120.0 + 95.5) / 2, 1e-9);
+}
+
+TEST_F(SqlEngineTest, GlobalAggregateOverEmptyResult) {
+  auto r = Exec("SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 100");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 0);
+  EXPECT_TRUE(r.batch.column(1)->IsNull(0));
+}
+
+TEST_F(SqlEngineTest, HavingFiltersGroups) {
+  auto r = Exec("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept "
+                "HAVING COUNT(*) > 1 ORDER BY dept");
+  ASSERT_EQ(r.batch.num_rows(), 2u);
+  EXPECT_EQ(r.batch.column(0)->string_at(0), "eng");
+  EXPECT_EQ(r.batch.column(0)->string_at(1), "sales");
+}
+
+TEST_F(SqlEngineTest, MinMaxAggregates) {
+  auto r = Exec("SELECT MIN(age), MAX(age) FROM emp");
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 23);
+  EXPECT_EQ(r.batch.column(1)->int_at(0), 52);
+}
+
+TEST_F(SqlEngineTest, SelectDistinct) {
+  auto r = Exec("SELECT DISTINCT dept FROM emp ORDER BY dept");
+  ASSERT_EQ(r.batch.num_rows(), 3u);
+}
+
+TEST_F(SqlEngineTest, LikeOperator) {
+  auto r = Exec("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY id");
+  // alice, carol, dave, frank
+  ASSERT_EQ(r.batch.num_rows(), 4u);
+  auto r2 = Exec("SELECT name FROM emp WHERE name LIKE '_ob'");
+  ASSERT_EQ(r2.batch.num_rows(), 1u);
+  EXPECT_EQ(r2.batch.column(0)->string_at(0), "bob");
+}
+
+TEST_F(SqlEngineTest, InAndBetween) {
+  auto r = Exec("SELECT COUNT(*) FROM emp WHERE dept IN ('eng', 'hr')");
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 4);
+  auto r2 = Exec("SELECT COUNT(*) FROM emp WHERE age BETWEEN 30 AND 50");
+  EXPECT_EQ(r2.batch.column(0)->int_at(0), 3);
+  auto r3 = Exec("SELECT COUNT(*) FROM emp WHERE age NOT BETWEEN 30 AND 50");
+  EXPECT_EQ(r3.batch.column(0)->int_at(0), 3);
+}
+
+TEST_F(SqlEngineTest, CaseExpression) {
+  auto r = Exec("SELECT name, CASE WHEN age < 30 THEN 'young' "
+                "WHEN age < 50 THEN 'mid' ELSE 'senior' END AS bucket "
+                "FROM emp ORDER BY id");
+  EXPECT_EQ(r.batch.column(1)->string_at(0), "mid");     // alice 34
+  EXPECT_EQ(r.batch.column(1)->string_at(1), "young");   // bob 28
+  EXPECT_EQ(r.batch.column(1)->string_at(4), "senior");  // erin 52
+}
+
+TEST_F(SqlEngineTest, CastExpression) {
+  auto r = Exec("SELECT CAST(salary AS INT) FROM emp WHERE id = 2");
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 96);  // 95.5 rounds
+}
+
+TEST_F(SqlEngineTest, ScalarFunctions) {
+  auto r = Exec("SELECT ABS(-3.5), UPPER('abc'), LENGTH('hello')");
+  EXPECT_DOUBLE_EQ(r.batch.column(0)->double_at(0), 3.5);
+  EXPECT_EQ(r.batch.column(1)->string_at(0), "ABC");
+  EXPECT_EQ(r.batch.column(2)->int_at(0), 5);
+}
+
+TEST_F(SqlEngineTest, InnerJoin) {
+  Exec("CREATE TABLE dept (dname VARCHAR, floor INT)");
+  Exec("INSERT INTO dept VALUES ('eng', 4), ('sales', 2)");
+  auto r = Exec(
+      "SELECT e.name, d.floor FROM emp e JOIN dept d ON e.dept = d.dname "
+      "ORDER BY e.id");
+  ASSERT_EQ(r.batch.num_rows(), 5u);  // hr has no dept row
+  EXPECT_EQ(r.batch.column(1)->int_at(0), 4);
+}
+
+TEST_F(SqlEngineTest, LeftJoinPadsNulls) {
+  Exec("CREATE TABLE dept2 (dname VARCHAR, floor INT)");
+  Exec("INSERT INTO dept2 VALUES ('eng', 4)");
+  auto r = Exec(
+      "SELECT e.name, d.floor FROM emp e LEFT JOIN dept2 d "
+      "ON e.dept = d.dname ORDER BY e.id");
+  ASSERT_EQ(r.batch.num_rows(), 6u);
+  EXPECT_FALSE(r.batch.column(1)->IsNull(0));  // alice/eng
+  EXPECT_TRUE(r.batch.column(1)->IsNull(2));   // carol/sales
+}
+
+TEST_F(SqlEngineTest, JoinWithGroupBy) {
+  Exec("CREATE TABLE dept3 (dname VARCHAR, floor INT)");
+  Exec("INSERT INTO dept3 VALUES ('eng', 4), ('sales', 2), ('hr', 1)");
+  auto r = Exec(
+      "SELECT d.floor, COUNT(*) AS n FROM emp e "
+      "JOIN dept3 d ON e.dept = d.dname GROUP BY d.floor ORDER BY d.floor");
+  ASSERT_EQ(r.batch.num_rows(), 3u);
+  EXPECT_EQ(r.batch.column(0)->int_at(2), 4);
+  EXPECT_EQ(r.batch.column(1)->int_at(2), 3);
+}
+
+TEST_F(SqlEngineTest, CrossJoinCardinality) {
+  Exec("CREATE TABLE two (x INT)");
+  Exec("INSERT INTO two VALUES (1), (2)");
+  auto r = Exec("SELECT COUNT(*) FROM emp CROSS JOIN two");
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 12);
+}
+
+TEST_F(SqlEngineTest, UpdateWithWhere) {
+  auto r = Exec("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng' "
+                "AND salary IS NOT NULL");
+  EXPECT_EQ(r.rows_affected, 2u);
+  auto check = Exec("SELECT salary FROM emp WHERE id = 1");
+  EXPECT_DOUBLE_EQ(check.batch.column(0)->double_at(0), 130.0);
+}
+
+TEST_F(SqlEngineTest, DeleteWithWhere) {
+  auto r = Exec("DELETE FROM emp WHERE age > 40");
+  EXPECT_EQ(r.rows_affected, 2u);
+  auto check = Exec("SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(check.batch.column(0)->int_at(0), 4);
+}
+
+TEST_F(SqlEngineTest, InsertSelect) {
+  Exec("CREATE TABLE names (n VARCHAR)");
+  auto r = Exec("INSERT INTO names SELECT name FROM emp WHERE dept = 'eng'");
+  EXPECT_EQ(r.rows_affected, 3u);
+}
+
+TEST_F(SqlEngineTest, InsertColumnSubsetPadsNull) {
+  Exec("INSERT INTO emp (id, name) VALUES (7, 'gus')");
+  auto r = Exec("SELECT dept FROM emp WHERE id = 7");
+  EXPECT_TRUE(r.batch.column(0)->IsNull(0));
+}
+
+TEST_F(SqlEngineTest, ExplainShowsPlan) {
+  auto r = Exec("EXPLAIN SELECT name FROM emp WHERE salary > 100");
+  EXPECT_NE(r.plan_text.find("Scan(emp"), std::string::npos);
+  EXPECT_NE(r.plan_text.find("Filter"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, ProjectionPruningNarrowsScan) {
+  auto r = Exec("EXPLAIN SELECT name FROM emp WHERE salary > 100");
+  // Scan should list only name+salary after pruning.
+  EXPECT_NE(r.plan_text.find("cols=[name,salary]"), std::string::npos)
+      << r.plan_text;
+}
+
+TEST_F(SqlEngineTest, ErrorsSurfaceAsStatus) {
+  EXPECT_EQ(engine_.Execute("SELECT nope FROM emp").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Execute("SELECT * FROM missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Execute("SELEC 1").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(SqlEngineTest, AmbiguousColumnRejected) {
+  Exec("CREATE TABLE e2 (id INT, v INT)");
+  Exec("INSERT INTO e2 VALUES (1, 10)");
+  auto bad = engine_.Execute(
+      "SELECT id FROM emp JOIN e2 ON emp.id = e2.id");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlEngineTest, QueryLogRecordsStatements) {
+  size_t before = engine_.query_log().size();
+  Exec("SELECT 1");
+  EXPECT_EQ(engine_.query_log().size(), before + 1);
+  EXPECT_EQ(engine_.query_log().back(), "SELECT 1");
+}
+
+TEST_F(SqlEngineTest, SelectWithoutFrom) {
+  auto r = Exec("SELECT 1 + 2 AS three, 'x'");
+  ASSERT_EQ(r.batch.num_rows(), 1u);
+  EXPECT_EQ(r.batch.column(0)->int_at(0), 3);
+  EXPECT_EQ(r.batch.column(1)->string_at(0), "x");
+}
+
+TEST_F(SqlEngineTest, ParallelMatchesSerialOnLargeScan) {
+  Exec("CREATE TABLE big (k INT, v DOUBLE)");
+  // Insert 10,000 rows via batched INSERTs.
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    std::string sql = "INSERT INTO big VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int id = chunk * 1000 + i;
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(id) + ", " +
+             std::to_string((id * 37) % 1000) + ".5)";
+    }
+    Exec(sql);
+  }
+  auto parallel = Exec("SELECT COUNT(*), SUM(v) FROM big WHERE v > 250");
+  engine_.set_num_threads(1);
+  auto serial = Exec("SELECT COUNT(*), SUM(v) FROM big WHERE v > 250");
+  EXPECT_EQ(parallel.batch.column(0)->int_at(0),
+            serial.batch.column(0)->int_at(0));
+  EXPECT_DOUBLE_EQ(parallel.batch.column(1)->double_at(0),
+                   serial.batch.column(1)->double_at(0));
+}
+
+// --- parser-level checks -------------------------------------------------
+
+TEST(ParserTest, ParseScriptSplitsStatements) {
+  auto stmts = Parser::ParseScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, PredictParsesAsFunction) {
+  auto stmt = Parser::Parse(
+      "SELECT PREDICT(churn_model, age, salary) FROM emp");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = static_cast<const SelectStatement&>(**stmt);
+  ASSERT_EQ(select.select_list.size(), 1u);
+  const Expr& e = *select.select_list[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kFunction);
+  EXPECT_EQ(e.function_name, "PREDICT");
+  EXPECT_EQ(e.children.size(), 3u);
+}
+
+TEST(ParserTest, CreateModelStatement) {
+  auto stmt = Parser::Parse("CREATE MODEL m FROM 'pipeline v1'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& create = static_cast<const CreateModelStatement&>(**stmt);
+  EXPECT_EQ(create.model_name, "m");
+  EXPECT_EQ(create.definition, "pipeline v1");
+}
+
+TEST(ParserTest, StringEscapes) {
+  auto e = Parser::ParseExpression("'it''s'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->literal.string_value(), "it's");
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  auto stmt = Parser::Parse("SELECT 1 -- trailing comment\n");
+  EXPECT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  EXPECT_EQ(Parser::Parse("SELECT FROM").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Parser::Parse("INSERT INTO").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Parser::ParseExpression("1 +").status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace flock::sql

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "storage/column_vector.h"
+#include "storage/database.h"
+#include "storage/record_batch.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace flock::storage {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int(7).int_value(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int(3), Value::Double(3.5));
+  EXPECT_NE(Value::Int(3), Value::String("3"));
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+}
+
+TEST(ValueTest, CastRoundTrips) {
+  auto d = Value::Int(42).CastTo(DataType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->double_value(), 42.0);
+  auto i = Value::String("17").CastTo(DataType::kInt64);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->int_value(), 17);
+  auto bad = Value::String("xyz").CastTo(DataType::kInt64);
+  EXPECT_FALSE(bad.ok());
+  auto null_cast = Value::Null().CastTo(DataType::kString);
+  ASSERT_TRUE(null_cast.ok());
+  EXPECT_TRUE(null_cast->is_null());
+}
+
+TEST(ValueTest, HashEqualValuesCollide) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::String("abd").Hash());
+}
+
+TEST(DataTypeTest, ParseNames) {
+  EXPECT_EQ(*DataTypeFromName("bigint"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromName("VARCHAR"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromName("decimal"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromName("boolean"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromName("blob").ok());
+}
+
+TEST(ColumnVectorTest, AppendAndRead) {
+  ColumnVector col(DataType::kInt64);
+  col.AppendInt(1);
+  col.AppendNull();
+  col.AppendInt(3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.int_at(0), 1);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(2), Value::Int(3));
+}
+
+TEST(ColumnVectorTest, AppendValueCasts) {
+  ColumnVector col(DataType::kDouble);
+  ASSERT_TRUE(col.AppendValue(Value::Int(2)).ok());
+  EXPECT_DOUBLE_EQ(col.double_at(0), 2.0);
+}
+
+TEST(ColumnVectorTest, AppendSelected) {
+  ColumnVector src(DataType::kString);
+  src.AppendString("a");
+  src.AppendString("b");
+  src.AppendString("c");
+  ColumnVector dst(DataType::kString);
+  dst.AppendSelected(src, {2, 0});
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.string_at(0), "c");
+  EXPECT_EQ(dst.string_at(1), "a");
+}
+
+Schema MakeSchema() {
+  return Schema({ColumnDef{"id", DataType::kInt64, false},
+                 ColumnDef{"name", DataType::kString, true},
+                 ColumnDef{"score", DataType::kDouble, true}});
+}
+
+TEST(RecordBatchTest, AppendRowAndProject) {
+  RecordBatch batch(MakeSchema());
+  ASSERT_TRUE(batch
+                  .AppendRow({Value::Int(1), Value::String("a"),
+                              Value::Double(0.5)})
+                  .ok());
+  ASSERT_TRUE(
+      batch.AppendRow({Value::Int(2), Value::Null(), Value::Double(0.9)})
+          .ok());
+  EXPECT_EQ(batch.num_rows(), 2u);
+  RecordBatch proj = batch.Project({2, 0});
+  EXPECT_EQ(proj.schema().column(0).name, "score");
+  EXPECT_EQ(proj.column(1)->int_at(1), 2);
+}
+
+TEST(RecordBatchTest, SelectSubset) {
+  RecordBatch batch(MakeSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(batch
+                    .AppendRow({Value::Int(i), Value::String("n"),
+                                Value::Double(i * 0.1)})
+                    .ok());
+  }
+  RecordBatch sel = batch.Select({1, 3, 5});
+  ASSERT_EQ(sel.num_rows(), 3u);
+  EXPECT_EQ(sel.column(0)->int_at(2), 5);
+}
+
+TEST(RecordBatchTest, RowArityChecked) {
+  RecordBatch batch(MakeSchema());
+  EXPECT_FALSE(batch.AppendRow({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, VersionLedgerGrowsOnMutation) {
+  Table t("t", MakeSchema());
+  EXPECT_EQ(t.current_version(), 0u);
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(1), Value::String("x"), Value::Double(1.0)})
+          .ok());
+  EXPECT_EQ(t.current_version(), 1u);
+  ASSERT_EQ(t.versions().size(), 2u);
+  EXPECT_EQ(t.versions()[1].operation, "INSERT");
+  EXPECT_EQ(t.versions()[1].rows_affected, 1u);
+}
+
+TEST(TableTest, ScanRangeClamps) {
+  Table t("t", MakeSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x"),
+                             Value::Double(0)})
+                    .ok());
+  }
+  RecordBatch batch = t.ScanRange(3, 100);
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.column(0)->int_at(0), 3);
+}
+
+TEST(TableTest, FilterInPlaceDeletes) {
+  Table t("t", MakeSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x"),
+                             Value::Double(0)})
+                    .ok());
+  }
+  std::vector<bool> keep = {true, false, true, false};
+  EXPECT_EQ(t.FilterInPlace(keep), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).int_at(1), 2);
+  EXPECT_EQ(t.versions().back().operation, "DELETE");
+}
+
+TEST(TableTest, UpdateColumnRewrites) {
+  Table t("t", MakeSchema());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x"),
+                             Value::Double(0)})
+                    .ok());
+  }
+  ASSERT_TRUE(
+      t.UpdateColumn(2, {1}, {Value::Double(9.5)}).ok());
+  EXPECT_DOUBLE_EQ(t.column(2).double_at(1), 9.5);
+  EXPECT_DOUBLE_EQ(t.column(2).double_at(0), 0.0);
+  EXPECT_EQ(t.versions().back().operation, "UPDATE");
+}
+
+TEST(TableTest, StatsComputeMinMaxAndInvalidate) {
+  Table t("t", MakeSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x"),
+                             Value::Double(i * 2.0)})
+                    .ok());
+  }
+  auto stats = t.GetStats(2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->min, 0.0);
+  EXPECT_DOUBLE_EQ(stats->max, 8.0);
+  ASSERT_TRUE(t.AppendRow({Value::Int(9), Value::String("x"),
+                           Value::Double(100.0)})
+                  .ok());
+  auto stats2 = t.GetStats(2);
+  EXPECT_DOUBLE_EQ(stats2->max, 100.0);
+}
+
+TEST(TableTest, StatsCountNulls) {
+  Table t("t", MakeSchema());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(1), Value::Null(), Value::Null()}).ok());
+  auto stats = t.GetStats(2);
+  EXPECT_EQ(stats->null_count, 1u);
+}
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("People", MakeSchema()).ok());
+  EXPECT_TRUE(db.HasTable("people"));  // case-insensitive
+  EXPECT_EQ(db.CreateTable("PEOPLE", MakeSchema()).code(),
+            StatusCode::kAlreadyExists);
+  auto t = db.GetTable("people");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "People");
+  ASSERT_TRUE(db.DropTable("People").ok());
+  EXPECT_EQ(db.GetTable("people").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ListTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("b", MakeSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("a", MakeSchema()).ok());
+  auto names = db.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+}
+
+}  // namespace
+}  // namespace flock::storage

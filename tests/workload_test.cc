@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sql/parser.h"
+#include "workload/landscape.h"
+#include "workload/notebooks.h"
+#include "workload/synthetic.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace flock::workload {
+namespace {
+
+TEST(TpchTest, SchemaCreatesEightTables) {
+  storage::Database db;
+  TpchWorkload tpch;
+  ASSERT_TRUE(tpch.CreateSchema(&db).ok());
+  EXPECT_EQ(db.ListTables().size(), 8u);
+  auto lineitem = db.GetTable("lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  EXPECT_EQ((*lineitem)->schema().num_columns(), 16u);
+}
+
+TEST(TpchTest, AllTemplatesParse) {
+  TpchWorkload tpch(123);
+  for (size_t t = 0; t < TpchWorkload::NumTemplates(); ++t) {
+    std::string q = tpch.Instantiate(t);
+    auto stmt = sql::Parser::Parse(q);
+    EXPECT_TRUE(stmt.ok()) << "template " << t << ": "
+                           << stmt.status().ToString() << "\n" << q;
+  }
+}
+
+TEST(TpchTest, StreamCyclesTemplatesWithFreshParameters) {
+  TpchWorkload tpch(5);
+  auto stream = tpch.GenerateQueryStream(44);
+  ASSERT_EQ(stream.size(), 44u);
+  // Template 0 reappears at index 22 with different parameters.
+  EXPECT_NE(stream[0], stream[22]);
+}
+
+TEST(TpccTest, SchemaCreatesNineTables) {
+  storage::Database db;
+  TpccWorkload tpcc;
+  ASSERT_TRUE(tpcc.CreateSchema(&db).ok());
+  EXPECT_EQ(db.ListTables().size(), 9u);
+}
+
+TEST(TpccTest, AllTransactionStatementsParse) {
+  TpccWorkload tpcc(7);
+  auto stream = tpcc.GenerateQueryStream(500);
+  ASSERT_EQ(stream.size(), 500u);
+  size_t writes = 0;
+  for (const std::string& q : stream) {
+    auto stmt = sql::Parser::Parse(q);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString() << "\n" << q;
+    auto kind = (*stmt)->kind();
+    if (kind == sql::StatementKind::kInsert ||
+        kind == sql::StatementKind::kUpdate ||
+        kind == sql::StatementKind::kDelete) {
+      ++writes;
+    }
+  }
+  // TPC-C is update-heavy: a large fraction of statements mutate.
+  EXPECT_GT(writes, stream.size() / 4);
+}
+
+TEST(NotebookTest, CorpusShapeMatchesOptions) {
+  NotebookCorpusOptions options;
+  options.num_notebooks = 2000;
+  options.num_packages = 300;
+  options.seed = 9;
+  NotebookCorpus corpus = GenerateNotebookCorpus(options);
+  EXPECT_EQ(corpus.notebooks.size(), 2000u);
+  for (const auto& nb : corpus.notebooks) {
+    EXPECT_GE(nb.size(), 1u);
+    for (uint32_t pkg : nb) EXPECT_LT(pkg, 300u);
+  }
+}
+
+TEST(NotebookTest, CoverageCurveMonotone) {
+  NotebookCorpusOptions options;
+  options.num_notebooks = 5000;
+  options.seed = 13;
+  NotebookCorpus corpus = GenerateNotebookCorpus(options);
+  std::vector<size_t> ks = {1, 5, 10, 50, 100, 400};
+  auto curve = CoverageCurve(corpus, ks);
+  ASSERT_EQ(curve.size(), ks.size());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_NEAR(curve.back(), 1.0, 1e-9);  // all packages -> full coverage
+}
+
+TEST(NotebookTest, HigherSkewConcentratesCoverage) {
+  // The Figure-2 mechanism: 2019 has 3x the packages but *more* top-10
+  // coverage because popularity concentrated.
+  NotebookCorpusOptions y2017;
+  y2017.num_packages = 400;
+  y2017.zipf_skew = 1.35;
+  y2017.num_notebooks = 20000;
+  y2017.seed = 17;
+  NotebookCorpusOptions y2019 = y2017;
+  y2019.num_packages = 1200;
+  y2019.zipf_skew = 1.55;
+  y2019.seed = 19;
+  auto c2017 = CoverageCurve(GenerateNotebookCorpus(y2017), {10});
+  auto c2019 = CoverageCurve(GenerateNotebookCorpus(y2019), {10});
+  EXPECT_GT(c2019[0], c2017[0]);
+}
+
+TEST(LandscapeTest, MatrixShape) {
+  Landscape landscape;
+  EXPECT_EQ(landscape.features().size(), 17u);
+  EXPECT_EQ(landscape.systems().size(), 9u);
+  for (const auto& system : landscape.systems()) {
+    EXPECT_EQ(system.support.size(), 17u);
+  }
+}
+
+TEST(LandscapeTest, TrendsMatchPaper) {
+  Landscape landscape;
+  // Trend 1: proprietary stacks lead on data management.
+  EXPECT_GT(landscape.ProprietaryDataManagementGap(), 0.5);
+  // Trend 2: complete third-party coverage is rare.
+  EXPECT_LT(landscape.OverallGoodFraction(), 0.6);
+  std::string rendered = landscape.Render();
+  EXPECT_NE(rendered.find("Feature Store"), std::string::npos);
+  EXPECT_NE(rendered.find("Bing"), std::string::npos);
+}
+
+TEST(SyntheticTest, BuildsTableModelAndMatrix) {
+  ::flock::flock::FlockEngineOptions engine_options;
+  engine_options.sql.num_threads = 2;
+  ::flock::flock::FlockEngine engine(engine_options);
+  InferenceWorkloadOptions options;
+  options.num_rows = 5000;
+  options.train_rows = 2000;
+  options.gbt_trees = 10;
+  auto workload = BuildInferenceWorkload(&engine, options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->raw.rows(), 5000u);
+  EXPECT_EQ(workload->raw.cols(), 28u);
+  EXPECT_TRUE(engine.models()->Contains("ctr"));
+  auto count = engine.Execute("SELECT COUNT(*) FROM clickstream");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0)->int_at(0), 5000);
+
+  // In-DB scoring agrees with direct pipeline scoring.
+  auto r = engine.Execute(
+      "SELECT id, PREDICT(ctr, f0, f1, f2, f3, f4, f5, f6, f7, f8, f9, "
+      "f10, f11, f12, f13, f14, f15, f16, f17, f18, f19, f20, f21, f22, "
+      "f23, f24, f25, f26, segment) AS p FROM clickstream LIMIT 16");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (size_t i = 0; i < r->batch.num_rows(); ++i) {
+    int64_t id = r->batch.column(0)->int_at(i);
+    EXPECT_NEAR(
+        r->batch.column(1)->double_at(i),
+        workload->pipeline.ScoreRow(
+            workload->raw.row(static_cast<size_t>(id))),
+        1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace flock::workload
