@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_provcompress.dir/bench_ablation_provcompress.cc.o"
+  "CMakeFiles/bench_ablation_provcompress.dir/bench_ablation_provcompress.cc.o.d"
+  "bench_ablation_provcompress"
+  "bench_ablation_provcompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_provcompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

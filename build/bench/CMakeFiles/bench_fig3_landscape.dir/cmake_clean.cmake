@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_landscape.dir/bench_fig3_landscape.cc.o"
+  "CMakeFiles/bench_fig3_landscape.dir/bench_fig3_landscape.cc.o.d"
+  "bench_fig3_landscape"
+  "bench_fig3_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_inference.dir/bench_fig4_inference.cc.o"
+  "CMakeFiles/bench_fig4_inference.dir/bench_fig4_inference.cc.o.d"
+  "bench_fig4_inference"
+  "bench_fig4_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

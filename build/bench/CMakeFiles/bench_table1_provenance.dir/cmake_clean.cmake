@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_provenance.dir/bench_table1_provenance.cc.o"
+  "CMakeFiles/bench_table1_provenance.dir/bench_table1_provenance.cc.o.d"
+  "bench_table1_provenance"
+  "bench_table1_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

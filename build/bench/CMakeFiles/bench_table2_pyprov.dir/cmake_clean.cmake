@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pyprov.dir/bench_table2_pyprov.cc.o"
+  "CMakeFiles/bench_table2_pyprov.dir/bench_table2_pyprov.cc.o.d"
+  "bench_table2_pyprov"
+  "bench_table2_pyprov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pyprov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

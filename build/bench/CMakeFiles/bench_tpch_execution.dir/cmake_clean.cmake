@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_execution.dir/bench_tpch_execution.cc.o"
+  "CMakeFiles/bench_tpch_execution.dir/bench_tpch_execution.cc.o.d"
+  "bench_tpch_execution"
+  "bench_tpch_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_governance.dir/healthcare_governance.cpp.o"
+  "CMakeFiles/healthcare_governance.dir/healthcare_governance.cpp.o.d"
+  "healthcare_governance"
+  "healthcare_governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

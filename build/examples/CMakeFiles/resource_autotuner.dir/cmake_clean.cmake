@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_autotuner.dir/resource_autotuner.cpp.o"
+  "CMakeFiles/resource_autotuner.dir/resource_autotuner.cpp.o.d"
+  "resource_autotuner"
+  "resource_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flock/cross_optimizer.cc" "src/flock/CMakeFiles/flock_core.dir/cross_optimizer.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/cross_optimizer.cc.o.d"
+  "/root/repo/src/flock/deployment.cc" "src/flock/CMakeFiles/flock_core.dir/deployment.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/deployment.cc.o.d"
+  "/root/repo/src/flock/flock_engine.cc" "src/flock/CMakeFiles/flock_core.dir/flock_engine.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/flock_engine.cc.o.d"
+  "/root/repo/src/flock/model_registry.cc" "src/flock/CMakeFiles/flock_core.dir/model_registry.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/model_registry.cc.o.d"
+  "/root/repo/src/flock/predict_functions.cc" "src/flock/CMakeFiles/flock_core.dir/predict_functions.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/predict_functions.cc.o.d"
+  "/root/repo/src/flock/scoring.cc" "src/flock/CMakeFiles/flock_core.dir/scoring.cc.o" "gcc" "src/flock/CMakeFiles/flock_core.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/flock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/flock_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

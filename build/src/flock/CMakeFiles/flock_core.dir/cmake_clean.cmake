@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_core.dir/cross_optimizer.cc.o"
+  "CMakeFiles/flock_core.dir/cross_optimizer.cc.o.d"
+  "CMakeFiles/flock_core.dir/deployment.cc.o"
+  "CMakeFiles/flock_core.dir/deployment.cc.o.d"
+  "CMakeFiles/flock_core.dir/flock_engine.cc.o"
+  "CMakeFiles/flock_core.dir/flock_engine.cc.o.d"
+  "CMakeFiles/flock_core.dir/model_registry.cc.o"
+  "CMakeFiles/flock_core.dir/model_registry.cc.o.d"
+  "CMakeFiles/flock_core.dir/predict_functions.cc.o"
+  "CMakeFiles/flock_core.dir/predict_functions.cc.o.d"
+  "CMakeFiles/flock_core.dir/scoring.cc.o"
+  "CMakeFiles/flock_core.dir/scoring.cc.o.d"
+  "libflock_core.a"
+  "libflock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/flock_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/graph.cc" "src/ml/CMakeFiles/flock_ml.dir/graph.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/graph.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/flock_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/pipeline.cc" "src/ml/CMakeFiles/flock_ml.dir/pipeline.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/pipeline.cc.o.d"
+  "/root/repo/src/ml/row_scorer.cc" "src/ml/CMakeFiles/flock_ml.dir/row_scorer.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/row_scorer.cc.o.d"
+  "/root/repo/src/ml/runtime.cc" "src/ml/CMakeFiles/flock_ml.dir/runtime.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/runtime.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/flock_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/flock_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_ml.dir/dataset.cc.o"
+  "CMakeFiles/flock_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/flock_ml.dir/graph.cc.o"
+  "CMakeFiles/flock_ml.dir/graph.cc.o.d"
+  "CMakeFiles/flock_ml.dir/linear.cc.o"
+  "CMakeFiles/flock_ml.dir/linear.cc.o.d"
+  "CMakeFiles/flock_ml.dir/pipeline.cc.o"
+  "CMakeFiles/flock_ml.dir/pipeline.cc.o.d"
+  "CMakeFiles/flock_ml.dir/row_scorer.cc.o"
+  "CMakeFiles/flock_ml.dir/row_scorer.cc.o.d"
+  "CMakeFiles/flock_ml.dir/runtime.cc.o"
+  "CMakeFiles/flock_ml.dir/runtime.cc.o.d"
+  "CMakeFiles/flock_ml.dir/tree.cc.o"
+  "CMakeFiles/flock_ml.dir/tree.cc.o.d"
+  "libflock_ml.a"
+  "libflock_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

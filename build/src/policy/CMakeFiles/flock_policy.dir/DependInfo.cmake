@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/monitor.cc" "src/policy/CMakeFiles/flock_policy.dir/monitor.cc.o" "gcc" "src/policy/CMakeFiles/flock_policy.dir/monitor.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/policy/CMakeFiles/flock_policy.dir/policy.cc.o" "gcc" "src/policy/CMakeFiles/flock_policy.dir/policy.cc.o.d"
+  "/root/repo/src/policy/policy_engine.cc" "src/policy/CMakeFiles/flock_policy.dir/policy_engine.cc.o" "gcc" "src/policy/CMakeFiles/flock_policy.dir/policy_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/flock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

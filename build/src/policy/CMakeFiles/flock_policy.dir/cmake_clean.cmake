@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_policy.dir/monitor.cc.o"
+  "CMakeFiles/flock_policy.dir/monitor.cc.o.d"
+  "CMakeFiles/flock_policy.dir/policy.cc.o"
+  "CMakeFiles/flock_policy.dir/policy.cc.o.d"
+  "CMakeFiles/flock_policy.dir/policy_engine.cc.o"
+  "CMakeFiles/flock_policy.dir/policy_engine.cc.o.d"
+  "libflock_policy.a"
+  "libflock_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prov/bridge.cc" "src/prov/CMakeFiles/flock_prov.dir/bridge.cc.o" "gcc" "src/prov/CMakeFiles/flock_prov.dir/bridge.cc.o.d"
+  "/root/repo/src/prov/catalog.cc" "src/prov/CMakeFiles/flock_prov.dir/catalog.cc.o" "gcc" "src/prov/CMakeFiles/flock_prov.dir/catalog.cc.o.d"
+  "/root/repo/src/prov/compression.cc" "src/prov/CMakeFiles/flock_prov.dir/compression.cc.o" "gcc" "src/prov/CMakeFiles/flock_prov.dir/compression.cc.o.d"
+  "/root/repo/src/prov/sql_capture.cc" "src/prov/CMakeFiles/flock_prov.dir/sql_capture.cc.o" "gcc" "src/prov/CMakeFiles/flock_prov.dir/sql_capture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/flock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_prov.dir/bridge.cc.o"
+  "CMakeFiles/flock_prov.dir/bridge.cc.o.d"
+  "CMakeFiles/flock_prov.dir/catalog.cc.o"
+  "CMakeFiles/flock_prov.dir/catalog.cc.o.d"
+  "CMakeFiles/flock_prov.dir/compression.cc.o"
+  "CMakeFiles/flock_prov.dir/compression.cc.o.d"
+  "CMakeFiles/flock_prov.dir/sql_capture.cc.o"
+  "CMakeFiles/flock_prov.dir/sql_capture.cc.o.d"
+  "libflock_prov.a"
+  "libflock_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pyprov/analyzer.cc" "src/pyprov/CMakeFiles/flock_pyprov.dir/analyzer.cc.o" "gcc" "src/pyprov/CMakeFiles/flock_pyprov.dir/analyzer.cc.o.d"
+  "/root/repo/src/pyprov/knowledge_base.cc" "src/pyprov/CMakeFiles/flock_pyprov.dir/knowledge_base.cc.o" "gcc" "src/pyprov/CMakeFiles/flock_pyprov.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/pyprov/py_parser.cc" "src/pyprov/CMakeFiles/flock_pyprov.dir/py_parser.cc.o" "gcc" "src/pyprov/CMakeFiles/flock_pyprov.dir/py_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prov/CMakeFiles/flock_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/flock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

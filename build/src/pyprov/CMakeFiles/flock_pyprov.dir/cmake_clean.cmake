@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_pyprov.dir/analyzer.cc.o"
+  "CMakeFiles/flock_pyprov.dir/analyzer.cc.o.d"
+  "CMakeFiles/flock_pyprov.dir/knowledge_base.cc.o"
+  "CMakeFiles/flock_pyprov.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/flock_pyprov.dir/py_parser.cc.o"
+  "CMakeFiles/flock_pyprov.dir/py_parser.cc.o.d"
+  "libflock_pyprov.a"
+  "libflock_pyprov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_pyprov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/flock_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/sql/CMakeFiles/flock_sql.dir/engine.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/engine.cc.o.d"
+  "/root/repo/src/sql/evaluator.cc" "src/sql/CMakeFiles/flock_sql.dir/evaluator.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/evaluator.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/flock_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/function_registry.cc" "src/sql/CMakeFiles/flock_sql.dir/function_registry.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/function_registry.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/flock_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/logical_plan.cc" "src/sql/CMakeFiles/flock_sql.dir/logical_plan.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/logical_plan.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/sql/CMakeFiles/flock_sql.dir/optimizer.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/flock_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/sql/CMakeFiles/flock_sql.dir/planner.cc.o" "gcc" "src/sql/CMakeFiles/flock_sql.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_sql.dir/ast.cc.o"
+  "CMakeFiles/flock_sql.dir/ast.cc.o.d"
+  "CMakeFiles/flock_sql.dir/engine.cc.o"
+  "CMakeFiles/flock_sql.dir/engine.cc.o.d"
+  "CMakeFiles/flock_sql.dir/evaluator.cc.o"
+  "CMakeFiles/flock_sql.dir/evaluator.cc.o.d"
+  "CMakeFiles/flock_sql.dir/executor.cc.o"
+  "CMakeFiles/flock_sql.dir/executor.cc.o.d"
+  "CMakeFiles/flock_sql.dir/function_registry.cc.o"
+  "CMakeFiles/flock_sql.dir/function_registry.cc.o.d"
+  "CMakeFiles/flock_sql.dir/lexer.cc.o"
+  "CMakeFiles/flock_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/flock_sql.dir/logical_plan.cc.o"
+  "CMakeFiles/flock_sql.dir/logical_plan.cc.o.d"
+  "CMakeFiles/flock_sql.dir/optimizer.cc.o"
+  "CMakeFiles/flock_sql.dir/optimizer.cc.o.d"
+  "CMakeFiles/flock_sql.dir/parser.cc.o"
+  "CMakeFiles/flock_sql.dir/parser.cc.o.d"
+  "CMakeFiles/flock_sql.dir/planner.cc.o"
+  "CMakeFiles/flock_sql.dir/planner.cc.o.d"
+  "libflock_sql.a"
+  "libflock_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_storage.dir/column_vector.cc.o"
+  "CMakeFiles/flock_storage.dir/column_vector.cc.o.d"
+  "CMakeFiles/flock_storage.dir/database.cc.o"
+  "CMakeFiles/flock_storage.dir/database.cc.o.d"
+  "CMakeFiles/flock_storage.dir/record_batch.cc.o"
+  "CMakeFiles/flock_storage.dir/record_batch.cc.o.d"
+  "CMakeFiles/flock_storage.dir/schema.cc.o"
+  "CMakeFiles/flock_storage.dir/schema.cc.o.d"
+  "CMakeFiles/flock_storage.dir/table.cc.o"
+  "CMakeFiles/flock_storage.dir/table.cc.o.d"
+  "CMakeFiles/flock_storage.dir/value.cc.o"
+  "CMakeFiles/flock_storage.dir/value.cc.o.d"
+  "libflock_storage.a"
+  "libflock_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

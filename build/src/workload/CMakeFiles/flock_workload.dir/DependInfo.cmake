@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/landscape.cc" "src/workload/CMakeFiles/flock_workload.dir/landscape.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/landscape.cc.o.d"
+  "/root/repo/src/workload/notebooks.cc" "src/workload/CMakeFiles/flock_workload.dir/notebooks.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/notebooks.cc.o.d"
+  "/root/repo/src/workload/scripts.cc" "src/workload/CMakeFiles/flock_workload.dir/scripts.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/scripts.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/flock_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/workload/CMakeFiles/flock_workload.dir/tpcc.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/flock_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/flock_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flock/CMakeFiles/flock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/flock_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/flock_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flock_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

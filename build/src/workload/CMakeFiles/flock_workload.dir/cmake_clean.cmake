@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_workload.dir/landscape.cc.o"
+  "CMakeFiles/flock_workload.dir/landscape.cc.o.d"
+  "CMakeFiles/flock_workload.dir/notebooks.cc.o"
+  "CMakeFiles/flock_workload.dir/notebooks.cc.o.d"
+  "CMakeFiles/flock_workload.dir/scripts.cc.o"
+  "CMakeFiles/flock_workload.dir/scripts.cc.o.d"
+  "CMakeFiles/flock_workload.dir/synthetic.cc.o"
+  "CMakeFiles/flock_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/flock_workload.dir/tpcc.cc.o"
+  "CMakeFiles/flock_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/flock_workload.dir/tpch.cc.o"
+  "CMakeFiles/flock_workload.dir/tpch.cc.o.d"
+  "libflock_workload.a"
+  "libflock_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

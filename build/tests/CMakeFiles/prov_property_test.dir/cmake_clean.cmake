@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prov_property_test.dir/prov_property_test.cc.o"
+  "CMakeFiles/prov_property_test.dir/prov_property_test.cc.o.d"
+  "prov_property_test"
+  "prov_property_test.pdb"
+  "prov_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prov_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prov_test.dir/prov_test.cc.o"
+  "CMakeFiles/prov_test.dir/prov_test.cc.o.d"
+  "prov_test"
+  "prov_test.pdb"
+  "prov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyprov_test.dir/pyprov_test.cc.o"
+  "CMakeFiles/pyprov_test.dir/pyprov_test.cc.o.d"
+  "pyprov_test"
+  "pyprov_test.pdb"
+  "pyprov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyprov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_evaluator_test.dir/sql_evaluator_test.cc.o"
+  "CMakeFiles/sql_evaluator_test.dir/sql_evaluator_test.cc.o.d"
+  "sql_evaluator_test"
+  "sql_evaluator_test.pdb"
+  "sql_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_execution_test.dir/tpch_execution_test.cc.o"
+  "CMakeFiles/tpch_execution_test.dir/tpch_execution_test.cc.o.d"
+  "tpch_execution_test"
+  "tpch_execution_test.pdb"
+  "tpch_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/flock_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/prov_test[1]_include.cmake")
+include("/root/repo/build/tests/pyprov_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/flock_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_property_test[1]_include.cmake")
+include("/root/repo/build/tests/prov_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_execution_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_evaluator_test[1]_include.cmake")
