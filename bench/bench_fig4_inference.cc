@@ -59,9 +59,55 @@ struct Config {
   double export_millis = 0.0;  // exfiltration phase (standalone only)
   double score_millis = 0.0;
   size_t rows_kept = 0;
+  // In-DBMS configs: per-operator breakdown from the physical executor.
+  std::vector<flock::sql::OperatorMetricsSnapshot> operators;
 
   double total() const { return export_millis + score_millis; }
 };
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Per-operator time breakdown of the in-DBMS configurations as JSON —
+/// shows where the inference query spends its time (scan vs score vs
+/// aggregate), the level Figure 4's bars summarize away.
+void EmitOperatorJson(size_t rows, const std::vector<Config>& configs) {
+  std::printf("{\"benchmark\": \"fig4_inference\", \"rows\": %zu, "
+              "\"configs\": [\n",
+              rows);
+  bool first_config = true;
+  for (const Config& config : configs) {
+    if (config.operators.empty()) continue;
+    std::printf("%s  {\"name\": \"%s\", \"total_ms\": %.3f, "
+                "\"operators\": [\n",
+                first_config ? "" : ",\n", JsonEscape(config.name).c_str(),
+                config.total());
+    first_config = false;
+    for (size_t i = 0; i < config.operators.size(); ++i) {
+      const auto& op = config.operators[i];
+      std::printf("    {\"name\": \"%s\", \"depth\": %d, "
+                  "\"rows_in\": %llu, \"rows_out\": %llu, "
+                  "\"wall_ms\": %.3f}%s\n",
+                  JsonEscape(op.name).c_str(), op.depth,
+                  static_cast<unsigned long long>(op.rows_in),
+                  static_cast<unsigned long long>(op.rows_out), op.wall_ms,
+                  i + 1 < config.operators.size() ? "," : "");
+    }
+    std::printf("  ]}");
+  }
+  std::printf("\n]}\n");
+}
 
 /// Exfiltrates the feature columns out of the DBMS into a client-side raw
 /// matrix — the cost every standalone scorer pays when the data is
@@ -178,6 +224,7 @@ Config RunInDb(FlockEngine* engine, bool cross_optimizer,
   out.score_millis = timer.ElapsedMillis();
   out.rows_kept =
       static_cast<size_t>(result->batch.column(0)->int_at(0));
+  out.operators = std::move(result->operator_metrics);
   return out;
 }
 
@@ -199,6 +246,7 @@ int main() {
   double ort_at_max = 0.0;
   double sonnx_at_max = 0.0;
   double sonnx_ext_at_max = 0.0;
+  std::vector<Config> configs_at_max;
 
   for (size_t n : sizes) {
     FlockEngineOptions engine_options;
@@ -238,6 +286,7 @@ int main() {
       ort_at_max = configs[1].total();
       sonnx_at_max = configs[2].total();
       sonnx_ext_at_max = configs[3].total();
+      configs_at_max = configs;
     }
     // Sanity: every configuration must agree on the answer.
     for (size_t i = 1; i < configs.size(); ++i) {
@@ -267,5 +316,9 @@ int main() {
               "host the parallel component is capped at %u thread(s))\n",
               ort_at_max / sonnx_at_max,
               std::thread::hardware_concurrency());
+
+  std::printf("\nper-operator breakdown of the in-DBMS configs at 1M "
+              "rows:\n");
+  EmitOperatorJson(sizes[3], configs_at_max);
   return 0;
 }

@@ -2,46 +2,158 @@
 // TPC-H templates on generated data — evidence that the relational
 // substrate under the in-DBMS inference results is a real, working
 // analytic engine (joins, aggregation, sorting), not a scoring shim.
+//
+// Each template runs at num_threads=1 and num_threads=4 (the morsel-
+// parallel physical executor partitions scans, join probes and
+// aggregation across the pool), and the per-operator rows/time breakdown
+// recorded by the physical operators is emitted as JSON — to stdout, or
+// to a file when a path is passed as argv[1].
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "sql/engine.h"
 #include "workload/tpch.h"
 
-int main() {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+struct QueryRun {
+  size_t template_index = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  size_t rows = 0;
+  // Breakdown from the parallel run (cumulative across workers).
+  std::vector<flock::sql::OperatorMetricsSnapshot> operators;
+};
+
+void EmitJson(std::FILE* out, const std::vector<QueryRun>& runs) {
+  std::fprintf(out, "{\n  \"benchmark\": \"tpch_execution\",\n");
+  std::fprintf(out, "  \"queries\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const QueryRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"q\": %zu, \"serial_ms\": %.3f, "
+                 "\"parallel_ms\": %.3f, \"rows\": %zu,\n"
+                 "     \"operators\": [\n",
+                 run.template_index + 1, run.serial_ms, run.parallel_ms,
+                 run.rows);
+    for (size_t j = 0; j < run.operators.size(); ++j) {
+      const auto& op = run.operators[j];
+      std::fprintf(out,
+                   "      {\"name\": \"%s\", \"depth\": %d, "
+                   "\"rows_in\": %llu, \"rows_out\": %llu, "
+                   "\"wall_ms\": %.3f}%s\n",
+                   JsonEscape(op.name).c_str(), op.depth,
+                   static_cast<unsigned long long>(op.rows_in),
+                   static_cast<unsigned long long>(op.rows_out), op.wall_ms,
+                   j + 1 < run.operators.size() ? "," : "");
+    }
+    std::fprintf(out, "     ]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   flock::storage::Database db;
   flock::workload::TpchWorkload tpch(7);
   if (!tpch.CreateSchema(&db).ok()) return 1;
   flock::Stopwatch load_timer;
-  if (!tpch.PopulateData(&db, 2000).ok()) return 1;
+  if (!tpch.PopulateData(&db, 10000).ok()) return 1;
   auto lineitem = db.GetTable("lineitem");
   std::printf("TPC-H execution benchmark: %zu lineitem rows loaded in "
               "%.0f ms\n\n",
               (*lineitem)->num_rows(), load_timer.ElapsedMillis());
 
-  flock::sql::EngineOptions options;
-  options.num_threads = 0;
-  flock::sql::SqlEngine engine(&db, options);
+  flock::sql::EngineOptions serial_options;
+  serial_options.num_threads = 1;
+  flock::sql::SqlEngine serial(&db, serial_options);
+  flock::sql::EngineOptions parallel_options;
+  parallel_options.num_threads = 4;
+  flock::sql::SqlEngine parallel(&db, parallel_options);
 
-  std::printf("%4s %12s %10s\n", "Q", "time(ms)", "rows");
-  double total = 0.0;
+  std::printf("%4s %12s %12s %9s %10s\n", "Q", "1thr(ms)", "4thr(ms)",
+              "speedup", "rows");
+  std::vector<QueryRun> runs;
+  double total_serial = 0.0;
+  double total_parallel = 0.0;
   for (size_t t = 0; t < flock::workload::TpchWorkload::NumTemplates();
        ++t) {
     flock::workload::TpchWorkload generator(100 + t);
     std::string query = generator.Instantiate(t);
-    flock::Stopwatch timer;
-    auto result = engine.Execute(query);
-    double ms = timer.ElapsedMillis();
-    if (!result.ok()) {
-      std::fprintf(stderr, "Q%zu failed: %s\n", t + 1,
-                   result.status().ToString().c_str());
+
+    flock::Stopwatch serial_timer;
+    auto serial_result = serial.Execute(query);
+    double serial_ms = serial_timer.ElapsedMillis();
+    if (!serial_result.ok()) {
+      std::fprintf(stderr, "Q%zu (1 thread) failed: %s\n", t + 1,
+                   serial_result.status().ToString().c_str());
       return 1;
     }
-    total += ms;
-    std::printf("%4zu %12.2f %10zu\n", t + 1, ms,
-                result->batch.num_rows());
+
+    flock::Stopwatch parallel_timer;
+    auto parallel_result = parallel.Execute(query);
+    double parallel_ms = parallel_timer.ElapsedMillis();
+    if (!parallel_result.ok()) {
+      std::fprintf(stderr, "Q%zu (4 threads) failed: %s\n", t + 1,
+                   parallel_result.status().ToString().c_str());
+      return 1;
+    }
+    if (parallel_result->batch.num_rows() !=
+        serial_result->batch.num_rows()) {
+      std::fprintf(stderr, "Q%zu row-count mismatch: 1thr=%zu 4thr=%zu\n",
+                   t + 1, serial_result->batch.num_rows(),
+                   parallel_result->batch.num_rows());
+      return 1;
+    }
+
+    total_serial += serial_ms;
+    total_parallel += parallel_ms;
+    std::printf("%4zu %12.2f %12.2f %8.2fx %10zu\n", t + 1, serial_ms,
+                parallel_ms, serial_ms / parallel_ms,
+                parallel_result->batch.num_rows());
+
+    QueryRun run;
+    run.template_index = t;
+    run.serial_ms = serial_ms;
+    run.parallel_ms = parallel_ms;
+    run.rows = parallel_result->batch.num_rows();
+    run.operators = std::move(parallel_result->operator_metrics);
+    runs.push_back(std::move(run));
   }
-  std::printf("\ntotal: %.1f ms for all 22 queries\n", total);
+  std::printf("\ntotal: %.1f ms serial, %.1f ms with 4 threads "
+              "(%.2fx)\n\n",
+              total_serial, total_parallel, total_serial / total_parallel);
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  EmitJson(out, runs);
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("per-operator breakdown written to %s\n", argv[1]);
+  }
   return 0;
 }

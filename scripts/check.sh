@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full verification: regular build + tests, then an AddressSanitizer build
+# + tests (catches the memory bugs morsel-parallel execution can hide).
+#
+# Usage: scripts/check.sh [--asan-only|--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_PLAIN=1
+RUN_ASAN=1
+case "${1:-}" in
+  --asan-only) RUN_PLAIN=0 ;;
+  --no-asan) RUN_ASAN=0 ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--asan-only|--no-asan]" >&2
+    exit 2
+    ;;
+esac
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "$RUN_PLAIN" == 1 ]]; then
+  echo "== plain build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== ASan build + ctest =="
+  cmake -B build-asan -S . -DFLOCK_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "All checks passed."

@@ -47,6 +47,7 @@ void RegisterPredictFunctions(sql::FunctionRegistry* functions,
     sql::ScalarFunction fn;
     fn.return_type = DataType::kDouble;
     fn.min_args = 1;
+    fn.scoring = true;  // lowered to a PredictScore physical operator
     fn.kernel = [models, context](
                     const std::vector<ColumnVectorPtr>& args,
                     size_t num_rows) -> StatusOr<ColumnVectorPtr> {
@@ -80,6 +81,7 @@ void RegisterPredictFunctions(sql::FunctionRegistry* functions,
     sql::ScalarFunction fn;
     fn.return_type = DataType::kBool;
     fn.min_args = 2;
+    fn.scoring = true;  // threshold push-up target, also a PredictScore op
     fn.kernel = [models, context, op](
                     const std::vector<ColumnVectorPtr>& args,
                     size_t num_rows) -> StatusOr<ColumnVectorPtr> {

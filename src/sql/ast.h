@@ -234,6 +234,7 @@ struct ExplainStatement : Statement {
   StatementKind kind() const override { return StatementKind::kExplain; }
 
   StatementPtr inner;
+  bool analyze = false;  // EXPLAIN ANALYZE: execute and report metrics
 };
 
 }  // namespace flock::sql

@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "sql/evaluator.h"
 #include "sql/parser.h"
+#include "sql/physical_planner.h"
 #include "sql/planner.h"
 
 namespace flock::sql {
@@ -134,8 +135,21 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
           static_cast<const SelectStatement&>(*explain.inner);
       FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(select));
       FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
+      PhysicalPlanner physical_planner(&registry_);
+      FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
+                             physical_planner.Lower(*plan));
       QueryResult result;
-      result.plan_text = plan->ToString();
+      if (explain.analyze) {
+        // EXPLAIN ANALYZE: execute, then render the plan with the
+        // per-operator counters the run recorded.
+        FLOCK_ASSIGN_OR_RETURN(RecordBatch discard, ExecutePhysical(
+                                                        root.get()));
+        (void)discard;
+        root->CollectMetrics(&result.operator_metrics);
+      }
+      result.plan_text = "== Logical Plan ==\n" + plan->ToString() +
+                         "== Physical Plan ==\n" +
+                         root->ToString(0, explain.analyze);
       Schema schema({storage::ColumnDef{"plan", DataType::kString, false}});
       result.batch = RecordBatch(schema);
       FLOCK_RETURN_NOT_OK(
@@ -178,11 +192,23 @@ StatusOr<RecordBatch> SqlEngine::ExecutePlan(const LogicalPlan& plan) {
   return executor.Execute(plan);
 }
 
+StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root) {
+  ExecutorOptions exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.morsel_size = options_.morsel_size;
+  Executor executor(&registry_, pool_.get(), exec_options);
+  return executor.Execute(root);
+}
+
 StatusOr<QueryResult> SqlEngine::ExecuteSelect(const SelectStatement& stmt) {
   FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
   FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
+  PhysicalPlanner physical_planner(&registry_);
+  FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
+                         physical_planner.Lower(*plan));
   QueryResult result;
-  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePlan(*plan));
+  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
+  root->CollectMetrics(&result.operator_metrics);
   return result;
 }
 

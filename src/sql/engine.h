@@ -13,6 +13,7 @@
 #include "sql/function_registry.h"
 #include "sql/logical_plan.h"
 #include "sql/optimizer.h"
+#include "sql/physical_plan.h"
 #include "storage/database.h"
 
 namespace flock::sql {
@@ -23,6 +24,9 @@ struct QueryResult {
   size_t rows_affected = 0;     // for DML
   std::string plan_text;        // filled for EXPLAIN
   double elapsed_ms = 0.0;
+  /// Per-operator execution counters for the physical plan (pre-order;
+  /// filled for SELECT and EXPLAIN ANALYZE). Empty for DML/DDL.
+  std::vector<OperatorMetricsSnapshot> operator_metrics;
 };
 
 struct EngineOptions {
@@ -70,8 +74,12 @@ class SqlEngine {
   /// Runs the built-in optimizer, then the plan rewriter if set.
   Status OptimizePlan(PlanPtr* plan);
 
-  /// Executes a bound plan.
+  /// Executes a bound plan (lowers to a physical plan internally).
   StatusOr<storage::RecordBatch> ExecutePlan(const LogicalPlan& plan);
+
+  /// Executes an already-lowered physical plan; metrics accumulate into
+  /// the operator tree.
+  StatusOr<storage::RecordBatch> ExecutePhysical(PhysicalOperator* root);
 
   storage::Database* database() { return db_; }
   FunctionRegistry* functions() { return &registry_; }

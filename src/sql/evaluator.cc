@@ -214,7 +214,15 @@ StatusOr<ColumnVectorPtr> EvaluateExpr(const Expr& expr,
         return Status::Internal("unbound column reference: " +
                                 expr.ToString());
       }
-      return input.column(static_cast<size_t>(expr.column_index));
+      const ColumnVectorPtr& col =
+          input.column(static_cast<size_t>(expr.column_index));
+      if (!input.has_selection()) return col;
+      // Late materialization: gather only the columns an expression
+      // actually touches, so selected views coming out of filters never
+      // copy untouched columns.
+      auto gathered = std::make_shared<ColumnVector>(col->type());
+      gathered->AppendSelected(*col, input.selection());
+      return gathered;
     }
     case ExprKind::kStar:
       return Status::Internal("'*' cannot be evaluated as a scalar");

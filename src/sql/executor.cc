@@ -1,14 +1,12 @@
 #include "sql/executor.h"
 
 #include <algorithm>
-#include <mutex>
+#include <chrono>
 #include <set>
 #include <unordered_map>
 
-#include "common/hash.h"
 #include "common/logging.h"
 #include "sql/evaluator.h"
-#include "sql/optimizer.h"
 
 namespace flock::sql {
 
@@ -21,417 +19,251 @@ using storage::Value;
 
 namespace {
 
-/// Serializes row `r`'s values from `cols` into a byte-key for hashing.
-void AppendRowKey(const std::vector<ColumnVectorPtr>& cols, size_t r,
-                  std::string* key) {
-  for (const auto& col : cols) {
-    if (col->IsNull(r)) {
-      key->push_back('\0');
-      continue;
-    }
-    key->push_back('\1');
-    switch (col->type()) {
-      case DataType::kBool:
-        key->push_back(col->bool_at(r) ? '1' : '0');
-        break;
-      case DataType::kInt64: {
-        int64_t v = col->int_at(r);
-        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
-        break;
-      }
-      case DataType::kDouble: {
-        double v = col->double_at(r);
-        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
-        break;
-      }
-      case DataType::kString: {
-        const std::string& s = col->string_at(r);
-        uint32_t len = static_cast<uint32_t>(s.size());
-        key->append(reinterpret_cast<const char*>(&len), sizeof(len));
-        key->append(s);
-        break;
-      }
-    }
-  }
-}
+using Clock = std::chrono::steady_clock;
 
-/// Extracted equi-join keys: pairs of (left column expr, right column expr),
-/// with right-side indexes rebased to the right child's schema.
-struct JoinKeys {
-  std::vector<ExprPtr> left;
-  std::vector<ExprPtr> right;
-  std::vector<ExprPtr> residual;  // bound against joined row (left++right)
-};
-
-JoinKeys ExtractJoinKeys(const Expr* condition, size_t left_width) {
-  JoinKeys keys;
-  if (condition == nullptr) return keys;
-  std::vector<ExprPtr> conjuncts = SplitConjuncts(condition->Clone());
-  for (auto& conjunct : conjuncts) {
-    if (conjunct->kind == ExprKind::kBinary &&
-        conjunct->bin_op == BinaryOp::kEq) {
-      Expr* a = conjunct->children[0].get();
-      Expr* b = conjunct->children[1].get();
-      auto side = [&](const Expr& e) -> int {
-        // 0 = left-only, 1 = right-only, -1 = mixed/none.
-        bool has_left = false, has_right = false;
-        VisitExpr(e, [&](const Expr& node) {
-          if (node.kind == ExprKind::kColumnRef) {
-            if (node.column_index < static_cast<int>(left_width)) {
-              has_left = true;
-            } else {
-              has_right = true;
-            }
-          }
-        });
-        if (has_left && !has_right) return 0;
-        if (has_right && !has_left) return 1;
-        return -1;
-      };
-      int sa = side(*a);
-      int sb = side(*b);
-      if (sa == 0 && sb == 1) {
-        keys.left.push_back(std::move(conjunct->children[0]));
-        keys.right.push_back(std::move(conjunct->children[1]));
-        VisitExprMutable(keys.right.back().get(), [&](Expr* node) {
-          if (node->kind == ExprKind::kColumnRef) {
-            node->column_index -= static_cast<int>(left_width);
-          }
-        });
-        continue;
-      }
-      if (sa == 1 && sb == 0) {
-        keys.left.push_back(std::move(conjunct->children[1]));
-        keys.right.push_back(std::move(conjunct->children[0]));
-        VisitExprMutable(keys.right.back().get(), [&](Expr* node) {
-          if (node->kind == ExprKind::kColumnRef) {
-            node->column_index -= static_cast<int>(left_width);
-          }
-        });
-        continue;
-      }
-    }
-    keys.residual.push_back(std::move(conjunct));
-  }
-  return keys;
+uint64_t NanosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
 }
 
 }  // namespace
 
-StatusOr<RecordBatch> Executor::Execute(const LogicalPlan& plan) {
-  switch (plan.kind) {
-    case PlanKind::kScan:
-    case PlanKind::kFilter:
-    case PlanKind::kProject:
-      return ExecutePipeline(plan);
-    case PlanKind::kJoin:
-      return ExecuteJoin(plan);
-    case PlanKind::kAggregate:
-      return ExecuteAggregate(plan);
-    case PlanKind::kSort:
-      return ExecuteSort(plan);
-    case PlanKind::kDistinct:
-      return ExecuteDistinct(plan);
-    case PlanKind::kLimit:
-      return ExecuteLimit(plan);
-  }
-  return Status::Internal("unknown plan kind");
-}
+// ---------------------------------------------------------------------------
+// Pipeline sinks
+// ---------------------------------------------------------------------------
 
-StatusOr<RecordBatch> Executor::ExecutePipeline(const LogicalPlan& plan) {
-  // Collect the Filter/Project chain down to the pipeline source.
-  std::vector<const LogicalPlan*> ops;  // top-down
-  const LogicalPlan* node = &plan;
-  while (node->kind == PlanKind::kFilter ||
-         node->kind == PlanKind::kProject) {
-    ops.push_back(node);
-    node = node->children[0].get();
+/// Receives the morsels a pipeline produces. Each parallel task owns one
+/// local state (no locking on the hot path); Finish merges local states in
+/// task order, which keeps results deterministic for a fixed thread count.
+class Executor::PipelineSink {
+ public:
+  virtual ~PipelineSink() = default;
+  virtual void MakeLocals(size_t n) = 0;
+  virtual Status Consume(size_t local, RecordBatch morsel) = 0;
+};
+
+/// Concatenates morsels in task order into one dense batch.
+class Executor::CollectSink : public Executor::PipelineSink {
+ public:
+  explicit CollectSink(Schema schema) : schema_(std::move(schema)) {}
+
+  void MakeLocals(size_t n) override {
+    locals_.clear();
+    for (size_t i = 0; i < n; ++i) locals_.emplace_back(schema_);
   }
 
-  // Applies the op chain (bottom-up) to one morsel.
-  auto apply_ops = [&](RecordBatch batch) -> StatusOr<RecordBatch> {
-    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-      const LogicalPlan* op = *it;
-      if (op->kind == PlanKind::kFilter) {
-        FLOCK_ASSIGN_OR_RETURN(
-            std::vector<uint32_t> sel,
-            EvaluatePredicate(*op->predicate, batch, registry_));
-        if (sel.size() != batch.num_rows()) {
-          batch = batch.Select(sel);
-        }
-      } else {  // Project
-        RecordBatch out(op->output_schema);
-        if (batch.num_rows() > 0) {
-          for (size_t i = 0; i < op->exprs.size(); ++i) {
-            FLOCK_ASSIGN_OR_RETURN(
-                ColumnVectorPtr col,
-                EvaluateExpr(*op->exprs[i], batch, registry_));
-            // Column types may legitimately widen (e.g. int literal in a
-            // double column); normalize to the declared schema type.
-            if (col->type() != op->output_schema.column(i).type) {
-              auto cast = std::make_shared<ColumnVector>(
-                  op->output_schema.column(i).type);
-              cast->Reserve(col->size());
-              for (size_t r = 0; r < col->size(); ++r) {
-                FLOCK_RETURN_NOT_OK(cast->AppendValue(col->GetValue(r)));
-              }
-              col = std::move(cast);
-            }
-            out.SetColumn(i, std::move(col));
-          }
-        }
-        batch = std::move(out);
-      }
-    }
-    return batch;
-  };
+  Status Consume(size_t local, RecordBatch morsel) override {
+    locals_[local].Append(morsel);
+    return Status::OK();
+  }
 
-  if (node->kind != PlanKind::kScan) {
-    // Pipeline over a blocking source: materialize it, then stream morsels.
-    FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*node));
-    RecordBatch result(plan.output_schema);
-    size_t n = input.num_rows();
-    if (n == 0) {
-      FLOCK_ASSIGN_OR_RETURN(RecordBatch empty, apply_ops(std::move(input)));
-      return empty;
-    }
-    for (size_t begin = 0; begin < n; begin += options_.morsel_size) {
-      size_t end = std::min(n, begin + options_.morsel_size);
-      std::vector<uint32_t> sel(end - begin);
-      for (size_t i = begin; i < end; ++i) {
-        sel[i - begin] = static_cast<uint32_t>(i);
-      }
-      FLOCK_ASSIGN_OR_RETURN(RecordBatch piece, apply_ops(input.Select(sel)));
-      result.Append(piece);
-    }
+  StatusOr<RecordBatch> Finish() {
+    RecordBatch result(schema_);
+    for (const auto& local : locals_) result.Append(local);
     return result;
   }
 
-  const storage::Table& table = *node->table;
-  const std::vector<size_t>& projection = node->projection;
-  auto scan_morsel = [&](size_t begin, size_t end) -> RecordBatch {
-    RecordBatch batch = table.ScanRange(begin, end);
-    if (!projection.empty()) batch = batch.Project(projection);
-    return batch;
-  };
+ private:
+  Schema schema_;
+  std::vector<RecordBatch> locals_;
+};
 
-  size_t total = table.num_rows();
-  size_t threads = std::max<size_t>(1, options_.num_threads);
-  if (pool_ == nullptr) threads = 1;
+/// Thread-local hash aggregation: every task folds its morsels into a
+/// private group table; Finish merges the partial states (count/sum/min/
+/// max/distinct-set union) in task order and emits the final rows.
+class Executor::AggregateSink : public Executor::PipelineSink {
+ public:
+  AggregateSink(HashAggregateOp* op, const ExecContext& ctx)
+      : op_(op), ctx_(ctx) {}
 
-  if (threads == 1 || total < options_.morsel_size * 2) {
-    RecordBatch result(plan.output_schema);
-    for (size_t begin = 0; begin < total || begin == 0;
-         begin += options_.morsel_size) {
-      size_t end = std::min(total, begin + options_.morsel_size);
-      FLOCK_ASSIGN_OR_RETURN(RecordBatch piece,
-                             apply_ops(scan_morsel(begin, end)));
-      result.Append(piece);
-      if (end >= total) break;
+  Status Init() {
+    for (const auto& agg : op_->aggregates) {
+      if (agg->distinct && agg->function_name != "COUNT") {
+        return Status::NotSupported(
+            "DISTINCT is only supported for COUNT aggregates");
+      }
+      AggSpec spec;
+      spec.fn = agg->function_name;
+      spec.distinct = agg->distinct;
+      if (agg->children.empty() ||
+          agg->children[0]->kind == ExprKind::kStar) {
+        spec.star = true;
+      } else {
+        spec.arg = agg->children[0].get();
+      }
+      specs_.push_back(spec);
     }
-    return result;
+    return Status::OK();
   }
 
-  // Morsel-driven parallel scan: partition the row range, one task per
-  // chunk, deterministic merge in chunk order.
-  size_t num_tasks = threads * 4;
-  size_t chunk = (total + num_tasks - 1) / num_tasks;
-  chunk = std::max(chunk, options_.morsel_size);
-  num_tasks = (total + chunk - 1) / chunk;
+  void MakeLocals(size_t n) override { locals_.resize(n); }
 
-  std::vector<RecordBatch> partials(num_tasks);
-  std::vector<Status> statuses(num_tasks, Status::OK());
-  pool_->ParallelFor(num_tasks, [&](size_t t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(total, begin + chunk);
-    RecordBatch local(plan.output_schema);
-    for (size_t m = begin; m < end; m += options_.morsel_size) {
-      size_t mend = std::min(end, m + options_.morsel_size);
-      auto piece = apply_ops(scan_morsel(m, mend));
-      if (!piece.ok()) {
-        statuses[t] = piece.status();
-        return;
-      }
-      local.Append(*piece);
-    }
-    partials[t] = std::move(local);
-  });
-  for (const Status& st : statuses) {
-    if (!st.ok()) return st;
-  }
-  RecordBatch result(plan.output_schema);
-  for (auto& partial : partials) result.Append(partial);
-  return result;
-}
+  Status Consume(size_t local, RecordBatch morsel) override {
+    const size_t n = morsel.num_rows();
+    const auto start = Clock::now();
+    LocalState& state = locals_[local];
 
-StatusOr<RecordBatch> Executor::ExecuteJoin(const LogicalPlan& plan) {
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch left, Execute(*plan.children[0]));
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch right, Execute(*plan.children[1]));
-  size_t left_width = left.num_columns();
-
-  JoinKeys keys = ExtractJoinKeys(plan.join_condition.get(), left_width);
-
-  // Build the joined batch from matching (l, r) index pairs.
-  auto emit = [&](const std::vector<uint32_t>& lsel,
-                  const std::vector<int64_t>& rsel) -> RecordBatch {
-    RecordBatch out(plan.output_schema);
-    for (size_t c = 0; c < left_width; ++c) {
-      out.mutable_column(c)->AppendSelected(*left.column(c), lsel);
-    }
-    for (size_t c = 0; c < right.num_columns(); ++c) {
-      ColumnVector* dst = out.mutable_column(left_width + c);
-      const ColumnVector& src = *right.column(c);
-      for (int64_t r : rsel) {
-        if (r < 0) {
-          dst->AppendNull();
-        } else {
-          dst->AppendRange(src, static_cast<size_t>(r),
-                           static_cast<size_t>(r) + 1);
-        }
-      }
-    }
-    return out;
-  };
-
-  std::vector<uint32_t> lsel;
-  std::vector<int64_t> rsel;
-
-  if (!keys.left.empty()) {
-    // Hash join: build on right.
-    std::vector<ColumnVectorPtr> right_keys;
-    for (const auto& e : keys.right) {
+    // Vectorized: evaluate group keys and aggregate arguments per morsel.
+    std::vector<ColumnVectorPtr> key_cols;
+    key_cols.reserve(op_->group_by.size());
+    for (const auto& g : op_->group_by) {
       FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                             EvaluateExpr(*e, right, registry_));
-      right_keys.push_back(std::move(col));
+                             EvaluateExpr(*g, morsel, ctx_.registry));
+      key_cols.push_back(std::move(col));
     }
-    std::unordered_map<std::string, std::vector<uint32_t>> ht;
-    ht.reserve(right.num_rows());
+    std::vector<ColumnVectorPtr> arg_cols(specs_.size());
+    for (size_t a = 0; a < specs_.size(); ++a) {
+      if (specs_[a].star) continue;
+      FLOCK_ASSIGN_OR_RETURN(
+          arg_cols[a], EvaluateExpr(*specs_[a].arg, morsel, ctx_.registry));
+    }
+
     std::string key;
-    for (size_t r = 0; r < right.num_rows(); ++r) {
-      key.clear();
-      bool any_null = false;
-      for (const auto& col : right_keys) {
-        if (col->IsNull(r)) any_null = true;
-      }
-      if (any_null) continue;  // nulls never join
-      AppendRowKey(right_keys, r, &key);
-      ht[key].push_back(static_cast<uint32_t>(r));
-    }
-    std::vector<ColumnVectorPtr> left_keys;
-    for (const auto& e : keys.left) {
-      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                             EvaluateExpr(*e, left, registry_));
-      left_keys.push_back(std::move(col));
-    }
-    for (size_t l = 0; l < left.num_rows(); ++l) {
-      bool any_null = false;
-      for (const auto& col : left_keys) {
-        if (col->IsNull(l)) any_null = true;
-      }
-      bool matched = false;
-      if (!any_null) {
+    for (size_t r = 0; r < n; ++r) {
+      Group* g;
+      if (op_->group_by.empty()) {
+        if (state.groups.empty()) state.groups.emplace_back(specs_.size());
+        g = &state.groups[0];
+      } else {
         key.clear();
-        AppendRowKey(left_keys, l, &key);
-        auto it = ht.find(key);
-        if (it != ht.end()) {
-          for (uint32_t r : it->second) {
-            lsel.push_back(static_cast<uint32_t>(l));
-            rsel.push_back(r);
-            matched = true;
+        AppendRowKey(key_cols, r, &key);
+        auto [it, inserted] =
+            state.index.try_emplace(key, state.groups.size());
+        if (inserted) {
+          Group fresh(specs_.size());
+          fresh.key = key;
+          for (const auto& col : key_cols) {
+            fresh.keys.push_back(col->GetValue(r));
           }
+          state.groups.push_back(std::move(fresh));
+        }
+        g = &state.groups[it->second];
+      }
+      for (size_t a = 0; a < specs_.size(); ++a) {
+        const AggSpec& spec = specs_[a];
+        AggState& s = g->states[a];
+        if (spec.star) {
+          ++s.count;
+          continue;
+        }
+        const ColumnVector& arg = *arg_cols[a];
+        if (arg.IsNull(r)) continue;
+        if (spec.distinct) {
+          std::string dkey;
+          std::vector<ColumnVectorPtr> one = {arg_cols[a]};
+          AppendRowKey(one, r, &dkey);
+          s.distinct_keys.insert(std::move(dkey));
+          continue;
+        }
+        ++s.count;
+        s.sum += arg.AsDouble(r);
+        Value v = arg.GetValue(r);
+        if (!s.has_value) {
+          s.min = v;
+          s.max = v;
+          s.has_value = true;
+        } else {
+          if (v.Compare(s.min) < 0) s.min = v;
+          if (v.Compare(s.max) > 0) s.max = std::move(v);
         }
       }
-      if (!matched && plan.join_type == JoinType::kLeft) {
-        lsel.push_back(static_cast<uint32_t>(l));
-        rsel.push_back(-1);
-      }
     }
-  } else {
-    // Nested-loop (cross join or non-equi condition).
-    for (size_t l = 0; l < left.num_rows(); ++l) {
-      bool matched = false;
-      for (size_t r = 0; r < right.num_rows(); ++r) {
-        lsel.push_back(static_cast<uint32_t>(l));
-        rsel.push_back(static_cast<int64_t>(r));
-        matched = true;
-      }
-      if (!matched && plan.join_type == JoinType::kLeft) {
-        lsel.push_back(static_cast<uint32_t>(l));
-        rsel.push_back(-1);
-      }
-    }
+    op_->metrics.Record(n, 0, NanosSince(start));
+    return Status::OK();
   }
 
-  RecordBatch joined = emit(lsel, rsel);
-
-  // Residual predicate (plus full condition for nested-loop joins).
-  std::vector<ExprPtr> residuals;
-  if (!keys.left.empty()) {
-    for (auto& e : keys.residual) residuals.push_back(std::move(e));
-  } else if (plan.join_condition != nullptr) {
-    residuals.push_back(plan.join_condition->Clone());
-  }
-  if (!residuals.empty()) {
-    if (plan.join_type == JoinType::kLeft) {
-      // For left joins, the residual only filters matched rows.
-      ExprPtr residual = CombineConjuncts(std::move(residuals));
-      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
-                             EvaluateExpr(*residual, joined, registry_));
-      std::vector<uint32_t> sel;
-      for (size_t i = 0; i < joined.num_rows(); ++i) {
-        bool is_padded = rsel[i] < 0;
-        if (is_padded || (!mask->IsNull(i) && mask->AsDouble(i) != 0.0)) {
-          sel.push_back(static_cast<uint32_t>(i));
+  StatusOr<RecordBatch> Finish() {
+    const auto start = Clock::now();
+    // Merge thread-local tables in task order: group output order is then
+    // first-seen order across tasks, deterministic for a fixed task count.
+    std::unordered_map<std::string, size_t> index;
+    std::vector<Group> groups;
+    for (auto& local : locals_) {
+      for (size_t li = 0; li < local.groups.size(); ++li) {
+        Group& src = local.groups[li];
+        size_t gi;
+        if (op_->group_by.empty()) {
+          if (groups.empty()) groups.emplace_back(specs_.size());
+          gi = 0;
+        } else {
+          auto [it, inserted] = index.try_emplace(src.key, groups.size());
+          if (inserted) {
+            Group fresh(specs_.size());
+            fresh.key = src.key;
+            fresh.keys = src.keys;
+            groups.push_back(std::move(fresh));
+          }
+          gi = it->second;
+        }
+        Group& dst = groups[gi];
+        for (size_t a = 0; a < specs_.size(); ++a) {
+          AggState& from = src.states[a];
+          AggState& to = dst.states[a];
+          to.count += from.count;
+          to.sum += from.sum;
+          if (from.has_value) {
+            if (!to.has_value) {
+              to.min = from.min;
+              to.max = from.max;
+              to.has_value = true;
+            } else {
+              if (from.min.Compare(to.min) < 0) to.min = from.min;
+              if (from.max.Compare(to.max) > 0) to.max = from.max;
+            }
+          }
+          to.distinct_keys.merge(from.distinct_keys);
         }
       }
-      joined = joined.Select(sel);
-    } else {
-      ExprPtr residual = CombineConjuncts(std::move(residuals));
-      FLOCK_ASSIGN_OR_RETURN(
-          std::vector<uint32_t> sel,
-          EvaluatePredicate(*residual, joined, registry_));
-      joined = joined.Select(sel);
     }
-  }
-  return joined;
-}
+    if (op_->group_by.empty() && groups.empty()) {
+      // Global aggregate: exactly one group, even over zero rows.
+      groups.emplace_back(specs_.size());
+    }
 
-StatusOr<RecordBatch> Executor::ExecuteAggregate(const LogicalPlan& plan) {
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
-  const size_t n = input.num_rows();
-
-  // Evaluate group keys and aggregate arguments once, vectorized.
-  std::vector<ColumnVectorPtr> key_cols;
-  for (const auto& g : plan.group_by) {
-    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                           EvaluateExpr(*g, input, registry_));
-    key_cols.push_back(std::move(col));
+    RecordBatch out(op_->output_schema());
+    for (const Group& g : groups) {
+      std::vector<Value> row;
+      row.reserve(op_->output_schema().num_columns());
+      for (const Value& k : g.keys) row.push_back(k);
+      for (size_t a = 0; a < specs_.size(); ++a) {
+        const AggState& s = g.states[a];
+        const std::string& fn = specs_[a].fn;
+        if (fn == "COUNT") {
+          row.push_back(Value::Int(
+              specs_[a].distinct
+                  ? static_cast<int64_t>(s.distinct_keys.size())
+                  : s.count));
+        } else if (fn == "SUM") {
+          row.push_back(s.count > 0 ? Value::Double(s.sum)
+                                    : Value::Null(DataType::kDouble));
+        } else if (fn == "AVG") {
+          row.push_back(s.count > 0
+                            ? Value::Double(s.sum /
+                                            static_cast<double>(s.count))
+                            : Value::Null(DataType::kDouble));
+        } else if (fn == "MIN") {
+          row.push_back(s.has_value ? s.min : Value::Null());
+        } else if (fn == "MAX") {
+          row.push_back(s.has_value ? s.max : Value::Null());
+        } else {
+          return Status::Internal("unknown aggregate: " + fn);
+        }
+      }
+      FLOCK_RETURN_NOT_OK(out.AppendRow(row));
+    }
+    op_->metrics.Record(0, out.num_rows(), NanosSince(start));
+    return out;
   }
+
+ private:
   struct AggSpec {
-    std::string fn;       // COUNT/SUM/AVG/MIN/MAX
-    bool star = false;    // COUNT(*)
+    std::string fn;        // COUNT/SUM/AVG/MIN/MAX
+    bool star = false;     // COUNT(*)
     bool distinct = false;
-    ColumnVectorPtr arg;  // null when star
+    const Expr* arg = nullptr;  // null when star
   };
-  std::vector<AggSpec> specs;
-  for (const auto& agg : plan.aggregates) {
-    if (agg->distinct && agg->function_name != "COUNT") {
-      return Status::NotSupported(
-          "DISTINCT is only supported for COUNT aggregates");
-    }
-    AggSpec spec;
-    spec.distinct = agg->distinct;
-    spec.fn = agg->function_name;
-    if (agg->children.empty() ||
-        agg->children[0]->kind == ExprKind::kStar) {
-      spec.star = true;
-    } else {
-      FLOCK_ASSIGN_OR_RETURN(
-          spec.arg, EvaluateExpr(*agg->children[0], input, registry_));
-    }
-    specs.push_back(std::move(spec));
-  }
-
   struct AggState {
     int64_t count = 0;
     double sum = 0.0;
@@ -440,103 +272,221 @@ StatusOr<RecordBatch> Executor::ExecuteAggregate(const LogicalPlan& plan) {
     std::set<std::string> distinct_keys;  // COUNT(DISTINCT x) only
   };
   struct Group {
-    std::vector<Value> keys;
+    explicit Group(size_t num_specs) { states.resize(num_specs); }
+    std::string key;            // serialized group key bytes
+    std::vector<Value> keys;    // boxed key values for output
     std::vector<AggState> states;
   };
-
-  std::unordered_map<std::string, size_t> group_index;
-  std::vector<Group> groups;
-
-  auto get_group = [&](size_t row) -> Group& {
-    std::string key;
-    AppendRowKey(key_cols, row, &key);
-    auto [it, inserted] = group_index.try_emplace(key, groups.size());
-    if (inserted) {
-      Group g;
-      for (const auto& col : key_cols) g.keys.push_back(col->GetValue(row));
-      g.states.resize(specs.size());
-      groups.push_back(std::move(g));
-    }
-    return groups[it->second];
+  struct LocalState {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<Group> groups;
   };
 
-  if (plan.group_by.empty()) {
-    // Global aggregate: exactly one group, even over zero rows.
-    Group g;
-    g.states.resize(specs.size());
-    groups.push_back(std::move(g));
-  }
+  HashAggregateOp* op_;
+  ExecContext ctx_;
+  std::vector<AggSpec> specs_;
+  std::vector<LocalState> locals_;
+};
 
-  for (size_t r = 0; r < n; ++r) {
-    Group& g = plan.group_by.empty() ? groups[0] : get_group(r);
-    for (size_t a = 0; a < specs.size(); ++a) {
-      const AggSpec& spec = specs[a];
-      AggState& state = g.states[a];
-      if (spec.star) {
-        ++state.count;
-        continue;
-      }
-      if (spec.arg->IsNull(r)) continue;
-      if (spec.distinct) {
-        std::string key;
-        std::vector<ColumnVectorPtr> one = {spec.arg};
-        AppendRowKey(one, r, &key);
-        state.distinct_keys.insert(std::move(key));
-        continue;
-      }
-      ++state.count;
-      state.sum += spec.arg->AsDouble(r);
-      Value v = spec.arg->GetValue(r);
-      if (!state.has_value) {
-        state.min = v;
-        state.max = v;
-        state.has_value = true;
-      } else {
-        if (v.Compare(state.min) < 0) state.min = v;
-        if (v.Compare(state.max) > 0) state.max = std::move(v);
-      }
-    }
-  }
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
 
-  RecordBatch out(plan.output_schema);
-  for (const Group& g : groups) {
-    std::vector<Value> row;
-    row.reserve(plan.output_schema.num_columns());
-    for (const Value& key : g.keys) row.push_back(key);
-    for (size_t a = 0; a < specs.size(); ++a) {
-      const AggState& state = g.states[a];
-      const std::string& fn = specs[a].fn;
-      if (fn == "COUNT") {
-        row.push_back(Value::Int(
-            specs[a].distinct
-                ? static_cast<int64_t>(state.distinct_keys.size())
-                : state.count));
-      } else if (fn == "SUM") {
-        row.push_back(state.count > 0 ? Value::Double(state.sum)
-                                      : Value::Null(DataType::kDouble));
-      } else if (fn == "AVG") {
-        row.push_back(state.count > 0
-                          ? Value::Double(state.sum /
-                                          static_cast<double>(state.count))
-                          : Value::Null(DataType::kDouble));
-      } else if (fn == "MIN") {
-        row.push_back(state.has_value ? state.min : Value::Null());
-      } else if (fn == "MAX") {
-        row.push_back(state.has_value ? state.max : Value::Null());
-      } else {
-        return Status::Internal("unknown aggregate: " + fn);
-      }
-    }
-    FLOCK_RETURN_NOT_OK(out.AppendRow(row));
-  }
-  return out;
+ExecContext Executor::MakeContext() const {
+  ExecContext ctx;
+  ctx.registry = registry_;
+  ctx.pool = pool_;
+  ctx.num_threads = pool_ ? std::max<size_t>(1, options_.num_threads) : 1;
+  ctx.morsel_size = options_.morsel_size;
+  return ctx;
 }
 
-StatusOr<RecordBatch> Executor::ExecuteSort(const LogicalPlan& plan) {
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+StatusOr<RecordBatch> Executor::Execute(const LogicalPlan& plan) {
+  PhysicalPlanner planner(registry_);
+  FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root, planner.Lower(plan));
+  return Execute(root.get());
+}
+
+StatusOr<RecordBatch> Executor::Execute(PhysicalOperator* root) {
+  return Run(root);
+}
+
+StatusOr<RecordBatch> Executor::Run(PhysicalOperator* op) {
+  switch (op->kind()) {
+    case PhysicalOperator::Kind::kTableScan:
+    case PhysicalOperator::Kind::kFilter:
+    case PhysicalOperator::Kind::kProject:
+    case PhysicalOperator::Kind::kPredictScore:
+    case PhysicalOperator::Kind::kHashJoinProbe:
+    case PhysicalOperator::Kind::kNestedLoopJoin: {
+      CollectSink sink(op->output_schema());
+      FLOCK_RETURN_NOT_OK(RunPipeline(op, &sink));
+      return sink.Finish();
+    }
+    case PhysicalOperator::Kind::kHashAggregate: {
+      auto* agg = static_cast<HashAggregateOp*>(op);
+      AggregateSink sink(agg, MakeContext());
+      FLOCK_RETURN_NOT_OK(sink.Init());
+      FLOCK_RETURN_NOT_OK(RunPipeline(agg->children[0].get(), &sink));
+      return sink.Finish();
+    }
+    case PhysicalOperator::Kind::kSort:
+      return RunSort(static_cast<SortOp*>(op));
+    case PhysicalOperator::Kind::kDistinct:
+      return RunDistinct(static_cast<DistinctOp*>(op));
+    case PhysicalOperator::Kind::kLimit:
+      return RunLimit(static_cast<LimitOp*>(op));
+    case PhysicalOperator::Kind::kHashJoinBuild:
+      return Status::Internal("HashJoinBuild cannot be executed standalone");
+  }
+  return Status::Internal("unknown physical operator kind");
+}
+
+Status Executor::PrepareHashJoin(HashJoinProbeOp* probe) {
+  HashJoinBuildOp* build = probe->build();
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch rows, Run(build->children[0].get()));
+  const auto start = Clock::now();
+
+  auto table = std::make_shared<JoinHashTable>();
+  std::vector<ColumnVectorPtr> key_cols;
+  key_cols.reserve(build->keys.size());
+  for (const auto& e : build->keys) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                           EvaluateExpr(*e, rows, registry_));
+    key_cols.push_back(std::move(col));
+  }
+  table->index.reserve(rows.num_rows());
+  std::string key;
+  size_t indexed = 0;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    bool any_null = false;
+    for (const auto& col : key_cols) {
+      if (col->IsNull(r)) any_null = true;
+    }
+    if (any_null) continue;  // nulls never join
+    key.clear();
+    AppendRowKey(key_cols, r, &key);
+    table->index[key].push_back(static_cast<uint32_t>(r));
+    ++indexed;
+  }
+  build->metrics.Record(rows.num_rows(), indexed, NanosSince(start));
+  table->rows = std::move(rows);
+  build->table = std::move(table);
+  return Status::OK();
+}
+
+Status Executor::PrepareNestedLoop(NestedLoopJoinOp* join) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch rows, Run(join->children[1].get()));
+  join->right_rows = std::make_shared<RecordBatch>(std::move(rows));
+  return Status::OK();
+}
+
+Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
+  // Walk down the streaming chain to the pipeline source.
+  std::vector<PhysicalOperator*> chain;  // top-down
+  PhysicalOperator* node = top;
+  while (node->IsStreaming()) {
+    chain.push_back(node);
+    node = node->children[0].get();
+  }
+
+  // Materialize join build sides up front: ParallelFor must never nest, so
+  // all blocking child work happens before this pipeline's workers start.
+  for (PhysicalOperator* op : chain) {
+    if (op->kind() == PhysicalOperator::Kind::kHashJoinProbe) {
+      FLOCK_RETURN_NOT_OK(
+          PrepareHashJoin(static_cast<HashJoinProbeOp*>(op)));
+    } else if (op->kind() == PhysicalOperator::Kind::kNestedLoopJoin) {
+      FLOCK_RETURN_NOT_OK(
+          PrepareNestedLoop(static_cast<NestedLoopJoinOp*>(op)));
+    }
+  }
+
+  const ExecContext ctx = MakeContext();
+
+  // The source: either a parallel table scan or a materialized child.
+  TableScanOp* scan = nullptr;
+  RecordBatch mat;
+  size_t total = 0;
+  if (node->kind() == PhysicalOperator::Kind::kTableScan) {
+    scan = static_cast<TableScanOp*>(node);
+    total = scan->table->num_rows();
+  } else {
+    FLOCK_ASSIGN_OR_RETURN(mat, Run(node));
+    total = mat.num_rows();
+  }
+
+  auto make_morsel = [&](size_t begin, size_t end) -> RecordBatch {
+    if (scan != nullptr) {
+      const auto start = Clock::now();
+      RecordBatch batch = scan->ScanMorsel(begin, end);
+      scan->metrics.Record(end - begin, batch.num_rows(), NanosSince(start));
+      return batch;
+    }
+    std::vector<uint32_t> sel(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      sel[i - begin] = static_cast<uint32_t>(i);
+    }
+    return mat.SelectView(std::move(sel));
+  };
+
+  // Pushes one source morsel through the chain into the sink.
+  auto drive = [&](size_t local, size_t begin, size_t end) -> Status {
+    RecordBatch m = make_morsel(begin, end);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      PhysicalOperator* op = *it;
+      if (op->NeedsDenseInput() && m.has_selection()) m = m.Materialize();
+      const uint64_t in_rows = m.num_rows();
+      const auto start = Clock::now();
+      FLOCK_ASSIGN_OR_RETURN(m, op->ProcessMorsel(ctx, std::move(m)));
+      op->metrics.Record(in_rows, m.num_rows(), NanosSince(start));
+    }
+    return sink->Consume(local, std::move(m));
+  };
+
+  size_t threads = pool_ ? std::max<size_t>(1, options_.num_threads) : 1;
+  if (threads == 1 || total < options_.morsel_size * 2) {
+    sink->MakeLocals(1);
+    for (size_t begin = 0; begin < total; begin += options_.morsel_size) {
+      size_t end = std::min(total, begin + options_.morsel_size);
+      FLOCK_RETURN_NOT_OK(drive(0, begin, end));
+    }
+    return Status::OK();
+  }
+
+  // Morsel-driven parallelism: partition the source range, one task per
+  // chunk; sinks merge per-task state in chunk order (deterministic).
+  size_t num_tasks = threads * 4;
+  size_t chunk = (total + num_tasks - 1) / num_tasks;
+  chunk = std::max(chunk, options_.morsel_size);
+  num_tasks = (total + chunk - 1) / chunk;
+
+  sink->MakeLocals(num_tasks);
+  std::vector<Status> statuses(num_tasks, Status::OK());
+  pool_->ParallelFor(num_tasks, [&](size_t t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(total, begin + chunk);
+    for (size_t m = begin; m < end; m += options_.morsel_size) {
+      size_t mend = std::min(end, m + options_.morsel_size);
+      Status st = drive(t, m, mend);
+      if (!st.ok()) {
+        statuses[t] = std::move(st);
+        return;
+      }
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+StatusOr<RecordBatch> Executor::RunSort(SortOp* op) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Run(op->children[0].get()));
+  const auto start = Clock::now();
   std::vector<ColumnVectorPtr> key_cols;
   std::vector<bool> ascending;
-  for (const auto& k : plan.sort_keys) {
+  for (const auto& k : op->keys) {
     FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
                            EvaluateExpr(*k.expr, input, registry_));
     key_cols.push_back(std::move(col));
@@ -546,21 +496,23 @@ StatusOr<RecordBatch> Executor::ExecuteSort(const LogicalPlan& plan) {
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<uint32_t>(i);
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [&](uint32_t a, uint32_t b) {
-                     for (size_t k = 0; k < key_cols.size(); ++k) {
-                       Value va = key_cols[k]->GetValue(a);
-                       Value vb = key_cols[k]->GetValue(b);
-                       int cmp = va.Compare(vb);
-                       if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
-                     }
-                     return false;
-                   });
-  return input.Select(order);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      Value va = key_cols[k]->GetValue(a);
+      Value vb = key_cols[k]->GetValue(b);
+      int cmp = va.Compare(vb);
+      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  RecordBatch out = input.Select(order);
+  op->metrics.Record(input.num_rows(), out.num_rows(), NanosSince(start));
+  return out;
 }
 
-StatusOr<RecordBatch> Executor::ExecuteDistinct(const LogicalPlan& plan) {
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
+StatusOr<RecordBatch> Executor::RunDistinct(DistinctOp* op) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Run(op->children[0].get()));
+  const auto start = Clock::now();
   std::vector<ColumnVectorPtr> cols;
   for (size_t c = 0; c < input.num_columns(); ++c) {
     cols.push_back(input.column(c));
@@ -575,23 +527,28 @@ StatusOr<RecordBatch> Executor::ExecuteDistinct(const LogicalPlan& plan) {
       sel.push_back(static_cast<uint32_t>(r));
     }
   }
-  return input.Select(sel);
+  RecordBatch out = input.Select(sel);
+  op->metrics.Record(input.num_rows(), out.num_rows(), NanosSince(start));
+  return out;
 }
 
-StatusOr<RecordBatch> Executor::ExecuteLimit(const LogicalPlan& plan) {
-  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Execute(*plan.children[0]));
-  size_t begin = std::min<size_t>(static_cast<size_t>(plan.offset),
+StatusOr<RecordBatch> Executor::RunLimit(LimitOp* op) {
+  FLOCK_ASSIGN_OR_RETURN(RecordBatch input, Run(op->children[0].get()));
+  const auto start = Clock::now();
+  size_t begin = std::min<size_t>(static_cast<size_t>(op->offset),
                                   input.num_rows());
   size_t end = input.num_rows();
-  if (plan.limit >= 0) {
-    end = std::min(end, begin + static_cast<size_t>(plan.limit));
+  if (op->limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(op->limit));
   }
   std::vector<uint32_t> sel;
   sel.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) {
     sel.push_back(static_cast<uint32_t>(i));
   }
-  return input.Select(sel);
+  RecordBatch out = input.Select(sel);
+  op->metrics.Record(input.num_rows(), out.num_rows(), NanosSince(start));
+  return out;
 }
 
 }  // namespace flock::sql

@@ -7,40 +7,68 @@
 #include "common/thread_pool.h"
 #include "sql/function_registry.h"
 #include "sql/logical_plan.h"
+#include "sql/physical_plan.h"
+#include "sql/physical_planner.h"
 #include "storage/record_batch.h"
 
 namespace flock::sql {
 
 struct ExecutorOptions {
-  /// Degree of intra-query parallelism for scan pipelines. 1 = serial.
+  /// Degree of intra-query parallelism. 1 = serial.
   size_t num_threads = 1;
   /// Rows per morsel flowing through a pipeline.
   size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
 };
 
-/// Interprets logical plans.
+/// Drives physical plans as morsel-driven push pipelines.
 ///
-/// Scan->Filter->Project chains run as morsel-driven parallel pipelines:
-/// the scan range is partitioned across the thread pool and every worker
-/// pulls 2,048-row morsels through its copy of the pipeline. Blocking
-/// operators (join build, aggregation, sort) materialize their inputs.
-/// This morsel parallelism is what gives in-DBMS inference its "automatic
+/// Each maximal chain of streaming operators (scan / filter / project /
+/// predict-score / join-probe) forms one pipeline: the source row range is
+/// partitioned across the thread pool and every worker pushes morsels
+/// through the chain into a pipeline sink. Joins parallelize on the probe
+/// side (all workers share the read-only hash table); aggregation runs
+/// with thread-local hash states merged deterministically at pipeline end.
+/// Remaining pipeline breakers (sort, distinct, limit) materialize. This
+/// morsel parallelism is what gives in-DBMS inference its "automatic
 /// parallelization" advantage over standalone scoring (paper Figure 4).
+///
+/// The executor no longer interprets LogicalPlan nodes: Execute(LogicalPlan)
+/// is a convenience that lowers through PhysicalPlanner first.
 class Executor {
  public:
   Executor(const FunctionRegistry* registry, ThreadPool* pool,
            ExecutorOptions options)
       : registry_(registry), pool_(pool), options_(options) {}
 
+  /// Lowers `plan` and executes it.
   StatusOr<storage::RecordBatch> Execute(const LogicalPlan& plan);
 
+  /// Executes an already-lowered plan. Operator metrics accumulate into
+  /// the tree (call root->ResetMetrics() to re-run fresh).
+  StatusOr<storage::RecordBatch> Execute(PhysicalOperator* root);
+
  private:
-  StatusOr<storage::RecordBatch> ExecutePipeline(const LogicalPlan& plan);
-  StatusOr<storage::RecordBatch> ExecuteJoin(const LogicalPlan& plan);
-  StatusOr<storage::RecordBatch> ExecuteAggregate(const LogicalPlan& plan);
-  StatusOr<storage::RecordBatch> ExecuteSort(const LogicalPlan& plan);
-  StatusOr<storage::RecordBatch> ExecuteDistinct(const LogicalPlan& plan);
-  StatusOr<storage::RecordBatch> ExecuteLimit(const LogicalPlan& plan);
+  class PipelineSink;
+  class CollectSink;
+  class AggregateSink;
+
+  /// Recursively executes `op`, materializing its full result.
+  StatusOr<storage::RecordBatch> Run(PhysicalOperator* op);
+
+  /// Runs the streaming chain rooted at `top` (ending at a TableScan or a
+  /// materialized blocking child), pushing every morsel into `sink`.
+  Status RunPipeline(PhysicalOperator* top, PipelineSink* sink);
+
+  /// Materializes the build side of each join in a pipeline chain before
+  /// the pipeline itself starts (so ParallelFor never nests).
+  Status PrepareHashJoin(HashJoinProbeOp* probe);
+  Status PrepareNestedLoop(NestedLoopJoinOp* join);
+
+  StatusOr<storage::RecordBatch> RunSort(SortOp* op);
+  StatusOr<storage::RecordBatch> RunDistinct(DistinctOp* op);
+  StatusOr<storage::RecordBatch> RunLimit(LimitOp* op);
+
+  ExecContext MakeContext() const;
 
   const FunctionRegistry* registry_;
   ThreadPool* pool_;  // may be null when num_threads == 1

@@ -27,6 +27,11 @@ bool FunctionRegistry::Contains(const std::string& name) const {
   return functions_.count(ToUpper(name)) > 0;
 }
 
+bool FunctionRegistry::IsScoringFunction(const std::string& name) const {
+  auto it = functions_.find(ToUpper(name));
+  return it != functions_.end() && it->second.scoring;
+}
+
 std::vector<std::string> FunctionRegistry::ListFunctions() const {
   std::vector<std::string> out;
   out.reserve(functions_.size());

@@ -22,6 +22,11 @@ struct ScalarFunction {
   storage::DataType return_type = storage::DataType::kDouble;
   size_t min_args = 0;
   size_t max_args = 64;
+  /// Model-scoring functions (the PREDICT family). The physical planner
+  /// hoists calls to scoring functions out of scalar expressions into a
+  /// dedicated PredictScore operator so they execute once per morsel,
+  /// show up in EXPLAIN, and report their own OperatorMetrics.
+  bool scoring = false;
 };
 
 /// Name -> scalar function table. The SQL engine pre-populates built-ins
@@ -39,6 +44,9 @@ class FunctionRegistry {
   StatusOr<const ScalarFunction*> Lookup(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
+
+  /// True when `name` is registered with `scoring = true`.
+  bool IsScoringFunction(const std::string& name) const;
 
   std::vector<std::string> ListFunctions() const;
 

@@ -20,7 +20,7 @@ const std::unordered_set<std::string>& KeywordSet() {
       "INTO",   "VALUES", "UPDATE",   "SET",    "DELETE",  "CREATE",
       "TABLE",  "DROP",   "MODEL",    "DISTINCT", "EXPLAIN", "WITH",
       "UNION",  "ALL",    "EXISTS",   "PRIMARY", "KEY",    "USING",
-      "RUNTIME", "PREDICT"};
+      "RUNTIME", "PREDICT", "ANALYZE"};
   return *kKeywords;
 }
 

@@ -98,9 +98,15 @@ Status Parser::ExpectKeyword(const std::string& kw) {
 StatusOr<StatementPtr> Parser::ParseStatement() {
   if (CheckKeyword("EXPLAIN")) {
     Advance();
+    bool analyze = false;
+    if (CheckKeyword("ANALYZE")) {
+      Advance();
+      analyze = true;
+    }
     FLOCK_ASSIGN_OR_RETURN(StatementPtr inner, ParseStatement());
     auto stmt = std::make_unique<ExplainStatement>();
     stmt->inner = std::move(inner);
+    stmt->analyze = analyze;
     return StatementPtr(std::move(stmt));
   }
   if (CheckKeyword("SELECT")) {

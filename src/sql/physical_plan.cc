@@ -1,0 +1,521 @@
+#include "sql/physical_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sql/evaluator.h"
+#include "sql/optimizer.h"
+
+namespace flock::sql {
+
+using storage::ColumnVector;
+using storage::ColumnVectorPtr;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+
+void AppendRowKey(const std::vector<ColumnVectorPtr>& cols, size_t r,
+                  std::string* key) {
+  for (const auto& col : cols) {
+    if (col->IsNull(r)) {
+      key->push_back('\0');
+      continue;
+    }
+    key->push_back('\1');
+    switch (col->type()) {
+      case DataType::kBool:
+        key->push_back(col->bool_at(r) ? '1' : '0');
+        break;
+      case DataType::kInt64: {
+        int64_t v = col->int_at(r);
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        double v = col->double_at(r);
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = col->string_at(r);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        key->append(s);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string JoinExprs(const std::vector<ExprPtr>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+/// Widens an evaluated column to the declared schema type when needed
+/// (e.g. an int literal feeding a double column).
+StatusOr<ColumnVectorPtr> NormalizeType(ColumnVectorPtr col,
+                                        DataType want) {
+  if (col->type() == want) return col;
+  auto cast = std::make_shared<ColumnVector>(want);
+  cast->Reserve(col->size());
+  for (size_t r = 0; r < col->size(); ++r) {
+    FLOCK_RETURN_NOT_OK(cast->AppendValue(col->GetValue(r)));
+  }
+  return ColumnVectorPtr(std::move(cast));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PhysicalOperator
+// ---------------------------------------------------------------------------
+
+StatusOr<RecordBatch> PhysicalOperator::ProcessMorsel(const ExecContext&,
+                                                      RecordBatch) {
+  return Status::Internal("operator '" + label() + "' is not streaming");
+}
+
+std::string PhysicalOperator::ToString(int indent, bool analyze) const {
+  std::ostringstream out;
+  out << std::string(static_cast<size_t>(indent) * 2, ' ') << label()
+      << " width=" << output_schema_.num_columns();
+  if (analyze) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " [in=%llu out=%llu time=%.3fms]",
+                  static_cast<unsigned long long>(
+                      metrics.rows_in.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(
+                      metrics.rows_out.load(std::memory_order_relaxed)),
+                  metrics.millis());
+    out << buf;
+  }
+  out << "\n";
+  for (const auto& child : children) {
+    out << child->ToString(indent + 1, analyze);
+  }
+  return out.str();
+}
+
+void PhysicalOperator::CollectMetrics(std::vector<OperatorMetricsSnapshot>* out,
+                                      int depth) const {
+  OperatorMetricsSnapshot snap;
+  snap.name = label();
+  snap.depth = depth;
+  snap.rows_in = metrics.rows_in.load(std::memory_order_relaxed);
+  snap.rows_out = metrics.rows_out.load(std::memory_order_relaxed);
+  snap.wall_ms = metrics.millis();
+  out->push_back(std::move(snap));
+  for (const auto& child : children) {
+    child->CollectMetrics(out, depth + 1);
+  }
+}
+
+void PhysicalOperator::ResetMetrics() {
+  metrics.Reset();
+  for (const auto& child : children) child->ResetMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// TableScanOp
+// ---------------------------------------------------------------------------
+
+std::string TableScanOp::label() const {
+  std::string out = "TableScan(" + table_name;
+  if (!projection.empty()) {
+    out += " cols=[";
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (i > 0) out += ",";
+      out += table->schema().column(projection[i]).name;
+    }
+    out += "]";
+  }
+  out += ")";
+  return out;
+}
+
+RecordBatch TableScanOp::ScanMorsel(size_t begin, size_t end) const {
+  RecordBatch batch = table->ScanRange(begin, end);
+  if (!projection.empty()) batch = batch.Project(projection);
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp
+// ---------------------------------------------------------------------------
+
+FilterOp::FilterOp(PhysicalOperatorPtr child, ExprPtr predicate)
+    : PhysicalOperator(Kind::kFilter, child->output_schema()),
+      predicate(std::move(predicate)) {
+  children.push_back(std::move(child));
+}
+
+std::string FilterOp::label() const {
+  return "Filter(" + predicate->ToString() + ")";
+}
+
+StatusOr<RecordBatch> FilterOp::ProcessMorsel(const ExecContext& ctx,
+                                              RecordBatch input) {
+  FLOCK_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                         EvaluatePredicate(*predicate, input, ctx.registry));
+  if (sel.size() == input.num_rows()) return input;
+  // Zero-copy: record the survivors as a selection vector; the gather
+  // happens at the first operator that needs dense columns.
+  return input.SelectView(std::move(sel));
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+// ---------------------------------------------------------------------------
+
+ProjectOp::ProjectOp(PhysicalOperatorPtr child, std::vector<ExprPtr> exprs,
+                     Schema schema)
+    : PhysicalOperator(Kind::kProject, std::move(schema)),
+      exprs(std::move(exprs)) {
+  const Schema& in = child->output_schema();
+  is_passthrough_ = true;
+  for (size_t i = 0; i < this->exprs.size(); ++i) {
+    const Expr& e = *this->exprs[i];
+    if (e.kind != ExprKind::kColumnRef || e.column_index < 0 ||
+        static_cast<size_t>(e.column_index) >= in.num_columns() ||
+        in.column(static_cast<size_t>(e.column_index)).type !=
+            output_schema().column(i).type) {
+      is_passthrough_ = false;
+      break;
+    }
+    passthrough_.push_back(static_cast<size_t>(e.column_index));
+  }
+  children.push_back(std::move(child));
+}
+
+std::string ProjectOp::label() const {
+  return "Project(" + JoinExprs(exprs) + ")";
+}
+
+StatusOr<RecordBatch> ProjectOp::ProcessMorsel(const ExecContext& ctx,
+                                               RecordBatch input) {
+  if (is_passthrough_) {
+    // Pure column shuffle: share column data, keep any selection vector.
+    return input.Project(passthrough_);
+  }
+  RecordBatch out(output_schema());
+  if (input.num_rows() > 0) {
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                             EvaluateExpr(*exprs[i], input, ctx.registry));
+      FLOCK_ASSIGN_OR_RETURN(
+          col, NormalizeType(std::move(col), output_schema().column(i).type));
+      out.SetColumn(i, std::move(col));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PredictScoreOp
+// ---------------------------------------------------------------------------
+
+PredictScoreOp::PredictScoreOp(PhysicalOperatorPtr child,
+                               std::vector<ExprPtr> calls, Schema schema)
+    : PhysicalOperator(Kind::kPredictScore, std::move(schema)),
+      calls(std::move(calls)) {
+  children.push_back(std::move(child));
+}
+
+std::string PredictScoreOp::label() const {
+  return "PredictScore(" + JoinExprs(calls) + ")";
+}
+
+StatusOr<RecordBatch> PredictScoreOp::ProcessMorsel(const ExecContext& ctx,
+                                                    RecordBatch input) {
+  const size_t child_width = input.num_columns();
+  RecordBatch out(output_schema());
+  for (size_t c = 0; c < child_width; ++c) {
+    out.SetColumn(c, input.column(c));
+  }
+  for (size_t i = 0; i < calls.size(); ++i) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                           EvaluateExpr(*calls[i], input, ctx.registry));
+    FLOCK_ASSIGN_OR_RETURN(
+        col, NormalizeType(std::move(col),
+                           output_schema().column(child_width + i).type));
+    out.SetColumn(child_width + i, std::move(col));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+HashJoinBuildOp::HashJoinBuildOp(PhysicalOperatorPtr child,
+                                 std::vector<ExprPtr> keys)
+    : PhysicalOperator(Kind::kHashJoinBuild, child->output_schema()),
+      keys(std::move(keys)) {
+  children.push_back(std::move(child));
+}
+
+std::string HashJoinBuildOp::label() const {
+  return "HashJoinBuild(keys=[" + JoinExprs(keys) + "])";
+}
+
+HashJoinProbeOp::HashJoinProbeOp(PhysicalOperatorPtr probe,
+                                 PhysicalOperatorPtr build,
+                                 std::vector<ExprPtr> keys,
+                                 std::vector<ExprPtr> residual,
+                                 JoinType join_type, Schema schema)
+    : PhysicalOperator(Kind::kHashJoinProbe, std::move(schema)),
+      keys(std::move(keys)),
+      residual(std::move(residual)),
+      join_type(join_type) {
+  children.push_back(std::move(probe));
+  children.push_back(std::move(build));
+}
+
+std::string HashJoinProbeOp::label() const {
+  std::string out = join_type == JoinType::kLeft ? "HashJoinProbe(LEFT"
+                                                 : "HashJoinProbe(INNER";
+  out += ", keys=[" + JoinExprs(keys) + "]";
+  if (!residual.empty()) {
+    out += ", residual=" + JoinExprs(residual);
+  }
+  out += ")";
+  return out;
+}
+
+StatusOr<RecordBatch> HashJoinProbeOp::ProcessMorsel(const ExecContext& ctx,
+                                                     RecordBatch input) {
+  const JoinHashTable& ht = *build()->table;
+  const size_t probe_width = input.num_columns();
+
+  // Evaluate probe-side key expressions over the (dense) morsel.
+  std::vector<ColumnVectorPtr> probe_keys;
+  probe_keys.reserve(keys.size());
+  for (const auto& e : keys) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                           EvaluateExpr(*e, input, ctx.registry));
+    probe_keys.push_back(std::move(col));
+  }
+
+  // All workers probe the shared read-only hash table concurrently.
+  std::vector<uint32_t> lsel;
+  std::vector<int64_t> rsel;  // -1 = null-padded (left join, no match)
+  std::string key;
+  for (size_t l = 0; l < input.num_rows(); ++l) {
+    bool any_null = false;
+    for (const auto& col : probe_keys) {
+      if (col->IsNull(l)) any_null = true;
+    }
+    bool matched = false;
+    if (!any_null) {
+      key.clear();
+      AppendRowKey(probe_keys, l, &key);
+      auto it = ht.index.find(key);
+      if (it != ht.index.end()) {
+        for (uint32_t r : it->second) {
+          lsel.push_back(static_cast<uint32_t>(l));
+          rsel.push_back(r);
+          matched = true;
+        }
+      }
+    }
+    if (!matched && join_type == JoinType::kLeft) {
+      lsel.push_back(static_cast<uint32_t>(l));
+      rsel.push_back(-1);
+    }
+  }
+
+  RecordBatch out(output_schema());
+  for (size_t c = 0; c < probe_width; ++c) {
+    out.mutable_column(c)->AppendSelected(*input.column(c), lsel);
+  }
+  for (size_t c = 0; c < ht.rows.num_columns(); ++c) {
+    ColumnVector* dst = out.mutable_column(probe_width + c);
+    const ColumnVector& src = *ht.rows.column(c);
+    for (int64_t r : rsel) {
+      if (r < 0) {
+        dst->AppendNull();
+      } else {
+        dst->AppendRange(src, static_cast<size_t>(r),
+                         static_cast<size_t>(r) + 1);
+      }
+    }
+  }
+
+  if (residual.empty()) return out;
+
+  std::vector<ExprPtr> clauses;
+  clauses.reserve(residual.size());
+  for (const auto& e : residual) clauses.push_back(e->Clone());
+  ExprPtr combined = CombineConjuncts(std::move(clauses));
+  if (join_type == JoinType::kLeft) {
+    // The residual only filters matched rows; padded rows always survive.
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                           EvaluateExpr(*combined, out, ctx.registry));
+    std::vector<uint32_t> sel;
+    for (size_t i = 0; i < out.num_rows(); ++i) {
+      bool is_padded = rsel[i] < 0;
+      if (is_padded || (!mask->IsNull(i) && mask->AsDouble(i) != 0.0)) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return out.SelectView(std::move(sel));
+  }
+  FLOCK_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                         EvaluatePredicate(*combined, out, ctx.registry));
+  if (sel.size() == out.num_rows()) return out;
+  return out.SelectView(std::move(sel));
+}
+
+NestedLoopJoinOp::NestedLoopJoinOp(PhysicalOperatorPtr left,
+                                   PhysicalOperatorPtr right,
+                                   ExprPtr condition, JoinType join_type,
+                                   Schema schema)
+    : PhysicalOperator(Kind::kNestedLoopJoin, std::move(schema)),
+      condition(std::move(condition)),
+      join_type(join_type) {
+  children.push_back(std::move(left));
+  children.push_back(std::move(right));
+}
+
+std::string NestedLoopJoinOp::label() const {
+  std::string out = "NestedLoopJoin(";
+  switch (join_type) {
+    case JoinType::kInner:
+      out += "INNER";
+      break;
+    case JoinType::kLeft:
+      out += "LEFT";
+      break;
+    case JoinType::kCross:
+      out += "CROSS";
+      break;
+  }
+  if (condition) out += ", " + condition->ToString();
+  out += ")";
+  return out;
+}
+
+StatusOr<RecordBatch> NestedLoopJoinOp::ProcessMorsel(const ExecContext& ctx,
+                                                      RecordBatch input) {
+  const RecordBatch& right = *right_rows;
+  const size_t left_width = input.num_columns();
+  const size_t nr = right.num_rows();
+
+  std::vector<uint32_t> lsel;
+  std::vector<int64_t> rsel;
+  for (size_t l = 0; l < input.num_rows(); ++l) {
+    if (nr == 0) {
+      if (join_type == JoinType::kLeft) {
+        lsel.push_back(static_cast<uint32_t>(l));
+        rsel.push_back(-1);
+      }
+      continue;
+    }
+    for (size_t r = 0; r < nr; ++r) {
+      lsel.push_back(static_cast<uint32_t>(l));
+      rsel.push_back(static_cast<int64_t>(r));
+    }
+  }
+
+  RecordBatch out(output_schema());
+  for (size_t c = 0; c < left_width; ++c) {
+    out.mutable_column(c)->AppendSelected(*input.column(c), lsel);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    ColumnVector* dst = out.mutable_column(left_width + c);
+    const ColumnVector& src = *right.column(c);
+    for (int64_t r : rsel) {
+      if (r < 0) {
+        dst->AppendNull();
+      } else {
+        dst->AppendRange(src, static_cast<size_t>(r),
+                         static_cast<size_t>(r) + 1);
+      }
+    }
+  }
+
+  if (condition == nullptr) return out;
+
+  if (join_type == JoinType::kLeft) {
+    FLOCK_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                           EvaluateExpr(*condition, out, ctx.registry));
+    std::vector<uint32_t> sel;
+    for (size_t i = 0; i < out.num_rows(); ++i) {
+      bool is_padded = rsel[i] < 0;
+      if (is_padded || (!mask->IsNull(i) && mask->AsDouble(i) != 0.0)) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return out.SelectView(std::move(sel));
+  }
+  FLOCK_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                         EvaluatePredicate(*condition, out, ctx.registry));
+  if (sel.size() == out.num_rows()) return out;
+  return out.SelectView(std::move(sel));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------------
+
+HashAggregateOp::HashAggregateOp(PhysicalOperatorPtr child,
+                                 std::vector<ExprPtr> group_by,
+                                 std::vector<ExprPtr> aggregates,
+                                 Schema schema)
+    : PhysicalOperator(Kind::kHashAggregate, std::move(schema)),
+      group_by(std::move(group_by)),
+      aggregates(std::move(aggregates)) {
+  children.push_back(std::move(child));
+}
+
+std::string HashAggregateOp::label() const {
+  return "HashAggregate(groups=[" + JoinExprs(group_by) + "], aggs=[" +
+         JoinExprs(aggregates) + "])";
+}
+
+SortOp::SortOp(PhysicalOperatorPtr child, std::vector<SortKey> keys)
+    : PhysicalOperator(Kind::kSort, child->output_schema()),
+      keys(std::move(keys)) {
+  children.push_back(std::move(child));
+}
+
+std::string SortOp::label() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i].expr->ToString();
+    out += keys[i].ascending ? " ASC" : " DESC";
+  }
+  out += ")";
+  return out;
+}
+
+DistinctOp::DistinctOp(PhysicalOperatorPtr child)
+    : PhysicalOperator(Kind::kDistinct, child->output_schema()) {
+  children.push_back(std::move(child));
+}
+
+std::string DistinctOp::label() const { return "Distinct"; }
+
+LimitOp::LimitOp(PhysicalOperatorPtr child, int64_t limit, int64_t offset)
+    : PhysicalOperator(Kind::kLimit, child->output_schema()),
+      limit(limit),
+      offset(offset) {
+  children.push_back(std::move(child));
+}
+
+std::string LimitOp::label() const {
+  std::string out = "Limit(" + std::to_string(limit);
+  if (offset > 0) out += " OFFSET " + std::to_string(offset);
+  out += ")";
+  return out;
+}
+
+}  // namespace flock::sql

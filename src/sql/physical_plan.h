@@ -1,0 +1,330 @@
+#ifndef FLOCK_SQL_PHYSICAL_PLAN_H_
+#define FLOCK_SQL_PHYSICAL_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status_or.h"
+#include "common/thread_pool.h"
+#include "sql/ast.h"
+#include "sql/function_registry.h"
+#include "sql/logical_plan.h"
+#include "storage/record_batch.h"
+#include "storage/table.h"
+
+namespace flock::sql {
+
+/// Shared read-only state for one physical-plan execution.
+struct ExecContext {
+  const FunctionRegistry* registry = nullptr;
+  ThreadPool* pool = nullptr;  // may be null (serial execution)
+  size_t num_threads = 1;
+  size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
+};
+
+/// Per-operator execution counters, accumulated across all worker threads
+/// (wall time is therefore cumulative thread time, like EXPLAIN ANALYZE's
+/// "actual time" summed over parallel workers).
+struct OperatorMetrics {
+  std::atomic<uint64_t> rows_in{0};
+  std::atomic<uint64_t> rows_out{0};
+  std::atomic<uint64_t> nanos{0};
+
+  void Record(uint64_t in, uint64_t out, uint64_t ns) {
+    rows_in.fetch_add(in, std::memory_order_relaxed);
+    rows_out.fetch_add(out, std::memory_order_relaxed);
+    nanos.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void Reset() {
+    rows_in.store(0, std::memory_order_relaxed);
+    rows_out.store(0, std::memory_order_relaxed);
+    nanos.store(0, std::memory_order_relaxed);
+  }
+  double millis() const {
+    return static_cast<double>(nanos.load(std::memory_order_relaxed)) / 1e6;
+  }
+};
+
+/// A flattened, copyable view of one operator's metrics, in plan order
+/// (pre-order; `depth` reconstructs the tree shape). Surfaced through
+/// QueryResult for EXPLAIN ANALYZE and per-operator bench breakdowns.
+struct OperatorMetricsSnapshot {
+  std::string name;  // operator label, e.g. "HashJoinProbe(keys=1)"
+  int depth = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  double wall_ms = 0.0;
+};
+
+class PhysicalOperator;
+using PhysicalOperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// One node of the executable plan. The PhysicalPlanner lowers every
+/// LogicalPlan into a tree of these; the Executor drives them as
+/// morsel-parallel push pipelines.
+///
+/// Streaming operators (Filter, Project, PredictScore, HashJoinProbe,
+/// NestedLoopJoin) transform one morsel at a time via ProcessMorsel and
+/// carry no cross-morsel state, so the pipeline driver can run them on any
+/// worker. Pipeline breakers (HashJoinBuild, HashAggregate, Sort, Distinct,
+/// Limit) are materialized by the Executor.
+class PhysicalOperator {
+ public:
+  enum class Kind {
+    kTableScan,
+    kFilter,
+    kProject,
+    kPredictScore,
+    kHashJoinBuild,
+    kHashJoinProbe,
+    kNestedLoopJoin,
+    kHashAggregate,
+    kSort,
+    kDistinct,
+    kLimit,
+  };
+
+  PhysicalOperator(Kind kind, storage::Schema schema)
+      : kind_(kind), output_schema_(std::move(schema)) {}
+  virtual ~PhysicalOperator() = default;
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  Kind kind() const { return kind_; }
+  const storage::Schema& output_schema() const { return output_schema_; }
+
+  /// Operator name + salient parameters, e.g. "Filter(salary > 100)".
+  virtual std::string label() const = 0;
+
+  /// True for operators that transform morsels without cross-morsel state.
+  virtual bool IsStreaming() const { return false; }
+
+  /// Streaming operators that read raw columns (rather than evaluating
+  /// expressions) need their input selection resolved first.
+  virtual bool NeedsDenseInput() const { return false; }
+
+  /// Transforms one morsel. Only called when IsStreaming().
+  virtual StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input);
+
+  /// Indented rendering; with `analyze`, appends per-operator metrics.
+  std::string ToString(int indent = 0, bool analyze = false) const;
+
+  /// Pre-order flatten of the subtree's metrics.
+  void CollectMetrics(std::vector<OperatorMetricsSnapshot>* out,
+                      int depth = 0) const;
+
+  void ResetMetrics();
+
+  std::vector<PhysicalOperatorPtr> children;
+  mutable OperatorMetrics metrics;
+
+ private:
+  Kind kind_;
+  storage::Schema output_schema_;
+};
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+class TableScanOp : public PhysicalOperator {
+ public:
+  TableScanOp(std::string table_name, storage::TablePtr table,
+              std::vector<size_t> projection, storage::Schema schema)
+      : PhysicalOperator(Kind::kTableScan, std::move(schema)),
+        table_name(std::move(table_name)),
+        table(std::move(table)),
+        projection(std::move(projection)) {}
+
+  std::string label() const override;
+
+  /// Reads physical rows [begin, end), narrowed to `projection`.
+  storage::RecordBatch ScanMorsel(size_t begin, size_t end) const;
+
+  std::string table_name;
+  storage::TablePtr table;
+  std::vector<size_t> projection;  // empty = all columns
+};
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+class FilterOp : public PhysicalOperator {
+ public:
+  FilterOp(PhysicalOperatorPtr child, ExprPtr predicate);
+
+  std::string label() const override;
+  bool IsStreaming() const override { return true; }
+  StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input) override;
+
+  ExprPtr predicate;
+};
+
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(PhysicalOperatorPtr child, std::vector<ExprPtr> exprs,
+            storage::Schema schema);
+
+  std::string label() const override;
+  bool IsStreaming() const override { return true; }
+  StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input) override;
+
+  std::vector<ExprPtr> exprs;
+
+ private:
+  /// Set when every expression is a bound column reference of matching
+  /// type: the projection is then a zero-copy column shuffle that
+  /// preserves selection vectors.
+  std::vector<size_t> passthrough_;
+  bool is_passthrough_ = false;
+};
+
+/// In-DBMS inference as a first-class operator (paper §4.1): evaluates one
+/// or more PREDICT-family calls once per morsel and appends their scores as
+/// extra columns, which the parent Filter/Project/Aggregate references.
+/// Hoisting scoring out of scalar-expression evaluation gives it its own
+/// EXPLAIN line and OperatorMetrics, and keeps threshold push-up intact
+/// (PREDICT_GT & friends are just calls with a bool output column).
+class PredictScoreOp : public PhysicalOperator {
+ public:
+  PredictScoreOp(PhysicalOperatorPtr child, std::vector<ExprPtr> calls,
+                 storage::Schema schema);
+
+  std::string label() const override;
+  bool IsStreaming() const override { return true; }
+  bool NeedsDenseInput() const override { return true; }
+  StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input) override;
+
+  std::vector<ExprPtr> calls;  // PREDICT-family function calls
+};
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// The hash table shared (read-only) by all probe workers.
+struct JoinHashTable {
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  storage::RecordBatch rows;  // dense materialized build side
+};
+
+/// Build side of a hash join: a pipeline breaker that materializes its
+/// child and indexes it by the join keys. Executed once by the Executor
+/// before the probe pipeline starts.
+class HashJoinBuildOp : public PhysicalOperator {
+ public:
+  HashJoinBuildOp(PhysicalOperatorPtr child, std::vector<ExprPtr> keys);
+
+  std::string label() const override;
+
+  std::vector<ExprPtr> keys;  // bound against the build child's schema
+  std::shared_ptr<const JoinHashTable> table;  // set by the Executor
+};
+
+/// Probe side of a hash join: a streaming operator, so probes run
+/// morsel-parallel against the shared read-only hash table — this is what
+/// extends "automatic parallelization" past scan pipelines to joins.
+/// children[0] = probe input, children[1] = HashJoinBuildOp.
+class HashJoinProbeOp : public PhysicalOperator {
+ public:
+  HashJoinProbeOp(PhysicalOperatorPtr probe, PhysicalOperatorPtr build,
+                  std::vector<ExprPtr> keys, std::vector<ExprPtr> residual,
+                  JoinType join_type, storage::Schema schema);
+
+  std::string label() const override;
+  bool IsStreaming() const override { return true; }
+  bool NeedsDenseInput() const override { return true; }
+  StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input) override;
+
+  HashJoinBuildOp* build() {
+    return static_cast<HashJoinBuildOp*>(children[1].get());
+  }
+
+  std::vector<ExprPtr> keys;      // bound against the probe child's schema
+  std::vector<ExprPtr> residual;  // bound against probe ++ build schema
+  JoinType join_type = JoinType::kInner;
+};
+
+/// Cross join / non-equi join: streams probe-side morsels against the
+/// materialized right side. children[0] = left input, children[1] = right
+/// input (materialized by the Executor into `right_rows`).
+class NestedLoopJoinOp : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(PhysicalOperatorPtr left, PhysicalOperatorPtr right,
+                   ExprPtr condition, JoinType join_type,
+                   storage::Schema schema);
+
+  std::string label() const override;
+  bool IsStreaming() const override { return true; }
+  bool NeedsDenseInput() const override { return true; }
+  StatusOr<storage::RecordBatch> ProcessMorsel(
+      const ExecContext& ctx, storage::RecordBatch input) override;
+
+  ExprPtr condition;  // may be null (cross join)
+  JoinType join_type = JoinType::kCross;
+  std::shared_ptr<const storage::RecordBatch> right_rows;  // set by Executor
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------------
+
+/// Grouped aggregation. The Executor runs the child pipeline with
+/// thread-local hash states merged at pipeline end (deterministically, in
+/// task order), so aggregation scales with the thread pool.
+class HashAggregateOp : public PhysicalOperator {
+ public:
+  HashAggregateOp(PhysicalOperatorPtr child, std::vector<ExprPtr> group_by,
+                  std::vector<ExprPtr> aggregates, storage::Schema schema);
+
+  std::string label() const override;
+
+  std::vector<ExprPtr> group_by;
+  std::vector<ExprPtr> aggregates;  // COUNT/SUM/AVG/MIN/MAX calls
+};
+
+class SortOp : public PhysicalOperator {
+ public:
+  SortOp(PhysicalOperatorPtr child, std::vector<SortKey> keys);
+
+  std::string label() const override;
+
+  std::vector<SortKey> keys;
+};
+
+class DistinctOp : public PhysicalOperator {
+ public:
+  explicit DistinctOp(PhysicalOperatorPtr child);
+
+  std::string label() const override;
+};
+
+class LimitOp : public PhysicalOperator {
+ public:
+  LimitOp(PhysicalOperatorPtr child, int64_t limit, int64_t offset);
+
+  std::string label() const override;
+
+  int64_t limit = -1;  // -1 = unbounded
+  int64_t offset = 0;
+};
+
+/// Serializes row `r` of `cols` into a byte-key for hash tables (join keys,
+/// group keys, DISTINCT). Shared by the executor and operator kernels.
+void AppendRowKey(const std::vector<storage::ColumnVectorPtr>& cols,
+                  size_t r, std::string* key);
+
+}  // namespace flock::sql
+
+#endif  // FLOCK_SQL_PHYSICAL_PLAN_H_

@@ -16,12 +16,14 @@ RecordBatch::RecordBatch(Schema schema) : schema_(std::move(schema)) {
 }
 
 void RecordBatch::AddColumn(ColumnDef def, ColumnVectorPtr col) {
+  FLOCK_DCHECK(selection_ == nullptr);
   FLOCK_DCHECK(columns_.empty() || col->size() == num_rows());
   schema_.AddColumn(std::move(def));
   columns_.push_back(std::move(col));
 }
 
 std::vector<Value> RecordBatch::GetRow(size_t r) const {
+  if (selection_) r = (*selection_)[r];
   std::vector<Value> row;
   row.reserve(columns_.size());
   for (const auto& col : columns_) row.push_back(col->GetValue(r));
@@ -29,6 +31,7 @@ std::vector<Value> RecordBatch::GetRow(size_t r) const {
 }
 
 Status RecordBatch::AppendRow(const std::vector<Value>& row) {
+  FLOCK_DCHECK(selection_ == nullptr);
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
         "row has " + std::to_string(row.size()) + " values, batch has " +
@@ -42,8 +45,39 @@ Status RecordBatch::AppendRow(const std::vector<Value>& row) {
 
 RecordBatch RecordBatch::Select(const std::vector<uint32_t>& sel) const {
   RecordBatch out(schema_);
+  if (selection_ == nullptr) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.columns_[c]->AppendSelected(*columns_[c], sel);
+    }
+    return out;
+  }
+  std::vector<uint32_t> physical(sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    physical[i] = (*selection_)[sel[i]];
+  }
   for (size_t c = 0; c < columns_.size(); ++c) {
-    out.columns_[c]->AppendSelected(*columns_[c], sel);
+    out.columns_[c]->AppendSelected(*columns_[c], physical);
+  }
+  return out;
+}
+
+RecordBatch RecordBatch::SelectView(std::vector<uint32_t> sel) const {
+  RecordBatch out;
+  out.schema_ = schema_;
+  out.columns_ = columns_;
+  if (selection_) {
+    for (auto& s : sel) s = (*selection_)[s];
+  }
+  out.selection_ =
+      std::make_shared<const std::vector<uint32_t>>(std::move(sel));
+  return out;
+}
+
+RecordBatch RecordBatch::Materialize() const {
+  if (selection_ == nullptr) return *this;
+  RecordBatch out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c]->AppendSelected(*columns_[c], *selection_);
   }
   return out;
 }
@@ -55,22 +89,28 @@ RecordBatch RecordBatch::Project(
   RecordBatch out;
   out.schema_ = std::move(schema);
   for (size_t idx : column_indices) out.columns_.push_back(columns_[idx]);
+  out.selection_ = selection_;
   return out;
 }
 
 void RecordBatch::Append(const RecordBatch& other) {
-  FLOCK_DCHECK(other.num_columns() == num_columns());
+  FLOCK_DCHECK(selection_ == nullptr);
+  FLOCK_DCHECK(columns_.empty() || other.num_columns() == num_columns());
   if (columns_.empty()) {
     schema_ = other.schema_;
     for (const auto& col : other.columns_) {
-      auto copy = std::make_shared<ColumnVector>(col->type());
-      copy->AppendRange(*col, 0, col->size());
-      columns_.push_back(std::move(copy));
+      columns_.push_back(std::make_shared<ColumnVector>(col->type()));
+    }
+  }
+  if (other.selection_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c]->AppendSelected(*other.columns_[c], *other.selection_);
     }
     return;
   }
   for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c]->AppendRange(*other.columns_[c], 0, other.columns_[c]->size());
+    columns_[c]->AppendRange(*other.columns_[c], 0,
+                             other.columns_[c]->size());
   }
 }
 
@@ -83,9 +123,10 @@ std::string RecordBatch::ToString(size_t max_rows) const {
   out << "\n";
   size_t n = std::min(num_rows(), max_rows);
   for (size_t r = 0; r < n; ++r) {
+    size_t phys = selection_ ? (*selection_)[r] : r;
     for (size_t c = 0; c < columns_.size(); ++c) {
       if (c > 0) out << " | ";
-      out << columns_[c]->GetValue(r).ToString();
+      out << columns_[c]->GetValue(phys).ToString();
     }
     out << "\n";
   }

@@ -196,6 +196,29 @@ TEST_F(FlockEngineTest, ExplainShowsSeparatedFilters) {
   EXPECT_NE(r.plan_text.find("income"), std::string::npos);
 }
 
+TEST_F(FlockEngineTest, ExplainShowsPredictScoreOperator) {
+  auto r = Exec("EXPLAIN SELECT id FROM users WHERE income > 50 AND " +
+                PredictCall() + " > 0.7");
+  // Model scoring is lowered into a first-class physical operator, placed
+  // above the pushed-down data filter.
+  EXPECT_NE(r.plan_text.find("== Physical Plan =="), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("PredictScore"), std::string::npos)
+      << r.plan_text;
+}
+
+TEST_F(FlockEngineTest, PredictQuerySurfacesScoringMetrics) {
+  auto r = Exec("SELECT id FROM users WHERE " + PredictCall() + " > 0.7");
+  bool found_predict_score = false;
+  for (const auto& m : r.operator_metrics) {
+    if (m.name.find("PredictScore") != std::string::npos) {
+      found_predict_score = true;
+      EXPECT_GT(m.rows_in, 0u) << m.name;
+    }
+  }
+  EXPECT_TRUE(found_predict_score);
+}
+
 TEST_F(FlockEngineTest, PruningNarrowsScanToUsedColumns) {
   auto r = Exec("EXPLAIN SELECT " + PredictCall() + " FROM users");
   // Noise columns that the model ignores should vanish from the scan.

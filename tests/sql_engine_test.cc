@@ -254,6 +254,53 @@ TEST_F(SqlEngineTest, ProjectionPruningNarrowsScan) {
       << r.plan_text;
 }
 
+TEST_F(SqlEngineTest, ExplainShowsPhysicalPlan) {
+  auto r = Exec("EXPLAIN SELECT name FROM emp WHERE salary > 100");
+  EXPECT_NE(r.plan_text.find("== Physical Plan =="), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("TableScan(emp"), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("width="), std::string::npos) << r.plan_text;
+  // Plain EXPLAIN does not execute, so no timings appear.
+  EXPECT_EQ(r.plan_text.find("time="), std::string::npos) << r.plan_text;
+}
+
+TEST_F(SqlEngineTest, ExplainShowsJoinAndAggregateOperators) {
+  Exec("CREATE TABLE dept_info (dept VARCHAR, floor INT)");
+  auto r = Exec(
+      "EXPLAIN SELECT emp.dept, COUNT(*) FROM emp "
+      "JOIN dept_info ON emp.dept = dept_info.dept GROUP BY emp.dept");
+  EXPECT_NE(r.plan_text.find("HashJoinProbe"), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("HashJoinBuild"), std::string::npos)
+      << r.plan_text;
+  EXPECT_NE(r.plan_text.find("HashAggregate"), std::string::npos)
+      << r.plan_text;
+}
+
+TEST_F(SqlEngineTest, ExplainAnalyzeReportsOperatorMetrics) {
+  auto r = Exec("EXPLAIN ANALYZE SELECT name FROM emp WHERE salary > 100");
+  // ANALYZE executes the plan and annotates operators with row counts and
+  // wall time.
+  EXPECT_NE(r.plan_text.find("time="), std::string::npos) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("in="), std::string::npos) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("out="), std::string::npos) << r.plan_text;
+  ASSERT_FALSE(r.operator_metrics.empty());
+  // The scan (last snapshot, deepest operator) read all 6 emp rows.
+  const auto& scan = r.operator_metrics.back();
+  EXPECT_EQ(scan.rows_in, 6u);
+}
+
+TEST_F(SqlEngineTest, SelectSurfacesOperatorMetrics) {
+  auto r = Exec("SELECT name FROM emp WHERE salary > 100");
+  ASSERT_FALSE(r.operator_metrics.empty());
+  uint64_t total_out = 0;
+  for (const auto& m : r.operator_metrics) total_out += m.rows_out;
+  EXPECT_GT(total_out, 0u);
+  // Root operator emits exactly the result rows.
+  EXPECT_EQ(r.operator_metrics.front().rows_out, r.batch.num_rows());
+}
+
 TEST_F(SqlEngineTest, ErrorsSurfaceAsStatus) {
   EXPECT_EQ(engine_.Execute("SELECT nope FROM emp").status().code(),
             StatusCode::kNotFound);
