@@ -1,0 +1,254 @@
+// Serving-layer load test: closed-loop clients drive a mixed read/PREDICT
+// template workload through the concurrent prediction server (sessions +
+// admission control + plan cache) at every combination of
+// {1, 4, 8} client threads x {1, 4} serving workers.
+//
+// Each client loops over a small set of hot statement templates with a
+// few literal variants (so the plan cache should serve >90 % of requests)
+// and immediately issues the next request when one completes. Reported
+// per configuration: throughput, latency percentiles from the serving
+// histogram, shed/error counts and the plan-cache hit rate — as JSON in
+// the same schema family as bench_tpch_execution (stdout, or a file when
+// a path is passed as argv[1]).
+//
+// The engine executes each statement serially (sql.num_threads = 1), so
+// any scaling comes from the serving worker pool; on a single-core host
+// the 4-worker column measures admission overhead, not parallel speedup.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "flock/flock_engine.h"
+#include "ml/tree.h"
+#include "serve/server.h"
+
+namespace {
+
+constexpr size_t kUserRows = 2000;
+constexpr int kRequestsPerClient = 2000;
+
+/// users table + churn GBDT, the demo shape shared with
+/// examples/flock_server and the serving tests.
+bool BuildDatabase(flock::flock::FlockEngine* engine) {
+  if (!engine
+           ->Execute("CREATE TABLE users (id INT, age DOUBLE, "
+                     "income DOUBLE, tenure DOUBLE, clicks DOUBLE, "
+                     "plan VARCHAR)")
+           .ok()) {
+    return false;
+  }
+  flock::Random rng(7);
+  const char* plans[] = {"basic", "plus", "pro"};
+  flock::ml::Matrix raw(kUserRows, 5);
+  std::vector<double> labels(kUserRows);
+  std::string insert = "INSERT INTO users VALUES ";
+  for (size_t i = 0; i < kUserRows; ++i) {
+    double age = 20 + rng.NextDouble() * 50;
+    double income = 30 + rng.NextDouble() * 120;
+    double tenure = rng.NextDouble() * 10;
+    double clicks = rng.NextDouble() * 100;
+    size_t plan = rng.Uniform(3);
+    raw.at(i, 0) = age;
+    raw.at(i, 1) = income;
+    raw.at(i, 2) = tenure;
+    raw.at(i, 3) = clicks;
+    raw.at(i, 4) = static_cast<double>(plan);
+    double z = 0.08 * (age - 45) - 0.02 * (income - 90) - 0.4 * tenure +
+               0.03 * clicks;
+    labels[i] = z > 0 ? 1.0 : 0.0;
+    if (i > 0) insert += ", ";
+    char row[160];
+    std::snprintf(row, sizeof(row), "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')",
+                  i, age, income, tenure, clicks, plans[plan]);
+    insert += row;
+  }
+  if (!engine->Execute(insert).ok()) return false;
+
+  flock::ml::Pipeline pipeline;
+  std::vector<flock::ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(
+        flock::ml::FeatureSpec{n, flock::ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(flock::ml::FeatureSpec{
+      "plan", flock::ml::FeatureKind::kCategorical,
+      {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(flock::ml::ModelTask::kBinaryClassification);
+  pipeline.FitFeaturizers(raw, true, true);
+  flock::ml::Dataset features;
+  features.x = pipeline.Transform(raw);
+  features.y = labels;
+  flock::ml::GbtOptions gbt;
+  gbt.num_trees = 10;
+  gbt.max_depth = 3;
+  pipeline.SetTreeModel(flock::ml::TrainGradientBoosting(features, gbt));
+  return engine
+      ->DeployModel("churn", std::move(pipeline), "bench",
+                    "bench_serving_throughput")
+      .ok();
+}
+
+/// Hot templates x a few literal variants each: repeated enough for the
+/// plan cache, varied enough to exercise more than one entry. The mix is
+/// scoring-heavy (half the statements call PREDICT).
+std::vector<std::string> BuildTemplates() {
+  const std::string predict =
+      "PREDICT(churn, age, income, tenure, clicks, plan)";
+  std::vector<std::string> templates;
+  for (int t : {200, 400, 600, 800}) {
+    templates.push_back("SELECT COUNT(*) FROM users WHERE id < " +
+                        std::to_string(t));
+  }
+  for (const char* threshold : {"0.3", "0.5", "0.7", "0.9"}) {
+    templates.push_back("SELECT COUNT(*) FROM users WHERE " + predict +
+                        " > " + threshold);
+  }
+  for (int id : {17, 171, 1071}) {
+    templates.push_back("SELECT id, " + predict + " FROM users WHERE id = " +
+                        std::to_string(id));
+  }
+  for (const char* plan : {"basic", "pro"}) {
+    templates.push_back(std::string("SELECT AVG(") + predict +
+                        ") FROM users WHERE plan = '" + plan + "'");
+  }
+  return templates;
+}
+
+struct ConfigResult {
+  size_t clients = 0;
+  size_t workers = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+ConfigResult RunConfig(size_t clients, size_t workers) {
+  // A fresh engine per configuration so plan-cache and latency stats are
+  // not polluted by the previous run.
+  flock::flock::FlockEngineOptions engine_options;
+  engine_options.sql.num_threads = 1;
+  flock::flock::FlockEngine engine(engine_options);
+  if (!BuildDatabase(&engine)) {
+    std::fprintf(stderr, "database setup failed\n");
+    std::exit(1);
+  }
+  flock::serve::ServerOptions options;
+  options.admission.num_workers = workers;
+  // Closed-loop clients block on their own request, so the queue never
+  // needs more than one waiting slot per client; no shedding expected.
+  options.admission.max_queue_depth = clients * 2;
+  flock::serve::PredictionServer server(&engine, options);
+
+  const std::vector<std::string> templates = BuildTemplates();
+  std::atomic<uint64_t> errors{0};
+  flock::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      flock::serve::LoopbackClient client(&server);
+      if (!client.status().ok()) {
+        errors.fetch_add(kRequestsPerClient);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        size_t q = (i + c * 3) % templates.size();
+        auto result = client.Execute(templates[q]);
+        if (!result.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_ms = wall.ElapsedMillis();
+
+  flock::serve::ServerMetricsSnapshot snapshot = server.Snapshot();
+  ConfigResult result;
+  result.clients = clients;
+  result.workers = workers;
+  result.requests = clients * kRequestsPerClient;
+  result.errors = errors.load();
+  result.shed = snapshot.requests_shed;
+  result.wall_ms = wall_ms;
+  result.qps = result.requests / (wall_ms / 1000.0);
+  result.p50_ms = snapshot.p50_ms;
+  result.p95_ms = snapshot.p95_ms;
+  result.p99_ms = snapshot.p99_ms;
+  result.cache_hit_rate = snapshot.plan_cache_hit_rate;
+  return result;
+}
+
+void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results) {
+  std::fprintf(out, "{\n  \"benchmark\": \"serving_throughput\",\n");
+  std::fprintf(out, "  \"requests_per_client\": %d,\n", kRequestsPerClient);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"clients\": %zu, \"workers\": %zu, "
+                 "\"requests\": %llu, \"errors\": %llu, \"shed\": %llu,\n"
+                 "     \"wall_ms\": %.1f, \"qps\": %.0f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 r.clients, r.workers,
+                 static_cast<unsigned long long>(r.requests),
+                 static_cast<unsigned long long>(r.errors),
+                 static_cast<unsigned long long>(r.shed), r.wall_ms, r.qps,
+                 r.p50_ms, r.p95_ms, r.p99_ms, r.cache_hit_rate,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("serving throughput benchmark: %zu users, "
+              "%d requests/client, mixed read/PREDICT templates\n\n",
+              kUserRows, kRequestsPerClient);
+  std::printf("%8s %8s %10s %10s %9s %9s %9s %6s %5s %9s\n", "clients",
+              "workers", "qps", "p50(ms)", "p95(ms)", "p99(ms)",
+              "hit_rate", "shed", "err", "wall(ms)");
+
+  std::vector<ConfigResult> results;
+  for (size_t workers : {1, 4}) {
+    for (size_t clients : {1, 4, 8}) {
+      ConfigResult r = RunConfig(clients, workers);
+      std::printf("%8zu %8zu %10.0f %10.3f %9.3f %9.3f %8.1f%% %6llu "
+                  "%5llu %9.0f\n",
+                  r.clients, r.workers, r.qps, r.p50_ms, r.p95_ms,
+                  r.p99_ms, 100.0 * r.cache_hit_rate,
+                  static_cast<unsigned long long>(r.shed),
+                  static_cast<unsigned long long>(r.errors), r.wall_ms);
+      results.push_back(r);
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  std::printf("\n");
+  EmitJson(out, results);
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("results written to %s\n", argv[1]);
+  }
+  return 0;
+}

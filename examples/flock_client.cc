@@ -1,0 +1,100 @@
+// flock_client: interactive line-protocol client for flock_server.
+//
+//   ./flock_client [host] [port]
+//
+// Reads statements from stdin (one per line), sends each to the server,
+// and prints the OK/ERR frame it gets back. `.metrics`, `.session` and
+// `.quit` pass through as protocol commands.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+/// Reads one protocol response from the socket. OK frames run through
+/// END\n; ERR frames and '.' command replies are a single line.
+bool ReadResponse(int fd, std::string* buffer, std::string* out) {
+  out->clear();
+  bool ok_frame = false;
+  bool saw_first_line = false;
+  while (true) {
+    size_t newline = buffer->find('\n');
+    if (newline == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer->append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer->substr(0, newline);
+    buffer->erase(0, newline + 1);
+    out->append(line);
+    out->push_back('\n');
+    if (!saw_first_line) {
+      saw_first_line = true;
+      ok_frame = line.rfind("OK ", 0) == 0;
+      if (!ok_frame) return true;  // ERR / metrics JSON / session info
+    } else if (line == "END") {
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* host = argc > 1 ? argv[1] : "127.0.0.1";
+  const char* port = argc > 2 ? argv[2] : "5433";
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (getaddrinfo(host, port, &hints, &resolved) != 0 || !resolved) {
+    std::fprintf(stderr, "cannot resolve %s:%s\n", host, port);
+    return 1;
+  }
+  int fd = socket(resolved->ai_family, resolved->ai_socktype,
+                  resolved->ai_protocol);
+  if (fd < 0 ||
+      connect(fd, resolved->ai_addr, resolved->ai_addrlen) < 0) {
+    std::perror("connect");
+    freeaddrinfo(resolved);
+    return 1;
+  }
+  freeaddrinfo(resolved);
+
+  std::fprintf(stderr,
+               "connected to %s:%s -- one statement per line; "
+               ".metrics / .session / .quit\n",
+               host, port);
+
+  std::string recv_buffer;
+  std::string line;
+  std::string response;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::string framed = line + "\n";
+    if (write(fd, framed.data(), framed.size()) < 0) {
+      std::perror("write");
+      break;
+    }
+    if (line == ".quit" || line == ".exit") break;
+    if (!ReadResponse(fd, &recv_buffer, &response)) {
+      std::fprintf(stderr, "server closed the connection\n");
+      break;
+    }
+    std::fputs(response.c_str(), stdout);
+    std::fflush(stdout);
+  }
+  close(fd);
+  return 0;
+}

@@ -1,0 +1,222 @@
+// flock_server: the prediction-serving layer over TCP.
+//
+// Speaks the line-delimited text protocol from serve/protocol.h: each
+// connection gets a session, each line is one SQL statement (or a '.'
+// command), each response is an OK/ERR frame. Admission control sheds
+// with `ERR Unavailable ...` under overload, and SIGINT triggers a
+// graceful drain (in-flight queries finish, new ones are refused).
+//
+//   ./flock_server [port] [workers] [queue_depth]
+//   ./flock_client 127.0.0.1 5433
+//
+// The demo database is a `users` table with a deployed GBDT `churn`
+// model, so PREDICT traffic works out of the box:
+//
+//   SELECT id, PREDICT(churn, age, income, tenure, clicks, plan)
+//   FROM users WHERE PREDICT(churn, age, income, tenure, clicks, plan)
+//   > 0.8;
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "flock/flock_engine.h"
+#include "ml/tree.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<int> g_listen_fd{-1};
+
+void HandleSigint(int) {
+  int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) close(fd);  // unblocks accept(); the main loop drains
+}
+
+/// users table + trained churn model, the same shape the serving tests
+/// and bench use.
+bool BuildDemoDatabase(flock::flock::FlockEngine* engine, size_t rows) {
+  auto create = engine->Execute(
+      "CREATE TABLE users (id INT, age DOUBLE, income DOUBLE, "
+      "tenure DOUBLE, clicks DOUBLE, plan VARCHAR)");
+  if (!create.ok()) return false;
+
+  flock::Random rng(7);
+  const char* plans[] = {"basic", "plus", "pro"};
+  flock::ml::Matrix raw(rows, 5);
+  std::vector<double> labels(rows);
+  std::string insert = "INSERT INTO users VALUES ";
+  for (size_t i = 0; i < rows; ++i) {
+    double age = 20 + rng.NextDouble() * 50;
+    double income = 30 + rng.NextDouble() * 120;
+    double tenure = rng.NextDouble() * 10;
+    double clicks = rng.NextDouble() * 100;
+    size_t plan = rng.Uniform(3);
+    raw.at(i, 0) = age;
+    raw.at(i, 1) = income;
+    raw.at(i, 2) = tenure;
+    raw.at(i, 3) = clicks;
+    raw.at(i, 4) = static_cast<double>(plan);
+    double z = 0.08 * (age - 45) - 0.02 * (income - 90) - 0.4 * tenure +
+               0.03 * clicks + (plan == 0 ? 1.0 : (plan == 2 ? -1.0 : 0.0));
+    labels[i] = z > 0 ? 1.0 : 0.0;
+    if (i > 0) insert += ", ";
+    char row[160];
+    std::snprintf(row, sizeof(row), "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')",
+                  i, age, income, tenure, clicks, plans[plan]);
+    insert += row;
+  }
+  if (!engine->Execute(insert).ok()) return false;
+
+  flock::ml::Pipeline pipeline;
+  std::vector<flock::ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(
+        flock::ml::FeatureSpec{n, flock::ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(flock::ml::FeatureSpec{
+      "plan", flock::ml::FeatureKind::kCategorical,
+      {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(flock::ml::ModelTask::kBinaryClassification);
+  pipeline.FitFeaturizers(raw, true, true);
+  flock::ml::Dataset features;
+  features.x = pipeline.Transform(raw);
+  features.y = labels;
+  flock::ml::GbtOptions gbt;
+  gbt.num_trees = 10;
+  gbt.max_depth = 3;
+  pipeline.SetTreeModel(flock::ml::TrainGradientBoosting(features, gbt));
+  return engine->DeployModel("churn", std::move(pipeline), "server-demo",
+                             "examples/flock_server").ok();
+}
+
+void ServeConnection(flock::serve::PredictionServer* server, int fd) {
+  using flock::serve::Request;
+  auto session_or = server->OpenSession();
+  if (!session_or.ok()) {
+    std::string err = flock::serve::EncodeError(session_or.status());
+    (void)write(fd, err.data(), err.size());
+    close(fd);
+    return;
+  }
+  uint64_t session = *session_or;
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;  // disconnect
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+
+    Request request = flock::serve::ParseRequestLine(line);
+    std::string response;
+    switch (request.kind) {
+      case Request::Kind::kQuery:
+        response =
+            flock::serve::EncodeResponse(server->Execute(session,
+                                                         request.text));
+        break;
+      case Request::Kind::kMetrics:
+        // One line on the wire: the client frames replies by newline.
+        response = server->MetricsJson();
+        response.erase(std::remove(response.begin(), response.end(), '\n'),
+                       response.end());
+        response += '\n';
+        break;
+      case Request::Kind::kSession:
+        response = "session " + std::to_string(session) + "\n";
+        break;
+      case Request::Kind::kQuit:
+        open = false;
+        continue;
+      case Request::Kind::kEmpty:
+        continue;
+    }
+    if (write(fd, response.data(), response.size()) < 0) break;
+  }
+  (void)server->CloseSession(session);
+  close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = argc > 1 ? std::atoi(argv[1]) : 5433;
+  flock::serve::ServerOptions options;
+  options.admission.num_workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  options.admission.max_queue_depth = argc > 3 ? std::atoi(argv[3]) : 64;
+
+  // One shared engine; serial per query so concurrency comes from the
+  // serving worker pool, not nested morsel parallelism.
+  flock::flock::FlockEngineOptions engine_options;
+  engine_options.sql.num_threads = 1;
+  flock::flock::FlockEngine engine(engine_options);
+  if (!BuildDemoDatabase(&engine, 2000)) {
+    std::fprintf(stderr, "demo database setup failed\n");
+    return 1;
+  }
+  flock::serve::PredictionServer server(&engine, options);
+
+  int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int reuse = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      listen(listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    close(listen_fd);
+    return 1;
+  }
+  g_listen_fd.store(listen_fd);
+  signal(SIGINT, HandleSigint);
+  signal(SIGPIPE, SIG_IGN);
+
+  std::printf(
+      "flock_server listening on port %d (%zu workers, queue %zu)\n"
+      "try: ./flock_client 127.0.0.1 %d\n",
+      port, options.admission.num_workers,
+      options.admission.max_queue_depth, port);
+
+  std::vector<std::thread> connections;
+  while (true) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listen socket closed by SIGINT
+    connections.emplace_back(ServeConnection, &server, fd);
+  }
+
+  std::printf("\ndraining (in-flight queries finish, new ones shed)...\n");
+  server.Shutdown();
+  for (auto& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  std::printf("%s\n", server.MetricsJson().c_str());
+  return 0;
+}

@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
 # Full verification: regular build + tests, then an AddressSanitizer build
-# + tests (catches the memory bugs morsel-parallel execution can hide).
+# + tests (catches the memory bugs morsel-parallel execution can hide),
+# then a ThreadSanitizer build running the concurrency-sensitive suites
+# (the serving layer's sessions/admission/plan-cache paths and the thread
+# pool) — data races in the shared-engine serving path only show up under
+# TSan with genuinely concurrent sessions.
 #
-# Usage: scripts/check.sh [--asan-only|--no-asan]
+# Usage: scripts/check.sh [--asan-only|--no-asan|--tsan-only|--no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_PLAIN=1
 RUN_ASAN=1
+RUN_TSAN=1
 case "${1:-}" in
-  --asan-only) RUN_PLAIN=0 ;;
+  --asan-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
   --no-asan) RUN_ASAN=0 ;;
+  --tsan-only) RUN_PLAIN=0; RUN_ASAN=0 ;;
+  --no-tsan) RUN_TSAN=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--asan-only|--no-asan]" >&2
+    echo "usage: $0 [--asan-only|--no-asan|--tsan-only|--no-tsan]" >&2
     exit 2
     ;;
 esac
@@ -34,6 +41,17 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake --build build-asan -j "$JOBS"
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== TSan build + concurrent-suite ctest =="
+  cmake -B build-tsan -S . -DFLOCK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target serve_test common_test \
+    parallel_differential_test
+  # Concurrency-sensitive suites only: serving (concurrent sessions over
+  # one shared engine), the thread pool, and the morsel-parallel executor.
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Serve|ServerMetrics|LatencyHistogram|SessionManager|AdmissionController|ThreadPool|ParallelDifferential'
 fi
 
 echo "All checks passed."

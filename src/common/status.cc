@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kPermissionDenied,
   kParseError,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +63,11 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// Transient overload: the caller may retry later (admission control
+  /// sheds requests with this instead of queueing unboundedly).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,7 +4,8 @@
 
 namespace flock {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue_depth)
+    : max_queue_depth_(max_queue_depth) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -32,6 +33,25 @@ void ThreadPool::Submit(std::function<void()> task) {
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (max_queue_depth_ != 0 && tasks_.size() >= max_queue_depth_) {
+      return false;
+    }
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return tasks_.size();
 }
 
 void ThreadPool::WaitIdle() {

@@ -20,7 +20,10 @@ namespace flock {
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1; 0 means hardware concurrency).
-  explicit ThreadPool(size_t num_threads);
+  /// `max_queue_depth` bounds the number of *queued* (not yet running)
+  /// tasks that TrySubmit will accept; 0 = unbounded. Submit ignores the
+  /// bound — only TrySubmit sheds.
+  explicit ThreadPool(size_t num_threads, size_t max_queue_depth = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,10 +32,20 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
+  /// Bounded-queue submission for admission control: enqueues `task`
+  /// unless the pending queue is at `max_queue_depth` (or the pool is
+  /// shutting down), in which case it returns false without blocking and
+  /// the task is dropped.
+  bool TrySubmit(std::function<void()> task);
+
   /// Blocks until every submitted task has finished.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
+  size_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  size_t queue_depth() const;
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Work is divided into contiguous chunks, one per worker.
@@ -43,7 +56,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  size_t max_queue_depth_ = 0;  // 0 = unbounded (TrySubmit only)
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   size_t in_flight_ = 0;

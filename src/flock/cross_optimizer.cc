@@ -107,6 +107,7 @@ bool ContainsPredict(const Expr& e) {
 }
 
 Status CrossOptimizer::Rewrite(PlanPtr* plan) {
+  std::lock_guard<std::mutex> lock(rewrite_mu_);
   stats_ = Stats{};
   if (options_.separate_ml_predicates) {
     FLOCK_RETURN_NOT_OK(SeparateMlPredicates(plan->get()));

@@ -1,6 +1,7 @@
 #ifndef FLOCK_FLOCK_CROSS_OPTIMIZER_H_
 #define FLOCK_FLOCK_CROSS_OPTIMIZER_H_
 
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -44,14 +45,17 @@ class CrossOptimizer {
   CrossOptimizer(ModelRegistry* models, Options options)
       : models_(models), options_(options) {}
 
-  /// Rewrites `plan` in place.
+  /// Rewrites `plan` in place. Serialized internally (rewrites mutate
+  /// the stats counters and register model specializations), so the
+  /// engine may invoke it from concurrent query threads.
   Status Rewrite(sql::PlanPtr* plan);
 
   Options* mutable_options() { return &options_; }
   const Options& options() const { return options_; }
 
   /// Rewrite statistics from the most recent Rewrite call (for EXPLAIN-
-  /// style diagnostics and the ablation benches).
+  /// style diagnostics and the ablation benches). Read while quiescent;
+  /// not synchronized against an in-flight Rewrite.
   struct Stats {
     size_t filters_split = 0;
     size_t predicates_pushed_up = 0;
@@ -69,6 +73,7 @@ class CrossOptimizer {
   ModelRegistry* models_;
   Options options_;
   Stats stats_;
+  std::mutex rewrite_mu_;  // one rewrite at a time; see Rewrite()
 };
 
 /// True if the expression tree contains any PREDICT-family call.

@@ -23,6 +23,14 @@ void DeployTransaction::StageDrop(std::string name) {
 }
 
 Status DeployTransaction::Commit() {
+  if (engine_mu_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(*engine_mu_);
+    return CommitLocked();
+  }
+  return CommitLocked();
+}
+
+Status DeployTransaction::CommitLocked() {
   // Undo log: for each applied op, how to reverse it.
   struct Undo {
     enum class Kind { kDropNew, kRestore } kind;
@@ -82,6 +90,7 @@ Status DeployTransaction::Commit() {
 
   if (failure.ok()) {
     operations_.clear();
+    if (on_commit_) on_commit_();
     return Status::OK();
   }
   // Roll back in reverse order.

@@ -1,6 +1,8 @@
 #ifndef FLOCK_FLOCK_DEPLOYMENT_H_
 #define FLOCK_FLOCK_DEPLOYMENT_H_
 
+#include <functional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +21,16 @@ namespace flock::flock {
 /// dropping the newly created model) and the registry is left unchanged.
 class DeployTransaction {
  public:
-  explicit DeployTransaction(ModelRegistry* registry)
-      : registry_(registry) {}
+  /// `engine_mu` (optional) is held exclusively for the duration of
+  /// Commit so no query scores mid-transaction; `on_commit` (optional)
+  /// runs after a successful commit while the lock is still held —
+  /// FlockEngine uses it to invalidate the plan cache.
+  explicit DeployTransaction(ModelRegistry* registry,
+                             std::shared_mutex* engine_mu = nullptr,
+                             std::function<void()> on_commit = {})
+      : registry_(registry),
+        engine_mu_(engine_mu),
+        on_commit_(std::move(on_commit)) {}
 
   /// Stages a model (re)deployment.
   void StageRegister(std::string name, ml::Pipeline pipeline,
@@ -49,7 +59,11 @@ class DeployTransaction {
     std::string lineage;
   };
 
+  Status CommitLocked();
+
   ModelRegistry* registry_;
+  std::shared_mutex* engine_mu_ = nullptr;
+  std::function<void()> on_commit_;
   std::vector<Operation> operations_;
 };
 

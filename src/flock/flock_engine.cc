@@ -62,16 +62,57 @@ FlockEngine::FlockEngine(FlockEngineOptions options)
       });
 }
 
+bool FlockEngine::RequiresExclusive(const std::string& sql) {
+  std::string lowered = ToLower(Trim(sql));
+  // Catalog-view queries rebuild flock_models/flock_audit first (DDL).
+  if (lowered.find("flock_models") != std::string::npos ||
+      lowered.find("flock_audit") != std::string::npos) {
+    return true;
+  }
+  // Only plain reads may share the lock; everything else mutates state.
+  return !(StartsWith(lowered, "select") || StartsWith(lowered, "explain"));
+}
+
 StatusOr<sql::QueryResult> FlockEngine::Execute(const std::string& sql) {
+  if (RequiresExclusive(sql)) {
+    std::unique_lock<std::shared_mutex> lock(engine_mu_);
+    return ExecuteLocked(sql);
+  }
+  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  return sql_engine_.Execute(sql);
+}
+
+StatusOr<sql::QueryResult> FlockEngine::ExecuteAs(
+    const std::string& sql, const std::string& principal) {
+  // The scoring context is shared by every execution, so swapping the
+  // principal demands exclusivity even for reads.
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  std::string saved = context_->principal;
+  context_->principal = principal;
+  auto result = ExecuteLocked(sql);
+  context_->principal = saved;
+  return result;
+}
+
+StatusOr<sql::QueryResult> FlockEngine::ExecuteLocked(
+    const std::string& sql) {
   std::string lowered = ToLower(sql);
   if (lowered.find("flock_models") != std::string::npos ||
       lowered.find("flock_audit") != std::string::npos) {
-    FLOCK_RETURN_NOT_OK(RefreshCatalogTables());
+    FLOCK_RETURN_NOT_OK(RefreshCatalogTablesLocked());
   }
   return sql_engine_.Execute(sql);
 }
 
 Status FlockEngine::RefreshCatalogTables() {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  return RefreshCatalogTablesLocked();
+}
+
+Status FlockEngine::RefreshCatalogTablesLocked() {
+  // The catalog tables are dropped and recreated, so any cached plan
+  // scanning them holds a dead table handle.
+  sql_engine_.plan_cache()->Clear();
   using storage::ColumnDef;
   using storage::DataType;
   using storage::Schema;
@@ -138,6 +179,7 @@ Status FlockEngine::RefreshCatalogTables() {
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteScript(
     const std::string& sql) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
   return sql_engine_.ExecuteScript(sql);
 }
 
@@ -145,10 +187,21 @@ Status FlockEngine::DeployModel(const std::string& name,
                                 ml::Pipeline pipeline,
                                 const std::string& created_by,
                                 const std::string& lineage) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  // Redeploys supersede cross-optimizer specializations referenced by
+  // cached plans; drop them all.
+  sql_engine_.plan_cache()->Clear();
   return models_.Register(name, std::move(pipeline), created_by, lineage);
 }
 
+DeployTransaction FlockEngine::BeginDeployment() {
+  return DeployTransaction(&models_, &engine_mu_, [this] {
+    sql_engine_.plan_cache()->Clear();
+  });
+}
+
 void FlockEngine::SetPrincipal(const std::string& principal) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
   context_->principal = principal;
 }
 

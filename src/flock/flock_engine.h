@@ -2,6 +2,7 @@
 #define FLOCK_FLOCK_FLOCK_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "flock/cross_optimizer.h"
@@ -35,6 +36,35 @@ struct FlockEngineOptions {
 ///   SELECT id, PREDICT(churn, age, plan, spend) FROM users
 ///   WHERE region = 'US' AND PREDICT(churn, age, plan, spend) > 0.8;
 ///   DROP MODEL churn;
+///
+/// ## Locking contract (concurrent Execute)
+///
+/// Execute is safe to call from any number of threads. A single
+/// reader/writer lock (`engine_mu_`) arbitrates:
+///
+///  * **Shared (many concurrent holders):** SELECT / EXPLAIN statements
+///    that do not touch the catalog views. Scoring, plan-cache lookups,
+///    the cross-optimizer and the model registry are all individually
+///    thread-safe under the shared lock, and each execution lowers its
+///    own physical plan, so queries never share mutable operator state.
+///  * **Exclusive (single holder, no readers):** everything that mutates
+///    shared engine state — DDL (CREATE/DROP TABLE, CREATE/DROP MODEL),
+///    DML writes (INSERT/UPDATE/DELETE; storage tables are not safe for
+///    concurrent mutation), catalog-view refresh (queries naming
+///    `flock_models` / `flock_audit` rebuild those tables first),
+///    ExecuteScript, DeployModel / DeployTransaction::Commit,
+///    SetPrincipal, and ExecuteAs (which swaps the scoring principal for
+///    the duration of the statement).
+///
+/// Model entries returned by the registry are only freed by DROP/redeploy,
+/// which require the exclusive lock — so a scoring query holding the
+/// shared lock can never observe a dangling ModelEntry. The SQL plan
+/// cache is invalidated under the exclusive lock by every DDL statement,
+/// model (re)deploy, and catalog refresh; stale plans (dropped tables,
+/// superseded model specializations) are therefore unreachable.
+///
+/// The non-Execute accessors (database(), sql(), models(), ...) are for
+/// single-threaded setup/inspection and do not take the lock.
 class FlockEngine {
  public:
   explicit FlockEngine(FlockEngineOptions options = {});
@@ -51,11 +81,21 @@ class FlockEngine {
   ///   SELECT principal, COUNT(*) FROM flock_audit GROUP BY principal;
   StatusOr<sql::QueryResult> Execute(const std::string& sql);
 
+  /// Executes one statement with `principal` attached for access control
+  /// and audit, without disturbing the engine-wide principal. Always
+  /// takes the exclusive lock (the scoring context is shared), so
+  /// per-principal traffic serializes; the serving layer routes
+  /// default-principal queries through Execute's shared path instead.
+  StatusOr<sql::QueryResult> ExecuteAs(const std::string& sql,
+                                       const std::string& principal);
+
   /// Rebuilds the `flock_models` / `flock_audit` catalog tables from the
-  /// registry (Execute calls this lazily; exposed for tests).
+  /// registry (Execute calls this lazily; exposed for tests). Takes the
+  /// exclusive lock.
   Status RefreshCatalogTables();
 
-  /// Executes a ';'-separated script, returning the last result.
+  /// Executes a ';'-separated script, returning the last result. Takes
+  /// the exclusive lock (scripts may contain DDL/DML).
   StatusOr<sql::QueryResult> ExecuteScript(const std::string& sql);
 
   /// Registers a trained pipeline under `name` (API-level deployment).
@@ -63,10 +103,9 @@ class FlockEngine {
                      const std::string& created_by = "system",
                      const std::string& lineage = "");
 
-  /// Begins an atomic multi-model deployment.
-  DeployTransaction BeginDeployment() {
-    return DeployTransaction(&models_);
-  }
+  /// Begins an atomic multi-model deployment. Commit takes the engine's
+  /// exclusive lock and invalidates the plan cache on success.
+  DeployTransaction BeginDeployment();
 
   /// Sets the principal attached to subsequent scoring calls (access
   /// control + audit).
@@ -84,12 +123,24 @@ class FlockEngine {
   bool enable_cross_optimizer() const { return enable_cross_optimizer_; }
 
  private:
+  /// True when `sql` must run under the exclusive lock: anything that is
+  /// not a plain SELECT/EXPLAIN, plus catalog-view queries (their lazy
+  /// refresh drops and recreates tables).
+  static bool RequiresExclusive(const std::string& sql);
+
+  /// Body of Execute; caller holds the appropriate lock.
+  StatusOr<sql::QueryResult> ExecuteLocked(const std::string& sql);
+  Status RefreshCatalogTablesLocked();
+
   storage::Database db_;
   ModelRegistry models_;
   sql::SqlEngine sql_engine_;
   CrossOptimizer cross_optimizer_;
   std::shared_ptr<ScoringContext> context_;
   bool enable_cross_optimizer_ = true;
+  /// Shared: concurrent queries. Exclusive: DDL/DML/catalog refresh/
+  /// principal changes. See the class-level locking contract.
+  mutable std::shared_mutex engine_mu_;
 };
 
 }  // namespace flock::flock

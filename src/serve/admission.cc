@@ -1,0 +1,24 @@
+#include "serve/admission.h"
+
+namespace flock::serve {
+
+Status AdmissionController::Admit(std::function<void()> work) {
+  if (draining()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("server is draining");
+  }
+  if (!pool_.TrySubmit(std::move(work))) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "request queue full (" +
+        std::to_string(options_.max_queue_depth) + " waiting)");
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Drain() {
+  draining_.store(true, std::memory_order_release);
+  pool_.WaitIdle();
+}
+
+}  // namespace flock::serve

@@ -1,0 +1,66 @@
+#ifndef FLOCK_SERVE_ADMISSION_H_
+#define FLOCK_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace flock::serve {
+
+struct AdmissionOptions {
+  /// Concurrent query executions (the serving worker pool, distinct from
+  /// the engine's intra-query morsel pool).
+  size_t num_workers = 4;
+  /// Requests allowed to wait for a worker; beyond this, Admit sheds.
+  size_t max_queue_depth = 64;
+};
+
+/// Admission control for the prediction server: a bounded request queue
+/// in front of a fixed worker pool. Overload is answered with a fast
+/// `Unavailable` (load shedding) instead of unbounded queueing, so
+/// latency for admitted requests stays bounded — the standard serving-
+/// tier defense the paper's "enterprise-grade" bar implies.
+///
+/// Built directly on common::ThreadPool's bounded TrySubmit mode; this
+/// class adds the shed counter and the drain state machine.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options),
+        pool_(options.num_workers == 0 ? 1 : options.num_workers,
+              options.max_queue_depth) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Enqueues `work` for a worker, or sheds: Unavailable when the queue
+  /// is full or the controller is draining. Never blocks.
+  Status Admit(std::function<void()> work);
+
+  /// Graceful shutdown: stop admitting, then wait until every admitted
+  /// request has finished. Idempotent; safe from any thread.
+  void Drain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  size_t queue_depth() const { return pool_.queue_depth(); }
+  uint64_t shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  size_t num_workers() const { return pool_.num_threads(); }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> shed_{0};
+  ThreadPool pool_;
+};
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_ADMISSION_H_

@@ -1,0 +1,92 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flock::serve {
+
+namespace {
+
+// buckets_[i] counts samples in [kGrowth^i, kGrowth^(i+1)) microseconds.
+size_t BucketIndex(double micros) {
+  if (micros <= 1.0) return 0;
+  double idx = std::log(micros) / std::log(LatencyHistogram::kGrowth);
+  if (idx >= LatencyHistogram::kNumBuckets - 1) {
+    return LatencyHistogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+double BucketUpperMicros(size_t index) {
+  return std::pow(LatencyHistogram::kGrowth,
+                  static_cast<double>(index + 1));
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(micros * 1e3),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_ms() const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1e6;
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperMicros(i) / 1e3;
+  }
+  return BucketUpperMicros(kNumBuckets - 1) / 1e3;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+void ServerMetrics::Reset() {
+  latency_.Reset();
+  requests_ok_.store(0, std::memory_order_relaxed);
+  requests_error_.store(0, std::memory_order_relaxed);
+}
+
+std::string ServerMetricsSnapshot::ToJson() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"requests\": {\"ok\": %llu, \"error\": %llu, \"shed\": %llu},\n"
+      " \"sessions\": {\"open\": %llu, \"opened_total\": %llu},\n"
+      " \"queue_depth\": %llu,\n"
+      " \"latency_ms\": {\"count\": %llu, \"mean\": %.3f, \"p50\": %.3f, "
+      "\"p95\": %.3f, \"p99\": %.3f},\n"
+      " \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"hit_rate\": %.4f}}",
+      static_cast<unsigned long long>(requests_ok),
+      static_cast<unsigned long long>(requests_error),
+      static_cast<unsigned long long>(requests_shed),
+      static_cast<unsigned long long>(sessions_open),
+      static_cast<unsigned long long>(sessions_opened_total),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(latency_count), mean_ms, p50_ms,
+      p95_ms, p99_ms, static_cast<unsigned long long>(plan_cache_hits),
+      static_cast<unsigned long long>(plan_cache_misses),
+      plan_cache_hit_rate);
+  return buf;
+}
+
+}  // namespace flock::serve

@@ -1,0 +1,91 @@
+#ifndef FLOCK_SERVE_METRICS_H_
+#define FLOCK_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace flock::serve {
+
+/// Lock-free latency histogram with geometric buckets (x1.25 per bucket,
+/// starting at 1 µs — ~95 buckets reach past an hour). Record is a single
+/// relaxed fetch_add, so the serving hot path never serializes on
+/// metrics; percentiles are computed from the bucket counts on demand and
+/// are accurate to one bucket width (±12 %).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 96;
+  static constexpr double kGrowth = 1.25;
+
+  /// Records one sample (relaxed; safe from any thread).
+  void Record(double micros);
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double mean_ms() const;
+
+  /// Approximate latency percentile in milliseconds; `p` in [0, 1].
+  /// Returns 0 when no samples have been recorded.
+  double PercentileMs(double p) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+/// One consistent-enough view of the serving counters, exported as JSON.
+/// Composed by PredictionServer::Snapshot from the metrics registry, the
+/// admission controller, the session manager and the SQL plan cache.
+struct ServerMetricsSnapshot {
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  uint64_t requests_shed = 0;
+  uint64_t sessions_open = 0;
+  uint64_t sessions_opened_total = 0;
+  uint64_t queue_depth = 0;
+  uint64_t latency_count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  double plan_cache_hit_rate = 0.0;
+
+  std::string ToJson() const;
+};
+
+/// Per-server request counters + latency histogram. All methods are
+/// thread-safe and wait-free (atomic counters only).
+class ServerMetrics {
+ public:
+  void RecordRequest(double latency_ms, bool ok) {
+    latency_.Record(latency_ms * 1e3);
+    (ok ? requests_ok_ : requests_error_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t requests_ok() const {
+    return requests_ok_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_error() const {
+    return requests_error_.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+
+  void Reset();
+
+ private:
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_error_{0};
+};
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_METRICS_H_

@@ -1,0 +1,79 @@
+#include "serve/protocol.h"
+
+#include "common/string_util.h"
+
+namespace flock::serve {
+
+Request ParseRequestLine(const std::string& line) {
+  Request request;
+  std::string trimmed = Trim(line);
+  if (trimmed.empty()) return request;  // kEmpty
+  if (trimmed[0] == '.') {
+    if (trimmed == ".metrics") {
+      request.kind = Request::Kind::kMetrics;
+    } else if (trimmed == ".session") {
+      request.kind = Request::Kind::kSession;
+    } else if (trimmed == ".quit" || trimmed == ".exit") {
+      request.kind = Request::Kind::kQuit;
+    }
+    return request;  // unknown '.' command stays kEmpty
+  }
+  request.kind = Request::Kind::kQuery;
+  request.text = std::move(trimmed);
+  return request;
+}
+
+std::string EscapeField(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string msg = status.message();
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return std::string("ERR ") + StatusCodeName(status.code()) + " " + msg +
+         "\n";
+}
+
+std::string EncodeResponse(const StatusOr<sql::QueryResult>& result) {
+  if (!result.ok()) return EncodeError(result.status());
+  const sql::QueryResult& qr = *result;
+  const storage::RecordBatch& batch = qr.batch;
+  std::string out = "OK " + std::to_string(batch.num_rows()) + " " +
+                    std::to_string(batch.num_columns());
+  if (batch.num_columns() == 0) {
+    out += " affected=" + std::to_string(qr.rows_affected);
+  }
+  out += "\n";
+  if (batch.num_columns() > 0) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c > 0) out += '\t';
+      out += EscapeField(batch.schema().column(c).name);
+    }
+    out += '\n';
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<storage::Value> row = batch.GetRow(r);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out += '\t';
+        out += EscapeField(row[c].ToString());
+      }
+      out += '\n';
+    }
+  }
+  out += "END\n";
+  return out;
+}
+
+}  // namespace flock::serve

@@ -1,0 +1,49 @@
+#ifndef FLOCK_SERVE_PROTOCOL_H_
+#define FLOCK_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "sql/engine.h"
+
+namespace flock::serve {
+
+/// The line-delimited text protocol shared by the TCP transport
+/// (examples/flock_server.cc / flock_client.cc) and the protocol tests.
+///
+/// Requests — one line each, '\n'-terminated:
+///   <sql statement>      execute one statement on this connection's session
+///   .metrics             server metrics snapshot as JSON
+///   .session             this connection's session id / principal
+///   .quit                close the connection
+///
+/// Responses:
+///   OK <nrows> <ncols>\n
+///   <tab-separated column names>\n          (only when ncols > 0)
+///   <tab-separated row values> x nrows\n    (tabs/newlines escaped)
+///   END\n
+/// or, for DML/DDL (no result columns):
+///   OK 0 0 affected=<n>\n
+///   END\n
+/// or on failure (always a single line, message newline-escaped):
+///   ERR <CodeName> <message>\n
+struct Request {
+  enum class Kind { kQuery, kMetrics, kSession, kQuit, kEmpty };
+  Kind kind = Kind::kEmpty;
+  std::string text;  // the SQL for kQuery
+};
+
+/// Classifies one request line (strips surrounding whitespace; lines
+/// starting with '.' are commands, unknown commands come back as kEmpty).
+Request ParseRequestLine(const std::string& line);
+
+/// Renders a query outcome in the wire format above.
+std::string EncodeResponse(const StatusOr<sql::QueryResult>& result);
+std::string EncodeError(const Status& status);
+
+/// Escapes tabs, newlines and backslashes in one field value.
+std::string EscapeField(const std::string& value);
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_PROTOCOL_H_

@@ -1,0 +1,125 @@
+#include "serve/server.h"
+
+#include "common/stopwatch.h"
+
+namespace flock::serve {
+
+PredictionServer::PredictionServer(flock::FlockEngine* engine,
+                                   ServerOptions options)
+    : engine_(engine),
+      options_(options),
+      default_principal_(options.default_principal.empty()
+                             ? engine->principal()
+                             : options.default_principal),
+      sessions_(options.max_sessions),
+      admission_(options.admission) {}
+
+PredictionServer::~PredictionServer() { Shutdown(); }
+
+StatusOr<uint64_t> PredictionServer::OpenSession(
+    const std::string& principal) {
+  if (!accepting()) {
+    return Status::Unavailable("server is shutting down");
+  }
+  FLOCK_ASSIGN_OR_RETURN(
+      SessionPtr session,
+      sessions_.Open(principal.empty() ? default_principal_ : principal));
+  return session->id();
+}
+
+Status PredictionServer::CloseSession(uint64_t session_id) {
+  return sessions_.Close(session_id);
+}
+
+std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
+    uint64_t session_id, std::string sql) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<sql::QueryResult>>>();
+  std::future<StatusOr<sql::QueryResult>> future = promise->get_future();
+
+  auto session_or = sessions_.Get(session_id);
+  if (!session_or.ok()) {
+    promise->set_value(session_or.status());
+    return future;
+  }
+  SessionPtr session = std::move(session_or).value();
+
+  Status admitted = admission_.Admit(
+      [this, session, sql = std::move(sql), promise]() mutable {
+        Stopwatch timer;
+        // Default-principal traffic shares the engine's read lock;
+        // other principals serialize through ExecuteAs (see the
+        // FlockEngine locking contract).
+        StatusOr<sql::QueryResult> result =
+            session->principal() == default_principal_
+                ? engine_->Execute(sql)
+                : engine_->ExecuteAs(sql, session->principal());
+        metrics_.RecordRequest(timer.ElapsedMillis(), result.ok());
+        session->RecordRequest(result.ok());
+        promise->set_value(std::move(result));
+      });
+  if (!admitted.ok()) {
+    promise->set_value(admitted);  // fast UNAVAILABLE, not queued
+  }
+  return future;
+}
+
+StatusOr<sql::QueryResult> PredictionServer::Execute(
+    uint64_t session_id, const std::string& sql) {
+  return Submit(session_id, sql).get();
+}
+
+void PredictionServer::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  admission_.Drain();
+}
+
+bool PredictionServer::accepting() const {
+  return !shutdown_.load(std::memory_order_acquire) &&
+         !admission_.draining();
+}
+
+ServerMetricsSnapshot PredictionServer::Snapshot() const {
+  ServerMetricsSnapshot snap;
+  snap.requests_ok = metrics_.requests_ok();
+  snap.requests_error = metrics_.requests_error();
+  snap.requests_shed = admission_.shed_count();
+  snap.sessions_open = sessions_.num_open();
+  snap.sessions_opened_total = sessions_.total_opened();
+  snap.queue_depth = admission_.queue_depth();
+  const LatencyHistogram& hist = metrics_.latency();
+  snap.latency_count = hist.count();
+  snap.mean_ms = hist.mean_ms();
+  snap.p50_ms = hist.PercentileMs(0.50);
+  snap.p95_ms = hist.PercentileMs(0.95);
+  snap.p99_ms = hist.PercentileMs(0.99);
+  sql::PlanCacheStats cache = engine_->sql()->plan_cache()->stats();
+  snap.plan_cache_hits = cache.hits;
+  snap.plan_cache_misses = cache.misses;
+  snap.plan_cache_hit_rate = cache.hit_rate();
+  return snap;
+}
+
+LoopbackClient::LoopbackClient(PredictionServer* server,
+                               const std::string& principal)
+    : server_(server) {
+  auto id_or = server_->OpenSession(principal);
+  if (id_or.ok()) {
+    session_id_ = *id_or;
+  } else {
+    open_status_ = id_or.status();
+  }
+}
+
+LoopbackClient::~LoopbackClient() {
+  if (open_status_.ok()) {
+    (void)server_->CloseSession(session_id_);
+  }
+}
+
+StatusOr<sql::QueryResult> LoopbackClient::Execute(const std::string& sql) {
+  FLOCK_RETURN_NOT_OK(open_status_);
+  return server_->Execute(session_id_, sql);
+}
+
+}  // namespace flock::serve

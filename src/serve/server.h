@@ -1,0 +1,115 @@
+#ifndef FLOCK_SERVE_SERVER_H_
+#define FLOCK_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "common/status_or.h"
+#include "flock/flock_engine.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
+
+namespace flock::serve {
+
+struct ServerOptions {
+  AdmissionOptions admission;
+  size_t max_sessions = 1024;
+  /// Principal attached to sessions opened without one; "" = the
+  /// engine's principal at server construction. Sessions with a
+  /// different principal execute via FlockEngine::ExecuteAs (exclusive
+  /// lock), default-principal sessions share the read lock.
+  std::string default_principal;
+};
+
+/// The concurrent prediction-serving layer (paper §2/§4.1: scoring lives
+/// inside the DBMS precisely so applications can hit it as a service).
+/// Wraps one shared, thread-safe FlockEngine with:
+///
+///   * a SessionManager (per-client identity + counters, capped),
+///   * an AdmissionController (bounded queue, worker pool, load
+///     shedding, graceful drain),
+///   * the SQL plan cache (hit = skip parse/plan/optimize; see
+///     sql::PlanCache for the invalidation contract),
+///   * a ServerMetrics registry (latency percentiles, shed count, queue
+///     depth, cache hit rate) exported as JSON.
+///
+/// Transports sit on top: examples/flock_server.cc speaks a
+/// line-delimited text protocol over TCP, and LoopbackClient (below)
+/// calls straight in — tests and the serving bench use the loopback so
+/// they measure the serving tier, not the socket stack.
+class PredictionServer {
+ public:
+  explicit PredictionServer(flock::FlockEngine* engine,
+                            ServerOptions options = {});
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Opens a session; Unavailable at the session cap, or once Shutdown
+  /// has begun. Empty principal = options.default_principal.
+  StatusOr<uint64_t> OpenSession(const std::string& principal = "");
+  Status CloseSession(uint64_t session_id);
+
+  /// Admission-controlled asynchronous execution. The future resolves
+  /// when a worker finishes the statement — or immediately with
+  /// Unavailable (shed) / NotFound (bad session).
+  std::future<StatusOr<sql::QueryResult>> Submit(uint64_t session_id,
+                                                 std::string sql);
+
+  /// Synchronous convenience wrapper around Submit.
+  StatusOr<sql::QueryResult> Execute(uint64_t session_id,
+                                     const std::string& sql);
+
+  /// Graceful drain: stop admitting new requests and new sessions, wait
+  /// for in-flight requests to finish. Idempotent.
+  void Shutdown();
+  bool accepting() const;
+
+  ServerMetricsSnapshot Snapshot() const;
+  std::string MetricsJson() const { return Snapshot().ToJson(); }
+
+  flock::FlockEngine* engine() { return engine_; }
+  SessionManager* sessions() { return &sessions_; }
+  AdmissionController* admission() { return &admission_; }
+
+ private:
+  flock::FlockEngine* engine_;
+  ServerOptions options_;
+  std::string default_principal_;
+  SessionManager sessions_;
+  AdmissionController admission_;
+  ServerMetrics metrics_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// In-process client: one session on a PredictionServer, synchronous
+/// Execute. The differential tests drive 8 of these from 8 threads; the
+/// serving bench's closed-loop clients are loopback clients too.
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(PredictionServer* server,
+                          const std::string& principal = "");
+  ~LoopbackClient();
+
+  LoopbackClient(const LoopbackClient&) = delete;
+  LoopbackClient& operator=(const LoopbackClient&) = delete;
+
+  /// Session-open outcome; Execute fails fast when not OK.
+  const Status& status() const { return open_status_; }
+  uint64_t session_id() const { return session_id_; }
+
+  StatusOr<sql::QueryResult> Execute(const std::string& sql);
+
+ private:
+  PredictionServer* server_;
+  Status open_status_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_SERVER_H_

@@ -1,0 +1,50 @@
+#include "serve/session.h"
+
+namespace flock::serve {
+
+StatusOr<SessionPtr> SessionManager::Open(std::string principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions_) {
+    return Status::Unavailable(
+        "session limit reached (" + std::to_string(max_sessions_) + ")");
+  }
+  uint64_t id = next_id_++;
+  auto session = std::make_shared<Session>(id, std::move(principal));
+  sessions_.emplace(id, session);
+  total_opened_.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+StatusOr<SessionPtr> SessionManager::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no open session with id " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no open session with id " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+size_t SessionManager::num_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<SessionPtr> SessionManager::ListSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionPtr> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+}  // namespace flock::serve

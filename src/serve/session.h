@@ -1,0 +1,85 @@
+#ifndef FLOCK_SERVE_SESSION_H_
+#define FLOCK_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace flock::serve {
+
+/// Per-client serving state: identity (principal, for model access
+/// control and audit attribution) plus request counters. Sessions are
+/// shared between the transport thread that owns the connection and the
+/// worker thread executing its queries, so counters are atomic.
+class Session {
+ public:
+  Session(uint64_t id, std::string principal)
+      : id_(id), principal_(std::move(principal)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& principal() const { return principal_; }
+
+  void RecordRequest(bool ok) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t id_;
+  std::string principal_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Thread-safe session table with a hard cap — the first admission-
+/// control boundary (connection count), ahead of the request queue.
+class SessionManager {
+ public:
+  explicit SessionManager(size_t max_sessions = 1024)
+      : max_sessions_(max_sessions) {}
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session for `principal`; Unavailable when at capacity.
+  StatusOr<SessionPtr> Open(std::string principal);
+
+  /// NotFound once the session is closed (or never existed).
+  StatusOr<SessionPtr> Get(uint64_t id) const;
+
+  Status Close(uint64_t id);
+
+  size_t num_open() const;
+  uint64_t total_opened() const {
+    return total_opened_.load(std::memory_order_relaxed);
+  }
+  size_t max_sessions() const { return max_sessions_; }
+
+  /// Live sessions, for diagnostics.
+  std::vector<SessionPtr> ListSessions() const;
+
+ private:
+  size_t max_sessions_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::atomic<uint64_t> total_opened_{0};
+  std::unordered_map<uint64_t, SessionPtr> sessions_;
+};
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_SESSION_H_

@@ -1,5 +1,6 @@
 #include "sql/engine.h"
 
+#include <cstdio>
 #include <thread>
 
 #include "common/stopwatch.h"
@@ -55,7 +56,8 @@ using storage::TablePtr;
 using storage::Value;
 
 SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
-    : db_(db), options_(options) {
+    : db_(db), options_(options),
+      plan_cache_(options.plan_cache_capacity) {
   if (options_.num_threads == 0) {
     options_.num_threads =
         std::max(1u, std::thread::hardware_concurrency());
@@ -68,12 +70,47 @@ SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
 
 StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql) {
   Stopwatch timer;
+  // Prepared-statement fast path: a normalized-text hit returns a private
+  // clone of the optimized plan and skips parse/plan/optimize entirely.
+  // Bypassed while an observer is set — observers must see every parsed
+  // statement (eager provenance capture).
+  const bool use_cache =
+      options_.enable_plan_cache && statement_observer_ == nullptr;
+  std::string cache_key;
+  if (use_cache) {
+    cache_key = NormalizeSql(sql);
+    if (PlanPtr cached = plan_cache_.Lookup(cache_key)) {
+      FLOCK_ASSIGN_OR_RETURN(QueryResult result,
+                             ExecuteCachedPlan(*cached));
+      result.elapsed_ms = timer.ElapsedMillis();
+      if (options_.keep_query_log) AppendQueryLog(sql);
+      return result;
+    }
+  }
   FLOCK_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::Parse(sql));
-  FLOCK_ASSIGN_OR_RETURN(QueryResult result, ExecuteStatement(sql, *stmt));
+  FLOCK_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecuteStatement(sql, *stmt, use_cache ? &cache_key : nullptr));
   result.elapsed_ms = timer.ElapsedMillis();
-  if (options_.keep_query_log) query_log_.push_back(sql);
+  if (options_.keep_query_log) AppendQueryLog(sql);
   if (statement_observer_) statement_observer_(sql, *stmt);
   return result;
+}
+
+StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(const LogicalPlan& plan) {
+  PhysicalPlanner physical_planner(&registry_);
+  FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
+                         physical_planner.Lower(plan));
+  QueryResult result;
+  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
+  root->CollectMetrics(&result.operator_metrics);
+  result.from_plan_cache = true;
+  return result;
+}
+
+void SqlEngine::AppendQueryLog(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(query_log_mu_);
+  query_log_.push_back(sql);
 }
 
 StatusOr<QueryResult> SqlEngine::ExecuteScript(const std::string& sql) {
@@ -81,16 +118,18 @@ StatusOr<QueryResult> SqlEngine::ExecuteScript(const std::string& sql) {
                          Parser::ParseScript(sql));
   QueryResult last;
   for (const auto& stmt : stmts) {
-    FLOCK_ASSIGN_OR_RETURN(last, ExecuteStatement(sql, *stmt));
+    FLOCK_ASSIGN_OR_RETURN(last, ExecuteStatement(sql, *stmt, nullptr));
   }
   return last;
 }
 
-StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
-                                                  const Statement& stmt) {
+StatusOr<QueryResult> SqlEngine::ExecuteStatement(
+    const std::string& sql, const Statement& stmt,
+    const std::string* cache_key) {
   switch (stmt.kind()) {
     case StatementKind::kSelect:
-      return ExecuteSelect(static_cast<const SelectStatement&>(stmt));
+      return ExecuteSelect(static_cast<const SelectStatement&>(stmt),
+                           cache_key);
     case StatementKind::kInsert:
       return ExecuteInsert(static_cast<const InsertStatement&>(stmt));
     case StatementKind::kUpdate:
@@ -101,11 +140,13 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
       const auto& create = static_cast<const CreateTableStatement&>(stmt);
       FLOCK_RETURN_NOT_OK(db_->CreateTable(create.table_name,
                                            create.schema));
+      plan_cache_.Clear();  // cached plans hold resolved table handles
       return QueryResult{};
     }
     case StatementKind::kDropTable: {
       const auto& drop = static_cast<const DropTableStatement&>(stmt);
       FLOCK_RETURN_NOT_OK(db_->DropTable(drop.table_name));
+      plan_cache_.Clear();
       return QueryResult{};
     }
     case StatementKind::kCreateModel: {
@@ -115,6 +156,8 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
       }
       FLOCK_RETURN_NOT_OK(create_model_handler_(
           static_cast<const CreateModelStatement&>(stmt)));
+      // Cached plans may reference specializations of the old version.
+      plan_cache_.Clear();
       return QueryResult{};
     }
     case StatementKind::kDropModel: {
@@ -124,6 +167,7 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
       }
       FLOCK_RETURN_NOT_OK(drop_model_handler_(
           static_cast<const DropModelStatement&>(stmt)));
+      plan_cache_.Clear();
       return QueryResult{};
     }
     case StatementKind::kExplain: {
@@ -150,6 +194,18 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(const std::string& sql,
       result.plan_text = "== Logical Plan ==\n" + plan->ToString() +
                          "== Physical Plan ==\n" +
                          root->ToString(0, explain.analyze);
+      if (explain.analyze) {
+        // Surface plan-cache effectiveness next to the operator counters.
+        PlanCacheStats cache = plan_cache_.stats();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "== Plan Cache ==\nhits=%llu misses=%llu "
+                      "hit_rate=%.1f%% entries=%zu\n",
+                      static_cast<unsigned long long>(cache.hits),
+                      static_cast<unsigned long long>(cache.misses),
+                      100.0 * cache.hit_rate(), plan_cache_.size());
+        result.plan_text += line;
+      }
       Schema schema({storage::ColumnDef{"plan", DataType::kString, false}});
       result.batch = RecordBatch(schema);
       FLOCK_RETURN_NOT_OK(
@@ -200,9 +256,13 @@ StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root) {
   return executor.Execute(root);
 }
 
-StatusOr<QueryResult> SqlEngine::ExecuteSelect(const SelectStatement& stmt) {
+StatusOr<QueryResult> SqlEngine::ExecuteSelect(
+    const SelectStatement& stmt, const std::string* cache_key) {
   FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
   FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
+  if (cache_key != nullptr) {
+    plan_cache_.Insert(*cache_key, plan->Clone());
+  }
   PhysicalPlanner physical_planner(&registry_);
   FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
                          physical_planner.Lower(*plan));
@@ -233,7 +293,8 @@ StatusOr<QueryResult> SqlEngine::ExecuteInsert(const InsertStatement& stmt) {
 
   RecordBatch staged(schema);
   if (stmt.select != nullptr) {
-    FLOCK_ASSIGN_OR_RETURN(QueryResult sub, ExecuteSelect(*stmt.select));
+    FLOCK_ASSIGN_OR_RETURN(QueryResult sub,
+                           ExecuteSelect(*stmt.select, nullptr));
     if (sub.batch.num_columns() != targets.size()) {
       return Status::InvalidArgument(
           "INSERT SELECT column count mismatch");

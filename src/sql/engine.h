@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "sql/logical_plan.h"
 #include "sql/optimizer.h"
 #include "sql/physical_plan.h"
+#include "sql/plan_cache.h"
 #include "storage/database.h"
 
 namespace flock::sql {
@@ -24,6 +26,9 @@ struct QueryResult {
   size_t rows_affected = 0;     // for DML
   std::string plan_text;        // filled for EXPLAIN
   double elapsed_ms = 0.0;
+  /// True when this execution reused an optimized plan from the plan
+  /// cache (parse/plan/optimize skipped).
+  bool from_plan_cache = false;
   /// Per-operator execution counters for the physical plan (pre-order;
   /// filled for SELECT and EXPLAIN ANALYZE). Empty for DML/DDL.
   std::vector<OperatorMetricsSnapshot> operator_metrics;
@@ -37,6 +42,13 @@ struct EngineOptions {
   bool enable_optimizer = true;
   /// Record every executed statement for lazy provenance capture.
   bool keep_query_log = true;
+  /// Prepared-statement plan cache keyed on normalized SQL text: SELECT
+  /// executions reuse the optimized logical plan, skipping
+  /// parse/plan/optimize. Invalidated on any DDL. Bypassed while a
+  /// statement observer is set (observers must see every parsed
+  /// statement).
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 256;
 };
 
 /// The SQL engine facade: parse -> plan -> optimize -> execute.
@@ -84,6 +96,8 @@ class SqlEngine {
   storage::Database* database() { return db_; }
   FunctionRegistry* functions() { return &registry_; }
   const FunctionRegistry* functions() const { return &registry_; }
+  PlanCache* plan_cache() { return &plan_cache_; }
+  const PlanCache* plan_cache() const { return &plan_cache_; }
   ThreadPool* thread_pool() { return pool_.get(); }
   const EngineOptions& options() const { return options_; }
   void set_num_threads(size_t n) { options_.num_threads = n; }
@@ -101,21 +115,35 @@ class SqlEngine {
     statement_observer_ = std::move(observer);
   }
 
+  /// Not synchronized with concurrent Execute calls; read only while the
+  /// engine is quiescent (tests, provenance capture).
   const std::vector<std::string>& query_log() const { return query_log_; }
-  void ClearQueryLog() { query_log_.clear(); }
+  void ClearQueryLog() {
+    std::lock_guard<std::mutex> lock(query_log_mu_);
+    query_log_.clear();
+  }
 
  private:
+  /// `cache_key` is the normalized SQL text to cache an optimized SELECT
+  /// plan under, or nullptr to skip caching (scripts, subqueries).
   StatusOr<QueryResult> ExecuteStatement(const std::string& sql,
-                                         const Statement& stmt);
-  StatusOr<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+                                         const Statement& stmt,
+                                         const std::string* cache_key);
+  StatusOr<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                      const std::string* cache_key);
   StatusOr<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   StatusOr<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
   StatusOr<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  StatusOr<QueryResult> ExecuteCachedPlan(const LogicalPlan& plan);
+  void AppendQueryLog(const std::string& sql);
 
   storage::Database* db_;
   EngineOptions options_;
   FunctionRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
+  PlanCache plan_cache_;
+  std::mutex query_log_mu_;
   std::vector<std::string> query_log_;
 
   PlanRewriter plan_rewriter_;

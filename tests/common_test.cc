@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
 
 #include "common/random.h"
@@ -149,6 +150,47 @@ TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
   }
   pool.WaitIdle();
   EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queue_depth=*/2);
+  // Block the single worker so queued tasks pile up deterministically.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  pool.Submit([&, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+
+  std::atomic<int> ran{0};
+  // The worker is busy, so these two fill the bounded queue...
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran++; }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran++; }));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  // ...and the next ones are shed without blocking.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran++; }));
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran++; }));
+
+  release.set_value();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);  // shed tasks never ran
+
+  // Once drained, the queue has room again.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran++; }));
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, UnboundedTrySubmitNeverSheds) {
+  ThreadPool pool(2);  // max_queue_depth = 0 -> unbounded
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&ran] { ran++; }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 64);
 }
 
 }  // namespace

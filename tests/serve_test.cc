@@ -1,0 +1,698 @@
+// Tests for the concurrent prediction-serving layer (src/serve/):
+// protocol framing, session lifecycle, admission control and shedding,
+// graceful drain, metrics, and — the core guarantee — differential
+// equivalence: queries answered through 8 concurrent sessions must match
+// the same queries executed serially, including PREDICT calls and the
+// TPC-H templates, with the plan cache hot and under DDL/model-redeploy
+// invalidation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "flock/flock_engine.h"
+#include "ml/tree.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "workload/tpch.h"
+
+namespace flock::serve {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+std::vector<std::string> Canonicalize(const storage::RecordBatch& batch) {
+  std::vector<std::string> rows;
+  rows.reserve(batch.num_rows());
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::ostringstream out;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      Value v = batch.column(c)->GetValue(r);
+      if (!v.is_null() && v.type() == DataType::kDouble) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v.double_value());
+        out << buf << "|";
+      } else {
+        out << v.ToString() << "|";
+      }
+    }
+    rows.push_back(out.str());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// emp/dept from the PR-1 differential corpus: nullable join keys,
+/// dangling references, enough rows to exercise real plans.
+void BuildJoinTables(flock::FlockEngine* engine) {
+  ASSERT_TRUE(engine
+                  ->Execute("CREATE TABLE emp (id INT, name VARCHAR, "
+                            "dept_id INT, salary DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(engine
+                  ->Execute("CREATE TABLE dept (id INT, dname VARCHAR, "
+                            "budget DOUBLE)")
+                  .ok());
+  std::string dept_insert = "INSERT INTO dept VALUES ";
+  for (int d = 0; d < 20; ++d) {
+    if (d > 0) dept_insert += ", ";
+    dept_insert += "(" + std::to_string(d) + ", 'dept" + std::to_string(d) +
+                   "', " + std::to_string(1000 + 137 * d) + ".0)";
+  }
+  ASSERT_TRUE(engine->Execute(dept_insert).ok());
+  std::string emp_insert = "INSERT INTO emp VALUES ";
+  for (int i = 0; i < 700; ++i) {
+    if (i > 0) emp_insert += ", ";
+    std::string dept =
+        (i % 11 == 0) ? "NULL" : std::to_string((i * 7) % 25);
+    emp_insert += "(" + std::to_string(i) + ", 'e" + std::to_string(i) +
+                  "', " + dept + ", " +
+                  std::to_string(100 + (i * 37) % 3000) + ".5)";
+  }
+  ASSERT_TRUE(engine->Execute(emp_insert).ok());
+}
+
+/// users table + churn GBDT. `invert_labels` trains a deliberately
+/// different model for redeploy tests.
+void BuildUsersAndChurn(flock::FlockEngine* engine, size_t rows,
+                        bool invert_labels = false,
+                        const std::string& deployed_by = "tester") {
+  if (!engine->database()->HasTable("users")) {
+    ASSERT_TRUE(engine
+                    ->Execute("CREATE TABLE users (id INT, age DOUBLE, "
+                              "income DOUBLE, tenure DOUBLE, "
+                              "clicks DOUBLE, plan VARCHAR)")
+                    .ok());
+    Random rng(7);
+    const char* plans[] = {"basic", "plus", "pro"};
+    std::string insert = "INSERT INTO users VALUES ";
+    for (size_t i = 0; i < rows; ++i) {
+      if (i > 0) insert += ", ";
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')", i,
+                    20 + rng.NextDouble() * 50, 30 + rng.NextDouble() * 120,
+                    rng.NextDouble() * 10, rng.NextDouble() * 100,
+                    plans[rng.Uniform(3)]);
+      insert += row;
+    }
+    ASSERT_TRUE(engine->Execute(insert).ok());
+  }
+
+  Random rng(13);
+  ml::Matrix raw(rows, 5);
+  std::vector<double> labels(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    double age = 20 + rng.NextDouble() * 50;
+    double income = 30 + rng.NextDouble() * 120;
+    raw.at(i, 0) = age;
+    raw.at(i, 1) = income;
+    raw.at(i, 2) = rng.NextDouble() * 10;
+    raw.at(i, 3) = rng.NextDouble() * 100;
+    raw.at(i, 4) = static_cast<double>(rng.Uniform(3));
+    double z = 0.08 * (age - 45) - 0.02 * (income - 90) -
+               0.4 * raw.at(i, 2) + 0.03 * raw.at(i, 3);
+    bool churned = z > 0;
+    labels[i] = (churned != invert_labels) ? 1.0 : 0.0;
+  }
+  ml::Pipeline pipeline;
+  std::vector<ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(ml::FeatureSpec{n, ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(ml::FeatureSpec{"plan", ml::FeatureKind::kCategorical,
+                                  {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(ml::ModelTask::kBinaryClassification);
+  pipeline.FitFeaturizers(raw, true, true);
+  ml::Dataset features;
+  features.x = pipeline.Transform(raw);
+  features.y = labels;
+  ml::GbtOptions gbt;
+  gbt.num_trees = 8;
+  gbt.max_depth = 3;
+  pipeline.SetTreeModel(ml::TrainGradientBoosting(features, gbt));
+  ASSERT_TRUE(
+      engine->DeployModel("churn", pipeline, deployed_by, "serve_test")
+          .ok());
+}
+
+constexpr const char* kPredictCall =
+    "PREDICT(churn, age, income, tenure, clicks, plan)";
+
+/// The read-only serving corpus: the PR-1 differential queries plus
+/// PREDICT traffic.
+std::vector<std::string> ServingCorpus() {
+  std::string predict(kPredictCall);
+  return {
+      "SELECT id, name, salary * 2 FROM emp "
+      "WHERE salary > 800 AND id % 3 = 0",
+      "SELECT emp.name, dept.dname FROM emp "
+      "JOIN dept ON emp.dept_id = dept.id",
+      "SELECT emp.name, dept.dname FROM emp "
+      "JOIN dept ON emp.dept_id = dept.id AND emp.salary > dept.budget",
+      "SELECT emp.id, dept.dname FROM emp "
+      "LEFT JOIN dept ON emp.dept_id = dept.id",
+      "SELECT emp.id, dept.dname FROM emp "
+      "LEFT JOIN dept ON emp.dept_id = dept.id AND dept.budget > 2000",
+      "SELECT dept.dname, COUNT(*), SUM(emp.salary) "
+      "FROM emp JOIN dept ON emp.dept_id = dept.id "
+      "WHERE emp.salary > 500 GROUP BY dept.dname",
+      "SELECT dept_id, COUNT(*), SUM(salary), AVG(salary), "
+      "MIN(salary), MAX(salary) FROM emp GROUP BY dept_id",
+      "SELECT COUNT(*), SUM(salary), MIN(id), MAX(id), AVG(salary) "
+      "FROM emp",
+      "SELECT COUNT(DISTINCT dept_id) FROM emp",
+      "SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id "
+      "HAVING COUNT(*) > 20",
+      "SELECT DISTINCT dept_id FROM emp",
+      "SELECT id, salary FROM emp ORDER BY salary DESC, id",
+      "SELECT id, salary FROM emp ORDER BY salary DESC, id LIMIT 25",
+      "SELECT id, " + predict + " FROM users WHERE id < 50",
+      "SELECT COUNT(*) FROM users WHERE " + predict + " > 0.5",
+  };
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flock::FlockEngineOptions options;
+    options.sql.num_threads = 1;  // concurrency comes from serving workers
+    engine_ = std::make_unique<flock::FlockEngine>(options);
+    BuildJoinTables(engine_.get());
+    BuildUsersAndChurn(engine_.get(), 300);
+  }
+
+  std::unique_ptr<flock::FlockEngine> engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(ServeProtocolTest, ParseRequestLine) {
+  EXPECT_EQ(ParseRequestLine("").kind, Request::Kind::kEmpty);
+  EXPECT_EQ(ParseRequestLine("   \t").kind, Request::Kind::kEmpty);
+  EXPECT_EQ(ParseRequestLine("  .metrics ").kind, Request::Kind::kMetrics);
+  EXPECT_EQ(ParseRequestLine(".session").kind, Request::Kind::kSession);
+  EXPECT_EQ(ParseRequestLine(".quit").kind, Request::Kind::kQuit);
+  EXPECT_EQ(ParseRequestLine(".exit").kind, Request::Kind::kQuit);
+  EXPECT_EQ(ParseRequestLine(".bogus").kind, Request::Kind::kEmpty);
+  Request query = ParseRequestLine(" SELECT 1 ");
+  EXPECT_EQ(query.kind, Request::Kind::kQuery);
+  EXPECT_EQ(query.text, "SELECT 1");
+}
+
+TEST(ServeProtocolTest, EscapeField) {
+  EXPECT_EQ(EscapeField("a\tb\nc\\d\re"), "a\\tb\\nc\\\\d\\re");
+  EXPECT_EQ(EscapeField("plain"), "plain");
+}
+
+TEST(ServeProtocolTest, EncodeError) {
+  EXPECT_EQ(EncodeError(Status::InvalidArgument("bad\nthing")),
+            "ERR InvalidArgument bad thing\n");
+  EXPECT_EQ(EncodeError(Status::Unavailable("queue full")),
+            "ERR Unavailable queue full\n");
+}
+
+TEST(ServeProtocolTest, EncodeResponseFrames) {
+  storage::Database db;
+  sql::SqlEngine engine(&db);
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (x INT, s VARCHAR)").ok());
+  ASSERT_TRUE(
+      engine.Execute("INSERT INTO t VALUES (1, 'a'), (2, 'b\tc')").ok());
+
+  std::string dml =
+      EncodeResponse(engine.Execute("INSERT INTO t VALUES (3, 'd')"));
+  EXPECT_EQ(dml, "OK 0 0 affected=1\nEND\n");
+
+  std::string rows =
+      EncodeResponse(engine.Execute("SELECT x, s FROM t ORDER BY x"));
+  EXPECT_EQ(rows,
+            "OK 3 2\nx\ts\n1\ta\n2\tb\\tc\n3\td\nEND\n");
+
+  std::string err = EncodeResponse(engine.Execute("SELECT nope FROM t"));
+  EXPECT_EQ(err.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(err.find('\n'), err.size() - 1);  // single line
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.PercentileMs(0.5), 0.0);
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(i * 10.0);  // 10us .. 10ms
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  double p50 = histogram.PercentileMs(0.50);
+  double p95 = histogram.PercentileMs(0.95);
+  double p99 = histogram.PercentileMs(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Exact p50 is 5ms; bucketed estimate must land within one bucket.
+  EXPECT_NEAR(p50, 5.0, 5.0 * (LatencyHistogram::kGrowth - 1.0));
+  EXPECT_NEAR(histogram.mean_ms(), 5.005, 0.1);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.PercentileMs(0.99), 0.0);
+}
+
+TEST(ServerMetricsTest, SnapshotJsonHasAllSections) {
+  ServerMetricsSnapshot snapshot;
+  snapshot.requests_ok = 5;
+  snapshot.p50_ms = 1.25;
+  std::string json = snapshot.ToJson();
+  for (const char* key :
+       {"\"requests\"", "\"sessions\"", "\"queue_depth\"",
+        "\"latency_ms\"", "\"plan_cache\"", "\"p50\"", "\"p95\"",
+        "\"p99\"", "\"shed\"", "\"hit_rate\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+
+TEST(SessionManagerTest, CapAndLifecycle) {
+  SessionManager sessions(2);
+  auto a = sessions.Open("alice");
+  auto b = sessions.Open("bob");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(sessions.Open("carol").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(sessions.num_open(), 2u);
+
+  ASSERT_TRUE(sessions.Get((*a)->id()).ok());
+  EXPECT_TRUE(sessions.Close((*a)->id()).ok());
+  EXPECT_EQ(sessions.Get((*a)->id()).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(sessions.Open("carol").ok());  // capacity freed
+  EXPECT_EQ(sessions.total_opened(), 3u);
+  EXPECT_EQ(sessions.ListSessions().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(AdmissionControllerTest, ShedsWhenSaturatedThenRecovers) {
+  AdmissionOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  AdmissionController admission(options);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(admission
+                  .Admit([&] {
+                    started.store(true);
+                    opened.wait();
+                  })
+                  .ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // Worker busy: one slot in the queue, then shed.
+  ASSERT_TRUE(admission.Admit([&] { opened.wait(); }).ok());
+  Status shed = admission.Admit([] {});
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(admission.shed_count(), 1u);
+
+  gate.set_value();
+  admission.Drain();
+  EXPECT_TRUE(admission.draining());
+  EXPECT_EQ(admission.queue_depth(), 0u);
+  Status after = admission.Admit([] {});
+  EXPECT_EQ(after.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(admission.shed_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end
+
+TEST_F(ServeTest, LoopbackClientExecutesQueriesAndPredicts) {
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  PredictionServer server(engine_.get(), options);
+  LoopbackClient client(&server);
+  ASSERT_TRUE(client.status().ok());
+
+  auto count = client.Execute("SELECT COUNT(*) FROM emp");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->batch.column(0)->GetValue(0).int_value(), 700);
+
+  auto scored = client.Execute(
+      std::string("SELECT id, ") + kPredictCall + " FROM users WHERE id < 5");
+  ASSERT_TRUE(scored.ok());
+  EXPECT_EQ(scored->batch.num_rows(), 5u);
+
+  auto bad = client.Execute("SELECT nope FROM emp");
+  EXPECT_FALSE(bad.ok());
+
+  ServerMetricsSnapshot snapshot = server.Snapshot();
+  EXPECT_EQ(snapshot.requests_ok, 2u);
+  EXPECT_EQ(snapshot.requests_error, 1u);
+  EXPECT_EQ(snapshot.latency_count, 3u);
+  EXPECT_EQ(snapshot.sessions_open, 1u);
+
+  auto session = server.sessions()->Get(client.session_id());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->requests(), 3u);
+  EXPECT_EQ((*session)->errors(), 1u);
+}
+
+TEST_F(ServeTest, EightConcurrentSessionsMatchSerialExecution) {
+  const std::vector<std::string> corpus = ServingCorpus();
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& sql : corpus) {
+    auto serial = engine_->Execute(sql);
+    ASSERT_TRUE(serial.ok()) << sql << ": " << serial.status().ToString();
+    expected.push_back(Canonicalize(serial->batch));
+  }
+
+  ServerOptions options;
+  options.admission.num_workers = 8;
+  options.admission.max_queue_depth = 256;
+  PredictionServer server(engine_.get(), options);
+
+  constexpr int kSessions = 8;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&, t] {
+      LoopbackClient client(&server);
+      if (!client.status().ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      // Each session walks the corpus from a different offset so
+      // distinct statements overlap in time.
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        size_t q = (i + t) % corpus.size();
+        auto result = client.Execute(corpus[q]);
+        if (!result.ok()) {
+          errors.fetch_add(1);
+        } else if (Canonicalize(result->batch) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  ServerMetricsSnapshot snapshot = server.Snapshot();
+  EXPECT_EQ(snapshot.requests_ok,
+            static_cast<uint64_t>(kSessions) * corpus.size());
+  EXPECT_EQ(snapshot.requests_shed, 0u);
+}
+
+TEST_F(ServeTest, TpchTemplatesThroughConcurrentSessions) {
+  flock::FlockEngineOptions options;
+  options.sql.num_threads = 1;
+  flock::FlockEngine tpch_engine(options);
+  workload::TpchWorkload tpch(42);
+  ASSERT_TRUE(tpch.CreateSchema(tpch_engine.database()).ok());
+  ASSERT_TRUE(tpch.PopulateData(tpch_engine.database(), 200).ok());
+
+  std::vector<std::string> queries;
+  std::vector<std::vector<std::string>> expected;
+  for (size_t q = 0; q < workload::TpchWorkload::NumTemplates(); ++q) {
+    workload::TpchWorkload generator(q * 13 + 3);
+    queries.push_back(generator.Instantiate(q));
+    auto serial = tpch_engine.Execute(queries.back());
+    ASSERT_TRUE(serial.ok())
+        << queries.back() << ": " << serial.status().ToString();
+    expected.push_back(Canonicalize(serial->batch));
+  }
+
+  ServerOptions server_options;
+  server_options.admission.num_workers = 8;
+  server_options.admission.max_queue_depth = 256;
+  PredictionServer server(&tpch_engine, server_options);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      LoopbackClient client(&server);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        size_t q = (i + t * 3) % queries.size();
+        auto result = client.Execute(queries[q]);
+        if (!result.ok() || Canonicalize(result->batch) != expected[q]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServeTest, MixedLoadTenThousandRequestsZeroErrors) {
+  // 8 sessions x 1250 requests: a handful of hot templates (>90 % plan
+  // cache hits) mixing scans, joins, aggregates and PREDICT scoring.
+  std::vector<std::string> templates = {
+      "SELECT COUNT(*) FROM emp WHERE salary > 800",
+      "SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id",
+      "SELECT emp.name, dept.dname FROM emp "
+      "JOIN dept ON emp.dept_id = dept.id AND dept.budget > 2000",
+      std::string("SELECT COUNT(*) FROM users WHERE ") + kPredictCall +
+          " > 0.5",
+      std::string("SELECT id, ") + kPredictCall +
+          " FROM users WHERE id < 20",
+      "SELECT MIN(salary), MAX(salary) FROM emp",
+  };
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& sql : templates) {
+    auto serial = engine_->Execute(sql);
+    ASSERT_TRUE(serial.ok()) << sql;
+    expected.push_back(Canonicalize(serial->batch));
+  }
+
+  ServerOptions options;
+  options.admission.num_workers = 4;
+  options.admission.max_queue_depth = 512;
+  PredictionServer server(engine_.get(), options);
+
+  constexpr int kSessions = 8;
+  constexpr int kPerSession = 1250;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&, t] {
+      LoopbackClient client(&server);
+      if (!client.status().ok()) {
+        failures.fetch_add(kPerSession);
+        return;
+      }
+      for (int i = 0; i < kPerSession; ++i) {
+        size_t q = (i + t) % templates.size();
+        auto result = client.Execute(templates[q]);
+        if (!result.ok() || Canonicalize(result->batch) != expected[q]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ServerMetricsSnapshot snapshot = server.Snapshot();
+  EXPECT_EQ(snapshot.requests_ok,
+            static_cast<uint64_t>(kSessions) * kPerSession);
+  EXPECT_EQ(snapshot.requests_error, 0u);
+  EXPECT_EQ(snapshot.requests_shed, 0u);
+  EXPECT_GT(snapshot.plan_cache_hit_rate, 0.9);
+  EXPECT_LE(snapshot.p50_ms, snapshot.p95_ms);
+  EXPECT_LE(snapshot.p95_ms, snapshot.p99_ms);
+}
+
+TEST_F(ServeTest, PlanCacheHitRateOnRepeatedTemplates) {
+  PredictionServer server(engine_.get());
+  LoopbackClient client(&server);
+  const std::string sql = "SELECT COUNT(*) FROM emp WHERE salary > 1000";
+  for (int i = 0; i < 100; ++i) {
+    auto result = client.Execute(sql);
+    ASSERT_TRUE(result.ok());
+    if (i > 0) EXPECT_TRUE(result->from_plan_cache);
+  }
+  EXPECT_GT(server.Snapshot().plan_cache_hit_rate, 0.9);
+}
+
+TEST_F(ServeTest, DdlInvalidatesCachedPlansAcrossSessions) {
+  PredictionServer server(engine_.get());
+  LoopbackClient client(&server);
+  ASSERT_TRUE(client.Execute("CREATE TABLE kv (x INT)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO kv VALUES (1), (2)").ok());
+  const std::string sum = "SELECT SUM(x) FROM kv";
+  auto before = client.Execute(sum);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->batch.column(0)->GetValue(0).double_value(), 3.0);
+  ASSERT_TRUE(client.Execute(sum).ok());  // cached now
+
+  ASSERT_TRUE(client.Execute("DROP TABLE kv").ok());
+  EXPECT_FALSE(client.Execute(sum).ok())
+      << "dropped table must not be served from a stale cached plan";
+
+  ASSERT_TRUE(client.Execute("CREATE TABLE kv (x INT)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO kv VALUES (10), (20), (30)").ok());
+  auto after = client.Execute(sum);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->batch.column(0)->GetValue(0).double_value(), 60.0);
+}
+
+TEST_F(ServeTest, ModelRedeployAndDropInvalidateCachedPredictPlans) {
+  PredictionServer server(engine_.get());
+  LoopbackClient client(&server);
+  const std::string score =
+      std::string("SELECT ") + kPredictCall + " FROM users WHERE id = 5";
+  auto v1 = client.Execute(score);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(client.Execute(score).ok());  // cached now
+  double v1_score = v1->batch.column(0)->GetValue(0).double_value();
+
+  // Redeploy churn with inverted labels: same name, different model.
+  BuildUsersAndChurn(engine_.get(), 300, /*invert_labels=*/true);
+  auto v2 = client.Execute(score);
+  ASSERT_TRUE(v2.ok());
+  double v2_score = v2->batch.column(0)->GetValue(0).double_value();
+  EXPECT_GT(std::abs(v1_score - v2_score), 1e-9)
+      << "redeployed model must not score through a stale cached plan";
+
+  ASSERT_TRUE(client.Execute("DROP MODEL churn").ok());
+  EXPECT_FALSE(client.Execute(score).ok())
+      << "dropped model must fail, not score through a stale plan";
+}
+
+TEST_F(ServeTest, PerSessionPrincipalsEnforceModelAccess) {
+  ASSERT_TRUE(
+      engine_->models()->SetAccessControl("churn", {"system"}).ok());
+  PredictionServer server(engine_.get());
+
+  LoopbackClient admin(&server);  // default principal ("system")
+  LoopbackClient intern(&server, "intern");
+  const std::string score =
+      std::string("SELECT ") + kPredictCall + " FROM users WHERE id = 1";
+
+  ASSERT_TRUE(admin.Execute(score).ok());
+  auto denied = intern.Execute(score);
+  EXPECT_FALSE(denied.ok());
+  // Plain SQL (no model access) still works for the intern.
+  EXPECT_TRUE(intern.Execute("SELECT COUNT(*) FROM emp").ok());
+}
+
+TEST_F(ServeTest, OverloadShedsWithUnavailable) {
+  ServerOptions options;
+  options.admission.num_workers = 1;
+  options.admission.max_queue_depth = 2;
+  PredictionServer server(engine_.get(), options);
+  LoopbackClient client(&server);
+
+  // Burst far more requests than worker + queue can hold; submission is
+  // much faster than execution, so most of the burst must shed.
+  std::vector<std::future<StatusOr<sql::QueryResult>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(server.Submit(
+        client.session_id(),
+        "SELECT COUNT(*) FROM emp JOIN dept ON emp.dept_id = dept.id"));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 64);
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(server.Snapshot().requests_shed,
+            static_cast<uint64_t>(shed));
+
+  // Overload is transient: once the burst clears, requests are admitted.
+  EXPECT_TRUE(client.Execute("SELECT COUNT(*) FROM emp").ok());
+}
+
+TEST_F(ServeTest, GracefulDrainCompletesInFlightThenRefuses) {
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  PredictionServer server(engine_.get(), options);
+  LoopbackClient client(&server);
+
+  std::vector<std::future<StatusOr<sql::QueryResult>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        server.Submit(client.session_id(), "SELECT COUNT(*) FROM emp"));
+  }
+  server.Shutdown();  // blocks until admitted requests finish
+
+  for (auto& future : futures) {
+    auto result = future.get();  // resolved: completed or shed, never lost
+    if (result.ok()) {
+      EXPECT_EQ(result->batch.column(0)->GetValue(0).int_value(), 700);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.Execute(client.session_id(), "SELECT 1").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(server.OpenSession().status().code(),
+            StatusCode::kUnavailable);
+  server.Shutdown();  // idempotent
+}
+
+TEST_F(ServeTest, SessionCapAndBadSessionErrors) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  PredictionServer server(engine_.get(), options);
+  auto a = server.OpenSession();
+  auto b = server.OpenSession();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(server.OpenSession().status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(server.Execute(999, "SELECT 1").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(server.CloseSession(*a).ok());
+  EXPECT_TRUE(server.OpenSession().ok());
+}
+
+TEST_F(ServeTest, MetricsJsonRoundTrip) {
+  PredictionServer server(engine_.get());
+  LoopbackClient client(&server);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM emp").ok());
+  }
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"ok\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
+  ServerMetricsSnapshot snapshot = server.Snapshot();
+  EXPECT_EQ(snapshot.latency_count, 5u);
+  EXPECT_LE(snapshot.p50_ms, snapshot.p99_ms);
+}
+
+}  // namespace
+}  // namespace flock::serve

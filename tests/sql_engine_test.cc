@@ -394,6 +394,108 @@ TEST(ParserTest, CommentsSkipped) {
   EXPECT_TRUE(stmt.ok());
 }
 
+TEST(PlanCacheTest, NormalizeSqlCollapsesLayoutAndCase) {
+  EXPECT_EQ(NormalizeSql("  SELECT  id\n\tFROM emp ; "),
+            "select id from emp");
+  EXPECT_EQ(NormalizeSql("SELECT id FROM EMP"),
+            NormalizeSql("select id from emp"));
+  // String literals keep their case and inner spacing.
+  EXPECT_EQ(NormalizeSql("SELECT 'It  IS' FROM emp"),
+            "select 'It  IS' from emp");
+  // Different literals stay different keys.
+  EXPECT_NE(NormalizeSql("SELECT * FROM emp WHERE name = 'a'"),
+            NormalizeSql("SELECT * FROM emp WHERE name = 'b'"));
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  PlanCache cache(2);
+  auto plan = [] { return std::make_unique<LogicalPlan>(); };
+  cache.Insert("a", plan());
+  cache.Insert("b", plan());
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh "a" -> LRU is "b"
+  cache.Insert("c", plan());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_GE(stats.invalidations, 2u);  // eviction of "b" + Clear()
+}
+
+TEST(PlanCacheTest, LookupReturnsPrivateClones) {
+  PlanCache cache(4);
+  cache.Insert("k", std::make_unique<LogicalPlan>());
+  PlanPtr first = cache.Lookup("k");
+  PlanPtr second = cache.Lookup("k");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());
+}
+
+TEST_F(SqlEngineTest, PlanCacheHitSkipsPlanningAndMatchesResults) {
+  QueryResult cold = Exec("SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_FALSE(cold.from_plan_cache);
+  QueryResult warm =
+      Exec("select  dept, count(*)\nFROM emp GROUP BY dept;");
+  EXPECT_TRUE(warm.from_plan_cache);
+  EXPECT_EQ(cold.batch.num_rows(), warm.batch.num_rows());
+  PlanCacheStats stats = engine_.plan_cache()->stats();
+  EXPECT_GE(stats.hits, 1u);
+}
+
+TEST_F(SqlEngineTest, PlanCacheSeesLiveDataAfterDml) {
+  QueryResult before = Exec("SELECT COUNT(*) FROM emp WHERE dept = 'hr'");
+  Exec("INSERT INTO emp VALUES (7, 'gina', 'hr', 70.0, 41)");
+  QueryResult after = Exec("SELECT COUNT(*) FROM emp WHERE dept = 'hr'");
+  EXPECT_TRUE(after.from_plan_cache);
+  EXPECT_EQ(after.batch.column(0)->GetValue(0).int_value(),
+            before.batch.column(0)->GetValue(0).int_value() + 1);
+}
+
+TEST_F(SqlEngineTest, DdlInvalidatesPlanCache) {
+  Exec("CREATE TABLE tmp (x INT)");
+  Exec("INSERT INTO tmp VALUES (1), (2)");
+  QueryResult sum = Exec("SELECT SUM(x) FROM tmp");
+  EXPECT_EQ(sum.batch.column(0)->GetValue(0).double_value(), 3.0);
+  Exec("SELECT SUM(x) FROM tmp");  // now cached
+  Exec("DROP TABLE tmp");
+  EXPECT_FALSE(engine_.Execute("SELECT SUM(x) FROM tmp").ok())
+      << "dropped table must not serve a stale cached plan";
+  Exec("CREATE TABLE tmp (x INT)");
+  Exec("INSERT INTO tmp VALUES (10), (20), (30)");
+  QueryResult fresh = Exec("SELECT SUM(x) FROM tmp");
+  EXPECT_FALSE(fresh.from_plan_cache);
+  EXPECT_EQ(fresh.batch.column(0)->GetValue(0).double_value(), 60.0);
+}
+
+TEST_F(SqlEngineTest, ExplainAnalyzeReportsPlanCacheCounters) {
+  Exec("SELECT id FROM emp WHERE salary > 90");
+  Exec("SELECT id FROM emp WHERE salary > 90");
+  QueryResult explained =
+      Exec("EXPLAIN ANALYZE SELECT id FROM emp WHERE salary > 90");
+  EXPECT_NE(explained.plan_text.find("Plan Cache"), std::string::npos);
+  EXPECT_NE(explained.plan_text.find("hits="), std::string::npos);
+}
+
+TEST(PlanCacheEngineTest, DisabledCacheNeverHits) {
+  Database db;
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  SqlEngine engine(&db, options);
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1)").ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = engine.Execute("SELECT x FROM t");
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->from_plan_cache);
+  }
+  EXPECT_EQ(engine.plan_cache()->stats().hits, 0u);
+}
+
 TEST(ParserTest, ErrorsAreParseErrors) {
   EXPECT_EQ(Parser::Parse("SELECT FROM").status().code(),
             StatusCode::kParseError);
