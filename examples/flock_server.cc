@@ -6,8 +6,13 @@
 // with `ERR Unavailable ...` under overload, and SIGINT triggers a
 // graceful drain (in-flight queries finish, new ones are refused).
 //
-//   ./flock_server [port] [workers] [queue_depth]
+//   ./flock_server [port] [workers] [queue_depth] [--data-dir=PATH]
 //   ./flock_client 127.0.0.1 5433
+//
+// With --data-dir the server is durable: it recovers any existing
+// snapshot + WAL from PATH on startup (skipping the demo build when the
+// data survived), logs every mutation, and the SIGINT drain checkpoints
+// before exit so a restart replays nothing.
 //
 // The demo database is a `users` table with a deployed GBDT `churn`
 // model, so PREDICT traffic works out of the box:
@@ -161,19 +166,52 @@ void ServeConnection(flock::serve::PredictionServer* server, int fd) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int port = argc > 1 ? std::atoi(argv[1]) : 5433;
+  std::string data_dir;
+  std::vector<int> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(std::strlen("--data-dir="));
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else {
+      positional.push_back(std::atoi(arg.c_str()));
+    }
+  }
+  int port = positional.size() > 0 ? positional[0] : 5433;
   flock::serve::ServerOptions options;
-  options.admission.num_workers = argc > 2 ? std::atoi(argv[2]) : 4;
-  options.admission.max_queue_depth = argc > 3 ? std::atoi(argv[3]) : 64;
+  options.admission.num_workers = positional.size() > 1 ? positional[1] : 4;
+  options.admission.max_queue_depth =
+      positional.size() > 2 ? positional[2] : 64;
 
   // One shared engine; serial per query so concurrency comes from the
   // serving worker pool, not nested morsel parallelism.
   flock::flock::FlockEngineOptions engine_options;
   engine_options.sql.num_threads = 1;
   flock::flock::FlockEngine engine(engine_options);
-  if (!BuildDemoDatabase(&engine, 2000)) {
-    std::fprintf(stderr, "demo database setup failed\n");
-    return 1;
+  if (!data_dir.empty()) {
+    flock::Status opened = engine.Open(data_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", data_dir.c_str(),
+                   opened.ToString().c_str());
+      return 1;
+    }
+    const flock::wal::RecoveryResult& rec =
+        engine.durability()->recovery();
+    std::printf(
+        "durable at %s (snapshot %s, %zu WAL records replayed%s)\n",
+        data_dir.c_str(), rec.snapshot_restored ? "restored" : "none",
+        rec.wal_records_replayed,
+        rec.tail_truncated ? ", torn tail dropped" : "");
+  }
+  // A recovered data dir already holds the users table and churn model;
+  // rebuilding would fail on CREATE TABLE (AlreadyExists) and re-log the
+  // whole demo, so only build into a fresh engine.
+  if (!engine.database()->HasTable("users")) {
+    if (!BuildDemoDatabase(&engine, 2000)) {
+      std::fprintf(stderr, "demo database setup failed\n");
+      return 1;
+    }
   }
   flock::serve::PredictionServer server(&engine, options);
 
@@ -212,11 +250,13 @@ int main(int argc, char** argv) {
     connections.emplace_back(ServeConnection, &server, fd);
   }
 
-  std::printf("\ndraining (in-flight queries finish, new ones shed)...\n");
-  server.Shutdown();
+  std::printf("\ndraining (in-flight queries finish, new ones shed)%s...\n",
+              engine.durable() ? ", then checkpointing" : "");
+  server.Shutdown();  // drains, then checkpoints the engine if durable
   for (auto& t : connections) {
     if (t.joinable()) t.join();
   }
+  // Final metrics, printed exactly once on the way out.
   std::printf("%s\n", server.MetricsJson().c_str());
   return 0;
 }

@@ -4,9 +4,13 @@
 # then a ThreadSanitizer build running the concurrency-sensitive suites
 # (the serving layer's sessions/admission/plan-cache paths and the thread
 # pool) — data races in the shared-engine serving path only show up under
-# TSan with genuinely concurrent sessions.
+# TSan with genuinely concurrent sessions — and finally a dedicated
+# recovery stage: the crash matrix (fault-injected child processes) under
+# ASan, plus the WAL group-commit tests under TSan (the one writer path
+# with a genuinely concurrent background flusher).
 #
-# Usage: scripts/check.sh [--asan-only|--no-asan|--tsan-only|--no-tsan]
+# Usage: scripts/check.sh
+#          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,14 +18,16 @@ cd "$(dirname "$0")/.."
 RUN_PLAIN=1
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_RECOVERY=1
 case "${1:-}" in
-  --asan-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
+  --asan-only) RUN_PLAIN=0; RUN_TSAN=0; RUN_RECOVERY=0 ;;
   --no-asan) RUN_ASAN=0 ;;
-  --tsan-only) RUN_PLAIN=0; RUN_ASAN=0 ;;
+  --tsan-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_RECOVERY=0 ;;
   --no-tsan) RUN_TSAN=0 ;;
+  --recovery-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--asan-only|--no-asan|--tsan-only|--no-tsan]" >&2
+    echo "usage: $0 [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]" >&2
     exit 2
     ;;
 esac
@@ -52,6 +58,26 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # one shared engine), the thread pool, and the morsel-parallel executor.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'Serve|ServerMetrics|LatencyHistogram|SessionManager|AdmissionController|ThreadPool|ParallelDifferential'
+fi
+
+if [[ "$RUN_RECOVERY" == 1 ]]; then
+  echo "== recovery stage: crash matrix under ASan =="
+  # The WAL/recovery suites carry the `recovery` ctest label. Running the
+  # crash matrix under ASan means every fault-injected child process and
+  # every recovery path is memory-checked; leak detection stays off
+  # because the injected crashes _exit mid-operation by design.
+  cmake -B build-asan -S . -DFLOCK_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" --target wal_test recovery_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L recovery
+
+  echo "== recovery stage: WAL group commit under TSan =="
+  # Group commit is the only WAL path with real concurrency (appenders +
+  # background flusher); TSan proves the seq/cv handoff race-free.
+  cmake -B build-tsan -S . -DFLOCK_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target wal_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'GroupCommit|FsyncPolicy'
 fi
 
 echo "All checks passed."

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kPermissionDenied,
   kParseError,
   kUnavailable,
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +69,12 @@ class Status {
   /// sheds requests with this instead of queueing unboundedly).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Unrecoverable corruption of persistent state: checksum mismatches,
+  /// truncated snapshots, mid-log torn records. Distinct from Internal
+  /// (a programming error) — DataLoss means the bytes on disk are bad.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -89,8 +89,25 @@ Status DeployTransaction::CommitLocked() {
   }
 
   if (failure.ok()) {
+    if (on_commit_) {
+      std::vector<CommittedDeployOp> committed;
+      committed.reserve(operations_.size());
+      for (const Operation& op : operations_) {
+        CommittedDeployOp c;
+        c.is_drop = op.kind == Operation::Kind::kDrop;
+        c.name = op.name;
+        if (c.is_drop) {
+          c.created_by = "system";  // Drop's default principal
+        } else {
+          c.pipeline_text = op.pipeline.Serialize();
+          c.created_by = op.created_by;
+          c.lineage = op.lineage;
+        }
+        committed.push_back(std::move(c));
+      }
+      on_commit_(committed);
+    }
     operations_.clear();
-    if (on_commit_) on_commit_();
     return Status::OK();
   }
   // Roll back in reverse order.

@@ -11,6 +11,16 @@
 
 namespace flock::flock {
 
+/// One operation of a committed deployment, reported to the commit
+/// callback — the engine mirrors these into the write-ahead log.
+struct CommittedDeployOp {
+  bool is_drop = false;
+  std::string name;
+  std::string pipeline_text;  // serialized pipeline; empty for drops
+  std::string created_by;     // principal for drops
+  std::string lineage;
+};
+
 /// Atomic multi-model deployment (paper §4.1: "assemblies of models and
 /// preprocessing steps should be updated atomically", enabled by treating
 /// models as first-class data that database transactions can cover).
@@ -25,9 +35,10 @@ class DeployTransaction {
   /// Commit so no query scores mid-transaction; `on_commit` (optional)
   /// runs after a successful commit while the lock is still held —
   /// FlockEngine uses it to invalidate the plan cache.
-  explicit DeployTransaction(ModelRegistry* registry,
-                             std::shared_mutex* engine_mu = nullptr,
-                             std::function<void()> on_commit = {})
+  explicit DeployTransaction(
+      ModelRegistry* registry, std::shared_mutex* engine_mu = nullptr,
+      std::function<void(const std::vector<CommittedDeployOp>&)> on_commit =
+          {})
       : registry_(registry),
         engine_mu_(engine_mu),
         on_commit_(std::move(on_commit)) {}
@@ -63,7 +74,7 @@ class DeployTransaction {
 
   ModelRegistry* registry_;
   std::shared_mutex* engine_mu_ = nullptr;
-  std::function<void()> on_commit_;
+  std::function<void(const std::vector<CommittedDeployOp>&)> on_commit_;
   std::vector<Operation> operations_;
 };
 

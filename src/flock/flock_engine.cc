@@ -54,12 +54,121 @@ FlockEngine::FlockEngine(FlockEngineOptions options)
       [this](const sql::CreateModelStatement& stmt) -> Status {
         FLOCK_ASSIGN_OR_RETURN(ml::Pipeline pipeline,
                                ml::Pipeline::Deserialize(stmt.definition));
-        return models_.Register(stmt.model_name, std::move(pipeline),
-                                context_->principal, "sql:CREATE MODEL");
+        FLOCK_RETURN_NOT_OK(models_.Register(stmt.model_name,
+                                             std::move(pipeline),
+                                             context_->principal,
+                                             "sql:CREATE MODEL"));
+        if (durability_ != nullptr) {
+          return durability_->LogModelDeploy(stmt.model_name,
+                                             stmt.definition,
+                                             context_->principal,
+                                             "sql:CREATE MODEL");
+        }
+        return Status::OK();
       },
       [this](const sql::DropModelStatement& stmt) -> Status {
-        return models_.Drop(stmt.model_name, context_->principal);
+        FLOCK_RETURN_NOT_OK(
+            models_.Drop(stmt.model_name, context_->principal));
+        if (durability_ != nullptr) {
+          return durability_->LogModelDrop(stmt.model_name,
+                                           context_->principal);
+        }
+        return Status::OK();
       });
+}
+
+Status FlockEngine::Open(const std::string& data_dir,
+                         FlockDurabilityConfig config) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (durability_ != nullptr) {
+    return Status::InvalidArgument("engine is already durable against " +
+                                   durability_->directory());
+  }
+
+  wal::EngineStateAdapter adapter;
+  adapter.snapshot_models = [this] {
+    std::vector<wal::ModelSnapshot> out;
+    for (const std::string& name : models_.ListModels()) {
+      auto entry = models_.Get(name);
+      if (!entry.ok()) continue;
+      wal::ModelSnapshot m;
+      m.name = (*entry)->name;
+      m.version = (*entry)->version;
+      m.pipeline_text = (*entry)->pipeline.Serialize();
+      m.created_by = (*entry)->created_by;
+      m.lineage = (*entry)->lineage;
+      m.allowed_principals.assign((*entry)->allowed_principals.begin(),
+                                  (*entry)->allowed_principals.end());
+      out.push_back(std::move(m));
+    }
+    return out;
+  };
+  adapter.snapshot_audit = [this] {
+    std::vector<wal::AuditEventSnapshot> out;
+    for (const AuditEvent& event : models_.audit_log()) {
+      out.push_back(wal::AuditEventSnapshot{
+          static_cast<uint8_t>(event.kind), event.model, event.principal,
+          event.version, event.rows});
+    }
+    return out;
+  };
+  adapter.restore_model = [this](const wal::ModelSnapshot& m) -> Status {
+    FLOCK_ASSIGN_OR_RETURN(ml::Pipeline pipeline,
+                           ml::Pipeline::Deserialize(m.pipeline_text));
+    return models_.RestoreModel(
+        m.name, std::move(pipeline), m.version, m.created_by, m.lineage,
+        std::set<std::string>(m.allowed_principals.begin(),
+                              m.allowed_principals.end()));
+  };
+  adapter.restore_audit = [this](std::vector<wal::AuditEventSnapshot> a) {
+    std::vector<AuditEvent> events;
+    events.reserve(a.size());
+    for (const wal::AuditEventSnapshot& e : a) {
+      events.push_back(AuditEvent{static_cast<AuditEvent::Kind>(e.kind),
+                                  e.model, e.principal, e.version,
+                                  static_cast<size_t>(e.rows)});
+    }
+    models_.RestoreAuditLog(std::move(events));
+  };
+  adapter.replay_deploy = [this](const std::string& name,
+                                 const std::string& pipeline_text,
+                                 const std::string& created_by,
+                                 const std::string& lineage) -> Status {
+    FLOCK_ASSIGN_OR_RETURN(ml::Pipeline pipeline,
+                           ml::Pipeline::Deserialize(pipeline_text));
+    return models_.Register(name, std::move(pipeline), created_by,
+                            lineage);
+  };
+  adapter.replay_drop = [this](const std::string& name,
+                               const std::string& principal) -> Status {
+    return models_.Drop(name, principal);
+  };
+
+  wal::DurabilityOptions options;
+  options.fsync_policy = config.fsync_policy;
+  options.group_commit_interval_ms = config.group_commit_interval_ms;
+  // Derived catalog views are rebuilt from the registry on demand; they
+  // must not be logged or snapshotted.
+  options.skip_tables = {"flock_models", "flock_audit"};
+
+  FLOCK_ASSIGN_OR_RETURN(
+      durability_,
+      wal::DurabilityManager::Open(data_dir, &db_, config.catalog,
+                                   config.policy, std::move(adapter),
+                                   std::move(options)));
+  // Recovery mutated tables and models behind the SQL layer's back; any
+  // cached plan or stale catalog view would serve pre-recovery state.
+  sql_engine_.plan_cache()->Clear();
+  return RefreshCatalogTablesLocked();
+}
+
+Status FlockEngine::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine has no data directory (call Open first)");
+  }
+  return durability_->Checkpoint();
 }
 
 bool FlockEngine::RequiresExclusive(const std::string& sql) {
@@ -76,10 +185,18 @@ bool FlockEngine::RequiresExclusive(const std::string& sql) {
 StatusOr<sql::QueryResult> FlockEngine::Execute(const std::string& sql) {
   if (RequiresExclusive(sql)) {
     std::unique_lock<std::shared_mutex> lock(engine_mu_);
-    return ExecuteLocked(sql);
+    return GuardDurable(ExecuteLocked(sql));
   }
   std::shared_lock<std::shared_mutex> lock(engine_mu_);
   return sql_engine_.Execute(sql);
+}
+
+StatusOr<sql::QueryResult> FlockEngine::GuardDurable(
+    StatusOr<sql::QueryResult> result) {
+  if (durability_ != nullptr) {
+    FLOCK_RETURN_NOT_OK(durability_->health());
+  }
+  return result;
 }
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteAs(
@@ -91,7 +208,7 @@ StatusOr<sql::QueryResult> FlockEngine::ExecuteAs(
   context_->principal = principal;
   auto result = ExecuteLocked(sql);
   context_->principal = saved;
-  return result;
+  return GuardDurable(std::move(result));
 }
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteLocked(
@@ -180,7 +297,7 @@ Status FlockEngine::RefreshCatalogTablesLocked() {
 StatusOr<sql::QueryResult> FlockEngine::ExecuteScript(
     const std::string& sql) {
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
-  return sql_engine_.ExecuteScript(sql);
+  return GuardDurable(sql_engine_.ExecuteScript(sql));
 }
 
 Status FlockEngine::DeployModel(const std::string& name,
@@ -191,13 +308,32 @@ Status FlockEngine::DeployModel(const std::string& name,
   // Redeploys supersede cross-optimizer specializations referenced by
   // cached plans; drop them all.
   sql_engine_.plan_cache()->Clear();
-  return models_.Register(name, std::move(pipeline), created_by, lineage);
+  std::string pipeline_text;
+  if (durability_ != nullptr) pipeline_text = pipeline.Serialize();
+  FLOCK_RETURN_NOT_OK(
+      models_.Register(name, std::move(pipeline), created_by, lineage));
+  if (durability_ != nullptr) {
+    return durability_->LogModelDeploy(name, pipeline_text, created_by,
+                                       lineage);
+  }
+  return Status::OK();
 }
 
 DeployTransaction FlockEngine::BeginDeployment() {
-  return DeployTransaction(&models_, &engine_mu_, [this] {
-    sql_engine_.plan_cache()->Clear();
-  });
+  return DeployTransaction(
+      &models_, &engine_mu_,
+      [this](const std::vector<CommittedDeployOp>& committed) {
+        sql_engine_.plan_cache()->Clear();
+        if (durability_ == nullptr) return;
+        for (const CommittedDeployOp& op : committed) {
+          if (op.is_drop) {
+            (void)durability_->LogModelDrop(op.name, op.created_by);
+          } else {
+            (void)durability_->LogModelDeploy(op.name, op.pipeline_text,
+                                              op.created_by, op.lineage);
+          }
+        }
+      });
 }
 
 void FlockEngine::SetPrincipal(const std::string& principal) {

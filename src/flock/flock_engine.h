@@ -11,8 +11,22 @@
 #include "flock/predict_functions.h"
 #include "sql/engine.h"
 #include "storage/database.h"
+#include "wal/durability.h"
 
 namespace flock::flock {
+
+/// Configuration for Open(): how the engine persists to its data
+/// directory, and which optional components recover/log alongside it.
+struct FlockDurabilityConfig {
+  wal::FsyncPolicy fsync_policy = wal::FsyncPolicy::kEveryRecord;
+  int group_commit_interval_ms = 2;
+  /// Provenance catalog to recover into and log from (optional; must
+  /// outlive the engine).
+  prov::Catalog* catalog = nullptr;
+  /// Policy engine whose decision timeline should be durable (optional;
+  /// must outlive the engine).
+  policy::PolicyEngine* policy = nullptr;
+};
 
 struct FlockEngineOptions {
   sql::EngineOptions sql;
@@ -71,6 +85,22 @@ class FlockEngine {
 
   FlockEngine(const FlockEngine&) = delete;
   FlockEngine& operator=(const FlockEngine&) = delete;
+
+  /// Makes the engine durable against `data_dir`: recovers any existing
+  /// snapshot + WAL into the engine (tables, models, audit log, and the
+  /// configured catalog/policy components), then logs every subsequent
+  /// committed mutation. Call once, before serving traffic; takes the
+  /// exclusive lock. Derived state (plan cache, catalog views) is
+  /// rebuilt, not recovered.
+  Status Open(const std::string& data_dir,
+              FlockDurabilityConfig config = {});
+
+  /// Snapshots all durable state and truncates the WAL. Takes the
+  /// exclusive lock; cheap no-op error if the engine is not durable.
+  Status Checkpoint();
+
+  bool durable() const { return durability_ != nullptr; }
+  wal::DurabilityManager* durability() { return durability_.get(); }
 
   /// Executes one SQL statement (including CREATE/DROP MODEL). Queries
   /// touching the model catalog views (`flock_models`, `flock_audit`)
@@ -132,11 +162,18 @@ class FlockEngine {
   StatusOr<sql::QueryResult> ExecuteLocked(const std::string& sql);
   Status RefreshCatalogTablesLocked();
 
+  /// Commit-point check for exclusive statements: a statement whose WAL
+  /// append failed must not be acknowledged, even though the in-memory
+  /// mutation happened (the log is wedged; health() is sticky).
+  StatusOr<sql::QueryResult> GuardDurable(
+      StatusOr<sql::QueryResult> result);
+
   storage::Database db_;
   ModelRegistry models_;
   sql::SqlEngine sql_engine_;
   CrossOptimizer cross_optimizer_;
   std::shared_ptr<ScoringContext> context_;
+  std::unique_ptr<wal::DurabilityManager> durability_;
   bool enable_cross_optimizer_ = true;
   /// Shared: concurrent queries. Exclusive: DDL/DML/catalog refresh/
   /// principal changes. See the class-level locking contract.

@@ -82,6 +82,38 @@ Status ModelRegistry::Register(const std::string& name,
   return Status::OK();
 }
 
+Status ModelRegistry::RestoreModel(const std::string& name,
+                                   ml::Pipeline pipeline, uint64_t version,
+                                   const std::string& created_by,
+                                   const std::string& lineage,
+                                   std::set<std::string> allowed_principals) {
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->version = version;
+  entry->created_by = created_by;
+  entry->lineage = lineage;
+  entry->allowed_principals = std::move(allowed_principals);
+  FLOCK_ASSIGN_OR_RETURN(entry->graph, pipeline.Compile());
+  entry->pipeline = std::move(pipeline);
+  AnalyzeEntry(entry.get());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& history = models_[Key(name)];
+  if (!history.empty() && history.back()->version >= version) {
+    return Status::InvalidArgument(
+        "restored version " + std::to_string(version) + " of model '" +
+        name + "' is not newer than the registry's version " +
+        std::to_string(history.back()->version));
+  }
+  history.push_back(std::move(entry));
+  return Status::OK();
+}
+
+void ModelRegistry::RestoreAuditLog(std::vector<AuditEvent> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  audit_log_ = std::move(events);
+}
+
 Status ModelRegistry::Drop(const std::string& name,
                            const std::string& principal) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -87,6 +87,18 @@ class ModelRegistry {
   Status Drop(const std::string& name,
               const std::string& principal = "system");
 
+  /// Recovery: re-creates a model at its exact snapshotted version and
+  /// access list, without emitting an audit event (restore reconstructs
+  /// state, it does not re-deploy). The version must be newer than any
+  /// already present so snapshot + WAL replay compose in order.
+  Status RestoreModel(const std::string& name, ml::Pipeline pipeline,
+                      uint64_t version, const std::string& created_by,
+                      const std::string& lineage,
+                      std::set<std::string> allowed_principals);
+
+  /// Recovery: replaces the audit log with a snapshotted one.
+  void RestoreAuditLog(std::vector<AuditEvent> events);
+
   /// Latest version. NotFound if absent.
   StatusOr<const ModelEntry*> Get(const std::string& name) const;
 

@@ -147,9 +147,23 @@ StatusOr<std::vector<Decision>> PolicyEngine::DecideBatch(
       entry.rejected = d.rejected;
       entry.context = RenderContext(batch.schema(), batch.GetRow(i));
       timeline_.push_back(std::move(entry));
+      if (timeline_listener_ != nullptr) {
+        timeline_listener_->OnTimelineEntry(timeline_.back());
+      }
     }
   }
   return decisions;
+}
+
+void PolicyEngine::RestoreTimeline(std::vector<TimelineEntry> timeline,
+                                   uint64_t next_seq) {
+  timeline_ = std::move(timeline);
+  next_seq_ = next_seq;
+}
+
+void PolicyEngine::ReplayTimelineEntry(TimelineEntry entry) {
+  if (entry.seq >= next_seq_) next_seq_ = entry.seq + 1;
+  timeline_.push_back(std::move(entry));
 }
 
 Status PolicyEngine::ApplyTransactionally(

@@ -24,6 +24,16 @@ struct TimelineEntry {
   std::string context;  // rendered context row
 };
 
+/// Observes timeline entries as they are committed. The durability
+/// subsystem installs one to mirror the decision timeline into the
+/// write-ahead log; callbacks fire on the deciding thread, after the
+/// entry is appended.
+class TimelineListener {
+ public:
+  virtual ~TimelineListener() = default;
+  virtual void OnTimelineEntry(const TimelineEntry& entry) = 0;
+};
+
 /// Receives committed decisions; used for transactional application. Apply
 /// may fail (e.g. downstream system unavailable); Rollback undoes an
 /// already-applied decision.
@@ -67,12 +77,27 @@ class PolicyEngine {
 
   const std::vector<TimelineEntry>& timeline() const { return timeline_; }
   void ClearTimeline() { timeline_.clear(); }
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Installs a timeline listener (nullptr to clear). Set during
+  /// single-threaded setup, e.g. after recovery completes.
+  void set_timeline_listener(TimelineListener* listener) {
+    timeline_listener_ = listener;
+  }
+
+  /// Wholesale timeline replacement from a checkpoint snapshot.
+  void RestoreTimeline(std::vector<TimelineEntry> timeline,
+                       uint64_t next_seq);
+
+  /// WAL replay: re-appends a logged entry, advancing next_seq past it.
+  void ReplayTimelineEntry(TimelineEntry entry);
 
  private:
   std::vector<Policy> policies_;
   sql::FunctionRegistry functions_;
   std::vector<TimelineEntry> timeline_;
   uint64_t next_seq_ = 0;
+  TimelineListener* timeline_listener_ = nullptr;  // not owned
 };
 
 }  // namespace flock::policy

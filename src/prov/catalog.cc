@@ -65,6 +65,7 @@ uint64_t Catalog::CreateEntity(EntityType type, const std::string& name,
   entity.version = version;
   entities_.push_back(std::move(entity));
   index_[{static_cast<int>(type), name}].push_back(entities_.back().id);
+  if (listener_ != nullptr) listener_->OnEntity(entities_.back());
   return entities_.back().id;
 }
 
@@ -87,6 +88,7 @@ uint64_t Catalog::NewVersion(EntityType type, const std::string& name) {
   uint64_t version = entities_[prev - 1].version + 1;
   uint64_t id = CreateEntity(type, name, version);
   edges_.push_back(Edge{id, prev, EdgeType::kVersionOf});
+  if (listener_ != nullptr) listener_->OnEdge(edges_.back());
   return id;
 }
 
@@ -109,6 +111,7 @@ StatusOr<uint64_t> Catalog::Find(EntityType type, const std::string& name,
 void Catalog::AddEdge(uint64_t src, uint64_t dst, EdgeType type) {
   std::lock_guard<std::mutex> lock(mu_);
   edges_.push_back(Edge{src, dst, type});
+  if (listener_ != nullptr) listener_->OnEdge(edges_.back());
 }
 
 Status Catalog::SetProperty(uint64_t id, const std::string& key,
@@ -118,6 +121,52 @@ Status Catalog::SetProperty(uint64_t id, const std::string& key,
     return Status::NotFound("no entity with id " + std::to_string(id));
   }
   entities_[id - 1].properties[key] = value;
+  if (listener_ != nullptr) listener_->OnProperty(id, key, value);
+  return Status::OK();
+}
+
+void Catalog::set_listener(CatalogListener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = listener;
+}
+
+Status Catalog::Restore(std::vector<Entity> entities,
+                        std::vector<Edge> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entities.size(); ++i) {
+    if (entities[i].id != i + 1) {
+      return Status::DataLoss(
+          "provenance snapshot entity id " +
+          std::to_string(entities[i].id) + " at position " +
+          std::to_string(i) + " is not positional");
+    }
+  }
+  for (const Edge& edge : edges) {
+    if (edge.src == 0 || edge.src > entities.size() || edge.dst == 0 ||
+        edge.dst > entities.size()) {
+      return Status::DataLoss("provenance snapshot edge references missing "
+                              "entity");
+    }
+  }
+  entities_ = std::move(entities);
+  edges_ = std::move(edges);
+  index_.clear();
+  for (const Entity& entity : entities_) {
+    index_[{static_cast<int>(entity.type), entity.name}].push_back(
+        entity.id);
+  }
+  return Status::OK();
+}
+
+Status Catalog::ReplayEntity(uint64_t id, EntityType type,
+                             const std::string& name, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id != entities_.size() + 1) {
+    return Status::DataLoss("wal replay expects provenance entity id " +
+                            std::to_string(entities_.size() + 1) +
+                            " but log says " + std::to_string(id));
+  }
+  CreateEntity(type, name, version);
   return Status::OK();
 }
 

@@ -11,6 +11,19 @@
 
 namespace flock::prov {
 
+/// Observes committed catalog mutations. The durability subsystem installs
+/// one to mirror the provenance graph into the write-ahead log; callbacks
+/// fire under the catalog lock, after the mutation is applied. Listeners
+/// must not call back into the catalog.
+class CatalogListener {
+ public:
+  virtual ~CatalogListener() = default;
+  virtual void OnEntity(const Entity& entity) = 0;
+  virtual void OnEdge(const Edge& edge) = 0;
+  virtual void OnProperty(uint64_t id, const std::string& key,
+                          const std::string& value) = 0;
+};
+
 /// The provenance catalog — Flock's stand-in for Apache Atlas (paper §4.2:
 /// "the Catalog stores all the provenance information and acts as the
 /// bridge between the SQL and the Python provenance modules").
@@ -63,6 +76,20 @@ class Catalog {
   const std::vector<Entity>& entities() const { return entities_; }
   const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Installs a mutation listener (nullptr to clear). Set during
+  /// single-threaded setup, e.g. after recovery completes.
+  void set_listener(CatalogListener* listener);
+
+  /// Wholesale state replacement from a checkpoint snapshot. Entity ids
+  /// must be positional (entities[i].id == i + 1) — DataLoss otherwise.
+  Status Restore(std::vector<Entity> entities, std::vector<Edge> edges);
+
+  /// WAL replay: re-creates an entity that must receive exactly `id`
+  /// (ids are positional, so replay in log order reproduces them).
+  /// DataLoss when the id does not line up with the catalog's next slot.
+  Status ReplayEntity(uint64_t id, EntityType type, const std::string& name,
+                      uint64_t version);
+
  private:
   uint64_t CreateEntity(EntityType type, const std::string& name,
                         uint64_t version);
@@ -72,6 +99,7 @@ class Catalog {
   std::vector<Edge> edges_;
   // (type, name) -> entity ids of all versions (ascending).
   std::map<std::pair<int, std::string>, std::vector<uint64_t>> index_;
+  CatalogListener* listener_ = nullptr;  // not owned
 };
 
 }  // namespace flock::prov

@@ -70,8 +70,18 @@ StatusOr<sql::QueryResult> PredictionServer::Execute(
 }
 
 void PredictionServer::Shutdown() {
-  shutdown_.store(true, std::memory_order_release);
+  bool expected = false;
+  const bool first = shutdown_.compare_exchange_strong(
+      expected, true, std::memory_order_acq_rel);
   admission_.Drain();
+  // Graceful drain doubles as a durability barrier: once no request is
+  // in flight, fold the WAL tail into a fresh snapshot so the next
+  // Open() replays nothing. Only the first Shutdown (the destructor
+  // calls it again) checkpoints, and a wedged log is not fatal here —
+  // recovery replays the WAL instead.
+  if (first && engine_ != nullptr && engine_->durable()) {
+    (void)engine_->Checkpoint();
+  }
 }
 
 bool PredictionServer::accepting() const {

@@ -5,12 +5,21 @@
 namespace flock::storage {
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string key = ToLower(name);
-  if (tables_.count(key) > 0) {
-    return Status::AlreadyExists("table already exists: " + name);
+  TablePtr created;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string key = ToLower(name);
+    if (tables_.count(key) > 0) {
+      return Status::AlreadyExists("table already exists: " + name);
+    }
+    created = std::make_shared<Table>(name, std::move(schema));
+    created->set_observer(observer_);
+    tables_[key] = created;
   }
-  tables_[key] = std::make_shared<Table>(name, std::move(schema));
+  // Notify outside the catalog lock: the observer may do I/O.
+  if (observer_ != nullptr) {
+    observer_->OnCreateTable(created->name(), created->schema());
+  }
   return Status::OK();
 }
 
@@ -24,18 +33,30 @@ StatusOr<TablePtr> Database::GetTable(const std::string& name) const {
 }
 
 Status Database::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("table not found: " + name);
+  std::string dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(ToLower(name));
+    if (it == tables_.end()) {
+      return Status::NotFound("table not found: " + name);
+    }
+    dropped = it->second->name();
+    it->second->set_observer(nullptr);
+    tables_.erase(it);
   }
-  tables_.erase(it);
+  if (observer_ != nullptr) observer_->OnDropTable(dropped);
   return Status::OK();
 }
 
 bool Database::HasTable(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return tables_.count(ToLower(name)) > 0;
+}
+
+void Database::set_observer(DatabaseObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = observer;
+  for (auto& [key, table] : tables_) table->set_observer(observer);
 }
 
 std::vector<std::string> Database::ListTables() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "storage/observer.h"
 #include "storage/table.h"
 
 namespace flock::storage {
@@ -30,9 +31,15 @@ class Database {
   bool HasTable(const std::string& name) const;
   std::vector<std::string> ListTables() const;
 
+  /// Installs `observer` on the catalog and on every current and future
+  /// table (nullptr to clear). Set during single-threaded setup; the
+  /// durability layer uses it to mirror mutations into the WAL.
+  void set_observer(DatabaseObserver* observer);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, TablePtr> tables_;  // keys lower-cased
+  DatabaseObserver* observer_ = nullptr;    // not owned
 };
 
 }  // namespace flock::storage

@@ -1,0 +1,53 @@
+#ifndef FLOCK_STORAGE_OBSERVER_H_
+#define FLOCK_STORAGE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/record_batch.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace flock::storage {
+
+class Table;
+
+/// Observes committed table mutations. The durability subsystem installs
+/// one to append logical redo records to the write-ahead log; callbacks
+/// fire *after* the in-memory mutation succeeds, and the statement is only
+/// acknowledged to the client once the corresponding log append returns
+/// (the engine checks WAL health after every exclusive statement), so the
+/// commit point is the log append.
+///
+/// Callbacks run on the mutating thread. Mutations are serialized by the
+/// engine's exclusive lock; observers must not call back into the table.
+class TableObserver {
+ public:
+  virtual ~TableObserver() = default;
+  virtual void OnAppendBatch(const Table& table,
+                             const RecordBatch& batch) = 0;
+  virtual void OnAppendRow(const Table& table,
+                           const std::vector<Value>& row) = 0;
+  virtual void OnUpdateColumn(const Table& table, size_t col,
+                              const std::vector<uint32_t>& rows,
+                              const std::vector<Value>& values) = 0;
+  /// `keep[i] == false` rows were removed; only fired when removed > 0.
+  virtual void OnDeleteRows(const Table& table,
+                            const std::vector<bool>& keep,
+                            size_t removed) = 0;
+};
+
+/// TableObserver plus catalog-level DDL. Database installs itself-supplied
+/// observers onto every table it creates (and existing tables when the
+/// observer is set), so one object sees every mutation in the database.
+class DatabaseObserver : public TableObserver {
+ public:
+  virtual void OnCreateTable(const std::string& name,
+                             const Schema& schema) = 0;
+  virtual void OnDropTable(const std::string& name) = 0;
+};
+
+}  // namespace flock::storage
+
+#endif  // FLOCK_STORAGE_OBSERVER_H_

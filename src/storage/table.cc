@@ -42,6 +42,7 @@ Status Table::AppendBatch(const RecordBatch& batch) {
   }
   num_rows_ += batch.num_rows();
   BumpVersion("INSERT", batch.num_rows());
+  if (observer_ != nullptr) observer_->OnAppendBatch(*this, batch);
   return Status::OK();
 }
 
@@ -54,6 +55,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
   }
   ++num_rows_;
   BumpVersion("INSERT", 1);
+  if (observer_ != nullptr) observer_->OnAppendRow(*this, row);
   return Status::OK();
 }
 
@@ -83,6 +85,7 @@ size_t Table::FilterInPlace(const std::vector<bool>& keep) {
   }
   num_rows_ = sel.size();
   BumpVersion("DELETE", removed);
+  if (observer_ != nullptr) observer_->OnDeleteRows(*this, keep, removed);
   return removed;
 }
 
@@ -114,6 +117,9 @@ Status Table::UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
   }
   columns_[col] = std::move(fresh);
   BumpVersion("UPDATE", rows.size());
+  if (observer_ != nullptr) {
+    observer_->OnUpdateColumn(*this, col, rows, values);
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "storage/observer.h"
 #include "storage/record_batch.h"
 #include "storage/schema.h"
 
@@ -69,6 +70,10 @@ class Table {
   /// Computes (and caches until next mutation) stats for column `i`.
   StatusOr<ColumnStats> GetStats(size_t i) const;
 
+  /// Installs a mutation observer (nullptr to clear). Not synchronized
+  /// with concurrent mutation; set during single-threaded setup.
+  void set_observer(TableObserver* observer) { observer_ = observer; }
+
  private:
   void BumpVersion(const std::string& op, size_t rows);
 
@@ -78,6 +83,7 @@ class Table {
   size_t num_rows_ = 0;
   std::vector<VersionInfo> versions_;
   mutable std::vector<std::optional<ColumnStats>> stats_cache_;
+  TableObserver* observer_ = nullptr;  // not owned
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -1,0 +1,279 @@
+#include "wal/checkpoint.h"
+
+// stdio + dirent instead of <fcntl.h>: that header's `struct flock`
+// cannot coexist with our `namespace flock` in one translation unit.
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "storage/serialization.h"
+#include "wal/fault_injector.h"
+#include "wal/wal_format.h"
+
+namespace flock::wal {
+
+using storage::ByteReader;
+using storage::PutDouble;
+using storage::PutString;
+using storage::PutU32;
+using storage::PutU64;
+using storage::PutU8;
+
+namespace {
+
+constexpr uint8_t kMaxActionKind = 4;   // policy::ActionKind::kAlert
+constexpr uint8_t kMaxEntityType = 10;  // prov::EntityType::kVersionRun
+constexpr uint8_t kMaxEdgeType = 8;     // prov::EdgeType::kHasParam
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotData& data) {
+  std::string payload;
+  PutU32(&payload, kSnapshotFormatVersion);
+  PutU64(&payload, data.epoch);
+
+  PutU32(&payload, static_cast<uint32_t>(data.tables.size()));
+  for (const TableSnapshot& t : data.tables) {
+    PutString(&payload, t.name);
+    storage::SerializeSchema(t.schema, &payload);
+    storage::SerializeBatch(t.rows, &payload);
+  }
+
+  PutU32(&payload, static_cast<uint32_t>(data.models.size()));
+  for (const ModelSnapshot& m : data.models) {
+    PutString(&payload, m.name);
+    PutU64(&payload, m.version);
+    PutString(&payload, m.pipeline_text);
+    PutString(&payload, m.created_by);
+    PutString(&payload, m.lineage);
+    PutU32(&payload, static_cast<uint32_t>(m.allowed_principals.size()));
+    for (const std::string& p : m.allowed_principals) {
+      PutString(&payload, p);
+    }
+  }
+
+  PutU32(&payload, static_cast<uint32_t>(data.audit.size()));
+  for (const AuditEventSnapshot& e : data.audit) {
+    PutU8(&payload, e.kind);
+    PutString(&payload, e.model);
+    PutString(&payload, e.principal);
+    PutU64(&payload, e.version);
+    PutU64(&payload, e.rows);
+  }
+
+  PutU64(&payload, data.policy_next_seq);
+  PutU32(&payload, static_cast<uint32_t>(data.timeline.size()));
+  for (const policy::TimelineEntry& e : data.timeline) {
+    PutU64(&payload, e.seq);
+    PutString(&payload, e.policy);
+    PutU8(&payload, static_cast<uint8_t>(e.action));
+    PutDouble(&payload, e.before);
+    PutDouble(&payload, e.after);
+    PutU8(&payload, e.rejected ? 1 : 0);
+    PutString(&payload, e.context);
+  }
+
+  PutU32(&payload, static_cast<uint32_t>(data.entities.size()));
+  for (const prov::Entity& entity : data.entities) {
+    PutU8(&payload, static_cast<uint8_t>(entity.type));
+    PutString(&payload, entity.name);
+    PutU64(&payload, entity.version);
+    PutU32(&payload, static_cast<uint32_t>(entity.properties.size()));
+    for (const auto& [key, value] : entity.properties) {
+      PutString(&payload, key);
+      PutString(&payload, value);
+    }
+  }
+  PutU32(&payload, static_cast<uint32_t>(data.edges.size()));
+  for (const prov::Edge& edge : data.edges) {
+    PutU64(&payload, edge.src);
+    PutU64(&payload, edge.dst);
+    PutU8(&payload, static_cast<uint8_t>(edge.type));
+  }
+
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.append(payload);
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+StatusOr<SnapshotData> DecodeSnapshot(const std::string& buf) {
+  if (buf.size() < sizeof(kSnapshotMagic) + 4 ||
+      std::memcmp(buf.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::DataLoss("snapshot missing or bad magic");
+  }
+  size_t payload_size = buf.size() - sizeof(kSnapshotMagic) - 4;
+  const char* payload = buf.data() + sizeof(kSnapshotMagic);
+  ByteReader crc_in(buf.data() + buf.size() - 4, 4);
+  uint32_t expected_crc;
+  FLOCK_RETURN_NOT_OK(crc_in.GetU32(&expected_crc));
+  if (Crc32(payload, payload_size) != expected_crc) {
+    return Status::DataLoss("snapshot checksum mismatch");
+  }
+
+  ByteReader in(payload, payload_size);
+  SnapshotData data;
+  uint32_t version;
+  FLOCK_RETURN_NOT_OK(in.GetU32(&version));
+  if (version != kSnapshotFormatVersion) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(version));
+  }
+  FLOCK_RETURN_NOT_OK(in.GetU64(&data.epoch));
+
+  uint32_t n;
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.tables.resize(n);
+  for (TableSnapshot& t : data.tables) {
+    FLOCK_RETURN_NOT_OK(in.GetString(&t.name));
+    FLOCK_RETURN_NOT_OK(storage::DeserializeSchema(&in, &t.schema));
+    FLOCK_RETURN_NOT_OK(storage::DeserializeBatch(&in, &t.rows));
+  }
+
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.models.resize(n);
+  for (ModelSnapshot& m : data.models) {
+    FLOCK_RETURN_NOT_OK(in.GetString(&m.name));
+    FLOCK_RETURN_NOT_OK(in.GetU64(&m.version));
+    FLOCK_RETURN_NOT_OK(in.GetString(&m.pipeline_text));
+    FLOCK_RETURN_NOT_OK(in.GetString(&m.created_by));
+    FLOCK_RETURN_NOT_OK(in.GetString(&m.lineage));
+    uint32_t acl;
+    FLOCK_RETURN_NOT_OK(in.GetU32(&acl));
+    m.allowed_principals.resize(acl);
+    for (std::string& p : m.allowed_principals) {
+      FLOCK_RETURN_NOT_OK(in.GetString(&p));
+    }
+  }
+
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.audit.resize(n);
+  for (AuditEventSnapshot& e : data.audit) {
+    FLOCK_RETURN_NOT_OK(in.GetU8(&e.kind));
+    FLOCK_RETURN_NOT_OK(in.GetString(&e.model));
+    FLOCK_RETURN_NOT_OK(in.GetString(&e.principal));
+    FLOCK_RETURN_NOT_OK(in.GetU64(&e.version));
+    FLOCK_RETURN_NOT_OK(in.GetU64(&e.rows));
+  }
+
+  FLOCK_RETURN_NOT_OK(in.GetU64(&data.policy_next_seq));
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.timeline.resize(n);
+  for (policy::TimelineEntry& e : data.timeline) {
+    uint8_t action, rejected;
+    FLOCK_RETURN_NOT_OK(in.GetU64(&e.seq));
+    FLOCK_RETURN_NOT_OK(in.GetString(&e.policy));
+    FLOCK_RETURN_NOT_OK(in.GetU8(&action));
+    FLOCK_RETURN_NOT_OK(in.GetDouble(&e.before));
+    FLOCK_RETURN_NOT_OK(in.GetDouble(&e.after));
+    FLOCK_RETURN_NOT_OK(in.GetU8(&rejected));
+    FLOCK_RETURN_NOT_OK(in.GetString(&e.context));
+    if (action > kMaxActionKind) {
+      return Status::DataLoss("snapshot timeline entry has bad action");
+    }
+    e.action = static_cast<policy::ActionKind>(action);
+    e.rejected = rejected != 0;
+  }
+
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.entities.resize(n);
+  for (size_t i = 0; i < data.entities.size(); ++i) {
+    prov::Entity& entity = data.entities[i];
+    entity.id = i + 1;
+    uint8_t type;
+    FLOCK_RETURN_NOT_OK(in.GetU8(&type));
+    if (type > kMaxEntityType) {
+      return Status::DataLoss("snapshot provenance entity has bad type");
+    }
+    entity.type = static_cast<prov::EntityType>(type);
+    FLOCK_RETURN_NOT_OK(in.GetString(&entity.name));
+    FLOCK_RETURN_NOT_OK(in.GetU64(&entity.version));
+    uint32_t props;
+    FLOCK_RETURN_NOT_OK(in.GetU32(&props));
+    for (uint32_t p = 0; p < props; ++p) {
+      std::string key, value;
+      FLOCK_RETURN_NOT_OK(in.GetString(&key));
+      FLOCK_RETURN_NOT_OK(in.GetString(&value));
+      entity.properties[key] = value;
+    }
+  }
+  FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+  data.edges.resize(n);
+  for (prov::Edge& edge : data.edges) {
+    uint8_t type;
+    FLOCK_RETURN_NOT_OK(in.GetU64(&edge.src));
+    FLOCK_RETURN_NOT_OK(in.GetU64(&edge.dst));
+    FLOCK_RETURN_NOT_OK(in.GetU8(&type));
+    if (type > kMaxEdgeType) {
+      return Status::DataLoss("snapshot provenance edge has bad type");
+    }
+    edge.type = static_cast<prov::EdgeType>(type);
+  }
+
+  if (!in.exhausted()) {
+    return Status::DataLoss("snapshot has trailing bytes");
+  }
+  return data;
+}
+
+CheckpointManager::CheckpointManager(std::string dir)
+    : dir_(std::move(dir)) {}
+
+Status CheckpointManager::Write(const SnapshotData& data) {
+  std::string image = EncodeSnapshot(data);
+  const std::string tmp = temp_path();
+
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return Errno("open", tmp);
+  Status s = Status::OK();
+  if (std::fwrite(image.data(), 1, image.size(), file) != image.size()) {
+    s = Errno("write", tmp);
+  }
+  if (s.ok() && std::fflush(file) != 0) s = Errno("flush", tmp);
+  if (s.ok() && ::fsync(::fileno(file)) != 0) s = Errno("fsync", tmp);
+  std::fclose(file);
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+
+  FaultInjector* faults = FaultInjector::Get();
+  FLOCK_RETURN_NOT_OK(faults->Hit("checkpoint.before_snapshot_rename"));
+  if (std::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    Status rs = Errno("rename", tmp);
+    std::remove(tmp.c_str());
+    return rs;
+  }
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return Errno("opendir", dir_);
+  if (::fsync(::dirfd(d)) != 0) {
+    s = Errno("fsync dir", dir_);
+    ::closedir(d);
+    return s;
+  }
+  ::closedir(d);
+  FLOCK_RETURN_NOT_OK(faults->Hit("checkpoint.after_snapshot_rename"));
+  return Status::OK();
+}
+
+StatusOr<SnapshotData> CheckpointManager::Read() const {
+  std::ifstream in(snapshot_path(), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no snapshot at " + snapshot_path());
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return DecodeSnapshot(std::move(contents).str());
+}
+
+}  // namespace flock::wal

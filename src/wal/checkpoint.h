@@ -1,0 +1,67 @@
+#ifndef FLOCK_WAL_CHECKPOINT_H_
+#define FLOCK_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "policy/policy_engine.h"
+#include "prov/entity.h"
+#include "storage/record_batch.h"
+#include "storage/schema.h"
+#include "wal/engine_state.h"
+
+namespace flock::wal {
+
+struct TableSnapshot {
+  std::string name;
+  storage::Schema schema;
+  storage::RecordBatch rows;
+};
+
+/// Everything a snapshot file holds: a point-in-time image of the durable
+/// engine state, plus the epoch of the (empty) WAL that was cut at the
+/// same checkpoint. Recovery = restore this + replay that WAL.
+struct SnapshotData {
+  uint64_t epoch = 0;
+  std::vector<TableSnapshot> tables;
+  std::vector<ModelSnapshot> models;
+  std::vector<AuditEventSnapshot> audit;
+  std::vector<policy::TimelineEntry> timeline;
+  uint64_t policy_next_seq = 0;
+  std::vector<prov::Entity> entities;
+  std::vector<prov::Edge> edges;
+};
+
+/// Writes and reads versioned snapshot files with crash-atomic
+/// replacement: the image is serialized to `snapshot.tmp`, fsynced,
+/// renamed over `snapshot.fsnap`, and the directory is fsynced — a crash
+/// at any step leaves either the old snapshot or the new one, never a
+/// hybrid. A trailing CRC-32 over the payload detects torn or corrupted
+/// images at read time (Status::DataLoss).
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir);
+
+  std::string snapshot_path() const { return dir_ + "/snapshot.fsnap"; }
+  std::string temp_path() const { return dir_ + "/snapshot.tmp"; }
+
+  /// Atomically replaces the snapshot. Fault points:
+  /// checkpoint.before_snapshot_rename, checkpoint.after_snapshot_rename.
+  Status Write(const SnapshotData& data);
+
+  /// NotFound when no snapshot exists; DataLoss on corruption.
+  StatusOr<SnapshotData> Read() const;
+
+ private:
+  std::string dir_;
+};
+
+/// Exposed for tests: the raw (de)serialization without the file dance.
+std::string EncodeSnapshot(const SnapshotData& data);
+StatusOr<SnapshotData> DecodeSnapshot(const std::string& buf);
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_CHECKPOINT_H_

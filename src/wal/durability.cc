@@ -1,0 +1,243 @@
+#include "wal/durability.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "wal/checkpoint.h"
+#include "wal/fault_injector.h"
+
+namespace flock::wal {
+
+namespace {
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::Internal("mkdir failed for " + dir + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const std::string& dir, storage::Database* db, prov::Catalog* catalog,
+    policy::PolicyEngine* policy, EngineStateAdapter adapter,
+    DurabilityOptions options) {
+  FLOCK_RETURN_NOT_OK(EnsureDir(dir));
+
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(dir, db, catalog, policy, std::move(adapter),
+                            std::move(options)));
+
+  RecoveryManager recovery(dir, db, catalog, policy, manager->adapter_);
+  FLOCK_ASSIGN_OR_RETURN(manager->recovery_, recovery.Recover());
+
+  WalWriterOptions writer_options;
+  writer_options.fsync_policy = manager->options_.fsync_policy;
+  writer_options.group_commit_interval_ms =
+      manager->options_.group_commit_interval_ms;
+  const RecoveryResult& r = manager->recovery_;
+  if (r.wal_found && !r.stale_wal_discarded) {
+    FLOCK_ASSIGN_OR_RETURN(
+        manager->writer_,
+        WalWriter::Resume(recovery.wal_path(), r.epoch, r.wal_valid_size,
+                          writer_options));
+  } else {
+    FLOCK_ASSIGN_OR_RETURN(
+        manager->writer_,
+        WalWriter::Create(recovery.wal_path(), r.epoch, writer_options));
+  }
+
+  // Attach observers only now: recovery's own replay mutations must not
+  // be re-appended to the log.
+  db->set_observer(manager.get());
+  if (catalog != nullptr) catalog->set_listener(manager.get());
+  if (policy != nullptr) policy->set_timeline_listener(manager.get());
+  return manager;
+}
+
+DurabilityManager::DurabilityManager(std::string dir, storage::Database* db,
+                                     prov::Catalog* catalog,
+                                     policy::PolicyEngine* policy,
+                                     EngineStateAdapter adapter,
+                                     DurabilityOptions options)
+    : dir_(std::move(dir)),
+      db_(db),
+      catalog_(catalog),
+      policy_(policy),
+      adapter_(std::move(adapter)),
+      options_(std::move(options)) {}
+
+DurabilityManager::~DurabilityManager() {
+  db_->set_observer(nullptr);
+  if (catalog_ != nullptr) catalog_->set_listener(nullptr);
+  if (policy_ != nullptr) policy_->set_timeline_listener(nullptr);
+}
+
+bool DurabilityManager::Skip(const std::string& table) const {
+  return options_.skip_tables.count(flock::ToLower(table)) > 0;
+}
+
+void DurabilityManager::Observe(const WalRecord& record) {
+  Status s = writer_->Append(record);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (observer_health_.ok()) observer_health_ = s;
+  }
+}
+
+Status DurabilityManager::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return observer_health_;
+}
+
+Status DurabilityManager::Sync() {
+  FLOCK_RETURN_NOT_OK(health());
+  return writer_->Sync();
+}
+
+uint64_t DurabilityManager::records_logged() const {
+  return writer_->records_appended();
+}
+
+SnapshotData DurabilityManager::BuildSnapshot(uint64_t epoch) const {
+  SnapshotData data;
+  data.epoch = epoch;
+  for (const std::string& name : db_->ListTables()) {
+    if (Skip(name)) continue;
+    auto table = db_->GetTable(name);
+    if (!table.ok()) continue;  // dropped between list and get
+    TableSnapshot t;
+    t.name = (*table)->name();
+    t.schema = (*table)->schema();
+    t.rows = (*table)->ScanAll();
+    data.tables.push_back(std::move(t));
+  }
+  if (adapter_.snapshot_models) data.models = adapter_.snapshot_models();
+  if (adapter_.snapshot_audit) data.audit = adapter_.snapshot_audit();
+  if (policy_ != nullptr) {
+    data.timeline = policy_->timeline();
+    data.policy_next_seq = policy_->next_seq();
+  }
+  if (catalog_ != nullptr) {
+    data.entities = catalog_->entities();
+    data.edges = catalog_->edges();
+  }
+  return data;
+}
+
+Status DurabilityManager::Checkpoint() {
+  FLOCK_RETURN_NOT_OK(health());
+  FaultInjector* faults = FaultInjector::Get();
+  FLOCK_RETURN_NOT_OK(faults->Hit("checkpoint.before_snapshot_write"));
+  // All appends so far must be durable before the snapshot supersedes the
+  // log they live in.
+  FLOCK_RETURN_NOT_OK(writer_->Sync());
+  uint64_t new_epoch = writer_->epoch() + 1;
+  CheckpointManager checkpoint(dir_);
+  FLOCK_RETURN_NOT_OK(checkpoint.Write(BuildSnapshot(new_epoch)));
+  FLOCK_RETURN_NOT_OK(writer_->ResetForEpoch(new_epoch));
+  FLOCK_RETURN_NOT_OK(faults->Hit("checkpoint.after_wal_reset"));
+  return Status::OK();
+}
+
+Status DurabilityManager::LogModelDeploy(const std::string& name,
+                                         const std::string& pipeline_text,
+                                         const std::string& created_by,
+                                         const std::string& lineage) {
+  Status s = writer_->Append(
+      WalRecord::DeployModel(name, pipeline_text, created_by, lineage));
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (observer_health_.ok()) observer_health_ = s;
+  }
+  return s;
+}
+
+Status DurabilityManager::LogModelDrop(const std::string& name,
+                                       const std::string& principal) {
+  Status s = writer_->Append(WalRecord::DropModel(name, principal));
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (observer_health_.ok()) observer_health_ = s;
+  }
+  return s;
+}
+
+void DurabilityManager::OnCreateTable(const std::string& name,
+                                      const storage::Schema& schema) {
+  if (Skip(name)) return;
+  Observe(WalRecord::CreateTable(name, schema));
+}
+
+void DurabilityManager::OnDropTable(const std::string& name) {
+  if (Skip(name)) return;
+  Observe(WalRecord::DropTable(name));
+}
+
+void DurabilityManager::OnAppendBatch(const storage::Table& table,
+                                      const storage::RecordBatch& batch) {
+  if (Skip(table.name())) return;
+  Observe(WalRecord::AppendBatch(table.name(), batch));
+}
+
+void DurabilityManager::OnAppendRow(const storage::Table& table,
+                                    const std::vector<storage::Value>& row) {
+  if (Skip(table.name())) return;
+  storage::RecordBatch batch(table.schema());
+  Status s = batch.AppendRow(row);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (observer_health_.ok()) observer_health_ = s;
+    return;
+  }
+  Observe(WalRecord::AppendBatch(table.name(), std::move(batch)));
+}
+
+void DurabilityManager::OnUpdateColumn(
+    const storage::Table& table, size_t col,
+    const std::vector<uint32_t>& rows,
+    const std::vector<storage::Value>& values) {
+  if (Skip(table.name())) return;
+  Observe(WalRecord::UpdateColumn(table.name(),
+                                  static_cast<uint32_t>(col), rows, values));
+}
+
+void DurabilityManager::OnDeleteRows(const storage::Table& table,
+                                     const std::vector<bool>& keep,
+                                     size_t removed) {
+  if (Skip(table.name())) return;
+  (void)removed;
+  std::vector<uint8_t> bitmap(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) bitmap[i] = keep[i] ? 1 : 0;
+  Observe(WalRecord::DeleteRows(table.name(), std::move(bitmap)));
+}
+
+void DurabilityManager::OnEntity(const prov::Entity& entity) {
+  Observe(WalRecord::ProvEntity(entity.id,
+                                static_cast<uint8_t>(entity.type),
+                                entity.name, entity.version));
+}
+
+void DurabilityManager::OnEdge(const prov::Edge& edge) {
+  Observe(WalRecord::ProvEdge(edge.src, edge.dst,
+                              static_cast<uint8_t>(edge.type)));
+}
+
+void DurabilityManager::OnProperty(uint64_t id, const std::string& key,
+                                   const std::string& value) {
+  Observe(WalRecord::ProvProperty(id, key, value));
+}
+
+void DurabilityManager::OnTimelineEntry(const policy::TimelineEntry& entry) {
+  Observe(WalRecord::PolicyAction(entry.seq, entry.policy,
+                                  static_cast<uint8_t>(entry.action),
+                                  entry.before, entry.after, entry.rejected,
+                                  entry.context));
+}
+
+}  // namespace flock::wal

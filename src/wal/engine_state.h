@@ -1,0 +1,70 @@
+#ifndef FLOCK_WAL_ENGINE_STATE_H_
+#define FLOCK_WAL_ENGINE_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flock::wal {
+
+/// Serializable view of one deployed model. Only durable metadata is
+/// captured; compiled graphs, optimizer specializations, and scoring
+/// caches are derived state, rebuilt after restore.
+struct ModelSnapshot {
+  std::string name;
+  uint64_t version = 0;
+  std::string pipeline_text;  // ml::Pipeline::Serialize()
+  std::string created_by;
+  std::string lineage;
+  std::vector<std::string> allowed_principals;  // empty = public
+};
+
+/// Serializable view of one registry audit event (mirrors
+/// flock::AuditEvent without the enum dependency).
+struct AuditEventSnapshot {
+  uint8_t kind = 0;
+  std::string model;
+  std::string principal;
+  uint64_t version = 0;
+  uint64_t rows = 0;
+};
+
+/// Callbacks bridging the durability subsystem to the model registry.
+///
+/// The WAL library sits below flock_core (which owns FlockEngine and
+/// ModelRegistry and links against flock_wal), so it cannot name those
+/// types; the engine hands Open() this adapter instead. Each callback
+/// must be safe to invoke during recovery (single-threaded, before the
+/// engine serves traffic) and during checkpoints (under the engine's
+/// exclusive statement lock).
+struct EngineStateAdapter {
+  /// All current model versions plus the registry audit log.
+  std::function<std::vector<ModelSnapshot>()> snapshot_models;
+  std::function<std::vector<AuditEventSnapshot>()> snapshot_audit;
+
+  /// Restores one model at its exact recorded version (no audit event,
+  /// no re-validation side effects beyond compilation).
+  std::function<Status(const ModelSnapshot&)> restore_model;
+  std::function<void(std::vector<AuditEventSnapshot>)> restore_audit;
+
+  /// WAL replay of a committed deploy: registers the pipeline exactly as
+  /// the original CREATE MODEL / deploy did (audit event included, so the
+  /// audit trail regenerates deterministically).
+  std::function<Status(const std::string& name,
+                       const std::string& pipeline_text,
+                       const std::string& created_by,
+                       const std::string& lineage)>
+      replay_deploy;
+
+  /// WAL replay of a committed drop.
+  std::function<Status(const std::string& name,
+                       const std::string& principal)>
+      replay_drop;
+};
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_ENGINE_STATE_H_

@@ -1,0 +1,82 @@
+#include "wal/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace flock::wal {
+
+FaultInjector::FaultInjector() {
+  const char* point = std::getenv("FLOCK_FAULT_POINT");
+  if (point == nullptr || point[0] == '\0') return;
+  Mode mode = Mode::kCrash;
+  const char* mode_env = std::getenv("FLOCK_FAULT_MODE");
+  if (mode_env != nullptr && std::strcmp(mode_env, "error") == 0) {
+    mode = Mode::kError;
+  }
+  int skip = 0;
+  const char* skip_env = std::getenv("FLOCK_FAULT_SKIP");
+  if (skip_env != nullptr) skip = std::atoi(skip_env);
+  Arm(point, mode, skip);
+}
+
+FaultInjector* FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return instance;
+}
+
+const std::vector<std::string>& FaultInjector::Points() {
+  static const std::vector<std::string>* points =
+      new std::vector<std::string>{
+          // WAL append path, in execution order.
+          "wal.append.before_write",
+          "wal.append.partial_write",
+          "wal.append.before_fsync",
+          "wal.append.after_fsync",
+          // Checkpoint path, in execution order.
+          "checkpoint.before_snapshot_write",
+          "checkpoint.before_snapshot_rename",
+          "checkpoint.after_snapshot_rename",
+          "checkpoint.after_wal_reset",
+      };
+  return *points;
+}
+
+Status FaultInjector::Hit(const std::string& point) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (point_ != point) return Status::OK();
+  if (remaining_skips_ > 0) {
+    --remaining_skips_;
+    return Status::OK();
+  }
+  if (mode_ == Mode::kCrash) {
+    // _exit: no atexit handlers, no stream flushes — as close to a power
+    // cut as a live process can simulate.
+    _exit(kCrashExitCode);
+  }
+  armed_.store(false, std::memory_order_release);
+  return Status::Internal("injected fault at " + point);
+}
+
+bool FaultInjector::WillTrigger(const std::string& point) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return point_ == point && remaining_skips_ == 0;
+}
+
+void FaultInjector::Arm(const std::string& point, Mode mode, int skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  point_ = point;
+  mode_ = mode;
+  remaining_skips_ = skip;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+}  // namespace flock::wal

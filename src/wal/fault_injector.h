@@ -1,0 +1,68 @@
+#ifndef FLOCK_WAL_FAULT_INJECTOR_H_
+#define FLOCK_WAL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flock::wal {
+
+/// Process-wide fault injection for the durability subsystem. The WAL
+/// writer and checkpoint manager call `Hit(point)` at every crash-relevant
+/// step; when the injector is armed at that point it either kills the
+/// process immediately (`kCrash`, simulating a power cut — no destructors,
+/// no buffered flushes) or returns an injected error (`kError`, simulating
+/// a failing disk) exactly once.
+///
+/// Arming is programmatic (`Arm`) for in-process tests and the crash
+/// matrix, or environment-driven for whole-binary testing:
+///
+///   FLOCK_FAULT_POINT=wal.append.before_fsync FLOCK_FAULT_MODE=crash
+///   FLOCK_FAULT_SKIP=3 ./flock_server --data-dir=/tmp/d
+///
+/// kills the server on the 4th fsync. The environment is read once, on
+/// first access.
+class FaultInjector {
+ public:
+  enum class Mode { kCrash, kError };
+
+  /// Exit code used by kCrash so harnesses can tell an injected crash
+  /// from a genuine abort.
+  static constexpr int kCrashExitCode = 42;
+
+  static FaultInjector* Get();
+
+  /// All registered crash points, in the order they occur on the write
+  /// path then the checkpoint path. The crash-matrix test iterates this.
+  static const std::vector<std::string>& Points();
+
+  /// Returns OK when unarmed or `point` differs from the armed point.
+  /// Otherwise skips the first `skip` hits, then crashes or returns an
+  /// error (and disarms, so recovery code running later in the same
+  /// process is not re-faulted).
+  Status Hit(const std::string& point);
+
+  /// True when armed at `point` and the skip budget is exhausted; used by
+  /// the writer to produce a torn record before calling Hit.
+  bool WillTrigger(const std::string& point);
+
+  void Arm(const std::string& point, Mode mode, int skip = 0);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+ private:
+  FaultInjector();
+
+  std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  std::string point_;
+  Mode mode_ = Mode::kCrash;
+  int remaining_skips_ = 0;
+};
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_FAULT_INJECTOR_H_

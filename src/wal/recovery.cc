@@ -1,0 +1,228 @@
+#include "wal/recovery.h"
+
+#include <sys/stat.h>
+
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+
+namespace flock::wal {
+
+namespace {
+
+constexpr uint8_t kMaxActionKind = 4;   // policy::ActionKind::kAlert
+constexpr uint8_t kMaxEntityType = 10;  // prov::EntityType::kVersionRun
+constexpr uint8_t kMaxEdgeType = 8;     // prov::EdgeType::kHasParam
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(std::string dir, storage::Database* db,
+                                 prov::Catalog* catalog,
+                                 policy::PolicyEngine* policy,
+                                 EngineStateAdapter adapter)
+    : dir_(std::move(dir)),
+      db_(db),
+      catalog_(catalog),
+      policy_(policy),
+      adapter_(std::move(adapter)) {}
+
+StatusOr<RecoveryResult> RecoveryManager::Recover() {
+  RecoveryResult result;
+  result.tail_truncated = false;
+
+  CheckpointManager checkpoint(dir_);
+  uint64_t snap_epoch = 0;
+  auto snapshot = checkpoint.Read();
+  if (snapshot.ok()) {
+    FLOCK_RETURN_NOT_OK(RestoreSnapshot(*snapshot));
+    result.snapshot_restored = true;
+    snap_epoch = snapshot->epoch;
+    result.epoch = snap_epoch;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  auto reader = WalReader::Open(wal_path());
+  if (!reader.ok()) {
+    if (reader.status().code() == StatusCode::kNotFound) {
+      return result;  // fresh directory (or snapshot-only)
+    }
+    if (!result.snapshot_restored &&
+        reader.status().code() == StatusCode::kDataLoss &&
+        FileSize(wal_path()) < kWalHeaderSize) {
+      // Crash during the very first WAL creation, before any record could
+      // have committed: nothing to lose, start over.
+      result.stale_wal_discarded = true;
+      return result;
+    }
+    return reader.status();
+  }
+
+  uint64_t wal_epoch = (*reader)->epoch();
+  if (!result.snapshot_restored) {
+    if (wal_epoch != 1) {
+      return Status::DataLoss("wal is from epoch " +
+                              std::to_string(wal_epoch) +
+                              " but no snapshot exists");
+    }
+  } else if (wal_epoch < snap_epoch) {
+    // Crash between the checkpoint's snapshot rename and its WAL reset:
+    // everything in this older log is already inside the snapshot.
+    result.wal_found = true;
+    result.stale_wal_discarded = true;
+    return result;
+  } else if (wal_epoch > snap_epoch) {
+    return Status::DataLoss(
+        "wal is from epoch " + std::to_string(wal_epoch) +
+        " but latest snapshot is from epoch " + std::to_string(snap_epoch));
+  }
+
+  result.wal_found = true;
+  result.epoch = wal_epoch;
+  WalRecord record;
+  bool done = false;
+  while (true) {
+    FLOCK_RETURN_NOT_OK((*reader)->Next(&record, &done));
+    if (done) break;
+    FLOCK_RETURN_NOT_OK(ApplyRecord(record));
+    ++result.wal_records_replayed;
+  }
+  result.tail_truncated = (*reader)->tail_truncated();
+  result.wal_valid_size = (*reader)->valid_size();
+  return result;
+}
+
+Status RecoveryManager::RestoreSnapshot(const SnapshotData& snapshot) {
+  for (const TableSnapshot& t : snapshot.tables) {
+    FLOCK_RETURN_NOT_OK(db_->CreateTable(t.name, t.schema));
+    if (t.rows.num_rows() > 0) {
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table,
+                             db_->GetTable(t.name));
+      FLOCK_RETURN_NOT_OK(table->AppendBatch(t.rows));
+    }
+  }
+  for (const ModelSnapshot& m : snapshot.models) {
+    if (!adapter_.restore_model) {
+      return Status::Internal(
+          "snapshot contains models but no restore_model adapter");
+    }
+    FLOCK_RETURN_NOT_OK(adapter_.restore_model(m));
+  }
+  if (!snapshot.audit.empty() && adapter_.restore_audit) {
+    adapter_.restore_audit(snapshot.audit);
+  }
+  if (!snapshot.timeline.empty() || snapshot.policy_next_seq > 0) {
+    if (policy_ == nullptr) {
+      return Status::Internal(
+          "snapshot contains a policy timeline but no policy engine is "
+          "attached");
+    }
+    policy_->RestoreTimeline(snapshot.timeline, snapshot.policy_next_seq);
+  }
+  if (!snapshot.entities.empty() || !snapshot.edges.empty()) {
+    if (catalog_ == nullptr) {
+      return Status::Internal(
+          "snapshot contains provenance but no catalog is attached");
+    }
+    FLOCK_RETURN_NOT_OK(
+        catalog_->Restore(snapshot.entities, snapshot.edges));
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyRecord(const WalRecord& r) {
+  switch (r.type) {
+    case WalRecordType::kCreateTable:
+      return db_->CreateTable(r.name, r.schema);
+    case WalRecordType::kDropTable:
+      return db_->DropTable(r.name);
+    case WalRecordType::kAppendBatch: {
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      return table->AppendBatch(r.batch);
+    }
+    case WalRecordType::kUpdateColumn: {
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      return table->UpdateColumn(r.column, r.rows, r.values);
+    }
+    case WalRecordType::kDeleteRows: {
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      std::vector<bool> keep(r.keep.begin(), r.keep.end());
+      if (keep.size() != table->num_rows()) {
+        return Status::DataLoss(
+            "DELETE_ROWS bitmap for '" + r.name + "' covers " +
+            std::to_string(keep.size()) + " rows but table has " +
+            std::to_string(table->num_rows()));
+      }
+      table->FilterInPlace(keep);
+      return Status::OK();
+    }
+    case WalRecordType::kDeployModel:
+      if (!adapter_.replay_deploy) {
+        return Status::Internal(
+            "wal contains model deploys but no replay_deploy adapter");
+      }
+      return adapter_.replay_deploy(r.name, r.pipeline_text, r.created_by,
+                                    r.lineage);
+    case WalRecordType::kDropModel:
+      if (!adapter_.replay_drop) {
+        return Status::Internal(
+            "wal contains model drops but no replay_drop adapter");
+      }
+      return adapter_.replay_drop(r.name, r.principal);
+    case WalRecordType::kPolicyAction: {
+      if (policy_ == nullptr) {
+        return Status::Internal(
+            "wal contains policy actions but no policy engine is attached");
+      }
+      if (r.action > kMaxActionKind) {
+        return Status::DataLoss("policy action record has bad action kind");
+      }
+      policy::TimelineEntry entry;
+      entry.seq = r.seq;
+      entry.policy = r.name;
+      entry.action = static_cast<policy::ActionKind>(r.action);
+      entry.before = r.before;
+      entry.after = r.after;
+      entry.rejected = r.rejected;
+      entry.context = r.context;
+      policy_->ReplayTimelineEntry(std::move(entry));
+      return Status::OK();
+    }
+    case WalRecordType::kProvEntity:
+      if (catalog_ == nullptr) {
+        return Status::Internal(
+            "wal contains provenance but no catalog is attached");
+      }
+      if (r.prov_type > kMaxEntityType) {
+        return Status::DataLoss("provenance record has bad entity type");
+      }
+      return catalog_->ReplayEntity(
+          r.entity_id, static_cast<prov::EntityType>(r.prov_type), r.name,
+          r.version);
+    case WalRecordType::kProvEdge:
+      if (catalog_ == nullptr) {
+        return Status::Internal(
+            "wal contains provenance but no catalog is attached");
+      }
+      if (r.prov_type > kMaxEdgeType) {
+        return Status::DataLoss("provenance record has bad edge type");
+      }
+      catalog_->AddEdge(r.src, r.dst,
+                        static_cast<prov::EdgeType>(r.prov_type));
+      return Status::OK();
+    case WalRecordType::kProvProperty:
+      if (catalog_ == nullptr) {
+        return Status::Internal(
+            "wal contains provenance but no catalog is attached");
+      }
+      return catalog_->SetProperty(r.entity_id, r.key, r.value);
+  }
+  return Status::DataLoss("unknown wal record type during replay");
+}
+
+}  // namespace flock::wal

@@ -1,0 +1,66 @@
+#ifndef FLOCK_WAL_RECOVERY_H_
+#define FLOCK_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+#include "policy/policy_engine.h"
+#include "prov/catalog.h"
+#include "storage/database.h"
+#include "wal/checkpoint.h"
+#include "wal/engine_state.h"
+#include "wal/wal_record.h"
+
+namespace flock::wal {
+
+struct RecoveryResult {
+  bool snapshot_restored = false;
+  bool wal_found = false;
+  uint64_t wal_records_replayed = 0;
+  /// The final record was torn (crash mid-append) and dropped.
+  bool tail_truncated = true;
+  /// A WAL older than the snapshot was discarded (crash between snapshot
+  /// rename and WAL reset during a checkpoint).
+  bool stale_wal_discarded = false;
+  /// Epoch the resumed (or fresh) WAL must carry.
+  uint64_t epoch = 1;
+  /// Byte size of the intact WAL prefix; Resume truncates to this.
+  uint64_t wal_valid_size = 0;
+};
+
+/// Rebuilds durable state from a data directory: restores the latest
+/// snapshot (if any), then replays the WAL tail on top. Epoch fencing
+/// guards the snapshot/WAL pair: the snapshot records the epoch of the
+/// WAL cut at the same checkpoint, and a WAL from any *later* epoch —
+/// which would mean a missing snapshot — is DataLoss, while one from an
+/// earlier epoch is a leftover already covered by the snapshot and is
+/// discarded instead of double-replayed.
+///
+/// Derived state (plan caches, catalog tables, optimizer
+/// specializations) is NOT rebuilt here; the engine does that after
+/// recovery returns.
+class RecoveryManager {
+ public:
+  RecoveryManager(std::string dir, storage::Database* db,
+                  prov::Catalog* catalog, policy::PolicyEngine* policy,
+                  EngineStateAdapter adapter);
+
+  StatusOr<RecoveryResult> Recover();
+
+  std::string wal_path() const { return dir_ + "/wal.log"; }
+
+ private:
+  Status RestoreSnapshot(const SnapshotData& snapshot);
+  Status ApplyRecord(const WalRecord& record);
+
+  std::string dir_;
+  storage::Database* db_;
+  prov::Catalog* catalog_;
+  policy::PolicyEngine* policy_;
+  EngineStateAdapter adapter_;
+};
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_RECOVERY_H_

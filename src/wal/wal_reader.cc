@@ -1,0 +1,107 @@
+#include "wal/wal_reader.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "storage/serialization.h"
+#include "wal/wal_format.h"
+
+namespace flock::wal {
+
+StatusOr<std::unique_ptr<WalReader>> WalReader::Open(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("wal file not found: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::string buf = std::move(contents).str();
+
+  if (buf.size() < kWalHeaderSize) {
+    return Status::DataLoss("wal header truncated: " + path);
+  }
+  if (std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::DataLoss("bad wal magic: " + path);
+  }
+  storage::ByteReader header(buf.data() + sizeof(kWalMagic),
+                             kWalHeaderSize - sizeof(kWalMagic));
+  uint32_t version;
+  uint64_t epoch;
+  FLOCK_RETURN_NOT_OK(header.GetU32(&version));
+  FLOCK_RETURN_NOT_OK(header.GetU64(&epoch));
+  if (version != kWalFormatVersion) {
+    return Status::DataLoss("unsupported wal format version " +
+                            std::to_string(version));
+  }
+  return std::unique_ptr<WalReader>(new WalReader(std::move(buf), epoch));
+}
+
+WalReader::WalReader(std::string buf, uint64_t epoch)
+    : buf_(std::move(buf)),
+      epoch_(epoch),
+      pos_(kWalHeaderSize),
+      valid_size_(kWalHeaderSize) {}
+
+Status WalReader::Next(WalRecord* record, bool* done) {
+  *done = false;
+  if (pos_ == buf_.size()) {
+    *done = true;
+    return Status::OK();
+  }
+
+  // A frame header or body extending past EOF can only be a torn final
+  // append: the writer lays down the full frame with one write() and
+  // only acks after fsync, so an incomplete frame never committed.
+  if (buf_.size() - pos_ < kRecordHeaderSize) {
+    tail_truncated_ = true;
+    *done = true;
+    return Status::OK();
+  }
+  storage::ByteReader frame(buf_.data() + pos_, buf_.size() - pos_);
+  uint32_t len, crc;
+  FLOCK_RETURN_NOT_OK(frame.GetU32(&len));
+  FLOCK_RETURN_NOT_OK(frame.GetU32(&crc));
+  if (len > kMaxRecordLen) {
+    // An absurd length mid-log is corruption; at the tail it is
+    // indistinguishable from a torn length word, so drop it.
+    if (buf_.size() - pos_ <= kRecordHeaderSize + 8) {
+      tail_truncated_ = true;
+      *done = true;
+      return Status::OK();
+    }
+    return Status::DataLoss("wal record length " + std::to_string(len) +
+                            " exceeds limit at offset " +
+                            std::to_string(pos_));
+  }
+  if (len < 1 || frame.remaining() < len) {
+    tail_truncated_ = true;
+    *done = true;
+    return Status::OK();
+  }
+
+  const char* body = buf_.data() + pos_ + kRecordHeaderSize;
+  if (Crc32(body, len) != crc) {
+    if (pos_ + kRecordHeaderSize + len == buf_.size()) {
+      // Bad checksum on the final record: torn write, never committed.
+      tail_truncated_ = true;
+      *done = true;
+      return Status::OK();
+    }
+    return Status::DataLoss("wal checksum mismatch at offset " +
+                            std::to_string(pos_));
+  }
+
+  auto decoded = DecodeRecordPayload(static_cast<WalRecordType>(
+                                         static_cast<uint8_t>(body[0])),
+                                     body + 1, len - 1);
+  FLOCK_RETURN_NOT_OK(decoded.status());
+  *record = *std::move(decoded);
+  pos_ += kRecordHeaderSize + len;
+  valid_size_ = pos_;
+  ++records_read_;
+  return Status::OK();
+}
+
+}  // namespace flock::wal

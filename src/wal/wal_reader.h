@@ -1,0 +1,51 @@
+#ifndef FLOCK_WAL_WAL_READER_H_
+#define FLOCK_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status_or.h"
+#include "wal/wal_record.h"
+
+namespace flock::wal {
+
+/// Streaming reader over a WAL file. Loads the whole log into memory
+/// (logs are bounded by checkpoint frequency) and iterates records,
+/// distinguishing two kinds of damage:
+///
+///  - A bad record whose frame ends at (or runs past) EOF is a *torn
+///    tail*: the crash happened mid-append and the record never committed.
+///    Next() reports end-of-log; `tail_truncated()` turns true and
+///    `valid_size()` marks where the intact prefix ends.
+///  - The same damage anywhere else — or an unreadable header — is
+///    unrecoverable corruption: Status::DataLoss.
+class WalReader {
+ public:
+  static StatusOr<std::unique_ptr<WalReader>> Open(const std::string& path);
+
+  /// Reads the next record. Sets *done=true (leaving *record untouched)
+  /// at end of log — clean or torn.
+  Status Next(WalRecord* record, bool* done);
+
+  uint64_t epoch() const { return epoch_; }
+  /// Byte offset of the end of the last intact record (or the header).
+  uint64_t valid_size() const { return valid_size_; }
+  /// True when the log ended in a torn record that was dropped.
+  bool tail_truncated() const { return tail_truncated_; }
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  WalReader(std::string buf, uint64_t epoch);
+
+  std::string buf_;
+  uint64_t epoch_;
+  size_t pos_;
+  uint64_t valid_size_;
+  bool tail_truncated_ = false;
+  uint64_t records_read_ = 0;
+};
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_WAL_READER_H_

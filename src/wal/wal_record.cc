@@ -1,0 +1,318 @@
+#include "wal/wal_record.h"
+
+#include "storage/serialization.h"
+
+namespace flock::wal {
+
+using storage::ByteReader;
+using storage::PutDouble;
+using storage::PutString;
+using storage::PutU32;
+using storage::PutU64;
+using storage::PutU8;
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+      return "CREATE_TABLE";
+    case WalRecordType::kDropTable:
+      return "DROP_TABLE";
+    case WalRecordType::kAppendBatch:
+      return "APPEND_BATCH";
+    case WalRecordType::kUpdateColumn:
+      return "UPDATE_COLUMN";
+    case WalRecordType::kDeleteRows:
+      return "DELETE_ROWS";
+    case WalRecordType::kDeployModel:
+      return "DEPLOY_MODEL";
+    case WalRecordType::kDropModel:
+      return "DROP_MODEL";
+    case WalRecordType::kPolicyAction:
+      return "POLICY_ACTION";
+    case WalRecordType::kProvEntity:
+      return "PROV_ENTITY";
+    case WalRecordType::kProvEdge:
+      return "PROV_EDGE";
+    case WalRecordType::kProvProperty:
+      return "PROV_PROPERTY";
+  }
+  return "?";
+}
+
+WalRecord WalRecord::CreateTable(std::string name, storage::Schema schema) {
+  WalRecord r;
+  r.type = WalRecordType::kCreateTable;
+  r.name = std::move(name);
+  r.schema = std::move(schema);
+  return r;
+}
+
+WalRecord WalRecord::DropTable(std::string name) {
+  WalRecord r;
+  r.type = WalRecordType::kDropTable;
+  r.name = std::move(name);
+  return r;
+}
+
+WalRecord WalRecord::AppendBatch(std::string table,
+                                 storage::RecordBatch batch) {
+  WalRecord r;
+  r.type = WalRecordType::kAppendBatch;
+  r.name = std::move(table);
+  r.batch = std::move(batch);
+  return r;
+}
+
+WalRecord WalRecord::UpdateColumn(std::string table, uint32_t column,
+                                  std::vector<uint32_t> rows,
+                                  std::vector<storage::Value> values) {
+  WalRecord r;
+  r.type = WalRecordType::kUpdateColumn;
+  r.name = std::move(table);
+  r.column = column;
+  r.rows = std::move(rows);
+  r.values = std::move(values);
+  return r;
+}
+
+WalRecord WalRecord::DeleteRows(std::string table,
+                                std::vector<uint8_t> keep) {
+  WalRecord r;
+  r.type = WalRecordType::kDeleteRows;
+  r.name = std::move(table);
+  r.keep = std::move(keep);
+  return r;
+}
+
+WalRecord WalRecord::DeployModel(std::string name,
+                                 std::string pipeline_text,
+                                 std::string created_by,
+                                 std::string lineage) {
+  WalRecord r;
+  r.type = WalRecordType::kDeployModel;
+  r.name = std::move(name);
+  r.pipeline_text = std::move(pipeline_text);
+  r.created_by = std::move(created_by);
+  r.lineage = std::move(lineage);
+  return r;
+}
+
+WalRecord WalRecord::DropModel(std::string name, std::string principal) {
+  WalRecord r;
+  r.type = WalRecordType::kDropModel;
+  r.name = std::move(name);
+  r.principal = std::move(principal);
+  return r;
+}
+
+WalRecord WalRecord::PolicyAction(uint64_t seq, std::string policy,
+                                  uint8_t action, double before,
+                                  double after, bool rejected,
+                                  std::string context) {
+  WalRecord r;
+  r.type = WalRecordType::kPolicyAction;
+  r.seq = seq;
+  r.name = std::move(policy);
+  r.action = action;
+  r.before = before;
+  r.after = after;
+  r.rejected = rejected;
+  r.context = std::move(context);
+  return r;
+}
+
+WalRecord WalRecord::ProvEntity(uint64_t id, uint8_t type,
+                                std::string name, uint64_t version) {
+  WalRecord r;
+  r.type = WalRecordType::kProvEntity;
+  r.entity_id = id;
+  r.prov_type = type;
+  r.name = std::move(name);
+  r.version = version;
+  return r;
+}
+
+WalRecord WalRecord::ProvEdge(uint64_t src, uint64_t dst, uint8_t type) {
+  WalRecord r;
+  r.type = WalRecordType::kProvEdge;
+  r.src = src;
+  r.dst = dst;
+  r.prov_type = type;
+  return r;
+}
+
+WalRecord WalRecord::ProvProperty(uint64_t id, std::string key,
+                                  std::string value) {
+  WalRecord r;
+  r.type = WalRecordType::kProvProperty;
+  r.entity_id = id;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  return r;
+}
+
+std::string EncodeRecordPayload(const WalRecord& record) {
+  std::string out;
+  switch (record.type) {
+    case WalRecordType::kCreateTable:
+      PutString(&out, record.name);
+      storage::SerializeSchema(record.schema, &out);
+      break;
+    case WalRecordType::kDropTable:
+      PutString(&out, record.name);
+      break;
+    case WalRecordType::kAppendBatch:
+      PutString(&out, record.name);
+      storage::SerializeBatch(record.batch, &out);
+      break;
+    case WalRecordType::kUpdateColumn:
+      PutString(&out, record.name);
+      PutU32(&out, record.column);
+      PutU32(&out, static_cast<uint32_t>(record.rows.size()));
+      for (uint32_t row : record.rows) PutU32(&out, row);
+      for (const storage::Value& v : record.values) {
+        storage::SerializeValue(v, &out);
+      }
+      break;
+    case WalRecordType::kDeleteRows:
+      PutString(&out, record.name);
+      PutU64(&out, record.keep.size());
+      out.append(reinterpret_cast<const char*>(record.keep.data()),
+                 record.keep.size());
+      break;
+    case WalRecordType::kDeployModel:
+      PutString(&out, record.name);
+      PutString(&out, record.pipeline_text);
+      PutString(&out, record.created_by);
+      PutString(&out, record.lineage);
+      break;
+    case WalRecordType::kDropModel:
+      PutString(&out, record.name);
+      PutString(&out, record.principal);
+      break;
+    case WalRecordType::kPolicyAction:
+      PutU64(&out, record.seq);
+      PutString(&out, record.name);
+      PutU8(&out, record.action);
+      PutDouble(&out, record.before);
+      PutDouble(&out, record.after);
+      PutU8(&out, record.rejected ? 1 : 0);
+      PutString(&out, record.context);
+      break;
+    case WalRecordType::kProvEntity:
+      PutU64(&out, record.entity_id);
+      PutU8(&out, record.prov_type);
+      PutString(&out, record.name);
+      PutU64(&out, record.version);
+      break;
+    case WalRecordType::kProvEdge:
+      PutU64(&out, record.src);
+      PutU64(&out, record.dst);
+      PutU8(&out, record.prov_type);
+      break;
+    case WalRecordType::kProvProperty:
+      PutU64(&out, record.entity_id);
+      PutString(&out, record.key);
+      PutString(&out, record.value);
+      break;
+  }
+  return out;
+}
+
+StatusOr<WalRecord> DecodeRecordPayload(WalRecordType type,
+                                        const char* data, size_t size) {
+  ByteReader in(data, size);
+  WalRecord r;
+  r.type = type;
+  switch (type) {
+    case WalRecordType::kCreateTable:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(storage::DeserializeSchema(&in, &r.schema));
+      break;
+    case WalRecordType::kDropTable:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      break;
+    case WalRecordType::kAppendBatch:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(storage::DeserializeBatch(&in, &r.batch));
+      break;
+    case WalRecordType::kUpdateColumn: {
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(in.GetU32(&r.column));
+      uint32_t n;
+      FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+      r.rows.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        FLOCK_RETURN_NOT_OK(in.GetU32(&r.rows[i]));
+      }
+      r.values.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        FLOCK_RETURN_NOT_OK(storage::DeserializeValue(&in, &r.values[i]));
+      }
+      break;
+    }
+    case WalRecordType::kDeleteRows: {
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      uint64_t n;
+      FLOCK_RETURN_NOT_OK(in.GetU64(&n));
+      if (in.remaining() < n) {
+        return Status::DataLoss("truncated DELETE_ROWS bitmap");
+      }
+      r.keep.resize(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        uint8_t b;
+        FLOCK_RETURN_NOT_OK(in.GetU8(&b));
+        r.keep[i] = b;
+      }
+      break;
+    }
+    case WalRecordType::kDeployModel:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.pipeline_text));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.created_by));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.lineage));
+      break;
+    case WalRecordType::kDropModel:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.principal));
+      break;
+    case WalRecordType::kPolicyAction: {
+      uint8_t rejected;
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.seq));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&r.action));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.before));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.after));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&rejected));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.context));
+      r.rejected = rejected != 0;
+      break;
+    }
+    case WalRecordType::kProvEntity:
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.entity_id));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&r.prov_type));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.name));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.version));
+      break;
+    case WalRecordType::kProvEdge:
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.src));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.dst));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&r.prov_type));
+      break;
+    case WalRecordType::kProvProperty:
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.entity_id));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.key));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.value));
+      break;
+    default:
+      return Status::DataLoss("unknown wal record type " +
+                              std::to_string(static_cast<int>(type)));
+  }
+  if (!in.exhausted()) {
+    return Status::DataLoss(std::string(WalRecordTypeName(type)) +
+                            " record has trailing bytes");
+  }
+  return r;
+}
+
+}  // namespace flock::wal

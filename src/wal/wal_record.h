@@ -1,0 +1,106 @@
+#ifndef FLOCK_WAL_WAL_RECORD_H_
+#define FLOCK_WAL_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "storage/record_batch.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace flock::wal {
+
+/// Typed logical redo records. One record = one committed mutation of
+/// engine state; replaying a log against an empty (or snapshot-restored)
+/// engine reproduces the exact committed state.
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kAppendBatch = 3,
+  kUpdateColumn = 4,
+  kDeleteRows = 5,
+  kDeployModel = 6,
+  kDropModel = 7,
+  kPolicyAction = 8,
+  kProvEntity = 9,
+  kProvEdge = 10,
+  kProvProperty = 11,
+};
+
+const char* WalRecordTypeName(WalRecordType type);
+
+/// A decoded record: `type` selects which field group is meaningful.
+/// Kept flat (rather than a std::variant) so the codec and replay switch
+/// stay simple; records are short-lived decode buffers, not a data model.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCreateTable;
+
+  // kCreateTable / kDropTable / kAppendBatch / kUpdateColumn /
+  // kDeleteRows: table name. kDeployModel / kDropModel: model name.
+  // kPolicyAction: policy name.
+  std::string name;
+
+  storage::Schema schema;       // kCreateTable
+  storage::RecordBatch batch;   // kAppendBatch
+
+  uint32_t column = 0;                  // kUpdateColumn
+  std::vector<uint32_t> rows;           // kUpdateColumn
+  std::vector<storage::Value> values;   // kUpdateColumn
+  std::vector<uint8_t> keep;            // kDeleteRows (1 = kept)
+
+  std::string pipeline_text;  // kDeployModel (ml::Pipeline::Serialize)
+  std::string created_by;     // kDeployModel
+  std::string lineage;        // kDeployModel
+  std::string principal;      // kDropModel
+
+  // kPolicyAction (mirrors policy::TimelineEntry).
+  uint64_t seq = 0;
+  uint8_t action = 0;
+  double before = 0.0;
+  double after = 0.0;
+  bool rejected = false;
+  std::string context;
+
+  // kProvEntity / kProvEdge / kProvProperty.
+  uint64_t entity_id = 0;   // entity id (kProvEntity/kProvProperty)
+  uint64_t src = 0;         // kProvEdge
+  uint64_t dst = 0;         // kProvEdge
+  uint8_t prov_type = 0;    // EntityType or EdgeType ordinal
+  uint64_t version = 0;     // kProvEntity
+  std::string key;          // kProvProperty
+  std::string value;        // kProvProperty
+
+  // --- constructors, one per record type ---
+  static WalRecord CreateTable(std::string name, storage::Schema schema);
+  static WalRecord DropTable(std::string name);
+  static WalRecord AppendBatch(std::string table,
+                               storage::RecordBatch batch);
+  static WalRecord UpdateColumn(std::string table, uint32_t column,
+                                std::vector<uint32_t> rows,
+                                std::vector<storage::Value> values);
+  static WalRecord DeleteRows(std::string table, std::vector<uint8_t> keep);
+  static WalRecord DeployModel(std::string name, std::string pipeline_text,
+                               std::string created_by, std::string lineage);
+  static WalRecord DropModel(std::string name, std::string principal);
+  static WalRecord PolicyAction(uint64_t seq, std::string policy,
+                                uint8_t action, double before, double after,
+                                bool rejected, std::string context);
+  static WalRecord ProvEntity(uint64_t id, uint8_t type, std::string name,
+                              uint64_t version);
+  static WalRecord ProvEdge(uint64_t src, uint64_t dst, uint8_t type);
+  static WalRecord ProvProperty(uint64_t id, std::string key,
+                                std::string value);
+};
+
+/// Encodes the payload (everything after the u8 type tag in the frame).
+std::string EncodeRecordPayload(const WalRecord& record);
+
+/// Decodes a payload; DataLoss on truncation, bad tags, or trailing bytes.
+StatusOr<WalRecord> DecodeRecordPayload(WalRecordType type,
+                                        const char* data, size_t size);
+
+}  // namespace flock::wal
+
+#endif  // FLOCK_WAL_WAL_RECORD_H_

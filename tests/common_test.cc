@@ -32,6 +32,21 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_FALSE(Status::Internal("x") == Status::Aborted("x"));
 }
 
+TEST(StatusTest, DataLossCarriesCodeAndMessage) {
+  Status st = Status::DataLoss("wal record 7: checksum mismatch");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.ToString(), "DataLoss: wal record 7: checksum mismatch");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, DataLossIsDistinctFromInternal) {
+  // Durability code must not overload Internal for corruption; the two
+  // codes have different retry/alerting semantics.
+  EXPECT_FALSE(Status::DataLoss("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::DataLoss("x"), Status::DataLoss("x"));
+}
+
 StatusOr<int> ReturnsValue() { return 42; }
 StatusOr<int> ReturnsError() { return Status::InvalidArgument("bad"); }
 

@@ -3,6 +3,7 @@
 #include "storage/column_vector.h"
 #include "storage/database.h"
 #include "storage/record_batch.h"
+#include "storage/serialization.h"
 #include "storage/table.h"
 #include "storage/value.h"
 
@@ -230,6 +231,165 @@ TEST(DatabaseTest, ListTables) {
   auto names = db.ListTables();
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "a");
+}
+
+// --- binary serialization round trips (WAL / checkpoint substrate) ---
+
+Value RoundTrip(const Value& v) {
+  std::string buf;
+  SerializeValue(v, &buf);
+  ByteReader reader(buf);
+  Value out;
+  EXPECT_TRUE(DeserializeValue(&reader, &out).ok());
+  EXPECT_TRUE(reader.exhausted());
+  return out;
+}
+
+TEST(SerializationTest, ValueRoundTripAllTypes) {
+  EXPECT_EQ(RoundTrip(Value::Bool(true)), Value::Bool(true));
+  EXPECT_EQ(RoundTrip(Value::Bool(false)), Value::Bool(false));
+  EXPECT_EQ(RoundTrip(Value::Int(-42)), Value::Int(-42));
+  EXPECT_EQ(RoundTrip(Value::Int(INT64_MIN)), Value::Int(INT64_MIN));
+  EXPECT_EQ(RoundTrip(Value::Int(INT64_MAX)), Value::Int(INT64_MAX));
+  EXPECT_EQ(RoundTrip(Value::Double(3.25)), Value::Double(3.25));
+  EXPECT_EQ(RoundTrip(Value::Double(-0.0)).double_value(), 0.0);
+  EXPECT_EQ(RoundTrip(Value::String("hello world")),
+            Value::String("hello world"));
+}
+
+TEST(SerializationTest, ValueRoundTripEmptyAndBinaryStrings) {
+  EXPECT_EQ(RoundTrip(Value::String("")), Value::String(""));
+  std::string binary("a\0b\n\xff", 5);
+  Value v = RoundTrip(Value::String(binary));
+  EXPECT_EQ(v.string_value(), binary);
+}
+
+TEST(SerializationTest, ValueRoundTripNullsKeepType) {
+  for (DataType type : {DataType::kBool, DataType::kInt64,
+                        DataType::kDouble, DataType::kString}) {
+    Value v = RoundTrip(Value::Null(type));
+    EXPECT_TRUE(v.is_null());
+    EXPECT_EQ(v.type(), type);
+  }
+}
+
+TEST(SerializationTest, TruncatedValueIsDataLoss) {
+  std::string buf;
+  SerializeValue(Value::String("truncate me"), &buf);
+  for (size_t cut : {size_t{0}, size_t{1}, buf.size() - 1}) {
+    ByteReader reader(buf.data(), cut);
+    Value out;
+    Status st = DeserializeValue(&reader, &out);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(SerializationTest, UnknownTypeTagIsDataLoss) {
+  std::string buf;
+  PutU8(&buf, 0);    // not null
+  PutU8(&buf, 200);  // bogus type tag
+  ByteReader reader(buf);
+  Value out;
+  EXPECT_EQ(DeserializeValue(&reader, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, SchemaRoundTrip) {
+  Schema schema({ColumnDef{"id", DataType::kInt64, false},
+                 ColumnDef{"flag", DataType::kBool, true},
+                 ColumnDef{"score", DataType::kDouble, true},
+                 ColumnDef{"note", DataType::kString, true}});
+  std::string buf;
+  SerializeSchema(schema, &buf);
+  ByteReader reader(buf);
+  Schema out;
+  ASSERT_TRUE(DeserializeSchema(&reader, &out).ok());
+  EXPECT_EQ(out, schema);
+  EXPECT_FALSE(out.column(0).nullable);
+  EXPECT_TRUE(out.column(1).nullable);
+}
+
+TEST(SerializationTest, EmptySchemaRoundTrip) {
+  std::string buf;
+  SerializeSchema(Schema(), &buf);
+  ByteReader reader(buf);
+  Schema out;
+  ASSERT_TRUE(DeserializeSchema(&reader, &out).ok());
+  EXPECT_EQ(out.num_columns(), 0u);
+}
+
+TEST(SerializationTest, BatchRoundTripWithNullsAndEmptyStrings) {
+  Schema schema({ColumnDef{"id", DataType::kInt64, false},
+                 ColumnDef{"flag", DataType::kBool, true},
+                 ColumnDef{"score", DataType::kDouble, true},
+                 ColumnDef{"note", DataType::kString, true}});
+  RecordBatch batch(schema);
+  ASSERT_TRUE(batch.AppendRow({Value::Int(1), Value::Bool(true),
+                               Value::Double(0.5), Value::String("")})
+                  .ok());
+  ASSERT_TRUE(batch.AppendRow({Value::Int(2), Value::Null(DataType::kBool),
+                               Value::Null(DataType::kDouble),
+                               Value::Null(DataType::kString)})
+                  .ok());
+  ASSERT_TRUE(batch.AppendRow({Value::Int(3), Value::Bool(false),
+                               Value::Double(-1.25), Value::String("x y")})
+                  .ok());
+  std::string buf;
+  SerializeBatch(batch, &buf);
+  ByteReader reader(buf);
+  RecordBatch out;
+  ASSERT_TRUE(DeserializeBatch(&reader, &out).ok());
+  ASSERT_EQ(out.num_rows(), batch.num_rows());
+  ASSERT_EQ(out.schema(), batch.schema());
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::vector<Value> want = batch.GetRow(r);
+    std::vector<Value> got = out.GetRow(r);
+    for (size_t c = 0; c < want.size(); ++c) {
+      EXPECT_EQ(got[c].is_null(), want[c].is_null()) << r << "," << c;
+      if (!want[c].is_null()) EXPECT_EQ(got[c], want[c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(SerializationTest, EmptyBatchRoundTrip) {
+  Schema schema({ColumnDef{"id", DataType::kInt64, false}});
+  RecordBatch batch(schema);
+  std::string buf;
+  SerializeBatch(batch, &buf);
+  ByteReader reader(buf);
+  RecordBatch out;
+  ASSERT_TRUE(DeserializeBatch(&reader, &out).ok());
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(out.schema(), schema);
+}
+
+TEST(SerializationTest, BatchWithSelectionSerializesLogicalRows) {
+  Schema schema({ColumnDef{"id", DataType::kInt64, false}});
+  RecordBatch batch(schema);
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(batch.AppendRow({Value::Int(i)}).ok());
+  }
+  RecordBatch view = batch.SelectView({1, 3, 5});
+  std::string buf;
+  SerializeBatch(view, &buf);
+  ByteReader reader(buf);
+  RecordBatch out;
+  ASSERT_TRUE(DeserializeBatch(&reader, &out).ok());
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column(0)->int_at(0), 1);
+  EXPECT_EQ(out.column(0)->int_at(1), 3);
+  EXPECT_EQ(out.column(0)->int_at(2), 5);
+}
+
+TEST(SerializationTest, TruncatedBatchIsDataLoss) {
+  Schema schema({ColumnDef{"note", DataType::kString, true}});
+  RecordBatch batch(schema);
+  ASSERT_TRUE(batch.AppendRow({Value::String("payload")}).ok());
+  std::string buf;
+  SerializeBatch(batch, &buf);
+  ByteReader reader(buf.data(), buf.size() - 3);
+  RecordBatch out;
+  EXPECT_EQ(DeserializeBatch(&reader, &out).code(),
+            StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -1,0 +1,520 @@
+// Unit tests for the WAL layer: record codec, frame format, torn-tail
+// semantics, fsync policies (incl. concurrent group commit, exercised
+// under TSan by scripts/check.sh), resume, fault injection in error
+// mode, and snapshot encode/decode.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/record_batch.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "wal/checkpoint.h"
+#include "wal/fault_injector.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_record.h"
+#include "wal/wal_writer.h"
+
+namespace flock::wal {
+namespace {
+
+using storage::ColumnDef;
+using storage::DataType;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::Value;
+
+/// Fresh unique temp directory per test (left behind on failure for
+/// post-mortem; /tmp is scratch in CI).
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/flock_wal_test_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir);
+}
+
+Schema TwoColSchema() {
+  return Schema({{"k", DataType::kInt64, false},
+                 {"v", DataType::kDouble, true}});
+}
+
+RecordBatch SmallBatch() {
+  RecordBatch batch(TwoColSchema());
+  EXPECT_TRUE(batch.AppendRow({Value::Int(1), Value::Double(1.5)}).ok());
+  EXPECT_TRUE(batch.AppendRow({Value::Int(2), Value::Null()}).ok());
+  return batch;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// All eleven record types, with every field group populated.
+std::vector<WalRecord> AllRecordTypes() {
+  std::vector<WalRecord> records;
+  records.push_back(WalRecord::CreateTable("t", TwoColSchema()));
+  records.push_back(WalRecord::AppendBatch("t", SmallBatch()));
+  records.push_back(WalRecord::UpdateColumn(
+      "t", 1, {0, 1}, {Value::Double(9.0), Value::Double(8.0)}));
+  records.push_back(WalRecord::DeleteRows("t", {1, 0}));
+  records.push_back(WalRecord::DropTable("t"));
+  records.push_back(WalRecord::DeployModel("churn", "pipe-bytes", "alice",
+                                           "train.py"));
+  records.push_back(WalRecord::DropModel("churn", "bob"));
+  records.push_back(WalRecord::PolicyAction(7, "clamp", 1, 0.9, 0.5, true,
+                                            "ctx"));
+  records.push_back(WalRecord::ProvEntity(3, 5, "churn", 2));
+  records.push_back(WalRecord::ProvEdge(3, 1, 4));
+  records.push_back(WalRecord::ProvProperty(3, "auc", "0.91"));
+  return records;
+}
+
+void ExpectRecordsEqual(const WalRecord& a, const WalRecord& b) {
+  ASSERT_EQ(a.type, b.type) << WalRecordTypeName(a.type);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.schema == b.schema, true);
+  EXPECT_EQ(a.batch.ToString(), b.batch.ToString());
+  EXPECT_EQ(a.column, b.column);
+  EXPECT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_TRUE(a.values[i] == b.values[i]);
+  }
+  EXPECT_EQ(a.keep, b.keep);
+  EXPECT_EQ(a.pipeline_text, b.pipeline_text);
+  EXPECT_EQ(a.created_by, b.created_by);
+  EXPECT_EQ(a.lineage, b.lineage);
+  EXPECT_EQ(a.principal, b.principal);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.before, b.before);
+  EXPECT_EQ(a.after, b.after);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.context, b.context);
+  EXPECT_EQ(a.entity_id, b.entity_id);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_EQ(a.prov_type, b.prov_type);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.value, b.value);
+}
+
+TEST(WalRecordTest, PayloadRoundTripAllTypes) {
+  for (const WalRecord& record : AllRecordTypes()) {
+    std::string payload = EncodeRecordPayload(record);
+    auto decoded =
+        DecodeRecordPayload(record.type, payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok())
+        << WalRecordTypeName(record.type) << ": "
+        << decoded.status().ToString();
+    ExpectRecordsEqual(record, *decoded);
+  }
+}
+
+TEST(WalRecordTest, TruncatedPayloadIsDataLoss) {
+  for (const WalRecord& record : AllRecordTypes()) {
+    std::string payload = EncodeRecordPayload(record);
+    if (payload.empty()) continue;
+    auto decoded = DecodeRecordPayload(record.type, payload.data(),
+                                       payload.size() - 1);
+    ASSERT_FALSE(decoded.ok()) << WalRecordTypeName(record.type);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(WalRecordTest, TrailingBytesAreDataLoss) {
+  WalRecord record = WalRecord::DropTable("t");
+  std::string payload = EncodeRecordPayload(record) + "x";
+  auto decoded =
+      DecodeRecordPayload(record.type, payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalWriterTest, WriteThenReadBack) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kEveryRecord;
+  auto writer_or = WalWriter::Create(path, 3, options);
+  ASSERT_TRUE(writer_or.ok()) << writer_or.status().ToString();
+  std::vector<WalRecord> records = AllRecordTypes();
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE((*writer_or)->Append(record).ok());
+  }
+  EXPECT_EQ((*writer_or)->records_appended(), records.size());
+  EXPECT_GE((*writer_or)->syncs(), records.size());  // one per append
+  writer_or->reset();
+
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  EXPECT_EQ((*reader_or)->epoch(), 3u);
+  for (const WalRecord& expected : records) {
+    WalRecord got;
+    bool done = false;
+    ASSERT_TRUE((*reader_or)->Next(&got, &done).ok());
+    ASSERT_FALSE(done);
+    ExpectRecordsEqual(expected, got);
+  }
+  WalRecord got;
+  bool done = false;
+  ASSERT_TRUE((*reader_or)->Next(&got, &done).ok());
+  EXPECT_TRUE(done);
+  EXPECT_FALSE((*reader_or)->tail_truncated());
+  EXPECT_EQ((*reader_or)->records_read(), records.size());
+}
+
+TEST(WalWriterTest, EveryFsyncPolicyRoundTrips) {
+  for (FsyncPolicy policy : {FsyncPolicy::kEveryRecord,
+                             FsyncPolicy::kGroupCommit,
+                             FsyncPolicy::kNever}) {
+    std::string dir = MakeTempDir();
+    std::string path = dir + "/wal.log";
+    WalWriterOptions options;
+    options.fsync_policy = policy;
+    options.group_commit_interval_ms = 1;
+    auto writer_or = WalWriter::Create(path, 1, options);
+    ASSERT_TRUE(writer_or.ok()) << FsyncPolicyName(policy);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          (*writer_or)->Append(WalRecord::DropTable("t" + std::to_string(i)))
+              .ok());
+    }
+    writer_or->reset();
+    auto reader_or = WalReader::Open(path);
+    ASSERT_TRUE(reader_or.ok());
+    WalRecord record;
+    bool done = false;
+    size_t count = 0;
+    while (true) {
+      ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+      if (done) break;
+      EXPECT_EQ(record.name, "t" + std::to_string(count));
+      ++count;
+    }
+    EXPECT_EQ(count, 20u) << FsyncPolicyName(policy);
+  }
+}
+
+// The TSan target in scripts/check.sh runs this: many threads appending
+// under group commit, one background flusher fsyncing.
+TEST(WalWriterTest, GroupCommitConcurrentAppends) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kGroupCommit;
+  options.group_commit_interval_ms = 1;
+  auto writer_or = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer_or.ok());
+  WalWriter* writer = writer_or->get();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([writer, t, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WalRecord record = WalRecord::ProvProperty(
+            static_cast<uint64_t>(t), "i", std::to_string(i));
+        if (!writer->Append(record).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(writer->records_appended(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  writer_or->reset();
+
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  WalRecord record;
+  bool done = false;
+  size_t count = 0;
+  while (true) {
+    ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+    if (done) break;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(WalWriterTest, ResumeAppendsAfterIntactPrefix) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  auto writer_or = WalWriter::Create(path, 2, {});
+  ASSERT_TRUE(writer_or.ok());
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("a")).ok());
+  writer_or->reset();
+
+  // Simulate a torn tail: half a frame of garbage at the end.
+  std::string contents = ReadFile(path);
+  WriteFile(path, contents + std::string(5, '\x7f'));
+
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  WalRecord record;
+  bool done = false;
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  ASSERT_FALSE(done);
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  ASSERT_TRUE(done);
+  EXPECT_TRUE((*reader_or)->tail_truncated());
+  uint64_t valid = (*reader_or)->valid_size();
+  EXPECT_EQ(valid, contents.size());
+
+  // Resume truncates the torn tail and appends cleanly after it.
+  auto resumed_or = WalWriter::Resume(path, 2, valid, {});
+  ASSERT_TRUE(resumed_or.ok()) << resumed_or.status().ToString();
+  ASSERT_TRUE((*resumed_or)->Append(WalRecord::DropTable("b")).ok());
+  resumed_or->reset();
+
+  auto reread_or = WalReader::Open(path);
+  ASSERT_TRUE(reread_or.ok());
+  std::vector<std::string> names;
+  while (true) {
+    ASSERT_TRUE((*reread_or)->Next(&record, &done).ok());
+    if (done) break;
+    names.push_back(record.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE((*reread_or)->tail_truncated());
+}
+
+TEST(WalReaderTest, TornFinalCrcIsDroppedButMidLogCrcIsDataLoss) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  auto writer_or = WalWriter::Create(path, 1, {});
+  ASSERT_TRUE(writer_or.ok());
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("first")).ok());
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("second")).ok());
+  writer_or->reset();
+  const std::string intact = ReadFile(path);
+
+  // Flip a payload bit in the FINAL record: torn tail, dropped.
+  std::string tail_damage = intact;
+  tail_damage.back() ^= 0x1;
+  WriteFile(path, tail_damage);
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  WalRecord record;
+  bool done = false;
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(record.name, "first");
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  EXPECT_TRUE(done);
+  EXPECT_TRUE((*reader_or)->tail_truncated());
+
+  // The same bit flip in the FIRST record is mid-log: DataLoss.
+  std::string mid_damage = intact;
+  mid_damage[kWalHeaderSize + kRecordHeaderSize + 2] ^= 0x1;
+  WriteFile(path, mid_damage);
+  auto bad_or = WalReader::Open(path);
+  ASSERT_TRUE(bad_or.ok());  // header is fine; damage surfaces on Next
+  Status st = (*bad_or)->Next(&record, &done);
+  while (st.ok() && !done) st = (*bad_or)->Next(&record, &done);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST(WalReaderTest, TruncatedHeaderIsDataLoss) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WriteFile(path, "FLOCKW");  // shorter than the 20-byte header
+  auto reader_or = WalReader::Open(path);
+  ASSERT_FALSE(reader_or.ok());
+  EXPECT_EQ(reader_or.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalWriterTest, ResetForEpochCutsFreshLog) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  auto writer_or = WalWriter::Create(path, 1, {});
+  ASSERT_TRUE(writer_or.ok());
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("old")).ok());
+  ASSERT_TRUE((*writer_or)->ResetForEpoch(2).ok());
+  EXPECT_EQ((*writer_or)->epoch(), 2u);
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("new")).ok());
+  writer_or->reset();
+
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  EXPECT_EQ((*reader_or)->epoch(), 2u);
+  WalRecord record;
+  bool done = false;
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(record.name, "new");  // the pre-reset record is gone
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(FaultInjectorTest, ErrorModeWedgesTheWriterStickily) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  auto writer_or = WalWriter::Create(path, 1, {});
+  ASSERT_TRUE(writer_or.ok());
+  ASSERT_TRUE((*writer_or)->Append(WalRecord::DropTable("ok")).ok());
+
+  FaultInjector::Get()->Arm("wal.append.before_write",
+                            FaultInjector::Mode::kError);
+  Status st = (*writer_or)->Append(WalRecord::DropTable("fails"));
+  FaultInjector::Get()->Disarm();
+  ASSERT_FALSE(st.ok());
+
+  // Sticky: the injector disarmed after one shot, but the writer stays
+  // wedged with the first error.
+  Status again = (*writer_or)->Append(WalRecord::DropTable("still-fails"));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.ToString(), st.ToString());
+  writer_or->reset();
+
+  // Only the pre-fault record is on disk.
+  auto reader_or = WalReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  WalRecord record;
+  bool done = false;
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(record.name, "ok");
+  ASSERT_TRUE((*reader_or)->Next(&record, &done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(FaultInjectorTest, SkipCountDelaysTheFault) {
+  FaultInjector* injector = FaultInjector::Get();
+  injector->Arm("wal.append.before_write", FaultInjector::Mode::kError, 2);
+  EXPECT_TRUE(injector->Hit("wal.append.before_write").ok());  // skip 1
+  EXPECT_TRUE(injector->Hit("other.point").ok());              // no match
+  EXPECT_TRUE(injector->Hit("wal.append.before_write").ok());  // skip 2
+  EXPECT_FALSE(injector->Hit("wal.append.before_write").ok()); // fires
+  // One-shot: disarmed after firing.
+  EXPECT_TRUE(injector->Hit("wal.append.before_write").ok());
+  EXPECT_FALSE(injector->armed());
+}
+
+TEST(FaultInjectorTest, PointsListsWritePathThenCheckpointPath) {
+  const std::vector<std::string>& points = FaultInjector::Points();
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points.front(), "wal.append.before_write");
+  EXPECT_EQ(points.back(), "checkpoint.after_wal_reset");
+}
+
+SnapshotData SampleSnapshot() {
+  SnapshotData data;
+  data.epoch = 9;
+  TableSnapshot table;
+  table.name = "t";
+  table.schema = TwoColSchema();
+  table.rows = SmallBatch();
+  data.tables.push_back(std::move(table));
+  ModelSnapshot model;
+  model.name = "churn";
+  model.version = 4;
+  model.pipeline_text = "pipe";
+  model.created_by = "alice";
+  model.lineage = "train.py";
+  model.allowed_principals = {"alice", "bob"};
+  data.models.push_back(std::move(model));
+  AuditEventSnapshot audit;
+  audit.kind = 1;
+  audit.model = "churn";
+  audit.principal = "alice";
+  audit.version = 4;
+  audit.rows = 100;
+  data.audit.push_back(audit);
+  policy::TimelineEntry entry;
+  entry.seq = 11;
+  entry.policy = "clamp";
+  entry.before = 0.9;
+  entry.after = 0.5;
+  entry.rejected = true;
+  entry.context = "ctx";
+  data.timeline.push_back(entry);
+  data.policy_next_seq = 12;
+  prov::Entity entity;
+  entity.id = 1;
+  entity.type = prov::EntityType::kModel;
+  entity.name = "churn";
+  entity.version = 4;
+  entity.properties = {{"auc", "0.91"}};
+  data.entities.push_back(entity);
+  data.edges.push_back({1, 1, prov::EdgeType::kVersionOf});
+  return data;
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  SnapshotData data = SampleSnapshot();
+  auto decoded = DecodeSnapshot(EncodeSnapshot(data));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 9u);
+  ASSERT_EQ(decoded->tables.size(), 1u);
+  EXPECT_EQ(decoded->tables[0].name, "t");
+  EXPECT_TRUE(decoded->tables[0].schema == data.tables[0].schema);
+  EXPECT_EQ(decoded->tables[0].rows.ToString(),
+            data.tables[0].rows.ToString());
+  ASSERT_EQ(decoded->models.size(), 1u);
+  EXPECT_EQ(decoded->models[0].name, "churn");
+  EXPECT_EQ(decoded->models[0].allowed_principals,
+            data.models[0].allowed_principals);
+  ASSERT_EQ(decoded->audit.size(), 1u);
+  EXPECT_EQ(decoded->audit[0].principal, "alice");
+  ASSERT_EQ(decoded->timeline.size(), 1u);
+  EXPECT_EQ(decoded->timeline[0].seq, 11u);
+  EXPECT_EQ(decoded->timeline[0].rejected, true);
+  EXPECT_EQ(decoded->policy_next_seq, 12u);
+  ASSERT_EQ(decoded->entities.size(), 1u);
+  EXPECT_EQ(decoded->entities[0].type, prov::EntityType::kModel);
+  EXPECT_EQ(decoded->entities[0].properties.at("auc"), "0.91");
+  ASSERT_EQ(decoded->edges.size(), 1u);
+  EXPECT_EQ(decoded->edges[0].type, prov::EdgeType::kVersionOf);
+}
+
+TEST(SnapshotTest, CorruptedPayloadIsDataLoss) {
+  std::string buf = EncodeSnapshot(SampleSnapshot());
+  buf[buf.size() / 2] ^= 0x1;
+  auto decoded = DecodeSnapshot(buf);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, CheckpointManagerWritesAtomicallyAndReadsBack) {
+  std::string dir = MakeTempDir();
+  CheckpointManager manager(dir);
+  EXPECT_EQ(manager.Read().status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(manager.Write(SampleSnapshot()).ok());
+  auto read = manager.Read();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->epoch, 9u);
+  // No temp file left behind.
+  std::ifstream tmp(manager.temp_path());
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(WalFormatTest, Crc32MatchesKnownVector) {
+  // IEEE 802.3 CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  // Chained calls equal one shot.
+  uint32_t chained = Crc32("56789", 5, Crc32("1234", 4));
+  EXPECT_EQ(chained, 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace flock::wal
