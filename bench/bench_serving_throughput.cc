@@ -124,6 +124,7 @@ std::vector<std::string> BuildTemplates() {
 struct ConfigResult {
   size_t clients = 0;
   size_t workers = 0;
+  bool traced = false;
   uint64_t requests = 0;
   uint64_t errors = 0;
   uint64_t shed = 0;
@@ -135,7 +136,8 @@ struct ConfigResult {
   double cache_hit_rate = 0.0;
 };
 
-ConfigResult RunConfig(size_t clients, size_t workers) {
+ConfigResult RunConfig(size_t clients, size_t workers,
+                       bool traced = false) {
   // A fresh engine per configuration so plan-cache and latency stats are
   // not polluted by the previous run.
   flock::flock::FlockEngineOptions engine_options;
@@ -164,6 +166,10 @@ ConfigResult RunConfig(size_t clients, size_t workers) {
         errors.fetch_add(kRequestsPerClient);
         return;
       }
+      if (traced) {
+        auto session = server.sessions()->Get(client.session_id());
+        if (session.ok()) (*session)->set_trace(true);
+      }
       for (int i = 0; i < kRequestsPerClient; ++i) {
         size_t q = (i + c * 3) % templates.size();
         auto result = client.Execute(templates[q]);
@@ -178,6 +184,7 @@ ConfigResult RunConfig(size_t clients, size_t workers) {
   ConfigResult result;
   result.clients = clients;
   result.workers = workers;
+  result.traced = traced;
   result.requests = clients * kRequestsPerClient;
   result.errors = errors.load();
   result.shed = snapshot.requests_shed;
@@ -190,7 +197,8 @@ ConfigResult RunConfig(size_t clients, size_t workers) {
   return result;
 }
 
-void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results) {
+void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results,
+              const ConfigResult& trace_off, const ConfigResult& trace_on) {
   std::fprintf(out, "{\n  \"benchmark\": \"serving_throughput\",\n");
   std::fprintf(out, "  \"requests_per_client\": %d,\n", kRequestsPerClient);
   std::fprintf(out, "  \"configs\": [\n");
@@ -209,7 +217,24 @@ void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results) {
                  r.p50_ms, r.p95_ms, r.p99_ms, r.cache_hit_rate,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // Tracing overhead: the same config run with span recording off vs on
+  // (every request records a full span tree when on). Negative overhead
+  // = measurement noise.
+  const double overhead_pct =
+      trace_off.qps > 0.0
+          ? 100.0 * (trace_off.qps - trace_on.qps) / trace_off.qps
+          : 0.0;
+  std::fprintf(out,
+               "  \"tracing_overhead\": {\"clients\": %zu, "
+               "\"workers\": %zu,\n"
+               "    \"qps_tracing_off\": %.0f, \"qps_tracing_on\": %.0f, "
+               "\"p50_ms_tracing_off\": %.3f, \"p50_ms_tracing_on\": %.3f, "
+               "\"overhead_pct\": %.2f}\n",
+               trace_off.clients, trace_off.workers, trace_off.qps,
+               trace_on.qps, trace_off.p50_ms, trace_on.p50_ms,
+               overhead_pct);
+  std::fprintf(out, "}\n");
 }
 
 }  // namespace
@@ -236,6 +261,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Tracing overhead at the saturated config: same load, spans recorded
+  // for every request vs none. The acceptance bar is tracing-on staying
+  // within a few percent of tracing-off.
+  ConfigResult trace_off = RunConfig(4, 4, false);
+  ConfigResult trace_on = RunConfig(4, 4, true);
+  std::printf("\ntracing off: %8.0f qps   tracing on: %8.0f qps   "
+              "overhead: %.2f%%\n",
+              trace_off.qps, trace_on.qps,
+              trace_off.qps > 0.0
+                  ? 100.0 * (trace_off.qps - trace_on.qps) / trace_off.qps
+                  : 0.0);
+
   std::FILE* out = stdout;
   if (argc > 1) {
     out = std::fopen(argv[1], "w");
@@ -245,7 +282,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  EmitJson(out, results);
+  EmitJson(out, results, trace_off, trace_on);
   if (out != stdout) {
     std::fclose(out);
     std::printf("results written to %s\n", argv[1]);

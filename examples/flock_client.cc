@@ -19,11 +19,15 @@
 
 namespace {
 
-/// Reads one protocol response from the socket. OK frames run through
-/// END\n; ERR frames and '.' command replies are a single line.
-bool ReadResponse(int fd, std::string* buffer, std::string* out) {
+/// Reads one protocol response from the socket. OK frames (and other
+/// multi-line responses like `.metrics prom`) run through END\n; ERR
+/// frames and one-line '.' command replies are a single line. `framed`
+/// tells the reader whether the request expects an END-terminated
+/// response regardless of its first line.
+bool ReadResponse(int fd, bool framed, std::string* buffer,
+                  std::string* out) {
   out->clear();
-  bool ok_frame = false;
+  bool until_end = framed;
   bool saw_first_line = false;
   while (true) {
     size_t newline = buffer->find('\n');
@@ -40,8 +44,10 @@ bool ReadResponse(int fd, std::string* buffer, std::string* out) {
     out->push_back('\n');
     if (!saw_first_line) {
       saw_first_line = true;
-      ok_frame = line.rfind("OK ", 0) == 0;
-      if (!ok_frame) return true;  // ERR / metrics JSON / session info
+      until_end = until_end || line.rfind("OK ", 0) == 0;
+      // ERR frames are always a single line, even for framed requests.
+      if (line.rfind("ERR ", 0) == 0) return true;
+      if (!until_end) return true;  // metrics JSON / session info
     } else if (line == "END") {
       return true;
     }
@@ -88,7 +94,8 @@ int main(int argc, char** argv) {
       break;
     }
     if (line == ".quit" || line == ".exit") break;
-    if (!ReadResponse(fd, &recv_buffer, &response)) {
+    const bool multiline = line.rfind(".metrics prom", 0) == 0;
+    if (!ReadResponse(fd, multiline, &recv_buffer, &response)) {
       std::fprintf(stderr, "server closed the connection\n");
       break;
     }

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -142,12 +143,57 @@ void ServeConnection(flock::serve::PredictionServer* server, int fd) {
                                                          request.text));
         break;
       case Request::Kind::kMetrics:
+        if (request.text == "prom") {
+          // Prometheus exposition is inherently multi-line; frame it
+          // with END like a query response.
+          response = server->MetricsPrometheus() + "END\n";
+          break;
+        }
         // One line on the wire: the client frames replies by newline.
         response = server->MetricsJson();
         response.erase(std::remove(response.begin(), response.end(), '\n'),
                        response.end());
         response += '\n';
         break;
+      case Request::Kind::kTrace: {
+        auto live = server->sessions()->Get(session);
+        if (!live.ok()) {
+          response = flock::serve::EncodeError(live.status());
+        } else if (request.text == "on" || request.text == "off") {
+          (*live)->set_trace(request.text == "on");
+          response = "trace " + request.text + "\n";
+        } else {
+          response = flock::serve::EncodeError(
+              flock::Status::InvalidArgument("usage: .trace on|off"));
+        }
+        break;
+      }
+      case Request::Kind::kSlowLog: {
+        flock::obs::SlowQueryLog* slow_log =
+            server->engine()->sql()->slow_log();
+        if (request.text.empty()) {
+          response = server->SlowLogJson();
+          response.erase(
+              std::remove(response.begin(), response.end(), '\n'),
+              response.end());
+          response += '\n';
+        } else if (request.text == "clear") {
+          slow_log->Clear();
+          response = "slowlog cleared\n";
+        } else {
+          char* end = nullptr;
+          double threshold = std::strtod(request.text.c_str(), &end);
+          if (end != request.text.c_str() && *end == '\0') {
+            slow_log->set_threshold_ms(threshold);
+            response = "slowlog threshold_ms=" + request.text + "\n";
+          } else {
+            response = flock::serve::EncodeError(
+                flock::Status::InvalidArgument(
+                    "usage: .slowlog [clear|<threshold ms>]"));
+          }
+        }
+        break;
+      }
       case Request::Kind::kSession:
         response = "session " + std::to_string(session) + "\n";
         break;

@@ -1,5 +1,7 @@
 #include "flock/flock_engine.h"
 
+#include <fstream>
+
 #include "common/string_util.h"
 
 namespace flock::flock {
@@ -168,7 +170,15 @@ Status FlockEngine::Checkpoint() {
     return Status::InvalidArgument(
         "engine has no data directory (call Open first)");
   }
-  return durability_->Checkpoint();
+  FLOCK_RETURN_NOT_OK(durability_->Checkpoint());
+  // Persist the slow-query log next to the checkpoint so outliers
+  // survive restarts for postmortems. Best-effort: the log is derived
+  // observability state, so a write failure must not fail the
+  // checkpoint.
+  std::ofstream out(durability_->directory() + "/slowlog.json",
+                    std::ios::trunc);
+  if (out.is_open()) out << sql_engine_.slow_log()->ToJson() << "\n";
+  return Status::OK();
 }
 
 bool FlockEngine::RequiresExclusive(const std::string& sql) {
@@ -182,13 +192,14 @@ bool FlockEngine::RequiresExclusive(const std::string& sql) {
   return !(StartsWith(lowered, "select") || StartsWith(lowered, "explain"));
 }
 
-StatusOr<sql::QueryResult> FlockEngine::Execute(const std::string& sql) {
+StatusOr<sql::QueryResult> FlockEngine::Execute(
+    const std::string& sql, const sql::ExecOptions& exec_opts) {
   if (RequiresExclusive(sql)) {
     std::unique_lock<std::shared_mutex> lock(engine_mu_);
-    return GuardDurable(ExecuteLocked(sql));
+    return GuardDurable(ExecuteLocked(sql, exec_opts));
   }
   std::shared_lock<std::shared_mutex> lock(engine_mu_);
-  return sql_engine_.Execute(sql);
+  return sql_engine_.Execute(sql, exec_opts);
 }
 
 StatusOr<sql::QueryResult> FlockEngine::GuardDurable(
@@ -200,25 +211,26 @@ StatusOr<sql::QueryResult> FlockEngine::GuardDurable(
 }
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteAs(
-    const std::string& sql, const std::string& principal) {
+    const std::string& sql, const std::string& principal,
+    const sql::ExecOptions& exec_opts) {
   // The scoring context is shared by every execution, so swapping the
   // principal demands exclusivity even for reads.
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   std::string saved = context_->principal;
   context_->principal = principal;
-  auto result = ExecuteLocked(sql);
+  auto result = ExecuteLocked(sql, exec_opts);
   context_->principal = saved;
   return GuardDurable(std::move(result));
 }
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteLocked(
-    const std::string& sql) {
+    const std::string& sql, const sql::ExecOptions& exec_opts) {
   std::string lowered = ToLower(sql);
   if (lowered.find("flock_models") != std::string::npos ||
       lowered.find("flock_audit") != std::string::npos) {
     FLOCK_RETURN_NOT_OK(RefreshCatalogTablesLocked());
   }
-  return sql_engine_.Execute(sql);
+  return sql_engine_.Execute(sql, exec_opts);
 }
 
 Status FlockEngine::RefreshCatalogTables() {

@@ -109,15 +109,19 @@ class FlockEngine {
   ///
   ///   SELECT name, version, created_by FROM flock_models;
   ///   SELECT principal, COUNT(*) FROM flock_audit GROUP BY principal;
-  StatusOr<sql::QueryResult> Execute(const std::string& sql);
+  ///
+  /// `exec_opts` carries per-call flags (tracing) down to the SQL layer.
+  StatusOr<sql::QueryResult> Execute(const std::string& sql,
+                                     const sql::ExecOptions& exec_opts = {});
 
   /// Executes one statement with `principal` attached for access control
   /// and audit, without disturbing the engine-wide principal. Always
   /// takes the exclusive lock (the scoring context is shared), so
   /// per-principal traffic serializes; the serving layer routes
   /// default-principal queries through Execute's shared path instead.
-  StatusOr<sql::QueryResult> ExecuteAs(const std::string& sql,
-                                       const std::string& principal);
+  StatusOr<sql::QueryResult> ExecuteAs(
+      const std::string& sql, const std::string& principal,
+      const sql::ExecOptions& exec_opts = {});
 
   /// Rebuilds the `flock_models` / `flock_audit` catalog tables from the
   /// registry (Execute calls this lazily; exposed for tests). Takes the
@@ -159,7 +163,8 @@ class FlockEngine {
   static bool RequiresExclusive(const std::string& sql);
 
   /// Body of Execute; caller holds the appropriate lock.
-  StatusOr<sql::QueryResult> ExecuteLocked(const std::string& sql);
+  StatusOr<sql::QueryResult> ExecuteLocked(
+      const std::string& sql, const sql::ExecOptions& exec_opts);
   Status RefreshCatalogTablesLocked();
 
   /// Commit-point check for exclusive statements: a statement whose WAL

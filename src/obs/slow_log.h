@@ -1,0 +1,84 @@
+#ifndef FLOCK_OBS_SLOW_LOG_H_
+#define FLOCK_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace flock::obs {
+
+/// One captured outlier request.
+struct SlowQueryEntry {
+  uint64_t seq = 0;             // monotonically increasing capture id
+  std::string sql;              // normalized statement text
+  std::string plan_digest;      // 16-hex-char physical-plan shape hash
+  double elapsed_ms = 0.0;
+  bool from_plan_cache = false;
+  std::vector<SpanSnapshot> trace;  // span tree when tracing was on
+};
+
+/// Threshold-gated ring buffer of outlier requests: every statement
+/// whose latency crosses `threshold_ms` is captured with its normalized
+/// SQL, plan digest and (when tracing) span tree. The buffer keeps the
+/// most recent `capacity` entries; `total_recorded` keeps counting past
+/// evictions so monitoring can see the true outlier rate.
+///
+/// The fast path is one double comparison (`ShouldRecord`); the mutex is
+/// only taken for actual outliers and dumps. A negative threshold
+/// disables capture entirely.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 64, double threshold_ms = 100.0)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        threshold_ms_(threshold_ms) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  bool ShouldRecord(double elapsed_ms) const {
+    double t = threshold_ms_.load(std::memory_order_relaxed);
+    return t >= 0.0 && elapsed_ms >= t;
+  }
+
+  void Record(SlowQueryEntry entry);
+
+  /// Oldest-to-newest copy of the retained entries.
+  std::vector<SlowQueryEntry> Dump() const;
+
+  void Clear();
+
+  /// Compact JSON array of the retained entries (trace rendered as a
+  /// span-count, not the full tree, to keep dumps bounded).
+  std::string ToJson() const;
+
+  double threshold_ms() const {
+    return threshold_ms_.load(std::memory_order_relaxed);
+  }
+  void set_threshold_ms(double t) {
+    threshold_ms_.store(t, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::atomic<double> threshold_ms_;
+  std::atomic<uint64_t> total_recorded_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // ring_[next_] is the oldest
+  size_t next_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace flock::obs
+
+#endif  // FLOCK_OBS_SLOW_LOG_H_

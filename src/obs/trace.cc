@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace flock::obs {
+
+namespace {
+thread_local TraceRecorder* tls_recorder = nullptr;
+}  // namespace
+
+TraceRecorder* TraceRecorder::Current() { return tls_recorder; }
+
+TraceScope::TraceScope(TraceRecorder* recorder)
+    : previous_(tls_recorder) {
+  tls_recorder = recorder;
+}
+
+TraceScope::~TraceScope() { tls_recorder = previous_; }
+
+size_t TraceRecorder::Begin(std::string name) {
+  SpanSnapshot span;
+  span.name = std::move(name);
+  span.depth = static_cast<int>(open_.size());
+  span.start_nanos = NowNanos();
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::End() {
+  if (open_.empty()) return;
+  SpanSnapshot& span = spans_[open_.back()];
+  span.duration_nanos = NowNanos() - span.start_nanos;
+  open_.pop_back();
+}
+
+void TraceRecorder::AddUnder(size_t parent, std::string name,
+                             int extra_depth, uint64_t duration_nanos) {
+  if (parent >= spans_.size()) return;
+  SpanSnapshot span;
+  span.name = std::move(name);
+  span.depth = spans_[parent].depth + 1 + extra_depth;
+  span.start_nanos = spans_[parent].start_nanos;
+  span.duration_nanos = duration_nanos;
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanSnapshot> TraceRecorder::Snapshot() const {
+  std::vector<SpanSnapshot> out = spans_;
+  uint64_t now = NowNanos();
+  for (size_t idx : open_) {
+    out[idx].duration_nanos = now - out[idx].start_nanos;
+  }
+  return out;
+}
+
+std::string RenderSpanTree(const std::vector<SpanSnapshot>& spans) {
+  std::string out;
+  for (const SpanSnapshot& span : spans) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "%*s%-32s %9.3f ms  @%.3f ms\n",
+                  2 * span.depth, "", span.name.c_str(),
+                  static_cast<double>(span.duration_nanos) / 1e6,
+                  static_cast<double>(span.start_nanos) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace flock::obs

@@ -1,0 +1,125 @@
+#ifndef FLOCK_OBS_TRACE_H_
+#define FLOCK_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flock::obs {
+
+/// One node of a per-request span tree, flattened in pre-order (`depth`
+/// reconstructs the tree, exactly like OperatorMetricsSnapshot). Times
+/// are nanoseconds relative to the recorder's construction, so a span
+/// tree is self-contained and cheap to copy into a QueryResult.
+struct SpanSnapshot {
+  std::string name;
+  int depth = 0;
+  uint64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+};
+
+/// Per-request span recorder: the engine opens a span per pipeline stage
+/// (parse -> plan -> optimize -> execute -> ...) and deeper layers attach
+/// children. One recorder serves one request and is driven from that
+/// request's thread; Begin/End maintain an open-span stack so nesting is
+/// implicit.
+///
+/// Layers that cannot take a recorder parameter (the WAL observer fires
+/// behind the storage API) reach the active recorder through the
+/// thread-local Current() pointer, installed by TraceScope for the
+/// duration of a traced request. When no trace is active Current() is
+/// null and ScopedSpan degenerates to a no-op — untraced requests pay a
+/// single thread-local load per would-be span.
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(Clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span as a child of the innermost open span; returns its
+  /// index for AddUnder grafting.
+  size_t Begin(std::string name);
+
+  /// Closes the innermost open span.
+  void End();
+
+  /// Appends an already-timed span under `parent` (which may be closed):
+  /// used to graft the executor's per-operator counters into the tree
+  /// after the run. `extra_depth` nests relative to the parent's
+  /// children (operator snapshots carry their own tree depth).
+  void AddUnder(size_t parent, std::string name, int extra_depth,
+                uint64_t duration_nanos);
+
+  /// Nanoseconds since the recorder was created.
+  uint64_t NowNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             origin_)
+            .count());
+  }
+
+  /// Pre-order copy of the tree; still-open spans get their duration up
+  /// to now.
+  std::vector<SpanSnapshot> Snapshot() const;
+
+  size_t num_spans() const { return spans_.size(); }
+
+  /// The recorder installed on this thread by TraceScope, or null.
+  static TraceRecorder* Current();
+
+ private:
+  friend class TraceScope;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point origin_;
+  std::vector<SpanSnapshot> spans_;
+  std::vector<size_t> open_;  // indexes into spans_, innermost last
+};
+
+/// Installs `recorder` as the thread's current recorder for its scope.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* recorder);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+/// RAII span on the thread's current recorder; no-op when tracing is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : recorder_(TraceRecorder::Current()) {
+    if (recorder_ != nullptr) index_ = recorder_->Begin(name);
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Index of the opened span (only valid when active()).
+  size_t index() const { return index_; }
+  bool active() const { return recorder_ != nullptr; }
+  TraceRecorder* recorder() { return recorder_; }
+
+ private:
+  TraceRecorder* recorder_;
+  size_t index_ = 0;
+};
+
+/// Indented text rendering of a span tree, one line per span:
+///   execute                      1.234 ms  @0.056 ms
+///     TableScan(users)           0.800 ms  @0.056 ms
+std::string RenderSpanTree(const std::vector<SpanSnapshot>& spans);
+
+}  // namespace flock::obs
+
+#endif  // FLOCK_OBS_TRACE_H_

@@ -138,6 +138,10 @@ StatusOr<std::vector<Decision>> PolicyEngine::DecideBatch(
           break;
       }
       decided[i] = true;
+      decisions_made_.fetch_add(1, std::memory_order_relaxed);
+      if (d.rejected) {
+        rejections_.fetch_add(1, std::memory_order_relaxed);
+      }
       TimelineEntry entry;
       entry.seq = next_seq_++;
       entry.policy = policy.name();

@@ -1,6 +1,7 @@
 #ifndef FLOCK_POLICY_POLICY_ENGINE_H_
 #define FLOCK_POLICY_POLICY_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -79,6 +80,16 @@ class PolicyEngine {
   void ClearTimeline() { timeline_.clear(); }
   uint64_t next_seq() const { return next_seq_; }
 
+  /// Cumulative counters over DecideBatch, atomic so the metrics
+  /// registry can read them while decisions are being made (the timeline
+  /// itself is only safe to read quiescently).
+  uint64_t decisions_made() const {
+    return decisions_made_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
   /// Installs a timeline listener (nullptr to clear). Set during
   /// single-threaded setup, e.g. after recovery completes.
   void set_timeline_listener(TimelineListener* listener) {
@@ -97,6 +108,8 @@ class PolicyEngine {
   sql::FunctionRegistry functions_;
   std::vector<TimelineEntry> timeline_;
   uint64_t next_seq_ = 0;
+  std::atomic<uint64_t> decisions_made_{0};
+  std::atomic<uint64_t> rejections_{0};
   TimelineListener* timeline_listener_ = nullptr;  // not owned
 };
 

@@ -3,6 +3,13 @@
 namespace flock::serve {
 
 Status AdmissionController::Admit(std::function<void()> work) {
+  // The draining check and the enqueue must be atomic with respect to
+  // Drain's flag flip: a thread that passed the check just before the
+  // flip could otherwise enqueue concurrently with (or after) WaitIdle,
+  // and Drain would return with a request still queued. Admitters share
+  // the gate; Drain's exclusive acquisition waits out every in-progress
+  // check+enqueue and bars all later ones.
+  std::shared_lock<std::shared_mutex> gate(drain_mu_);
   if (draining()) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("server is draining");
@@ -17,7 +24,12 @@ Status AdmissionController::Admit(std::function<void()> work) {
 }
 
 void AdmissionController::Drain() {
-  draining_.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::shared_mutex> gate(drain_mu_);
+    draining_.store(true, std::memory_order_release);
+  }
+  // Everything admitted happened-before the exclusive acquisition above,
+  // so WaitIdle observes the complete set of queued work.
   pool_.WaitIdle();
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -41,7 +42,10 @@ class AdmissionController {
   Status Admit(std::function<void()> work);
 
   /// Graceful shutdown: stop admitting, then wait until every admitted
-  /// request has finished. Idempotent; safe from any thread.
+  /// request has finished. Nothing is admitted once Drain has begun —
+  /// the drain flag flips under the admission gate held exclusively, so
+  /// no check-then-enqueue can straddle it. Idempotent; safe from any
+  /// thread.
   void Drain();
 
   bool draining() const {
@@ -56,6 +60,10 @@ class AdmissionController {
 
  private:
   AdmissionOptions options_;
+  /// Admission gate: Admit holds it shared across its draining-check +
+  /// enqueue; Drain takes it exclusively to flip `draining_`, which
+  /// fences out any concurrently admitting thread before WaitIdle runs.
+  std::shared_mutex drain_mu_;
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> shed_{0};
   ThreadPool pool_;

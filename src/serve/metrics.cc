@@ -7,19 +7,31 @@ namespace flock::serve {
 
 namespace {
 
-// buckets_[i] counts samples in [kGrowth^i, kGrowth^(i+1)) microseconds.
-size_t BucketIndex(double micros) {
-  if (micros <= 1.0) return 0;
-  double idx = std::log(micros) / std::log(LatencyHistogram::kGrowth);
-  if (idx >= LatencyHistogram::kNumBuckets - 1) {
-    return LatencyHistogram::kNumBuckets - 1;
-  }
-  return static_cast<size_t>(idx);
+double BucketLowerMicros(size_t index) {
+  if (index == 0) return 0.0;
+  return std::pow(LatencyHistogram::kGrowth, static_cast<double>(index));
 }
 
 double BucketUpperMicros(size_t index) {
   return std::pow(LatencyHistogram::kGrowth,
                   static_cast<double>(index + 1));
+}
+
+// buckets_[0] counts samples in [0, kGrowth) microseconds; buckets_[i>0]
+// counts [kGrowth^i, kGrowth^(i+1)).
+size_t BucketIndex(double micros) {
+  if (micros < LatencyHistogram::kGrowth) return 0;
+  double raw = std::log(micros) / std::log(LatencyHistogram::kGrowth);
+  size_t idx = static_cast<size_t>(raw);
+  // log() rounding can land the truncated index one bucket off on exact
+  // boundaries (e.g. micros == kGrowth^i computing raw = i - epsilon);
+  // nudge until the half-open invariant lower <= micros < upper holds.
+  if (BucketUpperMicros(idx) <= micros) ++idx;
+  if (idx > 0 && micros < BucketLowerMicros(idx)) --idx;
+  if (idx >= LatencyHistogram::kNumBuckets - 1) {
+    return LatencyHistogram::kNumBuckets - 1;
+  }
+  return idx;
 }
 
 }  // namespace
@@ -47,8 +59,20 @@ double LatencyHistogram::PercentileMs(double p) const {
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketUpperMicros(i) / 1e3;
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + in_bucket >= rank) {
+      // Interpolate within the bucket, assuming samples spread evenly
+      // across it: the rank-th sample sits (rank - seen - 1/2) of the
+      // way through the bucket's population. Returning the raw upper
+      // bound would overstate every percentile by up to kGrowth x.
+      double lower = BucketLowerMicros(i);
+      double upper = BucketUpperMicros(i);
+      double fraction =
+          (static_cast<double>(rank - seen) - 0.5) /
+          static_cast<double>(in_bucket);
+      return (lower + fraction * (upper - lower)) / 1e3;
+    }
+    seen += in_bucket;
   }
   return BucketUpperMicros(kNumBuckets - 1) / 1e3;
 }
@@ -65,28 +89,38 @@ void ServerMetrics::Reset() {
   requests_error_.store(0, std::memory_order_relaxed);
 }
 
-std::string ServerMetricsSnapshot::ToJson() const {
-  char buf[768];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"requests\": {\"ok\": %llu, \"error\": %llu, \"shed\": %llu},\n"
-      " \"sessions\": {\"open\": %llu, \"opened_total\": %llu},\n"
-      " \"queue_depth\": %llu,\n"
-      " \"latency_ms\": {\"count\": %llu, \"mean\": %.3f, \"p50\": %.3f, "
-      "\"p95\": %.3f, \"p99\": %.3f},\n"
-      " \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
-      "\"hit_rate\": %.4f}}",
-      static_cast<unsigned long long>(requests_ok),
-      static_cast<unsigned long long>(requests_error),
-      static_cast<unsigned long long>(requests_shed),
-      static_cast<unsigned long long>(sessions_open),
-      static_cast<unsigned long long>(sessions_opened_total),
-      static_cast<unsigned long long>(queue_depth),
-      static_cast<unsigned long long>(latency_count), mean_ms, p50_ms,
-      p95_ms, p99_ms, static_cast<unsigned long long>(plan_cache_hits),
-      static_cast<unsigned long long>(plan_cache_misses),
-      plan_cache_hit_rate);
+namespace {
+
+std::string JsonNumber(double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+}  // namespace
+
+// Built dynamically: a fixed snprintf buffer silently truncated into
+// invalid JSON as soon as the snapshot widened.
+std::string ServerMetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"requests\": {\"ok\": " + std::to_string(requests_ok) +
+         ", \"error\": " + std::to_string(requests_error) +
+         ", \"shed\": " + std::to_string(requests_shed) + "},\n";
+  out += " \"sessions\": {\"open\": " + std::to_string(sessions_open) +
+         ", \"opened_total\": " + std::to_string(sessions_opened_total) +
+         "},\n";
+  out += " \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
+  out += " \"latency_ms\": {\"count\": " + std::to_string(latency_count) +
+         ", \"mean\": " + JsonNumber(mean_ms, "%.3f") +
+         ", \"p50\": " + JsonNumber(p50_ms, "%.3f") +
+         ", \"p95\": " + JsonNumber(p95_ms, "%.3f") +
+         ", \"p99\": " + JsonNumber(p99_ms, "%.3f") + "},\n";
+  out += " \"plan_cache\": {\"hits\": " + std::to_string(plan_cache_hits) +
+         ", \"misses\": " + std::to_string(plan_cache_misses) +
+         ", \"hit_rate\": " + JsonNumber(plan_cache_hit_rate, "%.4f") +
+         "}}";
+  return out;
 }
 
 }  // namespace flock::serve

@@ -8,11 +8,13 @@
 
 namespace flock::serve {
 
-/// Lock-free latency histogram with geometric buckets (x1.25 per bucket,
-/// starting at 1 µs — ~95 buckets reach past an hour). Record is a single
-/// relaxed fetch_add, so the serving hot path never serializes on
-/// metrics; percentiles are computed from the bucket counts on demand and
-/// are accurate to one bucket width (±12 %).
+/// Lock-free latency histogram with geometric buckets (x1.25 per bucket;
+/// bucket 0 covers [0, 1.25 µs) and ~95 buckets reach past an hour).
+/// Record is a single relaxed fetch_add, so the serving hot path never
+/// serializes on metrics; percentiles are computed on demand from the
+/// bucket counts, interpolating within the covering bucket, so the error
+/// is bounded by one bucket width (±12 %) rather than biased toward the
+/// bucket's upper bound.
 class LatencyHistogram {
  public:
   static constexpr size_t kNumBuckets = 96;

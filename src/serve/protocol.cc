@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace flock::serve {
 
@@ -9,11 +10,27 @@ Request ParseRequestLine(const std::string& line) {
   std::string trimmed = Trim(line);
   if (trimmed.empty()) return request;  // kEmpty
   if (trimmed[0] == '.') {
-    if (trimmed == ".metrics") {
+    // Split "<command> <argument>" — commands are one word, the rest
+    // (if any) is the argument (".trace on", ".slowlog 25").
+    std::string command = trimmed;
+    std::string argument;
+    size_t space = trimmed.find(' ');
+    if (space != std::string::npos) {
+      command = trimmed.substr(0, space);
+      argument = Trim(trimmed.substr(space + 1));
+    }
+    if (command == ".metrics") {
       request.kind = Request::Kind::kMetrics;
-    } else if (trimmed == ".session") {
+      request.text = std::move(argument);
+    } else if (command == ".trace") {
+      request.kind = Request::Kind::kTrace;
+      request.text = std::move(argument);
+    } else if (command == ".slowlog") {
+      request.kind = Request::Kind::kSlowLog;
+      request.text = std::move(argument);
+    } else if (command == ".session") {
       request.kind = Request::Kind::kSession;
-    } else if (trimmed == ".quit" || trimmed == ".exit") {
+    } else if (command == ".quit" || command == ".exit") {
       request.kind = Request::Kind::kQuit;
     }
     return request;  // unknown '.' command stays kEmpty
@@ -71,6 +88,14 @@ std::string EncodeResponse(const StatusOr<sql::QueryResult>& result) {
       }
       out += '\n';
     }
+  }
+  if (!qr.trace.empty()) {
+    // Tracing section: announced with its line count so clients can
+    // skip it without understanding span trees.
+    std::string rendered = obs::RenderSpanTree(qr.trace);
+    size_t lines = 0;
+    for (char c : rendered) lines += c == '\n';
+    out += "TRACE " + std::to_string(lines) + "\n" + rendered;
   }
   out += "END\n";
   return out;

@@ -13,7 +13,12 @@ namespace flock::serve {
 ///
 /// Requests — one line each, '\n'-terminated:
 ///   <sql statement>      execute one statement on this connection's session
-///   .metrics             server metrics snapshot as JSON
+///   .metrics             unified metrics (all subsystems) as JSON
+///   .metrics prom        same, Prometheus text exposition
+///   .trace on|off        toggle span-tree tracing for this session
+///   .slowlog             slow-query log as JSON
+///   .slowlog clear       empty the slow-query log
+///   .slowlog <ms>        set the slow-query threshold (negative = off)
 ///   .session             this connection's session id / principal
 ///   .quit                close the connection
 ///
@@ -21,6 +26,8 @@ namespace flock::serve {
 ///   OK <nrows> <ncols>\n
 ///   <tab-separated column names>\n          (only when ncols > 0)
 ///   <tab-separated row values> x nrows\n    (tabs/newlines escaped)
+///   TRACE <nspans>\n                        (only when tracing was on)
+///   <rendered span line> x nspans\n
 ///   END\n
 /// or, for DML/DDL (no result columns):
 ///   OK 0 0 affected=<n>\n
@@ -28,9 +35,11 @@ namespace flock::serve {
 /// or on failure (always a single line, message newline-escaped):
 ///   ERR <CodeName> <message>\n
 struct Request {
-  enum class Kind { kQuery, kMetrics, kSession, kQuit, kEmpty };
+  enum class Kind {
+    kQuery, kMetrics, kTrace, kSlowLog, kSession, kQuit, kEmpty
+  };
   Kind kind = Kind::kEmpty;
-  std::string text;  // the SQL for kQuery
+  std::string text;  // the SQL for kQuery; the argument for commands
 };
 
 /// Classifies one request line (strips surrounding whitespace; lines

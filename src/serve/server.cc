@@ -12,7 +12,96 @@ PredictionServer::PredictionServer(flock::FlockEngine* engine,
                              ? engine->principal()
                              : options.default_principal),
       sessions_(options.max_sessions),
-      admission_(options.admission) {}
+      admission_(options.admission) {
+  RegisterMetrics();
+}
+
+void PredictionServer::RegisterMetrics() {
+  // serve.* — request counters, sessions, queue, latency.
+  registry_.RegisterCounter("serve.requests_ok",
+                            [this] { return metrics_.requests_ok(); });
+  registry_.RegisterCounter("serve.requests_error",
+                            [this] { return metrics_.requests_error(); });
+  registry_.RegisterCounter("serve.requests_shed",
+                            [this] { return admission_.shed_count(); });
+  registry_.RegisterGauge("serve.sessions_open", [this] {
+    return static_cast<uint64_t>(sessions_.num_open());
+  });
+  registry_.RegisterCounter("serve.sessions_opened_total",
+                            [this] { return sessions_.total_opened(); });
+  registry_.RegisterGauge("serve.queue_depth", [this] {
+    return static_cast<uint64_t>(admission_.queue_depth());
+  });
+  registry_.RegisterHistogram("serve.latency_ms", [this] {
+    const LatencyHistogram& hist = metrics_.latency();
+    obs::HistogramSnapshot snap;
+    snap.count = hist.count();
+    snap.mean_ms = hist.mean_ms();
+    snap.p50_ms = hist.PercentileMs(0.50);
+    snap.p95_ms = hist.PercentileMs(0.95);
+    snap.p99_ms = hist.PercentileMs(0.99);
+    return snap;
+  });
+
+  // plan_cache.* — the SQL engine's prepared-statement cache.
+  sql::SqlEngine* sql_engine = engine_->sql();
+  registry_.RegisterCounter("plan_cache.hits", [sql_engine] {
+    return sql_engine->plan_cache()->stats().hits;
+  });
+  registry_.RegisterCounter("plan_cache.misses", [sql_engine] {
+    return sql_engine->plan_cache()->stats().misses;
+  });
+  registry_.RegisterCounter("plan_cache.insertions", [sql_engine] {
+    return sql_engine->plan_cache()->stats().insertions;
+  });
+  registry_.RegisterCounter("plan_cache.invalidations", [sql_engine] {
+    return sql_engine->plan_cache()->stats().invalidations;
+  });
+  registry_.RegisterGaugeF("plan_cache.hit_rate", [sql_engine] {
+    return sql_engine->plan_cache()->stats().hit_rate();
+  });
+  registry_.RegisterGauge("plan_cache.entries", [sql_engine] {
+    return static_cast<uint64_t>(sql_engine->plan_cache()->size());
+  });
+
+  // slowlog.* — the slow-query ring buffer.
+  registry_.RegisterCounter("slowlog.total_recorded", [sql_engine] {
+    return sql_engine->slow_log()->total_recorded();
+  });
+  registry_.RegisterGauge("slowlog.entries", [sql_engine] {
+    return static_cast<uint64_t>(sql_engine->slow_log()->size());
+  });
+  registry_.RegisterGaugeF("slowlog.threshold_ms", [sql_engine] {
+    return sql_engine->slow_log()->threshold_ms();
+  });
+
+  // wal.* — durability counters. Registered unconditionally and read
+  // through durable() so a server constructed before Open() still
+  // exposes them (as zeros until the engine turns durable).
+  flock::FlockEngine* engine = engine_;
+  registry_.RegisterCounter("wal.records_appended", [engine] {
+    return engine->durable() ? engine->durability()->records_logged() : 0;
+  });
+  registry_.RegisterCounter("wal.syncs", [engine] {
+    return engine->durable() ? engine->durability()->syncs() : 0;
+  });
+  registry_.RegisterCounter("wal.bytes_written", [engine] {
+    return engine->durable() ? engine->durability()->bytes_written() : 0;
+  });
+  registry_.RegisterGauge("wal.epoch", [engine] {
+    return engine->durable() ? engine->durability()->epoch() : 0;
+  });
+
+  // policy.* — decision counters, when a policy engine is attached.
+  if (options_.policy != nullptr) {
+    policy::PolicyEngine* policy = options_.policy;
+    registry_.RegisterCounter("policy.decisions", [policy] {
+      return policy->decisions_made();
+    });
+    registry_.RegisterCounter("policy.rejections",
+                              [policy] { return policy->rejections(); });
+  }
+}
 
 PredictionServer::~PredictionServer() { Shutdown(); }
 
@@ -44,16 +133,18 @@ std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
   }
   SessionPtr session = std::move(session_or).value();
 
+  sql::ExecOptions exec_opts;
+  exec_opts.trace = session->trace();
   Status admitted = admission_.Admit(
-      [this, session, sql = std::move(sql), promise]() mutable {
+      [this, session, sql = std::move(sql), exec_opts, promise]() mutable {
         Stopwatch timer;
         // Default-principal traffic shares the engine's read lock;
         // other principals serialize through ExecuteAs (see the
         // FlockEngine locking contract).
         StatusOr<sql::QueryResult> result =
             session->principal() == default_principal_
-                ? engine_->Execute(sql)
-                : engine_->ExecuteAs(sql, session->principal());
+                ? engine_->Execute(sql, exec_opts)
+                : engine_->ExecuteAs(sql, session->principal(), exec_opts);
         metrics_.RecordRequest(timer.ElapsedMillis(), result.ok());
         session->RecordRequest(result.ok());
         promise->set_value(std::move(result));

@@ -8,6 +8,8 @@
 
 #include "common/status_or.h"
 #include "flock/flock_engine.h"
+#include "obs/metrics_registry.h"
+#include "policy/policy_engine.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/session.h"
@@ -22,6 +24,9 @@ struct ServerOptions {
   /// different principal execute via FlockEngine::ExecuteAs (exclusive
   /// lock), default-principal sessions share the read lock.
   std::string default_principal;
+  /// Policy engine whose decision counters should appear in the unified
+  /// metrics (optional; must outlive the server).
+  policy::PolicyEngine* policy = nullptr;
 };
 
 /// The concurrent prediction-serving layer (paper §2/§4.1: scoring lives
@@ -70,19 +75,37 @@ class PredictionServer {
   bool accepting() const;
 
   ServerMetricsSnapshot Snapshot() const;
-  std::string MetricsJson() const { return Snapshot().ToJson(); }
+
+  /// Unified metrics (every registered subsystem: serve, plan_cache,
+  /// slowlog, wal, policy) as JSON — the `.metrics` wire response.
+  std::string MetricsJson() const { return registry_.ToJson(); }
+  /// Same metrics, Prometheus text exposition (`.metrics prom`).
+  std::string MetricsPrometheus() const { return registry_.ToPrometheus(); }
+  /// Legacy flat snapshot JSON (kept for tooling that predates the
+  /// registry; Snapshot() is the structured form).
+  std::string SnapshotJson() const { return Snapshot().ToJson(); }
+  /// The slow-query log dump (`.slowlog` wire response).
+  std::string SlowLogJson() const {
+    return engine_->sql()->slow_log()->ToJson();
+  }
 
   flock::FlockEngine* engine() { return engine_; }
   SessionManager* sessions() { return &sessions_; }
   AdmissionController* admission() { return &admission_; }
+  obs::MetricsRegistry* metrics_registry() { return &registry_; }
 
  private:
+  /// Registers every subsystem's counters with the unified registry
+  /// (pull callbacks; called once from the constructor).
+  void RegisterMetrics();
+
   flock::FlockEngine* engine_;
   ServerOptions options_;
   std::string default_principal_;
   SessionManager sessions_;
   AdmissionController admission_;
   ServerMetrics metrics_;
+  obs::MetricsRegistry registry_;
   std::atomic<bool> shutdown_{false};
 };
 

@@ -36,11 +36,18 @@ class Session {
     return errors_.load(std::memory_order_relaxed);
   }
 
+  /// Per-session tracing toggle (`.trace on|off`): queries submitted
+  /// while set carry ExecOptions::trace and return span trees. Atomic —
+  /// the transport thread flips it while workers read it.
+  void set_trace(bool on) { trace_.store(on, std::memory_order_relaxed); }
+  bool trace() const { return trace_.load(std::memory_order_relaxed); }
+
  private:
   uint64_t id_;
   std::string principal_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<bool> trace_{false};
 };
 
 using SessionPtr = std::shared_ptr<Session>;

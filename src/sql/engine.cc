@@ -1,8 +1,10 @@
 #include "sql/engine.h"
 
 #include <cstdio>
+#include <optional>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "sql/evaluator.h"
 #include "sql/parser.h"
@@ -12,6 +14,67 @@
 namespace flock::sql {
 
 namespace {
+
+/// Cheap prefix test for EXPLAIN ANALYZE so Execute can decide whether
+/// to trace without lower-casing the whole statement on the hot path.
+bool IsExplainAnalyze(const std::string& sql) {
+  size_t i = 0;
+  auto skip_space = [&] {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+  };
+  auto match_word = [&](const char* word) {
+    size_t start = i;
+    for (const char* w = word; *w != '\0'; ++w, ++i) {
+      if (i >= sql.size() ||
+          std::tolower(static_cast<unsigned char>(sql[i])) != *w) {
+        i = start;
+        return false;
+      }
+    }
+    if (i < sql.size() &&
+        !std::isspace(static_cast<unsigned char>(sql[i]))) {
+      i = start;
+      return false;
+    }
+    return true;
+  };
+  skip_space();
+  if (!match_word("explain")) return false;
+  skip_space();
+  return match_word("analyze");
+}
+
+/// Converts the executor's per-operator wall_ms into nanoseconds for
+/// span grafting.
+uint64_t WallNanos(double wall_ms) {
+  return wall_ms <= 0.0 ? 0
+                        : static_cast<uint64_t>(wall_ms * 1e6);
+}
+
+/// Grafts the executed physical plan's per-operator counters under the
+/// (already closed) `execute` span, plus a synthesized sibling `score`
+/// span summing the PredictScore operators — so a trace shows where
+/// model scoring sits inside execution without a separate timer on the
+/// scoring hot path.
+void GraftExecutionSpans(
+    obs::TraceRecorder* recorder, size_t execute_span,
+    const std::vector<OperatorMetricsSnapshot>& operator_metrics) {
+  if (recorder == nullptr) return;
+  double score_ms = 0.0;
+  for (const auto& op : operator_metrics) {
+    recorder->AddUnder(execute_span, op.name, op.depth,
+                       WallNanos(op.wall_ms));
+    if (op.name.rfind("PredictScore", 0) == 0) score_ms += op.wall_ms;
+  }
+  if (score_ms > 0.0) {
+    // Sibling of execute (extra_depth -1 lifts it back to the stage
+    // level): the model-scoring share of the run.
+    recorder->AddUnder(execute_span, "score", -1, WallNanos(score_ms));
+  }
+}
 
 /// Binds column refs in a DML predicate/assignment against a single table
 /// schema, with the same PREDICT(model, ...) first-argument handling as
@@ -55,9 +118,25 @@ using storage::Schema;
 using storage::TablePtr;
 using storage::Value;
 
+std::string PlanDigest(
+    const std::vector<OperatorMetricsSnapshot>& operator_metrics) {
+  if (operator_metrics.empty()) return "";
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& op : operator_metrics) {
+    h = HashCombine(h, HashString(op.name));
+    h = HashCombine(h, HashInt64(op.depth));
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
 SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
     : db_(db), options_(options),
-      plan_cache_(options.plan_cache_capacity) {
+      plan_cache_(options.plan_cache_capacity),
+      slow_log_(options.slow_log_capacity,
+                options.slow_query_threshold_ms) {
   if (options_.num_threads == 0) {
     options_.num_threads =
         std::max(1u, std::thread::hardware_concurrency());
@@ -68,8 +147,21 @@ SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
   FunctionRegistry::RegisterBuiltins(&registry_);
 }
 
-StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql) {
+StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql,
+                                         const ExecOptions& exec_opts) {
   Stopwatch timer;
+  // Tracing is per-call (the serving layer's `.trace on`) and implied by
+  // EXPLAIN ANALYZE. The recorder is installed thread-locally so layers
+  // without an explicit parameter path — the optimizer's rules, the WAL
+  // observer firing behind the storage API — can attach spans; untraced
+  // requests never allocate a recorder.
+  const bool tracing = exec_opts.trace || IsExplainAnalyze(sql);
+  std::optional<obs::TraceRecorder> recorder;
+  std::optional<obs::TraceScope> trace_scope;
+  if (tracing) {
+    recorder.emplace();
+    trace_scope.emplace(&*recorder);
+  }
   // Prepared-statement fast path: a normalized-text hit returns a private
   // clone of the optimized plan and skips parse/plan/optimize entirely.
   // Bypassed while an observer is set — observers must see every parsed
@@ -78,20 +170,34 @@ StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql) {
       options_.enable_plan_cache && statement_observer_ == nullptr;
   std::string cache_key;
   if (use_cache) {
-    cache_key = NormalizeSql(sql);
-    if (PlanPtr cached = plan_cache_.Lookup(cache_key)) {
+    PlanPtr cached;
+    {
+      obs::ScopedSpan span("plan_cache.lookup");
+      cache_key = NormalizeSql(sql);
+      cached = plan_cache_.Lookup(cache_key);
+    }
+    if (cached != nullptr) {
       FLOCK_ASSIGN_OR_RETURN(QueryResult result,
                              ExecuteCachedPlan(*cached));
       result.elapsed_ms = timer.ElapsedMillis();
+      if (recorder.has_value()) result.trace = recorder->Snapshot();
+      MaybeRecordSlowQuery(result, sql, &cache_key);
       if (options_.keep_query_log) AppendQueryLog(sql);
       return result;
     }
   }
-  FLOCK_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::Parse(sql));
+  StatementPtr stmt;
+  {
+    obs::ScopedSpan span("parse");
+    FLOCK_ASSIGN_OR_RETURN(stmt, Parser::Parse(sql));
+  }
   FLOCK_ASSIGN_OR_RETURN(
       QueryResult result,
       ExecuteStatement(sql, *stmt, use_cache ? &cache_key : nullptr));
   result.elapsed_ms = timer.ElapsedMillis();
+  if (recorder.has_value()) result.trace = recorder->Snapshot();
+  MaybeRecordSlowQuery(result, sql,
+                       use_cache ? &cache_key : nullptr);
   if (options_.keep_query_log) AppendQueryLog(sql);
   if (statement_observer_) statement_observer_(sql, *stmt);
   return result;
@@ -99,13 +205,38 @@ StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql) {
 
 StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(const LogicalPlan& plan) {
   PhysicalPlanner physical_planner(&registry_);
-  FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
-                         physical_planner.Lower(plan));
   QueryResult result;
-  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
-  root->CollectMetrics(&result.operator_metrics);
+  PhysicalOperatorPtr lowered;
+  {
+    obs::ScopedSpan span("lower");
+    FLOCK_ASSIGN_OR_RETURN(lowered, physical_planner.Lower(plan));
+  }
+  size_t execute_span = 0;
+  {
+    obs::ScopedSpan exec_span("execute");
+    execute_span = exec_span.index();
+    FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(lowered.get()));
+    lowered->CollectMetrics(&result.operator_metrics);
+  }
+  if (auto* rec = obs::TraceRecorder::Current()) {
+    GraftExecutionSpans(rec, execute_span, result.operator_metrics);
+  }
+  result.plan_digest = PlanDigest(result.operator_metrics);
   result.from_plan_cache = true;
   return result;
+}
+
+void SqlEngine::MaybeRecordSlowQuery(const QueryResult& result,
+                                     const std::string& sql,
+                                     const std::string* normalized) {
+  if (!slow_log_.ShouldRecord(result.elapsed_ms)) return;
+  obs::SlowQueryEntry entry;
+  entry.sql = normalized != nullptr ? *normalized : NormalizeSql(sql);
+  entry.plan_digest = result.plan_digest;
+  entry.elapsed_ms = result.elapsed_ms;
+  entry.from_plan_cache = result.from_plan_cache;
+  entry.trace = result.trace;
+  slow_log_.Record(std::move(entry));
 }
 
 void SqlEngine::AppendQueryLog(const std::string& sql) {
@@ -177,19 +308,35 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(
       }
       const auto& select =
           static_cast<const SelectStatement&>(*explain.inner);
-      FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(select));
+      PlanPtr plan;
+      {
+        obs::ScopedSpan span("plan");
+        FLOCK_ASSIGN_OR_RETURN(plan, PlanQuery(select));
+      }
       FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
       PhysicalPlanner physical_planner(&registry_);
-      FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
-                             physical_planner.Lower(*plan));
+      PhysicalOperatorPtr root;
+      {
+        obs::ScopedSpan span("lower");
+        FLOCK_ASSIGN_OR_RETURN(root, physical_planner.Lower(*plan));
+      }
       QueryResult result;
       if (explain.analyze) {
         // EXPLAIN ANALYZE: execute, then render the plan with the
         // per-operator counters the run recorded.
-        FLOCK_ASSIGN_OR_RETURN(RecordBatch discard, ExecutePhysical(
-                                                        root.get()));
-        (void)discard;
-        root->CollectMetrics(&result.operator_metrics);
+        size_t execute_span = 0;
+        {
+          obs::ScopedSpan span("execute");
+          execute_span = span.index();
+          FLOCK_ASSIGN_OR_RETURN(RecordBatch discard, ExecutePhysical(
+                                                          root.get()));
+          (void)discard;
+          root->CollectMetrics(&result.operator_metrics);
+        }
+        if (auto* rec = obs::TraceRecorder::Current()) {
+          GraftExecutionSpans(rec, execute_span, result.operator_metrics);
+        }
+        result.plan_digest = PlanDigest(result.operator_metrics);
       }
       result.plan_text = "== Logical Plan ==\n" + plan->ToString() +
                          "== Physical Plan ==\n" +
@@ -205,6 +352,12 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(
                       static_cast<unsigned long long>(cache.misses),
                       100.0 * cache.hit_rate(), plan_cache_.size());
         result.plan_text += line;
+        // EXPLAIN ANALYZE always runs traced (Execute installs the
+        // recorder when it sees the prefix); render the span tree too.
+        if (auto* rec = obs::TraceRecorder::Current()) {
+          result.plan_text +=
+              "== Trace ==\n" + obs::RenderSpanTree(rec->Snapshot());
+        }
       }
       Schema schema({storage::ColumnDef{"plan", DataType::kString, false}});
       result.batch = RecordBatch(schema);
@@ -223,14 +376,19 @@ StatusOr<PlanPtr> SqlEngine::PlanQuery(const SelectStatement& stmt) {
 }
 
 Status SqlEngine::OptimizePlan(PlanPtr* plan) {
+  obs::ScopedSpan span("optimize");
   if (options_.enable_optimizer) {
     FLOCK_RETURN_NOT_OK(Optimize(plan, &registry_));
   }
   if (plan_rewriter_) {
-    FLOCK_RETURN_NOT_OK(plan_rewriter_(plan));
+    {
+      obs::ScopedSpan rewrite_span("optimize.cross_optimizer");
+      FLOCK_RETURN_NOT_OK(plan_rewriter_(plan));
+    }
     // The rewriter may have changed column usage (e.g. pruned PREDICT
     // arguments); re-run pruning so scans narrow accordingly.
     if (options_.enable_optimizer) {
+      obs::ScopedSpan prune_span("optimize.post_rewrite_prune");
       OptimizerOptions prune_only;
       prune_only.constant_folding = false;
       prune_only.predicate_pushdown = false;
@@ -258,21 +416,38 @@ StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root) {
 
 StatusOr<QueryResult> SqlEngine::ExecuteSelect(
     const SelectStatement& stmt, const std::string* cache_key) {
-  FLOCK_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
+  PlanPtr plan;
+  {
+    obs::ScopedSpan span("plan");
+    FLOCK_ASSIGN_OR_RETURN(plan, PlanQuery(stmt));
+  }
   FLOCK_RETURN_NOT_OK(OptimizePlan(&plan));
   if (cache_key != nullptr) {
     plan_cache_.Insert(*cache_key, plan->Clone());
   }
   PhysicalPlanner physical_planner(&registry_);
-  FLOCK_ASSIGN_OR_RETURN(PhysicalOperatorPtr root,
-                         physical_planner.Lower(*plan));
+  PhysicalOperatorPtr root;
+  {
+    obs::ScopedSpan span("lower");
+    FLOCK_ASSIGN_OR_RETURN(root, physical_planner.Lower(*plan));
+  }
   QueryResult result;
-  FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
-  root->CollectMetrics(&result.operator_metrics);
+  size_t execute_span = 0;
+  {
+    obs::ScopedSpan span("execute");
+    execute_span = span.index();
+    FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
+    root->CollectMetrics(&result.operator_metrics);
+  }
+  if (auto* rec = obs::TraceRecorder::Current()) {
+    GraftExecutionSpans(rec, execute_span, result.operator_metrics);
+  }
+  result.plan_digest = PlanDigest(result.operator_metrics);
   return result;
 }
 
 StatusOr<QueryResult> SqlEngine::ExecuteInsert(const InsertStatement& stmt) {
+  obs::ScopedSpan span("execute");
   FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
   const Schema& schema = table->schema();
 
@@ -328,6 +503,7 @@ StatusOr<QueryResult> SqlEngine::ExecuteInsert(const InsertStatement& stmt) {
 }
 
 StatusOr<QueryResult> SqlEngine::ExecuteUpdate(const UpdateStatement& stmt) {
+  obs::ScopedSpan span("execute");
   FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
   const Schema& schema = table->schema();
   RecordBatch snapshot = table->ScanAll();
@@ -371,6 +547,7 @@ StatusOr<QueryResult> SqlEngine::ExecuteUpdate(const UpdateStatement& stmt) {
 }
 
 StatusOr<QueryResult> SqlEngine::ExecuteDelete(const DeleteStatement& stmt) {
+  obs::ScopedSpan span("execute");
   FLOCK_ASSIGN_OR_RETURN(TablePtr table, db_->GetTable(stmt.table_name));
   const Schema& schema = table->schema();
   std::vector<bool> keep(table->num_rows(), true);

@@ -9,6 +9,8 @@
 
 #include "common/status_or.h"
 #include "common/thread_pool.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
 #include "sql/function_registry.h"
@@ -32,7 +34,28 @@ struct QueryResult {
   /// Per-operator execution counters for the physical plan (pre-order;
   /// filled for SELECT and EXPLAIN ANALYZE). Empty for DML/DDL.
   std::vector<OperatorMetricsSnapshot> operator_metrics;
+  /// Request span tree (pre-order), filled when the statement ran with
+  /// tracing on (ExecOptions::trace or EXPLAIN ANALYZE). Empty otherwise.
+  std::vector<obs::SpanSnapshot> trace;
+  /// Stable 16-hex-digit digest of the executed physical plan shape
+  /// (operator names + depths). Empty for DML/DDL.
+  std::string plan_digest;
 };
+
+/// Per-call execution options (as opposed to the engine-wide
+/// EngineOptions). Threaded from the serving layer down through
+/// FlockEngine::Execute.
+struct ExecOptions {
+  /// Record a span tree for this statement into QueryResult::trace.
+  bool trace = false;
+};
+
+/// Stable digest of a physical plan's shape: a 16-hex-digit hash over
+/// the pre-order operator names and depths. Two executions of the same
+/// (optimized) statement produce the same digest regardless of row
+/// counts, so the slow-query log can group outliers by plan.
+std::string PlanDigest(
+    const std::vector<OperatorMetricsSnapshot>& operator_metrics);
 
 struct EngineOptions {
   /// Intra-query parallelism. 0 = hardware concurrency.
@@ -49,6 +72,11 @@ struct EngineOptions {
   /// statement).
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 256;
+  /// Statements slower than this are captured in the slow-query log
+  /// (normalized SQL + plan digest + span tree). Negative disables.
+  double slow_query_threshold_ms = 100.0;
+  /// Ring-buffer capacity of the slow-query log.
+  size_t slow_log_capacity = 64;
 };
 
 /// The SQL engine facade: parse -> plan -> optimize -> execute.
@@ -75,7 +103,8 @@ class SqlEngine {
   SqlEngine& operator=(const SqlEngine&) = delete;
 
   /// Parses and executes one statement.
-  StatusOr<QueryResult> Execute(const std::string& sql);
+  StatusOr<QueryResult> Execute(const std::string& sql,
+                                const ExecOptions& exec_opts = {});
 
   /// Executes a ';'-separated script; returns the last statement's result.
   StatusOr<QueryResult> ExecuteScript(const std::string& sql);
@@ -98,6 +127,8 @@ class SqlEngine {
   const FunctionRegistry* functions() const { return &registry_; }
   PlanCache* plan_cache() { return &plan_cache_; }
   const PlanCache* plan_cache() const { return &plan_cache_; }
+  obs::SlowQueryLog* slow_log() { return &slow_log_; }
+  const obs::SlowQueryLog* slow_log() const { return &slow_log_; }
   ThreadPool* thread_pool() { return pool_.get(); }
   const EngineOptions& options() const { return options_; }
   void set_num_threads(size_t n) { options_.num_threads = n; }
@@ -137,12 +168,19 @@ class SqlEngine {
 
   StatusOr<QueryResult> ExecuteCachedPlan(const LogicalPlan& plan);
   void AppendQueryLog(const std::string& sql);
+  /// Captures `result` in the slow-query log when it crossed the
+  /// threshold. `normalized` is the already-normalized SQL when the plan
+  /// cache computed it, else null (normalization happens lazily then).
+  void MaybeRecordSlowQuery(const QueryResult& result,
+                            const std::string& sql,
+                            const std::string* normalized);
 
   storage::Database* db_;
   EngineOptions options_;
   FunctionRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
   PlanCache plan_cache_;
+  obs::SlowQueryLog slow_log_;
   std::mutex query_log_mu_;
   std::vector<std::string> query_log_;
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sql/evaluator.h"
 
 namespace flock::sql {
@@ -423,12 +424,15 @@ std::vector<int> Prune(LogicalPlan* plan, const std::set<size_t>& required) {
 Status Optimize(PlanPtr* plan, const FunctionRegistry* registry,
                 const OptimizerOptions& options) {
   if (options.constant_folding) {
+    obs::ScopedSpan span("rule.constant_folding");
     FLOCK_RETURN_NOT_OK(FoldPlan(plan->get(), registry));
   }
   if (options.predicate_pushdown) {
+    obs::ScopedSpan span("rule.predicate_pushdown");
     PushDown(plan);
   }
   if (options.projection_pruning) {
+    obs::ScopedSpan span("rule.projection_pruning");
     std::set<size_t> all;
     for (size_t i = 0; i < (*plan)->output_schema.num_columns(); ++i) {
       all.insert(i);

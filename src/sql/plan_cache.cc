@@ -13,7 +13,25 @@ std::string NormalizeSql(const std::string& sql) {
     char c = sql[i];
     if (in_string) {
       out += c;
-      if (c == '\'') in_string = false;
+      if (c == '\'') {
+        // '' inside a literal is an escaped quote, not a terminator:
+        // emit both characters and stay in the string.
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          out += '\'';
+          ++i;
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      // A '--' comment runs to end of line and separates tokens like
+      // whitespace; swallowing it (rather than copying it) keeps
+      // `SELECT 1 -- note` and `SELECT 1` on one cache entry and stops
+      // an apostrophe inside the comment from toggling string state.
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      pending_space = true;
       continue;
     }
     if (c == '\'') {

@@ -13,12 +13,17 @@
 namespace flock::sql {
 
 /// Normalizes a SQL statement into a plan-cache key: whitespace runs
-/// collapse to one space, everything outside single-quoted string literals
-/// is lower-cased, and a trailing ';' is dropped. Two statements that
-/// differ only in case or layout therefore share one cache entry:
+/// collapse to one space, `--` comments are stripped (they separate
+/// tokens like whitespace), everything outside single-quoted string
+/// literals is lower-cased, and a trailing ';' is dropped. A doubled
+/// quote (`''`) inside a literal is the escaped-quote idiom and does not
+/// terminate the string. Two statements that differ only in case,
+/// layout or comments therefore share one cache entry:
 ///
-///   "SELECT  id FROM t;"  ->  "select id from t"
-///   "select id\nfrom T"   ->  "select id from t"
+///   "SELECT  id FROM t;"        ->  "select id from t"
+///   "select id\nfrom T"         ->  "select id from t"
+///   "SELECT id FROM t -- hot"   ->  "select id from t"
+///   "SELECT 'don''t' FROM t"    ->  "select 'don''t' from t"
 std::string NormalizeSql(const std::string& sql);
 
 /// Cumulative counters, readable while the cache is in use.

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "wal/checkpoint.h"
 #include "wal/fault_injector.h"
 
@@ -83,6 +84,9 @@ bool DurabilityManager::Skip(const std::string& table) const {
 }
 
 void DurabilityManager::Observe(const WalRecord& record) {
+  // Observer callbacks fire on the request thread, so a traced request
+  // sees its own WAL appends as spans (no-op when tracing is off).
+  obs::ScopedSpan span("wal.append");
   Status s = writer_->Append(record);
   if (!s.ok()) {
     std::lock_guard<std::mutex> lock(health_mu_);
@@ -102,6 +106,12 @@ Status DurabilityManager::Sync() {
 
 uint64_t DurabilityManager::records_logged() const {
   return writer_->records_appended();
+}
+
+uint64_t DurabilityManager::syncs() const { return writer_->syncs(); }
+
+uint64_t DurabilityManager::bytes_written() const {
+  return writer_->bytes_written();
 }
 
 SnapshotData DurabilityManager::BuildSnapshot(uint64_t epoch) const {
@@ -149,6 +159,7 @@ Status DurabilityManager::LogModelDeploy(const std::string& name,
                                          const std::string& pipeline_text,
                                          const std::string& created_by,
                                          const std::string& lineage) {
+  obs::ScopedSpan span("wal.append");
   Status s = writer_->Append(
       WalRecord::DeployModel(name, pipeline_text, created_by, lineage));
   if (!s.ok()) {
@@ -160,6 +171,7 @@ Status DurabilityManager::LogModelDeploy(const std::string& name,
 
 Status DurabilityManager::LogModelDrop(const std::string& name,
                                        const std::string& principal) {
+  obs::ScopedSpan span("wal.append");
   Status s = writer_->Append(WalRecord::DropModel(name, principal));
   if (!s.ok()) {
     std::lock_guard<std::mutex> lock(health_mu_);

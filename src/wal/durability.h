@@ -74,6 +74,10 @@ class DurabilityManager : public storage::DatabaseObserver,
   uint64_t epoch() const { return writer_->epoch(); }
   const std::string& directory() const { return dir_; }
   uint64_t records_logged() const;
+  /// Cumulative fsyncs / bytes appended (lock-free; for the metrics
+  /// registry).
+  uint64_t syncs() const;
+  uint64_t bytes_written() const;
 
   // --- engine-driven logging (models are not observable from storage) ---
   Status LogModelDeploy(const std::string& name,

@@ -1,6 +1,7 @@
 #ifndef FLOCK_WAL_WAL_WRITER_H_
 #define FLOCK_WAL_WAL_WRITER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -80,9 +81,13 @@ class WalWriter {
 
   uint64_t epoch() const { return epoch_; }
   const std::string& path() const { return path_; }
-  uint64_t records_appended() const { return records_appended_; }
-  uint64_t syncs() const { return syncs_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   WalWriter(std::string path, std::FILE* file, uint64_t epoch,
@@ -100,9 +105,11 @@ class WalWriter {
   std::mutex mu_;
   std::FILE* file_;
   Status health_;  // first error, sticky
-  uint64_t records_appended_ = 0;
-  uint64_t syncs_ = 0;
-  uint64_t bytes_written_ = 0;
+  // Mutated under mu_, but atomic so the metrics registry can read them
+  // lock-free while the serving path is appending.
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 
   // Group commit: appenders wait until flushed_seq_ >= their seq.
   std::condition_variable flush_cv_;

@@ -1,0 +1,554 @@
+// Tests for the observability layer (src/obs/) and the serving-path
+// fixes that ride with it: latency-percentile interpolation against a
+// sorted-vector oracle, SQL normalization (comments, escaped quotes),
+// the Admit-vs-Drain admission race, snapshot JSON completeness, the
+// metric registry's JSON/Prometheus expositions, span-tree recording,
+// and the slow-query log — plus engine-level integration: traced
+// execution, EXPLAIN ANALYZE trace sections, plan digests and slow-log
+// capture through sql::SqlEngine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "sql/engine.h"
+#include "sql/plan_cache.h"
+#include "storage/database.h"
+
+namespace flock {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::SlowQueryEntry;
+using obs::SlowQueryLog;
+using obs::SpanSnapshot;
+using obs::TraceRecorder;
+using obs::TraceScope;
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::LatencyHistogram;
+using serve::ServerMetricsSnapshot;
+
+// ---------------------------------------------------------------------
+// LatencyHistogram percentiles vs a sorted-vector oracle.
+
+double OraclePercentileMs(std::vector<double> micros, double p) {
+  std::sort(micros.begin(), micros.end());
+  size_t rank = static_cast<size_t>(std::ceil(p * micros.size()));
+  if (rank == 0) rank = 1;
+  return micros[rank - 1] / 1e3;
+}
+
+TEST(LatencyHistogramPercentile, SubMicrosecondSamplesAreNotInflated) {
+  // Regression: the old implementation returned the covering bucket's
+  // *upper* bound, so a population of 0.5 µs samples reported
+  // p50 = 1.25 µs (0.00125 ms) — 2.5x the truth. Interpolation keeps
+  // the estimate inside the bucket.
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(0.5);
+  double p50 = hist.PercentileMs(0.50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LT(p50, 0.001) << "p50 escaped bucket 0 [0, 1.25 us)";
+}
+
+TEST(LatencyHistogramPercentile, TracksSortedVectorOracle) {
+  // Log-uniform samples across five decades; every percentile estimate
+  // must stay within one geometric bucket (x1.25) of the exact value.
+  LatencyHistogram hist;
+  std::vector<double> samples;
+  uint64_t state = 42;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double unit = static_cast<double>(state >> 11) /
+                  static_cast<double>(1ULL << 53);
+    double micros = std::pow(10.0, 1.0 + 5.0 * unit);  // [10us, 1s]
+    samples.push_back(micros);
+    hist.Record(micros);
+  }
+  for (double p : {0.50, 0.90, 0.95, 0.99}) {
+    double oracle = OraclePercentileMs(samples, p);
+    double est = hist.PercentileMs(p);
+    EXPECT_GT(est, oracle / LatencyHistogram::kGrowth * 0.99)
+        << "p=" << p << " oracle=" << oracle;
+    EXPECT_LT(est, oracle * LatencyHistogram::kGrowth * 1.01)
+        << "p=" << p << " oracle=" << oracle;
+  }
+  EXPECT_LE(hist.PercentileMs(0.50), hist.PercentileMs(0.95));
+  EXPECT_LE(hist.PercentileMs(0.95), hist.PercentileMs(0.99));
+}
+
+TEST(LatencyHistogramPercentile, ExactBucketBoundariesStayHalfOpen) {
+  // Regression for the float-truncation boundary: a sample at exactly
+  // kGrowth^k belongs to bucket k = [kGrowth^k, kGrowth^{k+1}), so the
+  // interpolated percentile can never fall below the sample itself.
+  for (int k : {5, 10, 20, 40}) {
+    LatencyHistogram hist;
+    double boundary = std::pow(LatencyHistogram::kGrowth, k);
+    hist.Record(boundary);
+    double p50_us = hist.PercentileMs(0.50) * 1e3;
+    EXPECT_GE(p50_us, boundary * 0.999) << "k=" << k;
+    EXPECT_LT(p50_us, boundary * LatencyHistogram::kGrowth * 1.001)
+        << "k=" << k;
+  }
+}
+
+TEST(LatencyHistogramPercentile, EmptyAndClampedInputs) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.PercentileMs(0.5), 0.0);
+  hist.Record(100.0);
+  EXPECT_GT(hist.PercentileMs(-0.5), 0.0);  // clamped to p0 -> rank 1
+  EXPECT_GT(hist.PercentileMs(1.5), 0.0);   // clamped to p100
+}
+
+// ---------------------------------------------------------------------
+// NormalizeSql: comments, escaped quotes, case, whitespace.
+
+TEST(NormalizeSql, EquivalenceCorpus) {
+  const struct {
+    const char* a;
+    const char* b;
+  } kEquivalent[] = {
+      {"SELECT  id FROM t;", "select id from t"},
+      {"select id\nfrom T", "SELECT ID FROM T"},
+      {"SELECT id FROM t -- trailing note", "SELECT id FROM t"},
+      {"SELECT id -- pick the key\nFROM t", "SELECT id FROM t"},
+      {"SELECT id FROM t -- it's quoted in a comment", "SELECT id FROM t"},
+      {"-- leading comment\nSELECT id FROM t", "SELECT id FROM t"},
+      {"SELECT 'don''t' FROM t", "select 'don''t' FROM t"},
+      {"SELECT a - -1 FROM t", "select a - -1 from t"},
+  };
+  for (const auto& pair : kEquivalent) {
+    EXPECT_EQ(sql::NormalizeSql(pair.a), sql::NormalizeSql(pair.b))
+        << "a=" << pair.a << " b=" << pair.b;
+  }
+}
+
+TEST(NormalizeSql, DistinctStatementsStayDistinct) {
+  // String literals keep their case and content.
+  EXPECT_NE(sql::NormalizeSql("SELECT 'A' FROM t"),
+            sql::NormalizeSql("SELECT 'a' FROM t"));
+  // An escaped quote must not end the literal early: if it did, the
+  // remainder of the statement would be case-folded differently.
+  EXPECT_NE(sql::NormalizeSql("SELECT 'don''t', X FROM t"),
+            sql::NormalizeSql("SELECT 'don''u', X FROM t"));
+  // '--' inside a string literal is content, not a comment.
+  EXPECT_EQ(sql::NormalizeSql("SELECT '--not a comment' FROM t"),
+            "select '--not a comment' from t");
+}
+
+TEST(NormalizeSql, CommentDoesNotGlueTokens) {
+  EXPECT_EQ(sql::NormalizeSql("SELECT id-- comment\nFROM t"),
+            "select id from t");
+}
+
+// ---------------------------------------------------------------------
+// AdmissionController: Admit vs Drain race.
+
+TEST(AdmissionControllerDrainRace, NoWorkExecutesAfterDrainReturns) {
+  // Regression for the check-then-enqueue TOCTOU: admitters that passed
+  // the draining check must either complete before Drain returns or be
+  // shed — never enqueue behind WaitIdle.
+  for (int round = 0; round < 20; ++round) {
+    AdmissionOptions options;
+    options.num_workers = 2;
+    options.max_queue_depth = 64;
+    AdmissionController admission(options);
+
+    std::atomic<uint64_t> executed{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> admitters;
+    for (int t = 0; t < 4; ++t) {
+      admitters.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          Status s = admission.Admit(
+              [&] { executed.fetch_add(1, std::memory_order_relaxed); });
+          if (!s.ok() && admission.draining()) break;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    admission.Drain();
+    const uint64_t at_drain = executed.load(std::memory_order_relaxed);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : admitters) t.join();
+    // Drain() waited for everything admitted; nothing may run after.
+    EXPECT_EQ(executed.load(std::memory_order_relaxed), at_drain)
+        << "round " << round;
+    EXPECT_EQ(admission.queue_depth(), 0u);
+    Status late = admission.Admit([&] { executed.fetch_add(1); });
+    EXPECT_EQ(late.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(executed.load(std::memory_order_relaxed), at_drain);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ServerMetricsSnapshot::ToJson completeness.
+
+size_t CountChar(const std::string& s, char c) {
+  return static_cast<size_t>(std::count(s.begin(), s.end(), c));
+}
+
+TEST(ServerMetricsSnapshotJson, WideCountersProduceCompleteJson) {
+  // Regression: a fixed 768-byte snprintf buffer silently truncated the
+  // JSON once every counter went wide.
+  ServerMetricsSnapshot snap;
+  snap.requests_ok = 18446744073709551615ULL;
+  snap.requests_error = 18446744073709551614ULL;
+  snap.requests_shed = 18446744073709551613ULL;
+  snap.sessions_open = 18446744073709551612ULL;
+  snap.sessions_opened_total = 18446744073709551611ULL;
+  snap.queue_depth = 18446744073709551610ULL;
+  snap.latency_count = 18446744073709551609ULL;
+  snap.p50_ms = 123456789.123456;
+  snap.p95_ms = 223456789.123456;
+  snap.p99_ms = 323456789.123456;
+  snap.mean_ms = 423456789.123456;
+  snap.plan_cache_hits = 18446744073709551608ULL;
+  snap.plan_cache_misses = 18446744073709551607ULL;
+  snap.plan_cache_hit_rate = 0.987654321;
+  std::string json = snap.ToJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(CountChar(json, '{'), CountChar(json, '}'));
+  for (const char* key :
+       {"\"requests\"", "\"sessions\"", "\"queue_depth\"",
+        "\"latency_ms\"", "\"plan_cache\"", "18446744073709551615",
+        "18446744073709551607"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry expositions.
+
+TEST(MetricsRegistryTest, JsonGroupsBySubsystem) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("serve.requests_ok", [] { return 7u; });
+  registry.RegisterGauge("serve.queue_depth", [] { return 2u; });
+  registry.RegisterCounter("plan_cache.hits", [] { return 41u; });
+  registry.RegisterGaugeF("plan_cache.hit_rate", [] { return 0.5; });
+  registry.RegisterHistogram("serve.latency_ms", [] {
+    HistogramSnapshot h;
+    h.count = 3;
+    h.mean_ms = 1.5;
+    h.p50_ms = 1.0;
+    h.p95_ms = 2.0;
+    h.p99_ms = 2.5;
+    return h;
+  });
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"plan_cache\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hits\": 41"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hit_rate\": 0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests_ok\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_ms\": {\"count\": 3"), std::string::npos)
+      << json;
+  EXPECT_EQ(CountChar(json, '{'), CountChar(json, '}'));
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("wal.syncs", [] { return 12u; });
+  registry.RegisterGauge("serve.queue_depth", [] { return 4u; });
+  registry.RegisterHistogram("serve.latency_ms", [] {
+    HistogramSnapshot h;
+    h.count = 9;
+    h.p50_ms = 0.5;
+    h.p95_ms = 0.9;
+    h.p99_ms = 1.1;
+    return h;
+  });
+  std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE flock_wal_syncs counter\nflock_wal_syncs 12"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE flock_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("flock_serve_latency_ms_count 9"), std::string::npos);
+  EXPECT_NE(prom.find("flock_serve_latency_ms{quantile=\"0.95\"} 0.9"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReplaces) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("serve.requests_ok", [] { return 1u; });
+  registry.RegisterCounter("serve.requests_ok", [] { return 2u; });
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.ToJson().find("\"requests_ok\": 2"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// TraceRecorder / spans.
+
+TEST(TraceRecorderTest, NestedSpansCarryDepths) {
+  TraceRecorder recorder;
+  size_t outer = recorder.Begin("parse");
+  size_t inner = recorder.Begin("lex");
+  recorder.End();
+  recorder.End();
+  std::vector<SpanSnapshot> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[outer].name, "parse");
+  EXPECT_EQ(spans[outer].depth, 0);
+  EXPECT_EQ(spans[inner].name, "lex");
+  EXPECT_EQ(spans[inner].depth, 1);
+  EXPECT_GE(spans[inner].start_nanos, spans[outer].start_nanos);
+}
+
+TEST(TraceRecorderTest, AddUnderGraftsClosedParents) {
+  TraceRecorder recorder;
+  size_t execute = recorder.Begin("execute");
+  recorder.End();
+  recorder.AddUnder(execute, "TableScan(t)", 0, 1000);
+  recorder.AddUnder(execute, "Filter", 1, 500);
+  recorder.AddUnder(execute, "score", -1, 250);  // sibling of execute
+  std::vector<SpanSnapshot> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[3].depth, 0);
+  EXPECT_EQ(spans[3].duration_nanos, 250u);
+}
+
+TEST(TraceRecorderTest, ScopedSpanIsNoopWithoutActiveRecorder) {
+  ASSERT_EQ(TraceRecorder::Current(), nullptr);
+  {
+    obs::ScopedSpan span("orphan");
+    EXPECT_FALSE(span.active());
+  }
+  TraceRecorder recorder;
+  {
+    TraceScope scope(&recorder);
+    ASSERT_EQ(TraceRecorder::Current(), &recorder);
+    obs::ScopedSpan span("adopted");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(TraceRecorder::Current(), nullptr);
+  EXPECT_EQ(recorder.num_spans(), 1u);
+}
+
+TEST(TraceRecorderTest, SnapshotClosesOpenSpans) {
+  TraceRecorder recorder;
+  recorder.Begin("still_open");
+  std::vector<SpanSnapshot> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GT(spans[0].duration_nanos, 0u);
+}
+
+TEST(TraceRecorderTest, RenderSpanTreeIndentsByDepth) {
+  std::vector<SpanSnapshot> spans;
+  spans.push_back(SpanSnapshot{"execute", 0, 0, 2000000});
+  spans.push_back(SpanSnapshot{"TableScan(t)", 1, 0, 1000000});
+  std::string rendered = obs::RenderSpanTree(spans);
+  EXPECT_NE(rendered.find("execute"), std::string::npos);
+  EXPECT_NE(rendered.find("  TableScan(t)"), std::string::npos);
+  EXPECT_EQ(CountChar(rendered, '\n'), 2u);
+}
+
+// ---------------------------------------------------------------------
+// SlowQueryLog.
+
+SlowQueryEntry MakeEntry(const std::string& sql, double elapsed_ms) {
+  SlowQueryEntry e;
+  e.sql = sql;
+  e.plan_digest = "00deadbeef00cafe";
+  e.elapsed_ms = elapsed_ms;
+  return e;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log(8, 10.0);
+  EXPECT_FALSE(log.ShouldRecord(9.99));
+  EXPECT_TRUE(log.ShouldRecord(10.0));
+  log.set_threshold_ms(-1.0);  // negative disables
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+  log.set_threshold_ms(0.0);  // zero records everything
+  EXPECT_TRUE(log.ShouldRecord(0.0));
+}
+
+TEST(SlowQueryLogTest, RingKeepsMostRecentEntries) {
+  SlowQueryLog log(3, 0.0);
+  for (int i = 0; i < 7; ++i) {
+    std::string sql = "q";
+    sql += std::to_string(i);
+    log.Record(MakeEntry(sql, 1.0 + i));
+  }
+  EXPECT_EQ(log.total_recorded(), 7u);
+  EXPECT_EQ(log.size(), 3u);
+  std::vector<SlowQueryEntry> entries = log.Dump();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].sql, "q4");  // oldest retained
+  EXPECT_EQ(entries[2].sql, "q6");  // newest
+  EXPECT_LT(entries[0].seq, entries[2].seq);
+}
+
+TEST(SlowQueryLogTest, ClearEmptiesButKeepsTotal) {
+  SlowQueryLog log(4, 0.0);
+  log.Record(MakeEntry("a", 1.0));
+  log.Record(MakeEntry("b", 2.0));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 2u);
+  log.Record(MakeEntry("c", 3.0));
+  EXPECT_EQ(log.Dump().size(), 1u);
+}
+
+TEST(SlowQueryLogTest, ToJsonEscapesAndSummarizes) {
+  SlowQueryLog log(4, 5.0);
+  SlowQueryEntry e = MakeEntry("select \"x\" from t", 12.5);
+  e.trace.push_back(SpanSnapshot{"execute", 0, 0, 1000});
+  e.from_plan_cache = true;
+  log.Record(std::move(e));
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"threshold_ms\": 5.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("select \\\"x\\\" from t"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"from_plan_cache\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_ms\": 12.500"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: tracing, plan digests, slow log through SqlEngine.
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  void Init(double slow_threshold_ms) {
+    sql::EngineOptions options;
+    options.num_threads = 1;
+    options.slow_query_threshold_ms = slow_threshold_ms;
+    engine_ = std::make_unique<sql::SqlEngine>(&db_, options);
+    ASSERT_TRUE(
+        engine_->Execute("CREATE TABLE t (a INT, b DOUBLE)").ok());
+    ASSERT_TRUE(engine_
+                    ->Execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), "
+                              "(3, 3.5), (4, 4.5)")
+                    .ok());
+  }
+
+  static bool HasSpan(const std::vector<SpanSnapshot>& spans,
+                      const std::string& name) {
+    for (const auto& s : spans) {
+      if (s.name == name) return true;
+    }
+    return false;
+  }
+
+  storage::Database db_;
+  std::unique_ptr<sql::SqlEngine> engine_;
+};
+
+TEST_F(ObsEngineTest, TraceOffByDefault) {
+  Init(-1.0);
+  auto result = engine_->Execute("SELECT a FROM t WHERE b > 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->trace.empty());
+}
+
+TEST_F(ObsEngineTest, TracedSelectCoversPipelineStages) {
+  Init(-1.0);
+  sql::ExecOptions opts;
+  opts.trace = true;
+  auto result = engine_->Execute("SELECT a FROM t WHERE b > 2", opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->trace.empty());
+  for (const char* stage :
+       {"parse", "plan", "optimize", "lower", "execute"}) {
+    EXPECT_TRUE(HasSpan(result->trace, stage)) << stage;
+  }
+  // Optimizer rules appear as children of optimize.
+  EXPECT_TRUE(HasSpan(result->trace, "rule.constant_folding"));
+  // Per-operator counters are grafted below execute.
+  bool has_operator = false;
+  for (const auto& s : result->trace) {
+    if (s.name.find("Scan") != std::string::npos) has_operator = true;
+  }
+  EXPECT_TRUE(has_operator);
+  EXPECT_EQ(result->plan_digest.size(), 16u);
+}
+
+TEST_F(ObsEngineTest, PlanCacheHitTraceShowsLookupNotParse) {
+  Init(-1.0);
+  sql::ExecOptions opts;
+  opts.trace = true;
+  const std::string q = "SELECT a FROM t WHERE b > 2";
+  ASSERT_TRUE(engine_->Execute(q, opts).ok());
+  auto hit = engine_->Execute(q, opts);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_plan_cache);
+  EXPECT_TRUE(HasSpan(hit->trace, "plan_cache.lookup"));
+  EXPECT_TRUE(HasSpan(hit->trace, "execute"));
+  EXPECT_FALSE(HasSpan(hit->trace, "parse"));
+}
+
+TEST_F(ObsEngineTest, PlanDigestIsStablePerPlanShape) {
+  Init(-1.0);
+  auto a = engine_->Execute("SELECT a FROM t WHERE b > 2");
+  auto b = engine_->Execute("SELECT a FROM t WHERE b > 2");
+  auto c = engine_->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->plan_digest, b->plan_digest);
+  EXPECT_NE(a->plan_digest, c->plan_digest);
+  EXPECT_EQ(a->plan_digest.size(), 16u);
+}
+
+TEST_F(ObsEngineTest, ExplainAnalyzeAppendsTraceSection) {
+  Init(-1.0);
+  auto result = engine_->Execute("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan_text.find("== Trace =="), std::string::npos)
+      << result->plan_text;
+  EXPECT_NE(result->plan_text.find("execute"), std::string::npos);
+  auto plain = engine_->Execute("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->plan_text.find("== Trace =="), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, SlowLogCapturesOutliersWithDigestAndNormalizedSql) {
+  Init(0.0);  // zero threshold: everything is an outlier
+  ASSERT_TRUE(engine_->Execute("SELECT  a FROM t WHERE b > 2").ok());
+  obs::SlowQueryLog* log = engine_->slow_log();
+  ASSERT_GE(log->total_recorded(), 1u);
+  std::vector<SlowQueryEntry> entries = log->Dump();
+  const SlowQueryEntry& last = entries.back();
+  EXPECT_EQ(last.sql, "select a from t where b > 2");
+  EXPECT_EQ(last.plan_digest.size(), 16u);
+  EXPECT_GE(last.elapsed_ms, 0.0);
+}
+
+TEST_F(ObsEngineTest, SlowLogDisabledRecordsNothing) {
+  Init(-1.0);
+  ASSERT_TRUE(engine_->Execute("SELECT a FROM t").ok());
+  EXPECT_EQ(engine_->slow_log()->total_recorded(), 0u);
+}
+
+TEST_F(ObsEngineTest, TracedDmlGetsExecuteSpan) {
+  Init(-1.0);
+  sql::ExecOptions opts;
+  opts.trace = true;
+  auto result = engine_->Execute("INSERT INTO t VALUES (9, 9.5)", opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(HasSpan(result->trace, "parse"));
+  EXPECT_TRUE(HasSpan(result->trace, "execute"));
+  EXPECT_TRUE(result->plan_digest.empty());
+}
+
+}  // namespace
+}  // namespace flock

@@ -20,6 +20,8 @@
 #include "common/random.h"
 #include "flock/flock_engine.h"
 #include "ml/tree.h"
+#include "obs/slow_log.h"
+#include "policy/policy_engine.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
@@ -214,6 +216,29 @@ TEST(ServeProtocolTest, ParseRequestLine) {
   EXPECT_EQ(query.text, "SELECT 1");
 }
 
+TEST(ServeProtocolTest, ParseRequestLineCommandArguments) {
+  Request prom = ParseRequestLine(".metrics prom");
+  EXPECT_EQ(prom.kind, Request::Kind::kMetrics);
+  EXPECT_EQ(prom.text, "prom");
+
+  Request trace_on = ParseRequestLine(".trace on");
+  EXPECT_EQ(trace_on.kind, Request::Kind::kTrace);
+  EXPECT_EQ(trace_on.text, "on");
+  Request trace_off = ParseRequestLine("  .trace   off ");
+  EXPECT_EQ(trace_off.kind, Request::Kind::kTrace);
+  EXPECT_EQ(trace_off.text, "off");
+
+  Request dump = ParseRequestLine(".slowlog");
+  EXPECT_EQ(dump.kind, Request::Kind::kSlowLog);
+  EXPECT_TRUE(dump.text.empty());
+  Request clear = ParseRequestLine(".slowlog clear");
+  EXPECT_EQ(clear.kind, Request::Kind::kSlowLog);
+  EXPECT_EQ(clear.text, "clear");
+  Request threshold = ParseRequestLine(".slowlog 25.5");
+  EXPECT_EQ(threshold.kind, Request::Kind::kSlowLog);
+  EXPECT_EQ(threshold.text, "25.5");
+}
+
 TEST(ServeProtocolTest, EscapeField) {
   EXPECT_EQ(EscapeField("a\tb\nc\\d\re"), "a\\tb\\nc\\\\d\\re");
   EXPECT_EQ(EscapeField("plain"), "plain");
@@ -245,6 +270,37 @@ TEST(ServeProtocolTest, EncodeResponseFrames) {
   std::string err = EncodeResponse(engine.Execute("SELECT nope FROM t"));
   EXPECT_EQ(err.rfind("ERR ", 0), 0u);
   EXPECT_EQ(err.find('\n'), err.size() - 1);  // single line
+}
+
+TEST(ServeProtocolTest, EncodeResponseFramesTraceSection) {
+  storage::Database db;
+  sql::SqlEngine engine(&db);
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1), (2)").ok());
+
+  sql::ExecOptions traced;
+  traced.trace = true;
+  std::string out = EncodeResponse(engine.Execute("SELECT x FROM t", traced));
+  // The trace section is announced with its line count, then the span
+  // tree, then the END frame terminator.
+  size_t trace_at = out.find("\nTRACE ");
+  ASSERT_NE(trace_at, std::string::npos) << out;
+  size_t count_end = out.find('\n', trace_at + 1);
+  size_t lines = static_cast<size_t>(
+      std::stoul(out.substr(trace_at + 7, count_end - trace_at - 7)));
+  EXPECT_GT(lines, 0u);
+  std::string body = out.substr(count_end + 1);
+  ASSERT_GE(body.size(), 4u);
+  EXPECT_EQ(body.substr(body.size() - 4), "END\n");
+  body.erase(body.size() - 4);
+  size_t body_lines = 0;
+  for (char c : body) body_lines += c == '\n';
+  EXPECT_EQ(body_lines, lines);
+  EXPECT_NE(body.find("execute"), std::string::npos);
+
+  // Untraced responses carry no TRACE section.
+  std::string plain = EncodeResponse(engine.Execute("SELECT x FROM t"));
+  EXPECT_EQ(plain.find("TRACE "), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -686,12 +742,139 @@ TEST_F(ServeTest, MetricsJsonRoundTrip) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM emp").ok());
   }
+  // The unified registry groups metrics by subsystem; a non-durable
+  // engine still exposes the wal.* family (as zeros).
   std::string json = server.MetricsJson();
-  EXPECT_NE(json.find("\"ok\": 5"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests_ok\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"plan_cache\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"wal\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"slowlog\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\": {"), std::string::npos);
+
+  std::string prom = server.MetricsPrometheus();
+  EXPECT_NE(prom.find("flock_serve_requests_ok 5"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE flock_plan_cache_hits counter"),
+            std::string::npos);
+
+  // The legacy flat snapshot is still available for older tooling.
+  std::string legacy = server.SnapshotJson();
+  EXPECT_NE(legacy.find("\"ok\": 5"), std::string::npos) << legacy;
   ServerMetricsSnapshot snapshot = server.Snapshot();
   EXPECT_EQ(snapshot.latency_count, 5u);
   EXPECT_LE(snapshot.p50_ms, snapshot.p99_ms);
+}
+
+TEST_F(ServeTest, PolicyCountersJoinUnifiedMetrics) {
+  policy::PolicyEngine policy_engine;
+  auto policy = policy::Policy::Create("veto", policy::ActionKind::kReject,
+                                       "prediction > 0.5");
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(policy_engine.AddPolicy(std::move(policy).value()).ok());
+  storage::Schema schema(
+      {storage::ColumnDef{"amount", DataType::kDouble, false}});
+  ASSERT_TRUE(
+      policy_engine.Decide(0.9, schema, {Value::Double(10.0)}).ok());
+
+  ServerOptions options;
+  options.policy = &policy_engine;
+  PredictionServer server(engine_.get(), options);
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"policy\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"decisions\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejections\": 1"), std::string::npos) << json;
+  EXPECT_NE(server.MetricsPrometheus().find("flock_policy_decisions 1"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, SessionTraceFlagYieldsSpanTreeOverTpch) {
+  // Acceptance path: `.trace on` against a TPC-H query must produce a
+  // span tree covering every pipeline stage.
+  flock::FlockEngineOptions options;
+  options.sql.num_threads = 1;
+  flock::FlockEngine tpch_engine(options);
+  workload::TpchWorkload tpch(42);
+  ASSERT_TRUE(tpch.CreateSchema(tpch_engine.database()).ok());
+  ASSERT_TRUE(tpch.PopulateData(tpch_engine.database(), 50).ok());
+
+  PredictionServer server(&tpch_engine);
+  LoopbackClient client(&server);
+  ASSERT_TRUE(client.status().ok());
+  auto session = server.sessions()->Get(client.session_id());
+  ASSERT_TRUE(session.ok());
+
+  workload::TpchWorkload generator(3);
+  const std::string query = generator.Instantiate(0);
+
+  // Tracing off: no spans on the result.
+  auto untraced = client.Execute(query);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(untraced->trace.empty());
+
+  (*session)->set_trace(true);
+  auto traced = client.Execute(query);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_FALSE(traced->trace.empty());
+  auto has_span = [&](const std::string& name) {
+    for (const auto& s : traced->trace) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  // Cache hit or miss, the request-level stages must be covered.
+  if (traced->from_plan_cache) {
+    EXPECT_TRUE(has_span("plan_cache.lookup"));
+    EXPECT_TRUE(has_span("lower"));
+  } else {
+    for (const char* stage : {"parse", "plan", "optimize", "lower"}) {
+      EXPECT_TRUE(has_span(stage)) << stage;
+    }
+  }
+  EXPECT_TRUE(has_span("execute"));
+  EXPECT_EQ(traced->plan_digest.size(), 16u);
+
+  (*session)->set_trace(false);
+  auto again = client.Execute(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->trace.empty());
+}
+
+TEST_F(ServeTest, ExplainAnalyzeOverServingPathRendersTrace) {
+  PredictionServer server(engine_.get());
+  LoopbackClient client(&server);
+  auto analyzed =
+      client.Execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM emp");
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_NE(analyzed->plan_text.find("== Trace =="), std::string::npos)
+      << analyzed->plan_text;
+  EXPECT_NE(analyzed->plan_text.find("execute"), std::string::npos);
+}
+
+TEST_F(ServeTest, SlowLogCapturesServedRequests) {
+  PredictionServer server(engine_.get());
+  obs::SlowQueryLog* slow_log = engine_->sql()->slow_log();
+  slow_log->set_threshold_ms(0.0);  // every statement is an outlier
+  LoopbackClient client(&server);
+  ASSERT_TRUE(client.Execute("SELECT  COUNT(*) FROM emp").ok());
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM emp").ok());
+
+  EXPECT_GE(slow_log->total_recorded(), 2u);
+  std::vector<obs::SlowQueryEntry> entries = slow_log->Dump();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().sql, "select count(*) from emp");
+  EXPECT_EQ(entries.back().plan_digest.size(), 16u);
+  EXPECT_TRUE(entries.back().from_plan_cache);
+
+  std::string json = server.SlowLogJson();
+  EXPECT_NE(json.find("\"threshold_ms\": 0.000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("select count(*) from emp"), std::string::npos);
+  // The registry mirrors the slow-log state.
+  EXPECT_NE(server.MetricsJson().find("\"slowlog\": {"), std::string::npos);
+
+  slow_log->Clear();
+  EXPECT_EQ(slow_log->Dump().size(), 0u);
 }
 
 }  // namespace
