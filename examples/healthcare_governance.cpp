@@ -104,13 +104,14 @@ auc = roc_auc_score(y, model.predict(X))
        flock::ml::FeatureSpec{"prior_admissions",
                               flock::ml::FeatureKind::kNumeric, {}}});
   auto table = engine.database()->GetTable("patients");
+  flock::storage::RecordBatch patients = (*table)->ScanAll();
   flock::ml::Dataset train;
-  train.x = flock::ml::Matrix((*table)->num_rows(), 4);
-  for (size_t r = 0; r < (*table)->num_rows(); ++r) {
+  train.x = flock::ml::Matrix(patients.num_rows(), 4);
+  for (size_t r = 0; r < patients.num_rows(); ++r) {
     for (size_t c = 0; c < 4; ++c) {
-      train.x.at(r, c) = (*table)->column(c + 1).AsDouble(r);
+      train.x.at(r, c) = patients.column(c + 1)->AsDouble(r);
     }
-    train.y.push_back((*table)->column(5).AsDouble(r));
+    train.y.push_back(patients.column(5)->AsDouble(r));
   }
   flock::ml::GbtOptions gbt;
   gbt.num_trees = 20;

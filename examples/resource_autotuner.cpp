@@ -47,12 +47,13 @@ int main() {
 
   // Train a parallelism-prediction model (tokens ~ size * cost).
   auto table = engine.database()->GetTable("jobs");
+  flock::storage::RecordBatch jobs = (*table)->ScanAll();
   flock::ml::Dataset train;
-  train.x = flock::ml::Matrix((*table)->num_rows(), 3);
-  for (size_t r = 0; r < (*table)->num_rows(); ++r) {
-    double input_gb = (*table)->column(1).AsDouble(r);
-    double stages = (*table)->column(2).AsDouble(r);
-    double cost = (*table)->column(3).AsDouble(r);
+  train.x = flock::ml::Matrix(jobs.num_rows(), 3);
+  for (size_t r = 0; r < jobs.num_rows(); ++r) {
+    double input_gb = jobs.column(1)->AsDouble(r);
+    double stages = jobs.column(2)->AsDouble(r);
+    double cost = jobs.column(3)->AsDouble(r);
     train.x.at(r, 0) = input_gb;
     train.x.at(r, 1) = stages;
     train.x.at(r, 2) = cost;

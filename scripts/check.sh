@@ -7,7 +7,9 @@
 # TSan with genuinely concurrent sessions — and finally a dedicated
 # recovery stage: the crash matrix (fault-injected child processes) under
 # ASan, plus the WAL group-commit tests under TSan (the one writer path
-# with a genuinely concurrent background flusher).
+# with a genuinely concurrent background flusher). The segmented-storage
+# suites (ctest label `storage`: segment/zone-map units + the pruning
+# differential corpus) run as dedicated stages in both sanitizer builds.
 #
 # Usage: scripts/check.sh
 #          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
@@ -47,6 +49,16 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake --build build-asan -j "$JOBS"
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+  echo "== ASan storage stage: segments + pruning differential =="
+  # The segmented-storage suites carry the `storage` ctest label. Under
+  # ASan they vet the zero-copy scan paths: every morsel aliases segment
+  # memory, so any use-after-rewrite in the mutation paths (fresh-vector
+  # swaps on UPDATE/DELETE) surfaces here.
+  cmake --build build-asan -j "$JOBS" --target storage_test \
+    pruning_differential_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L storage
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -64,6 +76,14 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # whole under TSan too (tracing installs thread-local recorders on the
   # serving workers, exactly the kind of state TSan should vet).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L obs
+
+  echo "== TSan storage stage: concurrent stats + pruned parallel scans =="
+  # Zone-map pruning reads live segment stats from every executor worker
+  # while GetStats lazily fills its aggregate cache; the `storage` label
+  # under TSan proves that reader-side path race-free.
+  cmake --build build-tsan -j "$JOBS" --target storage_test \
+    pruning_differential_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L storage
 fi
 
 if [[ "$RUN_RECOVERY" == 1 ]]; then

@@ -394,6 +394,53 @@ Status CrossOptimizer::CompressModels(LogicalPlan* plan) {
     CollectConjunctBounds(*node->predicate, &predicate_bounds);
   }
 
+  // Per-segment refinement: segments whose zone maps contradict the
+  // predicate bounds contribute no rows to scoring (the executor prunes
+  // them with the same test), so the feature envelopes below fold only
+  // *surviving* segments — tighter [min,max] than table-wide statistics,
+  // hence more tree-branch pruning.
+  const storage::Table& table = *scan->table;
+  std::map<size_t, Bounds> table_bounds;
+  for (const auto& [out_idx, b] : predicate_bounds) {
+    if (out_idx < 0) continue;
+    size_t table_col = static_cast<size_t>(out_idx);
+    if (!scan->projection.empty()) {
+      if (table_col >= scan->projection.size()) continue;
+      table_col = scan->projection[table_col];
+    }
+    if (table_col >= table.schema().num_columns()) continue;
+    Bounds& tb = table_bounds[table_col];
+    tb.lo = std::max(tb.lo, b.lo);
+    tb.hi = std::min(tb.hi, b.hi);
+  }
+  std::vector<bool> surviving(table.num_segments(), true);
+  bool any_surviving = false;
+  for (size_t s = 0; s < table.num_segments(); ++s) {
+    if (table.segment_rows(s) == 0) {
+      surviving[s] = false;
+      continue;
+    }
+    for (const auto& [col, b] : table_bounds) {
+      const storage::ColumnStats& zm = table.segment_zone_map(s, col);
+      // A bounds entry means a comparison conjunct exists on this column,
+      // which no NULL row passes.
+      if (zm.null_count == zm.row_count) {
+        surviving[s] = false;
+        break;
+      }
+      if (zm.numeric && zm.has_range && (b.lo > zm.max || b.hi < zm.min)) {
+        surviving[s] = false;
+        break;
+      }
+    }
+    if (surviving[s]) any_surviving = true;
+  }
+  if (!any_surviving && table.num_segments() > 0) {
+    // Every segment is pruned: no rows reach the model; nothing to
+    // specialize (mirrors the contradictory-predicate early-out).
+    return Status::OK();
+  }
+
   return ForEachExprRoot(plan, [&](ExprPtr* root) -> Status {
     return VisitPredictCalls(root->get(), [&](Expr* call) -> Status {
       FLOCK_ASSIGN_OR_RETURN(std::string name, CallModelName(*call));
@@ -435,11 +482,32 @@ Status CrossOptimizer::CompressModels(LogicalPlan* plan) {
           table_col = scan->projection[table_col];
         }
         auto stats = scan->table->GetStats(table_col);
-        if (!stats.ok() || !stats->numeric || stats->row_count == 0) {
+        // has_range distinguishes "no non-NULL numeric data" from a
+        // genuine [0, 0] range (empty and all-NULL columns used to
+        // report min=max=0.0 and could poison compression envelopes).
+        if (!stats.ok() || !stats->numeric || !stats->has_range) {
           continue;
         }
+        // Envelope over surviving segments only (falls back to the
+        // table-wide range when zone maps carry no extra information).
         double lo = stats->min;
         double hi = stats->max;
+        bool have_segment_range = false;
+        for (size_t s = 0; s < table.num_segments(); ++s) {
+          if (!surviving[s]) continue;
+          const storage::ColumnStats& zm =
+              table.segment_zone_map(s, table_col);
+          if (!zm.has_range) continue;
+          if (!have_segment_range) {
+            lo = zm.min;
+            hi = zm.max;
+            have_segment_range = true;
+          } else {
+            lo = std::min(lo, zm.min);
+            hi = std::max(hi, zm.max);
+          }
+        }
+        if (!have_segment_range) continue;  // survivors are all-NULL here
         auto bound = predicate_bounds.find(arg.column_index);
         if (bound != predicate_bounds.end()) {
           lo = std::max(lo, bound->second.lo);

@@ -64,6 +64,15 @@ void PredictionServer::RegisterMetrics() {
     return static_cast<uint64_t>(sql_engine->plan_cache()->size());
   });
 
+  // storage.* — segmented-scan counters: segments read vs skipped by
+  // zone-map pruning, engine-lifetime totals across all table scans.
+  registry_.RegisterCounter("storage.segments_scanned", [sql_engine] {
+    return sql_engine->segments_scanned_total();
+  });
+  registry_.RegisterCounter("storage.segments_pruned", [sql_engine] {
+    return sql_engine->segments_pruned_total();
+  });
+
   // slowlog.* — the slow-query ring buffer.
   registry_.RegisterCounter("slowlog.total_recorded", [sql_engine] {
     return sql_engine->slow_log()->total_recorded();

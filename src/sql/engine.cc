@@ -218,12 +218,28 @@ StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(const LogicalPlan& plan) {
     FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(lowered.get()));
     lowered->CollectMetrics(&result.operator_metrics);
   }
+  AccumulateScanMetrics(result.operator_metrics);
   if (auto* rec = obs::TraceRecorder::Current()) {
     GraftExecutionSpans(rec, execute_span, result.operator_metrics);
   }
   result.plan_digest = PlanDigest(result.operator_metrics);
   result.from_plan_cache = true;
   return result;
+}
+
+void SqlEngine::AccumulateScanMetrics(
+    const std::vector<OperatorMetricsSnapshot>& snapshots) {
+  uint64_t scanned = 0, pruned = 0;
+  for (const auto& snap : snapshots) {
+    scanned += snap.segments_scanned;
+    pruned += snap.segments_pruned;
+  }
+  if (scanned > 0) {
+    segments_scanned_total_.fetch_add(scanned, std::memory_order_relaxed);
+  }
+  if (pruned > 0) {
+    segments_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  }
 }
 
 void SqlEngine::MaybeRecordSlowQuery(const QueryResult& result,
@@ -333,6 +349,7 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(
           (void)discard;
           root->CollectMetrics(&result.operator_metrics);
         }
+        AccumulateScanMetrics(result.operator_metrics);
         if (auto* rec = obs::TraceRecorder::Current()) {
           GraftExecutionSpans(rec, execute_span, result.operator_metrics);
         }
@@ -402,6 +419,7 @@ StatusOr<RecordBatch> SqlEngine::ExecutePlan(const LogicalPlan& plan) {
   ExecutorOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.morsel_size = options_.morsel_size;
+  exec_options.enable_zone_map_pruning = options_.enable_zone_map_pruning;
   Executor executor(&registry_, pool_.get(), exec_options);
   return executor.Execute(plan);
 }
@@ -410,6 +428,7 @@ StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root) {
   ExecutorOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.morsel_size = options_.morsel_size;
+  exec_options.enable_zone_map_pruning = options_.enable_zone_map_pruning;
   Executor executor(&registry_, pool_.get(), exec_options);
   return executor.Execute(root);
 }
@@ -439,6 +458,7 @@ StatusOr<QueryResult> SqlEngine::ExecuteSelect(
     FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
     root->CollectMetrics(&result.operator_metrics);
   }
+  AccumulateScanMetrics(result.operator_metrics);
   if (auto* rec = obs::TraceRecorder::Current()) {
     GraftExecutionSpans(rec, execute_span, result.operator_metrics);
   }

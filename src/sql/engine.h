@@ -1,6 +1,7 @@
 #ifndef FLOCK_SQL_ENGINE_H_
 #define FLOCK_SQL_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -72,6 +73,11 @@ struct EngineOptions {
   /// statement).
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 256;
+  /// Skip table segments whose zone maps disprove a scan's pushed-down
+  /// filter conjuncts. An execution-time decision (plans are identical
+  /// either way), so cached plans stay valid across DML; off only for
+  /// differential testing and ablation benchmarks.
+  bool enable_zone_map_pruning = true;
   /// Statements slower than this are captured in the slow-query log
   /// (normalized SQL + plan digest + span tree). Negative disables.
   double slow_query_threshold_ms = 100.0;
@@ -134,6 +140,16 @@ class SqlEngine {
   void set_num_threads(size_t n) { options_.num_threads = n; }
   void set_enable_optimizer(bool on) { options_.enable_optimizer = on; }
 
+  /// Engine-lifetime totals of segments read/skipped by table scans,
+  /// accumulated after each SELECT / EXPLAIN ANALYZE; exported through
+  /// the obs metrics registry as storage.segments_{scanned,pruned}.
+  uint64_t segments_scanned_total() const {
+    return segments_scanned_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_pruned_total() const {
+    return segments_pruned_total_.load(std::memory_order_relaxed);
+  }
+
   void set_plan_rewriter(PlanRewriter rewriter) {
     plan_rewriter_ = std::move(rewriter);
   }
@@ -168,6 +184,10 @@ class SqlEngine {
 
   StatusOr<QueryResult> ExecuteCachedPlan(const LogicalPlan& plan);
   void AppendQueryLog(const std::string& sql);
+  /// Folds scan segment counters from one statement's operator metrics
+  /// into the engine-lifetime totals.
+  void AccumulateScanMetrics(
+      const std::vector<OperatorMetricsSnapshot>& snapshots);
   /// Captures `result` in the slow-query log when it crossed the
   /// threshold. `normalized` is the already-normalized SQL when the plan
   /// cache computed it, else null (normalization happens lazily then).
@@ -183,6 +203,8 @@ class SqlEngine {
   obs::SlowQueryLog slow_log_;
   std::mutex query_log_mu_;
   std::vector<std::string> query_log_;
+  std::atomic<uint64_t> segments_scanned_total_{0};
+  std::atomic<uint64_t> segments_pruned_total_{0};
 
   PlanRewriter plan_rewriter_;
   CreateModelHandler create_model_handler_;

@@ -407,32 +407,69 @@ Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
   // The source: either a parallel table scan or a materialized child.
   TableScanOp* scan = nullptr;
   RecordBatch mat;
-  size_t total = 0;
   if (node->kind() == PhysicalOperator::Kind::kTableScan) {
     scan = static_cast<TableScanOp*>(node);
-    total = scan->table->num_rows();
   } else {
     FLOCK_ASSIGN_OR_RETURN(mat, Run(node));
-    total = mat.num_rows();
   }
 
-  auto make_morsel = [&](size_t begin, size_t end) -> RecordBatch {
+  // Build the morsel work list. For a scan, morsels never straddle
+  // segments (so each is a zero-copy view over one segment's columns),
+  // and zone-map pruning drops whole segments here — an execution-time
+  // decision against live statistics, which is why cached plans stay
+  // valid across DML.
+  struct Morsel {
+    size_t segment;  // kNoSegment for materialized sources
+    size_t begin;
+    size_t end;
+  };
+  constexpr size_t kNoSegment = static_cast<size_t>(-1);
+  std::vector<Morsel> work;
+  if (scan != nullptr) {
+    const bool prune =
+        options_.enable_zone_map_pruning && !scan->prune_conjuncts.empty();
+    uint64_t scanned = 0, pruned = 0;
+    const size_t num_segments = scan->table->num_segments();
+    for (size_t s = 0; s < num_segments; ++s) {
+      const size_t rows = scan->table->segment_rows(s);
+      if (rows == 0) continue;
+      if (prune && scan->CanSkipSegment(s)) {
+        ++pruned;
+        continue;
+      }
+      ++scanned;
+      for (size_t begin = 0; begin < rows; begin += options_.morsel_size) {
+        work.push_back(
+            Morsel{s, begin, std::min(rows, begin + options_.morsel_size)});
+      }
+    }
+    scan->metrics.RecordSegments(scanned, pruned);
+  } else {
+    const size_t total = mat.num_rows();
+    for (size_t begin = 0; begin < total; begin += options_.morsel_size) {
+      work.push_back(Morsel{kNoSegment, begin,
+                            std::min(total, begin + options_.morsel_size)});
+    }
+  }
+
+  auto make_morsel = [&](const Morsel& m) -> RecordBatch {
     if (scan != nullptr) {
       const auto start = Clock::now();
-      RecordBatch batch = scan->ScanMorsel(begin, end);
-      scan->metrics.Record(end - begin, batch.num_rows(), NanosSince(start));
+      RecordBatch batch = scan->ScanMorsel(m.segment, m.begin, m.end);
+      scan->metrics.Record(m.end - m.begin, batch.num_rows(),
+                           NanosSince(start));
       return batch;
     }
-    std::vector<uint32_t> sel(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      sel[i - begin] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> sel(m.end - m.begin);
+    for (size_t i = m.begin; i < m.end; ++i) {
+      sel[i - m.begin] = static_cast<uint32_t>(i);
     }
     return mat.SelectView(std::move(sel));
   };
 
   // Pushes one source morsel through the chain into the sink.
-  auto drive = [&](size_t local, size_t begin, size_t end) -> Status {
-    RecordBatch m = make_morsel(begin, end);
+  auto drive = [&](size_t local, const Morsel& morsel) -> Status {
+    RecordBatch m = make_morsel(morsel);
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       PhysicalOperator* op = *it;
       if (op->NeedsDenseInput() && m.has_selection()) m = m.Materialize();
@@ -445,30 +482,28 @@ Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
   };
 
   size_t threads = pool_ ? std::max<size_t>(1, options_.num_threads) : 1;
-  if (threads == 1 || total < options_.morsel_size * 2) {
+  if (threads == 1 || work.size() < 2) {
     sink->MakeLocals(1);
-    for (size_t begin = 0; begin < total; begin += options_.morsel_size) {
-      size_t end = std::min(total, begin + options_.morsel_size);
-      FLOCK_RETURN_NOT_OK(drive(0, begin, end));
+    for (const Morsel& morsel : work) {
+      FLOCK_RETURN_NOT_OK(drive(0, morsel));
     }
     return Status::OK();
   }
 
-  // Morsel-driven parallelism: partition the source range, one task per
-  // chunk; sinks merge per-task state in chunk order (deterministic).
+  // Morsel-driven parallelism: partition the work list into contiguous
+  // chunks, one task per chunk; sinks merge per-task state in chunk order
+  // (deterministic, and preserves source order end-to-end).
   size_t num_tasks = threads * 4;
-  size_t chunk = (total + num_tasks - 1) / num_tasks;
-  chunk = std::max(chunk, options_.morsel_size);
-  num_tasks = (total + chunk - 1) / chunk;
+  size_t chunk = std::max<size_t>(1, (work.size() + num_tasks - 1) / num_tasks);
+  num_tasks = (work.size() + chunk - 1) / chunk;
 
   sink->MakeLocals(num_tasks);
   std::vector<Status> statuses(num_tasks, Status::OK());
   pool_->ParallelFor(num_tasks, [&](size_t t) {
     size_t begin = t * chunk;
-    size_t end = std::min(total, begin + chunk);
-    for (size_t m = begin; m < end; m += options_.morsel_size) {
-      size_t mend = std::min(end, m + options_.morsel_size);
-      Status st = drive(t, m, mend);
+    size_t end = std::min(work.size(), begin + chunk);
+    for (size_t m = begin; m < end; ++m) {
+      Status st = drive(t, work[m]);
       if (!st.ok()) {
         statuses[t] = std::move(st);
         return;

@@ -18,6 +18,10 @@ struct ExecutorOptions {
   size_t num_threads = 1;
   /// Rows per morsel flowing through a pipeline.
   size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
+  /// Skip segments whose zone maps disprove the scan's pushed-down
+  /// conjuncts. Off switches the decision only — plans are identical, so
+  /// differential tests can compare pruned vs unpruned execution.
+  bool enable_zone_map_pruning = true;
 };
 
 /// Drives physical plans as morsel-driven push pipelines.

@@ -87,13 +87,28 @@ std::string PhysicalOperator::ToString(int indent, bool analyze) const {
   out << std::string(static_cast<size_t>(indent) * 2, ' ') << label()
       << " width=" << output_schema_.num_columns();
   if (analyze) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), " [in=%llu out=%llu time=%.3fms]",
-                  static_cast<unsigned long long>(
-                      metrics.rows_in.load(std::memory_order_relaxed)),
-                  static_cast<unsigned long long>(
-                      metrics.rows_out.load(std::memory_order_relaxed)),
-                  metrics.millis());
+    char buf[144];
+    uint64_t scanned =
+        metrics.segments_scanned.load(std::memory_order_relaxed);
+    uint64_t pruned = metrics.segments_pruned.load(std::memory_order_relaxed);
+    if (scanned + pruned > 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          " [in=%llu out=%llu time=%.3fms segments=%llu pruned=%llu]",
+          static_cast<unsigned long long>(
+              metrics.rows_in.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              metrics.rows_out.load(std::memory_order_relaxed)),
+          metrics.millis(), static_cast<unsigned long long>(scanned),
+          static_cast<unsigned long long>(pruned));
+    } else {
+      std::snprintf(buf, sizeof(buf), " [in=%llu out=%llu time=%.3fms]",
+                    static_cast<unsigned long long>(
+                        metrics.rows_in.load(std::memory_order_relaxed)),
+                    static_cast<unsigned long long>(
+                        metrics.rows_out.load(std::memory_order_relaxed)),
+                    metrics.millis());
+    }
     out << buf;
   }
   out << "\n";
@@ -111,6 +126,10 @@ void PhysicalOperator::CollectMetrics(std::vector<OperatorMetricsSnapshot>* out,
   snap.rows_in = metrics.rows_in.load(std::memory_order_relaxed);
   snap.rows_out = metrics.rows_out.load(std::memory_order_relaxed);
   snap.wall_ms = metrics.millis();
+  snap.segments_scanned =
+      metrics.segments_scanned.load(std::memory_order_relaxed);
+  snap.segments_pruned =
+      metrics.segments_pruned.load(std::memory_order_relaxed);
   out->push_back(std::move(snap));
   for (const auto& child : children) {
     child->CollectMetrics(out, depth + 1);
@@ -140,10 +159,54 @@ std::string TableScanOp::label() const {
   return out;
 }
 
-RecordBatch TableScanOp::ScanMorsel(size_t begin, size_t end) const {
-  RecordBatch batch = table->ScanRange(begin, end);
+RecordBatch TableScanOp::ScanMorsel(size_t segment, size_t begin,
+                                    size_t end) const {
+  RecordBatch batch = table->ScanSegment(segment, begin, end);
   if (!projection.empty()) batch = batch.Project(projection);
   return batch;
+}
+
+bool TableScanOp::CanSkipSegment(size_t segment) const {
+  for (const ScanPruneConjunct& conjunct : prune_conjuncts) {
+    const storage::ColumnStats& zm =
+        table->segment_zone_map(segment, conjunct.table_column);
+    switch (conjunct.kind) {
+      case ScanPruneConjunct::Kind::kIsNull:
+        if (zm.null_count == 0) return true;
+        break;
+      case ScanPruneConjunct::Kind::kIsNotNull:
+        if (zm.null_count == zm.row_count) return true;
+        break;
+      case ScanPruneConjunct::Kind::kCompare:
+        // A comparison never passes NULL, so an all-NULL segment cannot
+        // satisfy it regardless of the range.
+        if (zm.null_count == zm.row_count) return true;
+        if (!zm.numeric || !zm.has_range) break;  // cannot rule out
+        switch (conjunct.op) {
+          case BinaryOp::kLt:
+            if (!(zm.min < conjunct.literal)) return true;
+            break;
+          case BinaryOp::kLtEq:
+            if (!(zm.min <= conjunct.literal)) return true;
+            break;
+          case BinaryOp::kGt:
+            if (!(zm.max > conjunct.literal)) return true;
+            break;
+          case BinaryOp::kGtEq:
+            if (!(zm.max >= conjunct.literal)) return true;
+            break;
+          case BinaryOp::kEq:
+            if (conjunct.literal < zm.min || conjunct.literal > zm.max) {
+              return true;
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

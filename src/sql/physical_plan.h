@@ -33,16 +33,25 @@ struct OperatorMetrics {
   std::atomic<uint64_t> rows_in{0};
   std::atomic<uint64_t> rows_out{0};
   std::atomic<uint64_t> nanos{0};
+  // Scan-only: segments read vs skipped by zone-map pruning.
+  std::atomic<uint64_t> segments_scanned{0};
+  std::atomic<uint64_t> segments_pruned{0};
 
   void Record(uint64_t in, uint64_t out, uint64_t ns) {
     rows_in.fetch_add(in, std::memory_order_relaxed);
     rows_out.fetch_add(out, std::memory_order_relaxed);
     nanos.fetch_add(ns, std::memory_order_relaxed);
   }
+  void RecordSegments(uint64_t scanned, uint64_t pruned) {
+    segments_scanned.fetch_add(scanned, std::memory_order_relaxed);
+    segments_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  }
   void Reset() {
     rows_in.store(0, std::memory_order_relaxed);
     rows_out.store(0, std::memory_order_relaxed);
     nanos.store(0, std::memory_order_relaxed);
+    segments_scanned.store(0, std::memory_order_relaxed);
+    segments_pruned.store(0, std::memory_order_relaxed);
   }
   double millis() const {
     return static_cast<double>(nanos.load(std::memory_order_relaxed)) / 1e6;
@@ -58,6 +67,8 @@ struct OperatorMetricsSnapshot {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   double wall_ms = 0.0;
+  uint64_t segments_scanned = 0;  // scans only
+  uint64_t segments_pruned = 0;   // scans only
 };
 
 class PhysicalOperator;
@@ -133,6 +144,20 @@ class PhysicalOperator {
 // Sources
 // ---------------------------------------------------------------------------
 
+/// One conjunct of a scan's pushed-down predicate, pre-resolved against
+/// *table* column indexes so zone-map checks are just numeric compares at
+/// execution time. Pruning is conservative: a conjunct that cannot rule a
+/// segment out leaves it scanned, and the Filter operator above still
+/// evaluates the full predicate — so attaching conjuncts is strictly an
+/// optimization and cached plans stay correct across DML.
+struct ScanPruneConjunct {
+  enum class Kind { kCompare, kIsNull, kIsNotNull };
+  Kind kind = Kind::kCompare;
+  size_t table_column = 0;
+  BinaryOp op = BinaryOp::kEq;  // kCompare only: col OP literal
+  double literal = 0.0;         // kCompare only
+};
+
 class TableScanOp : public PhysicalOperator {
  public:
   TableScanOp(std::string table_name, storage::TablePtr table,
@@ -144,12 +169,22 @@ class TableScanOp : public PhysicalOperator {
 
   std::string label() const override;
 
-  /// Reads physical rows [begin, end), narrowed to `projection`.
-  storage::RecordBatch ScanMorsel(size_t begin, size_t end) const;
+  /// Zero-copy view of rows [begin, end) of segment `segment`, narrowed to
+  /// `projection`. The batch shares the segment's column vectors and must
+  /// not outlive the statement (see storage::Table).
+  storage::RecordBatch ScanMorsel(size_t segment, size_t begin,
+                                  size_t end) const;
+
+  /// True when the segment's zone maps prove no row can satisfy the
+  /// pushed-down conjuncts. Evaluated per execution against live stats.
+  bool CanSkipSegment(size_t segment) const;
 
   std::string table_name;
   storage::TablePtr table;
   std::vector<size_t> projection;  // empty = all columns
+  /// Filled by the planner from the parent Filter's predicate; consulted
+  /// by the executor when zone-map pruning is enabled.
+  std::vector<ScanPruneConjunct> prune_conjuncts;
 };
 
 // ---------------------------------------------------------------------------

@@ -4,7 +4,8 @@
 
 namespace flock::storage {
 
-Status Database::CreateTable(const std::string& name, Schema schema) {
+Status Database::CreateTable(const std::string& name, Schema schema,
+                             size_t segment_capacity) {
   TablePtr created;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -12,7 +13,9 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
     if (tables_.count(key) > 0) {
       return Status::AlreadyExists("table already exists: " + name);
     }
-    created = std::make_shared<Table>(name, std::move(schema));
+    if (segment_capacity == 0) segment_capacity = default_segment_capacity_;
+    created = std::make_shared<Table>(name, std::move(schema),
+                                      segment_capacity);
     created->set_observer(observer_);
     tables_[key] = created;
   }
@@ -57,6 +60,16 @@ void Database::set_observer(DatabaseObserver* observer) {
   std::lock_guard<std::mutex> lock(mu_);
   observer_ = observer;
   for (auto& [key, table] : tables_) table->set_observer(observer);
+}
+
+void Database::set_default_segment_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity > 0) default_segment_capacity_ = capacity;
+}
+
+size_t Database::default_segment_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_segment_capacity_;
 }
 
 std::vector<std::string> Database::ListTables() const {

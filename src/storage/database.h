@@ -25,7 +25,11 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  Status CreateTable(const std::string& name, Schema schema);
+  /// Creates a table. `segment_capacity` overrides the catalog default
+  /// (0 = use the default); recovery passes the capacity recorded in the
+  /// snapshot so the restored physical layout matches the original.
+  Status CreateTable(const std::string& name, Schema schema,
+                     size_t segment_capacity = 0);
   StatusOr<TablePtr> GetTable(const std::string& name) const;
   Status DropTable(const std::string& name);
   bool HasTable(const std::string& name) const;
@@ -36,10 +40,17 @@ class Database {
   /// durability layer uses it to mirror mutations into the WAL.
   void set_observer(DatabaseObserver* observer);
 
+  /// Segment capacity applied to tables created without an explicit one.
+  /// Tests and benchmarks shrink it to force multi-segment tables from
+  /// small row counts. Set during single-threaded setup.
+  void set_default_segment_capacity(size_t capacity);
+  size_t default_segment_capacity() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, TablePtr> tables_;  // keys lower-cased
   DatabaseObserver* observer_ = nullptr;    // not owned
+  size_t default_segment_capacity_ = Table::kDefaultSegmentCapacity;
 };
 
 }  // namespace flock::storage

@@ -7,13 +7,47 @@
 
 namespace flock::storage {
 
-Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {
-  columns_.reserve(schema_.num_columns());
-  for (size_t i = 0; i < schema_.num_columns(); ++i) {
-    columns_.push_back(
-        std::make_shared<ColumnVector>(schema_.column(i).type));
+namespace {
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kBool;
+}
+
+ColumnStats EmptyStats(DataType type) {
+  ColumnStats stats;
+  stats.numeric = IsNumericType(type);
+  return stats;
+}
+
+/// Folds rows [begin, end) of `col` into `zm`.
+void ExtendZoneMap(ColumnStats* zm, const ColumnVector& col, size_t begin,
+                   size_t end) {
+  for (size_t r = begin; r < end; ++r) {
+    ++zm->row_count;
+    if (col.IsNull(r)) {
+      ++zm->null_count;
+      continue;
+    }
+    if (!zm->numeric) continue;
+    double v = col.AsDouble(r);
+    if (!zm->has_range) {
+      zm->min = v;
+      zm->max = v;
+      zm->has_range = true;
+    } else {
+      zm->min = std::min(zm->min, v);
+      zm->max = std::max(zm->max, v);
+    }
   }
+}
+
+}  // namespace
+
+Table::Table(std::string name, Schema schema, size_t segment_capacity)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      segment_capacity_(std::max<size_t>(1, segment_capacity)) {
   stats_cache_.resize(schema_.num_columns());
   versions_.push_back(VersionInfo{0, "CREATE", 0});
 }
@@ -21,69 +55,198 @@ Table::Table(std::string name, Schema schema)
 void Table::BumpVersion(const std::string& op, size_t rows) {
   versions_.push_back(
       VersionInfo{versions_.back().version + 1, op, rows});
+}
+
+void Table::InvalidateStatsCache() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   std::fill(stats_cache_.begin(), stats_cache_.end(), std::nullopt);
 }
 
+void Table::InvalidateStatsCache(size_t col) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_cache_[col] = std::nullopt;
+}
+
+Segment* Table::OpenSegment() {
+  if (segments_.empty() || segments_.back()->sealed) {
+    auto seg = std::make_unique<Segment>();
+    seg->columns.reserve(schema_.num_columns());
+    seg->zone_maps.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      seg->columns.push_back(
+          std::make_shared<ColumnVector>(schema_.column(c).type));
+      seg->zone_maps.push_back(EmptyStats(schema_.column(c).type));
+    }
+    segments_.push_back(std::move(seg));
+  }
+  return segments_.back().get();
+}
+
+size_t Table::segment_row_begin(size_t s) const {
+  size_t begin = 0;
+  for (size_t i = 0; i < s; ++i) begin += segments_[i]->num_rows;
+  return begin;
+}
+
+void Table::AppendRowsToSegments(const RecordBatch& dense) {
+  size_t pos = 0;
+  size_t total = dense.num_rows();
+  while (pos < total) {
+    Segment* seg = OpenSegment();
+    size_t room = segment_capacity_ - seg->num_rows;
+    size_t take = std::min(room, total - pos);
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      size_t old_size = seg->columns[c]->size();
+      seg->columns[c]->AppendRange(*dense.column(c), pos, pos + take);
+      ExtendZoneMap(&seg->zone_maps[c], *seg->columns[c], old_size,
+                    old_size + take);
+    }
+    seg->num_rows += take;
+    if (seg->num_rows >= segment_capacity_) seg->sealed = true;
+    pos += take;
+  }
+  num_rows_ += total;
+}
+
 Status Table::AppendBatch(const RecordBatch& batch) {
-  if (batch.num_columns() != columns_.size()) {
+  if (batch.num_columns() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "batch has " + std::to_string(batch.num_columns()) +
         " columns, table '" + name_ + "' has " +
-        std::to_string(columns_.size()));
+        std::to_string(schema_.num_columns()));
   }
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    if (batch.column(c)->type() != columns_[c]->type()) {
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (batch.column(c)->type() != schema_.column(c).type) {
       return Status::InvalidArgument("column type mismatch at position " +
                                      std::to_string(c));
     }
   }
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c]->AppendRange(*batch.column(c), 0, batch.num_rows());
+  // Segment fill reads physical rows; flatten selection views first.
+  const RecordBatch* dense = &batch;
+  RecordBatch materialized(schema_);
+  if (batch.has_selection()) {
+    materialized = batch.Materialize();
+    dense = &materialized;
   }
-  num_rows_ += batch.num_rows();
-  BumpVersion("INSERT", batch.num_rows());
+  if (dense->num_rows() > 0) {
+    AppendRowsToSegments(*dense);
+    InvalidateStatsCache();
+  }
+  BumpVersion("INSERT", dense->num_rows());
   if (observer_ != nullptr) observer_->OnAppendBatch(*this, batch);
   return Status::OK();
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
-  if (row.size() != columns_.size()) {
+  if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row width mismatch for table " + name_);
   }
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    FLOCK_RETURN_NOT_OK(columns_[c]->AppendValue(row[c]));
+  Segment* seg = OpenSegment();
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    Status st = seg->columns[c]->AppendValue(row[c]);
+    if (!st.ok()) {
+      // Roll back the columns already appended so the segment stays
+      // rectangular.
+      std::vector<uint32_t> sel(seg->num_rows);
+      for (size_t r = 0; r < seg->num_rows; ++r) {
+        sel[r] = static_cast<uint32_t>(r);
+      }
+      for (size_t u = 0; u < c; ++u) {
+        auto fresh = std::make_shared<ColumnVector>(seg->columns[u]->type());
+        fresh->AppendSelected(*seg->columns[u], sel);
+        seg->columns[u] = std::move(fresh);
+      }
+      return st;
+    }
   }
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    ExtendZoneMap(&seg->zone_maps[c], *seg->columns[c], seg->num_rows,
+                  seg->num_rows + 1);
+  }
+  seg->num_rows += 1;
+  if (seg->num_rows >= segment_capacity_) seg->sealed = true;
   ++num_rows_;
+  InvalidateStatsCache();
   BumpVersion("INSERT", 1);
   if (observer_ != nullptr) observer_->OnAppendRow(*this, row);
   return Status::OK();
+}
+
+RecordBatch Table::ScanSegment(size_t s, size_t begin, size_t end) const {
+  const Segment& seg = *segments_[s];
+  end = std::min(end, seg.num_rows);
+  begin = std::min(begin, end);
+  RecordBatch view(schema_);
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    view.SetColumn(c, seg.columns[c]);
+  }
+  if (begin == 0 && end == seg.num_rows) return view;
+  std::vector<uint32_t> sel;
+  sel.reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) {
+    sel.push_back(static_cast<uint32_t>(r));
+  }
+  return view.SelectView(std::move(sel));
 }
 
 RecordBatch Table::ScanRange(size_t begin, size_t end) const {
   end = std::min(end, num_rows_);
   begin = std::min(begin, end);
   RecordBatch out(schema_);
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    out.mutable_column(c)->AppendRange(*columns_[c], begin, end);
+  size_t seg_begin = 0;
+  for (const auto& seg : segments_) {
+    size_t seg_end = seg_begin + seg->num_rows;
+    if (seg_end > begin && seg_begin < end) {
+      size_t local_begin = begin > seg_begin ? begin - seg_begin : 0;
+      size_t local_end = std::min(end, seg_end) - seg_begin;
+      for (size_t c = 0; c < schema_.num_columns(); ++c) {
+        out.mutable_column(c)->AppendRange(*seg->columns[c], local_begin,
+                                           local_end);
+      }
+    }
+    seg_begin = seg_end;
+    if (seg_begin >= end) break;
   }
   return out;
 }
 
 size_t Table::FilterInPlace(const std::vector<bool>& keep) {
   FLOCK_CHECK(keep.size() == num_rows_);
-  std::vector<uint32_t> sel;
-  sel.reserve(num_rows_);
-  for (size_t i = 0; i < num_rows_; ++i) {
-    if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+  size_t removed = 0;
+  size_t seg_begin = 0;
+  for (size_t s = 0; s < segments_.size();) {
+    Segment* seg = segments_[s].get();
+    std::vector<uint32_t> sel;
+    sel.reserve(seg->num_rows);
+    for (size_t r = 0; r < seg->num_rows; ++r) {
+      if (keep[seg_begin + r]) sel.push_back(static_cast<uint32_t>(r));
+    }
+    seg_begin += seg->num_rows;
+    if (sel.size() == seg->num_rows) {
+      // Untouched: keep column vectors and zone maps as-is.
+      ++s;
+      continue;
+    }
+    removed += seg->num_rows - sel.size();
+    if (sel.empty()) {
+      segments_.erase(segments_.begin() + s);
+      continue;
+    }
+    // Rewrite with fresh vectors so outstanding views stay consistent
+    // snapshots; the shrunken segment stays sealed if it was (it never
+    // accepts appends again, preserving global row order).
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      auto fresh = std::make_shared<ColumnVector>(seg->columns[c]->type());
+      fresh->AppendSelected(*seg->columns[c], sel);
+      seg->columns[c] = std::move(fresh);
+      RecomputeZoneMap(seg, c);
+    }
+    seg->num_rows = sel.size();
+    ++s;
   }
-  size_t removed = num_rows_ - sel.size();
   if (removed == 0) return 0;
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    auto fresh = std::make_shared<ColumnVector>(columns_[c]->type());
-    fresh->AppendSelected(*columns_[c], sel);
-    columns_[c] = std::move(fresh);
-  }
-  num_rows_ = sel.size();
+  num_rows_ -= removed;
+  InvalidateStatsCache();
   BumpVersion("DELETE", removed);
   if (observer_ != nullptr) observer_->OnDeleteRows(*this, keep, removed);
   return removed;
@@ -91,16 +254,12 @@ size_t Table::FilterInPlace(const std::vector<bool>& keep) {
 
 Status Table::UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
                            const std::vector<Value>& values) {
-  if (col >= columns_.size()) {
+  if (col >= schema_.num_columns()) {
     return Status::OutOfRange("column index out of range");
   }
   if (rows.size() != values.size()) {
     return Status::InvalidArgument("rows/values length mismatch");
   }
-  // Rebuild the column with replacements (columnar storage is immutable by
-  // position; updates are rewrite-on-change like column stores do).
-  auto fresh = std::make_shared<ColumnVector>(columns_[col]->type());
-  fresh->Reserve(num_rows_);
   std::vector<const Value*> replacement(num_rows_, nullptr);
   for (size_t i = 0; i < rows.size(); ++i) {
     if (rows[i] >= num_rows_) {
@@ -108,14 +267,40 @@ Status Table::UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
     }
     replacement[rows[i]] = &values[i];
   }
-  for (size_t r = 0; r < num_rows_; ++r) {
-    if (replacement[r] != nullptr) {
-      FLOCK_RETURN_NOT_OK(fresh->AppendValue(*replacement[r]));
-    } else {
-      FLOCK_RETURN_NOT_OK(fresh->AppendValue(columns_[col]->GetValue(r)));
+  // Rewrite column `col` of each touched segment with a fresh vector
+  // (columnar storage is immutable by position; updates are
+  // rewrite-on-change like column stores do). Untouched segments and all
+  // other columns keep their vectors and zone maps.
+  std::vector<std::pair<size_t, ColumnVectorPtr>> rewrites;
+  size_t seg_begin = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    Segment* seg = segments_[s].get();
+    bool touched = false;
+    for (size_t r = 0; r < seg->num_rows; ++r) {
+      if (replacement[seg_begin + r] != nullptr) {
+        touched = true;
+        break;
+      }
     }
+    if (touched) {
+      auto fresh = std::make_shared<ColumnVector>(seg->columns[col]->type());
+      fresh->Reserve(seg->num_rows);
+      for (size_t r = 0; r < seg->num_rows; ++r) {
+        const Value* repl = replacement[seg_begin + r];
+        Status st = repl != nullptr
+                        ? fresh->AppendValue(*repl)
+                        : fresh->AppendValue(seg->columns[col]->GetValue(r));
+        if (!st.ok()) return st;  // nothing installed yet: no change
+      }
+      rewrites.emplace_back(s, std::move(fresh));
+    }
+    seg_begin += seg->num_rows;
   }
-  columns_[col] = std::move(fresh);
+  for (auto& [s, fresh] : rewrites) {
+    segments_[s]->columns[col] = std::move(fresh);
+    RecomputeZoneMap(segments_[s].get(), col);
+  }
+  InvalidateStatsCache(col);
   BumpVersion("UPDATE", rows.size());
   if (observer_ != nullptr) {
     observer_->OnUpdateColumn(*this, col, rows, values);
@@ -123,36 +308,97 @@ Status Table::UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
   return Status::OK();
 }
 
+Status Table::RestoreSegments(const std::vector<RecordBatch>& segments) {
+  if (num_rows_ != 0 || !segments_.empty()) {
+    return Status::InvalidArgument(
+        "RestoreSegments requires an empty table");
+  }
+  size_t total = 0;
+  for (const RecordBatch& batch : segments) {
+    if (batch.num_columns() != schema_.num_columns()) {
+      return Status::InvalidArgument(
+          "restored segment width mismatch for table " + name_);
+    }
+    if (batch.num_rows() == 0) continue;  // never persist empty segments
+    auto seg = std::make_unique<Segment>();
+    seg->columns.reserve(schema_.num_columns());
+    seg->zone_maps.reserve(schema_.num_columns());
+    bool dense = !batch.has_selection();
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      if (batch.column(c)->type() != schema_.column(c).type) {
+        return Status::InvalidArgument(
+            "restored segment type mismatch at position " +
+            std::to_string(c));
+      }
+      ColumnVectorPtr column;
+      if (dense) {
+        column = batch.column(c);  // adopt decoded vector, no copy
+      } else {
+        column = std::make_shared<ColumnVector>(batch.column(c)->type());
+        column->AppendSelected(*batch.column(c), batch.selection());
+      }
+      seg->columns.push_back(std::move(column));
+      seg->zone_maps.push_back(EmptyStats(schema_.column(c).type));
+    }
+    seg->num_rows = batch.num_rows();
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      ExtendZoneMap(&seg->zone_maps[c], *seg->columns[c], 0, seg->num_rows);
+    }
+    seg->sealed = seg->num_rows >= segment_capacity_;
+    total += seg->num_rows;
+    segments_.push_back(std::move(seg));
+  }
+  // All segments except the last must behave as sealed: appending into the
+  // middle would scramble global row order. (A last segment below capacity
+  // stays open, exactly as it was when the snapshot was taken.)
+  for (size_t s = 0; s + 1 < segments_.size(); ++s) {
+    segments_[s]->sealed = true;
+  }
+  num_rows_ = total;
+  InvalidateStatsCache();
+  BumpVersion("INSERT", total);
+  return Status::OK();
+}
+
+void Table::RecomputeZoneMap(Segment* seg, size_t c) {
+  ColumnStats zm = EmptyStats(seg->columns[c]->type());
+  ExtendZoneMap(&zm, *seg->columns[c], 0, seg->columns[c]->size());
+  seg->zone_maps[c] = zm;
+}
+
 StatusOr<ColumnStats> Table::GetStats(size_t i) const {
-  if (i >= columns_.size()) {
+  if (i >= schema_.num_columns()) {
     return Status::OutOfRange("column index out of range");
   }
-  if (stats_cache_[i].has_value()) return *stats_cache_[i];
-  const ColumnVector& col = *columns_[i];
-  ColumnStats stats;
-  stats.row_count = col.size();
-  stats.numeric = col.type() == DataType::kInt64 ||
-                  col.type() == DataType::kDouble ||
-                  col.type() == DataType::kBool;
-  stats.min = std::numeric_limits<double>::infinity();
-  stats.max = -std::numeric_limits<double>::infinity();
-  for (size_t r = 0; r < col.size(); ++r) {
-    if (col.IsNull(r)) {
-      ++stats.null_count;
-      continue;
-    }
-    if (stats.numeric) {
-      double v = col.AsDouble(r);
-      stats.min = std::min(stats.min, v);
-      stats.max = std::max(stats.max, v);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_cache_[i].has_value()) return *stats_cache_[i];
+  }
+  // Fold the per-segment zone maps; never rescans data.
+  ColumnStats stats = EmptyStats(schema_.column(i).type);
+  for (const auto& seg : segments_) {
+    const ColumnStats& zm = seg->zone_maps[i];
+    stats.row_count += zm.row_count;
+    stats.null_count += zm.null_count;
+    if (zm.has_range) {
+      if (!stats.has_range) {
+        stats.min = zm.min;
+        stats.max = zm.max;
+        stats.has_range = true;
+      } else {
+        stats.min = std::min(stats.min, zm.min);
+        stats.max = std::max(stats.max, zm.max);
+      }
     }
   }
-  if (stats.row_count == stats.null_count || !stats.numeric) {
-    stats.min = 0.0;
-    stats.max = 0.0;
-  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_cache_[i] = stats;
   return stats;
+}
+
+bool Table::stats_cached(size_t i) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return i < stats_cache_.size() && stats_cache_[i].has_value();
 }
 
 }  // namespace flock::storage

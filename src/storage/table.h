@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,13 +18,20 @@ namespace flock::storage {
 /// Per-column summary statistics. The Flock cross-optimizer's
 /// ModelCompression rule prunes decision-tree branches whose split threshold
 /// lies outside [min, max] of the feeding column (paper §4.1: "model
-/// compression exploiting input data statistics").
+/// compression exploiting input data statistics"), and the physical scan
+/// operator prunes whole segments whose zone map cannot satisfy a pushed
+/// filter conjunct.
 struct ColumnStats {
-  double min = 0.0;
-  double max = 0.0;
+  double min = 0.0;  // meaningful only when has_range
+  double max = 0.0;  // meaningful only when has_range
   size_t null_count = 0;
   size_t row_count = 0;
   bool numeric = false;
+  /// True when min/max describe at least one non-NULL numeric value.
+  /// Empty, all-NULL, and non-numeric columns report has_range == false;
+  /// callers must not read min/max then (historically they saw a bogus
+  /// [0, 0] and could not tell it from a genuine zero range).
+  bool has_range = false;
 };
 
 /// Metadata describing one table version. The paper treats every mutation as
@@ -35,10 +43,49 @@ struct VersionInfo {
   size_t rows_affected = 0;
 };
 
-/// An append-friendly columnar table with a version ledger.
+/// A fixed-capacity horizontal slice of a table's columns. Rows append into
+/// the *open* (last) segment until it reaches the table's segment capacity,
+/// at which point it is sealed and a new open segment starts. Sealed
+/// segments never grow again; UPDATE and DELETE rewrite affected segments
+/// by swapping in *fresh* column vectors, so record batches viewing the old
+/// vectors remain consistent snapshots. Zone maps (per-column min/max/null
+/// counts) are maintained eagerly: incrementally on append, recomputed only
+/// for segments a mutation rewrites.
+struct Segment {
+  std::vector<ColumnVectorPtr> columns;  // one per schema column
+  std::vector<ColumnStats> zone_maps;    // one per schema column
+  size_t num_rows = 0;
+  bool sealed = false;
+};
+
+/// An append-friendly columnar table, stored as a sequence of fixed-capacity
+/// immutable segments with per-segment zone maps, plus a version ledger.
+///
+/// Locking contract (enforced by the engine layer, documented here because
+/// this class is where it matters): mutators (AppendBatch, AppendRow,
+/// FilterInPlace, UpdateColumn, RestoreSegments, set_observer) require the
+/// engine's exclusive lock — they are never concurrent with each other or
+/// with readers. All const members, including GetStats, are safe to call
+/// concurrently under the engine's shared lock: GetStats is the only const
+/// member that writes shared state (the lazy aggregate-stats cache) and it
+/// serializes those writes behind an internal mutex.
+///
+/// Zero-copy scans: ScanSegment returns views that share the segment's
+/// column vectors. Views taken under the shared lock must not outlive the
+/// statement that created them — a later append may grow the open segment's
+/// vectors in place (sealed segments and mutation paths are safe: they swap
+/// in fresh vectors instead of touching shared ones).
 class Table {
  public:
-  Table(std::string name, Schema schema);
+  /// ~64K rows per segment: large enough to amortize per-segment metadata,
+  /// small enough that zone maps discriminate on range predicates.
+  static constexpr size_t kDefaultSegmentCapacity = 64 * 1024;
+
+  /// `segment_capacity` is a knob for tests and benchmarks that need
+  /// multi-segment tables with small row counts; production tables use
+  /// the default.
+  Table(std::string name, Schema schema,
+        size_t segment_capacity = kDefaultSegmentCapacity);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -47,28 +94,76 @@ class Table {
   uint64_t current_version() const { return versions_.back().version; }
   const std::vector<VersionInfo>& versions() const { return versions_; }
 
-  /// Appends rows; one version bump per call (a batch INSERT is one version).
-  Status AppendBatch(const RecordBatch& batch);
-  Status AppendRow(const std::vector<Value>& row);
+  // --- Segment geometry -----------------------------------------------
 
-  /// Copies rows [begin, end) into a fresh RecordBatch.
+  size_t num_segments() const { return segments_.size(); }
+  size_t segment_capacity() const { return segment_capacity_; }
+  /// Rows currently in segment `s` (may be below capacity after deletes).
+  size_t segment_rows(size_t s) const { return segments_[s]->num_rows; }
+  /// Global row index of segment `s`'s first row.
+  size_t segment_row_begin(size_t s) const;
+  /// Zone map for column `c` of segment `s` (maintained eagerly).
+  const ColumnStats& segment_zone_map(size_t s, size_t c) const {
+    return segments_[s]->zone_maps[c];
+  }
+  /// The shared column vector backing (s, c); read-only for callers.
+  /// Exposed so tests can assert scan morsels alias segment memory.
+  const ColumnVectorPtr& segment_column(size_t s, size_t c) const {
+    return segments_[s]->columns[c];
+  }
+
+  // --- Reads ----------------------------------------------------------
+
+  /// Zero-copy view of rows [begin, end) of segment `s`: the returned
+  /// batch shares the segment's column vectors — dense when the range
+  /// covers the whole segment, a selection view otherwise. See the class
+  /// comment for view lifetime rules.
+  RecordBatch ScanSegment(size_t s, size_t begin, size_t end) const;
+  RecordBatch ScanSegment(size_t s) const {
+    return ScanSegment(s, 0, segments_[s]->num_rows);
+  }
+
+  /// Copies rows [begin, end), in global row order, into a fresh batch
+  /// (DML snapshots and other consumers that outlive the statement).
   RecordBatch ScanRange(size_t begin, size_t end) const;
 
   /// Copies the whole table.
   RecordBatch ScanAll() const { return ScanRange(0, num_rows_); }
 
-  /// Direct column access for zero-copy kernels (index must be valid).
-  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+  // --- Mutations (engine exclusive lock) ------------------------------
 
-  /// Deletes rows where `keep[i] == false`; returns rows removed.
+  /// Appends rows; one version bump per call (a batch INSERT is one
+  /// version). Rows fill the open segment, then spill into new segments.
+  Status AppendBatch(const RecordBatch& batch);
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Deletes rows where `keep[i] == false`; returns rows removed. Only
+  /// segments that actually lose rows are rewritten (their zone maps
+  /// recomputed); untouched segments keep their vectors and zone maps.
+  /// Segments emptied entirely are dropped.
   size_t FilterInPlace(const std::vector<bool>& keep);
 
-  /// Overwrites column `col` at the given row indices; bumps version.
+  /// Overwrites column `col` at the given global row indices; bumps
+  /// version. Rewrites only the touched segments' column `col` (and its
+  /// zone maps); other columns and segments are untouched.
   Status UpdateColumn(size_t col, const std::vector<uint32_t>& rows,
                       const std::vector<Value>& values);
 
-  /// Computes (and caches until next mutation) stats for column `i`.
+  /// Installs `segments` as the table's exact physical layout (one batch
+  /// per segment, in order). Recovery-only: the table must be empty; no
+  /// observer fires; one version bump covers all rows.
+  Status RestoreSegments(const std::vector<RecordBatch>& segments);
+
+  // --- Statistics -----------------------------------------------------
+
+  /// Aggregate stats for column `i`, folded from the per-segment zone
+  /// maps (never scans data) and cached until the next mutation of that
+  /// column. Safe under the engine's shared lock (see class comment).
   StatusOr<ColumnStats> GetStats(size_t i) const;
+
+  /// True when column `i`'s aggregate is currently cached — a test hook
+  /// for asserting invalidation stays column-granular.
+  bool stats_cached(size_t i) const;
 
   /// Installs a mutation observer (nullptr to clear). Not synchronized
   /// with concurrent mutation; set during single-threaded setup.
@@ -76,12 +171,26 @@ class Table {
 
  private:
   void BumpVersion(const std::string& op, size_t rows);
+  /// The open segment, creating one if the last is sealed/missing.
+  Segment* OpenSegment();
+  /// Appends rows [begin, end) of `dense` into segments, extending zone
+  /// maps incrementally and sealing segments as they fill.
+  void AppendRowsToSegments(const RecordBatch& dense);
+  /// Recomputes the zone map of column `c` in segment `seg` from scratch.
+  static void RecomputeZoneMap(Segment* seg, size_t c);
+  /// Invalidates the aggregate-stats cache (all columns / one column).
+  void InvalidateStatsCache();
+  void InvalidateStatsCache(size_t col);
 
   std::string name_;
   Schema schema_;
-  std::vector<ColumnVectorPtr> columns_;
+  size_t segment_capacity_;
+  std::vector<std::unique_ptr<Segment>> segments_;
   size_t num_rows_ = 0;
   std::vector<VersionInfo> versions_;
+  /// Guards stats_cache_ only: GetStats may race with itself under the
+  /// engine's shared lock; mutators also take it when invalidating.
+  mutable std::mutex stats_mu_;
   mutable std::vector<std::optional<ColumnStats>> stats_cache_;
   TableObserver* observer_ = nullptr;  // not owned
 };

@@ -46,7 +46,11 @@ std::string EncodeSnapshot(const SnapshotData& data) {
   for (const TableSnapshot& t : data.tables) {
     PutString(&payload, t.name);
     storage::SerializeSchema(t.schema, &payload);
-    storage::SerializeBatch(t.rows, &payload);
+    PutU64(&payload, t.segment_capacity);
+    PutU32(&payload, static_cast<uint32_t>(t.segments.size()));
+    for (const storage::RecordBatch& segment : t.segments) {
+      storage::SerializeBatch(segment, &payload);
+    }
   }
 
   PutU32(&payload, static_cast<uint32_t>(data.models.size()));
@@ -125,7 +129,8 @@ StatusOr<SnapshotData> DecodeSnapshot(const std::string& buf) {
   SnapshotData data;
   uint32_t version;
   FLOCK_RETURN_NOT_OK(in.GetU32(&version));
-  if (version != kSnapshotFormatVersion) {
+  if (version < kMinSupportedSnapshotVersion ||
+      version > kSnapshotFormatVersion) {
     return Status::DataLoss("unsupported snapshot format version " +
                             std::to_string(version));
   }
@@ -137,7 +142,24 @@ StatusOr<SnapshotData> DecodeSnapshot(const std::string& buf) {
   for (TableSnapshot& t : data.tables) {
     FLOCK_RETURN_NOT_OK(in.GetString(&t.name));
     FLOCK_RETURN_NOT_OK(storage::DeserializeSchema(&in, &t.schema));
-    FLOCK_RETURN_NOT_OK(storage::DeserializeBatch(&in, &t.rows));
+    if (version >= 2) {
+      FLOCK_RETURN_NOT_OK(in.GetU64(&t.segment_capacity));
+      if (t.segment_capacity == 0) {
+        return Status::DataLoss("snapshot table has zero segment capacity");
+      }
+      uint32_t num_segments;
+      FLOCK_RETURN_NOT_OK(in.GetU32(&num_segments));
+      t.segments.resize(num_segments);
+      for (storage::RecordBatch& segment : t.segments) {
+        FLOCK_RETURN_NOT_OK(storage::DeserializeBatch(&in, &segment));
+      }
+    } else {
+      // Version 1: one monolithic batch; capacity stays 0 so restore
+      // repacks it into segments at the catalog default.
+      storage::RecordBatch rows;
+      FLOCK_RETURN_NOT_OK(storage::DeserializeBatch(&in, &rows));
+      if (rows.num_rows() > 0) t.segments.push_back(std::move(rows));
+    }
   }
 
   FLOCK_RETURN_NOT_OK(in.GetU32(&n));
@@ -232,11 +254,25 @@ CheckpointManager::CheckpointManager(std::string dir)
 Status CheckpointManager::Write(const SnapshotData& data) {
   std::string image = EncodeSnapshot(data);
   const std::string tmp = temp_path();
+  FaultInjector* faults = FaultInjector::Get();
 
   std::FILE* file = std::fopen(tmp.c_str(), "wb");
   if (file == nullptr) return Errno("open", tmp);
+  // Two flushed writes: the body (all table segments), then the trailing
+  // CRC. The fault point between them models a crash after segment data
+  // reached disk but before the image was completed — the CRC-less tmp is
+  // never read by recovery, so the old snapshot + WAL replay still covers
+  // every segment exactly once.
+  const size_t body_size = image.size() - 4;  // trailing CRC-32
   Status s = Status::OK();
-  if (std::fwrite(image.data(), 1, image.size(), file) != image.size()) {
+  if (std::fwrite(image.data(), 1, body_size, file) != body_size) {
+    s = Errno("write", tmp);
+  }
+  if (s.ok() && std::fflush(file) != 0) s = Errno("flush", tmp);
+  if (s.ok() && ::fsync(::fileno(file)) != 0) s = Errno("fsync", tmp);
+  if (s.ok()) s = faults->Hit("checkpoint.after_segment_flush");
+  if (s.ok() &&
+      std::fwrite(image.data() + body_size, 1, 4, file) != 4) {
     s = Errno("write", tmp);
   }
   if (s.ok() && std::fflush(file) != 0) s = Errno("flush", tmp);
@@ -247,7 +283,6 @@ Status CheckpointManager::Write(const SnapshotData& data) {
     return s;
   }
 
-  FaultInjector* faults = FaultInjector::Get();
   FLOCK_RETURN_NOT_OK(faults->Hit("checkpoint.before_snapshot_rename"));
   if (std::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
     Status rs = Errno("rename", tmp);

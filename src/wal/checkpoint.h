@@ -17,7 +17,14 @@ namespace flock::wal {
 struct TableSnapshot {
   std::string name;
   storage::Schema schema;
-  storage::RecordBatch rows;
+  /// One batch per storage segment, in row order. BuildSnapshot fills
+  /// these with zero-copy views over the live table's segment columns;
+  /// a decoded version-1 image holds a single batch.
+  std::vector<storage::RecordBatch> segments;
+  /// The table's segment capacity, so recovery reproduces the physical
+  /// layout. 0 = unknown (version-1 image): restore repacks the rows at
+  /// the catalog's default capacity.
+  uint64_t segment_capacity = 0;
 };
 
 /// Everything a snapshot file holds: a point-in-time image of the durable

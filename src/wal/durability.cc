@@ -124,7 +124,12 @@ SnapshotData DurabilityManager::BuildSnapshot(uint64_t epoch) const {
     TableSnapshot t;
     t.name = (*table)->name();
     t.schema = (*table)->schema();
-    t.rows = (*table)->ScanAll();
+    t.segment_capacity = (*table)->segment_capacity();
+    t.segments.reserve((*table)->num_segments());
+    for (size_t s = 0; s < (*table)->num_segments(); ++s) {
+      // Zero-copy views: serialization reads them without materializing.
+      t.segments.push_back((*table)->ScanSegment(s));
+    }
     data.tables.push_back(std::move(t));
   }
   if (adapter_.snapshot_models) data.models = adapter_.snapshot_models();

@@ -36,6 +36,7 @@ const std::vector<std::string>& FaultInjector::Points() {
           "wal.append.after_fsync",
           // Checkpoint path, in execution order.
           "checkpoint.before_snapshot_write",
+          "checkpoint.after_segment_flush",
           "checkpoint.before_snapshot_rename",
           "checkpoint.after_snapshot_rename",
           "checkpoint.after_wal_reset",

@@ -99,11 +99,18 @@ StatusOr<RecoveryResult> RecoveryManager::Recover() {
 
 Status RecoveryManager::RestoreSnapshot(const SnapshotData& snapshot) {
   for (const TableSnapshot& t : snapshot.tables) {
-    FLOCK_RETURN_NOT_OK(db_->CreateTable(t.name, t.schema));
-    if (t.rows.num_rows() > 0) {
-      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table,
-                             db_->GetTable(t.name));
-      FLOCK_RETURN_NOT_OK(table->AppendBatch(t.rows));
+    FLOCK_RETURN_NOT_OK(db_->CreateTable(
+        t.name, t.schema, static_cast<size_t>(t.segment_capacity)));
+    if (t.segments.empty()) continue;
+    FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(t.name));
+    if (t.segment_capacity > 0) {
+      // Version-2 image: install the recorded segments verbatim so the
+      // restored physical layout (and zone maps) matches the original.
+      FLOCK_RETURN_NOT_OK(table->RestoreSegments(t.segments));
+    } else {
+      // Version-1 image: one monolithic batch; a plain append repacks it
+      // into segments at the catalog's default capacity.
+      FLOCK_RETURN_NOT_OK(table->AppendBatch(t.segments[0]));
     }
   }
   for (const ModelSnapshot& m : snapshot.models) {

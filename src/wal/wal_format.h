@@ -40,9 +40,17 @@ inline constexpr uint32_t kMaxRecordLen = 1u << 30;
 
 /// Snapshot file layout: magic, format version, epoch, sectioned payload,
 /// then a trailing CRC-32 over everything after the magic.
+///
+/// Version history:
+///   1 — one monolithic row batch per table.
+///   2 — segmented tables: per-table segment capacity + one batch per
+///       storage segment, so recovery reproduces the physical layout.
+/// DecodeSnapshot still reads version-1 images (the single batch is
+/// repacked into segments at the catalog's default capacity on restore).
 inline constexpr char kSnapshotMagic[8] = {'F', 'L', 'O', 'C',
                                            'K', 'S', 'N', 'P'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kMinSupportedSnapshotVersion = 1;
 
 /// CRC-32 (IEEE 802.3, reflected) over `len` bytes; `seed` chains calls.
 uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);

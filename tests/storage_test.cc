@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "storage/column_vector.h"
 #include "storage/database.h"
 #include "storage/record_batch.h"
@@ -167,7 +169,7 @@ TEST(TableTest, FilterInPlaceDeletes) {
   std::vector<bool> keep = {true, false, true, false};
   EXPECT_EQ(t.FilterInPlace(keep), 2u);
   EXPECT_EQ(t.num_rows(), 2u);
-  EXPECT_EQ(t.column(0).int_at(1), 2);
+  EXPECT_EQ(t.ScanAll().column(0)->int_at(1), 2);
   EXPECT_EQ(t.versions().back().operation, "DELETE");
 }
 
@@ -180,8 +182,9 @@ TEST(TableTest, UpdateColumnRewrites) {
   }
   ASSERT_TRUE(
       t.UpdateColumn(2, {1}, {Value::Double(9.5)}).ok());
-  EXPECT_DOUBLE_EQ(t.column(2).double_at(1), 9.5);
-  EXPECT_DOUBLE_EQ(t.column(2).double_at(0), 0.0);
+  RecordBatch rows = t.ScanAll();
+  EXPECT_DOUBLE_EQ(rows.column(2)->double_at(1), 9.5);
+  EXPECT_DOUBLE_EQ(rows.column(2)->double_at(0), 0.0);
   EXPECT_EQ(t.versions().back().operation, "UPDATE");
 }
 
@@ -209,6 +212,265 @@ TEST(TableTest, StatsCountNulls) {
       t.AppendRow({Value::Int(1), Value::Null(), Value::Null()}).ok());
   auto stats = t.GetStats(2);
   EXPECT_EQ(stats->null_count, 1u);
+}
+
+// --- segmented storage: geometry, zone maps, zero-copy views ---
+
+// Appends one row per value of `ids` with score = id * 1.5.
+void Fill(Table* t, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::String("r"),
+                              Value::Double(i * 1.5)})
+                    .ok());
+  }
+}
+
+TEST(SegmentTest, AppendStraddlesSegmentBoundary) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  // A single batch larger than one segment must split across segments.
+  RecordBatch batch(MakeSchema());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(batch.AppendRow({Value::Int(i), Value::String("r"),
+                                 Value::Double(i * 1.5)})
+                    .ok());
+  }
+  ASSERT_TRUE(t.AppendBatch(batch).ok());
+  EXPECT_EQ(t.num_rows(), 10u);
+  ASSERT_EQ(t.num_segments(), 3u);
+  EXPECT_EQ(t.segment_rows(0), 4u);
+  EXPECT_EQ(t.segment_rows(1), 4u);
+  EXPECT_EQ(t.segment_rows(2), 2u);
+  EXPECT_EQ(t.segment_row_begin(0), 0u);
+  EXPECT_EQ(t.segment_row_begin(1), 4u);
+  EXPECT_EQ(t.segment_row_begin(2), 8u);
+  // Row order is preserved across the boundary.
+  RecordBatch all = t.ScanAll();
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(all.column(0)->int_at(i), i);
+  }
+  // One batch INSERT is one version bump, regardless of segments touched.
+  EXPECT_EQ(t.versions().back().rows_affected, 10u);
+  EXPECT_EQ(t.current_version(), 1u);
+}
+
+TEST(SegmentTest, ZoneMapsTrackPerSegmentRanges) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 8);
+  ASSERT_EQ(t.num_segments(), 2u);
+  const ColumnStats& zm0 = t.segment_zone_map(0, 0);
+  EXPECT_TRUE(zm0.has_range);
+  EXPECT_DOUBLE_EQ(zm0.min, 0.0);
+  EXPECT_DOUBLE_EQ(zm0.max, 3.0);
+  const ColumnStats& zm1 = t.segment_zone_map(1, 0);
+  EXPECT_DOUBLE_EQ(zm1.min, 4.0);
+  EXPECT_DOUBLE_EQ(zm1.max, 7.0);
+  // String column: counted but no numeric range.
+  EXPECT_FALSE(t.segment_zone_map(0, 1).has_range);
+  EXPECT_EQ(t.segment_zone_map(0, 1).row_count, 4u);
+}
+
+TEST(SegmentTest, ScanSegmentIsZeroCopyView) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 8);
+  ASSERT_EQ(t.num_segments(), 2u);
+  for (size_t s = 0; s < t.num_segments(); ++s) {
+    RecordBatch view = t.ScanSegment(s);
+    EXPECT_FALSE(view.has_selection());  // full segment -> dense view
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(view.column(c).get(), t.segment_column(s, c).get())
+          << "segment " << s << " column " << c << " was copied";
+    }
+  }
+  // A sub-range shares the vectors too, through a selection view.
+  RecordBatch part = t.ScanSegment(1, 1, 3);
+  EXPECT_TRUE(part.has_selection());
+  ASSERT_EQ(part.num_rows(), 2u);
+  EXPECT_EQ(part.column(0).get(), t.segment_column(1, 0).get());
+  EXPECT_EQ(part.column(0)->int_at(part.selection()[0]), 5);
+}
+
+TEST(SegmentTest, FilterEmptyingSegmentDropsIt) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 12);
+  ASSERT_EQ(t.num_segments(), 3u);
+  // Segment 1 untouched: its column vectors must survive by identity.
+  ColumnVectorPtr seg1_col0 = t.segment_column(1, 0);
+  // Delete all of segment 0 and half of segment 2.
+  std::vector<bool> keep(12, true);
+  for (size_t i = 0; i < 4; ++i) keep[i] = false;
+  keep[8] = false;
+  keep[9] = false;
+  EXPECT_EQ(t.FilterInPlace(keep), 6u);
+  EXPECT_EQ(t.num_rows(), 6u);
+  ASSERT_EQ(t.num_segments(), 2u);  // emptied segment erased
+  // Former segment 1 is now segment 0, vectors unchanged.
+  EXPECT_EQ(t.segment_column(0, 0).get(), seg1_col0.get());
+  const ColumnStats& zm0 = t.segment_zone_map(0, 0);
+  EXPECT_DOUBLE_EQ(zm0.min, 4.0);
+  EXPECT_DOUBLE_EQ(zm0.max, 7.0);
+  // Rewritten segment's zone map reflects the surviving rows only.
+  const ColumnStats& zm1 = t.segment_zone_map(1, 0);
+  EXPECT_DOUBLE_EQ(zm1.min, 10.0);
+  EXPECT_DOUBLE_EQ(zm1.max, 11.0);
+  RecordBatch all = t.ScanAll();
+  EXPECT_EQ(all.column(0)->int_at(0), 4);
+  EXPECT_EQ(all.column(0)->int_at(5), 11);
+}
+
+TEST(SegmentTest, FilterPreservesSnapshotViews) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 8);
+  RecordBatch view = t.ScanSegment(0);
+  std::vector<bool> keep(8, true);
+  keep[1] = false;
+  EXPECT_EQ(t.FilterInPlace(keep), 1u);
+  // The rewrite swapped in fresh vectors; the old view still sees the
+  // pre-delete snapshot.
+  ASSERT_EQ(view.num_rows(), 4u);
+  EXPECT_EQ(view.column(0)->int_at(1), 1);
+  EXPECT_NE(view.column(0).get(), t.segment_column(0, 0).get());
+}
+
+TEST(SegmentTest, UpdateRewritesSealedSegmentColumn) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 8);
+  ASSERT_EQ(t.num_segments(), 2u);
+  EXPECT_TRUE(t.segment_zone_map(0, 2).has_range);
+  ColumnVectorPtr old_scores = t.segment_column(0, 2);
+  ColumnVectorPtr old_ids = t.segment_column(0, 0);
+  ColumnVectorPtr seg1_scores = t.segment_column(1, 2);
+  // Update a row inside the sealed first segment.
+  ASSERT_TRUE(t.UpdateColumn(2, {1}, {Value::Double(99.0)}).ok());
+  // Only (segment 0, column 2) got a fresh vector.
+  EXPECT_NE(t.segment_column(0, 2).get(), old_scores.get());
+  EXPECT_EQ(t.segment_column(0, 0).get(), old_ids.get());
+  EXPECT_EQ(t.segment_column(1, 2).get(), seg1_scores.get());
+  // Its zone map was recomputed; the untouched segment's was not widened.
+  EXPECT_DOUBLE_EQ(t.segment_zone_map(0, 2).max, 99.0);
+  EXPECT_DOUBLE_EQ(t.segment_zone_map(1, 2).max, 7 * 1.5);
+  EXPECT_DOUBLE_EQ(t.ScanAll().column(2)->double_at(1), 99.0);
+}
+
+TEST(SegmentTest, RestoreSegmentsReproducesLayout) {
+  Table src("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&src, 10);
+  std::vector<RecordBatch> images;
+  for (size_t s = 0; s < src.num_segments(); ++s) {
+    images.push_back(src.ScanSegment(s));
+  }
+  Table dst("t", MakeSchema(), /*segment_capacity=*/4);
+  ASSERT_TRUE(dst.RestoreSegments(images).ok());
+  ASSERT_EQ(dst.num_segments(), src.num_segments());
+  EXPECT_EQ(dst.num_rows(), src.num_rows());
+  for (size_t s = 0; s < src.num_segments(); ++s) {
+    EXPECT_EQ(dst.segment_rows(s), src.segment_rows(s));
+    const ColumnStats& a = dst.segment_zone_map(s, 0);
+    const ColumnStats& b = src.segment_zone_map(s, 0);
+    EXPECT_DOUBLE_EQ(a.min, b.min);
+    EXPECT_DOUBLE_EQ(a.max, b.max);
+  }
+  // Restoring into a non-empty table is rejected.
+  EXPECT_FALSE(dst.RestoreSegments(images).ok());
+  // The open segment still accepts appends at the right offset.
+  ASSERT_TRUE(dst.AppendRow({Value::Int(10), Value::String("r"),
+                             Value::Double(15.0)})
+                  .ok());
+  EXPECT_EQ(dst.num_segments(), 3u);
+  EXPECT_EQ(dst.segment_rows(2), 3u);
+}
+
+TEST(SegmentTest, StatsHasRangeFalseForEmptyAndAllNull) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  // Empty table: counts are zero and there is no range to report.
+  auto empty = t.GetStats(2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_range);
+  EXPECT_EQ(empty->row_count, 0u);
+  // All-NULL column across two segments: still no range.
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int(i), Value::Null(), Value::Null()}).ok());
+  }
+  auto all_null = t.GetStats(2);
+  ASSERT_TRUE(all_null.ok());
+  EXPECT_TRUE(all_null->numeric);
+  EXPECT_FALSE(all_null->has_range);
+  EXPECT_EQ(all_null->null_count, 6u);
+  EXPECT_EQ(all_null->row_count, 6u);
+  // One real value flips has_range on.
+  ASSERT_TRUE(t.AppendRow({Value::Int(6), Value::String("r"),
+                           Value::Double(-2.5)})
+                  .ok());
+  auto stats = t.GetStats(2);
+  EXPECT_TRUE(stats->has_range);
+  EXPECT_DOUBLE_EQ(stats->min, -2.5);
+  EXPECT_DOUBLE_EQ(stats->max, -2.5);
+}
+
+TEST(SegmentTest, StatsFoldAcrossSegments) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 10);
+  auto stats = t.GetStats(0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->min, 0.0);
+  EXPECT_DOUBLE_EQ(stats->max, 9.0);
+  EXPECT_EQ(stats->row_count, 10u);
+  EXPECT_EQ(stats->null_count, 0u);
+}
+
+TEST(SegmentTest, StatsCacheInvalidationIsColumnGranular) {
+  Table t("t", MakeSchema(), /*segment_capacity=*/4);
+  Fill(&t, 8);
+  ASSERT_TRUE(t.GetStats(0).ok());
+  ASSERT_TRUE(t.GetStats(2).ok());
+  EXPECT_TRUE(t.stats_cached(0));
+  EXPECT_TRUE(t.stats_cached(2));
+  // UPDATE on column 2 must not evict column 0's aggregate.
+  ASSERT_TRUE(t.UpdateColumn(2, {3}, {Value::Double(50.0)}).ok());
+  EXPECT_TRUE(t.stats_cached(0));
+  EXPECT_FALSE(t.stats_cached(2));
+  auto stats = t.GetStats(2);
+  EXPECT_DOUBLE_EQ(stats->max, 50.0);
+  // DELETE touches row counts everywhere: all columns are invalidated.
+  std::vector<bool> keep(8, true);
+  keep[0] = false;
+  t.FilterInPlace(keep);
+  EXPECT_FALSE(t.stats_cached(0));
+  EXPECT_FALSE(t.stats_cached(2));
+  EXPECT_DOUBLE_EQ(t.GetStats(0)->min, 1.0);
+}
+
+TEST(SegmentTest, ConcurrentGetStatsIsSafe) {
+  // Mirrors the engine's shared-lock phase: many readers, no mutators.
+  // Run under TSan to check the cache's internal synchronization.
+  Table t("t", MakeSchema(), /*segment_capacity=*/64);
+  Fill(&t, 500);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        for (size_t c = 0; c < 3; ++c) {
+          auto stats = t.GetStats(c);
+          ASSERT_TRUE(stats.ok());
+          EXPECT_EQ(stats->row_count, 500u);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(t.GetStats(0)->max, 499.0);
+}
+
+TEST(DatabaseTest, TablesUseConfiguredDefaultSegmentCapacity) {
+  Database db;
+  db.set_default_segment_capacity(8);
+  ASSERT_TRUE(db.CreateTable("small", MakeSchema()).ok());
+  auto t = db.GetTable("small");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->segment_capacity(), 8u);
+  // An explicit per-table capacity overrides the catalog default.
+  ASSERT_TRUE(db.CreateTable("big", MakeSchema(), 32).ok());
+  EXPECT_EQ((*db.GetTable("big"))->segment_capacity(), 32u);
 }
 
 TEST(DatabaseTest, CreateGetDrop) {

@@ -14,6 +14,7 @@
 
 #include "storage/record_batch.h"
 #include "storage/schema.h"
+#include "storage/serialization.h"
 #include "storage/value.h"
 #include "wal/checkpoint.h"
 #include "wal/fault_injector.h"
@@ -412,9 +413,12 @@ TEST(FaultInjectorTest, SkipCountDelaysTheFault) {
 
 TEST(FaultInjectorTest, PointsListsWritePathThenCheckpointPath) {
   const std::vector<std::string>& points = FaultInjector::Points();
-  ASSERT_EQ(points.size(), 8u);
+  ASSERT_EQ(points.size(), 9u);
   EXPECT_EQ(points.front(), "wal.append.before_write");
   EXPECT_EQ(points.back(), "checkpoint.after_wal_reset");
+  // The segment-flush point sits between snapshot write and rename, so the
+  // crash matrix exercises a torn checkpoint image with flushed segments.
+  EXPECT_EQ(points[5], "checkpoint.after_segment_flush");
 }
 
 SnapshotData SampleSnapshot() {
@@ -423,7 +427,8 @@ SnapshotData SampleSnapshot() {
   TableSnapshot table;
   table.name = "t";
   table.schema = TwoColSchema();
-  table.rows = SmallBatch();
+  table.segment_capacity = 4;
+  table.segments.push_back(SmallBatch());
   data.tables.push_back(std::move(table));
   ModelSnapshot model;
   model.name = "churn";
@@ -468,8 +473,10 @@ TEST(SnapshotTest, EncodeDecodeRoundTrip) {
   ASSERT_EQ(decoded->tables.size(), 1u);
   EXPECT_EQ(decoded->tables[0].name, "t");
   EXPECT_TRUE(decoded->tables[0].schema == data.tables[0].schema);
-  EXPECT_EQ(decoded->tables[0].rows.ToString(),
-            data.tables[0].rows.ToString());
+  EXPECT_EQ(decoded->tables[0].segment_capacity, 4u);
+  ASSERT_EQ(decoded->tables[0].segments.size(), 1u);
+  EXPECT_EQ(decoded->tables[0].segments[0].ToString(),
+            data.tables[0].segments[0].ToString());
   ASSERT_EQ(decoded->models.size(), 1u);
   EXPECT_EQ(decoded->models[0].name, "churn");
   EXPECT_EQ(decoded->models[0].allowed_principals,
@@ -485,6 +492,93 @@ TEST(SnapshotTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->entities[0].properties.at("auc"), "0.91");
   ASSERT_EQ(decoded->edges.size(), 1u);
   EXPECT_EQ(decoded->edges[0].type, prov::EdgeType::kVersionOf);
+}
+
+// Hand-encodes a version-1 snapshot image: one table stored as a single
+// monolithic batch with no segment metadata (the pre-segmentation format).
+std::string EncodeV1Snapshot(const RecordBatch& rows) {
+  std::string payload;
+  storage::PutU32(&payload, 1);  // format version 1
+  storage::PutU64(&payload, 9);  // epoch
+  storage::PutU32(&payload, 1);  // one table
+  storage::PutString(&payload, "t");
+  storage::SerializeSchema(TwoColSchema(), &payload);
+  storage::SerializeBatch(rows, &payload);
+  storage::PutU32(&payload, 0);  // models
+  storage::PutU32(&payload, 0);  // audit events
+  storage::PutU64(&payload, 0);  // policy next seq
+  storage::PutU32(&payload, 0);  // timeline
+  storage::PutU32(&payload, 0);  // entities
+  storage::PutU32(&payload, 0);  // edges
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.append(payload);
+  storage::PutU32(&out, Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+TEST(SnapshotTest, VersionOneImageStillDecodes) {
+  auto decoded = DecodeSnapshot(EncodeV1Snapshot(SmallBatch()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->tables.size(), 1u);
+  const TableSnapshot& t = decoded->tables[0];
+  // Capacity 0 marks a v1 image: restore repacks at the catalog default.
+  EXPECT_EQ(t.segment_capacity, 0u);
+  ASSERT_EQ(t.segments.size(), 1u);
+  EXPECT_EQ(t.segments[0].ToString(), SmallBatch().ToString());
+}
+
+TEST(SnapshotTest, VersionOneEmptyTableDecodesToNoSegments) {
+  auto decoded = DecodeSnapshot(EncodeV1Snapshot(RecordBatch(TwoColSchema())));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->tables.size(), 1u);
+  EXPECT_TRUE(decoded->tables[0].segments.empty());
+}
+
+TEST(SnapshotTest, MultiSegmentTableRoundTrips) {
+  SnapshotData data;
+  data.epoch = 3;
+  TableSnapshot table;
+  table.name = "t";
+  table.schema = TwoColSchema();
+  table.segment_capacity = 2;
+  for (int s = 0; s < 3; ++s) {
+    RecordBatch seg(TwoColSchema());
+    EXPECT_TRUE(
+        seg.AppendRow({Value::Int(2 * s), Value::Double(s * 0.5)}).ok());
+    if (s < 2) {  // last segment half-full, like a live open segment
+      EXPECT_TRUE(seg.AppendRow({Value::Int(2 * s + 1), Value::Null()}).ok());
+    }
+    table.segments.push_back(std::move(seg));
+  }
+  data.tables.push_back(std::move(table));
+  auto decoded = DecodeSnapshot(EncodeSnapshot(data));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const TableSnapshot& t = decoded->tables[0];
+  EXPECT_EQ(t.segment_capacity, 2u);
+  ASSERT_EQ(t.segments.size(), 3u);
+  EXPECT_EQ(t.segments[0].num_rows(), 2u);
+  EXPECT_EQ(t.segments[2].num_rows(), 1u);
+  EXPECT_EQ(t.segments[2].column(0)->int_at(0), 4);
+}
+
+TEST(SnapshotTest, ZeroSegmentCapacityInV2ImageIsDataLoss) {
+  SnapshotData data = SampleSnapshot();
+  data.tables[0].segment_capacity = 0;  // corrupt: v2 requires a capacity
+  auto decoded = DecodeSnapshot(EncodeSnapshot(data));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, FutureFormatVersionIsDataLoss) {
+  std::string payload;
+  storage::PutU32(&payload, kSnapshotFormatVersion + 1);
+  storage::PutU64(&payload, 1);
+  std::string buf(kSnapshotMagic, sizeof(kSnapshotMagic));
+  buf.append(payload);
+  storage::PutU32(&buf, Crc32(payload.data(), payload.size()));
+  auto decoded = DecodeSnapshot(buf);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(SnapshotTest, CorruptedPayloadIsDataLoss) {
