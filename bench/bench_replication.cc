@@ -1,0 +1,422 @@
+// Replication benchmark: how fast a replica catches up, how far it
+// trails a writing primary at steady state, and what read latency looks
+// like when read traffic fans out over 1/2/4 replicas.
+//
+// Three phases against one durable primary (users table + churn GBDT +
+// a WAL fattened with single-row writes, so catch-up applies thousands
+// of records):
+//
+//  * catch_up — a cold replica bootstraps from the snapshot and drains
+//    the log; reported as records/s and MB/s of stream payload.
+//  * steady_state — a replica streams in the background while the
+//    primary keeps committing; the applier's lag gauge is sampled after
+//    every commit, plus the time from the last commit to convergence.
+//  * replica_reads — R caught-up replicas each behind their own
+//    PredictionServer; 4 closed-loop clients send the mixed
+//    SELECT/PREDICT template set round-robin across the fleet. Client-
+//    side p50/p99 and aggregate qps per fleet size.
+//
+// Output: human-readable table on stdout plus JSON in the same schema
+// family as the other benches (stdout, or a file when a path is passed
+// as argv[1]).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "flock/flock_engine.h"
+#include "ml/tree.h"
+#include "repl/applier.h"
+#include "repl/publisher.h"
+#include "serve/server.h"
+
+namespace {
+
+constexpr size_t kUserRows = 500;
+constexpr size_t kWalFattenWrites = 2000;
+constexpr size_t kSteadyWrites = 400;
+constexpr size_t kReadClients = 4;
+constexpr int kReadsPerClient = 400;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/flock_bench_repl_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return std::string(dir);
+}
+
+/// users table + churn GBDT (the serving-bench shape), then
+/// kWalFattenWrites single-row statements so the epoch log holds
+/// thousands of records for the catch-up phase to chew through.
+bool Check(const flock::Status& status, const char* what) {
+  if (status.ok()) return true;
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return false;
+}
+
+bool BuildPrimary(flock::flock::FlockEngine* engine) {
+  if (!Check(engine
+                 ->Execute("CREATE TABLE users (id INT, age DOUBLE, "
+                           "income DOUBLE, tenure DOUBLE, clicks DOUBLE, "
+                           "plan VARCHAR)")
+                 .status(),
+             "create table")) {
+    return false;
+  }
+  flock::Random rng(7);
+  const char* plans[] = {"basic", "plus", "pro"};
+  flock::ml::Matrix raw(kUserRows, 5);
+  std::vector<double> labels(kUserRows);
+  std::string insert = "INSERT INTO users VALUES ";
+  for (size_t i = 0; i < kUserRows; ++i) {
+    double age = 20 + rng.NextDouble() * 50;
+    double income = 30 + rng.NextDouble() * 120;
+    double tenure = rng.NextDouble() * 10;
+    double clicks = rng.NextDouble() * 100;
+    size_t plan = rng.Uniform(3);
+    raw.at(i, 0) = age;
+    raw.at(i, 1) = income;
+    raw.at(i, 2) = tenure;
+    raw.at(i, 3) = clicks;
+    raw.at(i, 4) = static_cast<double>(plan);
+    double z = 0.08 * (age - 45) - 0.02 * (income - 90) - 0.4 * tenure +
+               0.03 * clicks;
+    labels[i] = z > 0 ? 1.0 : 0.0;
+    if (i > 0) insert += ", ";
+    char row[160];
+    std::snprintf(row, sizeof(row), "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')",
+                  i, age, income, tenure, clicks, plans[plan]);
+    insert += row;
+  }
+  if (!Check(engine->Execute(insert).status(), "seed insert")) return false;
+
+  flock::ml::Pipeline pipeline;
+  std::vector<flock::ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(
+        flock::ml::FeatureSpec{n, flock::ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(flock::ml::FeatureSpec{
+      "plan", flock::ml::FeatureKind::kCategorical,
+      {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(flock::ml::ModelTask::kBinaryClassification);
+  pipeline.FitFeaturizers(raw, true, true);
+  flock::ml::Dataset features;
+  features.x = pipeline.Transform(raw);
+  features.y = labels;
+  flock::ml::GbtOptions gbt;
+  gbt.num_trees = 8;
+  gbt.max_depth = 3;
+  pipeline.SetTreeModel(flock::ml::TrainGradientBoosting(features, gbt));
+  if (!Check(engine->DeployModel("churn", std::move(pipeline), "bench",
+                                 "bench_replication"),
+             "deploy model")) {
+    return false;
+  }
+
+  for (size_t i = 0; i < kWalFattenWrites; ++i) {
+    char sql[96];
+    std::snprintf(sql, sizeof(sql),
+                  "UPDATE users SET clicks = %.3f WHERE id = %zu",
+                  static_cast<double>(i % 97), i % kUserRows);
+    if (!Check(engine->Execute(sql).status(), "fatten write")) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ReadTemplates() {
+  const std::string predict =
+      "PREDICT(churn, age, income, tenure, clicks, plan)";
+  std::vector<std::string> templates;
+  for (int t : {100, 250, 400}) {
+    templates.push_back("SELECT COUNT(*) FROM users WHERE id < " +
+                        std::to_string(t));
+  }
+  for (const char* threshold : {"0.4", "0.6"}) {
+    templates.push_back("SELECT COUNT(*) FROM users WHERE " + predict +
+                        " > " + threshold);
+  }
+  for (int id : {17, 171}) {
+    templates.push_back("SELECT id, " + predict + " FROM users WHERE id = " +
+                        std::to_string(id));
+  }
+  return templates;
+}
+
+flock::flock::FlockEngineOptions SerialEngineOptions() {
+  flock::flock::FlockEngineOptions options;
+  options.sql.num_threads = 1;
+  return options;
+}
+
+/// A memory-only replica wired to the primary's data directory.
+struct Replica {
+  std::unique_ptr<flock::flock::FlockEngine> engine;
+  std::unique_ptr<flock::repl::ReplicationPublisher> publisher;
+  std::unique_ptr<flock::repl::ReplicaApplier> applier;
+};
+
+Replica MakeReplica(const std::string& dir,
+                    flock::repl::ReplicaApplierOptions options = {}) {
+  Replica replica;
+  replica.engine =
+      std::make_unique<flock::flock::FlockEngine>(SerialEngineOptions());
+  if (!replica.engine->OpenAsReplica().ok()) {
+    std::fprintf(stderr, "OpenAsReplica failed\n");
+    std::exit(1);
+  }
+  replica.publisher =
+      std::make_unique<flock::repl::ReplicationPublisher>(dir);
+  replica.applier = std::make_unique<flock::repl::ReplicaApplier>(
+      replica.engine.get(), replica.publisher.get(), options);
+  return replica;
+}
+
+struct CatchUpResult {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  double wall_ms = 0.0;
+  double records_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+CatchUpResult RunCatchUp(const std::string& dir) {
+  Replica replica = MakeReplica(dir);
+  flock::Stopwatch wall;
+  if (!replica.applier->CatchUp().ok()) {
+    std::fprintf(stderr, "catch-up failed\n");
+    std::exit(1);
+  }
+  CatchUpResult result;
+  result.wall_ms = wall.ElapsedMillis();
+  result.records = replica.applier->records_applied();
+  result.bytes = replica.applier->bytes_received();
+  result.records_per_sec = result.records / (result.wall_ms / 1000.0);
+  result.mb_per_sec =
+      (result.bytes / (1024.0 * 1024.0)) / (result.wall_ms / 1000.0);
+  return result;
+}
+
+struct SteadyStateResult {
+  uint64_t writes = 0;
+  uint64_t max_lag = 0;
+  double mean_lag = 0.0;
+  double converge_ms = 0.0;
+};
+
+SteadyStateResult RunSteadyState(const std::string& dir,
+                                 flock::flock::FlockEngine* primary) {
+  flock::repl::ReplicaApplierOptions options;
+  options.poll_interval_ms = 1;
+  Replica replica = MakeReplica(dir, options);
+  if (!replica.applier->CatchUp().ok()) {
+    std::fprintf(stderr, "steady-state warmup failed\n");
+    std::exit(1);
+  }
+  replica.applier->Start();
+
+  SteadyStateResult result;
+  result.writes = kSteadyWrites;
+  uint64_t lag_sum = 0;
+  for (size_t i = 0; i < kSteadyWrites; ++i) {
+    char sql[96];
+    std::snprintf(sql, sizeof(sql),
+                  "UPDATE users SET tenure = %.3f WHERE id = %zu",
+                  static_cast<double>(i % 11), i % kUserRows);
+    if (!primary->Execute(sql).ok()) {
+      std::fprintf(stderr, "steady-state write failed\n");
+      std::exit(1);
+    }
+    uint64_t lag = replica.applier->lag_records();
+    if (lag != UINT64_MAX) {
+      lag_sum += lag;
+      result.max_lag = std::max(result.max_lag, lag);
+    }
+  }
+  result.mean_lag = static_cast<double>(lag_sum) / kSteadyWrites;
+  flock::Stopwatch converge;
+  while (!replica.applier->caught_up() ||
+         replica.applier->lag_records() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  result.converge_ms = converge.ElapsedMillis();
+  replica.applier->Stop();
+  return result;
+}
+
+struct ReadResult {
+  size_t replicas = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+ReadResult RunReads(const std::string& dir, size_t num_replicas) {
+  std::vector<Replica> fleet;
+  std::vector<std::unique_ptr<flock::serve::PredictionServer>> servers;
+  for (size_t r = 0; r < num_replicas; ++r) {
+    fleet.push_back(MakeReplica(dir));
+    if (!fleet.back().applier->CatchUp().ok()) {
+      std::fprintf(stderr, "replica %zu catch-up failed\n", r);
+      std::exit(1);
+    }
+    servers.push_back(std::make_unique<flock::serve::PredictionServer>(
+        fleet[r].engine.get()));
+  }
+
+  const std::vector<std::string> templates = ReadTemplates();
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(kReadClients);
+  flock::Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kReadClients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(kReadsPerClient);
+      // Each client pins to one replica round-robin by client index —
+      // the fleet-level balancing a fronting proxy would do.
+      flock::serve::LoopbackClient client(
+          servers[c % num_replicas].get());
+      if (!client.status().ok()) {
+        errors.fetch_add(kReadsPerClient);
+        return;
+      }
+      for (int i = 0; i < kReadsPerClient; ++i) {
+        const std::string& sql = templates[(i + c * 3) % templates.size()];
+        flock::Stopwatch request;
+        auto result = client.Execute(sql);
+        latencies[c].push_back(request.ElapsedMillis());
+        if (!result.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_ms = wall.ElapsedMillis();
+  for (auto& server : servers) server->Shutdown();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  ReadResult result;
+  result.replicas = num_replicas;
+  result.requests = kReadClients * kReadsPerClient;
+  result.errors = errors.load();
+  result.wall_ms = wall_ms;
+  result.qps = result.requests / (wall_ms / 1000.0);
+  if (!all.empty()) {
+    result.p50_ms = all[all.size() / 2];
+    result.p99_ms = all[std::min(all.size() - 1,
+                                 (all.size() * 99) / 100)];
+  }
+  return result;
+}
+
+void EmitJson(std::FILE* out, const CatchUpResult& catch_up,
+              const SteadyStateResult& steady,
+              const std::vector<ReadResult>& reads) {
+  std::fprintf(out, "{\n  \"benchmark\": \"replication\",\n");
+  std::fprintf(out,
+               "  \"catch_up\": {\"records\": %llu, \"bytes\": %llu, "
+               "\"wall_ms\": %.1f, \"records_per_sec\": %.0f, "
+               "\"mb_per_sec\": %.2f},\n",
+               static_cast<unsigned long long>(catch_up.records),
+               static_cast<unsigned long long>(catch_up.bytes),
+               catch_up.wall_ms, catch_up.records_per_sec,
+               catch_up.mb_per_sec);
+  std::fprintf(out,
+               "  \"steady_state\": {\"writes\": %llu, "
+               "\"mean_lag_records\": %.2f, \"max_lag_records\": %llu, "
+               "\"converge_ms\": %.1f},\n",
+               static_cast<unsigned long long>(steady.writes),
+               steady.mean_lag,
+               static_cast<unsigned long long>(steady.max_lag),
+               steady.converge_ms);
+  std::fprintf(out, "  \"replica_reads\": [\n");
+  for (size_t i = 0; i < reads.size(); ++i) {
+    const ReadResult& r = reads[i];
+    std::fprintf(out,
+                 "    {\"replicas\": %zu, \"clients\": %zu, "
+                 "\"requests\": %llu, \"errors\": %llu, "
+                 "\"wall_ms\": %.1f, \"qps\": %.0f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 r.replicas, kReadClients,
+                 static_cast<unsigned long long>(r.requests),
+                 static_cast<unsigned long long>(r.errors), r.wall_ms,
+                 r.qps, r.p50_ms, r.p99_ms,
+                 i + 1 < reads.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = MakeTempDir();
+  flock::flock::FlockEngine primary(SerialEngineOptions());
+  if (!primary.Open(dir).ok()) {
+    std::fprintf(stderr, "primary open failed\n");
+    return 1;
+  }
+  std::printf("replication benchmark: %zu users + churn model, "
+              "%zu catch-up records, %zu steady-state writes\n\n",
+              kUserRows, kWalFattenWrites, kSteadyWrites);
+  if (!BuildPrimary(&primary)) {
+    std::fprintf(stderr, "primary setup failed\n");
+    return 1;
+  }
+
+  CatchUpResult catch_up = RunCatchUp(dir);
+  std::printf("catch-up:      %llu records in %.1f ms "
+              "(%.0f records/s, %.2f MB/s)\n",
+              static_cast<unsigned long long>(catch_up.records),
+              catch_up.wall_ms, catch_up.records_per_sec,
+              catch_up.mb_per_sec);
+
+  SteadyStateResult steady = RunSteadyState(dir, &primary);
+  std::printf("steady-state:  mean lag %.2f records, max %llu, "
+              "converged %.1f ms after last write\n",
+              steady.mean_lag,
+              static_cast<unsigned long long>(steady.max_lag),
+              steady.converge_ms);
+
+  std::printf("\n%9s %8s %10s %10s %10s %6s\n", "replicas", "clients",
+              "qps", "p50(ms)", "p99(ms)", "err");
+  std::vector<ReadResult> reads;
+  for (size_t replicas : {1, 2, 4}) {
+    ReadResult r = RunReads(dir, replicas);
+    std::printf("%9zu %8zu %10.0f %10.3f %10.3f %6llu\n", r.replicas,
+                kReadClients, r.qps, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.errors));
+    reads.push_back(r);
+  }
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("\nwriting JSON to %s\n", argv[1]);
+  } else {
+    std::printf("\n");
+  }
+  EmitJson(out, catch_up, steady, reads);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

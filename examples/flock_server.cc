@@ -7,12 +7,22 @@
 // graceful drain (in-flight queries finish, new ones are refused).
 //
 //   ./flock_server [port] [workers] [queue_depth] [--data-dir=PATH]
+//   ./flock_server [port] ... --replica-of=HOST:PORT [--staleness-bound=N]
 //   ./flock_client 127.0.0.1 5433
 //
 // With --data-dir the server is durable: it recovers any existing
 // snapshot + WAL from PATH on startup (skipping the demo build when the
 // data survived), logs every mutation, and the SIGINT drain checkpoints
-// before exit so a restart replays nothing.
+// before exit so a restart replays nothing. A durable server also
+// answers `.repl bootstrap` / `.repl fetch` so replicas can stream its
+// WAL.
+//
+// With --replica-of the server comes up as a read-only replica: it
+// bootstraps a snapshot from the primary over the `.repl` endpoint,
+// streams WAL records continuously, serves SELECT/EXPLAIN traffic from
+// the replicated state, answers writes and DDL with `ERR Redirect`, and
+// sheds reads with `ERR Unavailable` whenever replication lag exceeds
+// --staleness-bound records (bounded staleness).
 //
 // The demo database is a `users` table with a deployed GBDT `churn`
 // model, so PREDICT traffic works out of the box:
@@ -29,9 +39,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +51,10 @@
 #include "common/random.h"
 #include "flock/flock_engine.h"
 #include "ml/tree.h"
+#include "repl/applier.h"
+#include "repl/metrics.h"
+#include "repl/publisher.h"
+#include "repl/wire.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
@@ -109,8 +125,201 @@ bool BuildDemoDatabase(flock::flock::FlockEngine* engine, size_t rows) {
                              "examples/flock_server").ok();
 }
 
-void ServeConnection(flock::serve::PredictionServer* server, int fd) {
+/// ReplicationSource over the `.repl` wire protocol: a socket client
+/// against a remote primary flock_server. One persistent connection; any
+/// transport failure closes it and surfaces as Unavailable, so the
+/// applier's retry-with-backoff policy doubles as the reconnect loop.
+class TcpReplicationSource : public flock::repl::ReplicationSource {
+ public:
+  TcpReplicationSource(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~TcpReplicationSource() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  flock::StatusOr<flock::repl::BootstrapResult> Bootstrap() override {
+    auto text = Roundtrip(".repl bootstrap\n");
+    if (!text.ok()) return text.status();
+    return flock::repl::ParseBootstrapResponse(*text);
+  }
+
+  flock::StatusOr<flock::repl::FetchResult> Fetch(
+      flock::repl::ReplicationPosition from, size_t max_records) override {
+    auto text = Roundtrip(".repl fetch " + std::to_string(from.epoch) +
+                          " " + std::to_string(from.lsn) + " " +
+                          std::to_string(max_records) + "\n");
+    if (!text.ok()) return text.status();
+    return flock::repl::ParseFetchResponse(*text);
+  }
+
+  flock::StatusOr<flock::repl::ReplicationPosition> DurableEnd() override {
+    auto text = Roundtrip(".repl status\n");
+    if (!text.ok()) return text.status();
+    auto status = flock::repl::ParseStatusResponse(*text);
+    if (!status.ok()) return status.status();
+    return status->position;
+  }
+
+ private:
+  flock::Status Connect() {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return flock::Status::Unavailable(std::string("socket: ") +
+                                        std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      return flock::Status::InvalidArgument(
+          "--replica-of host must be an IPv4 address: " + host_);
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      close(fd);
+      return flock::Status::Unavailable("connect " + host_ + ":" +
+                                        std::to_string(port_) + ": " +
+                                        std::strerror(errno));
+    }
+    fd_ = fd;
+    return flock::Status::OK();
+  }
+
+  flock::Status Disconnect(const std::string& what) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+    return flock::Status::Unavailable(what + " (" + host_ + ":" +
+                                      std::to_string(port_) + ")");
+  }
+
+  /// "ERR <CodeName> <message>" back into the Status it came from, so
+  /// the applier sees the primary's real error taxonomy (DataLoss is
+  /// fatal, Unavailable retries) instead of a flattened transport error.
+  static flock::Status DecodeWireError(const std::string& line) {
+    using flock::StatusCode;
+    std::string rest = line.substr(std::strlen("ERR "));
+    size_t space = rest.find(' ');
+    std::string name = rest.substr(0, space);
+    std::string msg =
+        space == std::string::npos ? "" : rest.substr(space + 1);
+    for (StatusCode code :
+         {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+          StatusCode::kAlreadyExists, StatusCode::kNotSupported,
+          StatusCode::kInternal, StatusCode::kAborted,
+          StatusCode::kOutOfRange, StatusCode::kPermissionDenied,
+          StatusCode::kParseError, StatusCode::kUnavailable,
+          StatusCode::kDataLoss, StatusCode::kRedirect}) {
+      if (name == flock::StatusCodeName(code)) {
+        return flock::Status(code, msg);
+      }
+    }
+    return flock::Status::Internal("unparseable wire error: " + line);
+  }
+
+  /// Sends one request line, reads one complete response (through the
+  /// END terminator, or a single ERR line).
+  flock::StatusOr<std::string> Roundtrip(const std::string& request) {
+    if (fd_ < 0) {
+      flock::Status connected = Connect();
+      if (!connected.ok()) return connected;
+    }
+    if (write(fd_, request.data(), request.size()) !=
+        static_cast<ssize_t>(request.size())) {
+      return Disconnect("write to primary failed");
+    }
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+      if (buffer.rfind("ERR ", 0) == 0) {
+        size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+          // The protocol stays in sync after an ERR; keep the socket.
+          return DecodeWireError(buffer.substr(0, newline));
+        }
+      } else if (buffer.size() >= 5 &&
+                 buffer.compare(buffer.size() - 5, 5, "\nEND\n") == 0) {
+        return buffer;
+      }
+      ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return Disconnect("primary connection closed");
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+/// What a connection thread needs beyond the server itself: the data
+/// directory (so each replica connection gets its own publisher cursor)
+/// and, in replica mode, the applier (so `.repl status` reports the
+/// applied position).
+struct ConnectionContext {
+  flock::serve::PredictionServer* server = nullptr;
+  std::string data_dir;                            // "" = not durable
+  flock::repl::ReplicaApplier* applier = nullptr;  // set in replica mode
+};
+
+/// `.repl <args>` dispatch. The publisher is lazily created per
+/// connection — each replica's stream holds its own WAL cursor.
+std::string HandleRepl(
+    ConnectionContext* ctx,
+    std::unique_ptr<flock::repl::ReplicationPublisher>* publisher,
+    const std::string& args) {
+  using flock::repl::ReplCommand;
+  ReplCommand cmd = flock::repl::ParseReplCommand(args);
+  if (cmd.kind == ReplCommand::Kind::kInvalid) {
+    return flock::serve::EncodeError(
+        flock::Status::InvalidArgument(cmd.error));
+  }
+  if (ctx->applier != nullptr) {
+    // A replica reports its applied position but does not publish:
+    // chaining replicas would stream state nobody has made durable.
+    if (cmd.kind == ReplCommand::Kind::kStatus) {
+      return flock::repl::EncodeStatusResponse("replica",
+                                               ctx->applier->applied());
+    }
+    return flock::serve::EncodeError(flock::Status::Redirect(
+        "replica does not publish; bootstrap and fetch from the primary"));
+  }
+  if (ctx->data_dir.empty()) {
+    return flock::serve::EncodeError(flock::Status::NotSupported(
+        "replication requires a durable primary (start with --data-dir)"));
+  }
+  if (!*publisher) {
+    *publisher = std::make_unique<flock::repl::ReplicationPublisher>(
+        ctx->data_dir);
+  }
+  switch (cmd.kind) {
+    case ReplCommand::Kind::kStatus: {
+      auto end = (*publisher)->DurableEnd();
+      if (!end.ok()) return flock::serve::EncodeError(end.status());
+      return flock::repl::EncodeStatusResponse("primary", *end);
+    }
+    case ReplCommand::Kind::kBootstrap: {
+      auto bootstrap = (*publisher)->Bootstrap();
+      if (!bootstrap.ok()) {
+        return flock::serve::EncodeError(bootstrap.status());
+      }
+      return flock::repl::EncodeBootstrapResponse(*bootstrap);
+    }
+    case ReplCommand::Kind::kFetch: {
+      auto fetch = (*publisher)->Fetch(cmd.from, cmd.max_records);
+      if (!fetch.ok()) return flock::serve::EncodeError(fetch.status());
+      return flock::repl::EncodeFetchResponse(*fetch);
+    }
+    case ReplCommand::Kind::kInvalid:
+      break;  // handled above
+  }
+  return flock::serve::EncodeError(
+      flock::Status::Internal("unhandled repl command"));
+}
+
+void ServeConnection(ConnectionContext* ctx, int fd) {
   using flock::serve::Request;
+  flock::serve::PredictionServer* server = ctx->server;
+  std::unique_ptr<flock::repl::ReplicationPublisher> publisher;
   auto session_or = server->OpenSession();
   if (!session_or.ok()) {
     std::string err = flock::serve::EncodeError(session_or.status());
@@ -197,6 +406,9 @@ void ServeConnection(flock::serve::PredictionServer* server, int fd) {
       case Request::Kind::kSession:
         response = "session " + std::to_string(session) + "\n";
         break;
+      case Request::Kind::kRepl:
+        response = HandleRepl(ctx, &publisher, request.text);
+        break;
       case Request::Kind::kQuit:
         open = false;
         continue;
@@ -213,6 +425,8 @@ void ServeConnection(flock::serve::PredictionServer* server, int fd) {
 
 int main(int argc, char** argv) {
   std::string data_dir;
+  std::string replica_of;
+  uint64_t staleness_bound = 10000;  // records behind before shedding reads
   std::vector<int> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -220,9 +434,22 @@ int main(int argc, char** argv) {
       data_dir = arg.substr(std::strlen("--data-dir="));
     } else if (arg == "--data-dir" && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (arg.rfind("--replica-of=", 0) == 0) {
+      replica_of = arg.substr(std::strlen("--replica-of="));
+    } else if (arg == "--replica-of" && i + 1 < argc) {
+      replica_of = argv[++i];
+    } else if (arg.rfind("--staleness-bound=", 0) == 0) {
+      staleness_bound = std::strtoull(
+          arg.c_str() + std::strlen("--staleness-bound="), nullptr, 10);
     } else {
       positional.push_back(std::atoi(arg.c_str()));
     }
+  }
+  if (!replica_of.empty() && !data_dir.empty()) {
+    std::fprintf(stderr,
+                 "--replica-of and --data-dir are mutually exclusive "
+                 "(replicas are memory-only until promoted)\n");
+    return 1;
   }
   int port = positional.size() > 0 ? positional[0] : 5433;
   flock::serve::ServerOptions options;
@@ -235,6 +462,51 @@ int main(int argc, char** argv) {
   flock::flock::FlockEngineOptions engine_options;
   engine_options.sql.num_threads = 1;
   flock::flock::FlockEngine engine(engine_options);
+  std::unique_ptr<TcpReplicationSource> source;
+  std::unique_ptr<flock::repl::ReplicaApplier> applier;
+  if (!replica_of.empty()) {
+    size_t colon = replica_of.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= replica_of.size()) {
+      std::fprintf(stderr, "--replica-of wants HOST:PORT, got %s\n",
+                   replica_of.c_str());
+      return 1;
+    }
+    flock::Status replica_open = engine.OpenAsReplica();
+    if (!replica_open.ok()) {
+      std::fprintf(stderr, "open as replica: %s\n",
+                   replica_open.ToString().c_str());
+      return 1;
+    }
+    source = std::make_unique<TcpReplicationSource>(
+        replica_of.substr(0, colon),
+        std::atoi(replica_of.c_str() + colon + 1));
+    applier = std::make_unique<flock::repl::ReplicaApplier>(&engine,
+                                                            source.get());
+    flock::Status caught_up = applier->CatchUp();
+    if (!caught_up.ok()) {
+      std::fprintf(stderr, "catch-up from %s: %s\n", replica_of.c_str(),
+                   caught_up.ToString().c_str());
+      return 1;
+    }
+    applier->Start();
+    // Bounded staleness: reads are shed (Unavailable) while the applier
+    // is more than staleness_bound records behind the primary's log.
+    flock::repl::ReplicaApplier* gate = applier.get();
+    uint64_t bound = staleness_bound;
+    options.read_gate = [gate, bound]() -> flock::Status {
+      uint64_t lag = gate->lag_records();
+      if (lag <= bound) return flock::Status::OK();
+      std::string lag_text = lag == UINT64_MAX ? std::string("inf")
+                                               : std::to_string(lag);
+      return flock::Status::Unavailable(
+          "replica lag " + lag_text + " records exceeds staleness bound " +
+          std::to_string(bound));
+    };
+    std::printf("replica of %s: caught up at %s "
+                "(staleness bound %llu records)\n",
+                replica_of.c_str(), applier->applied().ToString().c_str(),
+                static_cast<unsigned long long>(staleness_bound));
+  }
   if (!data_dir.empty()) {
     flock::Status opened = engine.Open(data_dir);
     if (!opened.ok()) {
@@ -252,14 +524,19 @@ int main(int argc, char** argv) {
   }
   // A recovered data dir already holds the users table and churn model;
   // rebuilding would fail on CREATE TABLE (AlreadyExists) and re-log the
-  // whole demo, so only build into a fresh engine.
-  if (!engine.database()->HasTable("users")) {
+  // whole demo, so only build into a fresh engine. Replicas never build:
+  // their state comes from the primary's snapshot + log.
+  if (replica_of.empty() && !engine.database()->HasTable("users")) {
     if (!BuildDemoDatabase(&engine, 2000)) {
       std::fprintf(stderr, "demo database setup failed\n");
       return 1;
     }
   }
   flock::serve::PredictionServer server(&engine, options);
+  if (applier) {
+    flock::repl::RegisterReplicaMetrics(server.metrics_registry(),
+                                        applier.get());
+  }
 
   int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -284,21 +561,28 @@ int main(int argc, char** argv) {
   signal(SIGPIPE, SIG_IGN);
 
   std::printf(
-      "flock_server listening on port %d (%zu workers, queue %zu)\n"
+      "flock_server listening on port %d (%zu workers, queue %zu%s)\n"
       "try: ./flock_client 127.0.0.1 %d\n",
       port, options.admission.num_workers,
-      options.admission.max_queue_depth, port);
+      options.admission.max_queue_depth,
+      replica_of.empty() ? "" : ", read-only replica", port);
+
+  ConnectionContext context;
+  context.server = &server;
+  context.data_dir = data_dir;
+  context.applier = applier.get();
 
   std::vector<std::thread> connections;
   while (true) {
     int fd = accept(listen_fd, nullptr, nullptr);
     if (fd < 0) break;  // listen socket closed by SIGINT
-    connections.emplace_back(ServeConnection, &server, fd);
+    connections.emplace_back(ServeConnection, &context, fd);
   }
 
   std::printf("\ndraining (in-flight queries finish, new ones shed)%s...\n",
               engine.durable() ? ", then checkpointing" : "");
   server.Shutdown();  // drains, then checkpoints the engine if durable
+  if (applier) applier->Stop();
   for (auto& t : connections) {
     if (t.joinable()) t.join();
   }

@@ -9,7 +9,10 @@
 # ASan, plus the WAL group-commit tests under TSan (the one writer path
 # with a genuinely concurrent background flusher). The segmented-storage
 # suites (ctest label `storage`: segment/zone-map units + the pruning
-# differential corpus) run as dedicated stages in both sanitizer builds.
+# differential corpus) and the replication suites (ctest label `repl`:
+# wire/publisher/applier/coordinator units, the primary-vs-replica
+# differential corpus, and the replication crash matrix) run as
+# dedicated stages in both sanitizer builds.
 #
 # Usage: scripts/check.sh
 #          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
@@ -59,6 +62,16 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     pruning_differential_test
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L storage
+
+  echo "== ASan repl stage: replication units + differential + crash matrix =="
+  # The replication suites carry the `repl` ctest label. Under ASan they
+  # vet the snapshot/record (de)serialization round-trips, the applier's
+  # apply loop over the shared recovery path, and the failover drain —
+  # including the re-exec'd crash child that dies mid-WAL-append.
+  cmake --build build-asan -j "$JOBS" --target repl_test \
+    repl_differential_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L repl
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -84,6 +97,15 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS" --target storage_test \
     pruning_differential_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L storage
+
+  echo "== TSan repl stage: background streaming + bounded staleness =="
+  # The applier's streaming thread races its position/lag gauges against
+  # readers (the staleness gate, the coordinator's lag reports, metrics)
+  # and its Stop/Start handoff against the coordinator's detach; `repl`
+  # under TSan proves those handoffs race-free.
+  cmake --build build-tsan -j "$JOBS" --target repl_test \
+    repl_differential_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L repl
 fi
 
 if [[ "$RUN_RECOVERY" == 1 ]]; then

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kRedirect:
+      return "Redirect";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kParseError,
   kUnavailable,
   kDataLoss,
+  kRedirect,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -75,6 +76,14 @@ class Status {
   /// (a programming error) — DataLoss means the bytes on disk are bad.
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// The request is valid but must be executed elsewhere: read-only
+  /// replicas answer writes and DDL with this, naming the primary in the
+  /// message. Distinct from Unavailable (retrying here will never help)
+  /// and PermissionDenied (the caller is allowed to write — just not on
+  /// this node).
+  static Status Redirect(std::string msg) {
+    return Status(StatusCode::kRedirect, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace flock::flock {
 
@@ -82,11 +83,98 @@ FlockEngine::FlockEngine(FlockEngineOptions options)
 Status FlockEngine::Open(const std::string& data_dir,
                          FlockDurabilityConfig config) {
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (replica_) {
+    return Status::InvalidArgument(
+        "engine is a replica; use PromoteToPrimary to make it durable");
+  }
+  return OpenLocked(data_dir, config, /*initial_epoch=*/1);
+}
+
+Status FlockEngine::OpenAsReplica(FlockDurabilityConfig config) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
   if (durability_ != nullptr) {
     return Status::InvalidArgument("engine is already durable against " +
                                    durability_->directory());
   }
+  if (replica_) {
+    return Status::InvalidArgument("engine is already a replica");
+  }
+  replica_ = true;
+  replica_catalog_ = config.catalog;
+  replica_policy_ = config.policy;
+  replica_adapter_ = BuildStateAdapter();
+  return RefreshCatalogTablesLocked();
+}
 
+wal::WalReplayTarget FlockEngine::ReplicaTarget() const {
+  return wal::WalReplayTarget{const_cast<storage::Database*>(&db_),
+                              replica_catalog_, replica_policy_,
+                              &replica_adapter_};
+}
+
+Status FlockEngine::InstallReplicaSnapshot(
+    const wal::SnapshotData& snapshot) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (!replica_) {
+    return Status::InvalidArgument("engine is not a replica");
+  }
+  // Wipe everything: re-bootstrap must not layer a snapshot over stale
+  // state (RestoreModel demands monotonic versions, and the snapshot's
+  // provenance/timeline images are complete replacements).
+  for (const std::string& name : db_.ListTables()) {
+    FLOCK_RETURN_NOT_OK(db_.DropTable(name));
+  }
+  models_.Reset();
+  if (replica_catalog_ != nullptr) {
+    FLOCK_RETURN_NOT_OK(replica_catalog_->Restore({}, {}));
+  }
+  if (replica_policy_ != nullptr) replica_policy_->RestoreTimeline({}, 0);
+  FLOCK_RETURN_NOT_OK(
+      wal::RestoreSnapshotState(ReplicaTarget(), snapshot));
+  sql_engine_.plan_cache()->Clear();
+  return RefreshCatalogTablesLocked();
+}
+
+Status FlockEngine::ApplyReplicated(const wal::WalRecord& record) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (!replica_) {
+    return Status::InvalidArgument("engine is not a replica");
+  }
+  obs::ScopedSpan span("repl.apply");
+  FLOCK_RETURN_NOT_OK(wal::ApplyWalRecord(ReplicaTarget(), record));
+  switch (record.type) {
+    case wal::WalRecordType::kCreateTable:
+    case wal::WalRecordType::kDropTable:
+    case wal::WalRecordType::kDeployModel:
+    case wal::WalRecordType::kDropModel:
+      // Mirror the primary's invalidation points: cached plans may hold
+      // dead table handles or superseded model specializations.
+      sql_engine_.plan_cache()->Clear();
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+Status FlockEngine::PromoteToPrimary(const std::string& data_dir,
+                                     FlockDurabilityConfig config,
+                                     uint64_t initial_epoch) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (!replica_) {
+    return Status::InvalidArgument("engine is not a replica");
+  }
+  replica_ = false;
+  replica_catalog_ = nullptr;
+  replica_policy_ = nullptr;
+  FLOCK_RETURN_NOT_OK(OpenLocked(data_dir, config, initial_epoch));
+  // Persist the streamed state under the fenced epoch before the first
+  // post-promotion write can be acknowledged: a crash right after
+  // promotion must recover to at least the promotion point.
+  return durability_->Checkpoint();
+}
+
+wal::EngineStateAdapter FlockEngine::BuildStateAdapter() {
   wal::EngineStateAdapter adapter;
   adapter.snapshot_models = [this] {
     std::vector<wal::ModelSnapshot> out;
@@ -145,10 +233,21 @@ Status FlockEngine::Open(const std::string& data_dir,
                                const std::string& principal) -> Status {
     return models_.Drop(name, principal);
   };
+  return adapter;
+}
+
+Status FlockEngine::OpenLocked(const std::string& data_dir,
+                               const FlockDurabilityConfig& config,
+                               uint64_t initial_epoch) {
+  if (durability_ != nullptr) {
+    return Status::InvalidArgument("engine is already durable against " +
+                                   durability_->directory());
+  }
 
   wal::DurabilityOptions options;
   options.fsync_policy = config.fsync_policy;
   options.group_commit_interval_ms = config.group_commit_interval_ms;
+  options.initial_epoch = initial_epoch;
   // Derived catalog views are rebuilt from the registry on demand; they
   // must not be logged or snapshotted.
   options.skip_tables = {"flock_models", "flock_audit"};
@@ -156,7 +255,7 @@ Status FlockEngine::Open(const std::string& data_dir,
   FLOCK_ASSIGN_OR_RETURN(
       durability_,
       wal::DurabilityManager::Open(data_dir, &db_, config.catalog,
-                                   config.policy, std::move(adapter),
+                                   config.policy, BuildStateAdapter(),
                                    std::move(options)));
   // Recovery mutated tables and models behind the SQL layer's back; any
   // cached plan or stale catalog view would serve pre-recovery state.
@@ -181,6 +280,11 @@ Status FlockEngine::Checkpoint() {
   return Status::OK();
 }
 
+bool FlockEngine::IsReadStatement(const std::string& sql) {
+  std::string lowered = ToLower(Trim(sql));
+  return StartsWith(lowered, "select") || StartsWith(lowered, "explain");
+}
+
 bool FlockEngine::RequiresExclusive(const std::string& sql) {
   std::string lowered = ToLower(Trim(sql));
   // Catalog-view queries rebuild flock_models/flock_audit first (DDL).
@@ -194,6 +298,10 @@ bool FlockEngine::RequiresExclusive(const std::string& sql) {
 
 StatusOr<sql::QueryResult> FlockEngine::Execute(
     const std::string& sql, const sql::ExecOptions& exec_opts) {
+  if (replica_ && !IsReadStatement(sql)) {
+    return Status::Redirect(
+        "replica is read-only; send writes and DDL to the primary");
+  }
   if (RequiresExclusive(sql)) {
     std::unique_lock<std::shared_mutex> lock(engine_mu_);
     return GuardDurable(ExecuteLocked(sql, exec_opts));
@@ -213,6 +321,10 @@ StatusOr<sql::QueryResult> FlockEngine::GuardDurable(
 StatusOr<sql::QueryResult> FlockEngine::ExecuteAs(
     const std::string& sql, const std::string& principal,
     const sql::ExecOptions& exec_opts) {
+  if (replica_ && !IsReadStatement(sql)) {
+    return Status::Redirect(
+        "replica is read-only; send writes and DDL to the primary");
+  }
   // The scoring context is shared by every execution, so swapping the
   // principal demands exclusivity even for reads.
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
@@ -308,6 +420,12 @@ Status FlockEngine::RefreshCatalogTablesLocked() {
 
 StatusOr<sql::QueryResult> FlockEngine::ExecuteScript(
     const std::string& sql) {
+  if (replica_) {
+    // Scripts may interleave DDL/DML; a replica rejects them wholesale
+    // rather than partially applying the read-only prefix.
+    return Status::Redirect(
+        "replica is read-only; send scripts to the primary");
+  }
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   return GuardDurable(sql_engine_.ExecuteScript(sql));
 }
@@ -316,6 +434,10 @@ Status FlockEngine::DeployModel(const std::string& name,
                                 ml::Pipeline pipeline,
                                 const std::string& created_by,
                                 const std::string& lineage) {
+  if (replica_) {
+    return Status::Redirect(
+        "replica is read-only; deploy models on the primary");
+  }
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   // Redeploys supersede cross-optimizer specializations referenced by
   // cached plans; drop them all.

@@ -95,6 +95,36 @@ class FlockEngine {
   Status Open(const std::string& data_dir,
               FlockDurabilityConfig config = {});
 
+  /// Puts the engine in read-only replica mode: no local durability, and
+  /// every statement that is not a plain SELECT/EXPLAIN fails with
+  /// Status::Redirect (the client must retarget the primary). State
+  /// arrives exclusively through InstallReplicaSnapshot (bootstrap) and
+  /// ApplyReplicated (streamed WAL records) — the same replay path crash
+  /// recovery uses, so a replica is bit-for-bit a recovered primary.
+  Status OpenAsReplica(FlockDurabilityConfig config = {});
+
+  bool replica() const { return replica_; }
+
+  /// Replica bootstrap / re-bootstrap: wipes all engine state (tables,
+  /// models, audit, provenance, policy timeline) and installs the
+  /// snapshot image. Takes the exclusive lock.
+  Status InstallReplicaSnapshot(const wal::SnapshotData& snapshot);
+
+  /// Applies one streamed WAL record under the exclusive lock, through
+  /// the shared recovery replay path. DDL and model records invalidate
+  /// the plan cache, exactly as their primary-side counterparts do.
+  Status ApplyReplicated(const wal::WalRecord& record);
+
+  /// Failover: turns this replica into a full primary durable against
+  /// `data_dir` (a fresh directory), with the WAL epoch seeded at
+  /// `initial_epoch`. Seeding above the old primary's epoch *fences* it:
+  /// any coordinator or replica comparing epochs sees the promoted node
+  /// as strictly newer. An immediate checkpoint persists the streamed
+  /// state before the first post-promotion write is acknowledged.
+  Status PromoteToPrimary(const std::string& data_dir,
+                          FlockDurabilityConfig config,
+                          uint64_t initial_epoch);
+
   /// Snapshots all durable state and truncates the WAL. Takes the
   /// exclusive lock; cheap no-op error if the engine is not durable.
   Status Checkpoint();
@@ -157,10 +187,26 @@ class FlockEngine {
   bool enable_cross_optimizer() const { return enable_cross_optimizer_; }
 
  private:
+  /// True when `sql` is a plain SELECT/EXPLAIN — the only statements a
+  /// read-only replica serves locally.
+  static bool IsReadStatement(const std::string& sql);
+
   /// True when `sql` must run under the exclusive lock: anything that is
   /// not a plain SELECT/EXPLAIN, plus catalog-view queries (their lazy
   /// refresh drops and recreates tables).
   static bool RequiresExclusive(const std::string& sql);
+
+  /// Builds the adapter recovery and replication use to reach the model
+  /// registry (snapshot/restore/replay hooks).
+  wal::EngineStateAdapter BuildStateAdapter();
+
+  /// Open's body; caller holds the exclusive lock.
+  Status OpenLocked(const std::string& data_dir,
+                    const FlockDurabilityConfig& config,
+                    uint64_t initial_epoch);
+
+  /// Replay target for streamed records (replica mode).
+  wal::WalReplayTarget ReplicaTarget() const;
 
   /// Body of Execute; caller holds the appropriate lock.
   StatusOr<sql::QueryResult> ExecuteLocked(
@@ -180,6 +226,11 @@ class FlockEngine {
   std::shared_ptr<ScoringContext> context_;
   std::unique_ptr<wal::DurabilityManager> durability_;
   bool enable_cross_optimizer_ = true;
+  /// Replica mode: read-only serving, state applied via replication.
+  bool replica_ = false;
+  prov::Catalog* replica_catalog_ = nullptr;
+  policy::PolicyEngine* replica_policy_ = nullptr;
+  wal::EngineStateAdapter replica_adapter_;
   /// Shared: concurrent queries. Exclusive: DDL/DML/catalog refresh/
   /// principal changes. See the class-level locking contract.
   mutable std::shared_mutex engine_mu_;

@@ -114,6 +114,13 @@ void ModelRegistry::RestoreAuditLog(std::vector<AuditEvent> events) {
   audit_log_ = std::move(events);
 }
 
+void ModelRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_.clear();
+  specializations_.clear();
+  audit_log_.clear();
+}
+
 Status ModelRegistry::Drop(const std::string& name,
                            const std::string& principal) {
   std::lock_guard<std::mutex> lock(mu_);

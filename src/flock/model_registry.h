@@ -99,6 +99,12 @@ class ModelRegistry {
   /// Recovery: replaces the audit log with a snapshotted one.
   void RestoreAuditLog(std::vector<AuditEvent> events);
 
+  /// Drops everything — models, specializations, audit trail. Replica
+  /// re-bootstrap wipes the registry before installing a fresh snapshot
+  /// (RestoreModel demands monotonic versions, so stale entries would
+  /// poison the restore).
+  void Reset();
+
   /// Latest version. NotFound if absent.
   StatusOr<const ModelEntry*> Get(const std::string& name) const;
 

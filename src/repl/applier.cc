@@ -1,0 +1,222 @@
+#include "repl/applier.h"
+
+#include <chrono>
+
+namespace flock::repl {
+
+namespace {
+
+bool IsFatal(const Status& s) {
+  // Transient source conditions (file mid-creation, shed load) are the
+  // retry policy's problem; everything else means the stream or the
+  // replica state is damaged and must not be silently spanned.
+  return !s.ok() && s.code() != StatusCode::kUnavailable &&
+         s.code() != StatusCode::kNotFound;
+}
+
+}  // namespace
+
+ReplicaApplier::ReplicaApplier(flock::FlockEngine* engine,
+                               ReplicationSource* source,
+                               ReplicaApplierOptions options)
+    : engine_(engine), source_(source), options_(options) {}
+
+ReplicaApplier::~ReplicaApplier() { Stop(); }
+
+void ReplicaApplier::NoteError(const Status& s) {
+  if (!IsFatal(s)) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (health_.ok()) health_ = s;
+}
+
+Status ReplicaApplier::health() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return health_;
+}
+
+ReplicationPosition ReplicaApplier::applied() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return position_;
+}
+
+ReplicationPosition ReplicaApplier::durable_end() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return durable_end_;
+}
+
+uint64_t ReplicaApplier::lag_records() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (durable_end_.epoch > position_.epoch) return UINT64_MAX;
+  if (durable_end_.epoch < position_.epoch ||
+      durable_end_.lsn <= position_.lsn) {
+    return 0;
+  }
+  return durable_end_.lsn - position_.lsn;
+}
+
+bool ReplicaApplier::caught_up() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return caught_up_;
+}
+
+Status ReplicaApplier::Bootstrap() {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return BootstrapLocked();
+}
+
+Status ReplicaApplier::BootstrapLocked() {
+  BootstrapResult bootstrap;
+  Status fetched = serve::RetryUnavailable(options_.retry, [&]() -> Status {
+    auto result = source_->Bootstrap();
+    Status s = result.status();
+    if (result.ok()) bootstrap = *std::move(result);
+    return s;
+  });
+  if (!fetched.ok()) {
+    NoteError(fetched);
+    return fetched;
+  }
+  Status installed = engine_->InstallReplicaSnapshot(bootstrap.snapshot);
+  if (!installed.ok()) {
+    NoteError(installed);
+    return installed;
+  }
+  bytes_received_.fetch_add(bootstrap.bytes, std::memory_order_relaxed);
+  bootstraps_.fetch_add(1, std::memory_order_relaxed);
+  bootstrapped_ = true;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  position_ = bootstrap.position;
+  if (durable_end_ < position_) durable_end_ = position_;
+  caught_up_ = false;
+  return Status::OK();
+}
+
+StatusOr<size_t> ReplicaApplier::CatchUpOnce() {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return RoundLocked();
+}
+
+StatusOr<size_t> ReplicaApplier::RoundLocked() {
+  FLOCK_RETURN_NOT_OK(health());
+  if (!bootstrapped_) {
+    FLOCK_RETURN_NOT_OK(BootstrapLocked());
+  }
+  ReplicationPosition from;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    from = position_;
+  }
+  FetchResult fetch;
+  Status fetched = serve::RetryUnavailable(options_.retry, [&]() -> Status {
+    auto result = source_->Fetch(from, options_.batch_records);
+    Status s = result.status();
+    if (result.ok()) fetch = *std::move(result);
+    return s;
+  });
+  if (!fetched.ok()) {
+    NoteError(fetched);
+    return fetched;
+  }
+  if (fetch.snapshot_required) {
+    // The primary checkpointed past this replica's epoch: the log it was
+    // streaming no longer exists. Start over from the fresh snapshot.
+    FLOCK_RETURN_NOT_OK(BootstrapLocked());
+    return static_cast<size_t>(0);
+  }
+  size_t applied_count = 0;
+  for (const wal::WalRecord& record : fetch.records) {
+    Status applied_status = engine_->ApplyReplicated(record);
+    if (!applied_status.ok()) {
+      NoteError(applied_status);
+      return applied_status;
+    }
+    ++applied_count;
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++position_.lsn;
+  }
+  records_applied_.fetch_add(applied_count, std::memory_order_relaxed);
+  bytes_received_.fetch_add(fetch.bytes, std::memory_order_relaxed);
+  ReplicationPosition probed_end;
+  bool have_probed_end = false;
+  if (!fetch.end_of_log) {
+    // The round stopped at batch_records, not at the log's end: ask the
+    // source how far behind we still are so lag_records() (and the
+    // bounded-staleness gate reading it) reflects the true durable end,
+    // not just the prefix fetched so far. Best-effort — a failed probe
+    // leaves the last-seen end in place.
+    auto end = source_->DurableEnd();
+    if (end.ok()) {
+      probed_end = *end;
+      have_probed_end = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  position_ = fetch.next;
+  if (fetch.end_of_log) {
+    durable_end_ = fetch.next;
+  } else if (durable_end_ < fetch.next) {
+    durable_end_ = fetch.next;
+  }
+  if (have_probed_end && durable_end_ < probed_end) {
+    durable_end_ = probed_end;
+  }
+  caught_up_ = fetch.end_of_log;
+  return applied_count;
+}
+
+Status ReplicaApplier::CatchUp() {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  while (true) {
+    auto applied_count = RoundLocked();
+    FLOCK_RETURN_NOT_OK(applied_count.status());
+    std::lock_guard<std::mutex> state(state_mu_);
+    if (caught_up_) return Status::OK();
+  }
+}
+
+void ReplicaApplier::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  streamer_ = std::thread([this] { StreamLoop(); });
+}
+
+void ReplicaApplier::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+    wake_cv_.notify_all();
+  }
+  streamer_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  running_ = false;
+}
+
+void ReplicaApplier::StreamLoop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(thread_mu_);
+      if (stop_) return;
+    }
+    auto applied_count = CatchUpOnce();
+    bool idle = true;
+    if (applied_count.ok()) {
+      idle = *applied_count == 0;
+    } else if (IsFatal(applied_count.status())) {
+      // Wedged (sticky health). Keep the thread parked until Stop so
+      // the replica's last-applied state stays servable.
+      idle = true;
+    }
+    if (idle) {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      wake_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.poll_interval_ms),
+          [this] { return stop_; });
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace flock::repl

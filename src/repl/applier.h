@@ -1,0 +1,129 @@
+#ifndef FLOCK_REPL_APPLIER_H_
+#define FLOCK_REPL_APPLIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "flock/flock_engine.h"
+#include "repl/replication.h"
+#include "serve/retry.h"
+
+namespace flock::repl {
+
+struct ReplicaApplierOptions {
+  /// Records requested per fetch round.
+  size_t batch_records = 256;
+  /// Sleep between rounds once caught up (the streaming thread's poll
+  /// cadence, and the ceiling on steady-state replica lag in time).
+  int poll_interval_ms = 5;
+  /// Transient-failure policy for Bootstrap/Fetch calls: Unavailable
+  /// from the source (publisher mid-checkpoint, primary shedding load)
+  /// is retried with backoff instead of surfacing per round.
+  serve::RetryPolicy retry{/*max_attempts=*/5, /*base_backoff_ms=*/5,
+                           /*max_backoff_ms=*/100, /*jitter=*/0.2};
+};
+
+/// Drives one replica engine from a ReplicationSource: bootstraps from a
+/// snapshot, then streams WAL records and applies them through
+/// FlockEngine::ApplyReplicated — the same replay switch crash recovery
+/// uses. Tracks the applied position, the last observed durable end of
+/// the primary's log (so bounded-staleness gates never do I/O on the
+/// read path), and sticky health: corruption or a failed apply wedges
+/// the applier exactly like a failed WAL append wedges a primary.
+///
+/// `snapshot_required` from the source (the primary checkpointed past
+/// the replica's epoch) triggers an automatic re-bootstrap.
+///
+/// Thread model: CatchUpOnce/CatchUp/Bootstrap may be called manually
+/// (tests, failover drain) or via the Start() streaming thread; rounds
+/// are serialized internally. Position/lag accessors are safe from any
+/// thread.
+class ReplicaApplier {
+ public:
+  ReplicaApplier(flock::FlockEngine* engine, ReplicationSource* source,
+                 ReplicaApplierOptions options = {});
+  ~ReplicaApplier();
+
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// Installs a fresh snapshot from the source (wiping local state).
+  Status Bootstrap();
+
+  /// One fetch+apply round; bootstraps first if never bootstrapped.
+  /// Returns the number of records applied this round.
+  StatusOr<size_t> CatchUpOnce();
+
+  /// Rounds until the source reports end-of-durable-log.
+  Status CatchUp();
+
+  /// Starts the background streaming thread (idempotent).
+  void Start();
+  /// Stops and joins the streaming thread (idempotent; safe if never
+  /// started). The applier can be restarted or driven manually after.
+  void Stop();
+
+  /// Position after the last applied record.
+  ReplicationPosition applied() const;
+  /// Durable end of the primary's log, as of the last fetch round.
+  ReplicationPosition durable_end() const;
+  /// Records between durable_end and applied. UINT64_MAX when the
+  /// primary is an epoch ahead (re-bootstrap pending — effectively
+  /// infinite staleness).
+  uint64_t lag_records() const;
+  /// True when the last round drained the durable log.
+  bool caught_up() const;
+
+  /// First fatal (non-transient) error, sticky. A wedged applier stops
+  /// streaming; the replica keeps serving its last-applied state.
+  Status health() const;
+
+  uint64_t records_applied() const {
+    return records_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  uint64_t bootstraps() const {
+    return bootstraps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status BootstrapLocked();
+  StatusOr<size_t> RoundLocked();
+  /// Marks `s` sticky when it is fatal (corruption / failed apply).
+  void NoteError(const Status& s);
+  void StreamLoop();
+
+  flock::FlockEngine* engine_;
+  ReplicationSource* source_;
+  ReplicaApplierOptions options_;
+
+  /// Serializes rounds (manual callers vs the streaming thread).
+  std::mutex op_mu_;
+  bool bootstrapped_ = false;
+
+  /// Guards the published positions/health (read by gauges and gates).
+  mutable std::mutex state_mu_;
+  ReplicationPosition position_;
+  ReplicationPosition durable_end_;
+  bool caught_up_ = false;
+  Status health_;
+
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bootstraps_{0};
+
+  std::mutex thread_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread streamer_;
+};
+
+}  // namespace flock::repl
+
+#endif  // FLOCK_REPL_APPLIER_H_

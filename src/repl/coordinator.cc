@@ -1,0 +1,143 @@
+#include "repl/coordinator.h"
+
+#include <algorithm>
+
+namespace flock::repl {
+
+void ReplicationCoordinator::ObserveEpochLocked(uint64_t epoch) {
+  max_epoch_seen_ = std::max(max_epoch_seen_, epoch);
+}
+
+Status ReplicationCoordinator::AttachPrimary(flock::FlockEngine* primary) {
+  if (primary == nullptr || !primary->durable()) {
+    return Status::InvalidArgument(
+        "replication needs a durable primary (call Open first)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t epoch = primary->durability()->epoch();
+  if (epoch <= fence_epoch_) {
+    return Status::Aborted(
+        "primary at epoch " + std::to_string(epoch) +
+        " is fenced (failover promoted a replica past epoch " +
+        std::to_string(fence_epoch_) + "); wipe or re-seed it");
+  }
+  primary_ = primary;
+  ObserveEpochLocked(epoch);
+  return Status::OK();
+}
+
+void ReplicationCoordinator::DetachPrimary() {
+  std::lock_guard<std::mutex> lock(mu_);
+  primary_ = nullptr;
+}
+
+Status ReplicationCoordinator::AddReplica(const std::string& name,
+                                          flock::FlockEngine* engine,
+                                          ReplicaApplier* applier) {
+  if (engine == nullptr || applier == nullptr) {
+    return Status::InvalidArgument("replica needs an engine and an applier");
+  }
+  if (!engine->replica()) {
+    return Status::InvalidArgument(
+        "engine for '" + name +
+        "' is not in replica mode (call OpenAsReplica)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inserted = replicas_.emplace(name, Replica{engine, applier});
+  if (!inserted.second) {
+    return Status::AlreadyExists("replica '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status ReplicationCoordinator::Detach(const std::string& name) {
+  ReplicaApplier* applier = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = replicas_.find(name);
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica named '" + name + "'");
+    }
+    applier = it->second.applier;
+    replicas_.erase(it);
+  }
+  // Joining the streaming thread can block on an in-flight round; do it
+  // off the coordinator lock so lag reports stay responsive.
+  applier->Stop();
+  return Status::OK();
+}
+
+std::vector<ReplicaLag> ReplicationCoordinator::Lags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReplicaLag> out;
+  out.reserve(replicas_.size());
+  for (const auto& [name, replica] : replicas_) {
+    ReplicaLag lag;
+    lag.name = name;
+    lag.applied = replica.applier->applied();
+    lag.durable_end = replica.applier->durable_end();
+    lag.lag_records = replica.applier->lag_records();
+    lag.caught_up = replica.applier->caught_up();
+    lag.health = replica.applier->health().ToString();
+    out.push_back(std::move(lag));
+  }
+  return out;
+}
+
+Status ReplicationCoordinator::Promote(const std::string& name,
+                                       const std::string& data_dir,
+                                       flock::FlockDurabilityConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(name);
+  if (it == replicas_.end()) {
+    return Status::NotFound("no replica named '" + name + "'");
+  }
+  Replica replica = it->second;
+
+  // Drain whatever the (possibly dead) primary left durable: the
+  // publisher reads its data directory, so every committed record is
+  // still reachable even though the process is gone. A replica that
+  // cannot finish draining must not be promoted — it would silently drop
+  // committed writes.
+  replica.applier->Stop();
+  Status drained = replica.applier->CatchUp();
+  if (!drained.ok()) {
+    return Status::Aborted("failover aborted: replica '" + name +
+                           "' cannot drain the primary log: " +
+                           drained.ToString());
+  }
+
+  uint64_t fence = max_epoch_seen_;
+  if (primary_ != nullptr && primary_->durable()) {
+    fence = std::max(fence, primary_->durability()->epoch());
+  }
+  fence = std::max(fence, replica.applier->applied().epoch);
+
+  FLOCK_RETURN_NOT_OK(
+      replica.engine->PromoteToPrimary(data_dir, config, fence + 1));
+
+  fence_epoch_ = fence;
+  ObserveEpochLocked(replica.engine->durability()->epoch());
+  primary_ = replica.engine;
+  replicas_.erase(name);
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t ReplicationCoordinator::fence_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fence_epoch_;
+}
+
+flock::FlockEngine* ReplicationCoordinator::primary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_;
+}
+
+size_t ReplicationCoordinator::num_replicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.size();
+}
+
+}  // namespace flock::repl

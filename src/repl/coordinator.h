@@ -1,0 +1,109 @@
+#ifndef FLOCK_REPL_COORDINATOR_H_
+#define FLOCK_REPL_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flock/flock_engine.h"
+#include "repl/applier.h"
+#include "repl/replication.h"
+
+namespace flock::repl {
+
+/// One replica's health as the coordinator sees it.
+struct ReplicaLag {
+  std::string name;
+  ReplicationPosition applied;
+  ReplicationPosition durable_end;
+  /// Records behind the primary's durable log (UINT64_MAX = re-bootstrap
+  /// pending).
+  uint64_t lag_records = 0;
+  bool caught_up = false;
+  /// The applier's sticky health ("OK" when streaming normally).
+  std::string health;
+};
+
+/// Tracks the primary and its replica fleet: registration, lag
+/// monitoring, graceful detach, and manual failover. Epochs double as
+/// fence tokens — Promote seeds the new primary's durability above every
+/// epoch the coordinator has observed, and AttachPrimary refuses any
+/// engine whose epoch falls at or below the fence (a deposed primary
+/// coming back must not be re-attached as if nothing happened).
+///
+/// The coordinator holds non-owning pointers; engines and appliers must
+/// outlive their registration (or Detach first).
+class ReplicationCoordinator {
+ public:
+  ReplicationCoordinator() = default;
+
+  ReplicationCoordinator(const ReplicationCoordinator&) = delete;
+  ReplicationCoordinator& operator=(const ReplicationCoordinator&) = delete;
+
+  /// Registers the primary. The engine must be durable (replication
+  /// ships its WAL). Aborted when the engine's epoch is at or below the
+  /// fence raised by an earlier Promote — it is a deposed primary.
+  Status AttachPrimary(flock::FlockEngine* primary);
+
+  /// Forgets the primary (e.g. it crashed) without touching replicas;
+  /// streaming continues from its on-disk log.
+  void DetachPrimary();
+
+  /// Registers a replica under a unique name. The applier must already
+  /// target the replica's engine.
+  Status AddReplica(const std::string& name, flock::FlockEngine* engine,
+                    ReplicaApplier* applier);
+
+  /// Graceful detach: stops the replica's streaming thread and forgets
+  /// it. The replica keeps serving whatever it has applied.
+  Status Detach(const std::string& name);
+
+  /// Per-replica lag report, sorted by name.
+  std::vector<ReplicaLag> Lags() const;
+
+  /// Manual failover. Drains `name`'s remaining stream (works against a
+  /// dead primary — catch-up reads its data directory), then promotes
+  /// its engine to a full primary durable against `data_dir`, with the
+  /// epoch seeded above everything observed so the old primary is
+  /// fenced. The promoted replica is removed from the fleet and becomes
+  /// the coordinator's primary; remaining replicas keep their appliers
+  /// (the caller re-points their sources at the new primary).
+  ///
+  /// NotFound for an unknown name, Aborted when the replica cannot
+  /// finish catch-up (its stream is wedged — promoting it would lose
+  /// committed writes).
+  Status Promote(const std::string& name, const std::string& data_dir,
+                 flock::FlockDurabilityConfig config = {});
+
+  /// Epoch fence: everything at or below this is a deposed primary.
+  uint64_t fence_epoch() const;
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  flock::FlockEngine* primary() const;
+  size_t num_replicas() const;
+
+ private:
+  struct Replica {
+    flock::FlockEngine* engine = nullptr;
+    ReplicaApplier* applier = nullptr;
+  };
+
+  void ObserveEpochLocked(uint64_t epoch);
+
+  mutable std::mutex mu_;
+  flock::FlockEngine* primary_ = nullptr;
+  std::map<std::string, Replica> replicas_;
+  /// Highest epoch observed across primaries and promotions.
+  uint64_t max_epoch_seen_ = 0;
+  /// Epochs <= fence belong to deposed primaries.
+  uint64_t fence_epoch_ = 0;
+  std::atomic<uint64_t> failovers_{0};
+};
+
+}  // namespace flock::repl
+
+#endif  // FLOCK_REPL_COORDINATOR_H_

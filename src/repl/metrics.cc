@@ -1,0 +1,46 @@
+#include "repl/metrics.h"
+
+namespace flock::repl {
+
+void RegisterReplicaMetrics(obs::MetricsRegistry* registry,
+                            ReplicaApplier* applier) {
+  registry->RegisterGauge("repl.applied_epoch", [applier] {
+    return applier->applied().epoch;
+  });
+  registry->RegisterGauge("repl.applied_lsn", [applier] {
+    return applier->applied().lsn;
+  });
+  registry->RegisterGauge("repl.durable_epoch", [applier] {
+    return applier->durable_end().epoch;
+  });
+  registry->RegisterGauge("repl.durable_lsn", [applier] {
+    return applier->durable_end().lsn;
+  });
+  registry->RegisterGauge("repl.replica_lag_records", [applier] {
+    return applier->lag_records();
+  });
+  registry->RegisterCounter("repl.records_applied", [applier] {
+    return applier->records_applied();
+  });
+  registry->RegisterCounter("repl.catchup_bytes", [applier] {
+    return applier->bytes_received();
+  });
+  registry->RegisterCounter("repl.bootstraps", [applier] {
+    return applier->bootstraps();
+  });
+}
+
+void RegisterCoordinatorMetrics(obs::MetricsRegistry* registry,
+                                ReplicationCoordinator* coordinator) {
+  registry->RegisterCounter("repl.failovers", [coordinator] {
+    return coordinator->failovers();
+  });
+  registry->RegisterGauge("repl.replicas", [coordinator] {
+    return static_cast<uint64_t>(coordinator->num_replicas());
+  });
+  registry->RegisterGauge("repl.fence_epoch", [coordinator] {
+    return coordinator->fence_epoch();
+  });
+}
+
+}  // namespace flock::repl

@@ -1,0 +1,30 @@
+#ifndef FLOCK_REPL_METRICS_H_
+#define FLOCK_REPL_METRICS_H_
+
+#include "obs/metrics_registry.h"
+#include "repl/applier.h"
+#include "repl/coordinator.h"
+
+namespace flock::repl {
+
+/// Registers the repl.* family for a replica onto a (typically the
+/// replica server's) metrics registry:
+///
+///   repl.applied_epoch / repl.applied_lsn   position after last apply
+///   repl.durable_epoch / repl.durable_lsn   primary log end, last seen
+///   repl.replica_lag_records                durable - applied
+///   repl.records_applied, repl.catchup_bytes, repl.bootstraps
+///
+/// All reads go through the applier's cached positions — a metrics
+/// scrape never touches the primary's files or the network.
+void RegisterReplicaMetrics(obs::MetricsRegistry* registry,
+                            ReplicaApplier* applier);
+
+/// Coordinator-side counters: repl.failovers, repl.replicas,
+/// repl.fence_epoch.
+void RegisterCoordinatorMetrics(obs::MetricsRegistry* registry,
+                                ReplicationCoordinator* coordinator);
+
+}  // namespace flock::repl
+
+#endif  // FLOCK_REPL_METRICS_H_

@@ -1,0 +1,90 @@
+#ifndef FLOCK_REPL_REPLICATION_H_
+#define FLOCK_REPL_REPLICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "wal/checkpoint.h"
+#include "wal/wal_record.h"
+
+namespace flock::repl {
+
+/// A point in the primary's redo history. The WAL is truncated at every
+/// checkpoint under a bumped epoch, so a bare LSN is meaningless across
+/// checkpoints — positions carry both. `lsn` is the index of the next
+/// record within the epoch's log (0 = nothing from this epoch applied).
+///
+/// Ordering: positions compare lexicographically (epoch first). An epoch
+/// bump resets the LSN because the snapshot cut at that checkpoint
+/// already contains every earlier record.
+struct ReplicationPosition {
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+
+  bool operator==(const ReplicationPosition& o) const {
+    return epoch == o.epoch && lsn == o.lsn;
+  }
+  bool operator<(const ReplicationPosition& o) const {
+    return epoch != o.epoch ? epoch < o.epoch : lsn < o.lsn;
+  }
+  std::string ToString() const {
+    return std::to_string(epoch) + ":" + std::to_string(lsn);
+  }
+};
+
+/// Bootstrap payload: a full snapshot image plus the position a replica
+/// sits at after installing it — {snapshot.epoch, 0}, the start of the
+/// epoch's (possibly non-empty) log.
+struct BootstrapResult {
+  wal::SnapshotData snapshot;
+  ReplicationPosition position;
+  /// Encoded snapshot size (drives repl.catchup_bytes).
+  uint64_t bytes = 0;
+};
+
+/// One streaming round: records from the requested position, in log
+/// order, plus where the cursor now points.
+struct FetchResult {
+  std::vector<wal::WalRecord> records;
+  /// Position after the last record in `records` (== the request
+  /// position when none were returned).
+  ReplicationPosition next;
+  /// The durable log is exhausted at `next` — the replica is caught up
+  /// until the primary commits more.
+  bool end_of_log = false;
+  /// The requested epoch is gone (a checkpoint truncated its log, or the
+  /// replica asked for more records than the epoch ever held). Streaming
+  /// cannot continue; the replica must re-bootstrap from the snapshot.
+  bool snapshot_required = false;
+  /// Bytes of log consumed this round (drives repl.catchup_bytes).
+  uint64_t bytes = 0;
+};
+
+/// Where a replica's state comes from: the in-process publisher reading
+/// the primary's data directory, or a TCP client speaking `.repl` to a
+/// remote primary (examples/flock_server.cc). The applier is written
+/// against this interface so the differential and failover tests run the
+/// exact code path production streaming uses.
+class ReplicationSource {
+ public:
+  virtual ~ReplicationSource() = default;
+
+  /// Full-state bootstrap. Works even when the primary process is dead —
+  /// the publisher reads the on-disk snapshot — which is what makes
+  /// failover catch-up possible.
+  virtual StatusOr<BootstrapResult> Bootstrap() = 0;
+
+  /// Streams up to `max_records` committed records from `from`.
+  virtual StatusOr<FetchResult> Fetch(ReplicationPosition from,
+                                      size_t max_records) = 0;
+
+  /// The durable end of the primary's log right now (epoch + record
+  /// count); replica lag = DurableEnd - applied position.
+  virtual StatusOr<ReplicationPosition> DurableEnd() = 0;
+};
+
+}  // namespace flock::repl
+
+#endif  // FLOCK_REPL_REPLICATION_H_

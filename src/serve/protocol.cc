@@ -30,6 +30,9 @@ Request ParseRequestLine(const std::string& line) {
       request.text = std::move(argument);
     } else if (command == ".session") {
       request.kind = Request::Kind::kSession;
+    } else if (command == ".repl") {
+      request.kind = Request::Kind::kRepl;
+      request.text = std::move(argument);
     } else if (command == ".quit" || command == ".exit") {
       request.kind = Request::Kind::kQuit;
     }

@@ -20,6 +20,9 @@ namespace flock::serve {
 ///   .slowlog clear       empty the slow-query log
 ///   .slowlog <ms>        set the slow-query threshold (negative = off)
 ///   .session             this connection's session id / principal
+///   .repl <subcommand>   replication endpoint (primary: status|bootstrap|
+///                        fetch <epoch> <lsn> <max>; replica: status) —
+///                        see repl/wire.h for the payload format
 ///   .quit                close the connection
 ///
 /// Responses:
@@ -36,7 +39,7 @@ namespace flock::serve {
 ///   ERR <CodeName> <message>\n
 struct Request {
   enum class Kind {
-    kQuery, kMetrics, kTrace, kSlowLog, kSession, kQuit, kEmpty
+    kQuery, kMetrics, kTrace, kSlowLog, kSession, kRepl, kQuit, kEmpty
   };
   Kind kind = Kind::kEmpty;
   std::string text;  // the SQL for kQuery; the argument for commands

@@ -1,0 +1,39 @@
+#ifndef FLOCK_SERVE_RETRY_H_
+#define FLOCK_SERVE_RETRY_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace flock::serve {
+
+/// Bounded retry with exponential backoff for transiently-failing calls.
+/// Only Status::Unavailable is retried — it is the one code the serving
+/// stack uses for "try again later" (load shed, draining, a log header
+/// still being written); every other error is returned immediately.
+///
+/// Replica catch-up leans on this: a publisher mid-checkpoint or a
+/// primary briefly at its admission limit shows up as Unavailable, and
+/// the applier's next attempt lands after the backoff instead of
+/// hot-spinning.
+struct RetryPolicy {
+  /// Total attempts, including the first. 1 = no retry (the default —
+  /// existing fast-shed behavior is unchanged unless a caller opts in).
+  int max_attempts = 1;
+  /// Backoff before attempt N+1 is base << N, capped at `max_backoff_ms`.
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 200;
+  /// Fraction of each backoff randomized (0.2 = +/-20%), so a fleet of
+  /// retrying replicas does not stampede the primary in lockstep.
+  double jitter = 0.2;
+};
+
+/// Runs `op` until it succeeds, fails with a non-Unavailable code, or
+/// `policy.max_attempts` is exhausted; returns the last status. Sleeps
+/// the jittered backoff between attempts.
+Status RetryUnavailable(const RetryPolicy& policy,
+                        const std::function<Status()>& op);
+
+}  // namespace flock::serve
+
+#endif  // FLOCK_SERVE_RETRY_H_

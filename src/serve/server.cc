@@ -142,6 +142,17 @@ std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
   }
   SessionPtr session = std::move(session_or).value();
 
+  if (options_.read_gate) {
+    Status gated = options_.read_gate();
+    if (!gated.ok()) {
+      // Gated before admission: no worker slot is consumed and the
+      // client sees the gate's code (e.g. Unavailable on a stale
+      // replica) immediately.
+      promise->set_value(std::move(gated));
+      return future;
+    }
+  }
+
   sql::ExecOptions exec_opts;
   exec_opts.trace = session->trace();
   Status admitted = admission_.Admit(
@@ -211,8 +222,9 @@ ServerMetricsSnapshot PredictionServer::Snapshot() const {
 }
 
 LoopbackClient::LoopbackClient(PredictionServer* server,
-                               const std::string& principal)
-    : server_(server) {
+                               const std::string& principal,
+                               RetryPolicy retry)
+    : server_(server), retry_(retry) {
   auto id_or = server_->OpenSession(principal);
   if (id_or.ok()) {
     session_id_ = *id_or;
@@ -229,7 +241,14 @@ LoopbackClient::~LoopbackClient() {
 
 StatusOr<sql::QueryResult> LoopbackClient::Execute(const std::string& sql) {
   FLOCK_RETURN_NOT_OK(open_status_);
-  return server_->Execute(session_id_, sql);
+  StatusOr<sql::QueryResult> result =
+      Status::Unavailable("loopback execute never ran");
+  Status last = RetryUnavailable(retry_, [&]() -> Status {
+    result = server_->Execute(session_id_, sql);
+    return result.status();
+  });
+  if (!last.ok()) return last;
+  return result;
 }
 
 }  // namespace flock::serve

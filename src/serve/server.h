@@ -2,6 +2,7 @@
 #define FLOCK_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "policy/policy_engine.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
+#include "serve/retry.h"
 #include "serve/session.h"
 
 namespace flock::serve {
@@ -27,6 +29,12 @@ struct ServerOptions {
   /// Policy engine whose decision counters should appear in the unified
   /// metrics (optional; must outlive the server).
   policy::PolicyEngine* policy = nullptr;
+  /// Pre-execution gate checked on every Submit (optional). Replication
+  /// wires bounded-staleness admission in here without the serving layer
+  /// depending on repl: a replica whose lag exceeds the configured bound
+  /// returns Unavailable from the gate, and the request fails fast
+  /// instead of serving arbitrarily stale rows.
+  std::function<Status()> read_gate;
 };
 
 /// The concurrent prediction-serving layer (paper §2/§4.1: scoring lives
@@ -114,8 +122,12 @@ class PredictionServer {
 /// serving bench's closed-loop clients are loopback clients too.
 class LoopbackClient {
  public:
+  /// `retry` governs Execute's handling of Unavailable results (shed,
+  /// draining, staleness-gated). The default policy makes one attempt —
+  /// identical to the historical fail-fast behavior.
   explicit LoopbackClient(PredictionServer* server,
-                          const std::string& principal = "");
+                          const std::string& principal = "",
+                          RetryPolicy retry = {});
   ~LoopbackClient();
 
   LoopbackClient(const LoopbackClient&) = delete;
@@ -129,6 +141,7 @@ class LoopbackClient {
 
  private:
   PredictionServer* server_;
+  RetryPolicy retry_;
   Status open_status_;
   uint64_t session_id_ = 0;
 };

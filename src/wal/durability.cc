@@ -46,11 +46,18 @@ StatusOr<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
     FLOCK_ASSIGN_OR_RETURN(
         manager->writer_,
         WalWriter::Resume(recovery.wal_path(), r.epoch, r.wal_valid_size,
-                          writer_options));
+                          writer_options, r.wal_records_replayed));
   } else {
+    uint64_t create_epoch = r.epoch;
+    if (!r.snapshot_restored && !r.wal_found &&
+        manager->options_.initial_epoch > create_epoch) {
+      // Truly fresh directory: honor the seeded epoch (promotion fencing).
+      create_epoch = manager->options_.initial_epoch;
+    }
     FLOCK_ASSIGN_OR_RETURN(
         manager->writer_,
-        WalWriter::Create(recovery.wal_path(), r.epoch, writer_options));
+        WalWriter::Create(recovery.wal_path(), create_epoch,
+                          writer_options));
   }
 
   // Attach observers only now: recovery's own replay mutations must not

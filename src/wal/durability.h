@@ -23,6 +23,10 @@ struct DurabilityOptions {
   /// Tables excluded from logging and snapshots (derived catalog tables
   /// the engine rebuilds itself, e.g. flock_models / flock_audit).
   std::set<std::string> skip_tables;
+  /// Epoch stamped into a *freshly created* log (ignored when recovery
+  /// finds existing state). Replication failover seeds this above the old
+  /// primary's epoch so the promoted replica fences its predecessor.
+  uint64_t initial_epoch = 1;
 };
 
 /// The durability facade: one object per data directory that
@@ -73,6 +77,10 @@ class DurabilityManager : public storage::DatabaseObserver,
 
   uint64_t epoch() const { return writer_->epoch(); }
   const std::string& directory() const { return dir_; }
+  std::string wal_path() const { return dir_ + "/wal.log"; }
+  /// Epoch-local LSN: number of records durable in the current epoch's
+  /// log — the position a fully caught-up replica would sit at.
+  uint64_t lsn() const { return writer_->epoch_records(); }
   uint64_t records_logged() const;
   /// Cumulative fsyncs / bytes appended (lock-free; for the metrics
   /// registry).

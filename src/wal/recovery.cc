@@ -31,6 +31,10 @@ RecoveryManager::RecoveryManager(std::string dir, storage::Database* db,
       policy_(policy),
       adapter_(std::move(adapter)) {}
 
+WalReplayTarget RecoveryManager::Target() const {
+  return WalReplayTarget{db_, catalog_, policy_, &adapter_};
+}
+
 StatusOr<RecoveryResult> RecoveryManager::Recover() {
   RecoveryResult result;
   result.tail_truncated = false;
@@ -39,7 +43,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover() {
   uint64_t snap_epoch = 0;
   auto snapshot = checkpoint.Read();
   if (snapshot.ok()) {
-    FLOCK_RETURN_NOT_OK(RestoreSnapshot(*snapshot));
+    FLOCK_RETURN_NOT_OK(RestoreSnapshotState(Target(), *snapshot));
     result.snapshot_restored = true;
     snap_epoch = snapshot->epoch;
     result.epoch = snap_epoch;
@@ -89,7 +93,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover() {
   while (true) {
     FLOCK_RETURN_NOT_OK((*reader)->Next(&record, &done));
     if (done) break;
-    FLOCK_RETURN_NOT_OK(ApplyRecord(record));
+    FLOCK_RETURN_NOT_OK(ApplyWalRecord(Target(), record));
     ++result.wal_records_replayed;
   }
   result.tail_truncated = (*reader)->tail_truncated();
@@ -97,12 +101,14 @@ StatusOr<RecoveryResult> RecoveryManager::Recover() {
   return result;
 }
 
-Status RecoveryManager::RestoreSnapshot(const SnapshotData& snapshot) {
+Status RestoreSnapshotState(const WalReplayTarget& target,
+                            const SnapshotData& snapshot) {
+  storage::Database* db = target.db;
   for (const TableSnapshot& t : snapshot.tables) {
-    FLOCK_RETURN_NOT_OK(db_->CreateTable(
+    FLOCK_RETURN_NOT_OK(db->CreateTable(
         t.name, t.schema, static_cast<size_t>(t.segment_capacity)));
     if (t.segments.empty()) continue;
-    FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(t.name));
+    FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db->GetTable(t.name));
     if (t.segment_capacity > 0) {
       // Version-2 image: install the recorded segments verbatim so the
       // restored physical layout (and zone maps) matches the original.
@@ -113,51 +119,58 @@ Status RecoveryManager::RestoreSnapshot(const SnapshotData& snapshot) {
       FLOCK_RETURN_NOT_OK(table->AppendBatch(t.segments[0]));
     }
   }
+  const EngineStateAdapter* adapter = target.adapter;
   for (const ModelSnapshot& m : snapshot.models) {
-    if (!adapter_.restore_model) {
+    if (adapter == nullptr || !adapter->restore_model) {
       return Status::Internal(
           "snapshot contains models but no restore_model adapter");
     }
-    FLOCK_RETURN_NOT_OK(adapter_.restore_model(m));
+    FLOCK_RETURN_NOT_OK(adapter->restore_model(m));
   }
-  if (!snapshot.audit.empty() && adapter_.restore_audit) {
-    adapter_.restore_audit(snapshot.audit);
+  if (!snapshot.audit.empty() && adapter != nullptr &&
+      adapter->restore_audit) {
+    adapter->restore_audit(snapshot.audit);
   }
   if (!snapshot.timeline.empty() || snapshot.policy_next_seq > 0) {
-    if (policy_ == nullptr) {
+    if (target.policy == nullptr) {
       return Status::Internal(
           "snapshot contains a policy timeline but no policy engine is "
           "attached");
     }
-    policy_->RestoreTimeline(snapshot.timeline, snapshot.policy_next_seq);
+    target.policy->RestoreTimeline(snapshot.timeline,
+                                   snapshot.policy_next_seq);
   }
   if (!snapshot.entities.empty() || !snapshot.edges.empty()) {
-    if (catalog_ == nullptr) {
+    if (target.catalog == nullptr) {
       return Status::Internal(
           "snapshot contains provenance but no catalog is attached");
     }
     FLOCK_RETURN_NOT_OK(
-        catalog_->Restore(snapshot.entities, snapshot.edges));
+        target.catalog->Restore(snapshot.entities, snapshot.edges));
   }
   return Status::OK();
 }
 
-Status RecoveryManager::ApplyRecord(const WalRecord& r) {
+Status ApplyWalRecord(const WalReplayTarget& target, const WalRecord& r) {
+  storage::Database* db = target.db;
+  prov::Catalog* catalog = target.catalog;
+  policy::PolicyEngine* policy = target.policy;
+  const EngineStateAdapter* adapter = target.adapter;
   switch (r.type) {
     case WalRecordType::kCreateTable:
-      return db_->CreateTable(r.name, r.schema);
+      return db->CreateTable(r.name, r.schema);
     case WalRecordType::kDropTable:
-      return db_->DropTable(r.name);
+      return db->DropTable(r.name);
     case WalRecordType::kAppendBatch: {
-      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db->GetTable(r.name));
       return table->AppendBatch(r.batch);
     }
     case WalRecordType::kUpdateColumn: {
-      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db->GetTable(r.name));
       return table->UpdateColumn(r.column, r.rows, r.values);
     }
     case WalRecordType::kDeleteRows: {
-      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db_->GetTable(r.name));
+      FLOCK_ASSIGN_OR_RETURN(storage::TablePtr table, db->GetTable(r.name));
       std::vector<bool> keep(r.keep.begin(), r.keep.end());
       if (keep.size() != table->num_rows()) {
         return Status::DataLoss(
@@ -169,20 +182,20 @@ Status RecoveryManager::ApplyRecord(const WalRecord& r) {
       return Status::OK();
     }
     case WalRecordType::kDeployModel:
-      if (!adapter_.replay_deploy) {
+      if (adapter == nullptr || !adapter->replay_deploy) {
         return Status::Internal(
             "wal contains model deploys but no replay_deploy adapter");
       }
-      return adapter_.replay_deploy(r.name, r.pipeline_text, r.created_by,
+      return adapter->replay_deploy(r.name, r.pipeline_text, r.created_by,
                                     r.lineage);
     case WalRecordType::kDropModel:
-      if (!adapter_.replay_drop) {
+      if (adapter == nullptr || !adapter->replay_drop) {
         return Status::Internal(
             "wal contains model drops but no replay_drop adapter");
       }
-      return adapter_.replay_drop(r.name, r.principal);
+      return adapter->replay_drop(r.name, r.principal);
     case WalRecordType::kPolicyAction: {
-      if (policy_ == nullptr) {
+      if (policy == nullptr) {
         return Status::Internal(
             "wal contains policy actions but no policy engine is attached");
       }
@@ -197,37 +210,37 @@ Status RecoveryManager::ApplyRecord(const WalRecord& r) {
       entry.after = r.after;
       entry.rejected = r.rejected;
       entry.context = r.context;
-      policy_->ReplayTimelineEntry(std::move(entry));
+      policy->ReplayTimelineEntry(std::move(entry));
       return Status::OK();
     }
     case WalRecordType::kProvEntity:
-      if (catalog_ == nullptr) {
+      if (catalog == nullptr) {
         return Status::Internal(
             "wal contains provenance but no catalog is attached");
       }
       if (r.prov_type > kMaxEntityType) {
         return Status::DataLoss("provenance record has bad entity type");
       }
-      return catalog_->ReplayEntity(
+      return catalog->ReplayEntity(
           r.entity_id, static_cast<prov::EntityType>(r.prov_type), r.name,
           r.version);
     case WalRecordType::kProvEdge:
-      if (catalog_ == nullptr) {
+      if (catalog == nullptr) {
         return Status::Internal(
             "wal contains provenance but no catalog is attached");
       }
       if (r.prov_type > kMaxEdgeType) {
         return Status::DataLoss("provenance record has bad edge type");
       }
-      catalog_->AddEdge(r.src, r.dst,
+      catalog->AddEdge(r.src, r.dst,
                         static_cast<prov::EdgeType>(r.prov_type));
       return Status::OK();
     case WalRecordType::kProvProperty:
-      if (catalog_ == nullptr) {
+      if (catalog == nullptr) {
         return Status::Internal(
             "wal contains provenance but no catalog is attached");
       }
-      return catalog_->SetProperty(r.entity_id, r.key, r.value);
+      return catalog->SetProperty(r.entity_id, r.key, r.value);
   }
   return Status::DataLoss("unknown wal record type during replay");
 }

@@ -29,6 +29,27 @@ struct RecoveryResult {
   uint64_t wal_valid_size = 0;
 };
 
+/// The component set a WAL record or snapshot is applied into. Shared by
+/// crash recovery and the replication applier (src/repl) so a replica
+/// streams records through the exact same replay path a restart does —
+/// one switch, one set of invariants.
+struct WalReplayTarget {
+  storage::Database* db = nullptr;
+  prov::Catalog* catalog = nullptr;        // may be null
+  policy::PolicyEngine* policy = nullptr;  // may be null
+  const EngineStateAdapter* adapter = nullptr;
+};
+
+/// Applies one committed redo record. Internal/DataLoss when the record
+/// names a component the target lacks or carries malformed enum tags.
+Status ApplyWalRecord(const WalReplayTarget& target,
+                      const WalRecord& record);
+
+/// Restores a full snapshot image into an empty target (tables, models,
+/// audit log, policy timeline, provenance graph).
+Status RestoreSnapshotState(const WalReplayTarget& target,
+                            const SnapshotData& snapshot);
+
 /// Rebuilds durable state from a data directory: restores the latest
 /// snapshot (if any), then replays the WAL tail on top. Epoch fencing
 /// guards the snapshot/WAL pair: the snapshot records the epoch of the
@@ -51,8 +72,7 @@ class RecoveryManager {
   std::string wal_path() const { return dir_ + "/wal.log"; }
 
  private:
-  Status RestoreSnapshot(const SnapshotData& snapshot);
-  Status ApplyRecord(const WalRecord& record);
+  WalReplayTarget Target() const;
 
   std::string dir_;
   storage::Database* db_;

@@ -104,4 +104,136 @@ Status WalReader::Next(WalRecord* record, bool* done) {
   return Status::OK();
 }
 
+WalTailReader::WalTailReader(std::string path) : path_(std::move(path)) {}
+
+StatusOr<std::string> WalTailReader::Load(bool* epoch_changed) {
+  *epoch_changed = false;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("wal file not found: " + path_);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::string buf = std::move(contents).str();
+
+  // A header shorter than the fixed prefix can only be a log mid-creation
+  // (the writer lays the header down with one write): not yet durable.
+  if (buf.size() < kWalHeaderSize) {
+    return Status::Unavailable("wal header not yet complete: " + path_);
+  }
+  if (std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::DataLoss("bad wal magic: " + path_);
+  }
+  storage::ByteReader header(buf.data() + sizeof(kWalMagic),
+                             kWalHeaderSize - sizeof(kWalMagic));
+  uint32_t version;
+  uint64_t epoch;
+  FLOCK_RETURN_NOT_OK(header.GetU32(&version));
+  FLOCK_RETURN_NOT_OK(header.GetU64(&epoch));
+  if (version != kWalFormatVersion) {
+    return Status::DataLoss("unsupported wal format version " +
+                            std::to_string(version));
+  }
+  if (!header_seen_ || epoch != epoch_) {
+    *epoch_changed = header_seen_;
+    header_seen_ = true;
+    epoch_ = epoch;
+    next_lsn_ = 0;
+    offset_ = kWalHeaderSize;
+  }
+  return buf;
+}
+
+StatusOr<WalTailReader::PollResult> WalTailReader::Poll(
+    size_t max_records) {
+  PollResult result;
+  FLOCK_ASSIGN_OR_RETURN(std::string buf, Load(&result.epoch_changed));
+  if (result.epoch_changed) {
+    // The file was swapped by a checkpoint; hand the epoch bump to the
+    // caller before streaming from the new log.
+    return result;
+  }
+  if (offset_ > buf.size()) {
+    // The file shrank without an epoch change — the writer resumed over
+    // a torn tail we had not consumed (truncation never crosses a
+    // committed record, so a consumed position can only vanish if the
+    // bytes on disk were rewritten out from under us).
+    return Status::DataLoss("wal shrank below tail cursor at offset " +
+                            std::to_string(offset_) + ": " + path_);
+  }
+
+  size_t pos = offset_;
+  while (result.records.size() < max_records) {
+    if (pos == buf.size()) {
+      result.end_of_durable_log = true;
+      break;
+    }
+    if (buf.size() - pos < kRecordHeaderSize) {
+      // Partial frame header at the tail: an append in flight.
+      result.end_of_durable_log = true;
+      break;
+    }
+    storage::ByteReader frame(buf.data() + pos, buf.size() - pos);
+    uint32_t len, crc;
+    FLOCK_RETURN_NOT_OK(frame.GetU32(&len));
+    FLOCK_RETURN_NOT_OK(frame.GetU32(&crc));
+    if (len > kMaxRecordLen) {
+      // At the tail this is indistinguishable from a torn length word
+      // still being written; mid-log it is corruption.
+      if (buf.size() - pos <= kRecordHeaderSize + 8) {
+        result.end_of_durable_log = true;
+        break;
+      }
+      return Status::DataLoss("wal record length " + std::to_string(len) +
+                              " exceeds limit at offset " +
+                              std::to_string(pos));
+    }
+    if (len < 1 || frame.remaining() < len) {
+      // Body extends past EOF: the append (or its flush) is in flight.
+      result.end_of_durable_log = true;
+      break;
+    }
+    const char* body = buf.data() + pos + kRecordHeaderSize;
+    if (Crc32(body, len) != crc) {
+      if (pos + kRecordHeaderSize + len == buf.size()) {
+        // Bad checksum on the final frame: a torn tail, not corruption —
+        // this is exactly the live-tailing case where the old reader's
+        // mid-log rule would misfire. End of durable log; the frame may
+        // be completed (or truncated away by a resume) before the next
+        // poll.
+        result.end_of_durable_log = true;
+        break;
+      }
+      return Status::DataLoss("wal checksum mismatch at offset " +
+                              std::to_string(pos));
+    }
+    auto decoded = DecodeRecordPayload(static_cast<WalRecordType>(
+                                           static_cast<uint8_t>(body[0])),
+                                       body + 1, len - 1);
+    FLOCK_RETURN_NOT_OK(decoded.status());
+    result.records.push_back(*std::move(decoded));
+    pos += kRecordHeaderSize + len;
+    offset_ = pos;
+    ++next_lsn_;
+  }
+  return result;
+}
+
+Status WalTailReader::Seek(uint64_t lsn) {
+  header_seen_ = false;  // force a full reload incl. header re-validation
+  bool epoch_changed = false;
+  FLOCK_RETURN_NOT_OK(Load(&epoch_changed).status());
+  while (next_lsn_ < lsn) {
+    uint64_t remaining = lsn - next_lsn_;
+    auto polled = Poll(static_cast<size_t>(remaining));
+    FLOCK_RETURN_NOT_OK(polled.status());
+    if (polled->records.size() < remaining) {
+      return Status::OutOfRange(
+          "wal holds " + std::to_string(next_lsn_) +
+          " durable records, cannot seek to lsn " + std::to_string(lsn));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace flock::wal

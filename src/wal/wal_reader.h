@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status_or.h"
 #include "wal/wal_record.h"
@@ -44,6 +45,70 @@ class WalReader {
   uint64_t valid_size_;
   bool tail_truncated_ = false;
   uint64_t records_read_ = 0;
+};
+
+/// Incremental reader over a *live* WAL that a writer is still appending
+/// to — the replication publisher tails the primary's log with one of
+/// these. Two things distinguish tailing from the recovery-time
+/// WalReader above:
+///
+///  - A torn or partial record at the tail is NOT a crash artifact to
+///    truncate: the writer may simply be mid-append (or mid-flush), and
+///    the frame may complete by the next poll. Poll() stops at the last
+///    intact record boundary and reports "end of durable log" — never a
+///    CRC error, and never a sticky truncation — so the caller retries
+///    later from the same position. Damage strictly *before* the tail
+///    frame is still DataLoss (real corruption).
+///
+///  - Checkpoints atomically replace the file with a fresh, empty log
+///    under a bumped epoch. Poll() detects the swap via the header epoch
+///    and reports it (`epoch_changed`), resetting its cursor to the new
+///    log's start; the caller decides whether it can continue (it was
+///    fully caught up) or must re-bootstrap from a snapshot.
+///
+/// Positions are LSNs: the index of the next record within the current
+/// epoch's log (record 0 is the first record after the header).
+class WalTailReader {
+ public:
+  explicit WalTailReader(std::string path);
+
+  struct PollResult {
+    /// Records decoded this poll, in log order.
+    std::vector<WalRecord> records;
+    /// True when the intact prefix of the log is exhausted — clean EOF or
+    /// a (possibly still in-flight) torn tail frame.
+    bool end_of_durable_log = false;
+    /// True when the log file was replaced by a checkpoint: the reader
+    /// now sits at LSN 0 of the new epoch and `records` is empty.
+    bool epoch_changed = false;
+  };
+
+  /// Reads up to `max_records` records from the current position.
+  /// NotFound until the log file exists; DataLoss only on mid-log
+  /// corruption (a damaged final frame is end-of-durable-log instead).
+  StatusOr<PollResult> Poll(size_t max_records);
+
+  /// Repositions to `lsn` within the current log (re-reading from the
+  /// header). OutOfRange when the durable log holds fewer records.
+  Status Seek(uint64_t lsn);
+
+  /// Epoch of the log the cursor is in (0 before the first Poll).
+  uint64_t epoch() const { return epoch_; }
+  /// LSN of the next record Poll would return.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Byte offset of the cursor (end of the last intact record consumed).
+  uint64_t offset() const { return offset_; }
+
+ private:
+  /// Loads the file, validates the header, and detects epoch swaps.
+  /// Returns the file contents; positions offset_ appropriately.
+  StatusOr<std::string> Load(bool* epoch_changed);
+
+  std::string path_;
+  uint64_t epoch_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t offset_ = 0;
+  bool header_seen_ = false;
 };
 
 }  // namespace flock::wal

@@ -105,7 +105,7 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Resume(
     const std::string& path, uint64_t epoch, uint64_t valid_size,
-    WalWriterOptions options) {
+    WalWriterOptions options, uint64_t records_in_log) {
   std::FILE* file = std::fopen(path.c_str(), "rb+");
   if (file == nullptr) return Errno("open", path);
   // Drop any torn tail so new records start at a record boundary.
@@ -121,8 +121,10 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Resume(
     std::fclose(file);
     return s;
   }
-  return std::unique_ptr<WalWriter>(
+  std::unique_ptr<WalWriter> writer(
       new WalWriter(path, file, epoch, options));
+  writer->epoch_records_.store(records_in_log, std::memory_order_relaxed);
+  return writer;
 }
 
 WalWriter::WalWriter(std::string path, std::FILE* file, uint64_t epoch,
@@ -210,7 +212,10 @@ Status WalWriter::AppendLocked(const WalRecord& record,
     health_ = s;
     flush_cv_.notify_all();
   }
-  if (s.ok()) ++records_appended_;
+  if (s.ok()) {
+    ++records_appended_;
+    ++epoch_records_;
+  }
   return s;
 }
 
@@ -294,6 +299,7 @@ Status WalWriter::ResetForEpoch(uint64_t new_epoch) {
   std::fclose(file_);
   file_ = *file;
   epoch_ = new_epoch;
+  epoch_records_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -57,9 +57,11 @@ class WalWriter {
   /// Opens an existing log for appending. `valid_size` is the byte offset
   /// of the end of the last intact record (from WalReader); anything
   /// after it (a torn tail) is truncated away before appending resumes.
+  /// `records_in_log` is the number of intact records already in the log
+  /// — it seeds the epoch-local LSN counter (`epoch_records()`).
   static StatusOr<std::unique_ptr<WalWriter>> Resume(
       const std::string& path, uint64_t epoch, uint64_t valid_size,
-      WalWriterOptions options);
+      WalWriterOptions options, uint64_t records_in_log = 0);
 
   ~WalWriter();
 
@@ -83,6 +85,12 @@ class WalWriter {
   const std::string& path() const { return path_; }
   uint64_t records_appended() const {
     return records_appended_.load(std::memory_order_relaxed);
+  }
+  /// Records durable under the *current* epoch — i.e. the LSN the next
+  /// append will get. Unlike records_appended() this resets to zero when
+  /// ResetForEpoch cuts a fresh log; replication streams against it.
+  uint64_t epoch_records() const {
+    return epoch_records_.load(std::memory_order_relaxed);
   }
   uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
   uint64_t bytes_written() const {
@@ -108,6 +116,7 @@ class WalWriter {
   // Mutated under mu_, but atomic so the metrics registry can read them
   // lock-free while the serving path is appending.
   std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> epoch_records_{0};
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> bytes_written_{0};
 

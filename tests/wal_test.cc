@@ -64,6 +64,11 @@ void WriteFile(const std::string& path, const std::string& data) {
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
 }
 
+void AppendBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
 /// All eleven record types, with every field group populated.
 std::vector<WalRecord> AllRecordTypes() {
   std::vector<WalRecord> records;
@@ -600,6 +605,192 @@ TEST(SnapshotTest, CheckpointManagerWritesAtomicallyAndReadsBack) {
   // No temp file left behind.
   std::ifstream tmp(manager.temp_path());
   EXPECT_FALSE(tmp.good());
+}
+
+// ---------------------------------------------------------------------
+// WalTailReader: incremental tailing of a *live* log (replication).
+// ---------------------------------------------------------------------
+
+TEST(WalTailReaderTest, PollIsNotFoundUntilTheLogExists) {
+  std::string dir = MakeTempDir();
+  WalTailReader tail(dir + "/wal.log");
+  auto poll = tail.Poll(10);
+  ASSERT_FALSE(poll.ok());
+  EXPECT_EQ(poll.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WalTailReaderTest, TailsALiveWriterIncrementally) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecord::CreateTable("t", TwoColSchema())).ok());
+  ASSERT_TRUE((*writer)->Append(WalRecord::AppendBatch("t", SmallBatch())).ok());
+
+  WalTailReader tail(path);
+  auto first = tail.Poll(10);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->records.size(), 2u);
+  EXPECT_TRUE(first->end_of_durable_log);
+  EXPECT_EQ(tail.epoch(), 1u);
+  EXPECT_EQ(tail.next_lsn(), 2u);
+
+  // The writer keeps appending; the next poll picks up only the delta.
+  ASSERT_TRUE((*writer)->Append(WalRecord::DeleteRows("t", {0})).ok());
+  auto second = tail.Poll(10);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->records.size(), 1u);
+  EXPECT_EQ(second->records[0].type, WalRecordType::kDeleteRows);
+  EXPECT_EQ(tail.next_lsn(), 3u);
+
+  // max_records bounds a round without losing position.
+  ASSERT_TRUE((*writer)->Append(WalRecord::DeleteRows("t", {1})).ok());
+  ASSERT_TRUE((*writer)->Append(WalRecord::DropTable("t")).ok());
+  auto capped = tail.Poll(1);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->records.size(), 1u);
+  EXPECT_FALSE(capped->end_of_durable_log);
+  auto rest = tail.Poll(10);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->records.size(), 1u);
+  EXPECT_TRUE(rest->end_of_durable_log);
+}
+
+TEST(WalTailReaderTest, TornTailIsEndOfDurableLogNotAnError) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecord::CreateTable("t", TwoColSchema())).ok());
+
+  // A half-written frame at the tail: to a tailing replica this is a
+  // record still in flight, not corruption — retried, never truncated.
+  AppendBytes(path, std::string("\x40\x00\x00\x00\xaa\xbb", 6));
+  WalTailReader tail(path);
+  auto poll = tail.Poll(10);
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  EXPECT_EQ(poll->records.size(), 1u);
+  EXPECT_TRUE(poll->end_of_durable_log);
+
+  // The condition is not sticky: polling again is still fine.
+  auto again = tail.Poll(10);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->records.empty());
+  EXPECT_TRUE(again->end_of_durable_log);
+}
+
+TEST(WalTailReaderTest, InjectedPartialWriteReadsAsEndOfDurableLog) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecord::CreateTable("t", TwoColSchema())).ok());
+
+  // The injector tears the next append mid-frame (half the bytes land),
+  // exactly what a live tail sees when the primary dies mid-write.
+  FaultInjector::Get()->Arm("wal.append.partial_write",
+                            FaultInjector::Mode::kError);
+  EXPECT_FALSE(
+      (*writer)->Append(WalRecord::AppendBatch("t", SmallBatch())).ok());
+  FaultInjector::Get()->Disarm();
+
+  WalTailReader tail(path);
+  auto poll = tail.Poll(10);
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  EXPECT_EQ(poll->records.size(), 1u);  // only the committed record
+  EXPECT_TRUE(poll->end_of_durable_log);
+}
+
+TEST(WalTailReaderTest, MidLogDamageIsStillDataLoss) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecord::CreateTable("t", TwoColSchema())).ok());
+  size_t first_end = ReadFile(path).size();
+  ASSERT_TRUE((*writer)->Append(WalRecord::AppendBatch("t", SmallBatch())).ok());
+  writer->reset();
+
+  // Flip a byte inside the *first* record: damage before the tail frame
+  // is real corruption, not an in-flight append.
+  std::string bytes = ReadFile(path);
+  bytes[first_end - 3] ^= 0x5a;
+  WriteFile(path, bytes);
+
+  WalTailReader tail(path);
+  auto poll = tail.Poll(10);
+  ASSERT_FALSE(poll.ok());
+  EXPECT_EQ(poll.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTailReaderTest, CheckpointEpochSwapIsReported) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecord::CreateTable("t", TwoColSchema())).ok());
+
+  WalTailReader tail(path);
+  ASSERT_TRUE(tail.Poll(10).ok());
+  EXPECT_EQ(tail.epoch(), 1u);
+
+  // Checkpoint: the file is atomically replaced under a bumped epoch.
+  ASSERT_TRUE((*writer)->ResetForEpoch(2).ok());
+  ASSERT_TRUE((*writer)->Append(WalRecord::DropTable("t")).ok());
+
+  auto swapped = tail.Poll(10);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(swapped->epoch_changed);
+  EXPECT_TRUE(swapped->records.empty());  // cursor reset, nothing consumed
+  EXPECT_EQ(tail.epoch(), 2u);
+  EXPECT_EQ(tail.next_lsn(), 0u);
+
+  auto fresh = tail.Poll(10);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->records.size(), 1u);
+  EXPECT_EQ(fresh->records[0].type, WalRecordType::kDropTable);
+}
+
+TEST(WalTailReaderTest, SeekRepositionsWithinTheDurablePrefix) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.fsync_policy = FsyncPolicy::kNever;
+  auto writer = WalWriter::Create(path, 3, options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*writer)
+            ->Append(WalRecord::DropModel("m" + std::to_string(i), "p"))
+            .ok());
+  }
+
+  WalTailReader tail(path);
+  ASSERT_TRUE(tail.Seek(2).ok());
+  EXPECT_EQ(tail.epoch(), 3u);
+  auto poll = tail.Poll(10);
+  ASSERT_TRUE(poll.ok());
+  ASSERT_EQ(poll->records.size(), 2u);
+  EXPECT_EQ(poll->records[0].name, "m2");
+
+  // Seeking past the durable log is OutOfRange (the caller re-bootstraps
+  // or waits, depending on which side of the epoch it is on).
+  EXPECT_EQ(tail.Seek(9).code(), StatusCode::kOutOfRange);
 }
 
 TEST(WalFormatTest, Crc32MatchesKnownVector) {
