@@ -1,0 +1,297 @@
+// Rollout benchmark: what shadow scoring costs on the serving path and
+// how close canary routing lands to the configured traffic fraction.
+//
+// Two phases against one in-memory engine (users table + churn GBDT):
+//
+//  * shadow_overhead — the same PREDICT query stream runs through the
+//    RolloutManager interceptor twice: once with no active rollout (the
+//    fast path is a single atomic load) and once mid-shadow, where every
+//    request also scores the candidate and feeds the divergence/drift
+//    accounting. Reported as qps for both and the overhead multiple.
+//  * canary_skew — for several configured fractions, distinct principals
+//    are routed through a canary-stage rollout; the observed candidate
+//    share is compared against the configured share (FNV-1a routing
+//    skew).
+//
+// Output: human-readable table on stdout plus JSON (stdout, or a file
+// when a path is passed as argv[1]).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "flock/flock_engine.h"
+#include "lifecycle/rollout.h"
+#include "ml/tree.h"
+
+namespace {
+
+constexpr size_t kUserRows = 500;
+constexpr int kScoringRequests = 300;
+constexpr size_t kCanaryPrincipals = 1000;
+
+const char* kScoringSql =
+    "SELECT id, PREDICT(churn, age, income, tenure, clicks, plan) "
+    "FROM users WHERE id < 100";
+
+bool Check(const flock::Status& status, const char* what) {
+  if (status.ok()) return true;
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return false;
+}
+
+flock::flock::FlockEngineOptions SerialEngineOptions() {
+  flock::flock::FlockEngineOptions options;
+  options.sql.num_threads = 1;
+  return options;
+}
+
+bool BuildEngine(flock::flock::FlockEngine* engine) {
+  if (!Check(engine
+                 ->Execute("CREATE TABLE users (id INT, age DOUBLE, "
+                           "income DOUBLE, tenure DOUBLE, clicks DOUBLE, "
+                           "plan VARCHAR)")
+                 .status(),
+             "create table")) {
+    return false;
+  }
+  flock::Random rng(7);
+  const char* plans[] = {"basic", "plus", "pro"};
+  flock::ml::Matrix raw(kUserRows, 5);
+  std::vector<double> labels(kUserRows);
+  std::string insert = "INSERT INTO users VALUES ";
+  for (size_t i = 0; i < kUserRows; ++i) {
+    double age = 20 + rng.NextDouble() * 50;
+    double income = 30 + rng.NextDouble() * 120;
+    double tenure = rng.NextDouble() * 10;
+    double clicks = rng.NextDouble() * 100;
+    size_t plan = rng.Uniform(3);
+    raw.at(i, 0) = age;
+    raw.at(i, 1) = income;
+    raw.at(i, 2) = tenure;
+    raw.at(i, 3) = clicks;
+    raw.at(i, 4) = static_cast<double>(plan);
+    double z = 0.08 * (age - 45) - 0.02 * (income - 90) - 0.4 * tenure +
+               0.03 * clicks;
+    labels[i] = z > 0 ? 1.0 : 0.0;
+    if (i > 0) insert += ", ";
+    char row[160];
+    std::snprintf(row, sizeof(row), "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')",
+                  i, age, income, tenure, clicks, plans[plan]);
+    insert += row;
+  }
+  if (!Check(engine->Execute(insert).status(), "seed insert")) return false;
+
+  flock::ml::Pipeline pipeline;
+  std::vector<flock::ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(
+        flock::ml::FeatureSpec{n, flock::ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(flock::ml::FeatureSpec{
+      "plan", flock::ml::FeatureKind::kCategorical,
+      {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(flock::ml::ModelTask::kBinaryClassification);
+  pipeline.FitFeaturizers(raw, true, true);
+  flock::ml::Dataset features;
+  features.x = pipeline.Transform(raw);
+  features.y = labels;
+  flock::ml::GbtOptions gbt;
+  gbt.num_trees = 8;
+  gbt.max_depth = 3;
+  pipeline.SetTreeModel(flock::ml::TrainGradientBoosting(features, gbt));
+  return Check(engine->DeployModel("churn", std::move(pipeline), "bench",
+                                   "bench_rollout"),
+               "deploy model");
+}
+
+/// Guards disabled so the bench measures the steady state, not a
+/// rollback.
+flock::lifecycle::RolloutConfig BenchConfig(uint32_t permille) {
+  flock::lifecycle::RolloutConfig config;
+  config.canary_permille = permille;
+  config.guard.max_divergence_rate = 0.0;
+  config.guard.max_latency_regression = 0.0;
+  config.guard.max_drift_score = 0.0;
+  config.guard.min_observations = 1;
+  return config;
+}
+
+struct ShadowResult {
+  int requests = 0;
+  double baseline_qps = 0.0;
+  double shadow_qps = 0.0;
+  double overhead_x = 0.0;
+  unsigned long long compared_rows = 0;
+  unsigned long long diverged_rows = 0;
+};
+
+/// qps of kScoringRequests interceptor passes in the current stage.
+double MeasureQps(flock::flock::FlockEngine* engine,
+                  flock::lifecycle::RolloutManager* manager) {
+  auto execute = [engine](const std::string& sql) {
+    return engine->Execute(sql);
+  };
+  flock::Stopwatch wall;
+  for (int i = 0; i < kScoringRequests; ++i) {
+    auto result = manager->Intercept("bench", kScoringSql, execute);
+    if (!result.ok()) {
+      std::fprintf(stderr, "intercepted request failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return kScoringRequests / wall.ElapsedSeconds();
+}
+
+ShadowResult RunShadowOverhead(flock::flock::FlockEngine* engine,
+                               flock::lifecycle::RolloutManager* manager) {
+  ShadowResult result;
+  result.requests = kScoringRequests;
+  result.baseline_qps = MeasureQps(engine, manager);  // no active rollout
+
+  if (!Check(manager->Begin("churn", "churn", BenchConfig(100), "bench"),
+             "begin shadow rollout") ||
+      !Check(manager->Promote("churn"), "promote to shadow")) {
+    std::exit(1);
+  }
+  result.shadow_qps = MeasureQps(engine, manager);
+  result.overhead_x = result.baseline_qps / result.shadow_qps;
+
+  auto view = manager->Describe("churn");
+  if (view.ok()) {
+    result.compared_rows = view->compared_rows;
+    result.diverged_rows = view->diverged_rows;
+  }
+  if (!Check(manager->Abort("churn"), "abort shadow rollout")) {
+    std::exit(1);
+  }
+  return result;
+}
+
+struct SkewResult {
+  uint32_t permille = 0;
+  size_t principals = 0;
+  size_t routed = 0;
+  double observed_fraction = 0.0;
+  double skew_abs = 0.0;
+  unsigned long long fallbacks = 0;
+};
+
+SkewResult RunCanarySkew(flock::flock::FlockEngine* engine,
+                         flock::lifecycle::RolloutManager* manager,
+                         uint32_t permille) {
+  if (!Check(manager->Begin("churn", "churn", BenchConfig(permille),
+                            "bench"),
+             "begin canary rollout") ||
+      !Check(manager->Promote("churn"), "promote to shadow") ||
+      !Check(manager->Promote("churn"), "promote to canary")) {
+    std::exit(1);
+  }
+  // A cheap query keeps the phase routing-bound rather than scan-bound.
+  const std::string sql =
+      "SELECT id, PREDICT(churn, age, income, tenure, clicks, plan) "
+      "FROM users WHERE id < 4";
+  SkewResult result;
+  result.permille = permille;
+  result.principals = kCanaryPrincipals;
+  for (size_t i = 0; i < kCanaryPrincipals; ++i) {
+    bool candidate = false;
+    auto probe = [&](const std::string& q) {
+      if (q.find("#candidate") != std::string::npos) candidate = true;
+      return engine->Execute(q);
+    };
+    auto r = manager->Intercept("user" + std::to_string(i), sql, probe);
+    if (!r.ok()) {
+      std::fprintf(stderr, "canary request failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (candidate) ++result.routed;
+  }
+  result.observed_fraction =
+      static_cast<double>(result.routed) / kCanaryPrincipals;
+  result.skew_abs =
+      result.observed_fraction - static_cast<double>(permille) / 1000.0;
+  if (result.skew_abs < 0) result.skew_abs = -result.skew_abs;
+  auto view = manager->Describe("churn");
+  if (view.ok()) result.fallbacks = view->canary_fallbacks;
+  if (!Check(manager->Abort("churn"), "abort canary rollout")) {
+    std::exit(1);
+  }
+  return result;
+}
+
+void EmitJson(std::FILE* out, const ShadowResult& shadow,
+              const std::vector<SkewResult>& skews) {
+  std::fprintf(out, "{\n  \"benchmark\": \"rollout\",\n");
+  std::fprintf(out,
+               "  \"shadow_overhead\": {\"requests\": %d, "
+               "\"baseline_qps\": %.0f, \"shadow_qps\": %.0f, "
+               "\"overhead_x\": %.2f, \"compared_rows\": %llu, "
+               "\"diverged_rows\": %llu},\n",
+               shadow.requests, shadow.baseline_qps, shadow.shadow_qps,
+               shadow.overhead_x, shadow.compared_rows,
+               shadow.diverged_rows);
+  std::fprintf(out, "  \"canary_skew\": [\n");
+  for (size_t i = 0; i < skews.size(); ++i) {
+    const SkewResult& s = skews[i];
+    std::fprintf(out,
+                 "    {\"permille\": %u, \"principals\": %zu, "
+                 "\"routed\": %zu, \"observed_fraction\": %.3f, "
+                 "\"configured_fraction\": %.3f, \"skew_abs\": %.3f, "
+                 "\"fallbacks\": %llu}%s\n",
+                 s.permille, s.principals, s.routed, s.observed_fraction,
+                 s.permille / 1000.0, s.skew_abs, s.fallbacks,
+                 i + 1 < skews.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flock::flock::FlockEngine engine(SerialEngineOptions());
+  if (!BuildEngine(&engine)) return 1;
+  flock::lifecycle::RolloutManager manager(&engine);
+  if (!Check(manager.Resume(), "resume")) return 1;
+
+  std::printf("rollout benchmark: %zu users + churn model, "
+              "%d scoring requests per phase\n\n",
+              kUserRows, kScoringRequests);
+
+  ShadowResult shadow = RunShadowOverhead(&engine, &manager);
+  std::printf("shadow overhead: baseline %.0f qps, shadow %.0f qps "
+              "(%.2fx), %llu rows compared, %llu diverged\n",
+              shadow.baseline_qps, shadow.shadow_qps, shadow.overhead_x,
+              shadow.compared_rows, shadow.diverged_rows);
+
+  std::printf("\n%9s %11s %8s %10s %9s\n", "permille", "principals",
+              "routed", "observed", "skew");
+  std::vector<SkewResult> skews;
+  for (uint32_t permille : {100u, 250u, 500u}) {
+    SkewResult s = RunCanarySkew(&engine, &manager, permille);
+    std::printf("%9u %11zu %8zu %10.3f %9.3f\n", s.permille, s.principals,
+                s.routed, s.observed_fraction, s.skew_abs);
+    skews.push_back(s);
+  }
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("\nwriting JSON to %s\n", argv[1]);
+  } else {
+    std::printf("\n");
+  }
+  EmitJson(out, shadow, skews);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

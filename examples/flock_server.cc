@@ -49,7 +49,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/string_util.h"
 #include "flock/flock_engine.h"
+#include "lifecycle/rollout.h"
 #include "ml/tree.h"
 #include "repl/applier.h"
 #include "repl/metrics.h"
@@ -259,6 +261,7 @@ struct ConnectionContext {
   flock::serve::PredictionServer* server = nullptr;
   std::string data_dir;                            // "" = not durable
   flock::repl::ReplicaApplier* applier = nullptr;  // set in replica mode
+  flock::lifecycle::RolloutManager* rollouts = nullptr;  // primary only
 };
 
 /// `.repl <args>` dispatch. The publisher is lazily created per
@@ -314,6 +317,63 @@ std::string HandleRepl(
   }
   return flock::serve::EncodeError(
       flock::Status::Internal("unhandled repl command"));
+}
+
+/// `.rollout <args>` dispatch: status | begin <model> <source_model>
+/// [fraction] | promote <model> | abort <model>.
+std::string HandleRollout(ConnectionContext* ctx, const std::string& args) {
+  if (ctx->rollouts == nullptr) {
+    return flock::serve::EncodeError(flock::Status::Redirect(
+        "replica is read-only; manage rollouts on the primary"));
+  }
+  flock::lifecycle::RolloutManager* manager = ctx->rollouts;
+  std::vector<std::string> words = flock::SplitWhitespace(args);
+  const std::string usage =
+      "usage: .rollout status | begin <model> <source_model> [fraction] | "
+      "promote <model> | abort <model>";
+  if (words.empty()) {
+    return flock::serve::EncodeError(flock::Status::InvalidArgument(usage));
+  }
+  if (words[0] == "status") {
+    std::string json = manager->StatusJson();
+    json.erase(std::remove(json.begin(), json.end(), '\n'), json.end());
+    return json + "\n";
+  }
+  if (words[0] == "begin") {
+    if (words.size() < 3 || words.size() > 4) {
+      return flock::serve::EncodeError(
+          flock::Status::InvalidArgument(usage));
+    }
+    flock::lifecycle::RolloutConfig config;
+    if (words.size() == 4) {
+      char* end = nullptr;
+      double fraction = std::strtod(words[3].c_str(), &end);
+      if (end == words[3].c_str() || *end != '\0' || fraction < 0.0 ||
+          fraction > 1.0) {
+        return flock::serve::EncodeError(flock::Status::InvalidArgument(
+            "canary fraction must be a number in [0, 1]"));
+      }
+      config.canary_permille = static_cast<uint32_t>(fraction * 1000.0);
+    }
+    flock::Status begun =
+        manager->Begin(words[1], words[2], config, "wire-admin");
+    if (!begun.ok()) return flock::serve::EncodeError(begun);
+    return "rollout " + words[1] + " staged\n";
+  }
+  if (words[0] == "promote" || words[0] == "abort") {
+    if (words.size() != 2) {
+      return flock::serve::EncodeError(
+          flock::Status::InvalidArgument(usage));
+    }
+    flock::Status moved = words[0] == "promote" ? manager->Promote(words[1])
+                                                : manager->Abort(words[1]);
+    if (!moved.ok()) return flock::serve::EncodeError(moved);
+    auto view = manager->Describe(words[1]);
+    if (!view.ok()) return flock::serve::EncodeError(view.status());
+    return "rollout " + words[1] + " " +
+           flock::lifecycle::StageName(view->stage) + "\n";
+  }
+  return flock::serve::EncodeError(flock::Status::InvalidArgument(usage));
 }
 
 void ServeConnection(ConnectionContext* ctx, int fd) {
@@ -408,6 +468,9 @@ void ServeConnection(ConnectionContext* ctx, int fd) {
         break;
       case Request::Kind::kRepl:
         response = HandleRepl(ctx, &publisher, request.text);
+        break;
+      case Request::Kind::kRollout:
+        response = HandleRollout(ctx, request.text);
         break;
       case Request::Kind::kQuit:
         open = false;
@@ -532,11 +595,28 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // The lifecycle manager sits between the wire and the engine: its
+  // interceptor shadow-scores / canary-routes scoring queries while any
+  // rollout is active, and recovers in-flight rollouts from the WAL.
+  // Replicas skip it — their rollout state streams in via ApplyReplicated
+  // and transitions belong to the primary.
+  std::unique_ptr<flock::lifecycle::RolloutManager> rollouts;
+  if (replica_of.empty()) {
+    rollouts = std::make_unique<flock::lifecycle::RolloutManager>(&engine);
+    flock::Status resumed = rollouts->Resume();
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "rollout resume: %s\n",
+                   resumed.ToString().c_str());
+      return 1;
+    }
+    options.interceptor = rollouts->MakeInterceptor();
+  }
   flock::serve::PredictionServer server(&engine, options);
   if (applier) {
     flock::repl::RegisterReplicaMetrics(server.metrics_registry(),
                                         applier.get());
   }
+  if (rollouts) rollouts->RegisterMetrics(server.metrics_registry());
 
   int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -571,6 +651,7 @@ int main(int argc, char** argv) {
   context.server = &server;
   context.data_dir = data_dir;
   context.applier = applier.get();
+  context.rollouts = rollouts.get();
 
   std::vector<std::thread> connections;
   while (true) {

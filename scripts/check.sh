@@ -12,7 +12,9 @@
 # differential corpus) and the replication suites (ctest label `repl`:
 # wire/publisher/applier/coordinator units, the primary-vs-replica
 # differential corpus, and the replication crash matrix) run as
-# dedicated stages in both sanitizer builds.
+# dedicated stages in both sanitizer builds, as does the model-lifecycle
+# suite (ctest label `lifecycle`: rollout state machine, shadow/canary
+# scoring, drift monitor, guard-rule auto-rollback).
 #
 # Usage: scripts/check.sh
 #          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
@@ -72,6 +74,15 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     repl_differential_test
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L repl
+
+  echo "== ASan lifecycle stage: rollouts + drift monitor + auto-rollback =="
+  # The model-lifecycle suite carries the `lifecycle` ctest label. Under
+  # ASan it vets the rollout snapshot (de)serialization round-trips, the
+  # candidate pipeline install/retire paths, and the crash-recovery /
+  # replication of rollout state.
+  cmake --build build-asan -j "$JOBS" --target lifecycle_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L lifecycle
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -106,6 +117,17 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS" --target repl_test \
     repl_differential_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L repl
+
+  echo "== TSan lifecycle stage: shadow scoring + guard-rule rollback =="
+  # The interceptor runs on serve worker threads while guard breaches
+  # trigger rollback through DeployTransaction on whichever thread hits
+  # the limit first; `lifecycle` under TSan proves the stage/finalizing
+  # handoff and the shared counters race-free, and the flock_test deploy
+  # race test vets Commit's undo path against concurrent scorers.
+  cmake --build build-tsan -j "$JOBS" --target lifecycle_test flock_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L lifecycle
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'DeployRollbackRacesConcurrentScorers'
 fi
 
 if [[ "$RUN_RECOVERY" == 1 ]]; then

@@ -119,6 +119,7 @@ Status DeployTransaction::CommitLocked() {
                                 it->lineage);
     }
   }
+  if (!undo_log.empty() && on_rollback_) on_rollback_();
   operations_.clear();
   return Status::Aborted("deployment rolled back: " + failure.ToString());
 }

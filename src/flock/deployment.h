@@ -34,14 +34,20 @@ class DeployTransaction {
   /// `engine_mu` (optional) is held exclusively for the duration of
   /// Commit so no query scores mid-transaction; `on_commit` (optional)
   /// runs after a successful commit while the lock is still held —
-  /// FlockEngine uses it to invalidate the plan cache.
+  /// FlockEngine uses it to invalidate the plan cache. `on_rollback`
+  /// (optional) runs — also under the lock — after a failed commit has
+  /// undone applied operations: the undo re-registers prior versions,
+  /// which erases their derived specializations, so cached plans must be
+  /// invalidated on this path too.
   explicit DeployTransaction(
       ModelRegistry* registry, std::shared_mutex* engine_mu = nullptr,
       std::function<void(const std::vector<CommittedDeployOp>&)> on_commit =
-          {})
+          {},
+      std::function<void()> on_rollback = {})
       : registry_(registry),
         engine_mu_(engine_mu),
-        on_commit_(std::move(on_commit)) {}
+        on_commit_(std::move(on_commit)),
+        on_rollback_(std::move(on_rollback)) {}
 
   /// Stages a model (re)deployment.
   void StageRegister(std::string name, ml::Pipeline pipeline,
@@ -75,6 +81,7 @@ class DeployTransaction {
   ModelRegistry* registry_;
   std::shared_mutex* engine_mu_ = nullptr;
   std::function<void(const std::vector<CommittedDeployOp>&)> on_commit_;
+  std::function<void()> on_rollback_;
   std::vector<Operation> operations_;
 };
 

@@ -39,6 +39,10 @@ const char* AuditKindName(AuditEvent::Kind kind) {
 
 }  // namespace
 
+std::string RolloutCandidateKey(const std::string& model) {
+  return ToLower(model) + "#candidate";
+}
+
 FlockEngine::FlockEngine(FlockEngineOptions options)
     : sql_engine_(&db_, options.sql),
       cross_optimizer_(&models_, options.cross),
@@ -125,6 +129,7 @@ Status FlockEngine::InstallReplicaSnapshot(
     FLOCK_RETURN_NOT_OK(db_.DropTable(name));
   }
   models_.Reset();
+  rollouts_.clear();
   if (replica_catalog_ != nullptr) {
     FLOCK_RETURN_NOT_OK(replica_catalog_->Restore({}, {}));
   }
@@ -232,6 +237,23 @@ wal::EngineStateAdapter FlockEngine::BuildStateAdapter() {
   adapter.replay_drop = [this](const std::string& name,
                                const std::string& principal) -> Status {
     return models_.Drop(name, principal);
+  };
+  adapter.snapshot_rollouts = [this] {
+    std::vector<wal::RolloutSnapshot> out;
+    out.reserve(rollouts_.size());
+    for (const auto& [key, rollout] : rollouts_) out.push_back(rollout);
+    return out;
+  };
+  // Restore and replay share one body: every rollout record carries the
+  // complete post-transition state, so applying the latest record (or the
+  // snapshot image) alone reproduces it. Callers hold the exclusive lock.
+  adapter.restore_rollout =
+      [this](const wal::RolloutSnapshot& rollout) -> Status {
+    return ApplyRolloutLocked(rollout);
+  };
+  adapter.replay_rollout =
+      [this](const wal::RolloutSnapshot& rollout) -> Status {
+    return ApplyRolloutLocked(rollout);
   };
   return adapter;
 }
@@ -467,12 +489,68 @@ DeployTransaction FlockEngine::BeginDeployment() {
                                               op.created_by, op.lineage);
           }
         }
-      });
+      },
+      [this]() { sql_engine_.plan_cache()->Clear(); });
 }
 
 void FlockEngine::SetPrincipal(const std::string& principal) {
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   context_->principal = principal;
+}
+
+void FlockEngine::SetFeatureObserver(FeatureObserver* observer) {
+  context_->observer.store(observer, std::memory_order_release);
+}
+
+Status FlockEngine::ApplyRolloutLocked(
+    const wal::RolloutSnapshot& rollout) {
+  const std::string spec_key = RolloutCandidateKey(rollout.model);
+  if (rollout.state <= 2) {
+    // staged / shadow / canary: the candidate must be scoreable. Install
+    // it as a specialization of the live model — not a registry version —
+    // so plain PREDICT(model, ...) still resolves to the live entry and
+    // only rewritten candidate traffic reaches it.
+    FLOCK_ASSIGN_OR_RETURN(
+        ml::Pipeline pipeline,
+        ml::Pipeline::Deserialize(rollout.candidate_pipeline_text));
+    ModelEntry entry;
+    entry.name = spec_key;
+    entry.base_name = rollout.model;
+    FLOCK_ASSIGN_OR_RETURN(entry.graph, pipeline.Compile());
+    entry.pipeline = std::move(pipeline);
+    FLOCK_RETURN_NOT_OK(
+        models_.RegisterSpecialization(spec_key, std::move(entry)));
+  } else {
+    // live / rolled_back: candidate traffic stops. (Promotion's Register
+    // already erased the spec; rollback retires it here.)
+    models_.RemoveSpecialization(spec_key);
+  }
+  rollouts_[ToLower(rollout.model)] = rollout;
+  // Cached plans may reference the superseded (or freshly installed)
+  // candidate specialization.
+  sql_engine_.plan_cache()->Clear();
+  return Status::OK();
+}
+
+Status FlockEngine::UpdateRolloutState(const wal::RolloutSnapshot& rollout) {
+  if (replica_) {
+    return Status::Redirect(
+        "replica is read-only; manage rollouts on the primary");
+  }
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  FLOCK_RETURN_NOT_OK(ApplyRolloutLocked(rollout));
+  if (durability_ != nullptr) {
+    return durability_->LogRolloutState(rollout);
+  }
+  return Status::OK();
+}
+
+std::vector<wal::RolloutSnapshot> FlockEngine::RolloutStates() const {
+  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  std::vector<wal::RolloutSnapshot> out;
+  out.reserve(rollouts_.size());
+  for (const auto& [key, rollout] : rollouts_) out.push_back(rollout);
+  return out;
 }
 
 }  // namespace flock::flock

@@ -1,9 +1,11 @@
 #ifndef FLOCK_FLOCK_FLOCK_ENGINE_H_
 #define FLOCK_FLOCK_FLOCK_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "flock/cross_optimizer.h"
 #include "flock/deployment.h"
@@ -27,6 +29,12 @@ struct FlockDurabilityConfig {
   /// must outlive the engine).
   policy::PolicyEngine* policy = nullptr;
 };
+
+/// Registry key under which a rollout's candidate pipeline is installed
+/// as a (non-user-visible) specialization of `model`. The serving layer
+/// rewrites PREDICT calls to this key for shadow/canary traffic; access
+/// control still runs against the base model.
+std::string RolloutCandidateKey(const std::string& model);
 
 struct FlockEngineOptions {
   sql::EngineOptions sql;
@@ -171,6 +179,24 @@ class FlockEngine {
   /// exclusive lock and invalidates the plan cache on success.
   DeployTransaction BeginDeployment();
 
+  /// Commits one rollout state transition: stores the full rollout under
+  /// its model name, installs the candidate pipeline as a scoreable
+  /// specialization (active states) or retires it (terminal states),
+  /// clears the plan cache, and WAL-logs the transition so it survives
+  /// crashes and replicates. Takes the exclusive lock. The lifecycle
+  /// layer's RolloutManager is the only intended caller; replicas reject
+  /// with Redirect (their state arrives via ApplyReplicated).
+  Status UpdateRolloutState(const wal::RolloutSnapshot& rollout);
+
+  /// All stored rollouts, active and terminal. Takes the shared lock.
+  std::vector<wal::RolloutSnapshot> RolloutStates() const;
+
+  /// Attaches (or, with nullptr, detaches) the feature observer invoked
+  /// by every PREDICT kernel with the assembled raw feature matrix. The
+  /// observer must outlive the engine once installed; the pointer swap is
+  /// atomic, so no lock is taken.
+  void SetFeatureObserver(FeatureObserver* observer);
+
   /// Sets the principal attached to subsequent scoring calls (access
   /// control + audit).
   void SetPrincipal(const std::string& principal);
@@ -213,6 +239,11 @@ class FlockEngine {
       const std::string& sql, const sql::ExecOptions& exec_opts);
   Status RefreshCatalogTablesLocked();
 
+  /// Shared body of UpdateRolloutState, WAL replay, and snapshot restore:
+  /// stores the rollout and (de)installs the candidate specialization.
+  /// Caller holds the exclusive lock; does not WAL-log.
+  Status ApplyRolloutLocked(const wal::RolloutSnapshot& rollout);
+
   /// Commit-point check for exclusive statements: a statement whose WAL
   /// append failed must not be acknowledged, even though the in-memory
   /// mutation happened (the log is wedged; health() is sticky).
@@ -224,6 +255,9 @@ class FlockEngine {
   sql::SqlEngine sql_engine_;
   CrossOptimizer cross_optimizer_;
   std::shared_ptr<ScoringContext> context_;
+  /// Durable rollout store, keyed by lower-cased model name; mutated only
+  /// under the exclusive lock (UpdateRolloutState / replay / restore).
+  std::map<std::string, wal::RolloutSnapshot> rollouts_;
   std::unique_ptr<wal::DurabilityManager> durability_;
   bool enable_cross_optimizer_ = true;
   /// Replica mode: read-only serving, state applied via replication.

@@ -13,6 +13,8 @@ std::string Key(const std::string& name) { return ToLower(name); }
 void ModelRegistry::AnalyzeEntry(ModelEntry* entry) {
   entry->ends_with_sigmoid = false;
   entry->tree_node_id = -1;
+  entry->training_profile.mean = entry->pipeline.scaler_means();
+  entry->training_profile.std = entry->pipeline.scaler_stds();
   const auto& nodes = entry->graph.nodes();
   int out = entry->graph.output_id();
   if (out >= 0 && nodes[static_cast<size_t>(out)].op ==
@@ -264,6 +266,11 @@ StatusOr<const ModelEntry*> ModelRegistry::GetSpecialization(
 bool ModelRegistry::HasSpecialization(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   return specializations_.count(Key(key)) > 0;
+}
+
+void ModelRegistry::RemoveSpecialization(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specializations_.erase(Key(key));
 }
 
 void ModelRegistry::ClearSpecializations() {

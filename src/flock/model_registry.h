@@ -21,6 +21,16 @@ struct TreeSuffixBounds {
   std::vector<double> suffix_max;
 };
 
+/// Per-input training-time feature statistics, captured from the fitted
+/// pipeline when the model is registered. The lifecycle drift monitor
+/// compares live feature distributions against these; empty when the
+/// pipeline has no scaler (nothing to compare against).
+struct TrainingProfile {
+  std::vector<double> mean;  // one per raw input
+  std::vector<double> std;
+  bool empty() const { return mean.empty(); }
+};
+
 /// A deployed model: the paper's "models as first-class data types in a
 /// DBMS" (§4.1). Carries the inference pipeline, its compiled graph, and
 /// the enterprise metadata (version, lineage pointer, access control) that
@@ -55,6 +65,9 @@ struct ModelEntry {
   /// Index of the TreeEnsemble node, or -1.
   int tree_node_id = -1;
   TreeSuffixBounds bounds;
+  /// Training-time feature statistics (from the pipeline's scaler) for
+  /// drift monitoring.
+  TrainingProfile training_profile;
 };
 
 /// One entry in the registry's audit trail.
@@ -136,6 +149,9 @@ class ModelRegistry {
   StatusOr<const ModelEntry*> GetSpecialization(
       const std::string& key) const;
   bool HasSpecialization(const std::string& key) const;
+  /// Removes one specialization (no-op if absent). Lifecycle rollouts
+  /// install candidates as specializations and retire them here.
+  void RemoveSpecialization(const std::string& key);
   void ClearSpecializations();
   size_t num_specializations() const;
 

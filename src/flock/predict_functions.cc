@@ -59,6 +59,10 @@ void RegisterPredictFunctions(sql::FunctionRegistry* functions,
       std::vector<ColumnVectorPtr> features(args.begin() + 1, args.end());
       FLOCK_ASSIGN_OR_RETURN(
           ml::Matrix raw, AssembleFeatures(*entry, features, num_rows));
+      if (FeatureObserver* obs =
+              context->observer.load(std::memory_order_acquire)) {
+        obs->ObserveFeatures(*entry, raw, num_rows);
+      }
       out->Reserve(num_rows);
       size_t small = context->runtime.small_batch_threshold;
       if (small > 0 && num_rows < small && entry->input_mapping.empty()) {
@@ -98,6 +102,10 @@ void RegisterPredictFunctions(sql::FunctionRegistry* functions,
       std::vector<ColumnVectorPtr> features(args.begin() + 2, args.end());
       FLOCK_ASSIGN_OR_RETURN(
           ml::Matrix raw, AssembleFeatures(*entry, features, num_rows));
+      if (FeatureObserver* obs =
+              context->observer.load(std::memory_order_acquire)) {
+        obs->ObserveFeatures(*entry, raw, num_rows);
+      }
       FLOCK_ASSIGN_OR_RETURN(
           std::vector<bool> verdicts,
           ScoreThresholdBatch(*entry, raw, threshold, op));

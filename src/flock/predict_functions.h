@@ -1,10 +1,12 @@
 #ifndef FLOCK_FLOCK_PREDICT_FUNCTIONS_H_
 #define FLOCK_FLOCK_PREDICT_FUNCTIONS_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include "flock/model_registry.h"
+#include "ml/matrix.h"
 #include "sql/function_registry.h"
 
 namespace flock::flock {
@@ -17,10 +19,29 @@ struct RuntimeSelectionOptions {
   size_t small_batch_threshold = 0;  // 0 = always vectorized
 };
 
-/// Shared mutable scoring context (current principal, runtime options).
+/// Observes the assembled raw feature matrix of every PREDICT call, before
+/// scoring. The lifecycle drift monitor implements this to maintain online
+/// feature-distribution sketches. Implementations must be thread-safe
+/// (kernels run concurrently under the engine's shared lock) and must not
+/// call back into the engine.
+class FeatureObserver {
+ public:
+  virtual ~FeatureObserver() = default;
+  /// `raw` holds pre-transform features (categoricals index-encoded,
+  /// NULLs as NaN), one column per pipeline input; `entry` carries the
+  /// model identity and its training profile.
+  virtual void ObserveFeatures(const ModelEntry& entry,
+                               const ml::Matrix& raw, size_t num_rows) = 0;
+};
+
+/// Shared mutable scoring context (current principal, runtime options,
+/// optional feature observer). The observer pointer is atomic so the
+/// lifecycle layer can attach/detach it without the exclusive lock; the
+/// observer must outlive the engine once installed.
 struct ScoringContext {
   std::string principal = "system";
   RuntimeSelectionOptions runtime;
+  std::atomic<FeatureObserver*> observer{nullptr};
 };
 
 /// Registers the in-DBMS inference intrinsics into `functions`:

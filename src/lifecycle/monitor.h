@@ -1,0 +1,125 @@
+#ifndef FLOCK_LIFECYCLE_MONITOR_H_
+#define FLOCK_LIFECYCLE_MONITOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flock/predict_functions.h"
+#include "ml/matrix.h"
+#include "storage/record_batch.h"
+
+namespace flock::lifecycle {
+
+/// Point-in-time view of one input's online distribution sketch next to
+/// its training-time statistics.
+struct FeatureSketchSnapshot {
+  uint64_t count = 0;  // non-NaN observations
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double train_mean = 0.0;
+  double train_std = 0.0;
+  /// |mean - train_mean| / train_std; 0 when no profile is available.
+  double drift = 0.0;
+};
+
+/// Point-in-time view of one model version's score histogram.
+struct ScoreHistogramSnapshot {
+  static constexpr size_t kBuckets = 20;
+  uint64_t count = 0;
+  double mean = 0.0;
+  /// Fixed-width buckets over [0, 1] (scores are clamped into range).
+  std::array<uint64_t, kBuckets> buckets{};
+};
+
+/// Online model-health monitor: per-input feature-distribution sketches
+/// (min/max/mean/quantiles, fed by the engine's FeatureObserver hook and
+/// compared against the training profile stored in ModelEntry) plus
+/// per-version score histograms (fed by the serving interceptor).
+///
+/// All methods are thread-safe; observation takes one short mutex per
+/// model (PREDICT batches amortize it), never an engine lock.
+class ModelMonitor : public flock::FeatureObserver {
+ public:
+  static constexpr size_t kScoreBuckets = ScoreHistogramSnapshot::kBuckets;
+  static constexpr size_t kSampleCapacity = 256;
+
+  ModelMonitor() = default;
+  ModelMonitor(const ModelMonitor&) = delete;
+  ModelMonitor& operator=(const ModelMonitor&) = delete;
+
+  /// flock::FeatureObserver: folds one assembled raw feature batch into
+  /// the owning model's sketches. Specializations (candidate variants)
+  /// fold into their base model — drift is a property of the *traffic*,
+  /// not of which variant scored it.
+  void ObserveFeatures(const flock::ModelEntry& entry,
+                       const ml::Matrix& raw, size_t num_rows) override;
+
+  /// Folds every non-null DOUBLE cell of a result batch into the
+  /// (model, version_label) score histogram. The serving interceptor
+  /// calls this with label "live" or "candidate".
+  void RecordScores(const std::string& model,
+                    const std::string& version_label,
+                    const storage::RecordBatch& batch);
+
+  /// Max over inputs of |online mean - training mean| / training std.
+  /// 0 when the model was never observed or has no training profile.
+  double DriftScore(const std::string& model) const;
+
+  std::vector<FeatureSketchSnapshot> FeatureSketches(
+      const std::string& model) const;
+  ScoreHistogramSnapshot ScoreHistogram(
+      const std::string& model, const std::string& version_label) const;
+
+  /// Drops all state for `model` (called when its rollout ends).
+  void Forget(const std::string& model);
+
+  /// {"inputs": [...], "scores": {"live": {...}, ...}} for one model.
+  std::string StatusJson(const std::string& model) const;
+
+ private:
+  /// One input's online sketch: exact count/min/max/mean plus a bounded
+  /// deterministic sample for quantiles (stride sampling: when the buffer
+  /// fills, every second element is kept and the stride doubles, so the
+  /// sample stays uniform over the whole stream with no RNG).
+  struct InputSketch {
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    uint64_t stride = 1;
+    uint64_t since_last_sample = 0;
+    std::vector<double> sample;
+
+    void Observe(double v);
+    double Quantile(double p) const;
+  };
+
+  struct ScoreAccumulator {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::array<uint64_t, kScoreBuckets> buckets{};
+  };
+
+  struct ModelState {
+    std::vector<InputSketch> inputs;
+    std::vector<double> train_mean;
+    std::vector<double> train_std;
+    std::map<std::string, ScoreAccumulator> scores;  // by version label
+  };
+
+  static std::string Key(const std::string& model);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ModelState> models_;
+};
+
+}  // namespace flock::lifecycle
+
+#endif  // FLOCK_LIFECYCLE_MONITOR_H_

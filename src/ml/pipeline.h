@@ -59,6 +59,11 @@ class Pipeline {
   void SetScaler(std::vector<double> means, std::vector<double> stds);
   bool has_imputer() const { return has_imputer_; }
   bool has_scaler() const { return has_scaler_; }
+  /// Per-input training statistics captured by FitFeaturizers; empty when
+  /// no scaler was fitted. Lifecycle drift monitors compare live feature
+  /// distributions against these.
+  const std::vector<double>& scaler_means() const { return scaler_mean_; }
+  const std::vector<double>& scaler_stds() const { return scaler_std_; }
 
   void SetLinearModel(LinearModel model);
   void SetTreeModel(TreeEnsembleModel model);

@@ -33,6 +33,9 @@ Request ParseRequestLine(const std::string& line) {
     } else if (command == ".repl") {
       request.kind = Request::Kind::kRepl;
       request.text = std::move(argument);
+    } else if (command == ".rollout") {
+      request.kind = Request::Kind::kRollout;
+      request.text = std::move(argument);
     } else if (command == ".quit" || command == ".exit") {
       request.kind = Request::Kind::kQuit;
     }

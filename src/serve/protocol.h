@@ -23,6 +23,9 @@ namespace flock::serve {
 ///   .repl <subcommand>   replication endpoint (primary: status|bootstrap|
 ///                        fetch <epoch> <lsn> <max>; replica: status) —
 ///                        see repl/wire.h for the payload format
+///   .rollout <subcmd>    model-lifecycle endpoint: status | begin <model>
+///                        <source_model> [fraction] | promote <model> |
+///                        abort <model> — see lifecycle/rollout.h
 ///   .quit                close the connection
 ///
 /// Responses:
@@ -39,7 +42,8 @@ namespace flock::serve {
 ///   ERR <CodeName> <message>\n
 struct Request {
   enum class Kind {
-    kQuery, kMetrics, kTrace, kSlowLog, kSession, kRepl, kQuit, kEmpty
+    kQuery, kMetrics, kTrace, kSlowLog, kSession, kRepl, kRollout, kQuit,
+    kEmpty
   };
   Kind kind = Kind::kEmpty;
   std::string text;  // the SQL for kQuery; the argument for commands

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <random>
 #include <thread>
 
 namespace flock::serve {
 
-namespace {
-
-int JitteredBackoffMs(const RetryPolicy& policy, int attempt) {
+int JitteredBackoffMs(const RetryPolicy& policy, int attempt,
+                      std::mt19937_64& rng) {
   // base << attempt, saturating at the cap (shift guarded against
   // overflow for pathological attempt counts).
   long long backoff = policy.base_backoff_ms;
@@ -18,7 +16,6 @@ int JitteredBackoffMs(const RetryPolicy& policy, int attempt) {
   }
   backoff = std::min<long long>(backoff, policy.max_backoff_ms);
   if (policy.jitter > 0.0 && backoff > 0) {
-    thread_local std::mt19937 rng{std::random_device{}()};
     std::uniform_real_distribution<double> dist(-policy.jitter,
                                                 policy.jitter);
     backoff += static_cast<long long>(backoff * dist(rng));
@@ -26,16 +23,17 @@ int JitteredBackoffMs(const RetryPolicy& policy, int attempt) {
   return static_cast<int>(std::max<long long>(backoff, 0));
 }
 
-}  // namespace
-
 Status RetryUnavailable(const RetryPolicy& policy,
                         const std::function<Status()>& op) {
   const int attempts = std::max(policy.max_attempts, 1);
+  std::mt19937_64 rng{policy.jitter_seed != 0
+                          ? policy.jitter_seed
+                          : std::random_device{}()};
   Status last = Status::OK();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(JitteredBackoffMs(policy, attempt - 1)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          JitteredBackoffMs(policy, attempt - 1, rng)));
     }
     last = op();
     if (last.code() != StatusCode::kUnavailable) return last;

@@ -1,7 +1,9 @@
 #ifndef FLOCK_SERVE_RETRY_H_
 #define FLOCK_SERVE_RETRY_H_
 
+#include <cstdint>
 #include <functional>
+#include <random>
 
 #include "common/status.h"
 
@@ -26,11 +28,23 @@ struct RetryPolicy {
   /// Fraction of each backoff randomized (0.2 = +/-20%), so a fleet of
   /// retrying replicas does not stampede the primary in lockstep.
   double jitter = 0.2;
+  /// Jitter RNG seed. 0 (the default) seeds from std::random_device —
+  /// the production behavior; any other value makes every backoff
+  /// sequence of this policy reproducible, so tests can assert exact
+  /// retry timing.
+  uint64_t jitter_seed = 0;
 };
+
+/// The backoff before attempt `attempt`+2 (attempt is 0-based over the
+/// sleeps): base << attempt capped at max, with the policy's jitter drawn
+/// from `rng`. Exposed so tests can replay a seeded sequence.
+int JitteredBackoffMs(const RetryPolicy& policy, int attempt,
+                      std::mt19937_64& rng);
 
 /// Runs `op` until it succeeds, fails with a non-Unavailable code, or
 /// `policy.max_attempts` is exhausted; returns the last status. Sleeps
-/// the jittered backoff between attempts.
+/// the jittered backoff between attempts; the jitter RNG is seeded per
+/// call from `policy.jitter_seed`.
 Status RetryUnavailable(const RetryPolicy& policy,
                         const std::function<Status()>& op);
 

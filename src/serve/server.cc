@@ -161,10 +161,18 @@ std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
         // Default-principal traffic shares the engine's read lock;
         // other principals serialize through ExecuteAs (see the
         // FlockEngine locking contract).
+        auto execute =
+            [this, &session,
+             &exec_opts](const std::string& s) -> StatusOr<sql::QueryResult> {
+          return session->principal() == default_principal_
+                     ? engine_->Execute(s, exec_opts)
+                     : engine_->ExecuteAs(s, session->principal(),
+                                          exec_opts);
+        };
         StatusOr<sql::QueryResult> result =
-            session->principal() == default_principal_
-                ? engine_->Execute(sql, exec_opts)
-                : engine_->ExecuteAs(sql, session->principal(), exec_opts);
+            options_.interceptor
+                ? options_.interceptor(session->principal(), sql, execute)
+                : execute(sql);
         metrics_.RecordRequest(timer.ElapsedMillis(), result.ok());
         session->RecordRequest(result.ok());
         promise->set_value(std::move(result));

@@ -35,6 +35,18 @@ struct ServerOptions {
   /// returns Unavailable from the gate, and the request fails fast
   /// instead of serving arbitrarily stale rows.
   std::function<Status()> read_gate;
+  /// Statement executor the worker threads delegate to (optional). Like
+  /// read_gate, this keeps higher layers out of serve's dependency set:
+  /// lifecycle wires shadow double-scoring and canary routing in here.
+  /// The interceptor receives the session principal, the submitted SQL,
+  /// and `execute` — the server's own engine dispatch — and may call it
+  /// any number of times (zero, once, or twice for shadow) with any SQL
+  /// before returning the result the client sees.
+  std::function<StatusOr<sql::QueryResult>(
+      const std::string& principal, const std::string& sql,
+      const std::function<StatusOr<sql::QueryResult>(const std::string&)>&
+          execute)>
+      interceptor;
 };
 
 /// The concurrent prediction-serving layer (paper §2/§4.1: scoring lives

@@ -26,9 +26,10 @@ using storage::PutU8;
 
 namespace {
 
-constexpr uint8_t kMaxActionKind = 4;   // policy::ActionKind::kAlert
-constexpr uint8_t kMaxEntityType = 10;  // prov::EntityType::kVersionRun
-constexpr uint8_t kMaxEdgeType = 8;     // prov::EdgeType::kHasParam
+constexpr uint8_t kMaxActionKind = 4;    // policy::ActionKind::kAlert
+constexpr uint8_t kMaxEntityType = 10;   // prov::EntityType::kVersionRun
+constexpr uint8_t kMaxEdgeType = 8;      // prov::EdgeType::kHasParam
+constexpr uint8_t kMaxRolloutState = 4;  // rolled_back
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::Internal(what + " failed for " + path + ": " +
@@ -103,6 +104,20 @@ std::string EncodeSnapshot(const SnapshotData& data) {
     PutU64(&payload, edge.src);
     PutU64(&payload, edge.dst);
     PutU8(&payload, static_cast<uint8_t>(edge.type));
+  }
+
+  PutU32(&payload, static_cast<uint32_t>(data.rollouts.size()));
+  for (const RolloutSnapshot& r : data.rollouts) {
+    PutString(&payload, r.model);
+    PutU8(&payload, r.state);
+    PutU32(&payload, r.canary_permille);
+    PutString(&payload, r.candidate_pipeline_text);
+    PutString(&payload, r.initiated_by);
+    PutU64(&payload, r.live_version);
+    PutDouble(&payload, r.max_divergence_rate);
+    PutDouble(&payload, r.max_latency_regression);
+    PutDouble(&payload, r.max_drift_score);
+    PutU64(&payload, r.min_observations);
   }
 
   std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
@@ -240,6 +255,26 @@ StatusOr<SnapshotData> DecodeSnapshot(const std::string& buf) {
       return Status::DataLoss("snapshot provenance edge has bad type");
     }
     edge.type = static_cast<prov::EdgeType>(type);
+  }
+
+  if (version >= 3) {
+    FLOCK_RETURN_NOT_OK(in.GetU32(&n));
+    data.rollouts.resize(n);
+    for (RolloutSnapshot& r : data.rollouts) {
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.model));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&r.state));
+      if (r.state > kMaxRolloutState) {
+        return Status::DataLoss("snapshot rollout has bad state");
+      }
+      FLOCK_RETURN_NOT_OK(in.GetU32(&r.canary_permille));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.candidate_pipeline_text));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.initiated_by));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.live_version));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.max_divergence_rate));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.max_latency_regression));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.max_drift_score));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.min_observations));
+    }
   }
 
   if (!in.exhausted()) {

@@ -39,6 +39,8 @@ struct SnapshotData {
   uint64_t policy_next_seq = 0;
   std::vector<prov::Entity> entities;
   std::vector<prov::Edge> edges;
+  /// Model rollouts (format version >= 3; older images simply have none).
+  std::vector<RolloutSnapshot> rollouts;
 };
 
 /// Writes and reads versioned snapshot files with crash-atomic

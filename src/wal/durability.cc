@@ -141,6 +141,9 @@ SnapshotData DurabilityManager::BuildSnapshot(uint64_t epoch) const {
   }
   if (adapter_.snapshot_models) data.models = adapter_.snapshot_models();
   if (adapter_.snapshot_audit) data.audit = adapter_.snapshot_audit();
+  if (adapter_.snapshot_rollouts) {
+    data.rollouts = adapter_.snapshot_rollouts();
+  }
   if (policy_ != nullptr) {
     data.timeline = policy_->timeline();
     data.policy_next_seq = policy_->next_seq();
@@ -185,6 +188,16 @@ Status DurabilityManager::LogModelDrop(const std::string& name,
                                        const std::string& principal) {
   obs::ScopedSpan span("wal.append");
   Status s = writer_->Append(WalRecord::DropModel(name, principal));
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (observer_health_.ok()) observer_health_ = s;
+  }
+  return s;
+}
+
+Status DurabilityManager::LogRolloutState(const RolloutSnapshot& rollout) {
+  obs::ScopedSpan span("wal.append");
+  Status s = writer_->Append(WalRecord::RolloutChange(rollout));
   if (!s.ok()) {
     std::lock_guard<std::mutex> lock(health_mu_);
     if (observer_health_.ok()) observer_health_ = s;

@@ -94,6 +94,7 @@ class DurabilityManager : public storage::DatabaseObserver,
                         const std::string& lineage);
   Status LogModelDrop(const std::string& name,
                       const std::string& principal);
+  Status LogRolloutState(const RolloutSnapshot& rollout);
 
   // --- storage::DatabaseObserver ---
   void OnCreateTable(const std::string& name,

@@ -32,6 +32,28 @@ struct AuditEventSnapshot {
   uint64_t rows = 0;
 };
 
+/// Serializable view of one model rollout (mirrors
+/// lifecycle::RolloutState without the enum dependency). Each WAL record
+/// carries the *complete* rollout — candidate pipeline and guard config
+/// included — so replaying any prefix of transitions lands on exactly the
+/// state the last transition committed, with no cross-record lookups.
+struct RolloutSnapshot {
+  std::string model;
+  /// 0 = staged, 1 = shadow, 2 = canary, 3 = live, 4 = rolled_back.
+  uint8_t state = 0;
+  /// Sessions routed to the candidate in canary, out of 1000.
+  uint32_t canary_permille = 0;
+  std::string candidate_pipeline_text;  // ml::Pipeline::Serialize()
+  std::string initiated_by;
+  /// Version that was live when the rollout began (rollback target).
+  uint64_t live_version = 0;
+  // Guard rules; <= 0 disables the corresponding guard.
+  double max_divergence_rate = 0.0;
+  double max_latency_regression = 0.0;
+  double max_drift_score = 0.0;
+  uint64_t min_observations = 0;
+};
+
 /// Callbacks bridging the durability subsystem to the model registry.
 ///
 /// The WAL library sits below flock_core (which owns FlockEngine and
@@ -63,6 +85,17 @@ struct EngineStateAdapter {
   std::function<Status(const std::string& name,
                        const std::string& principal)>
       replay_drop;
+
+  /// All rollouts (active and terminal) for checkpointing.
+  std::function<std::vector<RolloutSnapshot>()> snapshot_rollouts;
+
+  /// Restores one rollout from a snapshot image (installs the candidate
+  /// specialization when the recorded state is active).
+  std::function<Status(const RolloutSnapshot&)> restore_rollout;
+
+  /// WAL replay of one rollout state transition (idempotent: later
+  /// records simply overwrite the stored state for the model).
+  std::function<Status(const RolloutSnapshot&)> replay_rollout;
 };
 
 }  // namespace flock::wal

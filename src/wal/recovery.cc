@@ -9,9 +9,10 @@ namespace flock::wal {
 
 namespace {
 
-constexpr uint8_t kMaxActionKind = 4;   // policy::ActionKind::kAlert
-constexpr uint8_t kMaxEntityType = 10;  // prov::EntityType::kVersionRun
-constexpr uint8_t kMaxEdgeType = 8;     // prov::EdgeType::kHasParam
+constexpr uint8_t kMaxActionKind = 4;    // policy::ActionKind::kAlert
+constexpr uint8_t kMaxEntityType = 10;   // prov::EntityType::kVersionRun
+constexpr uint8_t kMaxEdgeType = 8;      // prov::EdgeType::kHasParam
+constexpr uint8_t kMaxRolloutState = 4;  // rolled_back
 
 uint64_t FileSize(const std::string& path) {
   struct stat st;
@@ -131,6 +132,13 @@ Status RestoreSnapshotState(const WalReplayTarget& target,
       adapter->restore_audit) {
     adapter->restore_audit(snapshot.audit);
   }
+  for (const RolloutSnapshot& r : snapshot.rollouts) {
+    if (adapter == nullptr || !adapter->restore_rollout) {
+      return Status::Internal(
+          "snapshot contains rollouts but no restore_rollout adapter");
+    }
+    FLOCK_RETURN_NOT_OK(adapter->restore_rollout(r));
+  }
   if (!snapshot.timeline.empty() || snapshot.policy_next_seq > 0) {
     if (target.policy == nullptr) {
       return Status::Internal(
@@ -241,6 +249,16 @@ Status ApplyWalRecord(const WalReplayTarget& target, const WalRecord& r) {
             "wal contains provenance but no catalog is attached");
       }
       return catalog->SetProperty(r.entity_id, r.key, r.value);
+    case WalRecordType::kRolloutState:
+      if (adapter == nullptr || !adapter->replay_rollout) {
+        return Status::Internal(
+            "wal contains rollout transitions but no replay_rollout "
+            "adapter");
+      }
+      if (r.rollout.state > kMaxRolloutState) {
+        return Status::DataLoss("rollout record has bad state");
+      }
+      return adapter->replay_rollout(r.rollout);
   }
   return Status::DataLoss("unknown wal record type during replay");
 }

@@ -45,11 +45,13 @@ inline constexpr uint32_t kMaxRecordLen = 1u << 30;
 ///   1 — one monolithic row batch per table.
 ///   2 — segmented tables: per-table segment capacity + one batch per
 ///       storage segment, so recovery reproduces the physical layout.
-/// DecodeSnapshot still reads version-1 images (the single batch is
-/// repacked into segments at the catalog's default capacity on restore).
+///   3 — trailing model-rollout section (lifecycle state machine).
+/// DecodeSnapshot still reads older images: a version-1 table batch is
+/// repacked into segments at the catalog's default capacity on restore,
+/// and pre-version-3 images simply carry no rollouts.
 inline constexpr char kSnapshotMagic[8] = {'F', 'L', 'O', 'C',
                                            'K', 'S', 'N', 'P'};
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 inline constexpr uint32_t kMinSupportedSnapshotVersion = 1;
 
 /// CRC-32 (IEEE 802.3, reflected) over `len` bytes; `seed` chains calls.

@@ -35,6 +35,8 @@ const char* WalRecordTypeName(WalRecordType type) {
       return "PROV_EDGE";
     case WalRecordType::kProvProperty:
       return "PROV_PROPERTY";
+    case WalRecordType::kRolloutState:
+      return "ROLLOUT_STATE";
   }
   return "?";
 }
@@ -151,6 +153,13 @@ WalRecord WalRecord::ProvProperty(uint64_t id, std::string key,
   return r;
 }
 
+WalRecord WalRecord::RolloutChange(RolloutSnapshot rollout) {
+  WalRecord r;
+  r.type = WalRecordType::kRolloutState;
+  r.rollout = std::move(rollout);
+  return r;
+}
+
 std::string EncodeRecordPayload(const WalRecord& record) {
   std::string out;
   switch (record.type) {
@@ -214,6 +223,18 @@ std::string EncodeRecordPayload(const WalRecord& record) {
       PutU64(&out, record.entity_id);
       PutString(&out, record.key);
       PutString(&out, record.value);
+      break;
+    case WalRecordType::kRolloutState:
+      PutString(&out, record.rollout.model);
+      PutU8(&out, record.rollout.state);
+      PutU32(&out, record.rollout.canary_permille);
+      PutString(&out, record.rollout.candidate_pipeline_text);
+      PutString(&out, record.rollout.initiated_by);
+      PutU64(&out, record.rollout.live_version);
+      PutDouble(&out, record.rollout.max_divergence_rate);
+      PutDouble(&out, record.rollout.max_latency_regression);
+      PutDouble(&out, record.rollout.max_drift_score);
+      PutU64(&out, record.rollout.min_observations);
       break;
   }
   return out;
@@ -303,6 +324,18 @@ StatusOr<WalRecord> DecodeRecordPayload(WalRecordType type,
       FLOCK_RETURN_NOT_OK(in.GetU64(&r.entity_id));
       FLOCK_RETURN_NOT_OK(in.GetString(&r.key));
       FLOCK_RETURN_NOT_OK(in.GetString(&r.value));
+      break;
+    case WalRecordType::kRolloutState:
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.rollout.model));
+      FLOCK_RETURN_NOT_OK(in.GetU8(&r.rollout.state));
+      FLOCK_RETURN_NOT_OK(in.GetU32(&r.rollout.canary_permille));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.rollout.candidate_pipeline_text));
+      FLOCK_RETURN_NOT_OK(in.GetString(&r.rollout.initiated_by));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.rollout.live_version));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.rollout.max_divergence_rate));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.rollout.max_latency_regression));
+      FLOCK_RETURN_NOT_OK(in.GetDouble(&r.rollout.max_drift_score));
+      FLOCK_RETURN_NOT_OK(in.GetU64(&r.rollout.min_observations));
       break;
     default:
       return Status::DataLoss("unknown wal record type " +

@@ -9,6 +9,7 @@
 #include "storage/record_batch.h"
 #include "storage/schema.h"
 #include "storage/value.h"
+#include "wal/engine_state.h"
 
 namespace flock::wal {
 
@@ -27,6 +28,7 @@ enum class WalRecordType : uint8_t {
   kProvEntity = 9,
   kProvEdge = 10,
   kProvProperty = 11,
+  kRolloutState = 12,
 };
 
 const char* WalRecordTypeName(WalRecordType type);
@@ -72,6 +74,9 @@ struct WalRecord {
   std::string key;          // kProvProperty
   std::string value;        // kProvProperty
 
+  // kRolloutState: the full post-transition rollout.
+  RolloutSnapshot rollout;
+
   // --- constructors, one per record type ---
   static WalRecord CreateTable(std::string name, storage::Schema schema);
   static WalRecord DropTable(std::string name);
@@ -92,6 +97,7 @@ struct WalRecord {
   static WalRecord ProvEdge(uint64_t src, uint64_t dst, uint8_t type);
   static WalRecord ProvProperty(uint64_t id, std::string key,
                                 std::string value);
+  static WalRecord RolloutChange(RolloutSnapshot rollout);
 };
 
 /// Encodes the payload (everything after the u8 type tag in the frame).

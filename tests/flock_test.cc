@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "flock/flock_engine.h"
@@ -317,6 +321,53 @@ TEST_F(FlockEngineTest, DeployTransactionRollsBackOnFailure) {
   auto restored = engine_.models()->Get("churn");
   ASSERT_TRUE(restored.ok());
   EXPECT_GE(engine_.models()->CurrentVersion("churn"), churn_version);
+  auto ok = Exec("SELECT " + PredictCall() + " FROM users LIMIT 1");
+  EXPECT_EQ(ok.batch.num_rows(), 1u);
+}
+
+TEST_F(FlockEngineTest, DeployRollbackRacesConcurrentScorers) {
+  // A failing deploy transaction (register churn v2, then a drop that
+  // aborts the batch) undoes its staged changes while scorer threads
+  // hammer PREDICT. The commit-undo sequence runs under the engine's
+  // exclusive lock, so every concurrent query must see a working model —
+  // either the prior version or the restored one — and never fail.
+  // Run under TSan to verify the cutover path is race-free.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scored{0};
+  std::atomic<uint64_t> failed{0};
+  std::mutex err_mu;
+  std::string first_error;
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 2; ++t) {
+    scorers.emplace_back([&] {
+      // The pause between queries leaves write-lock windows: glibc's
+      // rwlock favors readers, so back-to-back shared acquisitions from
+      // two threads would starve Commit's exclusive lock indefinitely.
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = engine_.Execute("SELECT " + PredictCall() +
+                                 " FROM users LIMIT 4");
+        if (r.ok()) {
+          scored.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.empty()) first_error = r.status().ToString();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    DeployTransaction txn = engine_.BeginDeployment();
+    txn.StageRegister("churn", pipeline_, "tester", "race-candidate");
+    txn.StageDrop("does_not_exist");  // forces failure + undo-restore
+    EXPECT_EQ(txn.Commit().code(), StatusCode::kAborted);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scorers) t.join();
+  EXPECT_EQ(failed.load(), 0u) << first_error;
+  EXPECT_GT(scored.load(), 0u);
+  // The undo left churn serving its prior pipeline.
   auto ok = Exec("SELECT " + PredictCall() + " FROM users LIMIT 1");
   EXPECT_EQ(ok.batch.num_rows(), 1u);
 }

@@ -924,6 +924,52 @@ TEST(RetryTest, NonUnavailableErrorsAreNeverRetried) {
   EXPECT_EQ(calls, 1);  // retrying a permanent error only repeats it
 }
 
+TEST(RetryTest, SeededJitterIsDeterministic) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 200;
+  policy.jitter = 0.2;
+  policy.jitter_seed = 42;
+
+  // The same seed replays the same backoff sequence.
+  std::mt19937_64 rng_a{policy.jitter_seed};
+  std::mt19937_64 rng_b{policy.jitter_seed};
+  std::vector<int> first, second;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    first.push_back(JitteredBackoffMs(policy, attempt, rng_a));
+    second.push_back(JitteredBackoffMs(policy, attempt, rng_b));
+  }
+  EXPECT_EQ(first, second);
+
+  // Every backoff stays inside the +/-jitter envelope of base << attempt
+  // capped at max.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    int nominal = std::min(policy.base_backoff_ms << attempt,
+                           policy.max_backoff_ms);
+    EXPECT_GE(first[attempt], static_cast<int>(nominal * 0.8) - 1);
+    EXPECT_LE(first[attempt], static_cast<int>(nominal * 1.2) + 1);
+  }
+
+  // A different seed diverges somewhere in the sequence.
+  std::mt19937_64 rng_c{7};
+  std::vector<int> third;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    third.push_back(JitteredBackoffMs(policy, attempt, rng_c));
+  }
+  EXPECT_NE(first, third);
+
+  // With jitter disabled the seed is irrelevant: the sequence is exactly
+  // the exponential schedule.
+  policy.jitter = 0.0;
+  std::mt19937_64 rng_d{99};
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(JitteredBackoffMs(policy, attempt, rng_d),
+              std::min(policy.base_backoff_ms << attempt,
+                       policy.max_backoff_ms));
+  }
+}
+
 TEST(RetryTest, DefaultPolicyIsSingleAttempt) {
   int calls = 0;
   Status s = RetryUnavailable(RetryPolicy{}, [&]() -> Status {
