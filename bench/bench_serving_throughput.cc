@@ -15,9 +15,11 @@
 // any scaling comes from the serving worker pool; on a single-core host
 // the 4-worker column measures admission overhead, not parallel speedup.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +123,125 @@ std::vector<std::string> BuildTemplates() {
   return templates;
 }
 
+/// A second, much heavier churn model for the micro-batching section:
+/// a large synthetic forest (deterministic random splits over the
+/// transformed feature space — built in milliseconds where training one
+/// this size would take minutes; the scores are arbitrary but exactly
+/// reproducible, which is all the drift check needs). With thousands of
+/// trees the per-request cost is scoring-dominated, which is the regime
+/// cross-request coalescing is built for: shared tree-major kernel
+/// invocations amortize tree-node memory traffic across the batch.
+bool DeployDeepModel(flock::flock::FlockEngine* engine) {
+  flock::Random rng(71);
+  flock::ml::Pipeline pipeline;
+  std::vector<flock::ml::FeatureSpec> specs;
+  for (const char* n : {"age", "income", "tenure", "clicks"}) {
+    specs.push_back(
+        flock::ml::FeatureSpec{n, flock::ml::FeatureKind::kNumeric, {}});
+  }
+  specs.push_back(flock::ml::FeatureSpec{
+      "plan", flock::ml::FeatureKind::kCategorical,
+      {"basic", "plus", "pro"}});
+  pipeline.SetInputs(specs);
+  pipeline.set_task(flock::ml::ModelTask::kBinaryClassification);
+  // Identity-ish featurizers: impute 0, center on rough column means.
+  pipeline.SetImputer({45.0, 90.0, 5.0, 50.0, 1.0});
+  pipeline.SetScaler({45.0, 90.0, 5.0, 50.0, 0.0},
+                     {15.0, 35.0, 3.0, 30.0, 1.0});
+
+  const size_t kTrees = 3000;
+  const int kDepth = 6;
+  const size_t kFeatureWidth = 7;  // 4 scaled numerics + 3 one-hot
+  flock::ml::TreeEnsembleModel model;
+  model.base = 0.0;
+  model.average = false;
+  model.logistic = true;
+  model.trees.reserve(kTrees);
+  for (size_t t = 0; t < kTrees; ++t) {
+    flock::ml::Tree tree;
+    const size_t internal = (1u << kDepth) - 1;  // complete binary tree
+    const size_t total = (1u << (kDepth + 1)) - 1;
+    tree.nodes.resize(total);
+    for (size_t n = 0; n < total; ++n) {
+      flock::ml::TreeNode& node = tree.nodes[n];
+      if (n < internal) {
+        node.feature = static_cast<int32_t>(rng.Uniform(kFeatureWidth));
+        node.threshold = rng.NextGaussian() * 0.8;
+        node.left = static_cast<int32_t>(2 * n + 1);
+        node.right = static_cast<int32_t>(2 * n + 2);
+      } else {
+        node.feature = -1;
+        node.value = (rng.NextDouble() - 0.5) * 0.01;
+      }
+    }
+    model.trees.push_back(std::move(tree));
+  }
+  pipeline.SetTreeModel(std::move(model));
+  return engine
+      ->DeployModel("churn_deep", std::move(pipeline), "bench",
+                    "bench_serving_throughput")
+      .ok();
+}
+
+/// Single-row PREDICT statements against the deep model, via a tiny probe
+/// table so the scan contributes almost nothing — each statement lands in
+/// the coalescer's single-row path with scoring as the dominant cost.
+constexpr size_t kProbeRows = 8;
+
+bool BuildProbeTable(flock::flock::FlockEngine* engine) {
+  if (!engine
+           ->Execute("CREATE TABLE probe (id INT, age DOUBLE, "
+                     "income DOUBLE, tenure DOUBLE, clicks DOUBLE, "
+                     "plan VARCHAR)")
+           .ok()) {
+    return false;
+  }
+  flock::Random rng(29);
+  const char* plans[] = {"basic", "plus", "pro"};
+  std::string insert = "INSERT INTO probe VALUES ";
+  for (size_t i = 0; i < kProbeRows; ++i) {
+    if (i > 0) insert += ", ";
+    char row[160];
+    std::snprintf(row, sizeof(row), "(%zu, %.3f, %.3f, %.3f, %.3f, '%s')",
+                  i, 20 + rng.NextDouble() * 50,
+                  30 + rng.NextDouble() * 120, rng.NextDouble() * 10,
+                  rng.NextDouble() * 100, plans[rng.Uniform(3)]);
+    insert += row;
+  }
+  return engine->Execute(insert).ok();
+}
+
+std::vector<std::string> BuildPointPredictTemplates() {
+  std::vector<std::string> templates;
+  for (size_t id = 0; id < kProbeRows; ++id) {
+    templates.push_back(
+        "SELECT id, PREDICT(churn_deep, age, income, tenure, clicks, plan)"
+        " FROM probe WHERE id = " +
+        std::to_string(id));
+  }
+  return templates;
+}
+
+/// Exact textual canonicalization (%.17g doubles), used to prove the
+/// coalesced run returns bit-identical answers.
+std::string Canon(const flock::storage::RecordBatch& batch) {
+  std::ostringstream out;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      flock::storage::Value v = batch.column(c)->GetValue(r);
+      if (!v.is_null() && v.type() == flock::storage::DataType::kDouble) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+        out << buf << "|";
+      } else {
+        out << v.ToString() << "|";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 struct ConfigResult {
   size_t clients = 0;
   size_t workers = 0;
@@ -133,6 +254,7 @@ struct ConfigResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double mean_ms = 0.0;
   double cache_hit_rate = 0.0;
 };
 
@@ -193,12 +315,141 @@ ConfigResult RunConfig(size_t clients, size_t workers,
   result.p50_ms = snapshot.p50_ms;
   result.p95_ms = snapshot.p95_ms;
   result.p99_ms = snapshot.p99_ms;
+  result.mean_ms = snapshot.mean_ms;
   result.cache_hit_rate = snapshot.plan_cache_hit_rate;
   return result;
 }
 
+struct MicroBatchResult {
+  ConfigResult base;
+  bool coalesced = false;
+  uint64_t mismatches = 0;      // responses differing from serial truth
+  uint64_t rows_coalesced = 0;  // rows that shared a kernel invocation
+  uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double avg_wait_ms = 0.0;
+};
+
+/// The micro-batching comparison: 8 closed-loop clients issuing
+/// single-row PREDICTs against the deep model, with coalescing off vs on
+/// (max_batch 8, 1 ms window, production-default solo bypass — under
+/// 8-client load scoring calls always overlap, so batches form from
+/// backlog rather than from a forced wait). Every response is checked
+/// against serially-computed truth.
+MicroBatchResult RunMicroBatchConfig(bool coalesce) {
+  flock::flock::FlockEngineOptions engine_options;
+  engine_options.sql.num_threads = 1;
+  flock::flock::FlockEngine engine(engine_options);
+  if (!BuildDatabase(&engine) || !BuildProbeTable(&engine) ||
+      !DeployDeepModel(&engine)) {
+    std::fprintf(stderr, "database setup failed\n");
+    std::exit(1);
+  }
+
+  const std::vector<std::string> templates = BuildPointPredictTemplates();
+  std::vector<std::string> expected;
+  for (const std::string& sql : templates) {
+    auto serial = engine.Execute(sql);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "serial truth failed: %s\n",
+                   serial.status().ToString().c_str());
+      std::exit(1);
+    }
+    expected.push_back(Canon(serial->batch));
+  }
+
+  const size_t clients = 8;
+  flock::serve::ServerOptions options;
+  options.admission.num_workers = 8;
+  options.admission.max_queue_depth = clients * 2;
+  options.microbatch.enabled = coalesce;
+  options.microbatch.max_batch = 8;
+  options.microbatch.max_wait_ms = 1.0;
+  options.microbatch.bypass_solo = true;
+  flock::serve::PredictionServer server(&engine, options);
+
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  // Latency is measured client-side (request issue to response) so the
+  // off/on comparison sees the same boundary: the server histogram times
+  // worker execution only, which would count the coalescer's in-worker
+  // wait but not the admission-queue wait it replaces.
+  std::vector<std::vector<double>> latencies(clients);
+  flock::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      flock::serve::LoopbackClient client(&server);
+      if (!client.status().ok()) {
+        errors.fetch_add(kRequestsPerClient);
+        return;
+      }
+      latencies[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        size_t q = (i + c * 3) % templates.size();
+        flock::Stopwatch request;
+        auto result = client.Execute(templates[q]);
+        latencies[c].push_back(request.ElapsedMillis());
+        if (!result.ok()) {
+          errors.fetch_add(1);
+        } else if (Canon(result->batch) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_ms = wall.ElapsedMillis();
+
+  std::vector<double> all;
+  all.reserve(clients * kRequestsPerClient);
+  double sum = 0.0;
+  for (const std::vector<double>& per_client : latencies) {
+    for (double ms : per_client) {
+      all.push_back(ms);
+      sum += ms;
+    }
+  }
+  std::sort(all.begin(), all.end());
+  auto percentile = [&all](double p) {
+    if (all.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * (all.size() - 1));
+    return all[idx];
+  };
+
+  flock::serve::ServerMetricsSnapshot snapshot = server.Snapshot();
+  MicroBatchResult result;
+  result.coalesced = coalesce;
+  result.base.clients = clients;
+  result.base.workers = options.admission.num_workers;
+  result.base.requests = clients * kRequestsPerClient;
+  result.base.errors = errors.load();
+  result.base.shed = snapshot.requests_shed;
+  result.base.wall_ms = wall_ms;
+  result.base.qps = result.base.requests / (wall_ms / 1000.0);
+  result.base.p50_ms = percentile(0.50);
+  result.base.p95_ms = percentile(0.95);
+  result.base.p99_ms = percentile(0.99);
+  result.base.mean_ms = all.empty() ? 0.0 : sum / all.size();
+  result.base.cache_hit_rate = snapshot.plan_cache_hit_rate;
+  result.mismatches = mismatches.load();
+  if (flock::serve::MicroBatcher* batcher = server.microbatcher()) {
+    result.rows_coalesced = batcher->rows_coalesced();
+    result.batches = batcher->batches_executed();
+    const flock::obs::HistogramSnapshot sizes =
+        batcher->batch_sizes().Snapshot();
+    result.mean_batch_size = sizes.mean_ms;  // batch-size histogram: the
+                                             // "ms" fields carry sizes
+    result.avg_wait_ms = batcher->avg_wait_ms();
+  }
+  return result;
+}
+
 void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results,
-              const ConfigResult& trace_off, const ConfigResult& trace_on) {
+              const ConfigResult& trace_off, const ConfigResult& trace_on,
+              const MicroBatchResult& mb_off,
+              const MicroBatchResult& mb_on) {
   std::fprintf(out, "{\n  \"benchmark\": \"serving_throughput\",\n");
   std::fprintf(out, "  \"requests_per_client\": %d,\n", kRequestsPerClient);
   std::fprintf(out, "  \"configs\": [\n");
@@ -230,10 +481,53 @@ void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results,
                "\"workers\": %zu,\n"
                "    \"qps_tracing_off\": %.0f, \"qps_tracing_on\": %.0f, "
                "\"p50_ms_tracing_off\": %.3f, \"p50_ms_tracing_on\": %.3f, "
-               "\"overhead_pct\": %.2f}\n",
+               "\"overhead_pct\": %.2f},\n",
                trace_off.clients, trace_off.workers, trace_off.qps,
                trace_on.qps, trace_off.p50_ms, trace_on.p50_ms,
                overhead_pct);
+  // Cross-request micro-batching: same point-PREDICT load against the
+  // deep model with coalescing off vs on. mismatches must be 0 in both
+  // columns (coalescing may only change latency, never answers).
+  const double qps_gain_pct =
+      mb_off.base.qps > 0.0
+          ? 100.0 * (mb_on.base.qps - mb_off.base.qps) / mb_off.base.qps
+          : 0.0;
+  const double p99_gain_pct =
+      mb_off.base.p99_ms > 0.0
+          ? 100.0 * (mb_off.base.p99_ms - mb_on.base.p99_ms) /
+                mb_off.base.p99_ms
+          : 0.0;
+  const double mean_gain_pct =
+      mb_off.base.mean_ms > 0.0
+          ? 100.0 * (mb_off.base.mean_ms - mb_on.base.mean_ms) /
+                mb_off.base.mean_ms
+          : 0.0;
+  std::fprintf(
+      out,
+      "  \"microbatch\": {\"clients\": %zu, \"workers\": %zu, "
+      "\"model\": \"churn_deep\",\n"
+      "    \"qps_coalesce_off\": %.0f, \"qps_coalesce_on\": %.0f, "
+      "\"qps_improvement_pct\": %.2f,\n"
+      "    \"p99_ms_coalesce_off\": %.3f, \"p99_ms_coalesce_on\": %.3f, "
+      "\"p99_improvement_pct\": %.2f,\n"
+      "    \"mean_ms_coalesce_off\": %.3f, \"mean_ms_coalesce_on\": %.3f, "
+      "\"mean_improvement_pct\": %.2f,\n"
+      "    \"p50_ms_coalesce_off\": %.3f, \"p50_ms_coalesce_on\": %.3f,\n"
+      "    \"mismatches_off\": %llu, \"mismatches_on\": %llu, "
+      "\"errors_off\": %llu, \"errors_on\": %llu,\n"
+      "    \"rows_coalesced\": %llu, \"batches\": %llu, "
+      "\"mean_batch_size\": %.2f, \"avg_wait_ms\": %.3f}\n",
+      mb_on.base.clients, mb_on.base.workers, mb_off.base.qps,
+      mb_on.base.qps, qps_gain_pct, mb_off.base.p99_ms, mb_on.base.p99_ms,
+      p99_gain_pct, mb_off.base.mean_ms, mb_on.base.mean_ms,
+      mean_gain_pct, mb_off.base.p50_ms, mb_on.base.p50_ms,
+      static_cast<unsigned long long>(mb_off.mismatches),
+      static_cast<unsigned long long>(mb_on.mismatches),
+      static_cast<unsigned long long>(mb_off.base.errors),
+      static_cast<unsigned long long>(mb_on.base.errors),
+      static_cast<unsigned long long>(mb_on.rows_coalesced),
+      static_cast<unsigned long long>(mb_on.batches),
+      mb_on.mean_batch_size, mb_on.avg_wait_ms);
   std::fprintf(out, "}\n");
 }
 
@@ -273,6 +567,22 @@ int main(int argc, char** argv) {
                   ? 100.0 * (trace_off.qps - trace_on.qps) / trace_off.qps
                   : 0.0);
 
+  // Cross-request micro-batching at 8 clients on the scoring-heavy
+  // point-PREDICT workload (deep model), coalescing off vs on.
+  std::printf("\nmicro-batching (8 clients, churn_deep point PREDICTs):\n");
+  MicroBatchResult mb_off = RunMicroBatchConfig(false);
+  MicroBatchResult mb_on = RunMicroBatchConfig(true);
+  for (const MicroBatchResult* mb : {&mb_off, &mb_on}) {
+    std::printf("  coalesce %-3s %8.0f qps   mean %7.3f ms   p99 %7.3f ms"
+                "   mismatches %llu   coalesced rows %llu"
+                "   mean batch %.2f\n",
+                mb->coalesced ? "on" : "off", mb->base.qps,
+                mb->base.mean_ms, mb->base.p99_ms,
+                static_cast<unsigned long long>(mb->mismatches),
+                static_cast<unsigned long long>(mb->rows_coalesced),
+                mb->mean_batch_size);
+  }
+
   std::FILE* out = stdout;
   if (argc > 1) {
     out = std::fopen(argv[1], "w");
@@ -282,7 +592,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  EmitJson(out, results, trace_off, trace_on);
+  EmitJson(out, results, trace_off, trace_on, mb_off, mb_on);
   if (out != stdout) {
     std::fclose(out);
     std::printf("results written to %s\n", argv[1]);

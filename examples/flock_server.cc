@@ -8,6 +8,7 @@
 //
 //   ./flock_server [port] [workers] [queue_depth] [--data-dir=PATH]
 //   ./flock_server [port] ... --replica-of=HOST:PORT [--staleness-bound=N]
+//   ./flock_server [port] ... --microbatch=8 [--microbatch-wait-ms=1.0]
 //   ./flock_client 127.0.0.1 5433
 //
 // With --data-dir the server is durable: it recovers any existing
@@ -23,6 +24,11 @@
 // the replicated state, answers writes and DDL with `ERR Redirect`, and
 // sheds reads with `ERR Unavailable` whenever replication lag exceeds
 // --staleness-bound records (bounded staleness).
+//
+// With --microbatch=N concurrent single-row PREDICT calls coalesce into
+// shared scoring-kernel invocations of up to N rows, waiting at most
+// --microbatch-wait-ms (default 1.0) for the batch to fill; a lone
+// client bypasses the window entirely (see DESIGN.md §4e).
 //
 // The demo database is a `users` table with a deployed GBDT `churn`
 // model, so PREDICT traffic works out of the box:
@@ -490,6 +496,7 @@ int main(int argc, char** argv) {
   std::string data_dir;
   std::string replica_of;
   uint64_t staleness_bound = 10000;  // records behind before shedding reads
+  flock::serve::MicroBatchOptions microbatch;  // off unless --microbatch
   std::vector<int> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -504,9 +511,23 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--staleness-bound=", 0) == 0) {
       staleness_bound = std::strtoull(
           arg.c_str() + std::strlen("--staleness-bound="), nullptr, 10);
+    } else if (arg == "--microbatch") {
+      microbatch.enabled = true;
+    } else if (arg.rfind("--microbatch=", 0) == 0) {
+      microbatch.enabled = true;
+      microbatch.max_batch = static_cast<size_t>(std::strtoull(
+          arg.c_str() + std::strlen("--microbatch="), nullptr, 10));
+    } else if (arg.rfind("--microbatch-wait-ms=", 0) == 0) {
+      microbatch.enabled = true;
+      microbatch.max_wait_ms =
+          std::atof(arg.c_str() + std::strlen("--microbatch-wait-ms="));
     } else {
       positional.push_back(std::atoi(arg.c_str()));
     }
+  }
+  if (microbatch.enabled && microbatch.max_batch < 2) {
+    std::fprintf(stderr, "--microbatch wants a batch size >= 2\n");
+    return 1;
   }
   if (!replica_of.empty() && !data_dir.empty()) {
     std::fprintf(stderr,
@@ -519,6 +540,7 @@ int main(int argc, char** argv) {
   options.admission.num_workers = positional.size() > 1 ? positional[1] : 4;
   options.admission.max_queue_depth =
       positional.size() > 2 ? positional[2] : 64;
+  options.microbatch = microbatch;
 
   // One shared engine; serial per query so concurrency comes from the
   // serving worker pool, not nested morsel parallelism.

@@ -14,7 +14,10 @@
 # differential corpus, and the replication crash matrix) run as
 # dedicated stages in both sanitizer builds, as does the model-lifecycle
 # suite (ctest label `lifecycle`: rollout state machine, shadow/canary
-# scoring, drift monitor, guard-rule auto-rollback).
+# scoring, drift monitor, guard-rule auto-rollback) and the dense
+# scoring-kernel suite (ctest label `kernel`: kernel-vs-interpreted
+# bitwise differential, scoring bug-sweep regressions, and the serving
+# micro-batcher's coalescing concurrency).
 #
 # Usage: scripts/check.sh
 #          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
@@ -75,6 +78,15 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L repl
 
+  echo "== ASan kernel stage: dense scoring kernel + micro-batcher =="
+  # The dense-kernel suite carries the `kernel` ctest label. Under ASan it
+  # vets the ping-pong scratch-buffer reuse (block batching over shared
+  # thread-local scratch) and the coalescer's row hand-off buffers — the
+  # two places a slot-index bug would read or write out of bounds.
+  cmake --build build-asan -j "$JOBS" --target kernel_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L kernel
+
   echo "== ASan lifecycle stage: rollouts + drift monitor + auto-rollback =="
   # The model-lifecycle suite carries the `lifecycle` ctest label. Under
   # ASan it vets the rollout snapshot (de)serialization round-trips, the
@@ -117,6 +129,14 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS" --target repl_test \
     repl_differential_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L repl
+
+  echo "== TSan kernel stage: cross-request coalescing =="
+  # The micro-batcher's leader/follower handoff (batch cv, done flag,
+  # stats counters) runs on serving worker threads; `kernel` under TSan
+  # proves the coalescing path race-free, including the drain/flush wakeup
+  # and the stress test's mixed batch shapes.
+  cmake --build build-tsan -j "$JOBS" --target kernel_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L kernel
 
   echo "== TSan lifecycle stage: shadow scoring + guard-rule rollback =="
   # The interceptor runs on serve worker threads while guard breaches

@@ -502,6 +502,10 @@ void FlockEngine::SetFeatureObserver(FeatureObserver* observer) {
   context_->observer.store(observer, std::memory_order_release);
 }
 
+void FlockEngine::SetScoreCoalescer(ScoreCoalescer* coalescer) {
+  context_->coalescer.store(coalescer, std::memory_order_release);
+}
+
 Status FlockEngine::ApplyRolloutLocked(
     const wal::RolloutSnapshot& rollout) {
   const std::string spec_key = RolloutCandidateKey(rollout.model);

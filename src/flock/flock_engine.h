@@ -197,6 +197,12 @@ class FlockEngine {
   /// atomic, so no lock is taken.
   void SetFeatureObserver(FeatureObserver* observer);
 
+  /// Attaches (or, with nullptr, detaches) the cross-request score
+  /// coalescer that single-row PREDICT kernels offer themselves to
+  /// (serving-layer micro-batching). Same lifetime/atomicity contract as
+  /// SetFeatureObserver; detach before destroying the coalescer.
+  void SetScoreCoalescer(ScoreCoalescer* coalescer);
+
   /// Sets the principal attached to subsequent scoring calls (access
   /// control + audit).
   void SetPrincipal(const std::string& principal);

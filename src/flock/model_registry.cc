@@ -13,6 +13,11 @@ std::string Key(const std::string& name) { return ToLower(name); }
 void ModelRegistry::AnalyzeEntry(ModelEntry* entry) {
   entry->ends_with_sigmoid = false;
   entry->tree_node_id = -1;
+  // Compile the dense scoring kernel once, at deploy/specialize time;
+  // every ScoreBatch thereafter runs slot-resolved over contiguous
+  // buffers. Unsupported graph shapes leave a not-ok kernel and scoring
+  // falls back to the per-call GraphRuntime.
+  entry->kernel = std::make_shared<ml::DenseKernel>(entry->graph);
   entry->training_profile.mean = entry->pipeline.scaler_means();
   entry->training_profile.std = entry->pipeline.scaler_stds();
   const auto& nodes = entry->graph.nodes();

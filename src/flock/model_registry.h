@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "ml/dense_kernel.h"
 #include "ml/graph.h"
 #include "ml/pipeline.h"
 
@@ -65,6 +66,10 @@ struct ModelEntry {
   /// Index of the TreeEnsemble node, or -1.
   int tree_node_id = -1;
   TreeSuffixBounds bounds;
+  /// Compiled dense-slot scoring kernel (built by AnalyzeEntry; shared and
+  /// immutable, so entry copies stay cheap). Null or not-ok kernels fall
+  /// back to GraphRuntime in flock::ScoreBatch.
+  std::shared_ptr<const ml::DenseKernel> kernel;
   /// Training-time feature statistics (from the pipeline's scaler) for
   /// drift monitoring.
   TrainingProfile training_profile;

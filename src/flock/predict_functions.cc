@@ -64,6 +64,19 @@ void RegisterPredictFunctions(sql::FunctionRegistry* functions,
         obs->ObserveFeatures(*entry, raw, num_rows);
       }
       out->Reserve(num_rows);
+      if (num_rows == 1) {
+        // Serving-layer micro-batching: a single-row PREDICT (point
+        // lookup) offers itself to the coalescer, which merges
+        // concurrent requests into one shared kernel invocation.
+        if (ScoreCoalescer* coalescer =
+                context->coalescer.load(std::memory_order_acquire)) {
+          FLOCK_ASSIGN_OR_RETURN(
+              double score,
+              coalescer->ScoreOne(*entry, raw.row(0), raw.cols()));
+          out->AppendDouble(score);
+          return out;
+        }
+      }
       size_t small = context->runtime.small_batch_threshold;
       if (small > 0 && num_rows < small && entry->input_mapping.empty()) {
         // Runtime selection: interpreted per-row path for tiny batches.

@@ -34,14 +34,33 @@ class FeatureObserver {
                                const ml::Matrix& raw, size_t num_rows) = 0;
 };
 
+/// Cross-request micro-batching hook for single-row PREDICT calls. The
+/// serving layer implements this (serve::MicroBatcher); when installed,
+/// the PREDICT kernel routes num_rows == 1 scoring through it so
+/// concurrent point lookups coalesce into shared dense-kernel
+/// invocations. Implementations must be thread-safe, may block for a
+/// *bounded* wait while a batch forms, and must not call back into the
+/// engine (they score through flock::ScoreBatch directly).
+class ScoreCoalescer {
+ public:
+  virtual ~ScoreCoalescer() = default;
+  /// Scores one row laid out as the entry's raw input columns
+  /// (categoricals index-encoded, NULLs as NaN). `width` always equals
+  /// entry.graph.input_cols() — AssembleFeatures enforced arity upstream.
+  virtual StatusOr<double> ScoreOne(const ModelEntry& entry,
+                                    const double* row, size_t width) = 0;
+};
+
 /// Shared mutable scoring context (current principal, runtime options,
-/// optional feature observer). The observer pointer is atomic so the
-/// lifecycle layer can attach/detach it without the exclusive lock; the
-/// observer must outlive the engine once installed.
+/// optional feature observer, optional micro-batching coalescer). The
+/// hook pointers are atomic so the lifecycle/serving layers can
+/// attach/detach them without the exclusive lock; installed hooks must
+/// outlive the engine (or be detached first).
 struct ScoringContext {
   std::string principal = "system";
   RuntimeSelectionOptions runtime;
   std::atomic<FeatureObserver*> observer{nullptr};
+  std::atomic<ScoreCoalescer*> coalescer{nullptr};
 };
 
 /// Registers the in-DBMS inference intrinsics into `functions`:

@@ -56,8 +56,30 @@ StatusOr<ml::Matrix> AssembleFeatures(
   return raw;
 }
 
+Status CheckScoringArity(const ModelEntry& entry, const ml::Matrix& raw) {
+  if (raw.cols() != entry.graph.input_cols()) {
+    return Status::InvalidArgument(
+        "model " + entry.name + " expects " +
+        std::to_string(entry.graph.input_cols()) +
+        " feature columns, got " + std::to_string(raw.cols()) +
+        " (extra features are never dropped, missing ones never skipped)");
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<double>> ScoreBatch(const ModelEntry& entry,
                                          const ml::Matrix& raw) {
+  FLOCK_RETURN_NOT_OK(CheckScoringArity(entry, raw));
+  if (entry.kernel != nullptr && entry.kernel->ok()) {
+    // The compiled dense-slot kernel: slot resolution happened once at
+    // deploy time; scratch buffers are reused across every call on this
+    // thread (the executor scores one morsel at a time per thread, and
+    // the kernel itself is immutable and shared).
+    thread_local ml::DenseKernelScratch scratch;
+    std::vector<double> scores;
+    FLOCK_RETURN_NOT_OK(entry.kernel->ScoreBatch(raw, &scratch, &scores));
+    return scores;
+  }
   ml::GraphRuntime runtime(&entry.graph);
   return runtime.RunToScores(raw);
 }
@@ -66,6 +88,7 @@ StatusOr<std::vector<bool>> ScoreThresholdBatch(const ModelEntry& entry,
                                                 const ml::Matrix& raw,
                                                 double threshold,
                                                 ThresholdOp op) {
+  FLOCK_RETURN_NOT_OK(CheckScoringArity(entry, raw));
   const size_t n = raw.rows();
   // Fold a trailing Sigmoid into the threshold: sigmoid is monotone, so
   // sigmoid(z) OP t  <=>  z OP logit(t) for t in (0, 1).

@@ -21,7 +21,14 @@ StatusOr<ml::Matrix> AssembleFeatures(
     const ModelEntry& entry,
     const std::vector<storage::ColumnVectorPtr>& args, size_t num_rows);
 
-/// Scores a raw feature matrix through the entry's compiled graph.
+/// Rejects feature matrices whose width does not match the entry's input
+/// arity (nothing is silently dropped or skipped).
+Status CheckScoringArity(const ModelEntry& entry, const ml::Matrix& raw);
+
+/// Scores a raw feature matrix through the entry's compiled dense-slot
+/// kernel (built once at deploy time; scratch reused per thread), falling
+/// back to the per-call GraphRuntime for graph shapes the kernel does not
+/// compile. Mismatched arity is an InvalidArgument, never a truncation.
 StatusOr<std::vector<double>> ScoreBatch(const ModelEntry& entry,
                                          const ml::Matrix& raw);
 

@@ -1,0 +1,224 @@
+#include "ml/dense_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flock::ml {
+
+DenseKernel::DenseKernel(const ModelGraph& graph) {
+  input_cols_ = graph.input_cols();
+  max_cols_ = input_cols_;
+  const auto& nodes = graph.nodes();
+  if (nodes.empty() || graph.output_id() <= 0 ||
+      static_cast<size_t>(graph.output_id()) >= nodes.size()) {
+    status_ = Status::InvalidArgument(
+        "dense kernel: graph has no executable nodes");
+    return;
+  }
+  // The kernel executes nodes 1..output_id as a straight-line chain over
+  // ping-pong buffers, so each node must consume exactly the previous
+  // node's output. Anything else (Concat, DAG wiring, dangling suffix
+  // nodes) falls back to GraphRuntime.
+  for (size_t i = 1; i <= static_cast<size_t>(graph.output_id()); ++i) {
+    const GraphNode& node = nodes[i];
+    if (node.inputs.size() != 1 ||
+        node.inputs[0] != static_cast<int>(i) - 1) {
+      status_ = Status::InvalidArgument(
+          "dense kernel: non-chain graph wiring at node " +
+          std::to_string(i));
+      steps_.clear();
+      return;
+    }
+    Step step;
+    step.op = node.op;
+    step.in_cols = steps_.empty() ? input_cols_ : steps_.back().out_cols;
+    step.out_cols = node.output_cols;
+    switch (node.op) {
+      case OpType::kImputer:
+        step.fill = node.imputer_values;
+        break;
+      case OpType::kScaler:
+        step.offset = node.offset;
+        step.scale = node.scale;
+        break;
+      case OpType::kOneHot:
+        step.onehot_sizes = node.onehot_sizes;
+        break;
+      case OpType::kGemm:
+        step.weights = node.gemm_weights;
+        step.bias = node.gemm_bias;
+        break;
+      case OpType::kTreeEnsemble:
+        step.trees = node.trees;
+        step.tree_base = node.tree_base;
+        step.tree_average = node.tree_average;
+        break;
+      case OpType::kSigmoid:
+      case OpType::kRelu:
+      case OpType::kIdentity:
+        break;
+      case OpType::kBinarizer:
+        step.binarizer_threshold = node.binarizer_threshold;
+        break;
+      default:
+        status_ = Status::InvalidArgument(
+            "dense kernel: unsupported op " +
+            std::string(OpTypeName(node.op)));
+        steps_.clear();
+        return;
+    }
+    max_cols_ = std::max(max_cols_, step.out_cols);
+    steps_.push_back(std::move(step));
+  }
+  if (steps_.empty()) {
+    status_ = Status::InvalidArgument("dense kernel: empty plan");
+  }
+}
+
+const double* DenseKernel::Execute(size_t n,
+                                   DenseKernelScratch* scratch) const {
+  double* cur = scratch->a_.data();
+  double* alt = scratch->b_.data();
+  for (const Step& step : steps_) {
+    const size_t in_cols = step.in_cols;
+    const size_t out_cols = step.out_cols;
+    switch (step.op) {
+      case OpType::kImputer:
+        for (size_t r = 0; r < n; ++r) {
+          double* row = cur + r * in_cols;
+          for (size_t c = 0; c < in_cols; ++c) {
+            if (std::isnan(row[c])) row[c] = step.fill[c];
+          }
+        }
+        break;
+      case OpType::kScaler:
+        for (size_t r = 0; r < n; ++r) {
+          double* row = cur + r * in_cols;
+          for (size_t c = 0; c < in_cols; ++c) {
+            row[c] = (row[c] - step.offset[c]) * step.scale[c];
+          }
+        }
+        break;
+      case OpType::kOneHot:
+        for (size_t r = 0; r < n; ++r) {
+          const double* src = cur + r * in_cols;
+          double* dst = alt + r * out_cols;
+          size_t pos = 0;
+          for (size_t c = 0; c < in_cols; ++c) {
+            const int k = step.onehot_sizes[c];
+            if (k == 0) {
+              dst[pos++] = src[c];
+            } else {
+              const int64_t idx = std::isnan(src[c])
+                                      ? int64_t{-1}
+                                      : static_cast<int64_t>(src[c]);
+              for (int j = 0; j < k; ++j) {
+                dst[pos + static_cast<size_t>(j)] = (idx == j) ? 1.0 : 0.0;
+              }
+              pos += static_cast<size_t>(k);
+            }
+          }
+        }
+        std::swap(cur, alt);
+        break;
+      case OpType::kGemm:
+        for (size_t r = 0; r < n; ++r) {
+          const double* src = cur + r * in_cols;
+          double* dst = alt + r * out_cols;
+          for (size_t j = 0; j < out_cols; ++j) {
+            double acc = step.bias[j];
+            const double* w = step.weights.row(j);
+            for (size_t c = 0; c < in_cols; ++c) acc += w[c] * src[c];
+            dst[j] = acc;
+          }
+        }
+        std::swap(cur, alt);
+        break;
+      case OpType::kTreeEnsemble: {
+        // Tree-major traversal: each tree's nodes stay cache-hot across
+        // the whole block. Per row the accumulation order is still
+        // tree 0, 1, ... so scores are bitwise identical to the row-major
+        // order GraphRuntime uses.
+        for (size_t r = 0; r < n; ++r) alt[r] = step.tree_base;
+        for (const Tree& tree : step.trees) {
+          for (size_t r = 0; r < n; ++r) {
+            alt[r] += tree.Predict(cur + r * in_cols);
+          }
+        }
+        if (step.tree_average && !step.trees.empty()) {
+          const double norm =
+              1.0 / static_cast<double>(step.trees.size());
+          for (size_t r = 0; r < n; ++r) {
+            alt[r] = step.tree_base + (alt[r] - step.tree_base) * norm;
+          }
+        }
+        std::swap(cur, alt);
+        break;
+      }
+      case OpType::kSigmoid:
+        for (size_t i = 0; i < n * in_cols; ++i) {
+          cur[i] = 1.0 / (1.0 + std::exp(-cur[i]));
+        }
+        break;
+      case OpType::kRelu:
+        for (size_t i = 0; i < n * in_cols; ++i) {
+          cur[i] = cur[i] > 0.0 ? cur[i] : 0.0;
+        }
+        break;
+      case OpType::kBinarizer:
+        for (size_t i = 0; i < n * in_cols; ++i) {
+          cur[i] = cur[i] > step.binarizer_threshold ? 1.0 : 0.0;
+        }
+        break;
+      case OpType::kIdentity:
+      default:
+        break;
+    }
+  }
+  return cur;
+}
+
+double DenseKernel::ScoreRow(const double* row,
+                             DenseKernelScratch* scratch) const {
+  const size_t need = max_cols_;
+  if (scratch->a_.size() < need) scratch->a_.resize(need);
+  if (scratch->b_.size() < need) scratch->b_.resize(need);
+  std::copy(row, row + input_cols_, scratch->a_.data());
+  return Execute(1, scratch)[0];
+}
+
+Status DenseKernel::ScoreBatch(const Matrix& raw,
+                               DenseKernelScratch* scratch,
+                               std::vector<double>* out) const {
+  FLOCK_RETURN_NOT_OK(status_);
+  if (raw.cols() != input_cols_) {
+    return Status::InvalidArgument(
+        "dense kernel expects " + std::to_string(input_cols_) +
+        " input columns, got " + std::to_string(raw.cols()));
+  }
+  const size_t n = raw.rows();
+  out->resize(n);
+  const size_t block = std::min(n == 0 ? size_t{1} : n, kBlockRows);
+  const size_t need = block * max_cols_;
+  if (scratch->a_.size() < need) scratch->a_.resize(need);
+  if (scratch->b_.size() < need) scratch->b_.resize(need);
+  for (size_t begin = 0; begin < n; begin += block) {
+    const size_t rows = std::min(block, n - begin);
+    for (size_t r = 0; r < rows; ++r) {
+      const double* src = raw.row(begin + r);
+      std::copy(src, src + input_cols_,
+                scratch->a_.data() + r * input_cols_);
+    }
+    const double* scores = Execute(rows, scratch);
+    // The final step is width >= 1 per row; score is column 0. When the
+    // last step was in-place (e.g. trailing Sigmoid over a 1-wide
+    // buffer), rows are packed at the final step's output width.
+    const size_t stride = steps_.back().out_cols;
+    for (size_t r = 0; r < rows; ++r) {
+      (*out)[begin + r] = scores[r * stride];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace flock::ml

@@ -1,0 +1,112 @@
+#ifndef FLOCK_ML_DENSE_KERNEL_H_
+#define FLOCK_ML_DENSE_KERNEL_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "ml/graph.h"
+#include "ml/matrix.h"
+
+namespace flock::ml {
+
+/// Reusable scratch buffers for DenseKernel execution. One per thread (or
+/// per call site); the kernel itself stays immutable and shareable. The
+/// buffers grow to the widest step of whichever kernels score through them
+/// and are never shrunk, so steady-state scoring performs no allocation.
+class DenseKernelScratch {
+ public:
+  DenseKernelScratch() = default;
+
+ private:
+  friend class DenseKernel;
+  std::vector<double> a_, b_;
+};
+
+/// Compiled dense-slot scoring kernel — the production scoring path.
+///
+/// Where `RowScorer` interprets a pipeline through per-step named-feature
+/// maps (the Figure-4 "scikit-learn" baseline) and `GraphRuntime`
+/// re-allocates one matrix per node per invocation, the dense kernel does
+/// all name→slot resolution and plan validation once at construction:
+/// every step is lowered to a fixed-width transform over contiguous
+/// `double` buffers, with attributes (imputer fills, scale/offset vectors,
+/// one-hot layout, gemm weights, trees) copied into the kernel so it is
+/// self-contained and immutable afterwards.
+///
+/// Execution contracts:
+///  * `ScoreRow` scores a single dense row with zero allocation (given a
+///    warmed scratch).
+///  * `ScoreBatch` scores a whole matrix/morsel in one call, processing
+///    rows in blocks so elementwise steps run over contiguous buffers and
+///    tree ensembles traverse *tree-major* over the block (each tree's
+///    nodes stay hot in cache across the rows of the block). Summation
+///    order per row is unchanged, so results are bitwise identical to
+///    `ScoreRow` and to `GraphRuntime`.
+///
+/// Only linear single-input op chains are compiled (which is everything
+/// `Pipeline::Compile` and the cross-optimizer emit). Graphs using Concat
+/// or non-chain wiring leave the kernel in a not-ok state and callers fall
+/// back to `GraphRuntime`; `status()` says why.
+class DenseKernel {
+ public:
+  /// Compiles `graph` into a dense step plan. The graph is only read
+  /// during construction; it need not outlive the kernel.
+  explicit DenseKernel(const ModelGraph& graph);
+
+  /// True when the graph compiled to a dense plan; `ScoreRow`/`ScoreBatch`
+  /// must only be called on an ok kernel.
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  size_t input_cols() const { return input_cols_; }
+  size_t num_steps() const { return steps_.size(); }
+
+  /// Scores one dense row of exactly `input_cols()` values (categoricals
+  /// index-encoded, NULLs as NaN — the AssembleFeatures layout).
+  double ScoreRow(const double* row, DenseKernelScratch* scratch) const;
+
+  /// Scores every row of `raw` (`raw.cols()` must equal `input_cols()`),
+  /// appending into `out` (resized to raw.rows()). Reuses `scratch` across
+  /// blocks; no per-row allocation.
+  Status ScoreBatch(const Matrix& raw, DenseKernelScratch* scratch,
+                    std::vector<double>* out) const;
+
+  /// Rows per block in ScoreBatch; exposed for tests/benches.
+  static constexpr size_t kBlockRows = 256;
+
+ private:
+  struct Step {
+    OpType op = OpType::kIdentity;
+    size_t in_cols = 0;
+    size_t out_cols = 0;
+    // kImputer
+    std::vector<double> fill;
+    // kScaler: out = (in - offset) * scale
+    std::vector<double> offset, scale;
+    // kOneHot: per input slot, 0 = pass-through, k = expand to k slots
+    std::vector<int> onehot_sizes;
+    // kGemm
+    Matrix weights;  // [out_cols x in_cols]
+    std::vector<double> bias;
+    // kTreeEnsemble
+    std::vector<Tree> trees;
+    double tree_base = 0.0;
+    bool tree_average = false;
+    // kBinarizer
+    double binarizer_threshold = 0.5;
+  };
+
+  /// Runs all steps over `n` rows held densely in scratch buffer `a_`
+  /// (row-major, in_cols wide). Leaves the output in whichever buffer the
+  /// last step wrote and returns a pointer to it.
+  const double* Execute(size_t n, DenseKernelScratch* scratch) const;
+
+  Status status_;
+  size_t input_cols_ = 0;
+  size_t max_cols_ = 0;  // widest step output (scratch sizing)
+  std::vector<Step> steps_;
+};
+
+}  // namespace flock::ml
+
+#endif  // FLOCK_ML_DENSE_KERNEL_H_

@@ -16,6 +16,14 @@ std::string FmtDouble(double v) {
   return buf;
 }
 
+/// Zero-variance (or degenerate) standard deviations scale by 1.0 — the
+/// feature passes through as `value - mean` instead of dividing by ~0.
+/// FitFeaturizers never produces such stds, but SetScaler and
+/// Deserialize accept caller-supplied statistics verbatim.
+double GuardedStd(double sd) {
+  return std::isfinite(sd) && std::abs(sd) > kMinScaleStd ? sd : 1.0;
+}
+
 }  // namespace
 
 void Pipeline::SetInputs(std::vector<FeatureSpec> inputs) {
@@ -134,7 +142,9 @@ Matrix Pipeline::Transform(const Matrix& raw) const {
     for (size_t c = 0; c < f; ++c) {
       double v = src[c];
       if (has_imputer_ && std::isnan(v)) v = imputer_values_[c];
-      if (has_scaler_) v = (v - scaler_mean_[c]) / scaler_std_[c];
+      if (has_scaler_) {
+        v = (v - scaler_mean_[c]) / GuardedStd(scaler_std_[c]);
+      }
       scratch[c] = v;
     }
     double* dst = out.row(r);
@@ -164,7 +174,9 @@ double Pipeline::ScoreRow(const double* raw) const {
   for (size_t c = 0; c < inputs_.size(); ++c) {
     double v = raw[c];
     if (has_imputer_ && std::isnan(v)) v = imputer_values_[c];
-    if (has_scaler_) v = (v - scaler_mean_[c]) / scaler_std_[c];
+    if (has_scaler_) {
+      v = (v - scaler_mean_[c]) / GuardedStd(scaler_std_[c]);
+    }
     if (inputs_[c].kind == FeatureKind::kCategorical) {
       size_t k = inputs_[c].vocab.size();
       int64_t idx = std::isnan(v) ? -1 : static_cast<int64_t>(v);
@@ -208,7 +220,9 @@ StatusOr<ModelGraph> Pipeline::Compile() const {
     node.inputs = {last};
     node.offset = scaler_mean_;
     node.scale.resize(f);
-    for (size_t c = 0; c < f; ++c) node.scale[c] = 1.0 / scaler_std_[c];
+    for (size_t c = 0; c < f; ++c) {
+      node.scale[c] = 1.0 / GuardedStd(scaler_std_[c]);
+    }
     last = graph.AddNode(std::move(node));
   }
   bool any_categorical = false;

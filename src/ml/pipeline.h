@@ -14,6 +14,13 @@ namespace flock::ml {
 
 enum class FeatureKind { kNumeric, kCategorical };
 
+/// Standard deviations at or below this are treated as zero-variance: the
+/// scaler passes the centered value through unscaled (multiplier 1.0)
+/// instead of dividing by ~0 and poisoning every downstream score with
+/// Inf/NaN. Applies identically to the compiled graph, the interpreted
+/// row path, and the dense kernel.
+inline constexpr double kMinScaleStd = 1e-12;
+
 /// Declares one pipeline input. Categorical inputs carry a vocabulary; raw
 /// values are encoded as vocabulary indexes (unknown -> NaN, handled by the
 /// imputer). Vocabulary entries must not contain whitespace (the text

@@ -8,6 +8,16 @@ namespace {
 
 using Row = RowScorer::Row;
 
+/// Features absent from the row read as NaN instead of throwing
+/// (std::map::at raised std::out_of_range straight through the executor
+/// when a short raw vector left a feature unset). NaN flows into the
+/// imputer like any other missing value; without an imputer it propagates
+/// to a NaN score, which is the documented contract.
+double GetOrNaN(const Row& row, const std::string& name) {
+  auto it = row.find(name);
+  return it == row.end() ? std::nan("") : it->second;
+}
+
 class ImputeStep : public RowScorer::Step {
  public:
   ImputeStep(std::vector<std::string> names, std::vector<double> values)
@@ -29,23 +39,27 @@ class ImputeStep : public RowScorer::Step {
 
 class ScaleStep : public RowScorer::Step {
  public:
+  /// `scale` is the multiplier form (1/std, epsilon-guarded by
+  /// Pipeline::Compile) — the same attribute the vectorized graph kernel
+  /// consumes, so interpreted and compiled scores agree bitwise and a
+  /// zero-variance feature can no longer produce an Inf/NaN divisor.
   ScaleStep(std::vector<std::string> names, std::vector<double> mean,
-            std::vector<double> std)
+            std::vector<double> scale)
       : names_(std::move(names)),
         mean_(std::move(mean)),
-        std_(std::move(std)) {}
+        scale_(std::move(scale)) {}
   Row Apply(Row row) const override {
     Row out;
     for (size_t c = 0; c < names_.size(); ++c) {
-      double v = row.at(names_[c]);
-      out[names_[c]] = (v - mean_[c]) / std_[c];
+      double v = GetOrNaN(row, names_[c]);
+      out[names_[c]] = (v - mean_[c]) * scale_[c];
     }
     return out;
   }
 
  private:
   std::vector<std::string> names_;
-  std::vector<double> mean_, std_;
+  std::vector<double> mean_, scale_;
 };
 
 class OneHotStep : public RowScorer::Step {
@@ -59,7 +73,7 @@ class OneHotStep : public RowScorer::Step {
     Row out;
     size_t pos = 0;
     for (size_t c = 0; c < in_names_.size(); ++c) {
-      double v = row.at(in_names_[c]);
+      double v = GetOrNaN(row, in_names_[c]);
       if (sizes_[c] == 0) {
         out[out_names_[pos++]] = v;
       } else {
@@ -84,7 +98,7 @@ class LinearStep : public RowScorer::Step {
   Row Apply(Row row) const override {
     double z = model_.bias;
     for (size_t c = 0; c < names_.size(); ++c) {
-      z += model_.weights[c] * row.at(names_[c]);
+      z += model_.weights[c] * GetOrNaN(row, names_[c]);
     }
     return Row{{"score", z}};
   }
@@ -103,15 +117,18 @@ class TreeStep : public RowScorer::Step {
     // interpreted pipeline does right before calling into the model.
     std::vector<double> features(names_.size());
     for (size_t c = 0; c < names_.size(); ++c) {
-      features[c] = row.at(names_[c]);
+      features[c] = GetOrNaN(row, names_[c]);
     }
     double acc = model_.base;
     for (const Tree& tree : model_.trees) {
       acc += tree.Predict(features.data());
     }
     if (model_.average && !model_.trees.empty()) {
+      // Multiply by the reciprocal, as the graph kernels do, so the
+      // interpreted and compiled averages agree bitwise.
       acc = model_.base +
-            (acc - model_.base) / static_cast<double>(model_.trees.size());
+            (acc - model_.base) *
+                (1.0 / static_cast<double>(model_.trees.size()));
     }
     return Row{{"score", acc}};
   }
@@ -153,15 +170,13 @@ RowScorer::RowScorer(const Pipeline& pipeline) {
         steps_.push_back(
             std::make_unique<ImputeStep>(names, node.imputer_values));
         break;
-      case OpType::kScaler: {
-        std::vector<double> std_dev(node.scale.size());
-        for (size_t c = 0; c < node.scale.size(); ++c) {
-          std_dev[c] = 1.0 / node.scale[c];
-        }
+      case OpType::kScaler:
+        // node.scale is already the (epsilon-guarded) multiplier; passing
+        // it through directly avoids the old 1.0/scale round-trip that
+        // turned a zero scale into an Inf divisor.
         steps_.push_back(
-            std::make_unique<ScaleStep>(names, node.offset, std_dev));
+            std::make_unique<ScaleStep>(names, node.offset, node.scale));
         break;
-      }
       case OpType::kOneHot: {
         std::vector<std::string> out_names;
         for (size_t c = 0; c < names.size(); ++c) {
@@ -212,17 +227,24 @@ RowScorer::RowScorer(const Pipeline& pipeline) {
 }
 
 double RowScorer::Score(const std::vector<double>& raw) const {
-  // Box the record into a named row, as interpreted pipelines do.
+  // Box the record into a named row, as interpreted pipelines do. Inputs
+  // beyond the declared feature list are ignored and missing inputs are
+  // boxed as NaN (imputed or propagated by the steps) — arity mismatches
+  // are rejected with a proper error at the flock::ScoreBatch boundary,
+  // so here the row-level contract is simply "missing means NaN".
   Row row;
-  for (size_t c = 0; c < input_names_.size() && c < raw.size(); ++c) {
-    row[input_names_[c]] = raw[c];
+  for (size_t c = 0; c < input_names_.size(); ++c) {
+    row[input_names_[c]] = c < raw.size() ? raw[c] : std::nan("");
   }
   for (const auto& step : steps_) {
     row = step->Apply(std::move(row));
   }
   auto it = row.find("score");
   if (it != row.end()) return it->second;
-  return row.empty() ? 0.0 : row.begin()->second;
+  // Deterministic fallback: a single remaining column is the score (a
+  // model-less featurizer chain reduced to one value); anything else is
+  // NaN rather than whichever entry happens to sort first.
+  return row.size() == 1 ? row.begin()->second : std::nan("");
 }
 
 std::vector<double> RowScorer::ScoreAll(const Matrix& raw) const {

@@ -1,0 +1,176 @@
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/stopwatch.h"
+#include "flock/scoring.h"
+#include "ml/matrix.h"
+
+namespace flock::serve {
+
+void BatchSizeHistogram::Record(size_t batch_size) {
+  if (batch_size == 0) return;
+  const size_t bucket = std::min(batch_size, kMaxTracked);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_rows_.fetch_add(batch_size, std::memory_order_relaxed);
+}
+
+obs::HistogramSnapshot BatchSizeHistogram::Snapshot() const {
+  obs::HistogramSnapshot snap;
+  uint64_t counts[kMaxTracked + 1];
+  uint64_t total = 0;
+  for (size_t i = 1; i <= kMaxTracked; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.mean_ms = static_cast<double>(
+                     total_rows_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(total);
+  auto percentile = [&](double p) {
+    const uint64_t rank = static_cast<uint64_t>(p * (total - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 1; i <= kMaxTracked; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return static_cast<double>(i);
+    }
+    return static_cast<double>(kMaxTracked);
+  };
+  snap.p50_ms = percentile(0.50);
+  snap.p95_ms = percentile(0.95);
+  snap.p99_ms = percentile(0.99);
+  return snap;
+}
+
+MicroBatcher::MicroBatcher(MicroBatchOptions options)
+    : options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+MicroBatcher::~MicroBatcher() { Drain(); }
+
+double MicroBatcher::avg_wait_ms() const {
+  const uint64_t batches = batches_.load(std::memory_order_relaxed);
+  if (batches == 0) return 0.0;
+  return static_cast<double>(wait_nanos_.load(std::memory_order_relaxed)) /
+         1e6 / static_cast<double>(batches);
+}
+
+StatusOr<double> MicroBatcher::ScoreDirect(const flock::ModelEntry& entry,
+                                           const double* row,
+                                           size_t width) {
+  ml::Matrix m(1, width);
+  std::copy(row, row + width, m.row(0));
+  FLOCK_ASSIGN_OR_RETURN(std::vector<double> scores,
+                         flock::ScoreBatch(entry, m));
+  return scores[0];
+}
+
+StatusOr<double> MicroBatcher::ScoreOne(const flock::ModelEntry& entry,
+                                        const double* row, size_t width) {
+  struct InFlightGuard {
+    std::atomic<size_t>* counter;
+    ~InFlightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  };
+  const size_t inflight =
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  InFlightGuard guard{&inflight_};
+
+  if (!options_.enabled || draining_.load(std::memory_order_acquire) ||
+      options_.max_batch <= 1 ||
+      (options_.bypass_solo && inflight == 1)) {
+    bypassed_.fetch_add(1, std::memory_order_relaxed);
+    batch_sizes_.Record(1);
+    rows_.fetch_add(1, std::memory_order_relaxed);
+    return ScoreDirect(entry, row, width);
+  }
+
+  std::shared_ptr<Batch> batch;
+  size_t index = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::shared_ptr<Batch>& slot = open_[&entry];
+    if (slot == nullptr || slot->closed ||
+        slot->count >= options_.max_batch || slot->width != width) {
+      slot = std::make_shared<Batch>();
+      slot->entry = &entry;
+      slot->width = width;
+      slot->rows.reserve(width * options_.max_batch);
+    }
+    batch = slot;
+    index = batch->count++;
+    batch->rows.insert(batch->rows.end(), row, row + width);
+
+    if (index != 0) {
+      // Follower: maybe wake the leader early, then wait for scores.
+      if (batch->count >= options_.max_batch) {
+        batch->full = true;
+        batch->cv.notify_all();
+      }
+      batch->cv.wait(lock, [&] { return batch->done; });
+      if (!batch->status.ok()) return batch->status;
+      return batch->scores[index];
+    }
+
+    // Leader: bounded coalescing window.
+    Stopwatch window;
+    batch->cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(options_.max_wait_ms),
+        [&] {
+          return batch->full || batch->flush ||
+                 draining_.load(std::memory_order_relaxed);
+        });
+    wait_nanos_.fetch_add(
+        static_cast<uint64_t>(window.ElapsedMicros() * 1e3),
+        std::memory_order_relaxed);
+    batch->closed = true;
+    auto it = open_.find(&entry);
+    if (it != open_.end() && it->second == batch) open_.erase(it);
+  }
+
+  // Leader, outside the lock: one shared kernel invocation for the whole
+  // group. `batch` is closed, so count/rows are stable.
+  ml::Matrix m(batch->count, width);
+  m.data() = std::move(batch->rows);
+  StatusOr<std::vector<double>> scores = flock::ScoreBatch(entry, m);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(batch->count, std::memory_order_relaxed);
+  if (batch->count >= 2) {
+    coalesced_rows_.fetch_add(batch->count, std::memory_order_relaxed);
+  }
+  batch_sizes_.Record(batch->count);
+
+  double leader_score = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (scores.ok()) {
+      batch->scores = std::move(scores).value();
+      leader_score = batch->scores[0];
+    } else {
+      batch->status = scores.status();
+    }
+    batch->done = true;
+    batch->cv.notify_all();
+  }
+  if (!batch->status.ok()) return batch->status;
+  return leader_score;
+}
+
+void MicroBatcher::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, batch] : open_) {
+    batch->flush = true;
+    batch->cv.notify_all();
+  }
+}
+
+void MicroBatcher::Drain() {
+  draining_.store(true, std::memory_order_release);
+  Flush();
+}
+
+}  // namespace flock::serve

@@ -13,6 +13,10 @@ PredictionServer::PredictionServer(flock::FlockEngine* engine,
                              : options.default_principal),
       sessions_(options.max_sessions),
       admission_(options.admission) {
+  if (options_.microbatch.enabled) {
+    batcher_ = std::make_unique<MicroBatcher>(options_.microbatch);
+    engine_->SetScoreCoalescer(batcher_.get());
+  }
   RegisterMetrics();
 }
 
@@ -42,6 +46,26 @@ void PredictionServer::RegisterMetrics() {
     snap.p99_ms = hist.PercentileMs(0.99);
     return snap;
   });
+
+  // serve.batch_size / serve.coalesce_* — the micro-batching stage.
+  if (batcher_ != nullptr) {
+    MicroBatcher* batcher = batcher_.get();
+    registry_.RegisterHistogram("serve.batch_size", [batcher] {
+      return batcher->batch_sizes().Snapshot();
+    });
+    registry_.RegisterGaugeF("serve.coalesce_wait_ms", [batcher] {
+      return batcher->avg_wait_ms();
+    });
+    registry_.RegisterCounter("serve.coalesce_batches", [batcher] {
+      return batcher->batches_executed();
+    });
+    registry_.RegisterCounter("serve.coalesce_rows", [batcher] {
+      return batcher->rows_coalesced();
+    });
+    registry_.RegisterCounter("serve.coalesce_bypass", [batcher] {
+      return batcher->bypassed();
+    });
+  }
 
   // plan_cache.* — the SQL engine's prepared-statement cache.
   sql::SqlEngine* sql_engine = engine_->sql();
@@ -192,7 +216,14 @@ void PredictionServer::Shutdown() {
   bool expected = false;
   const bool first = shutdown_.compare_exchange_strong(
       expected, true, std::memory_order_acq_rel);
+  // Flush the micro-batcher first: waiting leaders wake and score their
+  // partial batches immediately, so the admission drain below never
+  // waits out a coalescing window (and no queued row is dropped).
+  if (batcher_ != nullptr) batcher_->Drain();
   admission_.Drain();
+  // With no request in flight the engine can safely forget the
+  // coalescer before the server (its owner) goes away.
+  if (first && batcher_ != nullptr) engine_->SetScoreCoalescer(nullptr);
   // Graceful drain doubles as a durability barrier: once no request is
   // in flight, fold the WAL tail into a fresh snapshot so the next
   // Open() replays nothing. Only the first Shutdown (the destructor

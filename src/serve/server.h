@@ -12,6 +12,7 @@
 #include "obs/metrics_registry.h"
 #include "policy/policy_engine.h"
 #include "serve/admission.h"
+#include "serve/coalescer.h"
 #include "serve/metrics.h"
 #include "serve/retry.h"
 #include "serve/session.h"
@@ -21,6 +22,13 @@ namespace flock::serve {
 struct ServerOptions {
   AdmissionOptions admission;
   size_t max_sessions = 1024;
+  /// Cross-request micro-batching of single-row PREDICT calls. When
+  /// enabled the server owns a MicroBatcher, installs it into the
+  /// engine's scoring context for its lifetime, and exports
+  /// serve.batch_size / serve.coalesce_* metrics. Scoring results are
+  /// identical with or without coalescing; only latency/throughput
+  /// change.
+  MicroBatchOptions microbatch;
   /// Principal attached to sessions opened without one; "" = the
   /// engine's principal at server construction. Sessions with a
   /// different principal execute via FlockEngine::ExecuteAs (exclusive
@@ -113,6 +121,8 @@ class PredictionServer {
   SessionManager* sessions() { return &sessions_; }
   AdmissionController* admission() { return &admission_; }
   obs::MetricsRegistry* metrics_registry() { return &registry_; }
+  /// The micro-batching stage, or nullptr when coalescing is disabled.
+  MicroBatcher* microbatcher() { return batcher_.get(); }
 
  private:
   /// Registers every subsystem's counters with the unified registry
@@ -126,6 +136,9 @@ class PredictionServer {
   AdmissionController admission_;
   ServerMetrics metrics_;
   obs::MetricsRegistry registry_;
+  /// Owned micro-batcher, installed into the engine while the server is
+  /// alive (detached in Shutdown, after the admission drain).
+  std::unique_ptr<MicroBatcher> batcher_;
   std::atomic<bool> shutdown_{false};
 };
 

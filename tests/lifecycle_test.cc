@@ -394,6 +394,32 @@ TEST_F(LifecycleTest, ShadowScoresBothModelsAndReturnsLiveResult) {
   ASSERT_TRUE(plain.ok());
 }
 
+TEST_F(LifecycleTest, CandidateScoresThroughCompiledKernel) {
+  // The dense scoring kernel is compiled in ModelRegistry::AnalyzeEntry,
+  // so both the live model and a staged rollout candidate carry one:
+  // shadow/canary comparisons measure model change, never a scorer-path
+  // change between interpreted and compiled execution.
+  ASSERT_TRUE(manager_
+                  ->BeginWithPipeline("churn", TrainChurnPipeline(false),
+                                      GuardlessConfig(), "ops")
+                  .ok());
+  ASSERT_TRUE(manager_->Promote("churn").ok());  // shadow
+
+  auto live = engine_->models()->Get("churn");
+  ASSERT_TRUE(live.ok());
+  ASSERT_NE((*live)->kernel, nullptr);
+  EXPECT_TRUE((*live)->kernel->ok()) << (*live)->kernel->status().ToString();
+
+  auto candidate = engine_->models()->GetSpecialization(
+      flock::RolloutCandidateKey("churn"));
+  ASSERT_TRUE(candidate.ok());
+  ASSERT_NE((*candidate)->kernel, nullptr);
+  EXPECT_TRUE((*candidate)->kernel->ok())
+      << (*candidate)->kernel->status().ToString();
+  // Identical pipelines compile to kernels over the same slot layout.
+  EXPECT_EQ((*candidate)->kernel->input_cols(), (*live)->kernel->input_cols());
+}
+
 TEST_F(LifecycleTest, ShadowDivergenceAutoRollsBackWithZeroFailedRequests) {
   RolloutConfig config;
   config.canary_permille = 200;

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "flock/flock_engine.h"
 #include "ml/tree.h"
 #include "obs/slow_log.h"
@@ -1013,6 +1015,150 @@ TEST_F(ServeTest, LoopbackClientRetriesShedRequests) {
   // level sheds constantly — see OverloadShedsWithUnavailable).
   EXPECT_LE(failures.load(), 2);
   server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-request micro-batching (serve/coalescer.h)
+
+/// Point-PREDICT corpus: every statement scores exactly one row, so each
+/// lands in the coalescer's single-row path.
+std::vector<std::string> PointPredictCorpus(size_t n) {
+  std::vector<std::string> corpus;
+  corpus.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    corpus.push_back("SELECT id, " + std::string(kPredictCall) +
+                     " FROM users WHERE id = " + std::to_string(k));
+  }
+  return corpus;
+}
+
+TEST_F(ServeTest, MicroBatchedPredictionsMatchSerialExecution) {
+  // The coalescing differential: 8 concurrent sessions hammering
+  // single-row PREDICT statements through an enabled micro-batcher must
+  // return exactly what the engine returns serially with no batcher
+  // installed. Coalescing may only change latency, never answers.
+  const std::vector<std::string> corpus = PointPredictCorpus(50);
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& sql : corpus) {
+    auto serial = engine_->Execute(sql);
+    ASSERT_TRUE(serial.ok()) << sql << ": " << serial.status().ToString();
+    expected.push_back(Canonicalize(serial->batch));
+  }
+
+  ServerOptions options;
+  options.admission.num_workers = 8;
+  options.admission.max_queue_depth = 256;
+  options.microbatch.enabled = true;
+  options.microbatch.max_batch = 8;
+  options.microbatch.max_wait_ms = 3.0;
+  // Always open a window, even for the first lone request: that makes
+  // coalescing deterministic for the assertion below (the solo-bypass
+  // heuristic is covered by MicroBatchSoloTrafficBypassesTheWindow).
+  options.microbatch.bypass_solo = false;
+  PredictionServer server(engine_.get(), options);
+  ASSERT_NE(server.microbatcher(), nullptr);
+
+  constexpr int kSessions = 8;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&, t] {
+      LoopbackClient client(&server);
+      if (!client.status().ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        size_t q = (i + t * 7) % corpus.size();
+        auto result = client.Execute(corpus[q]);
+        if (!result.ok()) {
+          errors.fetch_add(1);
+        } else if (Canonicalize(result->batch) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const MicroBatcher* batcher = server.microbatcher();
+  EXPECT_EQ(server.microbatcher()->rows_scored(),
+            static_cast<uint64_t>(kSessions) * corpus.size());
+  // With 8 workers overlapping inside a 2 ms window, some requests must
+  // actually have shared a kernel invocation.
+  EXPECT_GT(batcher->rows_coalesced(), 0u);
+  EXPECT_GE(batcher->batch_sizes().count(), 1u);
+
+  // The batching stage is observable: serve.batch_size and the coalesce
+  // counters join the unified metrics exposition.
+  // (ToJson nests "serve.batch_size" as serve -> batch_size.)
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"batch_size\""), std::string::npos);
+  EXPECT_NE(json.find("\"coalesce_batches\""), std::string::npos);
+  EXPECT_NE(json.find("\"coalesce_wait_ms\""), std::string::npos);
+  std::string prom = server.MetricsPrometheus();
+  EXPECT_NE(prom.find("serve_batch_size"), std::string::npos);
+}
+
+TEST_F(ServeTest, MicroBatchSoloTrafficBypassesTheWindow) {
+  // A lone client must never pay the coalescing wait: every one of its
+  // requests bypasses the window (scored directly), so 10 sequential
+  // point-PREDICTs complete far faster than 10 * max_wait_ms.
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  options.microbatch.enabled = true;
+  options.microbatch.max_wait_ms = 100.0;
+  PredictionServer server(engine_.get(), options);
+
+  LoopbackClient client(&server);
+  ASSERT_TRUE(client.status().ok());
+  const std::vector<std::string> corpus = PointPredictCorpus(10);
+  Stopwatch timer;
+  for (const std::string& sql : corpus) {
+    ASSERT_TRUE(client.Execute(sql).ok());
+  }
+  EXPECT_LT(timer.ElapsedMillis(), 10 * 100.0);
+  EXPECT_EQ(server.microbatcher()->bypassed(),
+            static_cast<uint64_t>(corpus.size()));
+  EXPECT_EQ(server.microbatcher()->rows_coalesced(), 0u);
+}
+
+TEST_F(ServeTest, ShutdownFlushesPartialMicroBatch) {
+  // A leader parked on a long coalescing window (10 s, no solo bypass)
+  // must not stall graceful drain: Shutdown flushes the batcher before
+  // draining admission, so the in-flight request completes promptly and
+  // correctly.
+  const std::string sql = PointPredictCorpus(1)[0];
+  auto serial = engine_->Execute(sql);
+  ASSERT_TRUE(serial.ok());
+  const std::vector<std::string> expected = Canonicalize(serial->batch);
+
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  options.microbatch.enabled = true;
+  options.microbatch.max_batch = 32;
+  options.microbatch.max_wait_ms = 10'000.0;
+  options.microbatch.bypass_solo = false;
+  PredictionServer server(engine_.get(), options);
+
+  auto id_or = server.OpenSession();
+  ASSERT_TRUE(id_or.ok());
+  Stopwatch timer;
+  std::future<StatusOr<sql::QueryResult>> pending =
+      server.Submit(*id_or, sql);
+  // Let the worker reach the leader wait before shutting down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.Shutdown();
+  auto result = pending.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Canonicalize(result->batch), expected);
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0)
+      << "Shutdown waited out the coalescing window";
 }
 
 }  // namespace
