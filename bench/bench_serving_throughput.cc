@@ -259,7 +259,8 @@ struct ConfigResult {
 };
 
 ConfigResult RunConfig(size_t clients, size_t workers,
-                       bool traced = false) {
+                       bool traced = false,
+                       double default_deadline_ms = 0.0) {
   // A fresh engine per configuration so plan-cache and latency stats are
   // not polluted by the previous run.
   flock::flock::FlockEngineOptions engine_options;
@@ -274,6 +275,9 @@ ConfigResult RunConfig(size_t clients, size_t workers,
   // Closed-loop clients block on their own request, so the queue never
   // needs more than one waiting slot per client; no shedding expected.
   options.admission.max_queue_depth = clients * 2;
+  // > 0 arms a deadline token on every request, so each morsel / row /
+  // kernel-block boundary pays the real cooperative-cancellation poll.
+  options.default_deadline_ms = default_deadline_ms;
   flock::serve::PredictionServer server(&engine, options);
 
   const std::vector<std::string> templates = BuildTemplates();
@@ -448,6 +452,8 @@ MicroBatchResult RunMicroBatchConfig(bool coalesce) {
 
 void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results,
               const ConfigResult& trace_off, const ConfigResult& trace_on,
+              const ConfigResult& deadline_off,
+              const ConfigResult& deadline_on,
               const MicroBatchResult& mb_off,
               const MicroBatchResult& mb_on) {
   std::fprintf(out, "{\n  \"benchmark\": \"serving_throughput\",\n");
@@ -485,6 +491,26 @@ void EmitJson(std::FILE* out, const std::vector<ConfigResult>& results,
                trace_off.clients, trace_off.workers, trace_off.qps,
                trace_on.qps, trace_off.p50_ms, trace_on.p50_ms,
                overhead_pct);
+  // Deadline-token polling overhead: no deadline (null tokens, one
+  // pointer test per poll site) vs a 10 s deadline that never fires
+  // (every morsel / row / kernel-block boundary reads the token's
+  // atomic + steady clock). Single-client/single-worker, best of three
+  // alternating runs per column. The acceptance bar is < 1 %; negative
+  // = measurement noise.
+  const double deadline_overhead_pct =
+      deadline_off.qps > 0.0
+          ? 100.0 * (deadline_off.qps - deadline_on.qps) / deadline_off.qps
+          : 0.0;
+  std::fprintf(out,
+               "  \"deadline_overhead\": {\"clients\": %zu, "
+               "\"workers\": %zu, \"deadline_ms\": 10000,\n"
+               "    \"qps_deadline_off\": %.0f, \"qps_deadline_on\": %.0f, "
+               "\"p50_ms_deadline_off\": %.3f, "
+               "\"p50_ms_deadline_on\": %.3f, "
+               "\"overhead_pct\": %.2f},\n",
+               deadline_off.clients, deadline_off.workers, deadline_off.qps,
+               deadline_on.qps, deadline_off.p50_ms, deadline_on.p50_ms,
+               deadline_overhead_pct);
   // Cross-request micro-batching: same point-PREDICT load against the
   // deep model with coalescing off vs on. mismatches must be 0 in both
   // columns (coalescing may only change latency, never answers).
@@ -567,6 +593,30 @@ int main(int argc, char** argv) {
                   ? 100.0 * (trace_off.qps - trace_on.qps) / trace_off.qps
                   : 0.0);
 
+  // Deadline-token polling overhead: no deadline (null token, one
+  // pointer test per poll site) vs a 10 s default deadline that never
+  // fires (every morsel / row / kernel-block boundary reads the token's
+  // atomic + steady clock). Measured single-client/single-worker — the
+  // multi-threaded configs' scheduler jitter (several percent run to
+  // run) swamps the effect being measured, and per-request polling cost
+  // is a serial property anyway. Best of three alternating runs per
+  // column; the bar is < 1 %.
+  ConfigResult deadline_off = RunConfig(1, 1, false, 0.0);
+  ConfigResult deadline_on = RunConfig(1, 1, false, 10000.0);
+  for (int rep = 1; rep < 3; ++rep) {
+    ConfigResult off = RunConfig(1, 1, false, 0.0);
+    if (off.qps > deadline_off.qps) deadline_off = off;
+    ConfigResult on = RunConfig(1, 1, false, 10000.0);
+    if (on.qps > deadline_on.qps) deadline_on = on;
+  }
+  std::printf("\ndeadline off: %8.0f qps   deadline 10s: %8.0f qps   "
+              "overhead: %.2f%%\n",
+              deadline_off.qps, deadline_on.qps,
+              deadline_off.qps > 0.0
+                  ? 100.0 * (deadline_off.qps - deadline_on.qps) /
+                        deadline_off.qps
+                  : 0.0);
+
   // Cross-request micro-batching at 8 clients on the scoring-heavy
   // point-PREDICT workload (deep model), coalescing off vs on.
   std::printf("\nmicro-batching (8 clients, churn_deep point PREDICTs):\n");
@@ -592,7 +642,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  EmitJson(out, results, trace_off, trace_on, mb_off, mb_on);
+  EmitJson(out, results, trace_off, trace_on, deadline_off, deadline_on,
+           mb_off, mb_on);
   if (out != stdout) {
     std::fclose(out);
     std::printf("results written to %s\n", argv[1]);

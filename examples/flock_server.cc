@@ -9,7 +9,15 @@
 //   ./flock_server [port] [workers] [queue_depth] [--data-dir=PATH]
 //   ./flock_server [port] ... --replica-of=HOST:PORT [--staleness-bound=N]
 //   ./flock_server [port] ... --microbatch=8 [--microbatch-wait-ms=1.0]
+//   ./flock_server [port] ... --default-deadline-ms=250
 //   ./flock_client 127.0.0.1 5433
+//
+// With --default-deadline-ms every statement runs under a deadline:
+// queued past it, the request is shed before a worker touches it;
+// running past it, the executor notices at its next poll point and the
+// client sees `ERR DeadlineExceeded`. Sessions override per-connection
+// with `.deadline <ms>|off|default`, and `.kill <session>` aborts the
+// statement another connection has in flight.
 //
 // With --data-dir the server is durable: it recovers any existing
 // snapshot + WAL from PATH on startup (skipping the demo build when the
@@ -216,7 +224,9 @@ class TcpReplicationSource : public flock::repl::ReplicationSource {
           StatusCode::kInternal, StatusCode::kAborted,
           StatusCode::kOutOfRange, StatusCode::kPermissionDenied,
           StatusCode::kParseError, StatusCode::kUnavailable,
-          StatusCode::kDataLoss, StatusCode::kRedirect}) {
+          StatusCode::kDataLoss, StatusCode::kRedirect,
+          StatusCode::kCorruption, StatusCode::kDeadlineExceeded,
+          StatusCode::kCancelled}) {
       if (name == flock::StatusCodeName(code)) {
         return flock::Status(code, msg);
       }
@@ -472,6 +482,49 @@ void ServeConnection(ConnectionContext* ctx, int fd) {
       case Request::Kind::kSession:
         response = "session " + std::to_string(session) + "\n";
         break;
+      case Request::Kind::kKill: {
+        char* end = nullptr;
+        unsigned long long target =
+            std::strtoull(request.text.c_str(), &end, 10);
+        if (request.text.empty() || end == request.text.c_str() ||
+            *end != '\0') {
+          response = flock::serve::EncodeError(
+              flock::Status::InvalidArgument("usage: .kill <session id>"));
+          break;
+        }
+        flock::Status killed = server->KillSession(target);
+        response = killed.ok()
+                       ? "killed " + request.text + "\n"
+                       : flock::serve::EncodeError(killed);
+        break;
+      }
+      case Request::Kind::kDeadline: {
+        auto live = server->sessions()->Get(session);
+        if (!live.ok()) {
+          response = flock::serve::EncodeError(live.status());
+          break;
+        }
+        if (request.text == "off") {
+          (*live)->set_deadline_ms(0.0);
+          response = "deadline off\n";
+        } else if (request.text == "default") {
+          (*live)->set_deadline_ms(-1.0);
+          response = "deadline default\n";
+        } else {
+          char* end = nullptr;
+          double ms = std::strtod(request.text.c_str(), &end);
+          if (request.text.empty() || end == request.text.c_str() ||
+              *end != '\0' || ms <= 0.0) {
+            response = flock::serve::EncodeError(
+                flock::Status::InvalidArgument(
+                    "usage: .deadline <ms>|off|default"));
+          } else {
+            (*live)->set_deadline_ms(ms);
+            response = "deadline " + request.text + "ms\n";
+          }
+        }
+        break;
+      }
       case Request::Kind::kRepl:
         response = HandleRepl(ctx, &publisher, request.text);
         break;
@@ -496,6 +549,7 @@ int main(int argc, char** argv) {
   std::string data_dir;
   std::string replica_of;
   uint64_t staleness_bound = 10000;  // records behind before shedding reads
+  double default_deadline_ms = 0.0;  // 0 = no deadline
   flock::serve::MicroBatchOptions microbatch;  // off unless --microbatch
   std::vector<int> positional;
   for (int i = 1; i < argc; ++i) {
@@ -521,6 +575,16 @@ int main(int argc, char** argv) {
       microbatch.enabled = true;
       microbatch.max_wait_ms =
           std::atof(arg.c_str() + std::strlen("--microbatch-wait-ms="));
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      const char* text = arg.c_str() + std::strlen("--default-deadline-ms=");
+      char* end = nullptr;
+      default_deadline_ms = std::strtod(text, &end);
+      if (end == text || *end != '\0' || default_deadline_ms < 0.0) {
+        std::fprintf(stderr,
+                     "--default-deadline-ms wants a non-negative number, "
+                     "got %s\n", text);
+        return 1;
+      }
     } else {
       positional.push_back(std::atoi(arg.c_str()));
     }
@@ -541,6 +605,7 @@ int main(int argc, char** argv) {
   options.admission.max_queue_depth =
       positional.size() > 2 ? positional[2] : 64;
   options.microbatch = microbatch;
+  options.default_deadline_ms = default_deadline_ms;
 
   // One shared engine; serial per query so concurrency comes from the
   // serving worker pool, not nested morsel parallelism.

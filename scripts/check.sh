@@ -14,10 +14,12 @@
 # differential corpus, and the replication crash matrix) run as
 # dedicated stages in both sanitizer builds, as does the model-lifecycle
 # suite (ctest label `lifecycle`: rollout state machine, shadow/canary
-# scoring, drift monitor, guard-rule auto-rollback) and the dense
+# scoring, drift monitor, guard-rule auto-rollback), the dense
 # scoring-kernel suite (ctest label `kernel`: kernel-vs-interpreted
 # bitwise differential, scoring bug-sweep regressions, and the serving
-# micro-batcher's coalescing concurrency).
+# micro-batcher's coalescing concurrency), and the cancellation suite
+# (ctest label `cancel`: deadlines, `.kill`, queued-request shed, and
+# the abandon paths those create).
 #
 # Usage: scripts/check.sh
 #          [--asan-only|--no-asan|--tsan-only|--no-tsan|--recovery-only]
@@ -87,6 +89,15 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L kernel
 
+  echo "== ASan cancel stage: deadlines + cooperative cancellation =="
+  # The cancellation suite carries the `cancel` ctest label. Under ASan it
+  # vets the abandon paths a kill creates: a follower leaving a live batch
+  # whose rows the leader still scores, a shed request whose promise is
+  # fulfilled off the worker, and the executor unwinding mid-morsel.
+  cmake --build build-asan -j "$JOBS" --target cancel_test
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cancel
+
   echo "== ASan lifecycle stage: rollouts + drift monitor + auto-rollback =="
   # The model-lifecycle suite carries the `lifecycle` ctest label. Under
   # ASan it vets the rollout snapshot (de)serialization round-trips, the
@@ -137,6 +148,16 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # and the stress test's mixed batch shapes.
   cmake --build build-tsan -j "$JOBS" --target kernel_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L kernel
+
+  echo "== TSan cancel stage: kill vs. running statement =="
+  # A kill races the executing worker by design: the token flips on the
+  # killer's thread while morsel workers, batch waiters, and the retry
+  # loop poll it. The `cancel` label under TSan proves the token state,
+  # the session's active-cancel handoff, and the admission expired-path
+  # promise fulfillment race-free — the "zero worker leaks under TSan"
+  # acceptance check.
+  cmake --build build-tsan -j "$JOBS" --target cancel_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cancel
 
   echo "== TSan lifecycle stage: shadow scoring + guard-rule rollback =="
   # The interceptor runs on serve worker threads while guard breaches

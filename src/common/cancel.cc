@@ -1,0 +1,97 @@
+#include "common/cancel.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace flock {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             CancelToken::Clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local CancelToken g_current_token;
+
+}  // namespace
+
+CancelToken CancelToken::Cancellable() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  return token;
+}
+
+CancelToken CancelToken::WithDeadline(double timeout_ms) {
+  CancelToken token = Cancellable();
+  if (timeout_ms > 0) {
+    token.state_->deadline_ns =
+        NowNs() + static_cast<int64_t>(timeout_ms * 1e6);
+  }
+  return token;
+}
+
+void CancelToken::Cancel() const {
+  if (state_ == nullptr) return;
+  bool expected = false;
+  if (state_->cancelled.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    state_->cancelled_at_ns.store(NowNs(), std::memory_order_release);
+  }
+}
+
+bool CancelToken::expired() const {
+  return state_ != nullptr && state_->deadline_ns != 0 &&
+         NowNs() >= state_->deadline_ns;
+}
+
+double CancelToken::RemainingMs() const {
+  if (state_ == nullptr || state_->deadline_ns == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(state_->deadline_ns - NowNs()) / 1e6;
+}
+
+Status CancelToken::Check(const char* where) const {
+  if (state_ == nullptr) return Status::OK();
+  // Explicit kill wins over expiry: a `.kill` on an already-late request
+  // should report as Cancelled, the operator's intent.
+  if (state_->cancelled.load(std::memory_order_acquire)) {
+    return Status::Cancelled(std::string("request cancelled (") + where +
+                             ")");
+  }
+  if (state_->deadline_ns != 0 && NowNs() >= state_->deadline_ns) {
+    return Status::DeadlineExceeded(
+        std::string("request deadline exceeded (") + where + ")");
+  }
+  return Status::OK();
+}
+
+double CancelToken::CancelLatencyMs() const {
+  if (state_ == nullptr) return 0.0;
+  const int64_t now = NowNs();
+  const int64_t cancelled_at =
+      state_->cancelled_at_ns.load(std::memory_order_acquire);
+  int64_t fired_at = 0;
+  if (cancelled_at != 0) {
+    fired_at = cancelled_at;
+  } else if (state_->deadline_ns != 0 && now >= state_->deadline_ns) {
+    fired_at = state_->deadline_ns;
+  } else {
+    return 0.0;
+  }
+  return std::max<double>(0.0, static_cast<double>(now - fired_at) / 1e6);
+}
+
+const CancelToken& CancelToken::Current() { return g_current_token; }
+
+CancelScope::CancelScope(const CancelToken& token)
+    : previous_(g_current_token) {
+  g_current_token = token;
+}
+
+CancelScope::~CancelScope() { g_current_token = previous_; }
+
+}  // namespace flock

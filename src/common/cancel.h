@@ -1,0 +1,123 @@
+#ifndef FLOCK_COMMON_CANCEL_H_
+#define FLOCK_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace flock {
+
+/// Cooperative cancellation handle shared between a request's submitter
+/// and the workers executing it. A token carries two independent stop
+/// signals:
+///
+///   - an explicit cancel flag, flipped by `.kill <session>` or a client
+///     teardown, and
+///   - an optional deadline (steady-clock), set from the server's
+///     `--default-deadline-ms` or a per-session override.
+///
+/// Tokens are value types over a shared state block, so the transport
+/// thread that handles `.kill` can flip a flag the executor's morsel
+/// loop is polling on a worker thread. A default-constructed token is
+/// "null": `Check()` is always OK and costs one pointer test, so
+/// hot loops can poll unconditionally.
+///
+/// Polling contract (see DESIGN.md "Cancellation contract"): checks are
+/// cooperative and happen at natural batch boundaries — executor morsels,
+/// dense-kernel blocks, micro-batch waits, replica catch-up rounds —
+/// never by interrupting a thread. Between two poll points the engine
+/// may do a bounded amount of work after cancellation; it must never
+/// block unboundedly without re-checking.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Null token: never cancelled, no deadline.
+  CancelToken() = default;
+
+  /// A token with no deadline that can only be cancelled explicitly.
+  static CancelToken Cancellable();
+
+  /// A token that expires `timeout_ms` from now (and can also be
+  /// cancelled explicitly). Non-positive timeouts behave like
+  /// Cancellable().
+  static CancelToken WithDeadline(double timeout_ms);
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Flips the explicit-cancel flag. Safe from any thread; idempotent.
+  /// Records the cancel instant so CancelLatencyMs() can measure how
+  /// long the engine took to notice.
+  void Cancel() const;
+
+  /// True once Cancel() was called.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// True once the deadline (if any) has passed.
+  bool expired() const;
+
+  /// Milliseconds until the deadline; +infinity when there is none.
+  double RemainingMs() const;
+
+  /// The poll point: OK while the request may keep running, otherwise
+  /// Cancelled (explicit kill wins) or DeadlineExceeded. `where` names
+  /// the poll site and is embedded in the error message so a kill can be
+  /// traced to the loop that honoured it.
+  Status Check(const char* where) const;
+
+  /// Milliseconds elapsed since the stop signal fired: since Cancel()
+  /// for explicit kills, since the deadline instant for expiries.
+  /// Returns 0 when the token never fired. This is the "cancellation
+  /// latency" the serving layer records per aborted request.
+  double CancelLatencyMs() const;
+
+  /// True when both tokens share one state block (copies of the same
+  /// request token). Null tokens compare equal to each other.
+  bool SameStateAs(const CancelToken& other) const {
+    return state_ == other.state_;
+  }
+
+  /// Thread-local current token, installed by CancelScope. Deep layers
+  /// that cannot take a token parameter through every call signature
+  /// (scoring kernels invoked from expression evaluation, the
+  /// micro-batch coalescer) poll this instead. Returns a null token
+  /// when no scope is active.
+  static const CancelToken& Current();
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    // Nanoseconds-since-steady-epoch; 0 = no deadline.
+    int64_t deadline_ns = 0;
+    // Set once by Cancel() for latency accounting; 0 = never cancelled.
+    std::atomic<int64_t> cancelled_at_ns{0};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// RAII guard installing `token` as CancelToken::Current() for this
+/// thread. The executor wraps each morsel-drive in one (worker threads),
+/// and SqlEngine::Execute wraps the whole statement (caller thread), so
+/// any code reached during execution can poll the request's token.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token);
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken previous_;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_CANCEL_H_

@@ -30,6 +30,12 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kRedirect:
       return "Redirect";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,9 @@ enum class StatusCode {
   kUnavailable,
   kDataLoss,
   kRedirect,
+  kCorruption,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -84,6 +87,28 @@ class Status {
   /// this node).
   static Status Redirect(std::string msg) {
     return Status(StatusCode::kRedirect, std::move(msg));
+  }
+  /// A serialized artifact (model file, pipeline text) failed structural
+  /// validation: truncated sections, garbled numbers, impossible counts.
+  /// Distinct from ParseError (malformed *user input*, e.g. bad SQL) and
+  /// DataLoss (bad bytes in the WAL/snapshot storage layer): Corruption
+  /// means an artifact we once wrote — or were handed as one — no longer
+  /// decodes, and the load must fail without taking the process down.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// The request's deadline elapsed before the work completed. Never
+  /// retryable (the caller's time budget is spent); retry loops must
+  /// surface it immediately.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The request was explicitly cancelled (`.kill <session>`, client
+  /// disconnect). Like DeadlineExceeded this is terminal, not transient:
+  /// retrying a cancelled statement would resurrect work the caller
+  /// asked to abort.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

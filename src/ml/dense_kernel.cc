@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.h"
+
 namespace flock::ml {
 
 DenseKernel::DenseKernel(const ModelGraph& graph) {
@@ -202,7 +204,15 @@ Status DenseKernel::ScoreBatch(const Matrix& raw,
   const size_t need = block * max_cols_;
   if (scratch->a_.size() < need) scratch->a_.resize(need);
   if (scratch->b_.size() < need) scratch->b_.resize(need);
+  // The per-block cancellation poll: with deep ensembles a single batch
+  // can take tens of milliseconds, so the executor's morsel-boundary
+  // check alone would not bound kill latency. The request token arrives
+  // thread-locally (installed by the executor's drive loop) because
+  // scoring is reached through expression evaluation, which has no
+  // context parameter path.
+  const CancelToken& cancel = CancelToken::Current();
   for (size_t begin = 0; begin < n; begin += block) {
+    FLOCK_RETURN_NOT_OK(cancel.Check("dense_kernel.block"));
     const size_t rows = std::min(block, n - begin);
     for (size_t r = 0; r < rows; ++r) {
       const double* src = raw.row(begin + r);

@@ -1,7 +1,10 @@
 #include "ml/pipeline.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -22,6 +25,46 @@ std::string FmtDouble(double v) {
 /// Deserialize accept caller-supplied statistics verbatim.
 double GuardedStd(double sd) {
   return std::isfinite(sd) && std::abs(sd) > kMinScaleStd ? sd : 1.0;
+}
+
+/// Strict numeric parses for Deserialize. The stdlib std::sto* family
+/// throws on garbage and silently accepts trailing junk ("12abc" → 12),
+/// so a flipped byte in a stored model could either terminate the server
+/// (uncaught std::invalid_argument) or load a subtly different model.
+/// These require the whole token to parse, with no overflow; any miss is
+/// reported as Corruption by the caller instead of crashing.
+bool ParseSize(const std::string& tok, size_t* out) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE) return false;
+  *out = static_cast<size_t>(v);
+  return static_cast<unsigned long long>(*out) == v;
+}
+
+bool ParseInt32(const std::string& tok, int32_t* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  // Overflow to ±HUGE_VAL is corruption; gradual underflow to a
+  // subnormal (also ERANGE) is a value FmtDouble can legitimately emit.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -334,8 +377,13 @@ std::string Pipeline::Serialize() const {
 StatusOr<Pipeline> Pipeline::Deserialize(const std::string& text) {
   std::istringstream in(text);
   std::string line;
+  // A serialized pipeline is a stored artifact (catalog WAL, rollout
+  // snapshot, replica stream), not user input: any structural or numeric
+  // miss here means the bytes were damaged after Serialize wrote them,
+  // so every failure is Corruption — recoverable by the caller (deploy
+  // fails, recovery skips), never a crash.
   auto fail = [](const std::string& msg) {
-    return Status::ParseError("pipeline deserialize: " + msg);
+    return Status::Corruption("pipeline deserialize: " + msg);
   };
   if (!std::getline(in, line) || Trim(line) != "FLOCK_PIPELINE 1") {
     return fail("missing header");
@@ -363,8 +411,11 @@ StatusOr<Pipeline> Pipeline::Deserialize(const std::string& text) {
       } else if (tok[2] == "categorical") {
         spec.kind = FeatureKind::kCategorical;
         if (tok.size() < 4) return fail("categorical vocab size");
-        size_t k = std::stoul(tok[3]);
-        if (tok.size() != 4 + k) return fail("vocab token count");
+        size_t k = 0;
+        if (!ParseSize(tok[3], &k)) {
+          return fail("bad vocab size: " + tok[3]);
+        }
+        if (tok.size() - 4 != k) return fail("vocab token count");
         for (size_t i = 0; i < k; ++i) spec.vocab.push_back(tok[4 + i]);
       } else {
         return fail("unknown input kind " + tok[2]);
@@ -373,59 +424,105 @@ StatusOr<Pipeline> Pipeline::Deserialize(const std::string& text) {
     } else if (kw == "imputer") {
       std::vector<double> values;
       for (size_t i = 1; i < tok.size(); ++i) {
-        values.push_back(std::stod(tok[i]));
+        double v = 0.0;
+        if (!ParseDoubleStrict(tok[i], &v)) {
+          return fail("bad imputer value: " + tok[i]);
+        }
+        values.push_back(v);
       }
       pipeline.SetImputer(std::move(values));
     } else if (kw == "scaler_mean") {
       pipeline.scaler_mean_.clear();
       for (size_t i = 1; i < tok.size(); ++i) {
-        pipeline.scaler_mean_.push_back(std::stod(tok[i]));
+        double v = 0.0;
+        if (!ParseDoubleStrict(tok[i], &v)) {
+          return fail("bad scaler mean: " + tok[i]);
+        }
+        pipeline.scaler_mean_.push_back(v);
       }
     } else if (kw == "scaler_std") {
       pipeline.scaler_std_.clear();
       for (size_t i = 1; i < tok.size(); ++i) {
-        pipeline.scaler_std_.push_back(std::stod(tok[i]));
+        double v = 0.0;
+        if (!ParseDoubleStrict(tok[i], &v)) {
+          return fail("bad scaler std: " + tok[i]);
+        }
+        pipeline.scaler_std_.push_back(v);
       }
       pipeline.has_scaler_ = true;
     } else if (kw == "model") {
       if (tok.size() < 2) return fail("model line");
       if (tok[1] == "linear") {
         if (tok.size() < 5) return fail("linear model line");
-        size_t k = std::stoul(tok[2]);
+        size_t k = 0;
+        if (!ParseSize(tok[2], &k)) {
+          return fail("bad linear weight count: " + tok[2]);
+        }
         LinearModel model;
         model.logistic = tok[3] == "1";
-        model.bias = std::stod(tok[4]);
-        if (tok.size() != 5 + k) return fail("linear weight count");
+        if (!ParseDoubleStrict(tok[4], &model.bias)) {
+          return fail("bad linear bias: " + tok[4]);
+        }
+        if (tok.size() - 5 != k) return fail("linear weight count");
         for (size_t i = 0; i < k; ++i) {
-          model.weights.push_back(std::stod(tok[5 + i]));
+          double w = 0.0;
+          if (!ParseDoubleStrict(tok[5 + i], &w)) {
+            return fail("bad linear weight: " + tok[5 + i]);
+          }
+          model.weights.push_back(w);
         }
         pipeline.SetLinearModel(std::move(model));
       } else if (tok[1] == "trees") {
         if (tok.size() != 6) return fail("trees model line");
-        size_t count = std::stoul(tok[2]);
+        size_t count = 0;
+        if (!ParseSize(tok[2], &count)) {
+          return fail("bad tree count: " + tok[2]);
+        }
         TreeEnsembleModel model;
         model.average = tok[3] == "1";
         model.logistic = tok[4] == "1";
-        model.base = std::stod(tok[5]);
+        if (!ParseDoubleStrict(tok[5], &model.base)) {
+          return fail("bad tree base: " + tok[5]);
+        }
         for (size_t t = 0; t < count; ++t) {
           if (!std::getline(in, line)) return fail("missing tree header");
           std::vector<std::string> header = SplitWhitespace(line);
           if (header.size() != 2 || header[0] != "tree") {
             return fail("bad tree header: " + line);
           }
-          size_t num_nodes = std::stoul(header[1]);
+          size_t num_nodes = 0;
+          if (!ParseSize(header[1], &num_nodes)) {
+            return fail("bad tree node count: " + header[1]);
+          }
           Tree tree;
           for (size_t ni = 0; ni < num_nodes; ++ni) {
             if (!std::getline(in, line)) return fail("missing tree node");
             std::vector<std::string> fields = SplitWhitespace(line);
             if (fields.size() != 5) return fail("bad tree node: " + line);
             TreeNode node;
-            node.feature = std::stoi(fields[0]);
-            node.threshold = std::stod(fields[1]);
-            node.left = std::stoi(fields[2]);
-            node.right = std::stoi(fields[3]);
-            node.value = std::stod(fields[4]);
+            if (!ParseInt32(fields[0], &node.feature) ||
+                !ParseDoubleStrict(fields[1], &node.threshold) ||
+                !ParseInt32(fields[2], &node.left) ||
+                !ParseInt32(fields[3], &node.right) ||
+                !ParseDoubleStrict(fields[4], &node.value)) {
+              return fail("bad tree node: " + line);
+            }
             tree.nodes.push_back(node);
+          }
+          // Structural validation: Predict walks left/right unchecked, so
+          // a corrupted index would read out of bounds or loop forever.
+          // The builder appends children after their parent, so a valid
+          // tree has every interior child index in (parent, num_nodes).
+          for (size_t ni = 0; ni < tree.nodes.size(); ++ni) {
+            const TreeNode& node = tree.nodes[ni];
+            if (node.is_leaf()) continue;
+            const auto lo = static_cast<int32_t>(ni);
+            const auto hi = static_cast<int32_t>(tree.nodes.size());
+            if (node.left <= lo || node.left >= hi || node.right <= lo ||
+                node.right >= hi) {
+              return fail("tree node " + std::to_string(ni) +
+                          " child index out of range");
+            }
           }
           model.trees.push_back(std::move(tree));
         }

@@ -8,10 +8,14 @@ namespace {
 
 bool IsFatal(const Status& s) {
   // Transient source conditions (file mid-creation, shed load) are the
-  // retry policy's problem; everything else means the stream or the
-  // replica state is damaged and must not be silently spanned.
+  // retry policy's problem, and a fired cancel token says the *caller*
+  // stopped the round — the stream itself is fine, so neither may wedge
+  // sticky health. Everything else means the stream or the replica state
+  // is damaged and must not be silently spanned.
   return !s.ok() && s.code() != StatusCode::kUnavailable &&
-         s.code() != StatusCode::kNotFound;
+         s.code() != StatusCode::kNotFound &&
+         s.code() != StatusCode::kCancelled &&
+         s.code() != StatusCode::kDeadlineExceeded;
 }
 
 }  // namespace
@@ -66,7 +70,8 @@ Status ReplicaApplier::Bootstrap() {
 
 Status ReplicaApplier::BootstrapLocked() {
   BootstrapResult bootstrap;
-  Status fetched = serve::RetryUnavailable(options_.retry, [&]() -> Status {
+  Status fetched = serve::RetryUnavailable(
+      options_.retry, options_.cancel, [&]() -> Status {
     auto result = source_->Bootstrap();
     Status s = result.status();
     if (result.ok()) bootstrap = *std::move(result);
@@ -97,6 +102,7 @@ StatusOr<size_t> ReplicaApplier::CatchUpOnce() {
 }
 
 StatusOr<size_t> ReplicaApplier::RoundLocked() {
+  FLOCK_RETURN_NOT_OK(options_.cancel.Check("replica.round"));
   FLOCK_RETURN_NOT_OK(health());
   if (!bootstrapped_) {
     FLOCK_RETURN_NOT_OK(BootstrapLocked());
@@ -107,7 +113,8 @@ StatusOr<size_t> ReplicaApplier::RoundLocked() {
     from = position_;
   }
   FetchResult fetch;
-  Status fetched = serve::RetryUnavailable(options_.retry, [&]() -> Status {
+  Status fetched = serve::RetryUnavailable(
+      options_.retry, options_.cancel, [&]() -> Status {
     auto result = source_->Fetch(from, options_.batch_records);
     Status s = result.status();
     if (result.ok()) fetch = *std::move(result);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cancel.h"
 #include "flock/flock_engine.h"
 #include "repl/replication.h"
 #include "serve/retry.h"
@@ -24,6 +25,11 @@ struct ReplicaApplierOptions {
   /// is retried with backoff instead of surfacing per round.
   serve::RetryPolicy retry{/*max_attempts=*/5, /*base_backoff_ms=*/5,
                            /*max_backoff_ms=*/100, /*jitter=*/0.2};
+  /// Cooperative stop for manual CatchUp() drives (failover drain with a
+  /// time budget): checked between rounds and between retry attempts. A
+  /// fired token aborts the catch-up with kCancelled/kDeadlineExceeded —
+  /// neither wedges sticky health; the applier can be re-driven later.
+  CancelToken cancel;
 };
 
 /// Drives one replica engine from a ReplicationSource: bootstraps from a

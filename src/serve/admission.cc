@@ -23,6 +23,31 @@ Status AdmissionController::Admit(std::function<void()> work) {
   return Status::OK();
 }
 
+Status AdmissionController::Admit(std::function<void()> work,
+                                  CancelToken token,
+                                  std::function<void(Status)> expired) {
+  // Already dead at admission (deadline spent upstream, or the session
+  // was killed between submissions): shed synchronously, no queue slot.
+  Status fired = token.Check("admission.admit");
+  if (!fired.ok()) {
+    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+    return fired;
+  }
+  return Admit([this, work = std::move(work), token = std::move(token),
+                expired = std::move(expired)] {
+    // Dequeue-time check: the request waited in the queue; if its budget
+    // ran out there, the worker reports the expiry without starting the
+    // statement.
+    Status queued_fired = token.Check("admission.queue");
+    if (!queued_fired.ok()) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      expired(std::move(queued_fired));
+      return;
+    }
+    work();
+  });
+}
+
 void AdmissionController::Drain() {
   {
     std::unique_lock<std::shared_mutex> gate(drain_mu_);

@@ -6,6 +6,7 @@
 #include <functional>
 #include <shared_mutex>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -41,6 +42,16 @@ class AdmissionController {
   /// is full or the controller is draining. Never blocks.
   Status Admit(std::function<void()> work);
 
+  /// Deadline-aware admission. Like Admit, but the request carries its
+  /// cancel token: if the token has fired by the time a worker dequeues
+  /// it (queued past its deadline, or killed while waiting), the worker
+  /// invokes `expired` with the fired status instead of ever starting
+  /// `work` — a statement the client has given up on costs parse-nothing.
+  /// A token that has already fired at admit time is shed synchronously
+  /// (the fired status is returned and nothing is enqueued).
+  Status Admit(std::function<void()> work, CancelToken token,
+               std::function<void(Status)> expired);
+
   /// Graceful shutdown: stop admitting, then wait until every admitted
   /// request has finished. Nothing is admitted once Drain has begun —
   /// the drain flag flips under the admission gate held exclusively, so
@@ -55,6 +66,11 @@ class AdmissionController {
   uint64_t shed_count() const {
     return shed_.load(std::memory_order_relaxed);
   }
+  /// Requests shed because their deadline passed (or they were killed)
+  /// while waiting in the queue — distinct from queue-full sheds.
+  uint64_t deadline_shed_count() const {
+    return deadline_shed_.load(std::memory_order_relaxed);
+  }
   size_t num_workers() const { return pool_.num_threads(); }
   const AdmissionOptions& options() const { return options_; }
 
@@ -66,6 +82,7 @@ class AdmissionController {
   std::shared_mutex drain_mu_;
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_shed_{0};
   ThreadPool pool_;
 };
 

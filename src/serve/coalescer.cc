@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "flock/scoring.h"
 #include "ml/matrix.h"
@@ -79,6 +80,13 @@ StatusOr<double> MicroBatcher::ScoreOne(const flock::ModelEntry& entry,
       inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
   InFlightGuard guard{&inflight_};
 
+  // The request's cancel token rides the executor's thread-local scope
+  // (ScoreOne is reached through expression evaluation, which has no
+  // token parameter path). A request that is already dead must not
+  // contribute a row to anyone's batch.
+  const CancelToken& cancel = CancelToken::Current();
+  FLOCK_RETURN_NOT_OK(cancel.Check("microbatch.enter"));
+
   if (!options_.enabled || draining_.load(std::memory_order_acquire) ||
       options_.max_batch <= 1 ||
       (options_.bypass_solo && inflight == 1)) {
@@ -106,19 +114,35 @@ StatusOr<double> MicroBatcher::ScoreOne(const flock::ModelEntry& entry,
 
     if (index != 0) {
       // Follower: maybe wake the leader early, then wait for scores.
+      // The wait is deadline-aware and re-polls the token periodically,
+      // so a waiter whose deadline expires (or whose session is killed)
+      // leaves with kDeadlineExceeded/kCancelled instead of blocking on
+      // the batch — its row stays behind and the leader scores it
+      // harmlessly (the batch is shared_ptr-owned, so nothing dangles).
       if (batch->count >= options_.max_batch) {
         batch->full = true;
         batch->cv.notify_all();
       }
-      batch->cv.wait(lock, [&] { return batch->done; });
+      while (!batch->done) {
+        FLOCK_RETURN_NOT_OK(cancel.Check("microbatch.wait"));
+        // Cap the sleep so an explicit kill (which cannot wake the cv)
+        // is noticed within one poll interval even with no deadline set.
+        const double wait_ms = std::min(cancel.RemainingMs(), 5.0);
+        batch->cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(wait_ms));
+      }
       if (!batch->status.ok()) return batch->status;
       return batch->scores[index];
     }
 
-    // Leader: bounded coalescing window.
+    // Leader: bounded coalescing window, clamped to the leader's own
+    // remaining deadline so an almost-expired request never donates its
+    // last milliseconds to the coalescing window.
     Stopwatch window;
+    const double window_ms =
+        std::min(options_.max_wait_ms, cancel.RemainingMs());
     batch->cv.wait_for(
-        lock, std::chrono::duration<double, std::milli>(options_.max_wait_ms),
+        lock, std::chrono::duration<double, std::milli>(window_ms),
         [&] {
           return batch->full || batch->flush ||
                  draining_.load(std::memory_order_relaxed);
@@ -135,7 +159,16 @@ StatusOr<double> MicroBatcher::ScoreOne(const flock::ModelEntry& entry,
   // group. `batch` is closed, so count/rows are stable.
   ml::Matrix m(batch->count, width);
   m.data() = std::move(batch->rows);
-  StatusOr<std::vector<double>> scores = flock::ScoreBatch(entry, m);
+  StatusOr<std::vector<double>> scores = std::vector<double>();
+  {
+    // Shield the shared invocation from the leader's own token: other
+    // sessions' followers depend on these scores, and the work is
+    // bounded by max_batch rows — so it runs to completion even if the
+    // leader was killed mid-window (the leader reports its own cancel
+    // after handing out the scores).
+    CancelScope shield{CancelToken()};
+    scores = flock::ScoreBatch(entry, m);
+  }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(batch->count, std::memory_order_relaxed);
@@ -157,6 +190,10 @@ StatusOr<double> MicroBatcher::ScoreOne(const flock::ModelEntry& entry,
     batch->cv.notify_all();
   }
   if (!batch->status.ok()) return batch->status;
+  // The leader always finishes the batch — followers depend on its
+  // scores — but if its own deadline fired meanwhile, its request still
+  // reports the expiry.
+  FLOCK_RETURN_NOT_OK(cancel.Check("microbatch.leader"));
   return leader_score;
 }
 

@@ -30,6 +30,12 @@ Request ParseRequestLine(const std::string& line) {
       request.text = std::move(argument);
     } else if (command == ".session") {
       request.kind = Request::Kind::kSession;
+    } else if (command == ".kill") {
+      request.kind = Request::Kind::kKill;
+      request.text = std::move(argument);
+    } else if (command == ".deadline") {
+      request.kind = Request::Kind::kDeadline;
+      request.text = std::move(argument);
     } else if (command == ".repl") {
       request.kind = Request::Kind::kRepl;
       request.text = std::move(argument);

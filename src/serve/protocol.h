@@ -20,6 +20,13 @@ namespace flock::serve {
 ///   .slowlog clear       empty the slow-query log
 ///   .slowlog <ms>        set the slow-query threshold (negative = off)
 ///   .session             this connection's session id / principal
+///   .kill <session>      abort the statement in flight on that session
+///                        (it completes with ERR Cancelled within one
+///                        poll interval; see DESIGN.md "Cancellation
+///                        contract")
+///   .deadline <ms>       per-statement deadline for this session;
+///                        `.deadline off` disables, `.deadline default`
+///                        reverts to the server's --default-deadline-ms
 ///   .repl <subcommand>   replication endpoint (primary: status|bootstrap|
 ///                        fetch <epoch> <lsn> <max>; replica: status) —
 ///                        see repl/wire.h for the payload format
@@ -42,8 +49,8 @@ namespace flock::serve {
 ///   ERR <CodeName> <message>\n
 struct Request {
   enum class Kind {
-    kQuery, kMetrics, kTrace, kSlowLog, kSession, kRepl, kRollout, kQuit,
-    kEmpty
+    kQuery, kMetrics, kTrace, kSlowLog, kSession, kKill, kDeadline, kRepl,
+    kRollout, kQuit, kEmpty
   };
   Kind kind = Kind::kEmpty;
   std::string text;  // the SQL for kQuery; the argument for commands

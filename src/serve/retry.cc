@@ -25,15 +25,25 @@ int JitteredBackoffMs(const RetryPolicy& policy, int attempt,
 
 Status RetryUnavailable(const RetryPolicy& policy,
                         const std::function<Status()>& op) {
+  return RetryUnavailable(policy, CancelToken(), op);
+}
+
+Status RetryUnavailable(const RetryPolicy& policy, const CancelToken& cancel,
+                        const std::function<Status()>& op) {
   const int attempts = std::max(policy.max_attempts, 1);
   std::mt19937_64 rng{policy.jitter_seed != 0
                           ? policy.jitter_seed
                           : std::random_device{}()};
   Status last = Status::OK();
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    FLOCK_RETURN_NOT_OK(cancel.Check("retry.attempt"));
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          JitteredBackoffMs(policy, attempt - 1, rng)));
+      double backoff_ms = JitteredBackoffMs(policy, attempt - 1, rng);
+      // Never sleep past the request's deadline: cap the backoff at the
+      // remaining budget, then re-check above on the next iteration.
+      backoff_ms = std::min(backoff_ms, std::max(cancel.RemainingMs(), 0.0));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
     }
     last = op();
     if (last.code() != StatusCode::kUnavailable) return last;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <random>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace flock::serve {
@@ -46,6 +47,15 @@ int JitteredBackoffMs(const RetryPolicy& policy, int attempt,
 /// the jittered backoff between attempts; the jitter RNG is seeded per
 /// call from `policy.jitter_seed`.
 Status RetryUnavailable(const RetryPolicy& policy,
+                        const std::function<Status()>& op);
+
+/// Cancel-aware variant: the token is checked before every attempt and
+/// caps each backoff sleep at the remaining deadline, so a retry loop
+/// never outlives the request driving it. A fired token returns
+/// kCancelled/kDeadlineExceeded — codes RetryUnavailable never retries
+/// by construction (only kUnavailable is retryable; a spent budget or an
+/// explicit kill cannot be "tried again").
+Status RetryUnavailable(const RetryPolicy& policy, const CancelToken& cancel,
                         const std::function<Status()>& op);
 
 }  // namespace flock::serve

@@ -47,6 +47,29 @@ void PredictionServer::RegisterMetrics() {
     return snap;
   });
 
+  // exec.* — the cancellation layer: how many statements ended by
+  // explicit kill vs deadline expiry (including queue sheds), and how
+  // quickly the cooperative polling noticed the stop signal.
+  registry_.RegisterCounter("exec.cancelled", [this] {
+    return cancelled_total_.load(std::memory_order_relaxed);
+  });
+  registry_.RegisterCounter("exec.deadline_exceeded", [this] {
+    return deadline_total_.load(std::memory_order_relaxed);
+  });
+  registry_.RegisterCounter("exec.deadline_queue_shed", [this] {
+    return admission_.deadline_shed_count();
+  });
+  registry_.RegisterHistogram("exec.cancel_latency_ms", [this] {
+    const LatencyHistogram& hist = cancel_latency_;
+    obs::HistogramSnapshot snap;
+    snap.count = hist.count();
+    snap.mean_ms = hist.mean_ms();
+    snap.p50_ms = hist.PercentileMs(0.50);
+    snap.p95_ms = hist.PercentileMs(0.95);
+    snap.p99_ms = hist.PercentileMs(0.99);
+    return snap;
+  });
+
   // serve.batch_size / serve.coalesce_* — the micro-batching stage.
   if (batcher_ != nullptr) {
     MicroBatcher* batcher = batcher_.get();
@@ -179,8 +202,15 @@ std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
 
   sql::ExecOptions exec_opts;
   exec_opts.trace = session->trace();
+  // The request token is created before admission and registered on the
+  // session immediately, so `.kill <session>` reaches a statement that
+  // is still waiting in the queue, not just one a worker has started.
+  CancelToken token = MakeRequestToken(session);
+  exec_opts.cancel = token;
+  session->SetActiveCancel(token);
   Status admitted = admission_.Admit(
-      [this, session, sql = std::move(sql), exec_opts, promise]() mutable {
+      [this, session, sql = std::move(sql), exec_opts, promise,
+       token]() mutable {
         Stopwatch timer;
         // Default-principal traffic shares the engine's read lock;
         // other principals serialize through ExecuteAs (see the
@@ -199,12 +229,59 @@ std::future<StatusOr<sql::QueryResult>> PredictionServer::Submit(
                 : execute(sql);
         metrics_.RecordRequest(timer.ElapsedMillis(), result.ok());
         session->RecordRequest(result.ok());
+        RecordCancellation(result.status(), token);
+        session->ClearActiveCancel(token);
         promise->set_value(std::move(result));
+      },
+      token,
+      // Queued past its deadline (or killed while waiting): the worker
+      // sheds it without parsing a byte of SQL.
+      [this, session, promise, token](Status fired) {
+        metrics_.RecordRequest(0.0, /*ok=*/false);
+        session->RecordRequest(false);
+        RecordCancellation(fired, token);
+        session->ClearActiveCancel(token);
+        promise->set_value(std::move(fired));
       });
   if (!admitted.ok()) {
-    promise->set_value(admitted);  // fast UNAVAILABLE, not queued
+    RecordCancellation(admitted, token);
+    session->ClearActiveCancel(token);
+    promise->set_value(admitted);  // fast shed, not queued
   }
   return future;
+}
+
+CancelToken PredictionServer::MakeRequestToken(
+    const SessionPtr& session) const {
+  double deadline_ms = session->deadline_ms();
+  if (deadline_ms < 0.0) deadline_ms = options_.default_deadline_ms;
+  return deadline_ms > 0.0 ? CancelToken::WithDeadline(deadline_ms)
+                           : CancelToken::Cancellable();
+}
+
+void PredictionServer::RecordCancellation(const Status& status,
+                                          const CancelToken& token) {
+  if (status.code() == StatusCode::kCancelled) {
+    cancelled_total_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_total_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    return;
+  }
+  // Record takes micros; CancelLatencyMs is elapsed time since the stop
+  // signal fired, i.e. how long the polling took to notice.
+  cancel_latency_.Record(token.CancelLatencyMs() * 1000.0);
+}
+
+Status PredictionServer::KillSession(uint64_t session_id) {
+  FLOCK_ASSIGN_OR_RETURN(SessionPtr session, sessions_.Get(session_id));
+  CancelToken token = session->active_cancel();
+  if (!token.valid()) {
+    return Status::NotFound("session " + std::to_string(session_id) +
+                            " has no statement in flight");
+  }
+  token.Cancel();
+  return Status::OK();
 }
 
 StatusOr<sql::QueryResult> PredictionServer::Execute(

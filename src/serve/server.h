@@ -1,11 +1,14 @@
 #ifndef FLOCK_SERVE_SERVER_H_
 #define FLOCK_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
+
+#include "common/cancel.h"
 
 #include "common/status_or.h"
 #include "flock/flock_engine.h"
@@ -22,6 +25,11 @@ namespace flock::serve {
 struct ServerOptions {
   AdmissionOptions admission;
   size_t max_sessions = 1024;
+  /// Default per-statement deadline in ms (flock_server
+  /// --default-deadline-ms). 0 = no deadline. Sessions can override with
+  /// `.deadline <ms>|off|default`; every statement still gets a
+  /// cancellable token so `.kill <session>` works regardless.
+  double default_deadline_ms = 0.0;
   /// Cross-request micro-batching of single-row PREDICT calls. When
   /// enabled the server owns a MicroBatcher, installs it into the
   /// engine's scoring context for its lifetime, and exports
@@ -97,6 +105,13 @@ class PredictionServer {
   StatusOr<sql::QueryResult> Execute(uint64_t session_id,
                                      const std::string& sql);
 
+  /// Aborts the statement currently queued or executing on behalf of
+  /// `session_id` (the `.kill <session>` wire command): flips the
+  /// session's active cancel token, which the engine notices at its next
+  /// poll point and surfaces as kCancelled. NotFound for unknown
+  /// sessions or when the session has no statement in flight.
+  Status KillSession(uint64_t session_id);
+
   /// Graceful drain: stop admitting new requests and new sessions, wait
   /// for in-flight requests to finish. Idempotent.
   void Shutdown();
@@ -129,12 +144,25 @@ class PredictionServer {
   /// (pull callbacks; called once from the constructor).
   void RegisterMetrics();
 
+  /// Builds the per-request cancel token (session deadline override or
+  /// server default) and registers it on the session for `.kill`.
+  CancelToken MakeRequestToken(const SessionPtr& session) const;
+  /// Folds a finished request's cancellation outcome into the exec.*
+  /// counters and the cancel-latency histogram.
+  void RecordCancellation(const Status& status, const CancelToken& token);
+
   flock::FlockEngine* engine_;
   ServerOptions options_;
   std::string default_principal_;
   SessionManager sessions_;
   AdmissionController admission_;
   ServerMetrics metrics_;
+  std::atomic<uint64_t> cancelled_total_{0};
+  std::atomic<uint64_t> deadline_total_{0};
+  /// Time from the stop signal (kill instant / deadline) to the request
+  /// actually completing with a cancel status — the responsiveness of
+  /// the cooperative polling, exported as exec.cancel_latency_ms.
+  LatencyHistogram cancel_latency_;
   obs::MetricsRegistry registry_;
   /// Owned micro-batcher, installed into the engine while the server is
   /// alive (detached in Shutdown, after the admission drain).

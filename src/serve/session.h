@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status_or.h"
 
 namespace flock::serve {
@@ -42,12 +43,44 @@ class Session {
   void set_trace(bool on) { trace_.store(on, std::memory_order_relaxed); }
   bool trace() const { return trace_.load(std::memory_order_relaxed); }
 
+  /// Per-session deadline override (`.deadline <ms>|off|default`):
+  /// negative = inherit the server's --default-deadline-ms, 0 = no
+  /// deadline, positive = per-statement budget in ms.
+  void set_deadline_ms(double ms) {
+    deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double deadline_ms() const {
+    return deadline_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers the cancel token of the statement currently submitted on
+  /// behalf of this session, so `.kill <id>` on the transport thread can
+  /// abort it (queued or executing). Last submission wins; a statement
+  /// clears only its own token on completion, so a successor's
+  /// registration is never wiped by a finishing predecessor.
+  void SetActiveCancel(const CancelToken& token) {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    active_cancel_ = token;
+  }
+  void ClearActiveCancel(const CancelToken& token) {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (active_cancel_.SameStateAs(token)) active_cancel_ = CancelToken();
+  }
+  /// The active statement's token; a null token when the session is idle.
+  CancelToken active_cancel() const {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    return active_cancel_;
+  }
+
  private:
   uint64_t id_;
   std::string principal_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<bool> trace_{false};
+  std::atomic<double> deadline_ms_{-1.0};
+  mutable std::mutex cancel_mu_;
+  CancelToken active_cancel_;
 };
 
 using SessionPtr = std::shared_ptr<Session>;

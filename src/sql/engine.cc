@@ -150,6 +150,12 @@ SqlEngine::SqlEngine(storage::Database* db, EngineOptions options)
 StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql,
                                          const ExecOptions& exec_opts) {
   Stopwatch timer;
+  // A request that spent its whole deadline in the admission queue (or
+  // was killed before a worker picked it up) stops here, before parsing.
+  FLOCK_RETURN_NOT_OK(exec_opts.cancel.Check("sql.execute"));
+  // Install the token thread-locally for the parse/plan/DML phases; the
+  // executor re-installs it on its own workers for the execute phase.
+  CancelScope cancel_scope(exec_opts.cancel);
   // Tracing is per-call (the serving layer's `.trace on`) and implied by
   // EXPLAIN ANALYZE. The recorder is installed thread-locally so layers
   // without an explicit parameter path — the optimizer's rules, the WAL
@@ -178,7 +184,7 @@ StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql,
     }
     if (cached != nullptr) {
       FLOCK_ASSIGN_OR_RETURN(QueryResult result,
-                             ExecuteCachedPlan(*cached));
+                             ExecuteCachedPlan(*cached, exec_opts.cancel));
       result.elapsed_ms = timer.ElapsedMillis();
       if (recorder.has_value()) result.trace = recorder->Snapshot();
       MaybeRecordSlowQuery(result, sql, &cache_key);
@@ -193,7 +199,8 @@ StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql,
   }
   FLOCK_ASSIGN_OR_RETURN(
       QueryResult result,
-      ExecuteStatement(sql, *stmt, use_cache ? &cache_key : nullptr));
+      ExecuteStatement(sql, *stmt, use_cache ? &cache_key : nullptr,
+                       exec_opts.cancel));
   result.elapsed_ms = timer.ElapsedMillis();
   if (recorder.has_value()) result.trace = recorder->Snapshot();
   MaybeRecordSlowQuery(result, sql,
@@ -203,7 +210,8 @@ StatusOr<QueryResult> SqlEngine::Execute(const std::string& sql,
   return result;
 }
 
-StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(const LogicalPlan& plan) {
+StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(
+    const LogicalPlan& plan, const CancelToken& cancel) {
   PhysicalPlanner physical_planner(&registry_);
   QueryResult result;
   PhysicalOperatorPtr lowered;
@@ -215,7 +223,8 @@ StatusOr<QueryResult> SqlEngine::ExecuteCachedPlan(const LogicalPlan& plan) {
   {
     obs::ScopedSpan exec_span("execute");
     execute_span = exec_span.index();
-    FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(lowered.get()));
+    FLOCK_ASSIGN_OR_RETURN(result.batch,
+                           ExecutePhysical(lowered.get(), cancel));
     lowered->CollectMetrics(&result.operator_metrics);
   }
   AccumulateScanMetrics(result.operator_metrics);
@@ -272,11 +281,15 @@ StatusOr<QueryResult> SqlEngine::ExecuteScript(const std::string& sql) {
 
 StatusOr<QueryResult> SqlEngine::ExecuteStatement(
     const std::string& sql, const Statement& stmt,
-    const std::string* cache_key) {
+    const std::string* cache_key, const CancelToken& cancel) {
+  // DML/DDL mutate in place and are not interruptible mid-statement
+  // (see DESIGN.md "Cancellation contract"); the check here covers the
+  // window between parse and the first mutation.
+  FLOCK_RETURN_NOT_OK(cancel.Check("sql.statement"));
   switch (stmt.kind()) {
     case StatementKind::kSelect:
       return ExecuteSelect(static_cast<const SelectStatement&>(stmt),
-                           cache_key);
+                           cache_key, cancel);
     case StatementKind::kInsert:
       return ExecuteInsert(static_cast<const InsertStatement&>(stmt));
     case StatementKind::kUpdate:
@@ -344,8 +357,8 @@ StatusOr<QueryResult> SqlEngine::ExecuteStatement(
         {
           obs::ScopedSpan span("execute");
           execute_span = span.index();
-          FLOCK_ASSIGN_OR_RETURN(RecordBatch discard, ExecutePhysical(
-                                                          root.get()));
+          FLOCK_ASSIGN_OR_RETURN(RecordBatch discard,
+                                 ExecutePhysical(root.get(), cancel));
           (void)discard;
           root->CollectMetrics(&result.operator_metrics);
         }
@@ -415,26 +428,31 @@ Status SqlEngine::OptimizePlan(PlanPtr* plan) {
   return Status::OK();
 }
 
-StatusOr<RecordBatch> SqlEngine::ExecutePlan(const LogicalPlan& plan) {
+StatusOr<RecordBatch> SqlEngine::ExecutePlan(const LogicalPlan& plan,
+                                             const CancelToken& cancel) {
   ExecutorOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.morsel_size = options_.morsel_size;
   exec_options.enable_zone_map_pruning = options_.enable_zone_map_pruning;
+  exec_options.cancel = cancel;
   Executor executor(&registry_, pool_.get(), exec_options);
   return executor.Execute(plan);
 }
 
-StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root) {
+StatusOr<RecordBatch> SqlEngine::ExecutePhysical(PhysicalOperator* root,
+                                                 const CancelToken& cancel) {
   ExecutorOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.morsel_size = options_.morsel_size;
   exec_options.enable_zone_map_pruning = options_.enable_zone_map_pruning;
+  exec_options.cancel = cancel;
   Executor executor(&registry_, pool_.get(), exec_options);
   return executor.Execute(root);
 }
 
 StatusOr<QueryResult> SqlEngine::ExecuteSelect(
-    const SelectStatement& stmt, const std::string* cache_key) {
+    const SelectStatement& stmt, const std::string* cache_key,
+    const CancelToken& cancel) {
   PlanPtr plan;
   {
     obs::ScopedSpan span("plan");
@@ -455,7 +473,8 @@ StatusOr<QueryResult> SqlEngine::ExecuteSelect(
   {
     obs::ScopedSpan span("execute");
     execute_span = span.index();
-    FLOCK_ASSIGN_OR_RETURN(result.batch, ExecutePhysical(root.get()));
+    FLOCK_ASSIGN_OR_RETURN(result.batch,
+                           ExecutePhysical(root.get(), cancel));
     root->CollectMetrics(&result.operator_metrics);
   }
   AccumulateScanMetrics(result.operator_metrics);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status_or.h"
 #include "common/thread_pool.h"
 #include "obs/slow_log.h"
@@ -49,6 +50,11 @@ struct QueryResult {
 struct ExecOptions {
   /// Record a span tree for this statement into QueryResult::trace.
   bool trace = false;
+  /// Cooperative deadline/kill token for this statement. Polled at
+  /// executor morsel boundaries, inside scoring-kernel block loops and
+  /// the micro-batch coalescer's waits; a fired token surfaces as
+  /// Cancelled or DeadlineExceeded. Null (the default) = uncancellable.
+  CancelToken cancel;
 };
 
 /// Stable digest of a physical plan's shape: a 16-hex-digit hash over
@@ -122,11 +128,13 @@ class SqlEngine {
   Status OptimizePlan(PlanPtr* plan);
 
   /// Executes a bound plan (lowers to a physical plan internally).
-  StatusOr<storage::RecordBatch> ExecutePlan(const LogicalPlan& plan);
+  StatusOr<storage::RecordBatch> ExecutePlan(const LogicalPlan& plan,
+                                             const CancelToken& cancel = {});
 
   /// Executes an already-lowered physical plan; metrics accumulate into
   /// the operator tree.
-  StatusOr<storage::RecordBatch> ExecutePhysical(PhysicalOperator* root);
+  StatusOr<storage::RecordBatch> ExecutePhysical(
+      PhysicalOperator* root, const CancelToken& cancel = {});
 
   storage::Database* database() { return db_; }
   FunctionRegistry* functions() { return &registry_; }
@@ -175,14 +183,17 @@ class SqlEngine {
   /// plan under, or nullptr to skip caching (scripts, subqueries).
   StatusOr<QueryResult> ExecuteStatement(const std::string& sql,
                                          const Statement& stmt,
-                                         const std::string* cache_key);
+                                         const std::string* cache_key,
+                                         const CancelToken& cancel = {});
   StatusOr<QueryResult> ExecuteSelect(const SelectStatement& stmt,
-                                      const std::string* cache_key);
+                                      const std::string* cache_key,
+                                      const CancelToken& cancel = {});
   StatusOr<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   StatusOr<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
   StatusOr<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
 
-  StatusOr<QueryResult> ExecuteCachedPlan(const LogicalPlan& plan);
+  StatusOr<QueryResult> ExecuteCachedPlan(const LogicalPlan& plan,
+                                          const CancelToken& cancel);
   void AppendQueryLog(const std::string& sql);
   /// Folds scan segment counters from one statement's operator metrics
   /// into the engine-lifetime totals.

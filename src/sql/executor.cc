@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sql/evaluator.h"
 
 namespace flock::sql {
@@ -26,6 +27,20 @@ uint64_t NanosSince(Clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
+}
+
+/// Polls `token` and, when it fires, annotates the active trace (if this
+/// thread carries a recorder) with the cancel cause — so a traced request
+/// that was killed shows `exec.cancelled` / `exec.deadline_exceeded`
+/// where execution stopped.
+Status CheckCancel(const CancelToken& token, const char* where) {
+  Status st = token.Check(where);
+  if (!st.ok() && obs::TraceRecorder::Current() != nullptr) {
+    obs::ScopedSpan cause(st.code() == StatusCode::kCancelled
+                              ? "exec.cancelled"
+                              : "exec.deadline_exceeded");
+  }
+  return st;
 }
 
 }  // namespace
@@ -298,6 +313,7 @@ ExecContext Executor::MakeContext() const {
   ctx.pool = pool_;
   ctx.num_threads = pool_ ? std::max<size_t>(1, options_.num_threads) : 1;
   ctx.morsel_size = options_.morsel_size;
+  ctx.cancel = options_.cancel;
   return ctx;
 }
 
@@ -312,6 +328,9 @@ StatusOr<RecordBatch> Executor::Execute(PhysicalOperator* root) {
 }
 
 StatusOr<RecordBatch> Executor::Run(PhysicalOperator* op) {
+  // Every pipeline breaker and recursive materialization passes through
+  // here, so one check covers sort/distinct/limit/build-side entry.
+  FLOCK_RETURN_NOT_OK(CheckCancel(options_.cancel, "executor.run"));
   switch (op->kind()) {
     case PhysicalOperator::Kind::kTableScan:
     case PhysicalOperator::Kind::kFilter:
@@ -467,8 +486,11 @@ Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
     return mat.SelectView(std::move(sel));
   };
 
-  // Pushes one source morsel through the chain into the sink.
+  // Pushes one source morsel through the chain into the sink. The
+  // per-morsel poll is the executor's main cancellation point: a kill or
+  // deadline expiry stops the query within one morsel's worth of work.
   auto drive = [&](size_t local, const Morsel& morsel) -> Status {
+    FLOCK_RETURN_NOT_OK(CheckCancel(options_.cancel, "executor.morsel"));
     RecordBatch m = make_morsel(morsel);
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       PhysicalOperator* op = *it;
@@ -483,6 +505,10 @@ Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
 
   size_t threads = pool_ ? std::max<size_t>(1, options_.num_threads) : 1;
   if (threads == 1 || work.size() < 2) {
+    // Install the token thread-locally so layers reached through
+    // expression evaluation without a context parameter (scoring
+    // kernels, the serving coalescer) can poll it too.
+    CancelScope cancel_scope(options_.cancel);
     sink->MakeLocals(1);
     for (const Morsel& morsel : work) {
       FLOCK_RETURN_NOT_OK(drive(0, morsel));
@@ -500,6 +526,11 @@ Status Executor::RunPipeline(PhysicalOperator* top, PipelineSink* sink) {
   sink->MakeLocals(num_tasks);
   std::vector<Status> statuses(num_tasks, Status::OK());
   pool_->ParallelFor(num_tasks, [&](size_t t) {
+    // Each worker re-installs the token on its own thread (thread-local
+    // state does not cross ParallelFor). Workers observe a kill at their
+    // next morsel boundary and drain normally — no detached threads, so
+    // ParallelFor's join is the leak-freedom guarantee.
+    CancelScope cancel_scope(options_.cancel);
     size_t begin = t * chunk;
     size_t end = std::min(work.size(), begin + chunk);
     for (size_t m = begin; m < end; ++m) {

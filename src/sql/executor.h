@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/cancel.h"
 #include "common/status_or.h"
 #include "common/thread_pool.h"
 #include "sql/function_registry.h"
@@ -22,6 +23,11 @@ struct ExecutorOptions {
   /// conjuncts. Off switches the decision only — plans are identical, so
   /// differential tests can compare pruned vs unpruned execution.
   bool enable_zone_map_pruning = true;
+  /// Cooperative cancellation: polled at every morsel boundary (serial
+  /// and parallel paths), before each pipeline breaker, and inside
+  /// operators with unbounded per-morsel fan-out. A null token (the
+  /// default) never fires.
+  CancelToken cancel;
 };
 
 /// Drives physical plans as morsel-driven push pipelines.

@@ -474,6 +474,10 @@ StatusOr<RecordBatch> NestedLoopJoinOp::ProcessMorsel(const ExecContext& ctx,
   std::vector<uint32_t> lsel;
   std::vector<int64_t> rsel;
   for (size_t l = 0; l < input.num_rows(); ++l) {
+    // One left row fans out to the whole right side, so a cross-join
+    // morsel is unbounded in the morsel size; poll per left row to keep
+    // kill latency bounded by one inner sweep.
+    FLOCK_RETURN_NOT_OK(ctx.cancel.Check("nested_loop_join"));
     if (nr == 0) {
       if (join_type == JoinType::kLeft) {
         lsel.push_back(static_cast<uint32_t>(l));

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status_or.h"
 #include "common/thread_pool.h"
 #include "sql/ast.h"
@@ -24,6 +25,11 @@ struct ExecContext {
   ThreadPool* pool = nullptr;  // may be null (serial execution)
   size_t num_threads = 1;
   size_t morsel_size = storage::RecordBatch::kDefaultBatchSize;
+  /// The request's cancellation token. Operators whose per-morsel work is
+  /// unbounded in the morsel size (nested-loop join: morsel x entire
+  /// right side) must poll it inside their row loops; everything else is
+  /// covered by the executor's per-morsel check.
+  CancelToken cancel;
 };
 
 /// Per-operator execution counters, accumulated across all worker threads

@@ -2,6 +2,9 @@
 
 #include <unistd.h>
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -17,7 +20,22 @@ FaultInjector::FaultInjector() {
   }
   int skip = 0;
   const char* skip_env = std::getenv("FLOCK_FAULT_SKIP");
-  if (skip_env != nullptr) skip = std::atoi(skip_env);
+  if (skip_env != nullptr && skip_env[0] != '\0') {
+    // atoi would silently read garbage ("3x" → 3, "abc" → 0) and the
+    // crash test would arm the wrong trigger count — a misconfigured
+    // harness must fail loudly, not pass vacuously.
+    char* end = nullptr;
+    errno = 0;
+    long parsed = std::strtol(skip_env, &end, 10);
+    if (end == skip_env || *end != '\0' || errno == ERANGE || parsed < 0 ||
+        parsed > INT_MAX) {
+      std::fprintf(stderr,
+                   "FLOCK_FAULT_SKIP must be a non-negative integer, got "
+                   "\"%s\"\n", skip_env);
+      std::abort();
+    }
+    skip = static_cast<int>(parsed);
+  }
   Arm(point, mode, skip);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "common/string_util.h"
 #include "ml/dataset.h"
 #include "ml/graph.h"
 #include "ml/linear.h"
@@ -310,6 +311,92 @@ TEST(PipelineTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Pipeline::Deserialize("not a pipeline").ok());
   EXPECT_FALSE(
       Pipeline::Deserialize("FLOCK_PIPELINE 1\nmodel alien\nend\n").ok());
+}
+
+// The corruption matrix: every one of these damaged artifacts must come
+// back as Status::Corruption — a recoverable deploy/recovery failure —
+// and none may terminate the process (the pre-hardening parser used
+// std::stoi/stoul/stod, which throw on garbage and accept trailing junk).
+TEST(PipelineTest, DeserializeCorruptionMatrix) {
+  const std::string text = MakeTrainedPipeline(89).Serialize();
+  auto expect_corruption = [](const std::string& damaged,
+                              const std::string& what) {
+    auto result = Pipeline::Deserialize(damaged);
+    ASSERT_FALSE(result.ok()) << what << ": accepted damaged artifact";
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+        << what << ": " << result.status().ToString();
+  };
+
+  // Truncation at every line boundary (a torn write of the stored text).
+  for (size_t pos = text.find('\n'); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    std::string truncated = text.substr(0, pos + 1);
+    if (truncated.size() == text.size()) break;  // full text is valid
+    auto result = Pipeline::Deserialize(truncated);
+    // A prefix that still ends in a complete section can parse; what it
+    // must never do is crash or mis-parse a numeric token. Reject or
+    // accept, any failure must be Corruption.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+          << "truncation at byte " << pos;
+    }
+  }
+
+  // Token-level damage: trailing junk, non-numeric, overflow — each on a
+  // numeric field the old parser would have crashed on or misread.
+  auto replace_first = [&](const std::string& from, const std::string& to) {
+    std::string damaged = text;
+    size_t at = damaged.find(from);
+    EXPECT_NE(at, std::string::npos) << "fixture lost marker " << from;
+    damaged.replace(at, from.size(), to);
+    return damaged;
+  };
+  expect_corruption(replace_first("model trees", "model trees junk-count"),
+                    "non-numeric tree count");
+  expect_corruption(replace_first("tree ", "tree 12x"), "trailing junk");
+  expect_corruption(replace_first("tree ", "tree 99999999999999999999"),
+                    "tree node count overflow");
+  expect_corruption(replace_first("tree ", "tree -3"),
+                    "negative node count");
+
+  // Flipped bytes inside a tree-node line: child indices out of range
+  // (crash in Tree::Predict) or cyclic (infinite loop in Tree::Predict).
+  {
+    size_t header = text.find("tree ");
+    ASSERT_NE(header, std::string::npos);
+    size_t node_line = text.find('\n', header) + 1;
+    size_t node_end = text.find('\n', node_line);
+    std::string node = text.substr(node_line, node_end - node_line);
+    std::vector<std::string> fields = SplitWhitespace(node);
+    ASSERT_EQ(fields.size(), 5u);
+    if (fields[0] != "-1") {  // interior root: children are live indices
+      auto with_node = [&](const std::string& left,
+                           const std::string& right) {
+        std::string damaged = text;
+        damaged.replace(node_line, node_end - node_line,
+                        fields[0] + " " + fields[1] + " " + left + " " +
+                            right + " " + fields[4]);
+        return damaged;
+      };
+      expect_corruption(with_node("100000", fields[3]),
+                        "left child out of range");
+      expect_corruption(with_node(fields[2], "-7"),
+                        "negative right child");
+      expect_corruption(with_node("0", fields[3]),
+                        "cyclic child (points at root)");
+      expect_corruption(with_node("2.5", fields[3]),
+                        "fractional child index");
+    }
+  }
+
+  // Vocab / weight count mismatches.
+  expect_corruption(replace_first("categorical 3", "categorical 4"),
+                    "vocab count overstated");
+  expect_corruption(replace_first("categorical 3", "categorical 3x"),
+                    "vocab count trailing junk");
+
+  // The undamaged artifact still round-trips after all of the above.
+  EXPECT_TRUE(Pipeline::Deserialize(text).ok());
 }
 
 TEST(GraphTest, UsedInputColumnsReflectSparsity) {

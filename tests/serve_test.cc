@@ -1128,6 +1128,240 @@ TEST_F(ServeTest, MicroBatchSoloTrafficBypassesTheWindow) {
   EXPECT_EQ(server.microbatcher()->rows_coalesced(), 0u);
 }
 
+TEST_F(ServeTest, KillAbortsInFlightCrossJoin) {
+  // The `.kill <session>` contract: a long-running statement aborts with
+  // kCancelled within the acceptance budget (100 ms from the kill), the
+  // worker drains normally, and the cancel metrics record the event.
+  ASSERT_TRUE(engine_
+                  ->Execute("CREATE TABLE biga (x INT)")
+                  .ok());
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE bigb (x INT)").ok());
+  for (const char* name : {"biga", "bigb"}) {
+    std::string insert = std::string("INSERT INTO ") + name + " VALUES ";
+    for (int i = 0; i < 2000; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ")";
+    }
+    ASSERT_TRUE(engine_->Execute(insert).ok());
+  }
+
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  PredictionServer server(engine_.get(), options);
+  auto id_or = server.OpenSession();
+  ASSERT_TRUE(id_or.ok());
+
+  std::future<StatusOr<sql::QueryResult>> pending = server.Submit(
+      *id_or,
+      "SELECT COUNT(*) FROM biga CROSS JOIN bigb CROSS JOIN biga");
+  // Let the worker get into the join before killing it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Stopwatch kill_timer;
+  ASSERT_TRUE(server.KillSession(*id_or).ok());
+  auto result = pending.get();
+  const double kill_to_done_ms = kill_timer.ElapsedMillis();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+  EXPECT_LT(kill_to_done_ms, 100.0);
+
+  // A second kill finds nothing in flight.
+  EXPECT_EQ(server.KillSession(*id_or).code(), StatusCode::kNotFound);
+  // Unknown session.
+  EXPECT_EQ(server.KillSession(999999).code(), StatusCode::kNotFound);
+
+  // exec.cancelled and the latency histogram saw the abort.
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"cancelled\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("cancel_latency_ms"), std::string::npos);
+
+  // The session (and its worker) is still usable — no leaked state.
+  auto after = server.Execute(*id_or, "SELECT COUNT(*) FROM biga");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(ServeTest, QueuedRequestPastDeadlineIsShedUnexecuted) {
+  // One worker, so a long statement holds the only slot. A queued
+  // request whose deadline fires while waiting must be shed with
+  // kDeadlineExceeded before any of its SQL runs — the INSERT below must
+  // never happen.
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE shed_probe (x INT)").ok());
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE slow_a (x INT)").ok());
+  std::string insert = "INSERT INTO slow_a VALUES ";
+  for (int i = 0; i < 1500; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ")";
+  }
+  ASSERT_TRUE(engine_->Execute(insert).ok());
+
+  ServerOptions options;
+  options.admission.num_workers = 1;
+  PredictionServer server(engine_.get(), options);
+  auto blocker_id = server.OpenSession();
+  auto victim_id = server.OpenSession();
+  ASSERT_TRUE(blocker_id.ok());
+  ASSERT_TRUE(victim_id.ok());
+
+  // Occupy the worker with a long cross join (killed at the end).
+  std::future<StatusOr<sql::QueryResult>> blocker = server.Submit(
+      *blocker_id,
+      "SELECT COUNT(*) FROM slow_a CROSS JOIN slow_a CROSS JOIN slow_a");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  auto victim_or = server.sessions()->Get(*victim_id);
+  ASSERT_TRUE(victim_or.ok());
+  (*victim_or)->set_deadline_ms(40.0);
+  std::future<StatusOr<sql::QueryResult>> victim = server.Submit(
+      *victim_id, "INSERT INTO shed_probe VALUES (1)");
+
+  // Let the victim's deadline fire while it is still queued, then free
+  // the worker: the dequeue-time check sheds the victim without ever
+  // starting its statement.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(server.KillSession(*blocker_id).ok());
+  EXPECT_EQ(blocker.get().status().code(), StatusCode::kCancelled);
+
+  auto shed = victim.get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded)
+      << shed.status().ToString();
+  EXPECT_GE(server.admission()->deadline_shed_count(), 1u);
+
+  // The shed INSERT never executed.
+  auto probe = engine_->Execute("SELECT COUNT(*) FROM shed_probe");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->batch.column(0)->int_at(0), 0);
+}
+
+TEST_F(ServeTest, MicroBatchFollowerDeadlineDoesNotStickToBatch) {
+  // A follower parked on a coalescing batch whose leader holds a long
+  // window must leave with kDeadlineExceeded when its own deadline
+  // fires — never wait out the leader. The leader (no deadline) still
+  // completes its request correctly afterwards.
+  const std::string sql = PointPredictCorpus(1)[0];
+  auto serial = engine_->Execute(sql);
+  ASSERT_TRUE(serial.ok());
+  const std::vector<std::string> expected = Canonicalize(serial->batch);
+
+  ServerOptions options;
+  options.admission.num_workers = 4;
+  options.microbatch.enabled = true;
+  options.microbatch.max_batch = 32;        // never fills
+  options.microbatch.max_wait_ms = 2000.0;  // leader parks for 2 s
+  options.microbatch.bypass_solo = false;
+  PredictionServer server(engine_.get(), options);
+
+  auto leader_id = server.OpenSession();
+  auto follower_id = server.OpenSession();
+  ASSERT_TRUE(leader_id.ok());
+  ASSERT_TRUE(follower_id.ok());
+
+  std::future<StatusOr<sql::QueryResult>> leader =
+      server.Submit(*leader_id, sql);
+  // Let the leader open the window before the follower joins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto follower_session = server.sessions()->Get(*follower_id);
+  ASSERT_TRUE(follower_session.ok());
+  (*follower_session)->set_deadline_ms(50.0);
+  Stopwatch timer;
+  auto follower = server.Submit(*follower_id, sql).get();
+  const double follower_ms = timer.ElapsedMillis();
+
+  ASSERT_FALSE(follower.ok());
+  EXPECT_EQ(follower.status().code(), StatusCode::kDeadlineExceeded)
+      << follower.status().ToString();
+  EXPECT_LT(follower_ms, 1000.0) << "follower waited out the leader";
+
+  auto leader_result = leader.get();
+  ASSERT_TRUE(leader_result.ok()) << leader_result.status().ToString();
+  EXPECT_EQ(Canonicalize(leader_result->batch), expected);
+}
+
+TEST_F(ServeTest, DefaultDeadlineAppliesAndSessionOverrides) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE slow_b (x INT)").ok());
+  std::string insert = "INSERT INTO slow_b VALUES ";
+  for (int i = 0; i < 1500; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ")";
+  }
+  ASSERT_TRUE(engine_->Execute(insert).ok());
+  const std::string slow =
+      "SELECT COUNT(*) FROM slow_b CROSS JOIN slow_b CROSS JOIN slow_b";
+
+  ServerOptions options;
+  options.admission.num_workers = 2;
+  options.default_deadline_ms = 60.0;
+  PredictionServer server(engine_.get(), options);
+  auto id_or = server.OpenSession();
+  ASSERT_TRUE(id_or.ok());
+
+  // Inherited server default: the slow query dies at ~60 ms.
+  auto capped = server.Execute(*id_or, slow);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kDeadlineExceeded);
+
+  // `.deadline off` equivalent: the session opts out of the default and
+  // a fast query (which would also pass under the default) still works.
+  auto session_or = server.sessions()->Get(*id_or);
+  ASSERT_TRUE(session_or.ok());
+  (*session_or)->set_deadline_ms(0.0);
+  auto uncapped = server.Execute(*id_or, "SELECT COUNT(*) FROM slow_b");
+  ASSERT_TRUE(uncapped.ok()) << uncapped.status().ToString();
+
+  // Tighter per-session override.
+  (*session_or)->set_deadline_ms(30.0);
+  auto tight = server.Execute(*id_or, slow);
+  ASSERT_FALSE(tight.ok());
+  EXPECT_EQ(tight.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(server.MetricsJson().find("deadline_exceeded"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ProtocolParsesKillAndDeadline) {
+  Request kill = ParseRequestLine(".kill 42\n");
+  EXPECT_EQ(kill.kind, Request::Kind::kKill);
+  EXPECT_EQ(kill.text, "42");
+  Request deadline = ParseRequestLine(".deadline 250");
+  EXPECT_EQ(deadline.kind, Request::Kind::kDeadline);
+  EXPECT_EQ(deadline.text, "250");
+  Request off = ParseRequestLine(".deadline off");
+  EXPECT_EQ(off.kind, Request::Kind::kDeadline);
+  EXPECT_EQ(off.text, "off");
+}
+
+TEST_F(ServeTest, RetryPolicyNeverRetriesCancelCodes) {
+  // Satellite 3's audit, pinned by test: only kUnavailable is retryable.
+  // A cancelled or deadline-exceeded op must come back after exactly one
+  // attempt — the budget is spent; retrying would double the damage.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_ms = 1;
+  for (Status terminal :
+       {Status::Cancelled("killed"), Status::DeadlineExceeded("late"),
+        Status::Corruption("damaged")}) {
+    int attempts = 0;
+    Status last = RetryUnavailable(policy, [&]() -> Status {
+      ++attempts;
+      return terminal;
+    });
+    EXPECT_EQ(last.code(), terminal.code());
+    EXPECT_EQ(attempts, 1) << StatusCodeName(terminal.code());
+  }
+  // And the cancel-aware overload stops a retryable loop the moment the
+  // token fires, without sleeping out the remaining backoff budget.
+  CancelToken token = CancelToken::Cancellable();
+  int attempts = 0;
+  Status looped =
+      RetryUnavailable(policy, token, [&]() -> Status {
+        ++attempts;
+        if (attempts == 2) token.Cancel();
+        return Status::Unavailable("try again");
+      });
+  EXPECT_EQ(looped.code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts, 2);
+}
+
 TEST_F(ServeTest, ShutdownFlushesPartialMicroBatch) {
   // A leader parked on a long coalescing window (10 s, no solo bypass)
   // must not stall graceful drain: Shutdown flushes the batcher before
